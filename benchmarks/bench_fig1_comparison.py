@@ -1,0 +1,82 @@
+"""Figure 1: RL-Planner vs OMEGA vs EDA vs the gold standard.
+
+The paper's headline result: averaged over repeated runs, RL-Planner's
+plan scores sit close to the handcrafted gold standard and above both
+automated baselines, while OMEGA — blind to the constraints — scores
+near zero.  (a) covers the four course-planning datasets, (b) the two
+trip datasets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import compare_planners, render_table
+from repro.datasets import load
+
+RUNS = 5
+
+COURSE_DATASETS = ("njit_dsct", "njit_cyber", "njit_cs", "univ2_ds")
+TRIP_DATASETS = ("nyc", "paris")
+
+
+def _run_comparison(keys, episodes=None):
+    results = []
+    for key in keys:
+        dataset = load(key, seed=0)
+        results.append(compare_planners(dataset, runs=RUNS,
+                                        episodes=episodes))
+    return results
+
+
+def _render(results, title):
+    rows = []
+    for result in results:
+        rows.append(
+            [
+                result.dataset,
+                result.rl_planner.mean,
+                result.eda.mean,
+                result.omega.mean,
+                result.gold,
+                f"{result.rl_validity:.0%}",
+            ]
+        )
+    return render_table(
+        ["dataset", "RL-Planner", "EDA", "OMEGA", "Gold",
+         "RL validity"],
+        rows,
+        title=title,
+    )
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_course(benchmark, record_table):
+    """Fig. 1(a): course planning across the four degree programs."""
+    results = benchmark.pedantic(
+        _run_comparison, args=(COURSE_DATASETS,), rounds=1, iterations=1
+    )
+    record_table(_render(results, f"Figure 1(a) — course planning "
+                                  f"(avg of {RUNS} runs)"))
+    for result in results:
+        # Shape: RL-Planner beats both baselines and tracks gold.
+        assert result.rl_planner.mean >= result.eda.mean
+        assert result.rl_planner.mean > result.omega.mean
+        assert result.rl_planner.mean >= 0.6 * result.gold
+        # OMEGA's constraint blindness: near-zero scores.
+        assert result.omega.mean <= 0.25 * result.gold
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_trip(benchmark, record_table):
+    """Fig. 1(b): trip planning for NYC and Paris."""
+    results = benchmark.pedantic(
+        _run_comparison, args=(TRIP_DATASETS,), rounds=1, iterations=1
+    )
+    record_table(_render(results, f"Figure 1(b) — trip planning "
+                                  f"(avg of {RUNS} runs)"))
+    for result in results:
+        assert result.rl_planner.mean >= result.eda.mean
+        assert result.rl_planner.mean > result.omega.mean
+        assert result.rl_planner.mean >= 0.8 * result.gold
+        assert result.omega.mean <= 0.25 * result.gold

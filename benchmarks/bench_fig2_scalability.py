@@ -1,0 +1,80 @@
+"""Figure 2: scalability of learning and recommendation.
+
+(a)(c) policy-learning time grows linearly with the number of episodes;
+(b)(d) the time to recommend a plan from a learned policy stays
+interactive (sub-second) regardless of how long training ran.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import measure_scalability, render_table
+from repro.core.planner import RLPlanner
+from repro.datasets import load
+
+EPISODE_GRID = (100, 200, 300, 500, 1000)
+
+
+def _render(result):
+    rows = [
+        [p.episodes, p.learn_seconds, p.recommend_seconds * 1000.0]
+        for p in result.points
+    ]
+    return render_table(
+        ["episodes (N)", "learn time (s)", "recommend time (ms)"],
+        rows,
+        title=f"Figure 2 — scalability on {result.dataset}",
+        precision=3,
+    )
+
+
+@pytest.mark.benchmark(group="fig2")
+@pytest.mark.parametrize("key", ["njit_dsct", "nyc"])
+def test_fig2_learning_time_linear(benchmark, record_table, key):
+    """Fig. 2(a)(c): learning time vs N is (close to) linear."""
+    dataset = load(key, seed=0, with_gold=False)
+    result = benchmark.pedantic(
+        measure_scalability,
+        args=(dataset,),
+        kwargs={"episode_grid": EPISODE_GRID},
+        rounds=1,
+        iterations=1,
+    )
+    record_table(_render(result))
+    # Linearity: strong positive correlation and increasing totals.
+    assert result.learning_linearity() > 0.95
+    assert result.learning_slope() > 0
+    xs, ys = result.learn_series()
+    assert ys[-1] > ys[0]
+
+
+@pytest.mark.benchmark(group="fig2")
+@pytest.mark.parametrize("key", ["njit_dsct", "nyc"])
+def test_fig2_recommend_time_interactive(benchmark, record_table, key):
+    """Fig. 2(b)(d): recommendation is interactive at any N."""
+    dataset = load(key, seed=0, with_gold=False)
+    result = benchmark.pedantic(
+        measure_scalability,
+        args=(dataset,),
+        kwargs={"episode_grid": (100, 500, 1000)},
+        rounds=1,
+        iterations=1,
+    )
+    record_table(_render(result))
+    # "only a few seconds ... can be used in interactive mode";
+    # our Q-tables are small, so well under a second.
+    assert result.max_recommend_seconds() < 1.0
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_single_recommendation_microbench(benchmark):
+    """Micro-benchmark of one recommendation call (pytest-benchmark
+    timing semantics: many rounds of the measured callable)."""
+    dataset = load("njit_dsct", seed=0, with_gold=False)
+    planner = RLPlanner(
+        dataset.catalog, dataset.task, dataset.default_config,
+        mode=dataset.mode,
+    )
+    planner.fit(start_item_ids=[dataset.default_start], episodes=200)
+    benchmark(planner.recommend, dataset.default_start)

@@ -1,0 +1,67 @@
+"""Table VII: transfer learning between NYC and Paris.
+
+The POI universes are disjoint, so the policy transfers by *theme
+signature* (Section IV-D applies a learned policy across cities).  The
+paper reports transferred itineraries with scores 4.3 / 4.5 out of 5;
+the shape under test is that theme transfer carries real Q-mass, yields
+a non-empty itinerary, and scores well above zero in both directions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_table, run_transfer
+from repro.datasets import load
+
+
+def _both_directions():
+    nyc = load("nyc", seed=0, with_gold=False)
+    paris = load("paris", seed=0, with_gold=False)
+    return (
+        run_transfer(nyc, paris, strategy="theme", seed=0),
+        run_transfer(paris, nyc, strategy="theme", seed=0),
+        nyc,
+        paris,
+    )
+
+
+@pytest.mark.benchmark(group="table7")
+def test_table7_trip_transfer(benchmark, record_table):
+    to_paris, to_nyc, nyc, paris = benchmark.pedantic(
+        _both_directions, rounds=1, iterations=1
+    )
+
+    rows = []
+    lines = []
+    for outcome in (to_paris, to_nyc):
+        rows.append(
+            [
+                outcome.source,
+                outcome.target,
+                outcome.score.value,
+                "valid" if outcome.is_good else
+                outcome.score.report.describe()[:40],
+                f"{outcome.entry_coverage:.0%}",
+            ]
+        )
+        lines.append(
+            f"{outcome.source} -> {outcome.target}: "
+            f"{outcome.plan.describe()}"
+        )
+    table = render_table(
+        ["learnt policy", "applied policy", "score", "constraints",
+         "Q coverage"],
+        rows,
+        title="Table VII — trip-planning transfer learning "
+              "(theme-signature mapping)",
+    )
+    record_table(table + "\n\nItineraries:\n" + "\n".join(lines))
+
+    for outcome in (to_paris, to_nyc):
+        assert len(outcome.plan) >= 2  # a usable itinerary, as in Table VII
+        assert outcome.entry_coverage > 0.2
+        assert outcome.score.raw_value > 0.0
+    # The paper's transferred scores are high (4.3-4.5 of 5): at least
+    # one direction should produce a fully valid itinerary here too.
+    assert to_paris.is_good or to_nyc.is_good

@@ -1,0 +1,80 @@
+"""Table VIII: RL-Planner itineraries with their threshold compliance.
+
+The paper lists example NYC/Paris itineraries together with the time
+threshold, distance threshold, and POI types each one meets.  This
+bench regenerates the same table: itineraries under several
+(time, distance) settings with their measured totals — every reported
+itinerary must actually meet the thresholds it claims.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_table
+from repro.core.planner import RLPlanner
+from repro.core.validation import plan_travel_distance_km
+from repro.datasets import load
+from repro.domains.trips import CITIES, build_trip_task
+
+SETTINGS = {
+    "nyc": [(6.0, 4.0), (8.0, 5.0)],
+    "paris": [(6.0, 5.0), (5.0, 5.0)],
+}
+
+
+def _itineraries():
+    out = []
+    for city, settings in SETTINGS.items():
+        dataset = load(city, seed=0, with_gold=False)
+        for time_budget, distance in settings:
+            task = build_trip_task(
+                CITIES[city], dataset.catalog,
+                time_budget=time_budget, distance_threshold=distance,
+            )
+            planner = RLPlanner(
+                dataset.catalog, task, dataset.default_config,
+                mode=dataset.mode,
+            )
+            planner.fit(start_item_ids=[dataset.default_start],
+                        episodes=300)
+            plan, score = planner.recommend_scored(dataset.default_start)
+            out.append((city, time_budget, distance, plan, score))
+    return out
+
+
+@pytest.mark.benchmark(group="table8")
+def test_table8_itineraries(benchmark, record_table):
+    results = benchmark.pedantic(_itineraries, rounds=1, iterations=1)
+
+    rows = []
+    for city, t, d, plan, score in results:
+        themes = [
+            str(poi.meta("primary_theme", "?")) for poi in plan.items
+        ]
+        measured_d = plan_travel_distance_km(plan)
+        rows.append(
+            [
+                city,
+                " -> ".join(poi.name for poi in plan.items),
+                f"<= {t:g} (got {plan.total_credits:.1f})",
+                f"<= {d:g} (got {measured_d:.1f})",
+                "[" + ", ".join(themes) + "]",
+            ]
+        )
+    record_table(
+        render_table(
+            ["city", "itinerary", "time (h)", "distance (km)",
+             "POI themes"],
+            rows,
+            title="Table VIII — itineraries and threshold compliance",
+        )
+    )
+
+    for city, t, d, plan, score in results:
+        assert plan.total_credits <= t + 1e-9
+        assert plan_travel_distance_km(plan) <= d + 1e-9
+        assert score.is_valid, score.report.describe()
+        # The paper's gap rule: no two consecutive same-theme POIs.
+        for a, b in zip(plan.items, plan.items[1:]):
+            assert not (a.topics & b.topics)

@@ -1,0 +1,108 @@
+"""Tables IX-XI: Univ-1 M.S. DS-CT robustness sweeps.
+
+One parameter varies while the rest stay at Table III defaults:
+Table IX sweeps the coverage threshold epsilon and the type weights
+(w1, w2); Table X sweeps N, alpha, gamma; Table XI sweeps the starting
+point s1 and (delta, beta).  RL-Planner is reported under both average
+and minimum similarity; EDA appears where its parameters apply.
+
+Shape under test (Section IV-E): RL-Planner stays *robust* — scores
+remain positive and within a modest band across reasonable values —
+while extreme epsilon settings may collapse to 0 exactly as in
+Table IX's right edge.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import SweepRunner, render_sweep
+from repro.datasets import load
+
+RUNS = 2
+EPISODES = 200
+
+
+@pytest.fixture(scope="module")
+def runner():
+    dataset = load("njit_dsct", seed=0, with_gold=False)
+    return SweepRunner(dataset, runs=RUNS, episodes=EPISODES)
+
+
+def _assert_robust(result, allow_zero_tail=False):
+    series = result.series("rl_avg_sim")
+    positive = [value for value in series if value > 0]
+    # Most sweep points stay positive...
+    assert len(positive) >= max(1, len(series) - 2)
+    # ...and the positive scores stay in a sane band (0 < s <= 10).
+    assert all(0 < value <= 10.0 + 1e-9 for value in positive)
+
+
+@pytest.mark.benchmark(group="table9-11")
+def test_table9_coverage_threshold(benchmark, record_table, runner):
+    result = benchmark.pedantic(
+        runner.sweep_coverage_threshold, rounds=1, iterations=1
+    )
+    record_table(render_sweep(result))
+    _assert_robust(result, allow_zero_tail=True)
+    assert all(point.eda is not None for point in result.points)
+
+
+@pytest.mark.benchmark(group="table9-11")
+def test_table9_type_weights(benchmark, record_table, runner):
+    result = benchmark.pedantic(
+        runner.sweep_type_weights, rounds=1, iterations=1
+    )
+    record_table(render_sweep(result))
+    _assert_robust(result)
+
+
+@pytest.mark.benchmark(group="table9-11")
+def test_table10_episodes(benchmark, record_table, runner):
+    result = benchmark.pedantic(
+        runner.sweep_episodes, rounds=1, iterations=1
+    )
+    record_table(render_sweep(result))
+    _assert_robust(result)
+    # N is an RL-only knob.
+    assert all(point.eda is None for point in result.points)
+
+
+@pytest.mark.benchmark(group="table9-11")
+def test_table10_learning_rate(benchmark, record_table, runner):
+    result = benchmark.pedantic(
+        runner.sweep_learning_rate, rounds=1, iterations=1
+    )
+    record_table(render_sweep(result))
+    _assert_robust(result)
+
+
+@pytest.mark.benchmark(group="table9-11")
+def test_table10_discount(benchmark, record_table, runner):
+    result = benchmark.pedantic(
+        runner.sweep_discount, rounds=1, iterations=1
+    )
+    record_table(render_sweep(result))
+    _assert_robust(result)
+
+
+@pytest.mark.benchmark(group="table9-11")
+def test_table11_starting_points(benchmark, record_table, runner):
+    starts = ["CS 644", "CS 636", "CS 675", "MATH 661"]
+    result = benchmark.pedantic(
+        runner.sweep_starting_points, args=(starts,), rounds=1,
+        iterations=1,
+    )
+    record_table(render_sweep(result))
+    # Section IV-E: "starting with any of the acceptable starting core
+    # courses has minimal impact" — every start stays positive.
+    assert all(point.rl_avg_sim > 0 for point in result.points)
+
+
+@pytest.mark.benchmark(group="table9-11")
+def test_table11_delta_beta(benchmark, record_table, runner):
+    result = benchmark.pedantic(
+        runner.sweep_delta_beta, rounds=1, iterations=1
+    )
+    record_table(render_sweep(result))
+    _assert_robust(result)

@@ -1,0 +1,36 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every bench regenerates one table or figure of the paper: it prints the
+rows/series to stdout and also writes them under
+``benchmarks/results/`` so artifacts survive the run.  Benches assert
+the paper's *shape* (who wins, rough factors, trends) — absolute
+numbers differ because the substrate is synthetic.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    """Directory where benches persist their rendered tables."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_table(results_dir, request):
+    """Callable(text) that prints a table and writes it to results/."""
+
+    def _record(text: str) -> None:
+        print()
+        print(text)
+        path = results_dir / f"{request.node.name}.txt"
+        path.write_text(text + "\n")
+
+    return _record

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Group trip planning: one Paris itinerary for three travelers.
+
+Ana wants museums and galleries, Bo wants food and riverside walks,
+Cy (whose vote counts double — they organized the trip) wants
+architecture and gardens.  The script compares the aggregation
+strategies (union / intersection / majority / weighted), reports each
+member's satisfaction with every candidate itinerary, and picks the
+fairest one; it finishes with an infeasibility diagnosis of an
+over-tight variant of the same trip.
+
+Run:  python examples/group_trip.py
+"""
+
+from repro.analysis import diagnose, render_table
+from repro.core.env import DomainMode
+from repro.datasets import load_paris
+from repro.domains.trips import PARIS, build_trip_task
+from repro.group import AggregationStrategy, GroupMember, GroupPlanner
+
+
+def main() -> None:
+    dataset = load_paris(seed=0, with_gold=False)
+    themes = set(dataset.catalog.topic_vocabulary)
+
+    members = [
+        GroupMember("ana", frozenset({"museum", "gallery"}) & themes),
+        GroupMember("bo", frozenset({"restaurant", "cafe", "river"})
+                    & themes),
+        GroupMember("cy", frozenset({"architecture", "garden",
+                                     "cathedral"}) & themes,
+                    weight=2.0),
+    ]
+    for member in members:
+        print(f"{member.name} (weight {member.weight:g}): "
+              f"{sorted(member.ideal_topics)}")
+
+    planner = GroupPlanner(
+        dataset.catalog,
+        dataset.task,
+        members,
+        config=dataset.default_config.replace(episodes=300),
+        mode=DomainMode.TRIP,
+    )
+    outcomes = planner.compare_strategies(dataset.default_start,
+                                          episodes=300)
+
+    rows = []
+    for strategy, outcome in outcomes.items():
+        sat = outcome.satisfaction
+        rows.append(
+            [
+                strategy.value,
+                outcome.score.value,
+                sat.of("ana"),
+                sat.of("bo"),
+                sat.of("cy"),
+                sat.minimum,
+                sat.disagreement,
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["strategy", "score", "ana", "bo", "cy", "min",
+             "disagreement"],
+            rows,
+            title="Aggregation strategies, member satisfaction in [0,1]",
+        )
+    )
+
+    fair = planner.best_for_fairness(outcomes)
+    print(f"\nFairest itinerary ({fair.strategy.value}):")
+    for poi in fair.plan:
+        print(f"  {poi.name:<30} [{'/'.join(sorted(poi.topics))}]")
+
+    # ------------------------------------------------------------------
+    # What if the group only had 90 minutes?
+    # ------------------------------------------------------------------
+    tight = build_trip_task(PARIS, dataset.catalog, time_budget=1.5)
+    diagnosis = diagnose(dataset.catalog, tight, DomainMode.TRIP)
+    print("\nDiagnosing a 1.5-hour version of the same trip:")
+    print(diagnosis.describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Interactive feedback loop (Section VI future work, implemented).
+
+A student reviews each proposed course plan and reacts — "not that
+course", a 1-5 star rating, or an uncertain probability-weighted
+opinion.  The session folds every signal into per-item preferences,
+adjusts the Equation-2 reward, and replans.  Watch disliked courses
+vanish and endorsed ones persist across rounds.
+
+Run:  python examples/interactive_feedback.py
+"""
+
+from repro.datasets import load_univ1_dsct
+from repro.feedback import Feedback, InteractiveSession
+
+
+def show_round(round_, note=""):
+    print(f"\n--- round {round_.round_index} {note}")
+    print(f"plan : {round_.plan.describe()}")
+    print(f"score: {round_.score.value:.2f} "
+          f"({round_.score.report.describe()})")
+
+
+def main() -> None:
+    dataset = load_univ1_dsct(seed=0, with_gold=False)
+    session = InteractiveSession(
+        dataset.catalog,
+        dataset.task,
+        dataset.default_config.replace(episodes=300),
+        mode=dataset.mode,
+        replan_episodes=150,
+    )
+
+    first = session.propose(dataset.default_start)
+    show_round(first, "(no feedback yet)")
+
+    # The student reacts to the first proposal: hates the 2nd course,
+    # loves the 3rd, is lukewarm-uncertain about the 4th.
+    ids = first.plan.item_ids
+    session.give_feedback(
+        [
+            Feedback.binary(ids[1], useful=False),
+            Feedback.rating(ids[2], 5),
+            Feedback.distribution(
+                ids[3], {-1.0: 0.4, 0.0: 0.2, 1.0: 0.4}
+            ),
+        ]
+    )
+    print(f"\nfeedback -> {session.preference_summary()}")
+
+    second = session.propose(dataset.default_start)
+    show_round(second, "(after feedback)")
+    if ids[1] not in second.plan.item_ids:
+        print(f"note: rejected course {ids[1]} is gone.")
+    if ids[2] in second.plan.item_ids:
+        print(f"note: endorsed course {ids[2]} was kept.")
+
+    # One more round of pushback: now the student also drops the
+    # previously-uncertain course.
+    session.give_feedback([Feedback.rating(ids[3], 1)])
+    third = session.propose(dataset.default_start)
+    show_round(third, "(after second feedback)")
+    print(f"\nfinal preferences: {session.preference_summary()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Train once, serve forever: persisting and reusing a learned policy.
+
+The deployment pattern the paper motivates ("can therefore make
+interactive recommendations"): learning runs offline, the Q-table is
+saved as JSON, and a serving process answers per-student requests in
+milliseconds from the stored policy — including requests with
+different starting courses, without retraining.
+
+Run:  python examples/policy_persistence.py
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro import RLPlanner
+from repro.datasets import load_univ1_dsct
+
+
+def main() -> None:
+    dataset = load_univ1_dsct(seed=0, with_gold=False)
+
+    # ------------------------------------------------------------------
+    # Offline: train and save.
+    # ------------------------------------------------------------------
+    trainer = RLPlanner(
+        dataset.catalog, dataset.task, dataset.default_config,
+        mode=dataset.mode,
+    )
+    t0 = time.perf_counter()
+    trainer.fit(start_item_ids=[dataset.default_start])
+    train_seconds = time.perf_counter() - t0
+
+    with tempfile.TemporaryDirectory() as tmp:
+        policy_path = Path(tmp) / "dsct_policy.json"
+        trainer.save_policy(policy_path)
+        size_kb = policy_path.stat().st_size / 1024
+        print(f"trained in {train_seconds:.2f}s, policy saved "
+              f"({size_kb:.1f} KiB)")
+
+        # --------------------------------------------------------------
+        # Online: a fresh process loads the policy and serves requests.
+        # --------------------------------------------------------------
+        server = RLPlanner(
+            dataset.catalog, dataset.task, dataset.default_config,
+            mode=dataset.mode,
+        )
+        server.load_policy(policy_path)
+
+        starts = [
+            item.item_id
+            for item in dataset.catalog.primaries()
+            if item.prerequisites.is_empty
+        ][:4]
+        print(f"\nserving {len(starts)} students "
+              f"(different starting courses):")
+        for start in starts:
+            t0 = time.perf_counter()
+            plan, score = server.recommend_scored(start)
+            millis = (time.perf_counter() - t0) * 1000
+            print(f"  start {start:<10} score {score.value:>5.2f}  "
+                  f"valid={score.is_valid}  {millis:6.1f} ms")
+
+        best_plan, best_score = server.recommend_best(starts)
+        print(f"\nbest plan over all starts "
+              f"(score {best_score.value:.2f}):")
+        print(f"  {best_plan.describe()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""repro — reproduction of "Guided Task Planning Under Complex Constraints"
+(Nikookar et al., ICDE 2022).
+
+The package implements the Task Planning Problem (TPP) as a Constrained
+MDP and solves it with the weighted-SARSA **RL-Planner**, along with the
+paper's baselines (OMEGA, EDA), its two application domains (course
+planning and trip planning) backed by synthetic dataset generators, a
+simulated user study, and the full experiment harness that regenerates
+every table and figure of the evaluation section.
+
+Quickstart::
+
+    from repro import RLPlanner, PlannerConfig
+    from repro.datasets import load_univ1_dsct
+
+    ds = load_univ1_dsct(seed=7)
+    planner = RLPlanner(ds.catalog, ds.task, PlannerConfig.univ1_default())
+    planner.fit()
+    plan, score = planner.recommend_scored(ds.default_start)
+"""
+
+from .core import (
+    ActionSelection,
+    Catalog,
+    DomainMode,
+    GreedyPolicy,
+    HardConstraints,
+    InterleavingTemplate,
+    Item,
+    ItemType,
+    Plan,
+    PlanBuilder,
+    PlanScore,
+    PlanScorer,
+    PlanValidator,
+    PlannerConfig,
+    Prerequisites,
+    QTable,
+    ReproError,
+    RewardFunction,
+    RewardWeights,
+    RLPlanner,
+    SarsaLearner,
+    SimilarityMode,
+    SoftConstraints,
+    TaskSpec,
+    TPPEnvironment,
+    transfer_policy,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ActionSelection",
+    "Catalog",
+    "DomainMode",
+    "GreedyPolicy",
+    "HardConstraints",
+    "InterleavingTemplate",
+    "Item",
+    "ItemType",
+    "Plan",
+    "PlanBuilder",
+    "PlanScore",
+    "PlanScorer",
+    "PlanValidator",
+    "PlannerConfig",
+    "Prerequisites",
+    "QTable",
+    "ReproError",
+    "RewardFunction",
+    "RewardWeights",
+    "RLPlanner",
+    "SarsaLearner",
+    "SimilarityMode",
+    "SoftConstraints",
+    "TPPEnvironment",
+    "TaskSpec",
+    "transfer_policy",
+    "__version__",
+]

@@ -1,0 +1,93 @@
+"""Experiment harness: comparison, user study, transfer, sweeps, timing."""
+
+from .convergence import (
+    ConvergenceSummary,
+    detect_convergence,
+    moving_average,
+    render_learning_curve,
+    summarize_learning,
+)
+from .diagnostics import Diagnosis, Finding, diagnose, suggest_relaxations
+from .explain import PlanExplanation, StepExplanation, explain_plan
+from .experiments import (
+    ComparisonResult,
+    TransferOutcome,
+    UserStudyResult,
+    compare_planners,
+    run_transfer,
+    run_user_study,
+)
+from .report import build_report
+from .robustness import (
+    COVERAGE_GRID,
+    DELTA_BETA_GRID,
+    DISCOUNT_GRID,
+    EPISODE_GRID,
+    LEARNING_RATE_GRID,
+    SweepPoint,
+    SweepResult,
+    SweepRunner,
+    TRIP_DISTANCE_GRID,
+    TRIP_TIME_GRID,
+    TYPE_WEIGHT_GRID,
+)
+from .scalability import (
+    ScalabilityResult,
+    TimingPoint,
+    measure_scalability,
+)
+from .stats import (
+    Summary,
+    linear_fit,
+    mean_confidence_interval,
+    pearson_r,
+    summarize,
+)
+from .tables import format_value, render_sweep, render_table
+from .theorem1 import Theorem1Result, verify_theorem1
+
+__all__ = [
+    "COVERAGE_GRID",
+    "ComparisonResult",
+    "ConvergenceSummary",
+    "Diagnosis",
+    "Finding",
+    "PlanExplanation",
+    "StepExplanation",
+    "DELTA_BETA_GRID",
+    "DISCOUNT_GRID",
+    "EPISODE_GRID",
+    "LEARNING_RATE_GRID",
+    "ScalabilityResult",
+    "Summary",
+    "SweepPoint",
+    "SweepResult",
+    "SweepRunner",
+    "TRIP_DISTANCE_GRID",
+    "TRIP_TIME_GRID",
+    "TYPE_WEIGHT_GRID",
+    "Theorem1Result",
+    "TimingPoint",
+    "TransferOutcome",
+    "build_report",
+    "UserStudyResult",
+    "compare_planners",
+    "detect_convergence",
+    "diagnose",
+    "explain_plan",
+    "format_value",
+    "linear_fit",
+    "mean_confidence_interval",
+    "measure_scalability",
+    "moving_average",
+    "pearson_r",
+    "render_learning_curve",
+    "render_sweep",
+    "render_table",
+    "run_transfer",
+    "run_user_study",
+    "summarize",
+    "suggest_relaxations",
+    "summarize_learning",
+    "verify_theorem1",
+]

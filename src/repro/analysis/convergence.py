@@ -1,0 +1,129 @@
+"""Learning-curve analysis: convergence of the SARSA policy.
+
+The paper asserts SARSA "is known to converge faster and with fewer
+errors"; these helpers make convergence measurable on our runs: a
+smoothed episode-reward curve, a plateau detector, and a compact
+convergence summary used by tests and the notebook-style examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core.sarsa import LearningResult
+
+
+def moving_average(values: Sequence[float], window: int) -> List[float]:
+    """Simple trailing moving average (window clamped to the prefix).
+
+    Output has the same length as the input; entry i averages the last
+    ``min(i+1, window)`` values.
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    out: List[float] = []
+    acc = 0.0
+    for i, value in enumerate(values):
+        acc += value
+        if i >= window:
+            acc -= values[i - window]
+        out.append(acc / min(i + 1, window))
+    return out
+
+
+@dataclass(frozen=True)
+class ConvergenceSummary:
+    """Where and how the learning curve settled."""
+
+    episodes: int
+    final_level: float
+    peak_level: float
+    converged_at: Optional[int]
+    improved_fraction: float
+
+    @property
+    def converged(self) -> bool:
+        """True when a plateau was detected before the final episode."""
+        return self.converged_at is not None
+
+
+def detect_convergence(
+    rewards: Sequence[float],
+    window: int = 20,
+    tolerance: float = 0.05,
+) -> ConvergenceSummary:
+    """Detect the episode where the smoothed curve plateaus.
+
+    The curve is considered converged at episode ``i`` when every later
+    smoothed value stays within ``tolerance`` (relative) of the
+    smoothed value at ``i``.  Returns the earliest such episode.
+    """
+    n = len(rewards)
+    if n == 0:
+        return ConvergenceSummary(0, 0.0, 0.0, None, 0.0)
+    smooth = moving_average(rewards, window)
+    final = smooth[-1]
+    peak = max(smooth)
+    scale = max(abs(peak), 1e-9)
+
+    converged_at: Optional[int] = None
+    for i in range(n):
+        level = smooth[i]
+        if all(
+            abs(later - level) <= tolerance * scale
+            for later in smooth[i:]
+        ):
+            converged_at = i
+            break
+    if converged_at is not None and converged_at >= n - 1:
+        converged_at = None  # plateau only at the very end = not settled
+
+    first = smooth[0]
+    improved = (final - first) / scale if n > 1 else 0.0
+    return ConvergenceSummary(
+        episodes=n,
+        final_level=final,
+        peak_level=peak,
+        converged_at=converged_at,
+        improved_fraction=improved,
+    )
+
+
+def summarize_learning(
+    result: LearningResult, window: int = 20, tolerance: float = 0.05
+) -> ConvergenceSummary:
+    """Convergence summary of a :class:`LearningResult`'s reward trace."""
+    return detect_convergence(
+        result.reward_trace(), window=window, tolerance=tolerance
+    )
+
+
+def render_learning_curve(
+    rewards: Sequence[float],
+    width: int = 60,
+    height: int = 10,
+    window: int = 10,
+) -> str:
+    """Tiny ASCII sparkline of the smoothed learning curve."""
+    if not rewards:
+        return "(empty learning curve)"
+    smooth = moving_average(rewards, window)
+    lo, hi = min(smooth), max(smooth)
+    span = hi - lo if hi > lo else 1.0
+    # Downsample to `width` columns.
+    columns: List[float] = []
+    for c in range(min(width, len(smooth))):
+        start = c * len(smooth) // min(width, len(smooth))
+        end = (c + 1) * len(smooth) // min(width, len(smooth))
+        chunk = smooth[start:max(end, start + 1)]
+        columns.append(sum(chunk) / len(chunk))
+    rows: List[str] = []
+    for r in range(height, 0, -1):
+        threshold = lo + span * (r - 0.5) / height
+        rows.append(
+            "".join("#" if v >= threshold else " " for v in columns)
+        )
+    rows.append("-" * len(columns))
+    rows.append(f"episodes 1..{len(rewards)}  reward {lo:.2f}..{hi:.2f}")
+    return "\n".join(rows)

@@ -1,0 +1,196 @@
+"""High-level experiment runners shared by the benchmark suite.
+
+Each runner reproduces one experimental protocol of Section IV:
+
+* :func:`compare_planners` — Figure 1's bar groups (RL-Planner vs OMEGA
+  vs EDA vs gold, averaged over runs).
+* :func:`run_user_study` — Table IV's four-question panel ratings.
+* :func:`run_transfer` — the Section IV-D transfer-learning case study.
+
+Sweep (Tables IX–XVI) and timing (Figure 2) protocols live in
+:mod:`repro.analysis.robustness` and :mod:`repro.analysis.scalability`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..baselines import EDAPlanner, OmegaPlanner
+from ..core.planner import RLPlanner
+from ..core.plan import Plan
+from ..core.scoring import PlanScore
+from ..datasets import Dataset
+from ..userstudy import SimulatedStudy
+from .stats import Summary, summarize
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Figure-1 numbers for one dataset."""
+
+    dataset: str
+    rl_planner: Summary
+    eda: Summary
+    omega: Summary
+    gold: float
+    rl_validity: float
+
+    def as_rows(self) -> List[Tuple[str, float]]:
+        """(system, mean score) rows in the paper's bar order."""
+        return [
+            ("RL-Planner", self.rl_planner.mean),
+            ("OMEGA", self.omega.mean),
+            ("EDA", self.eda.mean),
+            ("Gold Standard", self.gold),
+        ]
+
+
+def compare_planners(
+    dataset: Dataset,
+    runs: int = 10,
+    episodes: Optional[int] = None,
+) -> ComparisonResult:
+    """Average scores of RL-Planner, EDA, OMEGA, and gold over ``runs``.
+
+    Each run re-seeds the planners (the paper presents averages over 10
+    runs); the dataset itself is fixed so all systems see the same
+    catalog and task.
+    """
+    rl_scores: List[float] = []
+    eda_scores: List[float] = []
+    omega_scores: List[float] = []
+    valid = 0
+
+    for run in range(runs):
+        config = dataset.default_config.replace(seed=run)
+        planner = RLPlanner(
+            dataset.catalog, dataset.task, config, mode=dataset.mode
+        )
+        planner.fit(
+            start_item_ids=[dataset.default_start], episodes=episodes
+        )
+        _, score = planner.recommend_scored(dataset.default_start)
+        rl_scores.append(score.value)
+        valid += score.is_valid
+
+        eda = EDAPlanner(
+            dataset.catalog, dataset.task, config, mode=dataset.mode,
+            seed=run,
+        )
+        eda_scores.append(
+            planner.score(eda.recommend(dataset.default_start)).value
+        )
+
+        omega = OmegaPlanner(
+            dataset.catalog,
+            dataset.task,
+            mode=dataset.mode,
+            histories=dataset.itineraries or None,
+            seed=run,
+        )
+        omega_scores.append(
+            planner.score(omega.recommend(dataset.default_start)).value
+        )
+
+    gold = 0.0
+    if dataset.gold_plan is not None:
+        scorer = RLPlanner(
+            dataset.catalog, dataset.task, dataset.default_config,
+            mode=dataset.mode,
+        ).scorer
+        gold = scorer.score(dataset.gold_plan).value
+
+    return ComparisonResult(
+        dataset=dataset.key,
+        rl_planner=summarize(rl_scores),
+        eda=summarize(eda_scores),
+        omega=summarize(omega_scores),
+        gold=gold,
+        rl_validity=valid / runs,
+    )
+
+
+@dataclass(frozen=True)
+class UserStudyResult:
+    """Table-IV numbers for one domain."""
+
+    dataset: str
+    ratings: Dict[str, Dict[str, float]]
+
+    def rl_mean(self, question: str) -> float:
+        """Panel mean for RL-Planner on one question."""
+        return self.ratings[question]["rl_planner"]
+
+    def gold_mean(self, question: str) -> float:
+        """Panel mean for the gold standard on one question."""
+        return self.ratings[question]["gold"]
+
+
+def run_user_study(
+    dataset: Dataset,
+    num_raters: int = 25,
+    seed: int = 0,
+    episodes: Optional[int] = None,
+) -> UserStudyResult:
+    """Simulate the Table IV protocol on one dataset."""
+    config = dataset.default_config.replace(seed=seed)
+    planner = RLPlanner(
+        dataset.catalog, dataset.task, config, mode=dataset.mode
+    )
+    planner.fit(start_item_ids=[dataset.default_start], episodes=episodes)
+    rl_plan = planner.recommend(dataset.default_start)
+    gold_plan = dataset.gold_plan
+    if gold_plan is None:
+        raise ValueError(
+            f"dataset {dataset.key!r} was loaded without a gold plan"
+        )
+    study = SimulatedStudy(
+        dataset.task, mode=dataset.mode, num_raters=num_raters, seed=seed
+    )
+    return UserStudyResult(
+        dataset=dataset.key, ratings=study.compare(rl_plan, gold_plan)
+    )
+
+
+@dataclass(frozen=True)
+class TransferOutcome:
+    """One direction of a Section IV-D transfer case study."""
+
+    source: str
+    target: str
+    plan: Plan
+    score: PlanScore
+    entry_coverage: float
+
+    @property
+    def is_good(self) -> bool:
+        """The paper's "good" sequences meet all hard constraints."""
+        return self.score.is_valid
+
+
+def run_transfer(
+    source: Dataset,
+    target: Dataset,
+    strategy: str = "auto",
+    seed: int = 0,
+    episodes: Optional[int] = None,
+) -> TransferOutcome:
+    """Learn on ``source``, apply (without retraining) to ``target``."""
+    config = source.default_config.replace(seed=seed)
+    planner = RLPlanner(
+        source.catalog, source.task, config, mode=source.mode
+    )
+    planner.fit(start_item_ids=[source.default_start], episodes=episodes)
+    target_config = target.default_config.replace(seed=seed)
+    transferred, result = planner.transfer_to(
+        target.catalog, target.task, strategy=strategy, config=target_config
+    )
+    plan, score = transferred.recommend_scored(target.default_start)
+    return TransferOutcome(
+        source=source.key,
+        target=target.key,
+        plan=plan,
+        score=score,
+        entry_coverage=result.report.entry_coverage,
+    )

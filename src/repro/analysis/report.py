@@ -1,0 +1,146 @@
+"""One-shot reproduction report.
+
+``build_report`` runs a compact version of the paper's headline
+experiments (Figure 1 comparison, a user-study round, the two transfer
+case studies, and a scalability probe) and renders everything as one
+text document — the artifact behind ``rl-planner report``.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import List, Optional, Sequence
+
+from ..datasets import load
+from ..userstudy import Question
+from .experiments import compare_planners, run_transfer, run_user_study
+from .scalability import measure_scalability
+from .tables import render_table
+
+
+def build_report(
+    dataset_keys: Sequence[str] = ("njit_dsct", "nyc"),
+    runs: int = 3,
+    episodes: Optional[int] = 300,
+    include_transfer: bool = True,
+    include_user_study: bool = True,
+    include_scalability: bool = True,
+) -> str:
+    """Run the headline experiments and render a text report."""
+    out = io.StringIO()
+    out.write("RL-Planner reproduction report\n")
+    out.write("=" * 31 + "\n")
+
+    # ------------------------------------------------------------------
+    # Figure 1: planner comparison
+    # ------------------------------------------------------------------
+    rows: List[List[object]] = []
+    for key in dataset_keys:
+        dataset = load(key, seed=0)
+        result = compare_planners(dataset, runs=runs, episodes=episodes)
+        rows.append(
+            [
+                key,
+                result.rl_planner.mean,
+                result.eda.mean,
+                result.omega.mean,
+                result.gold,
+                f"{result.rl_validity:.0%}",
+            ]
+        )
+    out.write("\n")
+    out.write(
+        render_table(
+            ["dataset", "RL-Planner", "EDA", "OMEGA", "Gold",
+             "validity"],
+            rows,
+            title=f"Planner comparison (Figure 1, {runs} runs)",
+        )
+    )
+    out.write("\n")
+
+    # ------------------------------------------------------------------
+    # Table IV: user study
+    # ------------------------------------------------------------------
+    if include_user_study:
+        study = run_user_study(
+            load(dataset_keys[0], seed=0), num_raters=25, seed=0,
+            episodes=episodes,
+        )
+        study_rows = [
+            [q.value, study.rl_mean(q.value), study.gold_mean(q.value)]
+            for q in Question
+        ]
+        out.write("\n")
+        out.write(
+            render_table(
+                ["question", "RL-Planner", "Gold"],
+                study_rows,
+                title=f"Simulated user study (Table IV protocol, "
+                      f"{dataset_keys[0]})",
+            )
+        )
+        out.write("\n")
+
+    # ------------------------------------------------------------------
+    # Section IV-D: transfer
+    # ------------------------------------------------------------------
+    if include_transfer:
+        transfer_rows = []
+        for source_key, target_key, strategy in (
+            ("njit_dsct", "njit_cs", "id"),
+            ("nyc", "paris", "theme"),
+        ):
+            outcome = run_transfer(
+                load(source_key, seed=0, with_gold=False),
+                load(target_key, seed=0, with_gold=False),
+                strategy=strategy,
+                seed=0,
+                episodes=episodes,
+            )
+            transfer_rows.append(
+                [
+                    f"{source_key} -> {target_key}",
+                    strategy,
+                    outcome.score.value,
+                    "good" if outcome.is_good else "bad",
+                    f"{outcome.entry_coverage:.0%}",
+                ]
+            )
+        out.write("\n")
+        out.write(
+            render_table(
+                ["direction", "mapping", "score", "outcome",
+                 "Q coverage"],
+                transfer_rows,
+                title="Transfer learning (Tables V / VII protocol)",
+            )
+        )
+        out.write("\n")
+
+    # ------------------------------------------------------------------
+    # Figure 2: scalability probe
+    # ------------------------------------------------------------------
+    if include_scalability:
+        result = measure_scalability(
+            load(dataset_keys[0], seed=0, with_gold=False),
+            episode_grid=(100, 300, 500),
+        )
+        timing_rows = [
+            [p.episodes, p.learn_seconds, p.recommend_seconds * 1000]
+            for p in result.points
+        ]
+        out.write("\n")
+        out.write(
+            render_table(
+                ["episodes", "learn (s)", "recommend (ms)"],
+                timing_rows,
+                title=f"Scalability probe (Figure 2, "
+                      f"{dataset_keys[0]}); learning linearity r = "
+                      f"{result.learning_linearity():.3f}",
+                precision=3,
+            )
+        )
+        out.write("\n")
+
+    return out.getvalue()

@@ -1,0 +1,346 @@
+"""One-at-a-time parameter sweeps (Tables IX–XVI).
+
+The paper varies one parameter while holding the rest at Table III
+defaults and reports the recommendation score per value, for RL-Planner
+under both similarity aggregations and (where applicable) for EDA.
+:class:`SweepRunner` reproduces that protocol for any dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..baselines import EDAPlanner
+from ..core.config import PlannerConfig, RewardWeights
+from ..core.planner import RLPlanner
+from ..core.similarity import SimilarityMode
+from ..datasets import Dataset
+from ..domains.trips import build_trip_task
+from .stats import summarize
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Scores at one parameter value."""
+
+    parameter: str
+    value: object
+    rl_avg_sim: float
+    rl_min_sim: float
+    eda: Optional[float]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A full one-parameter sweep (one block of a robustness table)."""
+
+    dataset: str
+    parameter: str
+    points: Tuple[SweepPoint, ...]
+
+    def best(self, which: str = "rl_avg_sim") -> SweepPoint:
+        """The point with the highest score for the given series."""
+        return max(self.points, key=lambda p: getattr(p, which))
+
+    def series(self, which: str = "rl_avg_sim") -> List[float]:
+        """One score series across the sweep values."""
+        return [getattr(p, which) for p in self.points]
+
+
+# Sweep grids straight from Tables IX–XVI.
+EPISODE_GRID: Tuple[int, ...] = (100, 200, 300, 500, 1000)
+LEARNING_RATE_GRID: Tuple[float, ...] = (0.5, 0.6, 0.75, 0.8, 0.95)
+DISCOUNT_GRID: Tuple[float, ...] = (0.5, 0.6, 0.9, 0.95, 0.99)
+COVERAGE_GRID: Tuple[float, ...] = (0.0025, 0.005, 0.01, 0.0175, 0.02)
+TYPE_WEIGHT_GRID: Tuple[Tuple[float, float], ...] = (
+    (0.4, 0.6), (0.8, 0.2), (0.5, 0.5), (0.6, 0.4), (0.65, 0.35),
+)
+DELTA_BETA_GRID: Tuple[Tuple[float, float], ...] = (
+    (0.4, 0.6), (0.45, 0.55), (0.5, 0.5), (0.55, 0.45), (0.6, 0.4),
+)
+TRIP_DISTANCE_GRID: Tuple[float, ...] = (4.0, 5.0)
+TRIP_TIME_GRID: Tuple[float, ...] = (5.0, 6.0, 8.0)
+
+
+class SweepRunner:
+    """Run the paper's robustness protocol on one dataset.
+
+    Parameters
+    ----------
+    dataset:
+        The TPP instance (with Table III defaults attached).
+    runs:
+        Averaging runs per sweep point (the paper uses 10; benches use
+        a smaller number to keep wall-clock sane — spread is tiny).
+    episodes:
+        Optional override of N for every point *except* the N sweep.
+    """
+
+    def __init__(
+        self, dataset: Dataset, runs: int = 3, episodes: Optional[int] = None
+    ) -> None:
+        self.dataset = dataset
+        self.runs = runs
+        self.episodes = episodes
+
+    # ------------------------------------------------------------------
+    # Scoring one configuration
+    # ------------------------------------------------------------------
+
+    def score_config(
+        self,
+        config: PlannerConfig,
+        task=None,
+        episodes: Optional[int] = None,
+    ) -> float:
+        """Mean RL-Planner score over ``runs`` for one configuration."""
+        task = task if task is not None else self.dataset.task
+        scores = []
+        for run in range(self.runs):
+            planner = RLPlanner(
+                self.dataset.catalog,
+                task,
+                config.replace(seed=run),
+                mode=self.dataset.mode,
+            )
+            planner.fit(
+                start_item_ids=[self.dataset.default_start],
+                episodes=episodes if episodes is not None else self.episodes,
+            )
+            _, score = planner.recommend_scored(self.dataset.default_start)
+            scores.append(score.value)
+        return summarize(scores).mean
+
+    def score_eda(self, config: PlannerConfig, task=None) -> float:
+        """Mean EDA score over ``runs`` for one configuration."""
+        task = task if task is not None else self.dataset.task
+        scorer = RLPlanner(
+            self.dataset.catalog, task, config, mode=self.dataset.mode
+        ).scorer
+        scores = []
+        for run in range(self.runs):
+            eda = EDAPlanner(
+                self.dataset.catalog,
+                task,
+                config.replace(seed=run),
+                mode=self.dataset.mode,
+                seed=run,
+            )
+            plan = eda.recommend(self.dataset.default_start)
+            scores.append(scorer.score(plan).value)
+        return summarize(scores).mean
+
+    # ------------------------------------------------------------------
+    # Generic sweep machinery
+    # ------------------------------------------------------------------
+
+    def _sweep(
+        self,
+        parameter: str,
+        values: Sequence[object],
+        make_config: Callable[[PlannerConfig, object], PlannerConfig],
+        eda_sensitive: bool,
+        episodes_from_value: bool = False,
+    ) -> SweepResult:
+        base = self.dataset.default_config
+        points: List[SweepPoint] = []
+        for value in values:
+            episodes = int(value) if episodes_from_value else None
+            avg_cfg = make_config(base, value).replace(
+                similarity=SimilarityMode.AVERAGE
+            )
+            min_cfg = make_config(base, value).replace(
+                similarity=SimilarityMode.MINIMUM
+            )
+            eda_score = None
+            if eda_sensitive:
+                eda_score = self.score_eda(make_config(base, value))
+            points.append(
+                SweepPoint(
+                    parameter=parameter,
+                    value=value,
+                    rl_avg_sim=self.score_config(avg_cfg, episodes=episodes),
+                    rl_min_sim=self.score_config(min_cfg, episodes=episodes),
+                    eda=eda_score,
+                )
+            )
+        return SweepResult(
+            dataset=self.dataset.key,
+            parameter=parameter,
+            points=tuple(points),
+        )
+
+    # ------------------------------------------------------------------
+    # The paper's sweeps
+    # ------------------------------------------------------------------
+
+    def sweep_episodes(
+        self, values: Sequence[int] = EPISODE_GRID
+    ) -> SweepResult:
+        """Vary N (EDA is model-free: not applicable)."""
+        return self._sweep(
+            "episodes", values, lambda c, v: c, eda_sensitive=False,
+            episodes_from_value=True,
+        )
+
+    def sweep_learning_rate(
+        self, values: Sequence[float] = LEARNING_RATE_GRID
+    ) -> SweepResult:
+        """Vary alpha."""
+        return self._sweep(
+            "learning_rate",
+            values,
+            lambda c, v: c.replace(learning_rate=float(v)),
+            eda_sensitive=False,
+        )
+
+    def sweep_discount(
+        self, values: Sequence[float] = DISCOUNT_GRID
+    ) -> SweepResult:
+        """Vary gamma."""
+        return self._sweep(
+            "discount",
+            values,
+            lambda c, v: c.replace(discount=float(v)),
+            eda_sensitive=False,
+        )
+
+    def sweep_coverage_threshold(
+        self, values: Sequence[float] = COVERAGE_GRID
+    ) -> SweepResult:
+        """Vary epsilon (EDA shares the reward, so it is swept too)."""
+        return self._sweep(
+            "coverage_threshold",
+            values,
+            lambda c, v: c.replace(coverage_threshold=float(v)),
+            eda_sensitive=True,
+        )
+
+    def sweep_type_weights(
+        self, values: Sequence[Tuple[float, float]] = TYPE_WEIGHT_GRID
+    ) -> SweepResult:
+        """Vary (w1, w2)."""
+        def make(config: PlannerConfig, value) -> PlannerConfig:
+            w1, w2 = value
+            weights = RewardWeights(
+                delta=config.weights.delta,
+                beta=config.weights.beta,
+                w_primary=w1,
+                w_secondary=w2,
+            )
+            return config.replace(weights=weights)
+
+        return self._sweep("w1_w2", values, make, eda_sensitive=True)
+
+    def sweep_delta_beta(
+        self, values: Sequence[Tuple[float, float]] = DELTA_BETA_GRID
+    ) -> SweepResult:
+        """Vary (delta, beta)."""
+        def make(config: PlannerConfig, value) -> PlannerConfig:
+            delta, beta = value
+            weights = RewardWeights(
+                delta=delta,
+                beta=beta,
+                w_primary=config.weights.w_primary,
+                w_secondary=config.weights.w_secondary,
+                category_weights=config.weights.category_weights,
+            )
+            return config.replace(weights=weights)
+
+        return self._sweep("delta_beta", values, make, eda_sensitive=True)
+
+    def sweep_starting_points(
+        self, values: Sequence[str]
+    ) -> SweepResult:
+        """Vary s1 (the recommendation starting item)."""
+        base = self.dataset.default_config
+        points: List[SweepPoint] = []
+        for start in values:
+            avg_scores, min_scores = [], []
+            for run in range(self.runs):
+                for mode_scores, sim in (
+                    (avg_scores, SimilarityMode.AVERAGE),
+                    (min_scores, SimilarityMode.MINIMUM),
+                ):
+                    planner = RLPlanner(
+                        self.dataset.catalog,
+                        self.dataset.task,
+                        base.replace(seed=run, similarity=sim),
+                        mode=self.dataset.mode,
+                    )
+                    planner.fit(
+                        start_item_ids=[start], episodes=self.episodes
+                    )
+                    _, score = planner.recommend_scored(start)
+                    mode_scores.append(score.value)
+            points.append(
+                SweepPoint(
+                    parameter="start",
+                    value=start,
+                    rl_avg_sim=summarize(avg_scores).mean,
+                    rl_min_sim=summarize(min_scores).mean,
+                    eda=None,
+                )
+            )
+        return SweepResult(
+            dataset=self.dataset.key, parameter="start", points=tuple(points)
+        )
+
+    # Trip-only sweeps -------------------------------------------------
+
+    def sweep_trip_distance(
+        self, values: Sequence[float] = TRIP_DISTANCE_GRID
+    ) -> SweepResult:
+        """Vary the distance threshold d (trips only)."""
+        return self._sweep_trip_task(
+            "distance_threshold",
+            values,
+            lambda spec, catalog, v: build_trip_task(
+                spec, catalog, distance_threshold=float(v)
+            ),
+        )
+
+    def sweep_trip_time(
+        self, values: Sequence[float] = TRIP_TIME_GRID
+    ) -> SweepResult:
+        """Vary the time threshold t (trips only)."""
+        return self._sweep_trip_task(
+            "time_threshold",
+            values,
+            lambda spec, catalog, v: build_trip_task(
+                spec, catalog, time_budget=float(v)
+            ),
+        )
+
+    def _sweep_trip_task(
+        self, parameter: str, values: Sequence[float], make_task
+    ) -> SweepResult:
+        from ..domains.trips import CITIES
+
+        spec = CITIES[self.dataset.key]
+        base = self.dataset.default_config
+        points: List[SweepPoint] = []
+        for value in values:
+            task = make_task(spec, self.dataset.catalog, value)
+            avg = self.score_config(
+                base.replace(similarity=SimilarityMode.AVERAGE), task=task
+            )
+            mn = self.score_config(
+                base.replace(similarity=SimilarityMode.MINIMUM), task=task
+            )
+            eda = self.score_eda(base, task=task)
+            points.append(
+                SweepPoint(
+                    parameter=parameter,
+                    value=value,
+                    rl_avg_sim=avg,
+                    rl_min_sim=mn,
+                    eda=eda,
+                )
+            )
+        return SweepResult(
+            dataset=self.dataset.key,
+            parameter=parameter,
+            points=tuple(points),
+        )

@@ -1,0 +1,97 @@
+"""Scalability measurements (Figure 2).
+
+Figure 2 plots (a)(c) policy-learning time vs the number of episodes —
+expected to grow linearly — and (b)(d) the time to recommend a plan from
+the learned policy — expected to stay interactive (well under a second)
+regardless of how long training ran.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..core.planner import RLPlanner
+from ..datasets import Dataset
+from .stats import linear_fit, pearson_r
+
+
+@dataclass(frozen=True)
+class TimingPoint:
+    """Wall-clock measurements at one episode count."""
+
+    episodes: int
+    learn_seconds: float
+    recommend_seconds: float
+
+
+@dataclass(frozen=True)
+class ScalabilityResult:
+    """The Figure-2 series for one dataset."""
+
+    dataset: str
+    points: Tuple[TimingPoint, ...]
+
+    def learn_series(self) -> Tuple[List[int], List[float]]:
+        """(episodes, learn time) pairs — Fig. 2(a)(c)."""
+        return (
+            [p.episodes for p in self.points],
+            [p.learn_seconds for p in self.points],
+        )
+
+    def recommend_series(self) -> Tuple[List[int], List[float]]:
+        """(episodes, recommendation time) pairs — Fig. 2(b)(d)."""
+        return (
+            [p.episodes for p in self.points],
+            [p.recommend_seconds for p in self.points],
+        )
+
+    def learning_linearity(self) -> float:
+        """Pearson r of learn time vs episodes (paper: linear growth)."""
+        xs, ys = self.learn_series()
+        return pearson_r([float(x) for x in xs], ys)
+
+    def learning_slope(self) -> float:
+        """Seconds per extra episode from a least-squares fit."""
+        xs, ys = self.learn_series()
+        slope, _ = linear_fit([float(x) for x in xs], ys)
+        return slope
+
+    def max_recommend_seconds(self) -> float:
+        """Worst-case recommendation latency (interactivity claim)."""
+        return max(p.recommend_seconds for p in self.points)
+
+
+def measure_scalability(
+    dataset: Dataset,
+    episode_grid: Sequence[int] = (100, 200, 300, 500, 1000),
+    seed: int = 0,
+    recommend_repeats: int = 5,
+) -> ScalabilityResult:
+    """Time learning and recommendation across an episode grid."""
+    points: List[TimingPoint] = []
+    for episodes in episode_grid:
+        config = dataset.default_config.replace(seed=seed)
+        planner = RLPlanner(
+            dataset.catalog, dataset.task, config, mode=dataset.mode
+        )
+        t0 = time.perf_counter()
+        planner.fit(
+            start_item_ids=[dataset.default_start], episodes=episodes
+        )
+        learn_seconds = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        for _ in range(recommend_repeats):
+            planner.recommend(dataset.default_start)
+        recommend_seconds = (time.perf_counter() - t0) / recommend_repeats
+
+        points.append(
+            TimingPoint(
+                episodes=int(episodes),
+                learn_seconds=learn_seconds,
+                recommend_seconds=recommend_seconds,
+            )
+        )
+    return ScalabilityResult(dataset=dataset.key, points=tuple(points))

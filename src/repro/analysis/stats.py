@@ -1,0 +1,81 @@
+"""Small statistics helpers shared by the experiment harness."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean / spread of a sample of scores."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    n: int
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return f"{self.mean:.2f} ± {self.std:.2f} (n={self.n})"
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Mean, sample std, min, max of a non-empty sample."""
+    n = len(values)
+    if n == 0:
+        return Summary(0.0, 0.0, 0.0, 0.0, 0)
+    mean = sum(values) / n
+    if n > 1:
+        var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    else:
+        var = 0.0
+    return Summary(
+        mean=mean,
+        std=math.sqrt(var),
+        minimum=min(values),
+        maximum=max(values),
+        n=n,
+    )
+
+
+def mean_confidence_interval(
+    values: Sequence[float], z: float = 1.96
+) -> Tuple[float, float]:
+    """Normal-approximation CI of the mean (z=1.96 ~ 95%)."""
+    summary = summarize(values)
+    if summary.n <= 1:
+        return summary.mean, summary.mean
+    half = z * summary.std / math.sqrt(summary.n)
+    return summary.mean - half, summary.mean + half
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float]:
+    """Least-squares slope and intercept (for the Fig. 2 linearity check)."""
+    n = len(xs)
+    if n != len(ys) or n < 2:
+        raise ValueError("need >= 2 paired points")
+    mx = sum(xs) / n
+    my = sum(ys) / n
+    sxx = sum((x - mx) ** 2 for x in xs)
+    if sxx == 0:
+        raise ValueError("degenerate x values")
+    sxy = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    slope = sxy / sxx
+    return slope, my - slope * mx
+
+
+def pearson_r(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation (linearity strength for Fig. 2)."""
+    n = len(xs)
+    if n != len(ys) or n < 2:
+        raise ValueError("need >= 2 paired points")
+    mx = sum(xs) / n
+    my = sum(ys) / n
+    sxx = sum((x - mx) ** 2 for x in xs)
+    syy = sum((y - my) ** 2 for y in ys)
+    if sxx == 0 or syy == 0:
+        return 0.0
+    sxy = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    return sxy / math.sqrt(sxx * syy)

@@ -1,0 +1,71 @@
+"""ASCII table rendering for the benchmark harness.
+
+Benches print the same rows/series the paper's tables report; this
+module keeps the formatting in one place so every bench output looks
+uniform (and diff-able across runs).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def format_value(value: object, precision: int = 2) -> str:
+    """Render one table cell (floats rounded, None as em-dash)."""
+    if value is None:
+        return "—"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    precision: int = 2,
+) -> str:
+    """Monospace table with a header rule, like the paper's tables."""
+    rendered_rows: List[List[str]] = [
+        [format_value(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return " | ".join(
+            cell.ljust(widths[i]) for i, cell in enumerate(cells)
+        )
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def render_sweep(result, precision: int = 2) -> str:
+    """Render a :class:`~repro.analysis.robustness.SweepResult` block."""
+    headers = [result.parameter, "RL (AvgSim)", "RL (MinSim)", "EDA"]
+    rows = [
+        [
+            # %g keeps small sweep values (epsilon = 0.0025) readable
+            # without padding the score columns to 4 decimals.
+            f"{point.value:g}" if isinstance(point.value, float)
+            else point.value,
+            point.rl_avg_sim,
+            point.rl_min_sim,
+            point.eda,
+        ]
+        for point in result.points
+    ]
+    return render_table(
+        headers,
+        rows,
+        title=f"{result.dataset}: sweep over {result.parameter}",
+        precision=precision,
+    )

@@ -1,0 +1,97 @@
+"""Empirical verification of Theorem 1.
+
+Theorem 1 claims the designed reward (plus the "valid action" semantics
+this reproduction implements as masking) satisfies every hard
+constraint of TPP.  The proof in the paper is a sketch; this module
+turns the claim into a measurement: plan over a battery of randomized
+TPP instances and report the hard-constraint satisfaction rate, broken
+down by violation code.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..core.config import PlannerConfig
+from ..core.planner import RLPlanner
+from ..datasets.synthetic import SyntheticSpec, generate_instance
+
+
+@dataclass(frozen=True)
+class Theorem1Result:
+    """Outcome of the empirical Theorem-1 battery."""
+
+    instances: int
+    valid: int
+    violation_counts: Tuple[Tuple[str, int], ...]
+
+    @property
+    def satisfaction_rate(self) -> float:
+        """Fraction of instances whose plan met every hard constraint."""
+        if self.instances == 0:
+            return 0.0
+        return self.valid / self.instances
+
+    def describe(self) -> str:
+        """One-paragraph summary."""
+        rate = f"{self.satisfaction_rate:.0%}"
+        if self.valid == self.instances:
+            return (
+                f"Theorem 1 held empirically on all {self.instances} "
+                f"instances ({rate})."
+            )
+        detail = ", ".join(
+            f"{code}: {count}" for code, count in self.violation_counts
+        )
+        return (
+            f"Theorem 1 held on {self.valid}/{self.instances} "
+            f"instances ({rate}); violations seen: {detail}."
+        )
+
+
+def verify_theorem1(
+    instances: int = 10,
+    episodes: int = 120,
+    base_spec: Optional[SyntheticSpec] = None,
+    seed0: int = 0,
+    mask_invalid_actions: bool = True,
+) -> Theorem1Result:
+    """Plan over ``instances`` random TPP instances; count violations.
+
+    ``mask_invalid_actions=False`` measures the naive reading of the
+    paper (reward-only constraint handling) — the ablation that shows
+    why the masking interpretation is load-bearing.
+    """
+    spec = base_spec if base_spec is not None else SyntheticSpec(
+        num_items=25,
+        num_topics=18,
+        num_primary_items=8,
+        plan_primary=3,
+        plan_secondary=4,
+    )
+    valid = 0
+    violations: Counter = Counter()
+    for i in range(instances):
+        catalog, task = generate_instance(spec, seed=seed0 + i)
+        config = PlannerConfig(
+            episodes=episodes,
+            coverage_threshold=1.0,
+            seed=seed0 + i,
+            mask_invalid_actions=mask_invalid_actions,
+        )
+        planner = RLPlanner(catalog, task, config)
+        start = catalog.primaries()[0].item_id
+        planner.fit(start_item_ids=[start])
+        _, score = planner.recommend_scored(start)
+        if score.is_valid:
+            valid += 1
+        else:
+            for code in score.report.codes():
+                violations[code] += 1
+    return Theorem1Result(
+        instances=instances,
+        valid=valid,
+        violation_counts=tuple(sorted(violations.items())),
+    )

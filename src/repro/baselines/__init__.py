@@ -1,0 +1,29 @@
+"""The paper's automated baselines (OMEGA, EDA) plus reference planners.
+
+* :class:`OmegaPlanner` and :class:`EDAPlanner` — the two baselines of
+  Section IV-A-2.
+* :class:`MarkovPlanner` — a history-mining sequence recommender
+  standing in for the Section V-A family (constraint-blind).
+* :class:`ExactPlanner` — exhaustive branch-and-bound (the slow exact
+  comparator in the spirit of the ILP approach of related work [1]).
+* :class:`RandomPlanner` / :class:`PopularityPlanner` — sanity floors.
+"""
+
+from .base import BaselinePlanner
+from .eda import EDAPlanner
+from .exact import ExactPlanner
+from .markov import MarkovPlanner
+from .omega import OmegaPlanner, cofrequency_matrix, topic_utility_matrix
+from .random_planner import PopularityPlanner, RandomPlanner
+
+__all__ = [
+    "BaselinePlanner",
+    "EDAPlanner",
+    "ExactPlanner",
+    "MarkovPlanner",
+    "OmegaPlanner",
+    "PopularityPlanner",
+    "RandomPlanner",
+    "cofrequency_matrix",
+    "topic_utility_matrix",
+]

@@ -1,0 +1,60 @@
+"""Common interface for the automated baseline planners.
+
+Both baselines of Section IV-A-2 (the adapted *OMEGA* and the greedy
+*EDA*) are model-free: they have no learning phase and produce a plan
+directly from the catalog + task.  The shared :class:`BaselinePlanner`
+interface lets the experiment harness treat RL-Planner and the baselines
+uniformly.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from ..core.catalog import Catalog
+from ..core.constraints import TaskSpec
+from ..core.env import DomainMode
+from ..core.plan import Plan
+
+
+class BaselinePlanner(abc.ABC):
+    """Abstract model-free planner.
+
+    Parameters
+    ----------
+    catalog / task:
+        The TPP instance.
+    mode:
+        Course or trip semantics (trip mode enforces the time budget
+        while the plan is being built).
+    """
+
+    name: str = "baseline"
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        task: TaskSpec,
+        mode: DomainMode = DomainMode.COURSE,
+    ) -> None:
+        self.catalog = catalog
+        self.task = task
+        self.mode = mode
+
+    @abc.abstractmethod
+    def recommend(
+        self, start_item_id: str, horizon: Optional[int] = None
+    ) -> Plan:
+        """Produce a plan starting at ``start_item_id``."""
+
+    def _horizon(self, horizon: Optional[int]) -> int:
+        return (
+            horizon if horizon is not None else self.task.hard.plan_length
+        )
+
+    def _budget_left(self, total_credits: float) -> float:
+        """Remaining trip time budget (infinite for courses)."""
+        if self.mode is DomainMode.TRIP:
+            return self.task.hard.min_credits - total_credits
+        return float("inf")

@@ -1,0 +1,87 @@
+"""The *EDA* baseline (Section IV-A-2, item 2).
+
+The paper adapts the next-step-recommendation paradigm of exploratory
+data analysis into "a greedy method that chooses the action with the
+highest reward based on Equation 2 in each step.  If two actions provide
+the same result, one will be picked at random."
+
+Crucially, EDA is *myopic and unmasked*: it sees the same Eq. 2 reward
+RL-Planner optimizes, but it neither looks ahead (no learned Q) nor
+reasons about the feasibility of completing the hard constraints — which
+is exactly why it trails RL-Planner in Figure 1 and sometimes scores 0
+in the robustness tables.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.catalog import Catalog
+from ..core.config import PlannerConfig
+from ..core.constraints import TaskSpec
+from ..core.env import DomainMode
+from ..core.exceptions import PlanningError
+from ..core.plan import Plan, PlanBuilder
+from ..core.reward import RewardFunction
+from .base import BaselinePlanner
+
+
+class EDAPlanner(BaselinePlanner):
+    """Greedy next-step planner on the Equation-2 reward.
+
+    Parameters
+    ----------
+    config:
+        Supplies the reward's epsilon / weights / similarity mode (the
+        robustness tables sweep these for EDA too).
+    seed:
+        Tie-breaking RNG seed.
+    """
+
+    name = "EDA"
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        task: TaskSpec,
+        config: Optional[PlannerConfig] = None,
+        mode: DomainMode = DomainMode.COURSE,
+        seed: Optional[int] = 0,
+    ) -> None:
+        super().__init__(catalog, task, mode)
+        self.config = config if config is not None else PlannerConfig()
+        self.reward = RewardFunction(task, self.config)
+        self._rng = np.random.default_rng(seed)
+
+    def recommend(
+        self, start_item_id: str, horizon: Optional[int] = None
+    ) -> Plan:
+        """Greedy plan: argmax of immediate Eq. 2 reward at every step."""
+        if start_item_id not in self.catalog:
+            raise PlanningError(
+                f"start item {start_item_id!r} not in catalog"
+            )
+        h = self._horizon(horizon)
+        builder = PlanBuilder(self.catalog)
+        builder.add(self.catalog[start_item_id])
+
+        while len(builder) < h:
+            candidates = [
+                item
+                for item in builder.remaining_items()
+                if item.credits <= self._budget_left(builder.total_credits)
+            ]
+            if not candidates:
+                break
+            rewards = [self.reward(builder, item) for item in candidates]
+            best = max(rewards)
+            winners = [
+                item
+                for item, value in zip(candidates, rewards)
+                if value >= best
+            ]
+            choice = winners[int(self._rng.integers(len(winners)))]
+            builder.add(choice)
+        return builder.build()

@@ -1,0 +1,115 @@
+"""First-order Markov-chain sequence recommender.
+
+Represents the "sequence mining over historical logs" family the paper
+surveys (Section V-A: Caser, SASRec, and co-frequency methods all learn
+*what follows what* from history).  The planner estimates first-order
+transition probabilities from historical sequences (the trip datasets'
+itineraries; for courses any provided logs) and recommends by following
+the most likely next item.
+
+Like OMEGA, it is constraint-blind by construction — the instructive
+failure mode: high-likelihood sequences that flunk P_hard.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.catalog import Catalog
+from ..core.constraints import TaskSpec
+from ..core.env import DomainMode
+from ..core.exceptions import PlanningError
+from ..core.plan import Plan, PlanBuilder
+from .base import BaselinePlanner
+
+
+class MarkovPlanner(BaselinePlanner):
+    """Greedy traversal of first-order transition counts.
+
+    Parameters
+    ----------
+    histories:
+        Historical item sequences to mine.  Items outside the catalog
+        are ignored; an empty/no-overlap history leaves a uniform chain
+        (the planner then degenerates to catalog order).
+    additive_smoothing:
+        Laplace smoothing mass added to every transition.
+    """
+
+    name = "Markov"
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        task: TaskSpec,
+        histories: Sequence[Sequence[str]] = (),
+        mode: DomainMode = DomainMode.COURSE,
+        additive_smoothing: float = 0.1,
+        seed: Optional[int] = 0,
+    ) -> None:
+        super().__init__(catalog, task, mode)
+        self._rng = np.random.default_rng(seed)
+        n = len(catalog)
+        self.transitions = np.full((n, n), additive_smoothing)
+        np.fill_diagonal(self.transitions, 0.0)
+        for history in histories:
+            indices = [
+                catalog.index_of(item_id)
+                for item_id in history
+                if item_id in catalog
+            ]
+            for a, b in zip(indices, indices[1:]):
+                if a != b:
+                    self.transitions[a, b] += 1.0
+
+    def recommend(
+        self, start_item_id: str, horizon: Optional[int] = None
+    ) -> Plan:
+        """Follow the most likely unvisited successor at each step."""
+        if start_item_id not in self.catalog:
+            raise PlanningError(
+                f"start item {start_item_id!r} not in catalog"
+            )
+        h = self._horizon(horizon)
+        builder = PlanBuilder(self.catalog)
+        builder.add(self.catalog[start_item_id])
+        current = self.catalog.index_of(start_item_id)
+
+        while len(builder) < h:
+            candidates = [
+                item
+                for item in builder.remaining_items()
+                if item.credits <= self._budget_left(builder.total_credits)
+            ]
+            if not candidates:
+                break
+            weights = np.array(
+                [
+                    self.transitions[
+                        current, self.catalog.index_of(item.item_id)
+                    ]
+                    for item in candidates
+                ]
+            )
+            best = weights.max()
+            winners = [
+                item
+                for item, weight in zip(candidates, weights)
+                if weight >= best
+            ]
+            choice = winners[int(self._rng.integers(len(winners)))]
+            builder.add(choice)
+            current = self.catalog.index_of(choice.item_id)
+        return builder.build()
+
+    def transition_probability(self, from_id: str, to_id: str) -> float:
+        """Row-normalized transition probability between two items."""
+        i = self.catalog.index_of(from_id)
+        j = self.catalog.index_of(to_id)
+        row = self.transitions[i]
+        total = row.sum()
+        if total <= 0:
+            return 0.0
+        return float(row[j] / total)

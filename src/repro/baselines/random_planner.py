@@ -1,0 +1,100 @@
+"""Sanity-check baselines (not in the paper).
+
+A uniformly random planner and a popularity-greedy planner bound the
+score range from below / give a domain-agnostic reference point.  Tests
+use them to assert that RL-Planner's advantage is not an artifact of the
+scoring function.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.catalog import Catalog
+from ..core.constraints import TaskSpec
+from ..core.env import DomainMode
+from ..core.exceptions import PlanningError
+from ..core.plan import Plan, PlanBuilder
+from .base import BaselinePlanner
+
+
+class RandomPlanner(BaselinePlanner):
+    """Uniform random item selection (respecting only the trip budget)."""
+
+    name = "Random"
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        task: TaskSpec,
+        mode: DomainMode = DomainMode.COURSE,
+        seed: Optional[int] = 0,
+    ) -> None:
+        super().__init__(catalog, task, mode)
+        self._rng = np.random.default_rng(seed)
+
+    def recommend(
+        self, start_item_id: str, horizon: Optional[int] = None
+    ) -> Plan:
+        """A random plan of the target length starting at the item."""
+        if start_item_id not in self.catalog:
+            raise PlanningError(
+                f"start item {start_item_id!r} not in catalog"
+            )
+        h = self._horizon(horizon)
+        builder = PlanBuilder(self.catalog)
+        builder.add(self.catalog[start_item_id])
+        while len(builder) < h:
+            candidates = [
+                item
+                for item in builder.remaining_items()
+                if item.credits <= self._budget_left(builder.total_credits)
+            ]
+            if not candidates:
+                break
+            builder.add(candidates[int(self._rng.integers(len(candidates)))])
+        return builder.build()
+
+
+class PopularityPlanner(BaselinePlanner):
+    """Greedy on item popularity metadata (falls back to topic count).
+
+    A classic non-sequential recommender: always take the "best" item
+    regardless of ordering constraints — a natural straw man for why TPP
+    needs sequence awareness.
+    """
+
+    name = "Popularity"
+
+    def recommend(
+        self, start_item_id: str, horizon: Optional[int] = None
+    ) -> Plan:
+        """Top-popularity items after the start, in descending order."""
+        if start_item_id not in self.catalog:
+            raise PlanningError(
+                f"start item {start_item_id!r} not in catalog"
+            )
+        h = self._horizon(horizon)
+        builder = PlanBuilder(self.catalog)
+        builder.add(self.catalog[start_item_id])
+
+        def popularity(item) -> float:
+            value = item.meta("popularity")
+            if value is not None:
+                return float(value)
+            return float(len(item.topics))
+
+        ranked = sorted(
+            (item for item in self.catalog
+             if item.item_id != start_item_id),
+            key=popularity,
+            reverse=True,
+        )
+        for item in ranked:
+            if len(builder) >= h:
+                break
+            if item.credits <= self._budget_left(builder.total_credits):
+                builder.add(item)
+        return builder.build()

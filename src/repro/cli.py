@@ -1,0 +1,189 @@
+"""Command-line interface: ``rl-planner <command> [options]``.
+
+Commands
+--------
+plan        Train RL-Planner on a dataset and print a recommended plan.
+compare     Figure-1 style comparison (RL-Planner / EDA / OMEGA / gold).
+transfer    Learn on one dataset, apply the policy to another.
+datasets    List available datasets with their statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import build_report, compare_planners, render_table, run_transfer
+from .core.planner import RLPlanner
+from .datasets import LOADERS, load
+
+
+def _add_dataset_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "dataset",
+        choices=sorted(LOADERS),
+        help="dataset key (see `rl-planner datasets`)",
+    )
+
+
+def _cmd_datasets(_: argparse.Namespace) -> int:
+    rows = []
+    for key in sorted(LOADERS):
+        dataset = load(key, with_gold=False)
+        stats = dataset.catalog.stats()
+        rows.append(
+            [
+                key,
+                stats["num_items"],
+                stats["num_primary"],
+                stats["num_topics"],
+                dataset.mode.value,
+                dataset.default_start,
+            ]
+        )
+    print(
+        render_table(
+            ["key", "items", "primary", "topics", "mode", "start"],
+            rows,
+            title="Available datasets",
+        )
+    )
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    dataset = load(args.dataset, seed=args.seed, with_gold=False)
+    config = dataset.default_config.replace(seed=args.seed)
+    if args.episodes:
+        config = config.replace(episodes=args.episodes)
+    planner = RLPlanner(
+        dataset.catalog, dataset.task, config, mode=dataset.mode
+    )
+    planner.fit(start_item_ids=[dataset.default_start])
+    start = args.start or dataset.default_start
+    plan, score = planner.recommend_scored(start)
+    print(f"dataset : {dataset.name}")
+    print(f"start   : {start}")
+    print(f"plan    : {plan.describe()}")
+    print(f"score   : {score.value:.2f} / {planner.scorer.gold_reference_score():.0f}")
+    print(f"valid   : {score.report.describe()}")
+    if args.explain:
+        from .analysis import explain_plan
+
+        print()
+        print(explain_plan(planner, start, plan=plan).render())
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    dataset = load(args.dataset, seed=args.seed)
+    result = compare_planners(dataset, runs=args.runs)
+    print(
+        render_table(
+            ["system", "mean score"],
+            result.as_rows(),
+            title=f"Figure-1 comparison on {dataset.name} "
+            f"({args.runs} runs)",
+        )
+    )
+    print(f"RL-Planner hard-constraint validity: {result.rl_validity:.0%}")
+    return 0
+
+
+def _cmd_transfer(args: argparse.Namespace) -> int:
+    source = load(args.dataset, seed=args.seed, with_gold=False)
+    target = load(args.target, seed=args.seed, with_gold=False)
+    outcome = run_transfer(source, target, seed=args.seed)
+    quality = "good" if outcome.is_good else "bad"
+    print(f"learned on : {source.name}")
+    print(f"applied to : {target.name}")
+    print(f"plan ({quality}) : {outcome.plan.describe()}")
+    print(f"score      : {outcome.score.value:.2f}")
+    print(f"Q coverage : {outcome.entry_coverage:.0%}")
+    return 0
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    from .analysis import diagnose
+
+    dataset = load(args.dataset, seed=args.seed, with_gold=False)
+    diagnosis = diagnose(dataset.catalog, dataset.task, dataset.mode)
+    print(f"dataset : {dataset.name}")
+    print(diagnosis.describe())
+    return 0 if diagnosis.is_feasible else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    text = build_report(runs=args.runs, episodes=args.episodes)
+    print(text)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The rl-planner argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="rl-planner",
+        description="Guided task planning under complex constraints "
+        "(ICDE 2022 reproduction)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list datasets").set_defaults(
+        func=_cmd_datasets
+    )
+
+    plan = sub.add_parser("plan", help="train and recommend one plan")
+    _add_dataset_arg(plan)
+    plan.add_argument("--start", help="starting item id")
+    plan.add_argument("--episodes", type=int, help="override N")
+    plan.add_argument(
+        "--explain", action="store_true",
+        help="print the per-step Eq. 2 breakdown",
+    )
+    plan.set_defaults(func=_cmd_plan)
+
+    compare = sub.add_parser("compare", help="Figure-1 comparison")
+    _add_dataset_arg(compare)
+    compare.add_argument("--runs", type=int, default=5)
+    compare.set_defaults(func=_cmd_compare)
+
+    transfer = sub.add_parser("transfer", help="transfer-learning case")
+    _add_dataset_arg(transfer)
+    transfer.add_argument(
+        "target", choices=sorted(LOADERS), help="target dataset key"
+    )
+    transfer.set_defaults(func=_cmd_transfer)
+
+    diagnose_cmd = sub.add_parser(
+        "diagnose", help="check a dataset's task for structural blockers"
+    )
+    _add_dataset_arg(diagnose_cmd)
+    diagnose_cmd.set_defaults(func=_cmd_diagnose)
+
+    report = sub.add_parser(
+        "report", help="run the headline experiments, print a report"
+    )
+    report.add_argument("--runs", type=int, default=3)
+    report.add_argument("--episodes", type=int, default=300)
+    report.add_argument(
+        "--out", help="also write the report to this file"
+    )
+    report.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``rl-planner`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    sys.exit(main())

@@ -1,0 +1,150 @@
+"""Core TPP formalization and the RL-Planner solver.
+
+This package implements the paper's primary contribution: the item /
+constraint data model (Section II), the CMDP formulation with the
+weighted reward of Equation 2 (Section III-A/B), the SARSA learner and
+greedy recommender of Algorithm 1 (Section III-C), plan validation and
+scoring (Section IV-A), and cross-catalog policy transfer (Section IV-D).
+"""
+
+from .builder import TaskBuilder
+from .catalog import Catalog
+from .config import (
+    PlannerConfig,
+    RecommendationMode,
+    RewardWeights,
+    UNIV2_CATEGORY_WEIGHTS,
+)
+from .constraints import (
+    HardConstraints,
+    InterleavingTemplate,
+    SoftConstraints,
+    TaskSpec,
+)
+from .env import DomainMode, TPPEnvironment
+from .exceptions import (
+    ConstraintError,
+    DataModelError,
+    DatasetError,
+    PlanningError,
+    ReproError,
+    TransferError,
+    UnknownItemError,
+    UntrainedPolicyError,
+)
+from .items import Item, ItemType, Prerequisites, make_metadata
+from .plan import Plan, PlanBuilder, plan_from_ids
+from .planner import RLPlanner
+from .policy import GreedyPolicy
+from .qtable import QTable
+from .reward import RewardBreakdown, RewardFunction
+from .sarsa import ActionSelection, EpisodeStats, LearningResult, SarsaLearner
+from .schedule import Period, Schedule, fold_plan, fold_trip_day
+from .serialization import load_policy, policy_from_dict, policy_to_dict, save_policy
+from .scoring import (
+    PlanScore,
+    PlanScorer,
+    average_score,
+    mean_popularity,
+    validity_rate,
+)
+from .similarity import (
+    SimilarityMode,
+    aggregate_similarity,
+    avg_similarity,
+    longest_run,
+    match_vector,
+    max_similarity,
+    min_similarity,
+    similarity_profile,
+    template_similarity,
+    type_sequence,
+)
+from .transfer import (
+    TransferReport,
+    TransferResult,
+    build_theme_mapping,
+    transfer_by_id,
+    transfer_by_theme,
+    transfer_policy,
+)
+from .validation import (
+    PlanValidator,
+    ValidationReport,
+    Violation,
+    haversine_km,
+    plan_travel_distance_km,
+)
+
+__all__ = [
+    "ActionSelection",
+    "Catalog",
+    "ConstraintError",
+    "DataModelError",
+    "DatasetError",
+    "DomainMode",
+    "EpisodeStats",
+    "GreedyPolicy",
+    "HardConstraints",
+    "InterleavingTemplate",
+    "Item",
+    "ItemType",
+    "LearningResult",
+    "Period",
+    "Plan",
+    "PlanBuilder",
+    "PlanScore",
+    "PlanScorer",
+    "PlanValidator",
+    "PlannerConfig",
+    "PlanningError",
+    "Prerequisites",
+    "QTable",
+    "RecommendationMode",
+    "ReproError",
+    "RewardBreakdown",
+    "RewardFunction",
+    "RewardWeights",
+    "RLPlanner",
+    "SarsaLearner",
+    "Schedule",
+    "SimilarityMode",
+    "SoftConstraints",
+    "TaskBuilder",
+    "TPPEnvironment",
+    "TaskSpec",
+    "TransferError",
+    "TransferReport",
+    "TransferResult",
+    "UNIV2_CATEGORY_WEIGHTS",
+    "UnknownItemError",
+    "UntrainedPolicyError",
+    "ValidationReport",
+    "Violation",
+    "aggregate_similarity",
+    "average_score",
+    "avg_similarity",
+    "fold_plan",
+    "fold_trip_day",
+    "build_theme_mapping",
+    "haversine_km",
+    "load_policy",
+    "longest_run",
+    "make_metadata",
+    "match_vector",
+    "max_similarity",
+    "mean_popularity",
+    "min_similarity",
+    "plan_from_ids",
+    "policy_from_dict",
+    "policy_to_dict",
+    "plan_travel_distance_km",
+    "save_policy",
+    "similarity_profile",
+    "template_similarity",
+    "transfer_by_id",
+    "transfer_by_theme",
+    "transfer_policy",
+    "type_sequence",
+    "validity_rate",
+]

@@ -1,0 +1,189 @@
+"""Fluent construction of TPP task specifications.
+
+``TaskSpec`` + ``HardConstraints`` + ``SoftConstraints`` are precise but
+verbose for interactive use; :class:`TaskBuilder` provides the
+chainable front door the examples and downstream users reach for::
+
+    task = (
+        TaskBuilder("M.S. DS-CT")
+        .credits(30)
+        .primaries(5)
+        .secondaries(5)
+        .gap(3)
+        .ideal_topics(["clustering", "classification"])
+        .template(["P", "P", "S", "P", "S", "S", "P", "S", "P", "S"])
+        .build()
+    )
+
+Every setter validates eagerly where it can; :meth:`build` performs the
+cross-field checks by delegating to the underlying dataclasses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from .constraints import (
+    HardConstraints,
+    InterleavingTemplate,
+    SoftConstraints,
+    TaskSpec,
+)
+from .exceptions import ConstraintError
+
+
+class TaskBuilder:
+    """Chainable builder for :class:`~repro.core.constraints.TaskSpec`."""
+
+    def __init__(self, name: str = "task") -> None:
+        self._name = name
+        self._credits: Optional[float] = None
+        self._primaries: Optional[int] = None
+        self._secondaries: Optional[int] = None
+        self._gap: int = 1
+        self._ideal: Optional[frozenset] = None
+        self._templates: List[Sequence[str]] = []
+        self._categories: dict = {}
+        self._max_distance: Optional[float] = None
+        self._theme_adjacency: bool = False
+        self._trip_mode: bool = False
+
+    # ------------------------------------------------------------------
+    # Hard-constraint setters
+    # ------------------------------------------------------------------
+
+    def credits(self, amount: float) -> "TaskBuilder":
+        """Minimum credits (courses) / time budget in hours (trips)."""
+        if amount <= 0:
+            raise ConstraintError("credits must be positive")
+        self._credits = float(amount)
+        return self
+
+    def time_budget(self, hours: float) -> "TaskBuilder":
+        """Trip alias of :meth:`credits`; switches to trip semantics."""
+        self._trip_mode = True
+        return self.credits(hours)
+
+    def primaries(self, count: int) -> "TaskBuilder":
+        """Required number of primary (core / must-see) items."""
+        if count < 0:
+            raise ConstraintError("primaries must be >= 0")
+        self._primaries = count
+        return self
+
+    def secondaries(self, count: int) -> "TaskBuilder":
+        """Required number of secondary (elective / optional) items."""
+        if count < 0:
+            raise ConstraintError("secondaries must be >= 0")
+        self._secondaries = count
+        return self
+
+    def gap(self, positions: int) -> "TaskBuilder":
+        """Minimum antecedent distance (positions)."""
+        if positions < 0:
+            raise ConstraintError("gap must be >= 0")
+        self._gap = positions
+        return self
+
+    def category_minimum(
+        self, category: str, credits: float
+    ) -> "TaskBuilder":
+        """Add a per-category credit minimum (Univ-2 style)."""
+        if credits <= 0:
+            raise ConstraintError("category minimum must be positive")
+        self._categories[category] = float(credits)
+        return self
+
+    def max_distance(self, km: float) -> "TaskBuilder":
+        """Trip-only: total travel distance threshold."""
+        if km <= 0:
+            raise ConstraintError("max_distance must be positive")
+        self._trip_mode = True
+        self._max_distance = float(km)
+        return self
+
+    def no_adjacent_same_theme(self, enabled: bool = True) -> "TaskBuilder":
+        """Trip-only: forbid consecutive same-theme POIs."""
+        self._trip_mode = True
+        self._theme_adjacency = enabled
+        return self
+
+    # ------------------------------------------------------------------
+    # Soft-constraint setters
+    # ------------------------------------------------------------------
+
+    def ideal_topics(self, topics: Iterable[str]) -> "TaskBuilder":
+        """The user's desired topic/theme set (T_ideal)."""
+        self._ideal = frozenset(topics)
+        return self
+
+    def template(self, labels: Sequence[str]) -> "TaskBuilder":
+        """Add one ideal permutation ("P"/"S" labels); call repeatedly."""
+        self._templates.append(tuple(labels))
+        return self
+
+    def templates(
+        self, permutations: Iterable[Sequence[str]]
+    ) -> "TaskBuilder":
+        """Add several permutations at once."""
+        for labels in permutations:
+            self.template(labels)
+        return self
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+
+    def build(self) -> TaskSpec:
+        """Assemble and cross-validate the TaskSpec."""
+        missing = [
+            field
+            for field, value in (
+                ("credits/time_budget", self._credits),
+                ("primaries", self._primaries),
+                ("secondaries", self._secondaries),
+                ("ideal_topics", self._ideal),
+            )
+            if value is None
+        ]
+        if missing:
+            raise ConstraintError(
+                f"TaskBuilder is missing: {', '.join(missing)}"
+            )
+        templates = self._templates
+        if not templates:
+            # A sensible default: strict alternation padded with the
+            # leftover type.
+            p, s = self._primaries, self._secondaries
+            labels: List[str] = []
+            while p or s:
+                if p:
+                    labels.append("P")
+                    p -= 1
+                if s:
+                    labels.append("S")
+                    s -= 1
+            templates = [tuple(labels)]
+
+        if self._trip_mode:
+            hard = HardConstraints.for_trips(
+                time_budget=self._credits,
+                num_primary=self._primaries,
+                num_secondary=self._secondaries,
+                gap=self._gap,
+                max_distance=self._max_distance,
+                theme_adjacency_gap=self._theme_adjacency,
+            )
+        else:
+            hard = HardConstraints.for_courses(
+                min_credits=self._credits,
+                num_primary=self._primaries,
+                num_secondary=self._secondaries,
+                gap=self._gap,
+                category_credits=self._categories or None,
+            )
+        soft = SoftConstraints(
+            ideal_topics=self._ideal,
+            template=InterleavingTemplate.from_labels(templates),
+        )
+        return TaskSpec(hard=hard, soft=soft, name=self._name)

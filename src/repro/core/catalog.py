@@ -1,0 +1,249 @@
+"""Item catalog: the interaction graph ``G = <I, E>`` of Section III-A.
+
+The paper abstracts the item universe as a *complete* graph whose nodes
+are items; an RL action is a transition along an edge (adding one more
+item).  Because the graph is complete, we do not materialize edges — the
+catalog is an indexed collection of items with the derived structures the
+planner and validators need:
+
+* a topic vocabulary (the ordered set ``T``),
+* primary/secondary partitions,
+* the prerequisite relation (with referential-integrity checking),
+* stable integer indices for Q-table rows/columns.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from .exceptions import DataModelError, UnknownItemError
+from .items import Item, ItemType
+
+
+class Catalog:
+    """An immutable, indexed collection of :class:`Item` objects.
+
+    Parameters
+    ----------
+    items:
+        The items in the catalog.  Ids must be unique and prerequisite
+        references must resolve within the catalog (checked unless
+        ``validate_prerequisites=False``).
+    name:
+        Display name, e.g. ``"Univ-1 M.S. DS-CT"``.
+    topic_vocabulary:
+        Optional explicit topic ordering.  When omitted the vocabulary is
+        the sorted union of item topics.
+    """
+
+    def __init__(
+        self,
+        items: Iterable[Item],
+        name: str = "catalog",
+        topic_vocabulary: Optional[Sequence[str]] = None,
+        validate_prerequisites: bool = True,
+    ) -> None:
+        self._items: Tuple[Item, ...] = tuple(items)
+        self.name = name
+        if not self._items:
+            raise DataModelError("catalog must contain at least one item")
+
+        self._by_id: Dict[str, Item] = {}
+        for item in self._items:
+            if item.item_id in self._by_id:
+                raise DataModelError(f"duplicate item id: {item.item_id!r}")
+            self._by_id[item.item_id] = item
+
+        if validate_prerequisites:
+            self._check_prerequisite_integrity()
+
+        if topic_vocabulary is None:
+            vocab: set = set()
+            for item in self._items:
+                vocab |= item.topics
+            self._vocabulary: Tuple[str, ...] = tuple(sorted(vocab))
+        else:
+            self._vocabulary = tuple(topic_vocabulary)
+            known = set(self._vocabulary)
+            for item in self._items:
+                extra = item.topics - known
+                if extra:
+                    raise DataModelError(
+                        f"item {item.item_id!r} has topics outside the "
+                        f"vocabulary: {sorted(extra)}"
+                    )
+
+        self._index: Dict[str, int] = {
+            item.item_id: i for i, item in enumerate(self._items)
+        }
+
+    # ------------------------------------------------------------------
+    # Basic container protocol
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Item]:
+        return iter(self._items)
+
+    def __contains__(self, item_id: object) -> bool:
+        return item_id in self._by_id
+
+    def __getitem__(self, item_id: str) -> Item:
+        try:
+            return self._by_id[item_id]
+        except KeyError:
+            raise UnknownItemError(item_id) from None
+
+    def get(self, item_id: str, default: Optional[Item] = None) -> Optional[Item]:
+        """Item by id, or ``default`` when absent."""
+        return self._by_id.get(item_id, default)
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+
+    @property
+    def items(self) -> Tuple[Item, ...]:
+        """All items in insertion order."""
+        return self._items
+
+    @property
+    def item_ids(self) -> Tuple[str, ...]:
+        """All item ids in insertion order."""
+        return tuple(item.item_id for item in self._items)
+
+    @property
+    def topic_vocabulary(self) -> Tuple[str, ...]:
+        """The ordered topic/theme set ``T``."""
+        return self._vocabulary
+
+    @property
+    def num_topics(self) -> int:
+        """``|T|``."""
+        return len(self._vocabulary)
+
+    def index_of(self, item_id: str) -> int:
+        """Stable integer index of an item (Q-table row/column)."""
+        try:
+            return self._index[item_id]
+        except KeyError:
+            raise UnknownItemError(item_id) from None
+
+    def item_at(self, index: int) -> Item:
+        """Inverse of :meth:`index_of`."""
+        return self._items[index]
+
+    def primaries(self) -> Tuple[Item, ...]:
+        """All primary (core / must-visit) items."""
+        return tuple(i for i in self._items if i.is_primary)
+
+    def secondaries(self) -> Tuple[Item, ...]:
+        """All secondary (elective / optional) items."""
+        return tuple(i for i in self._items if i.is_secondary)
+
+    def of_type(self, item_type: ItemType) -> Tuple[Item, ...]:
+        """Items of the given type."""
+        return tuple(i for i in self._items if i.item_type is item_type)
+
+    def categories(self) -> Tuple[str, ...]:
+        """Sorted distinct non-None categories present in the catalog."""
+        return tuple(
+            sorted({i.category for i in self._items if i.category is not None})
+        )
+
+    def in_category(self, category: str) -> Tuple[Item, ...]:
+        """Items whose :attr:`Item.category` equals ``category``."""
+        return tuple(i for i in self._items if i.category == category)
+
+    def with_topic(self, topic: str) -> Tuple[Item, ...]:
+        """Items covering a given topic/theme."""
+        return tuple(i for i in self._items if topic in i.topics)
+
+    def antecedent_ids(self) -> FrozenSet[str]:
+        """Ids of items referenced as a prerequisite by some other item.
+
+        This is the set ``P`` of the paper's notation table.
+        """
+        out: set = set()
+        for item in self._items:
+            out |= item.prerequisites.referenced_ids()
+        return frozenset(out)
+
+    def dependents_of(self, item_id: str) -> Tuple[Item, ...]:
+        """Items that list ``item_id`` among their antecedents."""
+        if item_id not in self._by_id:
+            raise UnknownItemError(item_id)
+        return tuple(
+            item
+            for item in self._items
+            if item_id in item.prerequisites.referenced_ids()
+        )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    def subset(self, item_ids: Iterable[str], name: Optional[str] = None) -> "Catalog":
+        """Sub-catalog restricted to ``item_ids`` (insertion order kept).
+
+        Prerequisite references that point outside the subset are allowed
+        (they simply can never be satisfied), matching real degree programs
+        whose courses may require out-of-program prerequisites.
+        """
+        wanted = set(item_ids)
+        missing = wanted - set(self._by_id)
+        if missing:
+            raise UnknownItemError(sorted(missing)[0])
+        items = [i for i in self._items if i.item_id in wanted]
+        return Catalog(
+            items,
+            name=name or f"{self.name} (subset)",
+            validate_prerequisites=False,
+        )
+
+    def shared_item_ids(self, other: "Catalog") -> Tuple[str, ...]:
+        """Ids present in both catalogs (used by transfer learning)."""
+        return tuple(i for i in self.item_ids if i in other)
+
+    def _check_prerequisite_integrity(self) -> None:
+        for item in self._items:
+            for ref in item.prerequisites.referenced_ids():
+                if ref not in self._by_id:
+                    raise DataModelError(
+                        f"item {item.item_id!r} requires unknown "
+                        f"prerequisite {ref!r}"
+                    )
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Summary statistics used in logs, docs, and tests."""
+        return {
+            "name": self.name,
+            "num_items": len(self),
+            "num_primary": len(self.primaries()),
+            "num_secondary": len(self.secondaries()),
+            "num_topics": self.num_topics,
+            "num_with_prerequisites": sum(
+                1 for i in self._items if not i.prerequisites.is_empty
+            ),
+            "total_credits": sum(i.credits for i in self._items),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        return (
+            f"Catalog({self.name!r}, items={len(self)}, "
+            f"topics={self.num_topics})"
+        )

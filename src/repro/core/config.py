@@ -1,0 +1,268 @@
+"""Planner configuration with the paper's Table III defaults.
+
+Table III gives default hyper-parameters per dataset:
+
+* Univ-1: N=500, alpha=0.75, gamma=0.95, epsilon=0.0025, start=STATS/CS
+  course, delta=0.8, beta=0.2 (robustness sweeps find delta=0.6/beta=0.4
+  with w1=0.6/w2=0.4 best for DS-CT).
+* Univ-2: N=100, same alpha/gamma/epsilon, six category weights
+  w1..w6 = (0.25, 0.01, 0.15, 0.42, 0.01, 0.16).
+* NYC/Paris: N=500, alpha=0.95, gamma=0.75, distance threshold d=5,
+  time threshold t=6, delta=0.6, beta=0.4.
+
+The coverage threshold ``epsilon`` is documented in Section III-B-1 as a
+*count* of newly covered ideal topics ("given epsilon = 1") but Table III
+lists fractional values (0.0025 … 0.02).  We reconcile the two readings:
+a value >= 1 is a raw count; a value < 1 is a fraction of ``|T_ideal|``
+(so 0.0025 with 60 ideal topics still demands at least one new topic,
+while 0.02 with 60 demands ceil(1.2) = 2).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping, Optional, Tuple
+
+from .exceptions import ConstraintError
+from .similarity import SimilarityMode
+
+
+class RecommendationMode(enum.Enum):
+    """How the learned Q-table is traversed at recommendation time.
+
+    ``Q_ONLY`` is the literal Algorithm-1 traversal (argmax of the
+    stored Q value); ``LOOKAHEAD`` recomputes the immediate Eq. 2 reward
+    in the actual plan context and adds the discounted best continuation
+    from the table — same learned policy, less state aliasing (states
+    are single items, so stored Q entries average over every prefix that
+    ever reached that item).
+    """
+
+    Q_ONLY = "q_only"
+    LOOKAHEAD = "lookahead"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class RewardWeights:
+    """Weights of the linear reward mix (Equation 2).
+
+    ``delta`` scales the interleaving-similarity term and ``beta`` the
+    item-type weight term; the paper requires ``delta + beta = 1``.
+    ``w_primary``/``w_secondary`` weigh primary vs secondary items with
+    ``w_primary + w_secondary = 1`` and ``w_primary > w_secondary`` (the
+    inequality is what makes Theorem 1's Case-II argument go through).
+    ``category_weights`` generalizes the pair to Univ-2's six
+    sub-discipline weights w1..w6 keyed by category name.
+    """
+
+    delta: float = 0.8
+    beta: float = 0.2
+    w_primary: float = 0.6
+    w_secondary: float = 0.4
+    category_weights: Tuple[Tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not math.isclose(self.delta + self.beta, 1.0, abs_tol=1e-9):
+            raise ConstraintError(
+                f"delta + beta must equal 1, got {self.delta} + {self.beta}"
+            )
+        if not math.isclose(
+            self.w_primary + self.w_secondary, 1.0, abs_tol=1e-9
+        ):
+            raise ConstraintError(
+                f"w_primary + w_secondary must equal 1, got "
+                f"{self.w_primary} + {self.w_secondary}"
+            )
+        if min(self.delta, self.beta, self.w_primary, self.w_secondary) < 0:
+            raise ConstraintError("reward weights must be non-negative")
+
+    @property
+    def category_weight_map(self) -> Dict[str, float]:
+        """Category weights as a dict (possibly empty)."""
+        return dict(self.category_weights)
+
+    @classmethod
+    def with_categories(
+        cls,
+        weights: Mapping[str, float],
+        delta: float = 0.8,
+        beta: float = 0.2,
+    ) -> "RewardWeights":
+        """Univ-2-style weights, one per sub-discipline category."""
+        total = sum(weights.values())
+        if not math.isclose(total, 1.0, abs_tol=1e-6):
+            raise ConstraintError(
+                f"category weights must sum to 1, got {total:g}"
+            )
+        return cls(
+            delta=delta,
+            beta=beta,
+            category_weights=tuple(sorted(weights.items())),
+        )
+
+
+@dataclass(frozen=True)
+class PlannerConfig:
+    """All RL-Planner hyper-parameters in one immutable object.
+
+    Attributes
+    ----------
+    episodes:
+        ``N`` — number of learning episodes.
+    learning_rate:
+        ``alpha`` of the SARSA update.
+    discount:
+        ``gamma`` of the SARSA update.
+    coverage_threshold:
+        ``epsilon`` — topic-coverage acceptance threshold (count if >= 1,
+        fraction of ``|T_ideal|`` if < 1; see module docstring).
+    weights:
+        :class:`RewardWeights` (delta/beta/w1/w2 or category weights).
+    similarity:
+        AVERAGE (Eq. 7) or MINIMUM aggregation inside the reward.
+    exploration:
+        epsilon of the epsilon-greedy behaviour policy during learning.
+        ``0.0`` reproduces the paper's purely reward-greedy Algorithm 1.
+    mask_invalid_actions:
+        When True (default), actions failing the Eq. 3/4 gates (theta=0:
+        no new ideal-topic coverage, or unsatisfied antecedent gap) are
+        excluded from the action set during learning *and*
+        recommendation, falling back to the unmasked set only when no
+        gated action exists.  This operationalizes Section III-B-1's
+        "the action is valid only if ..." wording and is what makes
+        Theorem 1 hold in practice; the ablation bench turns it off.
+    lookahead_weight:
+        Weight of the discounted-future Q term in LOOKAHEAD
+        recommendation; ``None`` uses ``discount``.  Tuned per dataset
+        like the other Table III parameters — long-horizon tasks with
+        per-category quotas (Univ-2) want a small weight because stored
+        Q values, aliased over prefixes, are noisier there.
+    portfolio:
+        When True (default) the recommender rolls out both the
+        lookahead traversal and the pure gated-greedy traversal
+        (lookahead weight 0) and returns whichever plan scores higher
+        under the task's own scorer — information the planner already
+        holds (the template and hard constraints are its inputs).
+        Stabilizes the single-plan variance of greedy Q traversals.
+    seed:
+        RNG seed for tie-breaking and exploration; ``None`` = nondeterministic.
+    """
+
+    episodes: int = 500
+    learning_rate: float = 0.75
+    discount: float = 0.95
+    coverage_threshold: float = 0.0025
+    weights: RewardWeights = field(default_factory=RewardWeights)
+    similarity: SimilarityMode = SimilarityMode.AVERAGE
+    exploration: float = 0.1
+    mask_invalid_actions: bool = True
+    recommendation: RecommendationMode = RecommendationMode.LOOKAHEAD
+    lookahead_weight: Optional[float] = None
+    portfolio: bool = True
+    seed: Optional[int] = 0
+
+    def __post_init__(self) -> None:
+        if self.episodes <= 0:
+            raise ConstraintError("episodes must be positive")
+        if not 0.0 < self.learning_rate <= 1.0:
+            raise ConstraintError("learning_rate must be in (0, 1]")
+        if not 0.0 <= self.discount <= 1.0:
+            raise ConstraintError("discount must be in [0, 1]")
+        if self.coverage_threshold < 0:
+            raise ConstraintError("coverage_threshold must be >= 0")
+        if not 0.0 <= self.exploration <= 1.0:
+            raise ConstraintError("exploration must be in [0, 1]")
+
+    def replace(self, **changes: object) -> "PlannerConfig":
+        """Copy with selected fields changed (sweep helper)."""
+        return replace(self, **changes)
+
+    def coverage_count_threshold(self, num_ideal_topics: int) -> int:
+        """Resolve ``epsilon`` into a minimum count of new ideal topics.
+
+        A fractional epsilon is scaled by ``|T_ideal|`` and rounded up;
+        the result is never below 1 so that a zero-gain action can never
+        pass the gate (matching the paper's "increase ... by at least a
+        threshold" semantics).
+        """
+        if self.coverage_threshold >= 1.0:
+            return int(math.ceil(self.coverage_threshold))
+        return max(
+            1, int(math.ceil(self.coverage_threshold * num_ideal_topics))
+        )
+
+    # ------------------------------------------------------------------
+    # Table III presets
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def univ1_default(cls, seed: Optional[int] = 0) -> "PlannerConfig":
+        """Default parameters for the Univ-1 course datasets (Table III),
+        with the delta/beta/w1/w2 values the robustness study found best."""
+        return cls(
+            episodes=500,
+            learning_rate=0.75,
+            discount=0.95,
+            coverage_threshold=0.0025,
+            weights=RewardWeights(
+                delta=0.6, beta=0.4, w_primary=0.6, w_secondary=0.4
+            ),
+            lookahead_weight=0.3,
+            seed=seed,
+        )
+
+    @classmethod
+    def univ2_default(
+        cls,
+        category_weights: Optional[Mapping[str, float]] = None,
+        seed: Optional[int] = 0,
+    ) -> "PlannerConfig":
+        """Default parameters for the Univ-2 (Stanford-like) dataset."""
+        weights: RewardWeights
+        if category_weights is None:
+            weights = RewardWeights(
+                delta=0.8, beta=0.2, w_primary=0.6, w_secondary=0.4
+            )
+        else:
+            weights = RewardWeights.with_categories(
+                category_weights, delta=0.8, beta=0.2
+            )
+        return cls(
+            episodes=100,
+            learning_rate=0.75,
+            discount=0.95,
+            coverage_threshold=0.0025,
+            weights=weights,
+            lookahead_weight=0.02,
+            seed=seed,
+        )
+
+    @classmethod
+    def trip_default(cls, seed: Optional[int] = 0) -> "PlannerConfig":
+        """Default parameters for the NYC/Paris trip datasets."""
+        return cls(
+            episodes=500,
+            learning_rate=0.95,
+            discount=0.75,
+            coverage_threshold=1.0,
+            weights=RewardWeights(
+                delta=0.6, beta=0.4, w_primary=0.6, w_secondary=0.4
+            ),
+            seed=seed,
+        )
+
+# Table III's six Univ-2 sub-discipline weights (w1..w6) in the paper's
+# listed order of sub-disciplines a..f.
+UNIV2_CATEGORY_WEIGHTS: Dict[str, float] = {
+    "math_stat_foundations": 0.25,
+    "experimentation": 0.01,
+    "scientific_computing": 0.15,
+    "applied_ml_ds": 0.42,
+    "practical_component": 0.01,
+    "elective": 0.16,
+}

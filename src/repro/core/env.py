@@ -1,0 +1,149 @@
+"""The deterministic discrete CMDP environment of Section III-A.
+
+States are items (nodes of the complete graph ``G``), actions add one
+more item, transitions are deterministic, and episodes are bounded by
+the trajectory size ``H``:
+
+* **course mode** — ``H`` is derived from the credit requirement
+  (e.g. 30 credits / 3 per course = 10 items); the episode ends after
+  exactly ``H`` items,
+* **trip mode** — the credit quantity is a *time budget*: the episode
+  ends when the itinerary reaches the template length or when no
+  remaining POI fits within the remaining visit time.
+
+The environment never hides constraint information from the agent — all
+constraint handling flows through the reward (Eq. 2), exactly as in the
+paper.  The environment's only hard rules are "no repeated items" and the
+episode bound.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Tuple
+
+from .catalog import Catalog
+from .config import PlannerConfig
+from .constraints import TaskSpec
+from .exceptions import PlanningError
+from .items import Item
+from .plan import Plan, PlanBuilder
+from .reward import RewardFunction
+
+
+class DomainMode(enum.Enum):
+    """Whether ``cr`` is a minimum (courses) or a budget (trips)."""
+
+    COURSE = "course"
+    TRIP = "trip"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class TPPEnvironment:
+    """Episodic environment for one (catalog, task) pair.
+
+    Parameters
+    ----------
+    catalog:
+        The item universe (nodes of ``G``).
+    task:
+        Hard + soft constraints.
+    config:
+        Planner configuration (the reward needs epsilon and the weights).
+    mode:
+        :class:`DomainMode.COURSE` or :class:`DomainMode.TRIP`.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        task: TaskSpec,
+        config: PlannerConfig,
+        mode: DomainMode = DomainMode.COURSE,
+        reward: Optional[RewardFunction] = None,
+    ) -> None:
+        self.catalog = catalog
+        self.task = task
+        self.config = config
+        self.mode = mode
+        # A custom reward (e.g. the feedback-adjusted wrapper) may be
+        # injected; it must expose the RewardFunction interface.
+        self.reward = reward if reward is not None else RewardFunction(
+            task, config
+        )
+        self._builder: Optional[PlanBuilder] = None
+
+    # ------------------------------------------------------------------
+    # Episode lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def horizon(self) -> int:
+        """The trajectory size ``H`` (template length = #primary+#secondary)."""
+        return self.task.hard.plan_length
+
+    def reset(self, start_item_id: str) -> Item:
+        """Begin an episode at ``start_item_id`` and return that item."""
+        item = self.catalog[start_item_id]
+        self._builder = PlanBuilder(self.catalog)
+        self._builder.add(item)
+        return item
+
+    @property
+    def builder(self) -> PlanBuilder:
+        """The live partial plan (raises before :meth:`reset`)."""
+        if self._builder is None:
+            raise PlanningError("environment not reset; call reset() first")
+        return self._builder
+
+    def valid_actions(self) -> Tuple[Item, ...]:
+        """Items that may legally extend the current episode.
+
+        Courses: any unvisited item.  Trips: any unvisited item whose
+        visit time fits the remaining budget.  When
+        ``config.mask_invalid_actions`` is on, items failing the Eq. 3/4
+        gates (theta = 0) are additionally excluded — unless that leaves
+        nothing, in which case the unmasked set is returned so episodes
+        never deadlock.
+        """
+        builder = self.builder
+        remaining = builder.remaining_items()
+        if self.mode is DomainMode.TRIP:
+            budget_left = self.task.hard.min_credits - builder.total_credits
+            remaining = tuple(
+                item for item in remaining if item.credits <= budget_left + 1e-9
+            )
+        if self.config.mask_invalid_actions:
+            return self.reward.mask_actions(builder, remaining)
+        return remaining
+
+    def step(self, item: Item) -> Tuple[float, bool]:
+        """Take the action that appends ``item``; return (reward, done)."""
+        builder = self.builder
+        if builder.contains(item.item_id):
+            raise PlanningError(
+                f"item {item.item_id!r} already visited this episode"
+            )
+        reward = self.reward(builder, item)
+        builder.add(item)
+        return reward, self.is_done()
+
+    def is_done(self) -> bool:
+        """Episode termination check (length bound or exhausted budget)."""
+        builder = self.builder
+        if len(builder) >= self.horizon:
+            return True
+        if self.mode is DomainMode.TRIP:
+            budget_left = self.task.hard.min_credits - builder.total_credits
+            if not any(
+                item.credits <= budget_left + 1e-9
+                for item in builder.remaining_items()
+            ):
+                return True
+        return len(builder) >= len(self.catalog)
+
+    def current_plan(self) -> Plan:
+        """Snapshot of the episode so far as an immutable plan."""
+        return self.builder.build()

@@ -1,0 +1,60 @@
+"""Typed exceptions raised by the :mod:`repro` library.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Each subclass corresponds to a distinct failure domain
+(data model, constraints, planning, datasets), which keeps error handling
+at call sites explicit without string matching.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class DataModelError(ReproError):
+    """An item, catalog, or constraint object was constructed inconsistently.
+
+    Examples: a topic vector of the wrong length, a duplicate item id, a
+    prerequisite referencing an unknown item.
+    """
+
+
+class ConstraintError(ReproError):
+    """A constraint specification is invalid (not merely unsatisfied).
+
+    Raised when hard/soft constraint *definitions* are malformed — e.g. a
+    negative credit requirement or an interleaving template whose length
+    disagrees with the primary/secondary split.
+    """
+
+
+class PlanningError(ReproError):
+    """The planner could not produce a plan at all.
+
+    Distinct from producing a plan that fails validation: validation
+    failures are reported through :class:`repro.core.validation.ValidationReport`,
+    while :class:`PlanningError` means the search itself broke down (e.g. an
+    empty catalog, an unknown start item, or an untrained policy).
+    """
+
+
+class UntrainedPolicyError(PlanningError):
+    """A recommendation was requested before the policy was learned."""
+
+
+class UnknownItemError(DataModelError):
+    """An item id was referenced that does not exist in the catalog."""
+
+    def __init__(self, item_id: str) -> None:
+        super().__init__(f"unknown item id: {item_id!r}")
+        self.item_id = item_id
+
+
+class DatasetError(ReproError):
+    """A dataset loader or generator was asked for something impossible."""
+
+
+class TransferError(ReproError):
+    """Transfer learning between two catalogs could not be set up."""

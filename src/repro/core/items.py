@@ -1,0 +1,234 @@
+"""Item data model for the Task Planning Problem.
+
+The paper (Section II-A) represents an item as the quadruple
+
+    m = <type_m, cr_m, pre_m, T_m>
+
+where ``type_m`` is *primary* or *secondary*, ``cr_m`` is a quantifiable
+amount counted toward the task requirement (credit hours for courses,
+visitation hours for POIs), ``pre_m`` is a set of antecedent items that
+must appear earlier in the plan, and ``T_m`` is a Boolean topic/theme
+vector.
+
+Prerequisites can be combined with AND ("all antecedents before m") or OR
+("any one antecedent before m").  We model the general case as a
+conjunction of OR-groups (CNF): ``[{a}, {b, c}]`` means *a AND (b OR c)*.
+The paper's pure-AND and pure-OR forms are both expressible.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Mapping, Optional, Sequence, Tuple
+
+from .exceptions import DataModelError
+
+
+class ItemType(enum.Enum):
+    """Whether an item is required (primary) or optional (secondary).
+
+    In course planning primary = core course and secondary = elective; in
+    trip planning primary = must-visit POI and secondary = optional POI.
+    """
+
+    PRIMARY = "primary"
+    SECONDARY = "secondary"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+def _freeze_prerequisites(
+    groups: Iterable[Iterable[str]],
+) -> Tuple[FrozenSet[str], ...]:
+    """Normalize prerequisite CNF groups into a canonical immutable form."""
+    frozen = []
+    for group in groups:
+        fs = frozenset(group)
+        if not fs:
+            raise DataModelError("empty prerequisite OR-group is not allowed")
+        frozen.append(fs)
+    return tuple(frozen)
+
+
+@dataclass(frozen=True)
+class Prerequisites:
+    """A conjunction of OR-groups of item ids (CNF).
+
+    ``groups == ()`` means the item has no prerequisites.  Each group is a
+    frozenset of item ids; the group is satisfied when *any one* of its
+    members precedes the item by at least ``gap`` positions, and the whole
+    prerequisite is satisfied when *every* group is satisfied.
+    """
+
+    groups: Tuple[FrozenSet[str], ...] = ()
+
+    @classmethod
+    def none(cls) -> "Prerequisites":
+        """Prerequisite object for an item with no antecedents."""
+        return cls(())
+
+    @classmethod
+    def all_of(cls, item_ids: Iterable[str]) -> "Prerequisites":
+        """AND-combination: every listed item must precede."""
+        return cls(_freeze_prerequisites([{i} for i in item_ids]))
+
+    @classmethod
+    def any_of(cls, item_ids: Iterable[str]) -> "Prerequisites":
+        """OR-combination: at least one listed item must precede."""
+        ids = frozenset(item_ids)
+        if not ids:
+            return cls.none()
+        return cls((ids,))
+
+    @classmethod
+    def from_cnf(cls, groups: Iterable[Iterable[str]]) -> "Prerequisites":
+        """General form: AND over OR-groups."""
+        return cls(_freeze_prerequisites(groups))
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the item has no antecedents."""
+        return not self.groups
+
+    def referenced_ids(self) -> FrozenSet[str]:
+        """All item ids mentioned anywhere in the prerequisite tree."""
+        out: set = set()
+        for group in self.groups:
+            out |= group
+        return frozenset(out)
+
+    def satisfied_by(
+        self, positions: Mapping[str, int], at_position: int, gap: int
+    ) -> bool:
+        """Check satisfaction against a partial plan.
+
+        Parameters
+        ----------
+        positions:
+            Map item id -> 0-based position of that item in the plan so far.
+        at_position:
+            0-based position where the dependent item is being placed.
+        gap:
+            Minimum required distance: an antecedent at position ``p``
+            satisfies the requirement iff ``at_position - p >= gap``.
+        """
+        for group in self.groups:
+            if not any(
+                member in positions and at_position - positions[member] >= gap
+                for member in group
+            ):
+                return False
+        return True
+
+    def describe(self) -> str:
+        """Human-readable rendering, e.g. ``(a) AND (b OR c)``."""
+        if self.is_empty:
+            return "(none)"
+        parts = [" OR ".join(sorted(group)) for group in self.groups]
+        return " AND ".join(f"({p})" for p in parts)
+
+
+@dataclass(frozen=True)
+class Item:
+    """One plannable item (a course or a POI).
+
+    Attributes
+    ----------
+    item_id:
+        Unique identifier within a catalog, e.g. ``"CS 675"``.
+    name:
+        Display name, e.g. ``"Machine Learning"``.
+    item_type:
+        :class:`ItemType.PRIMARY` or :class:`ItemType.SECONDARY`.
+    credits:
+        The quantity ``cr_m``: credit hours for a course, visit duration in
+        hours for a POI.
+    prerequisites:
+        AND/OR antecedent structure; see :class:`Prerequisites`.
+    topics:
+        The set of topic/theme names covered by the item.  Boolean vectors
+        are derived against a catalog-level vocabulary.
+    category:
+        Optional sub-discipline bucket (used by Univ-2's six-bucket hard
+        constraint; ``None`` elsewhere).
+    metadata:
+        Free-form extras (e.g. geo coordinates and popularity for POIs);
+        stored as a tuple of key/value pairs so the dataclass stays
+        hashable.
+    """
+
+    item_id: str
+    name: str
+    item_type: ItemType
+    credits: float
+    prerequisites: Prerequisites = field(default_factory=Prerequisites.none)
+    topics: FrozenSet[str] = frozenset()
+    category: Optional[str] = None
+    metadata: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.item_id:
+            raise DataModelError("item_id must be a non-empty string")
+        if self.credits <= 0:
+            raise DataModelError(
+                f"item {self.item_id!r}: credits must be positive, "
+                f"got {self.credits}"
+            )
+        if self.item_id in self.prerequisites.referenced_ids():
+            raise DataModelError(
+                f"item {self.item_id!r} cannot be its own prerequisite"
+            )
+        object.__setattr__(self, "topics", frozenset(self.topics))
+
+    @property
+    def is_primary(self) -> bool:
+        """True for core courses / must-visit POIs."""
+        return self.item_type is ItemType.PRIMARY
+
+    @property
+    def is_secondary(self) -> bool:
+        """True for electives / optional POIs."""
+        return self.item_type is ItemType.SECONDARY
+
+    def meta(self, key: str, default: object = None) -> object:
+        """Fetch a metadata value by key (``default`` when absent)."""
+        for k, v in self.metadata:
+            if k == key:
+                return v
+        return default
+
+    def topic_vector(self, vocabulary: Sequence[str]) -> Tuple[int, ...]:
+        """Boolean vector of this item's topics over ``vocabulary``.
+
+        The i-th entry is 1 iff ``vocabulary[i]`` is covered by the item,
+        mirroring the paper's ``T^m`` notation.
+        """
+        return tuple(1 if t in self.topics else 0 for t in vocabulary)
+
+    def with_type(self, item_type: ItemType) -> "Item":
+        """Copy of this item with a different primary/secondary type.
+
+        Used when the same underlying course plays different roles in
+        different degree programs (e.g. CS 675 is core in DS-CT but an
+        elective in M.S. CS).
+        """
+        return Item(
+            item_id=self.item_id,
+            name=self.name,
+            item_type=item_type,
+            credits=self.credits,
+            prerequisites=self.prerequisites,
+            topics=self.topics,
+            category=self.category,
+            metadata=self.metadata,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return f"{self.item_id} ({self.item_type.value})"
+
+
+def make_metadata(**kwargs: object) -> Tuple[Tuple[str, object], ...]:
+    """Build an :class:`Item` metadata tuple from keyword arguments."""
+    return tuple(sorted(kwargs.items()))

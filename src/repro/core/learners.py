@@ -1,0 +1,245 @@
+"""Alternative model-free learners for the TPP CMDP.
+
+Section III-C surveys the solution space — value/policy iteration,
+Monte Carlo control, and temporal-difference methods — before settling
+on SARSA.  This module implements the classic alternatives over the
+same environment and Q-table so the choice can be measured instead of
+asserted:
+
+* :class:`QLearningLearner` — off-policy TD (the max-operator target),
+* :class:`ExpectedSarsaLearner` — on-policy TD with the expectation
+  target under the epsilon-greedy behaviour policy,
+* :class:`MonteCarloLearner` — first-visit MC control with constant-
+  alpha returns (no bootstrapping).
+
+All three share :class:`SarsaLearner`'s episode plumbing (behaviour
+policy, start pools, diagnostics) and differ only in the update target,
+so the comparison bench isolates exactly the paper's design decision.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .config import PlannerConfig
+from .env import TPPEnvironment
+from .items import Item
+from .qtable import QTable
+from .sarsa import ActionSelection, EpisodeStats, SarsaLearner
+
+
+class QLearningLearner(SarsaLearner):
+    """Off-policy Q-learning: target = r + gamma * max_a' Q(s', a').
+
+    Identical rollouts to SARSA; only the bootstrap target changes, so
+    any performance difference is attributable to on- vs off-policy
+    bootstrapping.
+    """
+
+    def _run_episode(
+        self, table: QTable, episode: int, start_id: str
+    ) -> EpisodeStats:
+        env = self.env
+        catalog = env.catalog
+        state = env.reset(start_id)
+        total_reward = 0.0
+        zero_steps = 0
+
+        while True:
+            actions = env.valid_actions()
+            if not actions:
+                break
+            action = self._choose_action(table, state, actions)
+            reward, done = env.step(action)
+            total_reward += reward
+            if reward == 0.0:
+                zero_steps += 1
+
+            s_idx = catalog.index_of(state.item_id)
+            a_idx = catalog.index_of(action.item_id)
+            if done:
+                table.td_update(
+                    s_idx, a_idx, reward, self.config.learning_rate
+                )
+                break
+            next_actions = env.valid_actions()
+            if not next_actions:
+                table.td_update(
+                    s_idx, a_idx, reward, self.config.learning_rate
+                )
+                break
+            next_idx = catalog.index_of(action.item_id)
+            best_next = max(
+                table.values[next_idx, catalog.index_of(item.item_id)]
+                for item in next_actions
+            )
+            target = reward + self.config.discount * best_next
+            table.td_update(s_idx, a_idx, target, self.config.learning_rate)
+            state = action
+
+        return EpisodeStats(
+            episode=episode,
+            start_item_id=start_id,
+            length=len(env.builder),
+            total_reward=total_reward,
+            zero_reward_steps=zero_steps,
+        )
+
+
+class ExpectedSarsaLearner(SarsaLearner):
+    """Expected SARSA: target = r + gamma * E_pi[Q(s', .)].
+
+    The expectation is taken under the epsilon-greedy distribution the
+    behaviour policy actually follows (uniform epsilon mass plus the
+    greedy remainder), removing SARSA's sampling variance in the target.
+    """
+
+    def _expected_value(
+        self, table: QTable, state: Item, actions: Sequence[Item]
+    ) -> float:
+        catalog = self.env.catalog
+        s_idx = catalog.index_of(state.item_id)
+        values = np.array(
+            [
+                table.values[s_idx, catalog.index_of(item.item_id)]
+                for item in actions
+            ]
+        )
+        eps = self.config.exploration
+        if len(values) == 1:
+            return float(values[0])
+        greedy = float(values.max())
+        uniform = float(values.mean())
+        return eps * uniform + (1.0 - eps) * greedy
+
+    def _run_episode(
+        self, table: QTable, episode: int, start_id: str
+    ) -> EpisodeStats:
+        env = self.env
+        catalog = env.catalog
+        state = env.reset(start_id)
+        total_reward = 0.0
+        zero_steps = 0
+
+        while True:
+            actions = env.valid_actions()
+            if not actions:
+                break
+            action = self._choose_action(table, state, actions)
+            reward, done = env.step(action)
+            total_reward += reward
+            if reward == 0.0:
+                zero_steps += 1
+
+            s_idx = catalog.index_of(state.item_id)
+            a_idx = catalog.index_of(action.item_id)
+            if done:
+                table.td_update(
+                    s_idx, a_idx, reward, self.config.learning_rate
+                )
+                break
+            next_actions = env.valid_actions()
+            if not next_actions:
+                table.td_update(
+                    s_idx, a_idx, reward, self.config.learning_rate
+                )
+                break
+            expected = self._expected_value(table, action, next_actions)
+            target = reward + self.config.discount * expected
+            table.td_update(s_idx, a_idx, target, self.config.learning_rate)
+            state = action
+
+        return EpisodeStats(
+            episode=episode,
+            start_item_id=start_id,
+            length=len(env.builder),
+            total_reward=total_reward,
+            zero_reward_steps=zero_steps,
+        )
+
+
+class MonteCarloLearner(SarsaLearner):
+    """First-visit constant-alpha Monte Carlo control.
+
+    The whole episode is rolled out first; each visited (state, action)
+    pair is then updated toward its observed discounted return.  No
+    bootstrapping — the textbook contrast to the TD learners above.
+    """
+
+    def _run_episode(
+        self, table: QTable, episode: int, start_id: str
+    ) -> EpisodeStats:
+        env = self.env
+        catalog = env.catalog
+        state = env.reset(start_id)
+        total_reward = 0.0
+        zero_steps = 0
+        trajectory: List[Tuple[int, int, float]] = []
+
+        while True:
+            actions = env.valid_actions()
+            if not actions:
+                break
+            action = self._choose_action(table, state, actions)
+            reward, done = env.step(action)
+            total_reward += reward
+            if reward == 0.0:
+                zero_steps += 1
+            trajectory.append(
+                (
+                    catalog.index_of(state.item_id),
+                    catalog.index_of(action.item_id),
+                    reward,
+                )
+            )
+            if done:
+                break
+            state = action
+
+        # Backward pass: discounted returns, first-visit updates.
+        g = 0.0
+        seen: set = set()
+        returns: Dict[Tuple[int, int], float] = {}
+        for s_idx, a_idx, reward in reversed(trajectory):
+            g = reward + self.config.discount * g
+            returns[(s_idx, a_idx)] = g  # earliest visit wins (overwrites)
+        for (s_idx, a_idx), g_value in returns.items():
+            if (s_idx, a_idx) not in seen:
+                seen.add((s_idx, a_idx))
+                table.td_update(
+                    s_idx, a_idx, g_value, self.config.learning_rate
+                )
+
+        return EpisodeStats(
+            episode=episode,
+            start_item_id=start_id,
+            length=len(env.builder),
+            total_reward=total_reward,
+            zero_reward_steps=zero_steps,
+        )
+
+
+LEARNERS: Dict[str, type] = {
+    "sarsa": SarsaLearner,
+    "q_learning": QLearningLearner,
+    "expected_sarsa": ExpectedSarsaLearner,
+    "monte_carlo": MonteCarloLearner,
+}
+
+
+def make_learner(
+    name: str,
+    env: TPPEnvironment,
+    config: PlannerConfig,
+    selection: ActionSelection = ActionSelection.REWARD_GREEDY,
+) -> SarsaLearner:
+    """Instantiate a learner by registry name (see :data:`LEARNERS`)."""
+    try:
+        cls = LEARNERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown learner {name!r}; available: {sorted(LEARNERS)}"
+        ) from None
+    return cls(env, config, selection=selection)

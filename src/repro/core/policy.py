@@ -1,0 +1,187 @@
+"""Plan recommendation from a learned Q-table (Algorithm 1, lines 15-24).
+
+Given a learned policy (Q-table) and a starting item, the recommender
+greedily traverses the table: from the current item it picks the
+unvisited item with the maximum Q-value, repeating until the sequence
+holds ``H`` items (courses) or the time budget is exhausted (trips).
+
+Two traversal strategies are provided:
+
+* ``Q_ONLY`` — the literal Algorithm 1: argmax of the stored Q value.
+* ``LOOKAHEAD`` (default) — argmax of ``R(s, a) + gamma * max_b Q(a, b)``:
+  the same learned table supplies the long-horizon value, but the
+  immediate term is recomputed in the *actual* plan context.  Because a
+  state is only the last item, stored Q entries average over every
+  prefix that ever reached that item; re-evaluating Eq. 2 against the
+  true prefix removes that aliasing and recovers the paper's reported
+  score levels (the ablation bench compares both).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from .catalog import Catalog
+from .constraints import TaskSpec
+from .env import DomainMode
+from .exceptions import PlanningError, UntrainedPolicyError
+from .items import Item
+from .plan import Plan, PlanBuilder
+from .qtable import QTable
+from .config import RecommendationMode
+from .reward import RewardFunction
+
+
+class GreedyPolicy:
+    """Greedy Q-table traversal producing a plan.
+
+    Parameters
+    ----------
+    qtable:
+        The learned action-value table.
+    task:
+        Hard/soft constraints (provides the horizon and the trip budget).
+    mode:
+        Course or trip semantics for episode termination.
+    rng_seed:
+        Seed for random tie-breaking among equal Q-values (None = catalog
+        order, fully deterministic).
+    reward:
+        Optional :class:`RewardFunction`; when provided, actions failing
+        its Eq. 3/4 gates are masked out at recommendation time (the
+        "valid action" semantics of Section III-B-1), falling back to
+        the unmasked set only when no gated action exists.
+    """
+
+    def __init__(
+        self,
+        qtable: QTable,
+        task: TaskSpec,
+        mode: DomainMode = DomainMode.COURSE,
+        rng_seed: Optional[int] = None,
+        reward: Optional[RewardFunction] = None,
+        recommendation: RecommendationMode = RecommendationMode.LOOKAHEAD,
+        discount: float = 0.95,
+        mask: bool = True,
+    ) -> None:
+        self.qtable = qtable
+        self.task = task
+        self.mode = mode
+        self.reward = reward
+        self.recommendation = recommendation
+        self.discount = discount
+        self.mask = mask
+        if recommendation is RecommendationMode.LOOKAHEAD and reward is None:
+            raise PlanningError(
+                "LOOKAHEAD recommendation needs a reward function"
+            )
+        self._rng = (
+            np.random.default_rng(rng_seed) if rng_seed is not None else None
+        )
+
+    @property
+    def catalog(self) -> Catalog:
+        """The catalog the Q-table is defined over."""
+        return self.qtable.catalog
+
+    def recommend(
+        self,
+        start_item_id: str,
+        horizon: Optional[int] = None,
+        require_trained: bool = True,
+    ) -> Plan:
+        """Produce a plan of up to ``horizon`` items starting at the item.
+
+        Parameters
+        ----------
+        start_item_id:
+            The first item of the plan (``s_1`` of Table III).
+        horizon:
+            Override of the task's plan length (#primary + #secondary).
+        require_trained:
+            When True, refuse to recommend from a never-updated table
+            (all-zero Q would otherwise yield an arbitrary plan).
+        """
+        catalog = self.catalog
+        if start_item_id not in catalog:
+            raise PlanningError(
+                f"start item {start_item_id!r} not in catalog "
+                f"{catalog.name!r}"
+            )
+        h = horizon if horizon is not None else self.task.hard.plan_length
+        if require_trained and self.qtable.update_count == 0 and h > 1:
+            raise UntrainedPolicyError(
+                "the Q-table has never been updated; train first or pass "
+                "require_trained=False"
+            )
+        builder = PlanBuilder(catalog)
+        builder.add(catalog[start_item_id])
+        current = start_item_id
+
+        while len(builder) < h:
+            candidates = self._allowed_actions(builder)
+            if not candidates:
+                break
+            if self.recommendation is RecommendationMode.LOOKAHEAD:
+                next_id = self._lookahead_choice(builder, candidates)
+            else:
+                next_id = self.qtable.best_action(
+                    current, [c.item_id for c in candidates], rng=self._rng
+                )
+            builder.add_by_id(next_id)
+            current = next_id
+
+        return builder.build()
+
+    def _lookahead_choice(
+        self, builder: PlanBuilder, candidates: Sequence[Item]
+    ) -> str:
+        """argmax over a of ``R(s, a) + gamma * max_b Q(a, b)``."""
+        catalog = self.catalog
+        q = self.qtable.values
+        remaining_ids = [item.item_id for item in builder.remaining_items()]
+        best_value = -np.inf
+        winners: list = []
+        for action in candidates:
+            a_idx = catalog.index_of(action.item_id)
+            future = 0.0
+            for other_id in remaining_ids:
+                if other_id == action.item_id:
+                    continue
+                value = q[a_idx, catalog.index_of(other_id)]
+                if value > future:
+                    future = value
+            total = self.reward(builder, action) + self.discount * future
+            if total > best_value + 1e-12:
+                best_value = total
+                winners = [action.item_id]
+            elif abs(total - best_value) <= 1e-12:
+                winners.append(action.item_id)
+        if len(winners) > 1 and self._rng is not None:
+            return winners[int(self._rng.integers(len(winners)))]
+        return winners[0]
+
+    def _allowed_actions(self, builder: PlanBuilder) -> Tuple[Item, ...]:
+        """Unvisited items (trip mode: also within the time budget),
+        gate-masked when a reward function is attached."""
+        remaining = builder.remaining_items()
+        if self.mode is DomainMode.TRIP:
+            budget_left = self.task.hard.min_credits - builder.total_credits
+            remaining = tuple(
+                item
+                for item in remaining
+                if item.credits <= budget_left + 1e-9
+            )
+        if self.mask and self.reward is not None:
+            return self.reward.mask_actions(builder, remaining)
+        return remaining
+
+    def recommend_many(
+        self, start_item_ids: Sequence[str], horizon: Optional[int] = None
+    ) -> Tuple[Plan, ...]:
+        """Recommend one plan per starting item."""
+        return tuple(
+            self.recommend(start, horizon=horizon) for start in start_item_ids
+        )

@@ -1,0 +1,182 @@
+"""The |I| x |I| action-value table of Section III-C.
+
+``Q[s, e]`` estimates how good it is to move from the item at index ``s``
+to the item at index ``e``.  Because the interaction graph is complete
+and states are items, the table is a dense square matrix over catalog
+indices; the diagonal (self-transitions) is never used.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .catalog import Catalog
+from .exceptions import PlanningError
+
+
+class QTable:
+    """Dense action-value table keyed by catalog item indices.
+
+    Parameters
+    ----------
+    catalog:
+        Defines the index space; the table is ``len(catalog)`` squared.
+    initial_value:
+        Optimistic or zero initialization for all entries.
+    """
+
+    def __init__(self, catalog: Catalog, initial_value: float = 0.0) -> None:
+        self.catalog = catalog
+        n = len(catalog)
+        self._values = np.full((n, n), float(initial_value), dtype=np.float64)
+        self._updates = 0
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """``(|I|, |I|)``."""
+        return self._values.shape
+
+    @property
+    def update_count(self) -> int:
+        """Number of TD updates applied (learning-progress metric)."""
+        return self._updates
+
+    @property
+    def values(self) -> np.ndarray:
+        """The underlying matrix (a live view; do not mutate directly)."""
+        return self._values
+
+    def get(self, state_id: str, action_id: str) -> float:
+        """``Q(s, e)`` by item ids."""
+        s = self.catalog.index_of(state_id)
+        e = self.catalog.index_of(action_id)
+        return float(self._values[s, e])
+
+    def set(self, state_id: str, action_id: str, value: float) -> None:
+        """Overwrite one entry (used by tests and transfer mapping)."""
+        s = self.catalog.index_of(state_id)
+        e = self.catalog.index_of(action_id)
+        self._values[s, e] = value
+
+    def td_update(
+        self,
+        state_idx: int,
+        action_idx: int,
+        target: float,
+        learning_rate: float,
+    ) -> float:
+        """Apply ``Q += alpha * (target - Q)`` and return the new value."""
+        old = self._values[state_idx, action_idx]
+        new = old + learning_rate * (target - old)
+        self._values[state_idx, action_idx] = new
+        self._updates += 1
+        return float(new)
+
+    # ------------------------------------------------------------------
+    # Greedy lookups
+    # ------------------------------------------------------------------
+
+    def best_action(
+        self,
+        state_id: str,
+        allowed_ids: Sequence[str],
+        rng: Optional[np.random.Generator] = None,
+    ) -> str:
+        """Argmax over allowed actions from ``state_id``.
+
+        Ties are broken uniformly at random when ``rng`` is given, else
+        by catalog order (deterministic).
+        """
+        if not allowed_ids:
+            raise PlanningError(
+                f"no allowed actions from state {state_id!r}"
+            )
+        s = self.catalog.index_of(state_id)
+        indices = np.fromiter(
+            (self.catalog.index_of(a) for a in allowed_ids),
+            dtype=np.int64,
+            count=len(allowed_ids),
+        )
+        row = self._values[s, indices]
+        best = row.max()
+        winners = [
+            allowed_ids[i] for i in range(len(allowed_ids)) if row[i] >= best
+        ]
+        if rng is not None and len(winners) > 1:
+            return winners[int(rng.integers(len(winners)))]
+        return winners[0]
+
+    def action_values(
+        self, state_id: str, allowed_ids: Sequence[str]
+    ) -> Dict[str, float]:
+        """Q-values of the allowed actions from ``state_id``."""
+        s = self.catalog.index_of(state_id)
+        return {
+            a: float(self._values[s, self.catalog.index_of(a)])
+            for a in allowed_ids
+        }
+
+    # ------------------------------------------------------------------
+    # Serialization / transfer support
+    # ------------------------------------------------------------------
+
+    def to_entries(self) -> Dict[Tuple[str, str], float]:
+        """Sparse dict of the non-zero entries, keyed by item-id pairs.
+
+        Used by transfer learning to re-key values onto another catalog
+        and by tests to snapshot learned policies.
+        """
+        entries: Dict[Tuple[str, str], float] = {}
+        ids = self.catalog.item_ids
+        rows, cols = np.nonzero(self._values)
+        for r, c in zip(rows.tolist(), cols.tolist()):
+            entries[(ids[r], ids[c])] = float(self._values[r, c])
+        return entries
+
+    @classmethod
+    def from_entries(
+        cls,
+        catalog: Catalog,
+        entries: Dict[Tuple[str, str], float],
+        strict: bool = False,
+    ) -> "QTable":
+        """Rebuild a table over ``catalog`` from id-keyed entries.
+
+        Entries whose ids are absent from ``catalog`` are skipped unless
+        ``strict`` is True — this permissive behaviour is exactly what
+        cross-catalog transfer needs.
+        """
+        table = cls(catalog)
+        skipped = 0
+        for (state_id, action_id), value in entries.items():
+            if state_id in catalog and action_id in catalog:
+                table.set(state_id, action_id, value)
+            elif strict:
+                missing = state_id if state_id not in catalog else action_id
+                raise PlanningError(
+                    f"entry references item {missing!r} not in catalog "
+                    f"{catalog.name!r}"
+                )
+            else:
+                skipped += 1
+        table._skipped_on_load = skipped  # type: ignore[attr-defined]
+        return table
+
+    def copy(self) -> "QTable":
+        """Deep copy over the same catalog."""
+        clone = QTable(self.catalog)
+        clone._values = self._values.copy()
+        clone._updates = self._updates
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        return (
+            f"QTable(catalog={self.catalog.name!r}, shape={self.shape}, "
+            f"updates={self._updates})"
+        )

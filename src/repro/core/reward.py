@@ -1,0 +1,345 @@
+"""The weighted reward function of Equation 2.
+
+    R(s_i, e_i, s_{i+1}) = theta * [ delta * Sim(s_{i+1}, IT_{i+1})
+                                     + beta * weight_{type_m} ]
+    theta = r1 * r2                                             (Eq. 5)
+
+where
+
+* ``r1`` (Eq. 3) gates on *topic coverage*: the action must add at least
+  ``epsilon`` new topics from ``T_ideal`` to the running coverage set,
+* ``r2`` (Eq. 4) gates on the *antecedent gap*: every (AND) / any (OR)
+  prerequisite of the added item must already be in the plan at least
+  ``gap`` positions earlier — in the trip domain the gap is instantiated
+  as "no two consecutive POIs of the same theme",
+* ``Sim`` is the interleaving similarity of the plan prefix *after* the
+  action against the template ``IT`` (Eq. 6/7, average or minimum
+  aggregation),
+* ``weight_{type_m}`` is ``w1`` for primary and ``w2`` for secondary
+  items (``w1 > w2``), generalized to per-category weights w1..w6 for the
+  Univ-2 six-sub-discipline requirement.
+
+This module exposes both the individual components (so tests and the
+EDA baseline can reuse them) and a :class:`RewardFunction` that binds a
+catalog + task + config into a single callable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .config import PlannerConfig
+from .constraints import TaskSpec
+from .items import Item
+from .plan import PlanBuilder
+from .similarity import aggregate_similarity
+from .validation import haversine_km
+
+
+@dataclass(frozen=True)
+class RewardBreakdown:
+    """The components of one reward evaluation, for diagnostics.
+
+    ``total`` is the Equation-2 value; the other fields expose the gates
+    and terms so experiments can report *why* an action scored zero.
+    """
+
+    r1_coverage: int
+    r2_gap: int
+    similarity: float
+    type_weight: float
+    total: float
+
+    @property
+    def theta(self) -> int:
+        """The multiplicative gate ``theta = r1 * r2`` (Eq. 5)."""
+        return self.r1_coverage * self.r2_gap
+
+
+class RewardFunction:
+    """Equation 2 bound to a task specification and planner config.
+
+    Parameters
+    ----------
+    task:
+        The :class:`TaskSpec` with hard and soft constraints.
+    config:
+        The :class:`PlannerConfig` carrying epsilon, delta/beta, type
+        weights, and the similarity aggregation mode.
+    """
+
+    def __init__(self, task: TaskSpec, config: PlannerConfig) -> None:
+        self.task = task
+        self.config = config
+        self._coverage_needed = config.coverage_count_threshold(
+            len(task.soft.ideal_topics)
+        )
+        self._category_weights = config.weights.category_weight_map
+
+    # ------------------------------------------------------------------
+    # Components
+    # ------------------------------------------------------------------
+
+    def coverage_gate(self, builder: PlanBuilder, item: Item) -> int:
+        """``r1`` (Eq. 3): does the action add enough new ideal topics?"""
+        gained = builder.new_topics(item) & self.task.soft.ideal_topics
+        return 1 if len(gained) >= self._coverage_needed else 0
+
+    def gap_gate(self, builder: PlanBuilder, item: Item) -> int:
+        """``r2`` (Eq. 4): antecedent/prerequisite gap satisfaction.
+
+        Items without antecedents trivially pass.  In trip mode
+        (``theme_adjacency_gap``) the gate additionally rejects an item
+        sharing a theme with the immediately preceding POI, which is how
+        the paper instantiates the trip-domain ``gap``.
+        """
+        if self.task.hard.theme_adjacency_gap:
+            last = builder.last_item
+            if last is not None and last.topics & item.topics:
+                return 0
+        if item.prerequisites.is_empty:
+            return 1
+        position = len(builder)  # the item lands at this 0-based position
+        satisfied = item.prerequisites.satisfied_by(
+            builder.positions, position, self.task.hard.gap
+        )
+        return 1 if satisfied else 0
+
+    def interleaving_similarity(
+        self, builder: PlanBuilder, item: Item
+    ) -> float:
+        """Aggregated Eq. 6/7 similarity of the prefix including ``item``."""
+        prefix = builder.type_sequence() + (item.item_type,)
+        if len(prefix) > self.task.soft.template.length:
+            # Beyond the template horizon (possible in trip mode before
+            # the time budget bites) template adherence is moot.
+            return 0.0
+        return aggregate_similarity(
+            prefix, self.task.soft.template, self.config.similarity
+        )
+
+    def type_weight(self, item: Item) -> float:
+        """``weight_{type_m}``: category weight when configured, else w1/w2."""
+        if self._category_weights and item.category is not None:
+            weight = self._category_weights.get(item.category)
+            if weight is not None:
+                return weight
+        if item.is_primary:
+            return self.config.weights.w_primary
+        return self.config.weights.w_secondary
+
+    def feasibility_gate(self, builder: PlanBuilder, item: Item) -> bool:
+        """Lookahead mask: can the plan still satisfy P_hard after ``item``?
+
+        Not part of the Eq. 2 value — the paper handles these constraints
+        through the weighted reward and Theorem 1's argument — but used
+        as an *action mask* alongside r1/r2 so the greedy traversal never
+        paints itself into a corner on the primary split, the Univ-2
+        per-category credit minima, or the trip distance threshold.
+        """
+        hard = self.task.hard
+        slots_after = hard.plan_length - (len(builder) + 1)
+        if slots_after < 0:
+            return False
+
+        # Primary split: enough primary slots and unused primaries left.
+        primaries_have = sum(
+            1 for chosen in builder.items if chosen.is_primary
+        ) + (1 if item.is_primary else 0)
+        primaries_short = max(0, hard.num_primary - primaries_have)
+        if primaries_short > slots_after:
+            return False
+        # Future positions that matter for reachability: a pooled item
+        # can still enter the plan only if each of its prerequisite
+        # groups has a member already placed (counting the candidate)
+        # early enough to satisfy the gap by the final slot.
+        future_positions = dict(builder.positions)
+        future_positions[item.item_id] = len(builder)
+        last_slot = hard.plan_length - 1
+        unused = [
+            other
+            for other in builder.remaining_items()
+            if other.item_id != item.item_id
+            and self._reachable(other, future_positions, last_slot)
+        ]
+        unused_primaries = sum(1 for other in unused if other.is_primary)
+        if primaries_short > unused_primaries:
+            return False
+
+        if not self._joint_feasible(
+            builder, item, unused, slots_after, primaries_short
+        ):
+            return False
+        return self._distance_feasible(builder, item)
+
+    def _reachable(self, item: Item, positions, last_slot: int) -> bool:
+        """Could ``item`` still legally enter the plan by the final slot?
+
+        Conservative filter for feasibility pools: an item with an
+        unsatisfied prerequisite group whose members are all absent from
+        the (projected) plan cannot be scheduled any more.  Items whose
+        prerequisites might *themselves* still be added later are
+        counted as unreachable — a stricter gate only makes validity
+        more robust.
+        """
+        if item.prerequisites.is_empty:
+            return True
+        return item.prerequisites.satisfied_by(
+            positions, last_slot, self.task.hard.gap
+        )
+
+    def _joint_feasible(
+        self,
+        builder: PlanBuilder,
+        item: Item,
+        unused,
+        slots_after: int,
+        primaries_short: int,
+    ) -> bool:
+        """Category minima and the primary quota, checked *jointly*.
+
+        The two constraints interact: when the remaining slots are all
+        forced to be primary, a category whose unused pool is all
+        secondary can no longer be filled.  Categories partition items,
+        so a greedy assignment that prefers primaries inside each
+        category's demand is exact.
+        """
+        minima = self.task.hard.category_credit_map
+        if not minima:
+            return True
+        earned: Dict[str, float] = {}
+        for chosen in builder.items:
+            if chosen.category is not None:
+                earned[chosen.category] = (
+                    earned.get(chosen.category, 0.0) + chosen.credits
+                )
+        if item.category is not None:
+            earned[item.category] = (
+                earned.get(item.category, 0.0) + item.credits
+            )
+
+        slots_used = 0
+        primaries_covered = 0
+        for category, minimum in minima.items():
+            shortfall = minimum - earned.get(category, 0.0)
+            if shortfall <= 1e-9:
+                continue
+            pool = [o for o in unused if o.category == category]
+            if not pool:
+                return False
+            per_item = min(o.credits for o in pool)
+            needed = int(-(-shortfall // per_item))  # ceil division
+            if needed > len(pool):
+                return False
+            slots_used += needed
+            # Prefer primaries inside the demand: they double-count
+            # toward the primary quota.
+            pool_primaries = sum(1 for o in pool if o.is_primary)
+            primaries_covered += min(needed, pool_primaries)
+
+        if slots_used > slots_after:
+            return False
+        primaries_left = max(0, primaries_short - primaries_covered)
+        free_slots = slots_after - slots_used
+        if primaries_left > free_slots:
+            return False
+        unused_primaries = sum(1 for o in unused if o.is_primary)
+        return primaries_left <= unused_primaries
+
+    def _distance_feasible(self, builder: PlanBuilder, item: Item) -> bool:
+        """Trip distance budget not blown by the leg to ``item``."""
+        max_distance = self.task.hard.max_distance
+        if max_distance is None or not builder.items:
+            return True
+        coords = []
+        for chosen in list(builder.items) + [item]:
+            lat, lon = chosen.meta("lat"), chosen.meta("lon")
+            if lat is None or lon is None:
+                return True  # no geo data: nothing to enforce
+            coords.append((float(lat), float(lon)))
+        total = sum(
+            haversine_km(a[0], a[1], b[0], b[1])
+            for a, b in zip(coords, coords[1:])
+        )
+        return total <= max_distance + 1e-9
+
+    def mask_actions(self, builder: PlanBuilder, candidates) -> tuple:
+        """Tiered action masking used by the environment and recommender.
+
+        Hard-constraint feasibility dominates the (soft) topic-coverage
+        gate: the tiers are, in preference order,
+
+        1. r1 AND r2 AND feasible,
+        2. r2 AND feasible          (sacrifice coverage, keep P_hard),
+        3. r1 AND r2,
+        4. r2,
+        5. everything               (episodes never deadlock).
+        """
+        candidates = tuple(candidates)
+        gap_ok = tuple(
+            item for item in candidates if self.gap_gate(builder, item)
+        )
+        feasible = tuple(
+            item for item in gap_ok if self.feasibility_gate(builder, item)
+        )
+        for tier in (feasible, gap_ok):
+            covered = tuple(
+                item for item in tier if self.coverage_gate(builder, item)
+            )
+            if covered:
+                return covered
+            if tier:
+                return tier
+        return candidates
+
+    # ------------------------------------------------------------------
+    # Equation 2
+    # ------------------------------------------------------------------
+
+    def breakdown(self, builder: PlanBuilder, item: Item) -> RewardBreakdown:
+        """Full component breakdown for adding ``item`` to ``builder``."""
+        r1 = self.coverage_gate(builder, item)
+        r2 = self.gap_gate(builder, item)
+        theta = r1 * r2
+        if theta == 0:
+            # Short-circuit: the gated total is zero regardless of the
+            # soft terms; still compute them lazily only when gated in.
+            return RewardBreakdown(
+                r1_coverage=r1,
+                r2_gap=r2,
+                similarity=0.0,
+                type_weight=self.type_weight(item),
+                total=0.0,
+            )
+        sim = self.interleaving_similarity(builder, item)
+        weight = self.type_weight(item)
+        total = theta * (
+            self.config.weights.delta * sim
+            + self.config.weights.beta * weight
+        )
+        return RewardBreakdown(
+            r1_coverage=r1,
+            r2_gap=r2,
+            similarity=sim,
+            type_weight=weight,
+            total=total,
+        )
+
+    def __call__(self, builder: PlanBuilder, item: Item) -> float:
+        """Equation-2 reward for taking the action that adds ``item``."""
+        return self.breakdown(builder, item).total
+
+    def best_possible(self) -> float:
+        """Upper bound of a single-step reward (for normalization).
+
+        With theta = 1, similarity <= template length (zeta and the match
+        count are each at most k, so Eq. 6 is bounded by k), and weight
+        <= max type/category weight.
+        """
+        weights = [self.config.weights.w_primary, self.config.weights.w_secondary]
+        weights.extend(self._category_weights.values())
+        return (
+            self.config.weights.delta * self.task.soft.template.length
+            + self.config.weights.beta * max(weights)
+        )

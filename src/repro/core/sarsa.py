@@ -1,0 +1,251 @@
+"""The SARSA learner of Algorithm 1 (learning phase).
+
+The paper adapts on-policy SARSA: during an episode the behaviour policy
+selects the next item by maximizing the *immediate Equation-2 reward*
+(Algorithm 1 lines 4 and 9), while the Q-table is updated with the usual
+on-policy temporal-difference rule (Eq. 9)
+
+    Q(s, e) <- Q(s, e) + alpha * [ r + gamma * Q(s', e') - Q(s, e) ]
+
+We additionally support epsilon-greedy exploration on top of the
+reward-greedy choice (``PlannerConfig.exploration``), which breaks the
+determinism of pure greedy rollouts and lets repeated episodes visit more
+of the state space — with ``exploration=0`` the learner is exactly the
+paper's algorithm.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .config import PlannerConfig
+from .env import TPPEnvironment
+from .exceptions import PlanningError
+from .items import Item
+from .qtable import QTable
+
+
+class ActionSelection(enum.Enum):
+    """Behaviour-policy flavour used while learning.
+
+    REWARD_GREEDY is the paper's Algorithm 1 (argmax of immediate Eq. 2
+    reward); Q_GREEDY is classic epsilon-greedy on the current Q-values
+    (provided for the exploration ablation bench).
+    """
+
+    REWARD_GREEDY = "reward_greedy"
+    Q_GREEDY = "q_greedy"
+
+
+@dataclass
+class EpisodeStats:
+    """Per-episode learning diagnostics."""
+
+    episode: int
+    start_item_id: str
+    length: int
+    total_reward: float
+    zero_reward_steps: int
+
+
+@dataclass
+class LearningResult:
+    """Output of a learning run: the Q-table plus diagnostics."""
+
+    qtable: QTable
+    episodes: int
+    elapsed_seconds: float
+    stats: List[EpisodeStats] = field(default_factory=list)
+
+    @property
+    def mean_episode_reward(self) -> float:
+        """Average cumulative reward per episode."""
+        if not self.stats:
+            return 0.0
+        return sum(s.total_reward for s in self.stats) / len(self.stats)
+
+    def reward_trace(self) -> List[float]:
+        """Cumulative reward per episode in order (convergence plots)."""
+        return [s.total_reward for s in self.stats]
+
+
+class SarsaLearner:
+    """On-policy SARSA over a :class:`TPPEnvironment`.
+
+    Parameters
+    ----------
+    env:
+        The episodic environment (catalog + task + reward).
+    config:
+        Hyper-parameters: episodes N, alpha, gamma, exploration epsilon,
+        seed.
+    selection:
+        Behaviour-policy flavour; defaults to the paper's reward-greedy.
+    """
+
+    def __init__(
+        self,
+        env: TPPEnvironment,
+        config: PlannerConfig,
+        selection: ActionSelection = ActionSelection.REWARD_GREEDY,
+    ) -> None:
+        self.env = env
+        self.config = config
+        self.selection = selection
+        self._rng = np.random.default_rng(config.seed)
+
+    # ------------------------------------------------------------------
+    # Behaviour policy
+    # ------------------------------------------------------------------
+
+    def _choose_action(
+        self, qtable: QTable, state: Item, actions: Sequence[Item]
+    ) -> Item:
+        """Pick the next item per the behaviour policy."""
+        if not actions:
+            raise PlanningError("no valid actions available")
+        if (
+            self.config.exploration > 0.0
+            and self._rng.random() < self.config.exploration
+        ):
+            return actions[int(self._rng.integers(len(actions)))]
+        if self.selection is ActionSelection.REWARD_GREEDY:
+            return self._argmax_reward(state, actions)
+        return self._argmax_q(qtable, state, actions)
+
+    def _argmax_reward(self, state: Item, actions: Sequence[Item]) -> Item:
+        """Algorithm-1 selection: maximize the immediate Eq. 2 reward."""
+        builder = self.env.builder
+        rewards = [self.env.reward(builder, item) for item in actions]
+        best = max(rewards)
+        winners = [a for a, r in zip(actions, rewards) if r >= best]
+        if len(winners) == 1:
+            return winners[0]
+        return winners[int(self._rng.integers(len(winners)))]
+
+    def _argmax_q(
+        self, qtable: QTable, state: Item, actions: Sequence[Item]
+    ) -> Item:
+        """Classic greedy-on-Q selection with random tie-breaking."""
+        ids = [a.item_id for a in actions]
+        chosen = qtable.best_action(state.item_id, ids, rng=self._rng)
+        return self.env.catalog[chosen]
+
+    # ------------------------------------------------------------------
+    # Learning
+    # ------------------------------------------------------------------
+
+    def learn(
+        self,
+        start_item_ids: Optional[Sequence[str]] = None,
+        episodes: Optional[int] = None,
+        qtable: Optional[QTable] = None,
+        on_episode: Optional[Callable[[EpisodeStats], None]] = None,
+    ) -> LearningResult:
+        """Run ``episodes`` learning episodes and return the Q-table.
+
+        Parameters
+        ----------
+        start_item_ids:
+            Pool of episode starting items; a start is drawn uniformly
+            per episode.  Defaults to every item in the catalog, which
+            matches "learns Q values ... with different starting states".
+        episodes:
+            Override of ``config.episodes``.
+        qtable:
+            Warm-start table (transfer learning / incremental training).
+        on_episode:
+            Optional callback receiving :class:`EpisodeStats`.
+        """
+        catalog = self.env.catalog
+        if start_item_ids is None:
+            starts: Tuple[str, ...] = catalog.item_ids
+        else:
+            starts = tuple(start_item_ids)
+            for item_id in starts:
+                if item_id not in catalog:
+                    raise PlanningError(
+                        f"start item {item_id!r} not in catalog "
+                        f"{catalog.name!r}"
+                    )
+        if not starts:
+            raise PlanningError("empty start-item pool")
+
+        n_episodes = episodes if episodes is not None else self.config.episodes
+        table = qtable if qtable is not None else QTable(catalog)
+        stats: List[EpisodeStats] = []
+        t0 = time.perf_counter()
+
+        for episode in range(n_episodes):
+            start_id = starts[int(self._rng.integers(len(starts)))]
+            episode_stats = self._run_episode(table, episode, start_id)
+            stats.append(episode_stats)
+            if on_episode is not None:
+                on_episode(episode_stats)
+
+        elapsed = time.perf_counter() - t0
+        return LearningResult(
+            qtable=table,
+            episodes=n_episodes,
+            elapsed_seconds=elapsed,
+            stats=stats,
+        )
+
+    def _run_episode(
+        self, table: QTable, episode: int, start_id: str
+    ) -> EpisodeStats:
+        """One SARSA episode: roll out, updating Q along the way."""
+        env = self.env
+        catalog = env.catalog
+        state = env.reset(start_id)
+        total_reward = 0.0
+        zero_steps = 0
+
+        actions = env.valid_actions()
+        if not actions:
+            return EpisodeStats(episode, start_id, 1, 0.0, 0)
+        action = self._choose_action(table, state, actions)
+
+        while True:
+            reward, done = env.step(action)
+            total_reward += reward
+            if reward == 0.0:
+                zero_steps += 1
+
+            s_idx = catalog.index_of(state.item_id)
+            a_idx = catalog.index_of(action.item_id)
+            next_state = action
+
+            if done:
+                table.td_update(
+                    s_idx, a_idx, reward, self.config.learning_rate
+                )
+                break
+
+            next_actions = env.valid_actions()
+            if not next_actions:
+                table.td_update(
+                    s_idx, a_idx, reward, self.config.learning_rate
+                )
+                break
+            next_action = self._choose_action(table, next_state, next_actions)
+            target = reward + self.config.discount * table.values[
+                catalog.index_of(next_state.item_id),
+                catalog.index_of(next_action.item_id),
+            ]
+            table.td_update(s_idx, a_idx, target, self.config.learning_rate)
+
+            state, action = next_state, next_action
+
+        return EpisodeStats(
+            episode=episode,
+            start_item_id=start_id,
+            length=len(env.builder),
+            total_reward=total_reward,
+            zero_reward_steps=zero_steps,
+        )

@@ -1,0 +1,132 @@
+"""Turning plans into calendars.
+
+The prerequisite gap has a temporal reading — "gap = 3 enforces that the
+prerequisites of m must be taken at least a semester before" when a
+student takes 3 courses per semester.  This module makes that reading
+concrete: it folds a recommended plan into *periods* (semesters for
+courses, time-of-day slots for trips) and renders the schedule the way
+an advisor would hand it out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .exceptions import PlanningError
+from .items import Item
+from .plan import Plan
+
+
+@dataclass(frozen=True)
+class Period:
+    """One schedule period (e.g. a semester) with its items."""
+
+    index: int
+    label: str
+    items: Tuple[Item, ...]
+
+    @property
+    def total_credits(self) -> float:
+        """Credits/hours within the period."""
+        return sum(item.credits for item in self.items)
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A plan folded into consecutive periods."""
+
+    periods: Tuple[Period, ...]
+    plan: Plan
+
+    def __len__(self) -> int:
+        return len(self.periods)
+
+    def period_of(self, item_id: str) -> int:
+        """0-based period index of an item (raises when absent)."""
+        for period in self.periods:
+            if any(item.item_id == item_id for item in period.items):
+                return period.index
+        raise PlanningError(f"item {item_id!r} not in the schedule")
+
+    def respects_prerequisites(self) -> bool:
+        """True when every antecedent sits in a strictly earlier period.
+
+        This is the advisor-facing restatement of the gap constraint:
+        with ``items_per_period == gap``, a gap-valid plan always folds
+        into a prerequisite-respecting schedule.
+        """
+        for period in self.periods:
+            for item in period.items:
+                if item.prerequisites.is_empty:
+                    continue
+                for group in item.prerequisites.groups:
+                    if not any(
+                        member in self.plan.item_ids
+                        and self.period_of(member) < period.index
+                        for member in group
+                    ):
+                        return False
+        return True
+
+    def describe(self) -> str:
+        """Multi-line rendering, one period per block."""
+        lines: List[str] = []
+        for period in self.periods:
+            lines.append(
+                f"{period.label} ({period.total_credits:g} credits)"
+            )
+            for item in period.items:
+                lines.append(
+                    f"  - {item.item_id}: {item.name} "
+                    f"({item.item_type.value})"
+                )
+        return "\n".join(lines)
+
+
+def fold_plan(
+    plan: Plan,
+    items_per_period: int,
+    label_format: str = "Semester {n}",
+) -> Schedule:
+    """Fold a plan into periods of ``items_per_period`` items each.
+
+    For course plans the natural ``items_per_period`` equals the
+    hard-constraint ``gap`` (courses per semester in the paper's
+    running example).
+    """
+    if items_per_period < 1:
+        raise PlanningError("items_per_period must be >= 1")
+    periods: List[Period] = []
+    for start in range(0, len(plan), items_per_period):
+        chunk = plan.items[start:start + items_per_period]
+        index = start // items_per_period
+        periods.append(
+            Period(
+                index=index,
+                label=label_format.format(n=index + 1),
+                items=tuple(chunk),
+            )
+        )
+    return Schedule(periods=tuple(periods), plan=plan)
+
+
+def fold_trip_day(
+    plan: Plan,
+    day_start_hour: float = 9.0,
+    leg_minutes: float = 20.0,
+) -> List[Tuple[str, float, float]]:
+    """Assign wall-clock visit windows to an itinerary.
+
+    Returns (item id, start hour, end hour) triples assuming a fixed
+    walking time between POIs — the way Table VIII's itineraries read
+    as an actual day out.
+    """
+    out: List[Tuple[str, float, float]] = []
+    clock = day_start_hour
+    for i, item in enumerate(plan.items):
+        if i > 0:
+            clock += leg_minutes / 60.0
+        out.append((item.item_id, clock, clock + item.credits))
+        clock += item.credits
+    return out

@@ -1,0 +1,133 @@
+"""Plan scoring, matching Section IV-A's "Measures".
+
+* The score of a recommendation is Eq. 6/7 evaluated for each ideal
+  composition ``I in IT`` with *the highest value selected as the final
+  score*; a perfect, template-equal plan of length ``H`` therefore scores
+  exactly ``H`` — matching the paper's gold-standard scores of 10
+  (Univ-1), 15 (Univ-2), and 5 (trips, whose templates have 5 slots;
+  this also coincides with the top of the POI popularity scale the paper
+  mentions, and mean POI popularity is exposed separately via
+  :func:`mean_popularity` for the itinerary tables).
+* In both domains a plan that violates the hard constraints scores **0**
+  (this is how OMEGA earns its zeros in Figure 1 and how infeasible sweep
+  settings earn zeros in Tables IX/XIV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .constraints import TaskSpec
+from .env import DomainMode
+from .plan import Plan
+from .similarity import max_similarity
+from .validation import PlanValidator, ValidationReport
+
+
+@dataclass(frozen=True)
+class PlanScore:
+    """A scored plan with its validation outcome attached."""
+
+    value: float
+    raw_value: float
+    report: ValidationReport
+    topic_coverage: float
+
+    @property
+    def is_valid(self) -> bool:
+        """True when the plan satisfied every hard constraint."""
+        return self.report.is_valid
+
+
+class PlanScorer:
+    """Scores plans for one (task, domain-mode) pair.
+
+    Parameters
+    ----------
+    task:
+        The TPP instance (provides the template and hard constraints).
+    mode:
+        COURSE uses the best-template similarity score; TRIP uses mean
+        POI popularity.
+    """
+
+    def __init__(self, task: TaskSpec, mode: DomainMode = DomainMode.COURSE) -> None:
+        self.task = task
+        self.mode = mode
+        self.validator = PlanValidator(
+            task.hard, credits_are_budget=(mode is DomainMode.TRIP)
+        )
+
+    def raw_score(self, plan: Plan) -> float:
+        """The domain score ignoring hard-constraint validity."""
+        if len(plan) == 0:
+            return 0.0
+        return self._template_score(plan)
+
+    def score(self, plan: Plan) -> PlanScore:
+        """Full scoring: raw score gated to 0 when the plan is invalid."""
+        report = self.validator.validate(plan)
+        raw = self.raw_score(plan)
+        value = raw if report.is_valid else 0.0
+        return PlanScore(
+            value=value,
+            raw_value=raw,
+            report=report,
+            topic_coverage=plan.topic_coverage_of(self.task.soft.ideal_topics),
+        )
+
+    def gold_reference_score(self) -> float:
+        """The maximum attainable score: a plan identical to some template
+        permutation scores ``H`` (zeta = matches = k = H in Eq. 6)."""
+        return float(self.task.hard.plan_length)
+
+    # ------------------------------------------------------------------
+    # Domain scores
+    # ------------------------------------------------------------------
+
+    def _template_score(self, plan: Plan) -> float:
+        """Best-template Eq. 6 similarity of the complete plan."""
+        sequence = plan.type_sequence()
+        template = self.task.soft.template
+        if len(sequence) > template.length:
+            sequence = sequence[: template.length]
+        return max_similarity(sequence, template)
+
+
+def mean_popularity(plan: Plan) -> Optional[float]:
+    """Mean POI popularity on the 1-5 scale (None when data is missing).
+
+    Auxiliary itinerary metric used by the trip tables (the paper notes
+    the highest POI popularity is 5); not part of the Figure-1 score.
+    """
+    values = []
+    for item in plan.items:
+        popularity = item.meta("popularity")
+        if popularity is None:
+            return None
+        values.append(float(popularity))
+    if not values:
+        return None
+    return sum(values) / len(values)
+
+
+def score_plans(
+    scorer: PlanScorer, plans: Tuple[Plan, ...]
+) -> Tuple[PlanScore, ...]:
+    """Score a batch of plans."""
+    return tuple(scorer.score(plan) for plan in plans)
+
+
+def average_score(scores: Tuple[PlanScore, ...]) -> float:
+    """Mean gated score across runs (the quantity plotted in Figure 1)."""
+    if not scores:
+        return 0.0
+    return sum(s.value for s in scores) / len(scores)
+
+
+def validity_rate(scores: Tuple[PlanScore, ...]) -> float:
+    """Fraction of plans that satisfied all hard constraints."""
+    if not scores:
+        return 0.0
+    return sum(1 for s in scores if s.is_valid) / len(scores)

@@ -1,0 +1,91 @@
+"""Persistence for learned policies.
+
+A trained Q-table can be saved to JSON (sparse, id-keyed — independent
+of catalog index order) and restored against the same or a different
+catalog, enabling the deployment pattern the paper motivates: train
+once per program/city, then answer interactive recommendations from the
+stored policy.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, Tuple, Union
+
+from .catalog import Catalog
+from .exceptions import PlanningError
+from .qtable import QTable
+
+PathLike = Union[str, pathlib.Path]
+
+FORMAT_VERSION = 1
+
+
+def policy_to_dict(qtable: QTable) -> Dict[str, object]:
+    """JSON-safe dict of a Q-table (sparse entries, metadata)."""
+    entries = qtable.to_entries()
+    return {
+        "format_version": FORMAT_VERSION,
+        "catalog_name": qtable.catalog.name,
+        "num_items": len(qtable.catalog),
+        "update_count": qtable.update_count,
+        "entries": [
+            {"state": state, "action": action, "q": value}
+            for (state, action), value in sorted(entries.items())
+        ],
+    }
+
+
+def policy_from_dict(
+    data: Dict[str, object], catalog: Catalog, strict: bool = False
+) -> QTable:
+    """Rebuild a Q-table from :func:`policy_to_dict` output.
+
+    ``strict=True`` refuses entries referencing items missing from
+    ``catalog``; the default skips them (the transfer-friendly
+    behaviour).
+    """
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise PlanningError(
+            f"unsupported policy format version: {version!r}"
+        )
+    raw_entries = data.get("entries")
+    if not isinstance(raw_entries, list):
+        raise PlanningError("malformed policy file: no entries list")
+    entries: Dict[Tuple[str, str], float] = {}
+    for row in raw_entries:
+        try:
+            entries[(str(row["state"]), str(row["action"]))] = float(
+                row["q"]
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PlanningError(
+                f"malformed policy entry: {row!r}"
+            ) from exc
+    table = QTable.from_entries(catalog, entries, strict=strict)
+    if table.update_count == 0 and entries:
+        # Mark as trained so the recommender accepts it even when all
+        # surviving entries happened to be zero-valued.
+        table._updates = int(data.get("update_count", len(entries)) or 1)  # noqa: SLF001
+    return table
+
+
+def save_policy(qtable: QTable, path: PathLike) -> None:
+    """Write a learned policy to a JSON file."""
+    payload = policy_to_dict(qtable)
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_policy(
+    path: PathLike, catalog: Catalog, strict: bool = False
+) -> QTable:
+    """Read a policy JSON file back into a Q-table over ``catalog``."""
+    try:
+        data = json.loads(pathlib.Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise PlanningError(f"cannot read policy file {path}: {exc}") from exc
+    if not isinstance(data, dict):
+        raise PlanningError("malformed policy file: not a JSON object")
+    return policy_from_dict(data, catalog, strict=strict)

@@ -1,0 +1,187 @@
+"""Transfer learning between catalogs (Section IV-D).
+
+The paper learns a policy on one task (e.g. M.S. DS-CT, or NYC) and
+applies it to another (M.S. CS, or Paris).  Since states/actions are
+items, transfer amounts to re-keying the Q-table: entries whose state and
+action items both exist in the target catalog carry over; everything else
+starts at zero.  For disjoint item universes (NYC -> Paris), items are
+matched by *theme signature* instead of id — two POIs correspond when
+they cover the same theme set — which is the closest faithful analogue of
+"apply the learned policy to the other city".
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .catalog import Catalog
+from .exceptions import TransferError
+from .qtable import QTable
+
+
+@dataclass(frozen=True)
+class TransferReport:
+    """Diagnostics of a policy transfer."""
+
+    source_catalog: str
+    target_catalog: str
+    entries_total: int
+    entries_transferred: int
+    matched_items: int
+
+    @property
+    def entry_coverage(self) -> float:
+        """Fraction of source Q entries that survived the transfer."""
+        if self.entries_total == 0:
+            return 0.0
+        return self.entries_transferred / self.entries_total
+
+
+@dataclass(frozen=True)
+class TransferResult:
+    """A transferred Q-table plus its report."""
+
+    qtable: QTable
+    report: TransferReport
+
+
+def transfer_by_id(source: QTable, target: Catalog) -> TransferResult:
+    """Re-key a Q-table onto ``target`` matching items by id.
+
+    The natural mapping for the course-planning transfer: NJIT degree
+    programs share a common course pool (CS 675 is a course in both DS-CT
+    and M.S. CS), so Q mass learned on shared courses carries over
+    directly.
+    """
+    entries = source.to_entries()
+    table = QTable(target)
+    transferred = 0
+    matched = set()
+    for (state_id, action_id), value in entries.items():
+        if state_id in target and action_id in target:
+            table.set(state_id, action_id, value)
+            transferred += 1
+            matched.add(state_id)
+            matched.add(action_id)
+    if transferred:
+        # Mark the table as trained so recommendation does not refuse it.
+        table._updates = transferred  # noqa: SLF001 - deliberate internal poke
+    report = TransferReport(
+        source_catalog=source.catalog.name,
+        target_catalog=target.name,
+        entries_total=len(entries),
+        entries_transferred=transferred,
+        matched_items=len(matched & set(target.item_ids)),
+    )
+    return TransferResult(qtable=table, report=report)
+
+
+def _theme_signature_index(catalog: Catalog) -> Dict[frozenset, List[str]]:
+    """Group item ids by their frozen topic/theme set."""
+    index: Dict[frozenset, List[str]] = defaultdict(list)
+    for item in catalog:
+        index[frozenset(item.topics)].append(item.item_id)
+    return index
+
+
+def build_theme_mapping(
+    source: Catalog, target: Catalog
+) -> Dict[str, Tuple[str, ...]]:
+    """Map each source item id to target ids with the same theme set.
+
+    Items whose exact signature has no counterpart fall back to the
+    best-overlap match (largest Jaccard similarity of theme sets, ties by
+    id order) when any overlap exists; otherwise they map to nothing.
+    """
+    target_index = _theme_signature_index(target)
+    target_items = list(target)
+    mapping: Dict[str, Tuple[str, ...]] = {}
+    for item in source:
+        signature = frozenset(item.topics)
+        exact = target_index.get(signature)
+        if exact:
+            mapping[item.item_id] = tuple(exact)
+            continue
+        best_score = 0.0
+        best_ids: List[str] = []
+        for candidate in target_items:
+            union = signature | candidate.topics
+            if not union:
+                continue
+            score = len(signature & candidate.topics) / len(union)
+            if score > best_score:
+                best_score, best_ids = score, [candidate.item_id]
+            elif score == best_score and score > 0.0:
+                best_ids.append(candidate.item_id)
+        mapping[item.item_id] = tuple(best_ids)
+    return mapping
+
+
+def transfer_by_theme(
+    source: QTable,
+    target: Catalog,
+    mapping: Optional[Dict[str, Tuple[str, ...]]] = None,
+) -> TransferResult:
+    """Re-key a Q-table onto ``target`` matching items by theme signature.
+
+    Used for the NYC <-> Paris transfer where the POI universes are
+    disjoint but themes align.  When several target items share a
+    signature, the transferred value is written to each pair (averaged
+    over contributions when multiple source entries collide).
+    """
+    if mapping is None:
+        mapping = build_theme_mapping(source.catalog, target)
+
+    entries = source.to_entries()
+    sums: Dict[Tuple[str, str], float] = defaultdict(float)
+    counts: Dict[Tuple[str, str], int] = defaultdict(int)
+    transferred = 0
+    matched = set()
+    for (state_id, action_id), value in entries.items():
+        for t_state in mapping.get(state_id, ()):
+            for t_action in mapping.get(action_id, ()):
+                if t_state == t_action:
+                    continue
+                sums[(t_state, t_action)] += value
+                counts[(t_state, t_action)] += 1
+        if mapping.get(state_id) and mapping.get(action_id):
+            transferred += 1
+            matched.update(mapping[state_id])
+            matched.update(mapping[action_id])
+
+    table = QTable(target)
+    for key, total in sums.items():
+        table.set(key[0], key[1], total / counts[key])
+    if sums:
+        table._updates = len(sums)  # noqa: SLF001 - deliberate internal poke
+
+    report = TransferReport(
+        source_catalog=source.catalog.name,
+        target_catalog=target.name,
+        entries_total=len(entries),
+        entries_transferred=transferred,
+        matched_items=len(matched),
+    )
+    return TransferResult(qtable=table, report=report)
+
+
+def transfer_policy(
+    source: QTable, target: Catalog, strategy: str = "auto"
+) -> TransferResult:
+    """Transfer a learned policy to another catalog.
+
+    ``strategy`` is ``"id"``, ``"theme"``, or ``"auto"`` (id-based when
+    the catalogs share items, theme-based otherwise).
+    """
+    if strategy == "id":
+        return transfer_by_id(source, target)
+    if strategy == "theme":
+        return transfer_by_theme(source, target)
+    if strategy == "auto":
+        shared = source.catalog.shared_item_ids(target)
+        if shared:
+            return transfer_by_id(source, target)
+        return transfer_by_theme(source, target)
+    raise TransferError(f"unknown transfer strategy: {strategy!r}")

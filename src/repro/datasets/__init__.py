@@ -1,0 +1,40 @@
+"""Dataset loaders: the paper's six datasets plus the Table II toy."""
+
+from .loaders import (
+    Dataset,
+    LOADERS,
+    load,
+    load_nyc,
+    load_paris,
+    load_toy,
+    load_univ1_cs,
+    load_univ1_cyber,
+    load_univ1_dsct,
+    load_univ2_ds,
+)
+from .synthetic import SyntheticSpec, generate_instance
+from .toy import (
+    TOY_TOPICS,
+    toy_course_catalog,
+    toy_course_task,
+    toy_template,
+)
+
+__all__ = [
+    "Dataset",
+    "SyntheticSpec",
+    "generate_instance",
+    "LOADERS",
+    "TOY_TOPICS",
+    "load",
+    "load_nyc",
+    "load_paris",
+    "load_toy",
+    "load_univ1_cs",
+    "load_univ1_cyber",
+    "load_univ1_dsct",
+    "load_univ2_ds",
+    "toy_course_catalog",
+    "toy_course_task",
+    "toy_template",
+]

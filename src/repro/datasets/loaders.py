@@ -1,0 +1,188 @@
+"""Unified dataset loaders for every experiment in the paper.
+
+Each loader returns a :class:`Dataset` bundling the catalog, the TPP
+task, the domain mode, the matching default planner configuration
+(Table III), the default starting item, and a gold-standard plan —
+everything a bench or example needs in one object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..core.catalog import Catalog
+from ..core.config import PlannerConfig, UNIV2_CATEGORY_WEIGHTS
+from ..core.constraints import TaskSpec
+from ..core.env import DomainMode
+from ..core.exceptions import DatasetError
+from ..core.plan import Plan
+from ..domains.courses import (
+    GeneratedProgram,
+    generate_njit_university,
+    generate_univ2_program,
+    gold_course_plan,
+)
+from ..domains.trips import TripDataset, gold_trip_plan, load_city
+from .toy import toy_course_catalog, toy_course_task
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """One ready-to-run TPP dataset.
+
+    Attributes
+    ----------
+    key:
+        Stable identifier, e.g. ``"njit_dsct"`` or ``"nyc"``.
+    catalog / task / mode:
+        The TPP instance.
+    default_config:
+        Table III defaults for this dataset.
+    default_start:
+        The Table III starting item ``s_1``.
+    gold_plan:
+        A gold-standard plan (None when the oracle is skipped).
+    itineraries:
+        Historical itineraries (trip datasets only) for OMEGA.
+    """
+
+    key: str
+    catalog: Catalog
+    task: TaskSpec
+    mode: DomainMode
+    default_config: PlannerConfig
+    default_start: str
+    gold_plan: Optional[Plan] = None
+    itineraries: Tuple[Tuple[str, ...], ...] = ()
+
+    @property
+    def name(self) -> str:
+        """Human-readable dataset name."""
+        return self.catalog.name
+
+
+def _course_dataset(
+    key: str,
+    program: GeneratedProgram,
+    config: PlannerConfig,
+    with_gold: bool,
+) -> Dataset:
+    task = program.spec.task(program.catalog.topic_vocabulary)
+    gold = None
+    if with_gold:
+        gold = gold_course_plan(
+            program.catalog, task, start_item_id=program.default_start
+        )
+    return Dataset(
+        key=key,
+        catalog=program.catalog,
+        task=task,
+        mode=DomainMode.COURSE,
+        default_config=config,
+        default_start=program.default_start,
+        gold_plan=gold,
+    )
+
+
+def load_univ1_dsct(seed: int = 0, with_gold: bool = True) -> Dataset:
+    """Univ-1 M.S. Data Science — Computational Track (31 courses)."""
+    program = generate_njit_university(seed=seed)["njit_dsct"]
+    return _course_dataset(
+        "njit_dsct", program, PlannerConfig.univ1_default(seed=seed), with_gold
+    )
+
+
+def load_univ1_cyber(seed: int = 0, with_gold: bool = True) -> Dataset:
+    """Univ-1 M.S. Cybersecurity (30 courses)."""
+    program = generate_njit_university(seed=seed)["njit_cyber"]
+    return _course_dataset(
+        "njit_cyber", program, PlannerConfig.univ1_default(seed=seed), with_gold
+    )
+
+
+def load_univ1_cs(seed: int = 0, with_gold: bool = True) -> Dataset:
+    """Univ-1 M.S. Computer Science (32 courses)."""
+    program = generate_njit_university(seed=seed)["njit_cs"]
+    return _course_dataset(
+        "njit_cs", program, PlannerConfig.univ1_default(seed=seed), with_gold
+    )
+
+
+def load_univ2_ds(seed: int = 0, with_gold: bool = True) -> Dataset:
+    """Univ-2 M.S. Data Science (36 courses, six sub-disciplines)."""
+    program = generate_univ2_program(seed=seed)
+    config = PlannerConfig.univ2_default(
+        category_weights=UNIV2_CATEGORY_WEIGHTS, seed=seed
+    )
+    return _course_dataset("univ2_ds", program, config, with_gold)
+
+
+def _trip_dataset(trip: TripDataset, seed: int, with_gold: bool) -> Dataset:
+    gold = None
+    if with_gold:
+        gold = gold_trip_plan(
+            trip.catalog, trip.task, start_item_id=trip.default_start
+        )
+    return Dataset(
+        key=trip.name,
+        catalog=trip.catalog,
+        task=trip.task,
+        mode=DomainMode.TRIP,
+        default_config=PlannerConfig.trip_default(seed=seed),
+        default_start=trip.default_start,
+        gold_plan=gold,
+        itineraries=trip.itineraries,
+    )
+
+
+def load_nyc(seed: int = 0, with_gold: bool = True) -> Dataset:
+    """NYC trip dataset (90 POIs, 21 themes, 2908 itineraries)."""
+    return _trip_dataset(load_city("nyc", seed=seed), seed, with_gold)
+
+
+def load_paris(seed: int = 0, with_gold: bool = True) -> Dataset:
+    """Paris trip dataset (114 POIs, 16 themes, 5494 itineraries)."""
+    return _trip_dataset(load_city("paris", seed=seed), seed, with_gold)
+
+
+def load_toy(seed: int = 0, with_gold: bool = False) -> Dataset:
+    """The paper's Table II six-course toy example."""
+    catalog = toy_course_catalog()
+    task = toy_course_task()
+    gold = None
+    if with_gold:
+        gold = gold_course_plan(catalog, task, start_item_id="m1")
+    return Dataset(
+        key="toy",
+        catalog=catalog,
+        task=task,
+        mode=DomainMode.COURSE,
+        default_config=PlannerConfig(
+            episodes=200, coverage_threshold=1.0, seed=seed
+        ),
+        default_start="m1",
+        gold_plan=gold,
+    )
+
+
+LOADERS: Dict[str, Callable[..., Dataset]] = {
+    "njit_dsct": load_univ1_dsct,
+    "njit_cyber": load_univ1_cyber,
+    "njit_cs": load_univ1_cs,
+    "univ2_ds": load_univ2_ds,
+    "nyc": load_nyc,
+    "paris": load_paris,
+    "toy": load_toy,
+}
+
+
+def load(key: str, seed: int = 0, with_gold: bool = True) -> Dataset:
+    """Load any dataset by key (see :data:`LOADERS`)."""
+    try:
+        loader = LOADERS[key]
+    except KeyError:
+        raise DatasetError(
+            f"unknown dataset {key!r}; available: {sorted(LOADERS)}"
+        ) from None
+    return loader(seed=seed, with_gold=with_gold)

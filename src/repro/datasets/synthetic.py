@@ -1,0 +1,178 @@
+"""Parametric random TPP instances.
+
+Beyond the six paper datasets, experiments (stress tests, property
+tests, scalability studies) need TPP instances of arbitrary size whose
+feasibility is guaranteed by construction.  :func:`generate_instance`
+produces a catalog + task pair with tunable item counts, topic-vector
+sparsity, prerequisite density, and plan shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.catalog import Catalog
+from ..core.constraints import (
+    HardConstraints,
+    InterleavingTemplate,
+    SoftConstraints,
+    TaskSpec,
+)
+from ..core.exceptions import DatasetError
+from ..core.items import Item, ItemType, Prerequisites
+from ..domains.courses.programs import default_template_labels
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Knobs of a random TPP instance.
+
+    Defaults produce a mid-sized course-like instance; every count is
+    validated for mutual consistency at generation time.
+    """
+
+    num_items: int = 40
+    num_topics: int = 30
+    num_primary_items: int = 12
+    plan_primary: int = 4
+    plan_secondary: int = 5
+    credits_per_item: float = 3.0
+    gap: int = 2
+    topics_per_item: Tuple[int, int] = (2, 4)
+    prerequisite_fraction: float = 0.3
+    seed: int = 0
+
+    @property
+    def plan_length(self) -> int:
+        """Items per plan."""
+        return self.plan_primary + self.plan_secondary
+
+
+def generate_instance(
+    spec: Optional[SyntheticSpec] = None, **overrides
+) -> Tuple[Catalog, TaskSpec]:
+    """Generate a random but guaranteed-feasible TPP instance.
+
+    Keyword overrides are applied on top of ``spec`` (or the default
+    spec), e.g. ``generate_instance(num_items=100, seed=3)``.
+    """
+    if spec is None:
+        spec = SyntheticSpec()
+    if overrides:
+        spec = SyntheticSpec(
+            **{**spec.__dict__, **overrides}  # type: ignore[arg-type]
+        )
+    _validate(spec)
+    rng = np.random.default_rng(spec.seed)
+
+    vocabulary = tuple(f"topic{i:03d}" for i in range(spec.num_topics))
+    lo, hi = spec.topics_per_item
+
+    items = []
+    for index in range(spec.num_items):
+        want = int(rng.integers(lo, hi + 1))
+        picks = rng.choice(spec.num_topics, size=want, replace=False)
+        # Guarantee full vocabulary coverage by dealing topic `index`
+        # (mod vocabulary) into item `index`.
+        topics = {vocabulary[int(p)] for p in picks}
+        topics.add(vocabulary[index % spec.num_topics])
+        items.append(
+            Item(
+                item_id=f"item{index:03d}",
+                name=f"Synthetic Item {index:03d}",
+                item_type=(
+                    ItemType.PRIMARY
+                    if index < spec.num_primary_items
+                    else ItemType.SECONDARY
+                ),
+                credits=spec.credits_per_item,
+                topics=frozenset(topics),
+            )
+        )
+
+    # Shallow prerequisites over the later two thirds of the catalog;
+    # early items (including every plan-eligible starting primary) stay
+    # prerequisite-free so instances remain trivially feasible.
+    n_with_prereqs = int(spec.prerequisite_fraction * spec.num_items)
+    eligible = list(range(spec.num_items // 3, spec.num_items))
+    chosen = rng.choice(
+        len(eligible),
+        size=min(n_with_prereqs, len(eligible)),
+        replace=False,
+    )
+    rebuilt = list(items)
+    receivers = {eligible[int(row)] for row in chosen}
+    for index in sorted(receivers):
+        # Antecedents come from earlier items that neither have nor will
+        # receive prerequisites, keeping every chain depth <= 2.
+        pool = [
+            i for i in range(index)
+            if rebuilt[i].prerequisites.is_empty and i not in receivers
+        ]
+        if not pool:
+            continue
+        n_ante = int(rng.integers(1, min(2, len(pool)) + 1))
+        ante_rows = rng.choice(len(pool), size=n_ante, replace=False)
+        ante = [rebuilt[pool[int(r)]].item_id for r in ante_rows]
+        prereq = (
+            Prerequisites.any_of(ante)
+            if len(ante) > 1 and rng.random() < 0.5
+            else Prerequisites.all_of(ante)
+        )
+        old = rebuilt[index]
+        rebuilt[index] = Item(
+            item_id=old.item_id,
+            name=old.name,
+            item_type=old.item_type,
+            credits=old.credits,
+            prerequisites=prereq,
+            topics=old.topics,
+        )
+
+    catalog = Catalog(
+        rebuilt,
+        name=f"synthetic-{spec.num_items}x{spec.num_topics}"
+             f"-seed{spec.seed}",
+        topic_vocabulary=vocabulary,
+    )
+    task = TaskSpec(
+        hard=HardConstraints.for_courses(
+            min_credits=spec.plan_length * spec.credits_per_item,
+            num_primary=spec.plan_primary,
+            num_secondary=spec.plan_secondary,
+            gap=spec.gap,
+        ),
+        soft=SoftConstraints(
+            ideal_topics=frozenset(vocabulary),
+            template=InterleavingTemplate.from_labels(
+                default_template_labels(
+                    spec.plan_primary, spec.plan_secondary
+                )
+            ),
+        ),
+        name=catalog.name,
+    )
+    return catalog, task
+
+
+def _validate(spec: SyntheticSpec) -> None:
+    if spec.num_items < spec.plan_length:
+        raise DatasetError(
+            "catalog smaller than the requested plan length"
+        )
+    if spec.num_primary_items < spec.plan_primary:
+        raise DatasetError(
+            "not enough primary items for the requested split"
+        )
+    if spec.num_primary_items >= spec.num_items:
+        raise DatasetError("catalog needs secondary items too")
+    if spec.num_topics < 1 or spec.num_items < 1:
+        raise DatasetError("counts must be positive")
+    lo, hi = spec.topics_per_item
+    if not 1 <= lo <= hi <= spec.num_topics:
+        raise DatasetError("bad topics_per_item range")
+    if not 0.0 <= spec.prerequisite_fraction <= 1.0:
+        raise DatasetError("prerequisite_fraction must be in [0, 1]")

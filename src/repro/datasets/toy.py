@@ -1,0 +1,127 @@
+"""The paper's running toy example (Table II, Examples 1 and 2).
+
+Table II's six-course mini catalog with its 13-topic vocabulary, the
+Example-1 ideal topics (Classification, Clustering, Neural Network,
+Linear System) and the Section II-B-1 interleaving template.  Used by
+the quickstart example, documentation snippets, and tests that pin the
+paper's worked numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..core.catalog import Catalog
+from ..core.constraints import (
+    HardConstraints,
+    InterleavingTemplate,
+    SoftConstraints,
+    TaskSpec,
+)
+from ..core.items import Item, ItemType, Prerequisites
+
+# Table II's 13 topics, in column order.
+TOY_TOPICS: Tuple[str, ...] = (
+    "algorithms",
+    "classification",
+    "clustering",
+    "statistics",
+    "regression",
+    "data structure",
+    "neural network",
+    "probability",
+    "data visualization",
+    "linear system",
+    "matrix decomposition",
+    "data management",
+    "data transfer",
+)
+
+
+def toy_course_catalog() -> Catalog:
+    """The six-course catalog of Table II (m1..m6)."""
+    items = (
+        Item(
+            item_id="m1",
+            name="Data Structures and Algorithms",
+            item_type=ItemType.PRIMARY,
+            credits=3,
+            topics=frozenset({"algorithms", "data structure"}),
+        ),
+        Item(
+            item_id="m2",
+            name="Data Mining",
+            item_type=ItemType.SECONDARY,
+            credits=3,
+            topics=frozenset({"classification", "clustering"}),
+        ),
+        Item(
+            item_id="m3",
+            name="Data Analytics",
+            item_type=ItemType.PRIMARY,
+            credits=3,
+            topics=frozenset({"statistics", "probability"}),
+        ),
+        Item(
+            item_id="m4",
+            name="Linear Algebra",
+            item_type=ItemType.SECONDARY,
+            credits=3,
+            topics=frozenset({"data visualization", "linear system"}),
+        ),
+        Item(
+            item_id="m5",
+            name="Big Data",
+            item_type=ItemType.SECONDARY,
+            credits=3,
+            prerequisites=Prerequisites.any_of(["m2", "m3"]),
+            topics=frozenset(
+                {"algorithms", "matrix decomposition", "data management"}
+            ),
+        ),
+        Item(
+            item_id="m6",
+            name="Machine Learning",
+            item_type=ItemType.PRIMARY,
+            credits=3,
+            prerequisites=Prerequisites.all_of(["m4", "m2"]),
+            topics=frozenset(
+                {"classification", "clustering", "regression",
+                 "neural network"}
+            ),
+        ),
+    )
+    return Catalog(items, name="Table II toy", topic_vocabulary=TOY_TOPICS)
+
+
+def toy_template() -> InterleavingTemplate:
+    """The Section II-B-1 template (3 permutations of 3 P + 3 S)."""
+    return InterleavingTemplate.from_labels(
+        (
+            ("P", "P", "S", "P", "S", "S"),
+            ("P", "S", "S", "S", "P", "P"),
+            ("P", "S", "S", "P", "P", "S"),
+        )
+    )
+
+
+def toy_course_task(gap: int = 1) -> TaskSpec:
+    """Example 1's TPP instance over the toy catalog.
+
+    The paper's running gap for the full datasets is 3 (one semester);
+    the toy catalog only has 6 courses so examples default to ``gap=1``
+    (m6 requires m4 AND m2 somewhere earlier), which is the setting
+    under which the paper's illustrative sequence
+    m1 -> m2 -> m4 -> m5 -> m6 -> m3 is feasible.
+    """
+    hard = HardConstraints.for_courses(
+        min_credits=18, num_primary=3, num_secondary=3, gap=gap
+    )
+    soft = SoftConstraints(
+        ideal_topics=frozenset(
+            {"classification", "clustering", "neural network",
+             "linear system"}
+        ),
+        template=toy_template(),
+    )
+    return TaskSpec(hard=hard, soft=soft, name="toy M.S. DS-CT")

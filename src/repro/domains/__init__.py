@@ -1,0 +1,12 @@
+"""Application domains instantiating the TPP framework.
+
+The paper instantiates the generic item/constraint model twice:
+course planning (Section II-B-1, datasets Univ-1 / Univ-2) and trip
+planning (Section II-B-2, datasets NYC / Paris).  Each sub-package
+provides the domain's item flavour, a synthetic dataset generator that
+matches the paper's dataset statistics, and gold-standard plan oracles.
+"""
+
+from .text import extract_topics, tokenize, STOPWORDS
+
+__all__ = ["extract_topics", "tokenize", "STOPWORDS"]

@@ -1,0 +1,53 @@
+"""Course-planning instantiation of TPP (Section II-B-1)."""
+
+from .advising import (
+    PrerequisiteReport,
+    analyze_prerequisites,
+    chain_depth,
+    entry_courses,
+    max_chain_depth,
+    topological_layers,
+    unlocked_by,
+)
+
+from .generator import (
+    GeneratedProgram,
+    TABLE_VI_COURSES,
+    generate_njit_university,
+    generate_univ2_program,
+)
+from .gold import GoldPlanOracle, gold_course_plan
+from .programs import (
+    ALL_PROGRAMS,
+    NJIT_CS,
+    NJIT_CYBERSECURITY,
+    NJIT_DSCT,
+    UNIV2_CATEGORIES,
+    UNIV2_DS,
+    ProgramSpec,
+    default_template_labels,
+)
+
+__all__ = [
+    "ALL_PROGRAMS",
+    "PrerequisiteReport",
+    "analyze_prerequisites",
+    "chain_depth",
+    "entry_courses",
+    "max_chain_depth",
+    "topological_layers",
+    "unlocked_by",
+    "GeneratedProgram",
+    "GoldPlanOracle",
+    "NJIT_CS",
+    "NJIT_CYBERSECURITY",
+    "NJIT_DSCT",
+    "ProgramSpec",
+    "TABLE_VI_COURSES",
+    "UNIV2_CATEGORIES",
+    "UNIV2_DS",
+    "default_template_labels",
+    "generate_njit_university",
+    "generate_univ2_program",
+    "gold_course_plan",
+]

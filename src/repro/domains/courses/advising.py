@@ -1,0 +1,138 @@
+"""Prerequisite-graph analytics for course catalogs.
+
+The structure advisors reason about — what unlocks what, how deep
+requirement chains run, which courses are schedulable in a first
+semester — extracted programmatically.  Used by the examples and by
+dataset sanity tests (e.g. generated catalogs must keep chains shallow
+enough for the paper's 10-slot plans with gap 3).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+from ...core.catalog import Catalog
+from ...core.exceptions import DataModelError
+from ...core.items import Item
+
+
+@dataclass(frozen=True)
+class PrerequisiteReport:
+    """Catalog-level prerequisite statistics."""
+
+    max_chain_depth: int
+    num_with_prerequisites: int
+    num_unlockers: int
+    entry_course_ids: Tuple[str, ...]
+    critical_course_ids: Tuple[str, ...]
+
+
+def chain_depth(catalog: Catalog, item_id: str) -> int:
+    """Length of the deepest antecedent chain ending at ``item_id``.
+
+    0 = no prerequisites.  OR-groups take their *shallowest* member
+    (any one member suffices) while AND-groups take the deepest — the
+    true scheduling depth.
+    """
+    memo: Dict[str, int] = {}
+
+    def depth(current: str, stack: FrozenSet[str]) -> int:
+        if current in memo:
+            return memo[current]
+        if current in stack:
+            raise DataModelError(
+                f"prerequisite cycle involving {current!r}"
+            )
+        item = catalog[current]
+        if item.prerequisites.is_empty:
+            memo[current] = 0
+            return 0
+        total = 0
+        for group in item.prerequisites.groups:
+            members = [m for m in group if m in catalog]
+            if not members:
+                continue  # dangling reference: not schedulable anyway
+            group_depth = min(
+                depth(m, stack | {current}) for m in members
+            )
+            total = max(total, group_depth + 1)
+        memo[current] = total
+        return total
+
+    return depth(item_id, frozenset())
+
+
+def max_chain_depth(catalog: Catalog) -> int:
+    """The deepest antecedent chain anywhere in the catalog."""
+    return max(
+        (chain_depth(catalog, item.item_id) for item in catalog),
+        default=0,
+    )
+
+
+def unlocked_by(catalog: Catalog, item_id: str) -> Tuple[str, ...]:
+    """Every course that transitively lists ``item_id`` upstream."""
+    out: List[str] = []
+    seen = {item_id}
+    queue = deque([item_id])
+    while queue:
+        current = queue.popleft()
+        for dependent in catalog.dependents_of(current):
+            if dependent.item_id not in seen:
+                seen.add(dependent.item_id)
+                out.append(dependent.item_id)
+                queue.append(dependent.item_id)
+    return tuple(sorted(out))
+
+
+def entry_courses(catalog: Catalog) -> Tuple[Item, ...]:
+    """Courses takeable in a first semester (no prerequisites)."""
+    return tuple(
+        item for item in catalog if item.prerequisites.is_empty
+    )
+
+
+def topological_layers(catalog: Catalog) -> List[Tuple[str, ...]]:
+    """Courses grouped by chain depth (layer 0 = entry courses).
+
+    A plan respecting the gap constraint takes layer-k courses no
+    earlier than position ``k * gap``; the layering is the skeleton of
+    any valid schedule.
+    """
+    layers: Dict[int, List[str]] = {}
+    for item in catalog:
+        layers.setdefault(
+            chain_depth(catalog, item.item_id), []
+        ).append(item.item_id)
+    return [
+        tuple(sorted(layers[d])) for d in sorted(layers)
+    ]
+
+
+def analyze_prerequisites(catalog: Catalog) -> PrerequisiteReport:
+    """One-shot prerequisite report of a catalog."""
+    with_prereqs = [
+        item for item in catalog if not item.prerequisites.is_empty
+    ]
+    unlockers = [
+        item for item in catalog
+        if catalog.dependents_of(item.item_id)
+    ]
+    # "Critical" = unlocks the most downstream courses.
+    by_unlocks = sorted(
+        unlockers,
+        key=lambda item: len(unlocked_by(catalog, item.item_id)),
+        reverse=True,
+    )
+    top = by_unlocks[:3]
+    return PrerequisiteReport(
+        max_chain_depth=max_chain_depth(catalog),
+        num_with_prerequisites=len(with_prereqs),
+        num_unlockers=len(unlockers),
+        entry_course_ids=tuple(
+            item.item_id for item in entry_courses(catalog)
+        ),
+        critical_course_ids=tuple(item.item_id for item in top),
+    )

@@ -1,0 +1,452 @@
+"""Synthetic university catalogs matching the paper's dataset statistics.
+
+The paper scrapes NJIT ("Univ-1") and Stanford ("Univ-2") catalogs; those
+scrapes are not redistributable, so we generate catalogs that reproduce
+every statistic the planner is sensitive to: course counts per program
+(31 / 30 / 32 / 36), distinct-topic counts (60 / 61 / 100 / 73), the
+core/elective imbalance assumed by Theorem 1 (#core < #elective in the
+catalog), prerequisite density with AND/OR structures, and — crucial for
+the transfer-learning experiment — a shared course pool between the
+M.S. DS-CT and M.S. CS programs, including the real course ids of the
+paper's Table VI (CS 675 Machine Learning, MATH 661 Applied Statistics,
+...), so transfer tables read like the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ...core.catalog import Catalog
+from ...core.exceptions import DatasetError
+from ...core.items import Item, ItemType, Prerequisites
+from ..text import extract_topics
+from .names import (
+    DATA_SCIENCE_TOPICS,
+    SECURITY_TOPICS,
+    SYSTEMS_CS_TOPICS,
+    compose_course_name,
+    course_code,
+    draw_vocabulary,
+)
+from .programs import (
+    NJIT_CS,
+    NJIT_CYBERSECURITY,
+    NJIT_DSCT,
+    UNIV2_CATEGORIES,
+    UNIV2_DS,
+    ProgramSpec,
+)
+
+# The real shared courses of the paper's Table VI.  Each entry is
+# (course id, course name); topics are extracted from the name.
+TABLE_VI_COURSES: Tuple[Tuple[str, str], ...] = (
+    ("CS 610", "Data Structures and Algorithms"),
+    ("CS 608", "Cryptography and Security"),
+    ("CS 630", "Operating Systems Design"),
+    ("CS 631", "Data Management Systems Design"),
+    ("CS 634", "Data Mining"),
+    ("CS 636", "Data Analytics with Rstudio"),
+    ("CS 639", "Medical Records and Terminologies"),
+    ("CS 644", "Introduction to Big Data Systems"),
+    ("CS 645", "Security and Privacy in Computer Systems"),
+    ("CS 652", "Computer Networks Architectures and Protocols"),
+    ("CS 656", "Internet and Higher Layer Protocols"),
+    ("CS 667", "Design Techniques for Algorithms"),
+    ("CS 675", "Machine Learning"),
+    ("CS 677", "Deep Learning"),
+    ("CS 683", "Software Project Management"),
+    ("MATH 661", "Applied Statistics"),
+    ("CS 700B", "Masters Project"),
+)
+
+
+@dataclass(frozen=True)
+class GeneratedProgram:
+    """One program's catalog plus bookkeeping used by dataset loaders."""
+
+    spec: ProgramSpec
+    catalog: Catalog
+    default_start: str
+    core_ids: Tuple[str, ...]
+    elective_ids: Tuple[str, ...]
+
+
+# ---------------------------------------------------------------------------
+# Low-level course fabrication
+# ---------------------------------------------------------------------------
+
+def _assign_topic_sets(
+    vocabulary: Sequence[str],
+    num_courses: int,
+    rng: np.random.Generator,
+    min_topics: int = 2,
+    max_topics: int = 4,
+    preassigned: Optional[List[Set[str]]] = None,
+) -> List[Set[str]]:
+    """Topic sets for courses such that every vocabulary topic is used.
+
+    Topics are dealt round-robin first (guaranteeing full coverage of the
+    vocabulary, which is what gives the catalog its exact distinct-topic
+    count), then each course is topped up with random extras.
+    """
+    sets: List[Set[str]] = [set() for _ in range(num_courses)]
+    n_fixed = 0
+    if preassigned:
+        n_fixed = len(preassigned)
+        for i, topics in enumerate(preassigned):
+            sets[i] = set(topics)
+
+    # Preassigned (shared-pool) courses keep their topic sets verbatim so
+    # the same course is topic-identical across programs; only synthetic
+    # courses receive round-robin coverage topics and random top-ups.
+    mutable = list(range(n_fixed, num_courses)) or list(range(num_courses))
+    used = set().union(*sets) if preassigned else set()
+    unused = [t for t in vocabulary if t not in used]
+    order = [mutable[int(i)] for i in rng.permutation(len(mutable))]
+    cursor = 0
+    for topic in unused:
+        sets[order[cursor % len(order)]].add(topic)
+        cursor += 1
+
+    for index in mutable:
+        topics = sets[index]
+        want = int(rng.integers(min_topics, max_topics + 1))
+        while len(topics) < want:
+            topics.add(vocabulary[int(rng.integers(len(vocabulary)))])
+    return sets
+
+
+def _assign_prerequisites(
+    ids: Sequence[str],
+    fraction: float,
+    rng: np.random.Generator,
+    protected: Sequence[str] = (),
+) -> Dict[str, Prerequisites]:
+    """Shallow AND/OR prerequisite structures over ``ids``.
+
+    Courses can only require earlier-listed courses (catalog order acts
+    as a difficulty level), chains stay depth <= 2, and ``protected``
+    courses (plan starting points) never receive prerequisites.  This
+    mirrors real programs where a documented share of courses (~35% in
+    the paper's datasets) carry one or two antecedents.
+    """
+    prereqs: Dict[str, Prerequisites] = {i: Prerequisites.none() for i in ids}
+    protected_set = set(protected)
+    has_prereq: Set[str] = set()
+    eligible = [
+        (pos, cid)
+        for pos, cid in enumerate(ids)
+        if pos >= 2 and cid not in protected_set
+    ]
+    count = int(round(fraction * len(ids)))
+    if count == 0 or not eligible:
+        return prereqs
+    chosen_rows = rng.choice(
+        len(eligible), size=min(count, len(eligible)), replace=False
+    )
+    for row in sorted(int(r) for r in chosen_rows):
+        pos, cid = eligible[row]
+        # Antecedent pool: earlier courses that do not themselves have
+        # prerequisites (keeps chains depth <= 2, so a 10-slot plan with
+        # gap 3 stays feasible).
+        pool = [ids[p] for p in range(pos) if ids[p] not in has_prereq]
+        if not pool:
+            continue
+        n_ante = int(rng.integers(1, min(2, len(pool)) + 1))
+        indices = rng.choice(len(pool), size=n_ante, replace=False)
+        antecedents = [pool[int(i)] for i in indices]
+        if len(antecedents) == 1:
+            prereqs[cid] = Prerequisites.all_of(antecedents)
+        elif rng.random() < 0.5:
+            prereqs[cid] = Prerequisites.all_of(antecedents)
+        else:
+            prereqs[cid] = Prerequisites.any_of(antecedents)
+        has_prereq.add(cid)
+    return prereqs
+
+
+def _pick_cores(
+    ids: Sequence[str],
+    spec: ProgramSpec,
+    rng: np.random.Generator,
+    forced_core: Sequence[str] = (),
+) -> Set[str]:
+    """Choose which catalog courses are core for this program.
+
+    Keeps #core < #elective (Theorem 1's catalog assumption) while
+    guaranteeing at least ``spec.num_core + 2`` cores so plans have
+    slack.
+    """
+    target = max(
+        spec.num_core + 2,
+        int(round(spec.core_fraction * len(ids))),
+    )
+    target = min(target, (len(ids) - 1) // 2)  # strictly fewer cores
+    cores: Set[str] = set(forced_core)
+    remaining = [i for i in ids if i not in cores]
+    need = max(0, target - len(cores))
+    if need > len(remaining):
+        raise DatasetError("not enough courses to satisfy the core target")
+    chosen = rng.choice(len(remaining), size=need, replace=False)
+    cores.update(remaining[int(i)] for i in chosen)
+    return cores
+
+
+def _build_items(
+    ids: Sequence[str],
+    names: Dict[str, str],
+    topic_sets: Dict[str, Set[str]],
+    cores: Set[str],
+    prereqs: Dict[str, Prerequisites],
+    spec: ProgramSpec,
+    categories: Optional[Dict[str, str]] = None,
+) -> List[Item]:
+    """Assemble :class:`Item` objects for one program catalog."""
+    items = []
+    for cid in ids:
+        items.append(
+            Item(
+                item_id=cid,
+                name=names[cid],
+                item_type=(
+                    ItemType.PRIMARY if cid in cores else ItemType.SECONDARY
+                ),
+                credits=spec.credits_per_course,
+                prerequisites=prereqs[cid],
+                topics=frozenset(topic_sets[cid]),
+                category=categories.get(cid) if categories else None,
+            )
+        )
+    return items
+
+
+# ---------------------------------------------------------------------------
+# Univ-1 (NJIT-like): three programs over a shared pool
+# ---------------------------------------------------------------------------
+
+def generate_njit_university(
+    seed: int = 0,
+) -> Dict[str, GeneratedProgram]:
+    """Generate the three Univ-1 programs.
+
+    DS-CT and CS share the Table VI course pool (ids, names, topics) so
+    the Section IV-D transfer experiment has genuine overlap; each
+    program independently decides core/elective roles and prerequisite
+    structure, as real programs do.  Cybersecurity is generated over its
+    own security vocabulary.
+
+    Returns a dict keyed by ``"njit_dsct"``, ``"njit_cyber"``,
+    ``"njit_cs"``.
+    """
+    rng = np.random.default_rng(seed)
+
+    shared_ids = [cid for cid, _ in TABLE_VI_COURSES]
+    shared_names = dict(TABLE_VI_COURSES)
+    shared_topics: Dict[str, Set[str]] = {
+        cid: set(extract_topics(name)) for cid, name in TABLE_VI_COURSES
+    }
+
+    out: Dict[str, GeneratedProgram] = {}
+    out["njit_dsct"] = _generate_njit_program(
+        NJIT_DSCT,
+        rng,
+        bank=DATA_SCIENCE_TOPICS,
+        shared_ids=shared_ids,
+        shared_names=shared_names,
+        shared_topics=shared_topics,
+        number_range=(601, 699),
+        default_start="CS 675",
+        forced_core=("CS 675", "CS 610", "CS 644", "CS 636", "MATH 661"),
+        dataset_key="njit_dsct",
+    )
+    out["njit_cs"] = _generate_njit_program(
+        NJIT_CS,
+        rng,
+        bank=DATA_SCIENCE_TOPICS + SYSTEMS_CS_TOPICS,
+        shared_ids=shared_ids,
+        shared_names=shared_names,
+        shared_topics=shared_topics,
+        number_range=(601, 699),
+        default_start="CS 610",
+        forced_core=("CS 610", "CS 630", "CS 631", "CS 656", "CS 700B"),
+        dataset_key="njit_cs",
+    )
+    out["njit_cyber"] = _generate_njit_program(
+        NJIT_CYBERSECURITY,
+        rng,
+        bank=SECURITY_TOPICS,
+        shared_ids=["CS 608", "CS 645", "CS 652"],
+        shared_names=shared_names,
+        shared_topics=shared_topics,
+        number_range=(601, 699),
+        default_start="CS 608",
+        forced_core=("CS 608", "CS 645"),
+        dataset_key="njit_cyber",
+    )
+    return out
+
+
+def _generate_njit_program(
+    spec: ProgramSpec,
+    rng: np.random.Generator,
+    bank: Sequence[str],
+    shared_ids: Sequence[str],
+    shared_names: Dict[str, str],
+    shared_topics: Dict[str, Set[str]],
+    number_range: Tuple[int, int],
+    default_start: str,
+    forced_core: Sequence[str],
+    dataset_key: str,
+) -> GeneratedProgram:
+    """Build one NJIT-like program around a shared course pool."""
+    shared_ids = list(shared_ids)
+    n_synthetic = spec.num_courses - len(shared_ids)
+    if n_synthetic < 0:
+        raise DatasetError(
+            f"{spec.name}: shared pool exceeds program size"
+        )
+
+    # Vocabulary: shared-course topics first, then bank draws up to the
+    # paper's distinct-topic count.
+    base_topics: Set[str] = set()
+    for cid in shared_ids:
+        base_topics |= shared_topics[cid]
+    extra_needed = max(0, spec.num_topics - len(base_topics))
+    fresh_bank = [t for t in bank if t not in base_topics]
+    vocabulary = tuple(sorted(base_topics)) + draw_vocabulary(
+        fresh_bank, extra_needed, rng
+    )
+    if len(vocabulary) != spec.num_topics:
+        raise DatasetError(
+            f"{spec.name}: vocabulary size {len(vocabulary)} != "
+            f"{spec.num_topics}"
+        )
+
+    # Synthetic course ids (distinct from the shared pool).
+    used_numbers = {
+        int(cid.split()[1].rstrip("AB")) for cid in shared_ids
+    }
+    numbers: List[int] = []
+    while len(numbers) < n_synthetic:
+        n = int(rng.integers(number_range[0], number_range[1] + 1))
+        if n not in used_numbers:
+            used_numbers.add(n)
+            numbers.append(n)
+    synthetic_ids = [course_code(spec.department, n) for n in numbers]
+
+    ids = shared_ids + synthetic_ids
+    preassigned = [shared_topics[cid] for cid in shared_ids]
+    topic_lists = _assign_topic_sets(
+        vocabulary, spec.num_courses, rng, preassigned=preassigned
+    )
+    topic_sets = {cid: topic_lists[i] for i, cid in enumerate(ids)}
+
+    names: Dict[str, str] = {}
+    for cid in ids:
+        if cid in shared_names and cid in shared_ids:
+            names[cid] = shared_names[cid]
+        else:
+            sample_size = min(3, len(topic_sets[cid]))
+            sample = sorted(topic_sets[cid])[:sample_size]
+            names[cid] = compose_course_name(sample, rng)
+
+    # Shuffle catalog order (except we keep the default start early so it
+    # never accumulates prerequisites).
+    order = [default_start] + [i for i in ids if i != default_start]
+    cores = _pick_cores(order, spec, rng, forced_core=forced_core)
+    prereqs = _assign_prerequisites(
+        order,
+        spec.prerequisite_fraction,
+        rng,
+        protected=tuple(forced_core) + (default_start,),
+    )
+    items = _build_items(order, names, topic_sets, cores, prereqs, spec)
+    catalog = Catalog(items, name=spec.name)
+    return GeneratedProgram(
+        spec=spec,
+        catalog=catalog,
+        default_start=default_start,
+        core_ids=tuple(i for i in order if i in cores),
+        elective_ids=tuple(i for i in order if i not in cores),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Univ-2 (Stanford-like): one program with six sub-disciplines
+# ---------------------------------------------------------------------------
+
+def generate_univ2_program(seed: int = 0) -> GeneratedProgram:
+    """Generate the Univ-2 M.S. DS program (36 courses, 73 topics,
+    six sub-discipline buckets with per-bucket unit minima)."""
+    spec = UNIV2_DS
+    rng = np.random.default_rng(seed + 17)
+
+    vocabulary = draw_vocabulary(
+        DATA_SCIENCE_TOPICS + SYSTEMS_CS_TOPICS[:40], spec.num_topics, rng
+    )
+
+    departments = ("STATS", "CS", "MS&E", "CME")
+    numbers: Set[Tuple[str, int]] = set()
+    ids: List[str] = []
+    # Table III/XIV reference STATS 263 and MS&E 237 as starting points.
+    for fixed in (("STATS", 263), ("MS&E", 237)):
+        numbers.add(fixed)
+        ids.append(course_code(*fixed))
+    while len(ids) < spec.num_courses:
+        dept = departments[int(rng.integers(len(departments)))]
+        num = int(rng.integers(101, 399))
+        if (dept, num) not in numbers:
+            numbers.add((dept, num))
+            ids.append(course_code(dept, num))
+
+    topic_lists = _assign_topic_sets(vocabulary, spec.num_courses, rng)
+    topic_sets = {cid: topic_lists[i] for i, cid in enumerate(ids)}
+    names = {}
+    for cid in ids:
+        sample_size = min(3, len(topic_sets[cid]))
+        names[cid] = compose_course_name(
+            sorted(topic_sets[cid])[:sample_size], rng
+        )
+
+    # Six buckets, each with exactly 6 courses.  A 15-course plan with
+    # per-bucket unit minima (2+1+2+3+1+2 = 11 courses pinned) is then
+    # always structurally satisfiable.
+    categories: Dict[str, str] = {}
+    per_bucket = spec.num_courses // len(UNIV2_CATEGORIES)
+    for i, cid in enumerate(ids):
+        categories[cid] = UNIV2_CATEGORIES[min(i // per_bucket,
+                                               len(UNIV2_CATEGORIES) - 1)]
+
+    default_start = "STATS 263"
+    # Real sub-discipline programs spread their core offerings across the
+    # requirement buckets; mirror that with two cores per category (12 of
+    # 36 courses, keeping #core < #elective for Theorem 1).
+    cores: Set[str] = {default_start, "MS&E 237"}
+    for category in UNIV2_CATEGORIES:
+        members = [cid for cid in ids if categories[cid] == category]
+        already = sum(1 for cid in members if cid in cores)
+        pool = [cid for cid in members if cid not in cores]
+        take = max(0, 2 - already)
+        chosen = rng.choice(len(pool), size=min(take, len(pool)),
+                            replace=False)
+        cores.update(pool[int(i)] for i in chosen)
+    prereqs = _assign_prerequisites(
+        ids,
+        spec.prerequisite_fraction,
+        rng,
+        protected=(default_start, "MS&E 237"),
+    )
+    items = _build_items(
+        ids, names, topic_sets, cores, prereqs, spec, categories=categories
+    )
+    catalog = Catalog(items, name=spec.name)
+    return GeneratedProgram(
+        spec=spec,
+        catalog=catalog,
+        default_start=default_start,
+        core_ids=tuple(i for i in ids if i in cores),
+        elective_ids=tuple(i for i in ids if i not in cores),
+    )

@@ -1,0 +1,134 @@
+"""Topic banks and course-name synthesis for the course domain.
+
+The paper's topic vocabularies come from noun extraction over real
+course titles (60 DS-CT / 61 Cybersecurity / 100 CS topics at Univ-1,
+73 at Univ-2).  We reproduce the *statistics* with curated banks of
+realistic data-science / security / CS topic nouns; the generator draws
+a vocabulary of the right size from a bank and composes course titles
+from the drawn topics, so that :func:`repro.domains.text.extract_topics`
+round-trips names back to their topic sets.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+# ---------------------------------------------------------------------------
+# Topic banks (single-token nouns so extract_topics round-trips exactly)
+# ---------------------------------------------------------------------------
+
+DATA_SCIENCE_TOPICS: Tuple[str, ...] = (
+    "algorithms", "classification", "clustering", "statistics",
+    "regression", "structures", "networks", "probability",
+    "visualization", "matrices", "decomposition", "management",
+    "databases", "mining", "learning", "optimization", "inference",
+    "bayesian", "sampling", "forecasting", "timeseries", "graphs",
+    "embeddings", "kernels", "ensembles", "boosting", "trees",
+    "recommenders", "ranking", "retrieval", "indexing", "warehousing",
+    "pipelines", "streaming", "parallelism", "mapreduce", "spark",
+    "hadoop", "sql", "nosql", "transactions", "concurrency",
+    "normalization", "calculus", "analysis", "python", "rstudio",
+    "simulation", "experiments", "causality", "privacy", "ethics",
+    "deployment", "monitoring", "features", "preprocessing",
+    "validation", "hypothesis", "anova", "markov", "montecarlo",
+    "gradient", "descent", "convexity", "duality", "tensors",
+    "transformers", "attention", "convolution", "recurrence",
+    "autoencoders", "gans", "reinforcement", "bandits", "planning",
+    "nlp", "speech", "vision", "robotics", "genomics", "healthcare",
+    "fintech", "pharmaceutical",
+)
+
+SECURITY_TOPICS: Tuple[str, ...] = (
+    "cryptography", "ciphers", "hashing", "signatures", "certificates",
+    "authentication", "authorization", "firewalls", "intrusion",
+    "malware", "forensics", "exploits", "vulnerabilities", "patching",
+    "phishing", "botnets", "ransomware", "keys", "protocols",
+    "tls", "vpn", "anonymity", "steganography", "audit", "compliance",
+    "risk", "governance", "identity", "biometrics", "sandboxing",
+    "honeypots", "penetration", "hardening", "threats", "defense",
+    "incident", "response", "resilience", "blockchain", "wallets",
+    "consensus", "zeroknowledge", "sidechannel", "obfuscation",
+    "reverse", "engineering", "binary", "fuzzing", "kernel",
+    "hypervisor", "containers", "iot", "scada", "wireless",
+    "jamming", "spoofing", "dos", "ddos", "darkweb", "osint",
+    "watermarking",
+)
+
+SYSTEMS_CS_TOPICS: Tuple[str, ...] = (
+    "compilers", "parsing", "grammars", "automata", "complexity",
+    "computability", "logic", "verification", "semantics", "types",
+    "lambda", "functional", "objects", "inheritance", "polymorphism",
+    "patterns", "refactoring", "testing", "debugging", "profiling",
+    "operating", "systems", "scheduling", "memory", "caching",
+    "filesystems", "virtualization", "distributed", "replication",
+    "sharding", "latency", "throughput", "routing", "switching",
+    "congestion", "sockets", "http", "dns", "architecture",
+    "microservices", "middleware", "queues", "events", "actors",
+    "threads", "locks", "atomics", "gpu", "fpga", "embedded",
+    "realtime", "signals", "interrupts", "drivers", "firmware",
+    "assembly", "risc", "pipelining", "superscalar", "branch",
+    "prediction", "multicore", "numa", "interconnects", "storage",
+    "raid", "backup", "recovery", "availability", "faulttolerance",
+    "consistency", "paxos", "raft", "gossip", "overlay", "p2p",
+    "mobile", "android", "cloud", "serverless", "orchestration",
+    "kubernetes", "devops", "observability", "telemetry", "tracing",
+    "usability", "interfaces", "graphics", "rendering", "shaders",
+    "animation", "games", "audio", "compression", "codecs",
+    "multimedia", "interaction", "accessibility", "crowdsourcing",
+)
+
+_CONNECTORS: Tuple[str, ...] = ("and", "for", "with", "in")
+
+_PREFIXES: Tuple[str, ...] = (
+    "", "Introduction to ", "Advanced ", "Applied ", "Foundations of ",
+    "Topics in ", "Principles of ",
+)
+
+
+def draw_vocabulary(
+    bank: Sequence[str], size: int, rng: np.random.Generator
+) -> Tuple[str, ...]:
+    """Draw a topic vocabulary of exactly ``size`` distinct topics.
+
+    When the bank is smaller than ``size``, numbered variants are
+    appended (``"algorithms2"``) — never needed with the shipped banks
+    and the paper's sizes, but keeps the generator total.
+    """
+    bank_list = list(dict.fromkeys(bank))
+    if size <= len(bank_list):
+        indices = rng.choice(len(bank_list), size=size, replace=False)
+        return tuple(bank_list[i] for i in sorted(indices))
+    extra = []
+    counter = 2
+    while len(bank_list) + len(extra) < size:
+        for topic in bank_list:
+            extra.append(f"{topic}{counter}")
+            if len(bank_list) + len(extra) >= size:
+                break
+        counter += 1
+    return tuple(bank_list + extra)
+
+
+def compose_course_name(
+    topics: Sequence[str], rng: np.random.Generator
+) -> str:
+    """Compose a plausible course title whose noun tokens are ``topics``.
+
+    Examples: ``"Applied Clustering and Regression"``,
+    ``"Foundations of Cryptography with Hashing"``.
+    """
+    words: List[str] = [t.capitalize() for t in topics]
+    if len(words) == 1:
+        title = words[0]
+    else:
+        connector = _CONNECTORS[int(rng.integers(len(_CONNECTORS)))]
+        title = f"{' '.join(words[:-1])} {connector} {words[-1]}"
+    prefix = _PREFIXES[int(rng.integers(len(_PREFIXES)))]
+    return f"{prefix}{title}"
+
+
+def course_code(department: str, number: int) -> str:
+    """Format a course id like ``"CS 675"``."""
+    return f"{department} {number}"

@@ -1,0 +1,224 @@
+"""Degree-program specifications mirroring the paper's four programs.
+
+Section IV-A-1 gives the dataset statistics we reproduce:
+
+* Univ-1 (NJIT-like): M.S. DS Computational Track (31 courses, 60
+  topics), M.S. Cybersecurity (30 courses, 61 topics), M.S. CS (32
+  courses, 100 topics); hard constraints <30 credits, 5 core,
+  5 elective, gap 3> (Section II-B-1's running example).
+* Univ-2 (Stanford-like): M.S. Data Science (36 courses, 73 topics)
+  with unit constraints over six sub-disciplines; the gold plan is 15
+  courses long (gold score 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ...core.constraints import (
+    HardConstraints,
+    InterleavingTemplate,
+    SoftConstraints,
+    TaskSpec,
+)
+
+# Univ-2's six sub-disciplines (Section IV-A-1, items a..f).
+UNIV2_CATEGORIES: Tuple[str, ...] = (
+    "math_stat_foundations",
+    "experimentation",
+    "scientific_computing",
+    "applied_ml_ds",
+    "practical_component",
+    "elective",
+)
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """Statistical and structural description of one degree program.
+
+    Attributes
+    ----------
+    name:
+        Program display name, e.g. ``"M.S. DS-CT"``.
+    department:
+        Course-code prefix, e.g. ``"CS"``.
+    num_courses:
+        Courses offered by the program (paper: 31/30/32/36).
+    num_topics:
+        Target distinct-topic count (paper: 60/61/100/73).
+    num_core / num_elective:
+        The required split for a plan.
+    credits_per_course:
+        Fixed credits (3 everywhere in the paper's running example).
+    min_credits:
+        ``#cr`` of the hard constraints.
+    gap:
+        Prerequisite gap (3 = one semester at 3 courses/semester).
+    core_fraction:
+        Fraction of *offered* courses that are core; the paper's proof of
+        Theorem 1 assumes fewer cores than electives in the catalog.
+    prerequisite_fraction:
+        Fraction of courses that carry prerequisites.
+    template:
+        The interleaving template ``IT``.
+    categories:
+        Sub-discipline buckets (Univ-2 only) with per-bucket minimum
+        credits for a plan.
+    """
+
+    name: str
+    department: str
+    num_courses: int
+    num_topics: int
+    num_core: int
+    num_elective: int
+    credits_per_course: float = 3.0
+    min_credits: float = 30.0
+    gap: int = 3
+    core_fraction: float = 0.4
+    prerequisite_fraction: float = 0.35
+    template_labels: Tuple[Tuple[str, ...], ...] = ()
+    categories: Tuple[Tuple[str, float], ...] = ()
+
+    @property
+    def plan_length(self) -> int:
+        """Courses per plan (= ``min_credits / credits_per_course``)."""
+        return self.num_core + self.num_elective
+
+    def template(self) -> InterleavingTemplate:
+        """The program's ``IT`` (defaults derived from the split)."""
+        if self.template_labels:
+            return InterleavingTemplate.from_labels(self.template_labels)
+        return InterleavingTemplate.from_labels(
+            default_template_labels(self.num_core, self.num_elective)
+        )
+
+    def hard_constraints(self) -> HardConstraints:
+        """``P_hard`` for this program."""
+        return HardConstraints.for_courses(
+            min_credits=self.min_credits,
+            num_primary=self.num_core,
+            num_secondary=self.num_elective,
+            gap=self.gap,
+            category_credits=dict(self.categories) or None,
+        )
+
+    def task(self, ideal_topics, name: Optional[str] = None) -> TaskSpec:
+        """Bundle hard + soft constraints into a :class:`TaskSpec`."""
+        return TaskSpec(
+            hard=self.hard_constraints(),
+            soft=SoftConstraints(
+                ideal_topics=frozenset(ideal_topics),
+                template=self.template(),
+            ),
+            name=name or self.name,
+        )
+
+
+def default_template_labels(
+    num_core: int, num_elective: int
+) -> Tuple[Tuple[str, ...], ...]:
+    """Three ideal permutations in the spirit of the paper's examples.
+
+    1. Front-load cores, then interleave ("start with one or two core
+       courses, then take two electives, then another core course").
+    2. Strict alternation for as long as both kinds last.
+    3. Cores at the start and end with electives in the middle.
+    """
+    def perm1() -> Tuple[str, ...]:
+        labels = []
+        cores, electives = num_core, num_elective
+        while cores or electives:
+            for _ in range(2):
+                if cores:
+                    labels.append("P")
+                    cores -= 1
+            for _ in range(2):
+                if electives:
+                    labels.append("S")
+                    electives -= 1
+        return tuple(labels)
+
+    def perm2() -> Tuple[str, ...]:
+        labels = []
+        cores, electives = num_core, num_elective
+        while cores or electives:
+            if cores:
+                labels.append("P")
+                cores -= 1
+            if electives:
+                labels.append("S")
+                electives -= 1
+        return tuple(labels)
+
+    def perm3() -> Tuple[str, ...]:
+        head = num_core // 2 + num_core % 2
+        tail = num_core - head
+        return ("P",) * head + ("S",) * num_elective + ("P",) * tail
+
+    # dict.fromkeys dedupes while keeping order (perms can coincide for
+    # tiny splits).
+    return tuple(dict.fromkeys((perm1(), perm2(), perm3())))
+
+
+# ---------------------------------------------------------------------------
+# The four paper programs
+# ---------------------------------------------------------------------------
+
+NJIT_DSCT = ProgramSpec(
+    name="Univ-1 M.S. DS-CT",
+    department="CS",
+    num_courses=31,
+    num_topics=60,
+    num_core=5,
+    num_elective=5,
+)
+
+NJIT_CYBERSECURITY = ProgramSpec(
+    name="Univ-1 M.S. Cybersecurity",
+    department="CS",
+    num_courses=30,
+    num_topics=61,
+    num_core=5,
+    num_elective=5,
+)
+
+NJIT_CS = ProgramSpec(
+    name="Univ-1 M.S. CS",
+    department="CS",
+    num_courses=32,
+    num_topics=100,
+    num_core=5,
+    num_elective=5,
+)
+
+# Univ-2: 15-course plan (gold score 15) over six sub-disciplines; 45
+# units with at least one 3-unit course per bucket and a deeper
+# applied-ML requirement.
+UNIV2_DS = ProgramSpec(
+    name="Univ-2 M.S. DS",
+    department="STATS",
+    num_courses=36,
+    num_topics=73,
+    num_core=7,
+    num_elective=8,
+    min_credits=45.0,
+    gap=3,
+    categories=(
+        ("math_stat_foundations", 6.0),
+        ("experimentation", 3.0),
+        ("scientific_computing", 6.0),
+        ("applied_ml_ds", 9.0),
+        ("practical_component", 3.0),
+        ("elective", 6.0),
+    ),
+)
+
+ALL_PROGRAMS: Dict[str, ProgramSpec] = {
+    "njit_dsct": NJIT_DSCT,
+    "njit_cyber": NJIT_CYBERSECURITY,
+    "njit_cs": NJIT_CS,
+    "univ2_ds": UNIV2_DS,
+}

@@ -1,0 +1,70 @@
+"""Topic extraction from item names and descriptions.
+
+The paper forms topic vectors by extracting nouns from course names
+(after stop-word removal) and themes from POI descriptions.  Without a
+POS tagger available offline we approximate "noun extraction" the way
+the paper's artifact effectively does for course titles: lower-case
+tokenization, stop-word and connective removal, and light suffix-based
+filtering of obvious verbs/adverbs.  Course titles are overwhelmingly
+noun phrases ("Data Structures and Algorithms"), so this matches the
+paper's behaviour on its actual inputs.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import FrozenSet, Iterable, List, Sequence, Tuple
+
+# Standard English stop words plus catalog-specific connectives that
+# appear in course titles ("introduction to", "topics in", ...).
+STOPWORDS: FrozenSet[str] = frozenset(
+    """
+    a an and are as at be but by for from has have i ii iii in into is it
+    its of on or s that the their this to was were will with without
+    introduction intro advanced intermediate elementary principles
+    foundations fundamentals topics special seminar independent study
+    selected readings practicum capstone course courses
+    """.split()
+)
+
+_TOKEN_RE = re.compile(r"[a-z][a-z0-9+\-]*")
+
+# Suffixes that almost always mark non-noun tokens in catalog titles.
+_VERBISH_SUFFIXES: Tuple[str, ...] = ("ly",)
+
+
+def tokenize(text: str) -> List[str]:
+    """Lower-case word tokens of ``text`` (letters, digits, '+', '-')."""
+    return _TOKEN_RE.findall(text.lower())
+
+
+def _looks_like_noun(token: str) -> bool:
+    """Heuristic noun filter for catalog-title tokens."""
+    if len(token) < 2:
+        return False
+    return not any(token.endswith(suffix) for suffix in _VERBISH_SUFFIXES)
+
+
+def extract_topics(
+    text: str, extra_stopwords: Iterable[str] = ()
+) -> FrozenSet[str]:
+    """Topic keywords of an item name/description.
+
+    Mirrors the paper's "extract nouns from course names and remove
+    stopwords" step.  Returns a frozenset so it can seed
+    :attr:`repro.core.items.Item.topics` directly.
+    """
+    stop = STOPWORDS | frozenset(w.lower() for w in extra_stopwords)
+    return frozenset(
+        token
+        for token in tokenize(text)
+        if token not in stop and _looks_like_noun(token)
+    )
+
+
+def vocabulary_of(texts: Sequence[str]) -> Tuple[str, ...]:
+    """Sorted distinct topics extracted from many names (the set ``T``)."""
+    vocab: set = set()
+    for text in texts:
+        vocab |= extract_topics(text)
+    return tuple(sorted(vocab))

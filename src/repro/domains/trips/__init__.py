@@ -1,0 +1,35 @@
+"""Trip-planning instantiation of TPP (Section II-B-2)."""
+
+from .generator import (
+    CITIES,
+    CitySpec,
+    NYC,
+    PARIS,
+    TRIP_TEMPLATE_LABELS,
+    TripDataset,
+    build_trip_task,
+    generate_city,
+    load_city,
+)
+from .gold import GoldItineraryOracle, gold_trip_plan
+from .routing import optimize_route, route_summary
+from .themes import NYC_THEMES, PARIS_THEMES, theme_bank
+
+__all__ = [
+    "CITIES",
+    "CitySpec",
+    "GoldItineraryOracle",
+    "NYC",
+    "NYC_THEMES",
+    "PARIS",
+    "PARIS_THEMES",
+    "TRIP_TEMPLATE_LABELS",
+    "TripDataset",
+    "build_trip_task",
+    "generate_city",
+    "gold_trip_plan",
+    "load_city",
+    "optimize_route",
+    "route_summary",
+    "theme_bank",
+]

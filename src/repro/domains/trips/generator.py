@@ -1,0 +1,306 @@
+"""Synthetic Flickr-like trip datasets for NYC and Paris.
+
+The paper mines Flickr photo streams (POI-tagged photos whose timestamps
+define same-day itineraries) and Google Places themes: NYC has 90 POIs,
+21 themes, and 2908 historical itineraries; Paris has 114 POIs, 16
+themes, and 5494 itineraries.  Those exact statistics are reproduced by
+a seeded generator: POIs get themes, compact geographic coordinates,
+visit durations, and 1-5 popularity; historical itineraries are sampled
+with popularity- and proximity-biased walks (they feed the OMEGA
+baseline's co-visit statistics, exactly the signal the real Flickr data
+provides).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ...core.catalog import Catalog
+from ...core.constraints import (
+    HardConstraints,
+    InterleavingTemplate,
+    SoftConstraints,
+    TaskSpec,
+)
+from ...core.exceptions import DatasetError
+from ...core.items import Item, ItemType, Prerequisites, make_metadata
+from ...core.validation import haversine_km
+from .themes import compose_poi_name, theme_bank
+
+# The paper's Section II-B-2 trip template (5 slots: 2 primary, 3
+# secondary).
+TRIP_TEMPLATE_LABELS: Tuple[Tuple[str, ...], ...] = (
+    ("P", "S", "P", "S", "S"),
+    ("P", "S", "S", "S", "P"),
+    ("P", "S", "S", "P", "S"),
+)
+
+
+@dataclass(frozen=True)
+class CitySpec:
+    """Statistics of one city dataset (matching Section IV-A-1)."""
+
+    name: str
+    num_pois: int
+    num_itineraries: int
+    center: Tuple[float, float]
+    num_primary_pois: int = 8
+    time_budget: float = 6.0
+    distance_threshold: float = 5.0
+    num_primary: int = 2
+    num_secondary: int = 3
+    gap: int = 1
+
+    @property
+    def themes(self) -> Tuple[str, ...]:
+        """The city's theme vocabulary (21 for NYC, 16 for Paris)."""
+        return theme_bank(self.name)
+
+
+NYC = CitySpec(
+    name="nyc",
+    num_pois=90,
+    num_itineraries=2908,
+    center=(40.7549, -73.9840),
+)
+
+PARIS = CitySpec(
+    name="paris",
+    num_pois=114,
+    num_itineraries=5494,
+    center=(48.8566, 2.3522),
+)
+
+CITIES: Dict[str, CitySpec] = {"nyc": NYC, "paris": PARIS}
+
+# Visit-duration ranges (hours) by primary theme; everything else falls
+# under the default.
+_DURATIONS: Dict[str, Tuple[float, float]] = {
+    "museum": (1.2, 2.0),
+    "gallery": (1.0, 1.8),
+    "palace": (1.2, 2.0),
+    "zoo": (1.5, 2.0),
+    "aquarium": (1.2, 1.8),
+    "restaurant": (0.8, 1.2),
+    "cafe": (0.5, 0.9),
+}
+_DEFAULT_DURATION: Tuple[float, float] = (0.4, 1.2)
+
+# Themes whose POIs demand a relaxing antecedent pattern: restaurants and
+# cafes require some museum/gallery earlier (the paper's "visit a museum
+# before a restaurant/cafe" antecedent).
+_NEEDS_CULTURE_FIRST: Tuple[str, ...] = ("restaurant", "cafe")
+_CULTURE_THEMES: Tuple[str, ...] = ("museum", "gallery")
+
+
+@dataclass(frozen=True)
+class TripDataset:
+    """A fully assembled city dataset."""
+
+    spec: CitySpec
+    catalog: Catalog
+    task: TaskSpec
+    itineraries: Tuple[Tuple[str, ...], ...]
+    default_start: str
+
+    @property
+    def name(self) -> str:
+        """City key ("nyc"/"paris")."""
+        return self.spec.name
+
+
+def _slug(name: str) -> str:
+    """Stable POI id from its display name."""
+    return name.lower().replace(" ", "_").replace("#", "n")
+
+
+def _name_offset(name: str) -> int:
+    """Deterministic per-city seed offset (NOT ``hash()``, which is
+    salted per process and would make generation irreproducible)."""
+    return sum(ord(ch) for ch in name) % 1000
+
+
+def generate_city(spec: CitySpec, seed: int = 0) -> TripDataset:
+    """Generate one city's POIs, task, and historical itineraries."""
+    rng = np.random.default_rng(seed + _name_offset(spec.name))
+    themes = spec.themes
+
+    used_names: Set[str] = set()
+    poi_rows: List[Dict[str, object]] = []
+    # Deal every theme at least once, then fill the rest at random.
+    primary_theme_cycle = list(themes) * (spec.num_pois // len(themes) + 1)
+    for i in range(spec.num_pois):
+        primary_theme = primary_theme_cycle[i]
+        extra_count = int(rng.integers(0, 3))
+        others = [t for t in themes if t != primary_theme]
+        extra_idx = rng.choice(len(others), size=extra_count, replace=False)
+        poi_themes = [primary_theme] + [others[int(j)] for j in extra_idx]
+        name = compose_poi_name(primary_theme, rng, used_names)
+        lo, hi = _DURATIONS.get(primary_theme, _DEFAULT_DURATION)
+        duration = float(rng.uniform(lo, hi))
+        lat = spec.center[0] + float(rng.normal(0.0, 0.005))
+        lon = spec.center[1] + float(rng.normal(0.0, 0.005))
+        popularity = float(np.clip(rng.normal(3.6, 0.8), 1.0, 5.0))
+        poi_rows.append(
+            {
+                "id": _slug(name),
+                "name": name,
+                "themes": poi_themes,
+                "duration": round(duration, 2),
+                "lat": lat,
+                "lon": lon,
+                "popularity": round(popularity, 2),
+            }
+        )
+
+    # The most popular POIs become the must-visit primaries (Eiffel
+    # Tower / Louvre analogues), with popularity boosted to the top band.
+    by_popularity = sorted(
+        range(len(poi_rows)),
+        key=lambda i: poi_rows[i]["popularity"],
+        reverse=True,
+    )
+    primary_indices = set(by_popularity[: spec.num_primary_pois])
+    for idx in primary_indices:
+        poi_rows[idx]["popularity"] = round(float(rng.uniform(4.5, 5.0)), 2)
+
+    # Antecedents: restaurants/cafes require any-of three culture POIs.
+    culture_ids = [
+        row["id"]
+        for row in poi_rows
+        if any(t in _CULTURE_THEMES for t in row["themes"])  # type: ignore[operator]
+    ]
+    items: List[Item] = []
+    for i, row in enumerate(poi_rows):
+        prereq = Prerequisites.none()
+        row_themes: Sequence[str] = row["themes"]  # type: ignore[assignment]
+        antecedent_pool = [c for c in culture_ids if c != row["id"]]
+        if (
+            row_themes[0] in _NEEDS_CULTURE_FIRST
+            and antecedent_pool
+            and rng.random() < 0.6
+        ):
+            pick = rng.choice(
+                len(antecedent_pool),
+                size=min(3, len(antecedent_pool)),
+                replace=False,
+            )
+            prereq = Prerequisites.any_of(
+                antecedent_pool[int(j)] for j in pick
+            )
+        items.append(
+            Item(
+                item_id=str(row["id"]),
+                name=str(row["name"]),
+                item_type=(
+                    ItemType.PRIMARY
+                    if i in primary_indices
+                    else ItemType.SECONDARY
+                ),
+                credits=float(row["duration"]),  # type: ignore[arg-type]
+                prerequisites=prereq,
+                topics=frozenset(row_themes),
+                metadata=make_metadata(
+                    lat=row["lat"],
+                    lon=row["lon"],
+                    popularity=row["popularity"],
+                    primary_theme=row_themes[0],
+                ),
+            )
+        )
+
+    catalog = Catalog(
+        items,
+        name=f"{spec.name.upper()} POIs",
+        topic_vocabulary=themes,
+    )
+    task = build_trip_task(spec, catalog)
+    itineraries = _sample_itineraries(spec, items, rng)
+    default_start = items[sorted(primary_indices)[0]].item_id
+    return TripDataset(
+        spec=spec,
+        catalog=catalog,
+        task=task,
+        itineraries=itineraries,
+        default_start=default_start,
+    )
+
+
+def build_trip_task(
+    spec: CitySpec,
+    catalog: Catalog,
+    time_budget: Optional[float] = None,
+    distance_threshold: Optional[float] = None,
+) -> TaskSpec:
+    """The trip TPP instance (override budget/distance for sweeps)."""
+    hard = HardConstraints.for_trips(
+        time_budget=time_budget if time_budget is not None else spec.time_budget,
+        num_primary=spec.num_primary,
+        num_secondary=spec.num_secondary,
+        gap=spec.gap,
+        max_distance=(
+            distance_threshold
+            if distance_threshold is not None
+            else spec.distance_threshold
+        ),
+        theme_adjacency_gap=True,
+    )
+    soft = SoftConstraints(
+        ideal_topics=frozenset(catalog.topic_vocabulary),
+        template=InterleavingTemplate.from_labels(TRIP_TEMPLATE_LABELS),
+    )
+    return TaskSpec(hard=hard, soft=soft, name=f"{spec.name} day trip")
+
+
+def _sample_itineraries(
+    spec: CitySpec, items: Sequence[Item], rng: np.random.Generator
+) -> Tuple[Tuple[str, ...], ...]:
+    """Popularity- and proximity-biased same-day itinerary walks.
+
+    These play the role of the Flickr photo streams: co-visit frequency
+    is the only signal the OMEGA baseline mines from them.
+    """
+    n = len(items)
+    popularity = np.array([float(items[i].meta("popularity")) for i in range(n)])
+    lats = np.array([float(items[i].meta("lat")) for i in range(n)])
+    lons = np.array([float(items[i].meta("lon")) for i in range(n)])
+
+    # Pairwise proximity weights (precomputed once; ~114^2 is tiny).
+    dist = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            d = haversine_km(lats[i], lons[i], lats[j], lons[j])
+            dist[i, j] = dist[j, i] = d
+    proximity = 1.0 / (0.3 + dist)
+    np.fill_diagonal(proximity, 0.0)
+
+    start_weights = popularity / popularity.sum()
+    itineraries: List[Tuple[str, ...]] = []
+    for _ in range(spec.num_itineraries):
+        size = int(rng.integers(3, 7))
+        current = int(rng.choice(n, p=start_weights))
+        walk = [current]
+        visited = {current}
+        while len(walk) < size:
+            weights = proximity[current] * popularity
+            weights[list(visited)] = 0.0
+            total = weights.sum()
+            if total <= 0:
+                break
+            nxt = int(rng.choice(n, p=weights / total))
+            walk.append(nxt)
+            visited.add(nxt)
+            current = nxt
+        itineraries.append(tuple(items[i].item_id for i in walk))
+    return tuple(itineraries)
+
+
+def load_city(city: str, seed: int = 0) -> TripDataset:
+    """Generate ``"nyc"`` or ``"paris"`` with paper-matching statistics."""
+    key = city.lower()
+    if key not in CITIES:
+        raise DatasetError(f"unknown city: {city!r}")
+    return generate_city(CITIES[key], seed=seed)

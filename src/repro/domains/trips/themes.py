@@ -1,0 +1,104 @@
+"""Theme banks and POI-name synthesis for the trip domain.
+
+The paper extracts POI themes from the Google Places API — 21 distinct
+themes for NYC and 16 for Paris — and POI names from Flickr tags.  We
+reproduce the counts with curated theme banks per city and compose POI
+names from theme-flavoured name parts so itineraries read naturally
+("Harborview Museum of Art", "Jardin des Ormes").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+# 21 themes (NYC) / 16 themes (Paris), ordered banks the generator draws
+# from verbatim, so counts match the paper exactly.
+NYC_THEMES: Tuple[str, ...] = (
+    "park", "museum", "bridge", "skyscraper", "market", "theater",
+    "gallery", "church", "square", "library", "memorial", "zoo",
+    "aquarium", "stadium", "restaurant", "cafe", "waterfront",
+    "observatory", "university", "station", "garden",
+)
+
+PARIS_THEMES: Tuple[str, ...] = (
+    "museum", "gallery", "cathedral", "palace", "river", "street",
+    "restaurant", "architecture", "garden", "church", "bridge",
+    "monument", "opera", "market", "cafe", "tower",
+)
+
+# Name fragments per theme; the generator combines a prefix with a theme
+# noun to mint distinct POI names.
+_THEME_NOUNS: Dict[str, Tuple[str, ...]] = {
+    "park": ("Park", "Common", "Green"),
+    "museum": ("Museum", "Museum of Art", "History Museum"),
+    "bridge": ("Bridge", "Footbridge"),
+    "skyscraper": ("Tower", "Building"),
+    "market": ("Market", "Bazaar"),
+    "theater": ("Theater", "Playhouse"),
+    "gallery": ("Gallery", "Art Gallery"),
+    "church": ("Church", "Chapel", "Basilica"),
+    "square": ("Square", "Plaza"),
+    "library": ("Library", "Athenaeum"),
+    "memorial": ("Memorial", "Monument"),
+    "zoo": ("Zoo", "Menagerie"),
+    "aquarium": ("Aquarium",),
+    "stadium": ("Stadium", "Arena"),
+    "restaurant": ("Restaurant", "Bistro", "Brasserie"),
+    "cafe": ("Cafe", "Coffee House"),
+    "waterfront": ("Waterfront", "Pier", "Esplanade"),
+    "observatory": ("Observatory", "Lookout"),
+    "university": ("University", "College"),
+    "station": ("Station", "Terminal"),
+    "garden": ("Garden", "Botanical Garden"),
+    "cathedral": ("Cathedral",),
+    "palace": ("Palace",),
+    "river": ("River Walk", "Quay"),
+    "street": ("Street", "Promenade"),
+    "architecture": ("Hall", "Pavilion"),
+    "monument": ("Monument", "Column"),
+    "opera": ("Opera House",),
+    "tower": ("Tower",),
+}
+
+_PREFIXES: Tuple[str, ...] = (
+    "Grand", "Old Town", "Harborview", "Riverside", "Royal", "Liberty",
+    "Meridian", "Northgate", "Beacon", "Castle Hill", "Lakeside",
+    "Imperial", "Orchard", "Summit", "Union", "Vesper", "Willow",
+    "Aurora", "Crescent", "Dockside", "Elm Street", "Fountain",
+    "Garnet", "Heritage", "Ivory", "Juniper", "Kingsway", "Laurel",
+    "Maple", "Noble", "Opal", "Pinnacle", "Quarry", "Regent",
+    "Sterling", "Twilight", "Umber", "Verdant", "Wharf", "Zenith",
+)
+
+
+def compose_poi_name(
+    primary_theme: str, rng: np.random.Generator, used: set
+) -> str:
+    """Mint a distinct POI name flavoured by its primary theme."""
+    nouns = _THEME_NOUNS.get(primary_theme, (primary_theme.title(),))
+    for _ in range(200):
+        prefix = _PREFIXES[int(rng.integers(len(_PREFIXES)))]
+        noun = nouns[int(rng.integers(len(nouns)))]
+        name = f"{prefix} {noun}"
+        if name not in used:
+            used.add(name)
+            return name
+    # Exhausted combinations: fall back to a numbered name.
+    i = 2
+    while f"{primary_theme.title()} #{i}" in used:
+        i += 1
+    name = f"{primary_theme.title()} #{i}"
+    used.add(name)
+    return name
+
+
+def theme_bank(city: str) -> Tuple[str, ...]:
+    """The paper-sized theme bank for ``"nyc"`` or ``"paris"``."""
+    key = city.lower()
+    if key == "nyc":
+        return NYC_THEMES
+    if key == "paris":
+        return PARIS_THEMES
+    raise KeyError(f"unknown city: {city!r}")

@@ -1,0 +1,22 @@
+"""Adaptive feedback loop (the paper's Section VI future work).
+
+Feedback arrives as binary useful/not-useful flags, 1-5 ratings, or
+probability distributions; all are normalized to utilities, folded into
+per-item preferences, and injected into the Equation-2 reward so that
+replanning reflects what the user said about earlier proposals.
+"""
+
+from .adapter import FeedbackAdjustedReward
+from .models import Feedback, FeedbackError, feedback_batch
+from .session import InteractiveSession, PlanningRound
+from .store import FeedbackStore
+
+__all__ = [
+    "Feedback",
+    "FeedbackAdjustedReward",
+    "FeedbackError",
+    "FeedbackStore",
+    "InteractiveSession",
+    "PlanningRound",
+    "feedback_batch",
+]

@@ -1,0 +1,112 @@
+"""Feedback signals for adaptive task planning (Section VI).
+
+The paper's conclusion sketches the feedback loop this package
+implements: "Feedback could come as binary values (useful item / not
+useful), categorical rating (e.g., on a scale of 1-5), or as a
+probability distribution."  All three forms are normalized to a single
+*utility* in [-1, 1] so downstream components (store, reward adapter)
+are agnostic to how the user expressed themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Tuple
+
+from ..core.exceptions import ReproError
+
+
+class FeedbackError(ReproError):
+    """A feedback signal was malformed (rating off-scale, bad weights)."""
+
+
+@dataclass(frozen=True)
+class Feedback:
+    """One normalized feedback signal about one item.
+
+    ``utility`` is in [-1, 1]: -1 = strongly reject, 0 = indifferent,
+    +1 = strongly endorse.  Use the class methods to build instances
+    from the paper's three raw forms.
+    """
+
+    item_id: str
+    utility: float
+    kind: str = "utility"
+
+    def __post_init__(self) -> None:
+        if not self.item_id:
+            raise FeedbackError("feedback needs a target item id")
+        if not -1.0 <= self.utility <= 1.0:
+            raise FeedbackError(
+                f"utility must be in [-1, 1], got {self.utility}"
+            )
+
+    # ------------------------------------------------------------------
+    # The paper's three feedback forms
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def binary(cls, item_id: str, useful: bool) -> "Feedback":
+        """Binary feedback: useful item (+1) / not useful (-1)."""
+        return cls(
+            item_id=item_id,
+            utility=1.0 if useful else -1.0,
+            kind="binary",
+        )
+
+    @classmethod
+    def rating(cls, item_id: str, stars: float) -> "Feedback":
+        """Categorical 1-5 rating mapped linearly onto [-1, 1]."""
+        if not 1.0 <= stars <= 5.0:
+            raise FeedbackError(
+                f"rating must be on the 1-5 scale, got {stars}"
+            )
+        return cls(
+            item_id=item_id,
+            utility=(stars - 3.0) / 2.0,
+            kind="rating",
+        )
+
+    @classmethod
+    def distribution(
+        cls,
+        item_id: str,
+        probabilities: Mapping[float, float],
+    ) -> "Feedback":
+        """A probability distribution over utility levels.
+
+        ``probabilities`` maps utility values in [-1, 1] to their
+        probability mass; the feedback utility is the expectation.
+        Example: ``{-1.0: 0.2, 0.0: 0.3, 1.0: 0.5}`` -> utility 0.3.
+        """
+        if not probabilities:
+            raise FeedbackError("empty probability distribution")
+        total = sum(probabilities.values())
+        if abs(total - 1.0) > 1e-6:
+            raise FeedbackError(
+                f"probabilities must sum to 1, got {total:g}"
+            )
+        expectation = 0.0
+        for level, mass in probabilities.items():
+            if not -1.0 <= level <= 1.0:
+                raise FeedbackError(
+                    f"utility level {level} outside [-1, 1]"
+                )
+            if mass < 0:
+                raise FeedbackError("negative probability mass")
+            expectation += level * mass
+        return cls(
+            item_id=item_id,
+            utility=expectation,
+            kind="distribution",
+        )
+
+
+def feedback_batch(
+    ratings: Mapping[str, float]
+) -> Tuple[Feedback, ...]:
+    """Convenience: many 1-5 ratings at once (item id -> stars)."""
+    return tuple(
+        Feedback.rating(item_id, stars)
+        for item_id, stars in sorted(ratings.items())
+    )

@@ -1,0 +1,161 @@
+"""The interactive plan/feedback/replan loop of Section VI.
+
+"This will allow us to create a loop that accounts for effectiveness
+and incorporate that in future design choices."  The session owns the
+loop: it trains a feedback-aware planner, proposes a plan, folds the
+user's feedback into the store, and retrains (warm-started) so the next
+proposal reflects the updated preferences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from ..core.catalog import Catalog
+from ..core.config import PlannerConfig
+from ..core.constraints import TaskSpec
+from ..core.env import DomainMode, TPPEnvironment
+from ..core.plan import Plan
+from ..core.policy import GreedyPolicy
+from ..core.qtable import QTable
+from ..core.sarsa import SarsaLearner
+from ..core.scoring import PlanScore, PlanScorer
+from .adapter import FeedbackAdjustedReward
+from .models import Feedback
+from .store import FeedbackStore
+
+
+@dataclass(frozen=True)
+class PlanningRound:
+    """One iteration of the loop: the plan proposed and its score."""
+
+    round_index: int
+    plan: Plan
+    score: PlanScore
+    feedback_items: Tuple[str, ...] = ()
+
+
+class InteractiveSession:
+    """Stateful plan -> feedback -> replan loop.
+
+    Parameters
+    ----------
+    catalog / task / config / mode:
+        The TPP instance, as for :class:`~repro.core.planner.RLPlanner`.
+    feedback_weight / reject_threshold / smoothing:
+        Tuning of the feedback pathway (see
+        :class:`~repro.feedback.adapter.FeedbackAdjustedReward` and
+        :class:`~repro.feedback.store.FeedbackStore`).
+    replan_episodes:
+        Warm-start training budget per replan round (fresh training uses
+        ``config.episodes``).
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        task: TaskSpec,
+        config: Optional[PlannerConfig] = None,
+        mode: DomainMode = DomainMode.COURSE,
+        feedback_weight: float = 0.3,
+        reject_threshold: Optional[float] = -0.5,
+        smoothing: float = 0.5,
+        replan_episodes: int = 100,
+    ) -> None:
+        self.catalog = catalog
+        self.task = task
+        self.config = config if config is not None else PlannerConfig()
+        self.mode = mode
+        self.replan_episodes = replan_episodes
+        self.store = FeedbackStore(smoothing=smoothing)
+        self.scorer = PlanScorer(task, mode=mode)
+        base_env = TPPEnvironment(catalog, task, self.config, mode=mode)
+        self.reward = FeedbackAdjustedReward(
+            base_env.reward,
+            self.store,
+            feedback_weight=feedback_weight,
+            reject_threshold=reject_threshold,
+        )
+        self.env = TPPEnvironment(
+            catalog, task, self.config, mode=mode, reward=self.reward
+        )
+        self._qtable: Optional[QTable] = None
+        self._rounds: List[PlanningRound] = []
+
+    # ------------------------------------------------------------------
+    # The loop
+    # ------------------------------------------------------------------
+
+    def propose(self, start_item_id: str) -> PlanningRound:
+        """Train (or warm-retrain) and propose the next plan."""
+        learner = SarsaLearner(self.env, self.config)
+        episodes = (
+            self.config.episodes
+            if self._qtable is None
+            else self.replan_episodes
+        )
+        result = learner.learn(
+            start_item_ids=[start_item_id],
+            episodes=episodes,
+            qtable=self._qtable,
+        )
+        self._qtable = result.qtable
+
+        policy = GreedyPolicy(
+            self._qtable,
+            self.task,
+            mode=self.mode,
+            rng_seed=self.config.seed,
+            reward=self.reward,
+            discount=self._lookahead_weight(),
+        )
+        plan = policy.recommend(start_item_id)
+        score = self.scorer.score(plan)
+        round_ = PlanningRound(
+            round_index=len(self._rounds),
+            plan=plan,
+            score=score,
+        )
+        self._rounds.append(round_)
+        return round_
+
+    def give_feedback(self, signals: Iterable[Feedback]) -> None:
+        """Fold user feedback into the store (affects future rounds)."""
+        signals = tuple(signals)
+        self.store.add_all(signals)
+        if self._rounds:
+            last = self._rounds[-1]
+            self._rounds[-1] = PlanningRound(
+                round_index=last.round_index,
+                plan=last.plan,
+                score=last.score,
+                feedback_items=last.feedback_items
+                + tuple(s.item_id for s in signals),
+            )
+
+    def _lookahead_weight(self) -> float:
+        if self.config.lookahead_weight is not None:
+            return self.config.lookahead_weight
+        return self.config.discount
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def rounds(self) -> Tuple[PlanningRound, ...]:
+        """All planning rounds so far."""
+        return tuple(self._rounds)
+
+    def last_plan(self) -> Optional[Plan]:
+        """The most recently proposed plan (None before any round)."""
+        return self._rounds[-1].plan if self._rounds else None
+
+    def preference_summary(self) -> str:
+        """One-line rendering of the current preferences."""
+        parts = [
+            f"{item_id}:{self.store.preference(item_id):+.2f}"
+            for item_id in self.store.rated_items()
+        ]
+        return ", ".join(parts) if parts else "(no feedback yet)"

@@ -1,0 +1,109 @@
+"""Accumulation of feedback signals into per-item preferences.
+
+The store keeps an exponentially-smoothed preference per item: recent
+feedback dominates (a user's taste drifts across planning rounds) while
+history still counts.  Preferences live in [-1, 1] like the raw
+signals.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from .models import Feedback, FeedbackError
+
+
+class FeedbackStore:
+    """Per-item preference state built from feedback signals.
+
+    Parameters
+    ----------
+    smoothing:
+        Exponential-smoothing factor in (0, 1]: the weight of the *new*
+        signal (1.0 = only the latest signal counts).
+    """
+
+    def __init__(self, smoothing: float = 0.5) -> None:
+        if not 0.0 < smoothing <= 1.0:
+            raise FeedbackError(
+                f"smoothing must be in (0, 1], got {smoothing}"
+            )
+        self.smoothing = smoothing
+        self._preferences: Dict[str, float] = {}
+        self._counts: Dict[str, int] = {}
+        self._log: List[Feedback] = []
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def add(self, feedback: Feedback) -> float:
+        """Fold one signal in; returns the item's new preference."""
+        old = self._preferences.get(feedback.item_id)
+        if old is None:
+            new = feedback.utility
+        else:
+            new = (
+                self.smoothing * feedback.utility
+                + (1.0 - self.smoothing) * old
+            )
+        self._preferences[feedback.item_id] = new
+        self._counts[feedback.item_id] = (
+            self._counts.get(feedback.item_id, 0) + 1
+        )
+        self._log.append(feedback)
+        return new
+
+    def add_all(self, signals: Iterable[Feedback]) -> None:
+        """Fold in a batch of signals, in order."""
+        for feedback in signals:
+            self.add(feedback)
+
+    def reset(self) -> None:
+        """Forget everything."""
+        self._preferences.clear()
+        self._counts.clear()
+        self._log.clear()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def preference(self, item_id: str) -> float:
+        """The item's current preference (0.0 when never rated)."""
+        return self._preferences.get(item_id, 0.0)
+
+    def count(self, item_id: str) -> int:
+        """How many signals the item has received."""
+        return self._counts.get(item_id, 0)
+
+    def rated_items(self) -> Tuple[str, ...]:
+        """Ids of all items with at least one signal."""
+        return tuple(sorted(self._preferences))
+
+    def rejected_items(self, threshold: float = -0.5) -> Tuple[str, ...]:
+        """Items whose preference fell to/below ``threshold``."""
+        return tuple(
+            sorted(
+                item_id
+                for item_id, pref in self._preferences.items()
+                if pref <= threshold
+            )
+        )
+
+    def endorsed_items(self, threshold: float = 0.5) -> Tuple[str, ...]:
+        """Items whose preference rose to/above ``threshold``."""
+        return tuple(
+            sorted(
+                item_id
+                for item_id, pref in self._preferences.items()
+                if pref >= threshold
+            )
+        )
+
+    def history(self) -> Tuple[Feedback, ...]:
+        """Every signal received, in arrival order."""
+        return tuple(self._log)
+
+    def __len__(self) -> int:
+        return len(self._preferences)

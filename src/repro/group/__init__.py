@@ -1,0 +1,33 @@
+"""Group task planning: one plan for several users.
+
+Extends RL-Planner to the group setting discussed in the paper's
+related work (GroupTravel, sequential group recommendation): member
+interests are aggregated into a group ``T_ideal``, and candidate plans
+are judged by per-member satisfaction, egalitarian welfare, and
+disagreement.
+"""
+
+from .aggregation import (
+    AggregationStrategy,
+    GroupMember,
+    aggregate_ideal_topics,
+    group_task,
+)
+from .planner import GroupPlanOutcome, GroupPlanner
+from .satisfaction import (
+    GroupSatisfaction,
+    group_satisfaction,
+    member_satisfaction,
+)
+
+__all__ = [
+    "AggregationStrategy",
+    "GroupMember",
+    "GroupPlanOutcome",
+    "GroupPlanner",
+    "GroupSatisfaction",
+    "aggregate_ideal_topics",
+    "group_satisfaction",
+    "group_task",
+    "member_satisfaction",
+]

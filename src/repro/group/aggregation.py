@@ -1,0 +1,136 @@
+"""Group preference aggregation.
+
+The paper's related work covers group variants of both domains
+(GroupTravel [4], sequential group recommendations [27] with
+satisfaction/disagreement scores).  This package extends RL-Planner to
+*groups*: several members, each with their own ideal topics, get one
+shared plan.
+
+Aggregation strategies (each produces the group's ``T_ideal``):
+
+* UNION — cover anybody's interest (generous plans),
+* INTERSECTION — only topics everyone wants (strict; falls back to
+  union when the intersection is empty),
+* MAJORITY — topics at least half the members want,
+* WEIGHTED — a minimum total member-weight per topic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Sequence
+
+from ..core.constraints import SoftConstraints, TaskSpec
+from ..core.exceptions import ConstraintError
+
+
+@dataclass(frozen=True)
+class GroupMember:
+    """One member: a name, their ideal topics, optional weight."""
+
+    name: str
+    ideal_topics: FrozenSet[str]
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConstraintError("member needs a name")
+        object.__setattr__(
+            self, "ideal_topics", frozenset(self.ideal_topics)
+        )
+        if not self.ideal_topics:
+            raise ConstraintError(
+                f"member {self.name!r} needs >= 1 ideal topic"
+            )
+        if self.weight <= 0:
+            raise ConstraintError("member weight must be positive")
+
+
+class AggregationStrategy(enum.Enum):
+    """How member interests merge into the group ``T_ideal``."""
+
+    UNION = "union"
+    INTERSECTION = "intersection"
+    MAJORITY = "majority"
+    WEIGHTED = "weighted"
+
+
+def aggregate_ideal_topics(
+    members: Sequence[GroupMember],
+    strategy: AggregationStrategy = AggregationStrategy.UNION,
+    weight_threshold: Optional[float] = None,
+) -> FrozenSet[str]:
+    """The group's ideal-topic set under a strategy.
+
+    ``weight_threshold`` applies to WEIGHTED: a topic qualifies when the
+    total weight of members wanting it reaches the threshold (default:
+    half the group's total weight).
+    """
+    if not members:
+        raise ConstraintError("a group needs at least one member")
+
+    if strategy is AggregationStrategy.UNION:
+        out: set = set()
+        for member in members:
+            out |= member.ideal_topics
+        return frozenset(out)
+
+    if strategy is AggregationStrategy.INTERSECTION:
+        out = set(members[0].ideal_topics)
+        for member in members[1:]:
+            out &= member.ideal_topics
+        if out:
+            return frozenset(out)
+        # Empty intersection: fall back to union so the task stays
+        # well-formed (SoftConstraints refuses an empty T_ideal).
+        return aggregate_ideal_topics(members, AggregationStrategy.UNION)
+
+    weights: Dict[str, float] = {}
+    for member in members:
+        for topic in member.ideal_topics:
+            weights[topic] = weights.get(topic, 0.0) + member.weight
+    total = sum(member.weight for member in members)
+
+    if strategy is AggregationStrategy.MAJORITY:
+        threshold = total / 2.0
+    elif strategy is AggregationStrategy.WEIGHTED:
+        threshold = (
+            weight_threshold if weight_threshold is not None
+            else total / 2.0
+        )
+    else:  # pragma: no cover - exhaustive enum
+        raise ConstraintError(f"unknown strategy {strategy!r}")
+
+    selected = frozenset(
+        topic for topic, w in weights.items() if w >= threshold
+    )
+    if selected:
+        return selected
+    return aggregate_ideal_topics(members, AggregationStrategy.UNION)
+
+
+def group_task(
+    base_task: TaskSpec,
+    members: Sequence[GroupMember],
+    strategy: AggregationStrategy = AggregationStrategy.UNION,
+    weight_threshold: Optional[float] = None,
+    name: Optional[str] = None,
+) -> TaskSpec:
+    """A TaskSpec whose T_ideal is the aggregated group interest.
+
+    Hard constraints and the interleaving template carry over from
+    ``base_task`` unchanged — the group negotiates *what* to cover, not
+    the program requirements.
+    """
+    ideal = aggregate_ideal_topics(
+        members, strategy=strategy, weight_threshold=weight_threshold
+    )
+    return TaskSpec(
+        hard=base_task.hard,
+        soft=SoftConstraints(
+            ideal_topics=ideal,
+            template=base_task.soft.template,
+        ),
+        name=name or f"{base_task.name} (group/{strategy.value})",
+    )

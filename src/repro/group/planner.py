@@ -1,0 +1,111 @@
+"""Group planning on top of RL-Planner.
+
+:class:`GroupPlanner` evaluates the aggregation strategies side by
+side: for each strategy it builds the aggregated task, trains
+RL-Planner, and reports the plan together with its per-member
+satisfaction profile — the data a group would use to pick its
+compromise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ..core.catalog import Catalog
+from ..core.config import PlannerConfig
+from ..core.constraints import TaskSpec
+from ..core.env import DomainMode
+from ..core.plan import Plan
+from ..core.planner import RLPlanner
+from ..core.scoring import PlanScore
+from .aggregation import (
+    AggregationStrategy,
+    GroupMember,
+    group_task,
+)
+from .satisfaction import GroupSatisfaction, group_satisfaction
+
+
+@dataclass(frozen=True)
+class GroupPlanOutcome:
+    """One strategy's plan, score, and satisfaction profile."""
+
+    strategy: AggregationStrategy
+    plan: Plan
+    score: PlanScore
+    satisfaction: GroupSatisfaction
+
+
+class GroupPlanner:
+    """Plan for a group of members over one catalog/base task.
+
+    Parameters
+    ----------
+    catalog / base_task / config / mode:
+        As for :class:`~repro.core.planner.RLPlanner`; ``base_task``
+        supplies the hard constraints and template, while each
+        strategy swaps in an aggregated ``T_ideal``.
+    members:
+        The group.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        base_task: TaskSpec,
+        members: Sequence[GroupMember],
+        config: Optional[PlannerConfig] = None,
+        mode: DomainMode = DomainMode.COURSE,
+    ) -> None:
+        self.catalog = catalog
+        self.base_task = base_task
+        self.members = tuple(members)
+        self.config = config if config is not None else PlannerConfig()
+        self.mode = mode
+
+    def plan_with(
+        self,
+        strategy: AggregationStrategy,
+        start_item_id: str,
+        episodes: Optional[int] = None,
+    ) -> GroupPlanOutcome:
+        """Train and plan under one aggregation strategy."""
+        task = group_task(self.base_task, self.members, strategy=strategy)
+        planner = RLPlanner(
+            self.catalog, task, self.config, mode=self.mode
+        )
+        planner.fit(start_item_ids=[start_item_id], episodes=episodes)
+        plan, score = planner.recommend_scored(start_item_id)
+        return GroupPlanOutcome(
+            strategy=strategy,
+            plan=plan,
+            score=score,
+            satisfaction=group_satisfaction(plan, self.members),
+        )
+
+    def compare_strategies(
+        self,
+        start_item_id: str,
+        strategies: Sequence[AggregationStrategy] = tuple(
+            AggregationStrategy
+        ),
+        episodes: Optional[int] = None,
+    ) -> Dict[AggregationStrategy, GroupPlanOutcome]:
+        """Run every strategy; returns outcomes keyed by strategy."""
+        return {
+            strategy: self.plan_with(
+                strategy, start_item_id, episodes=episodes
+            )
+            for strategy in strategies
+        }
+
+    def best_for_fairness(
+        self,
+        outcomes: Dict[AggregationStrategy, GroupPlanOutcome],
+    ) -> GroupPlanOutcome:
+        """The outcome maximizing the worst-off member (ties: mean)."""
+        return max(
+            outcomes.values(),
+            key=lambda o: (o.satisfaction.minimum, o.satisfaction.mean),
+        )

@@ -1,0 +1,73 @@
+"""Per-member satisfaction and group fairness of a shared plan.
+
+Mirrors the satisfaction/disagreement framing of sequential group
+recommendation ([27] in the paper's related work): each member's
+satisfaction is the coverage of *their* ideal topics by the group plan,
+and the group is judged by the mean (efficiency) and the minimum /
+spread (fairness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from ..core.plan import Plan
+from .aggregation import GroupMember
+
+
+@dataclass(frozen=True)
+class GroupSatisfaction:
+    """Satisfaction profile of one plan for one group."""
+
+    per_member: Tuple[Tuple[str, float], ...]
+
+    @property
+    def scores(self) -> Tuple[float, ...]:
+        """Member satisfactions in member order."""
+        return tuple(score for _, score in self.per_member)
+
+    @property
+    def mean(self) -> float:
+        """Average member satisfaction (group efficiency)."""
+        scores = self.scores
+        return sum(scores) / len(scores)
+
+    @property
+    def minimum(self) -> float:
+        """Worst-off member's satisfaction (egalitarian welfare)."""
+        return min(self.scores)
+
+    @property
+    def disagreement(self) -> float:
+        """Max - min satisfaction (the disagreement score of [27])."""
+        scores = self.scores
+        return max(scores) - min(scores)
+
+    def of(self, member_name: str) -> float:
+        """Satisfaction of a specific member."""
+        for name, score in self.per_member:
+            if name == member_name:
+                return score
+        raise KeyError(member_name)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Member name -> satisfaction."""
+        return dict(self.per_member)
+
+
+def member_satisfaction(plan: Plan, member: GroupMember) -> float:
+    """Coverage of the member's ideal topics by the plan, in [0, 1]."""
+    return plan.topic_coverage_of(member.ideal_topics)
+
+
+def group_satisfaction(
+    plan: Plan, members: Sequence[GroupMember]
+) -> GroupSatisfaction:
+    """Satisfaction profile of ``plan`` across all members."""
+    return GroupSatisfaction(
+        per_member=tuple(
+            (member.name, member_satisfaction(plan, member))
+            for member in members
+        )
+    )

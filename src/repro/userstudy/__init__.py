@@ -1,0 +1,23 @@
+"""Simulated user study reproducing Table IV's protocol.
+
+:class:`SimulatedStudy` is the simple per-plan panel; :class:`StudyProtocol`
+is the full paired protocol with sign tests and bootstrap CIs on the
+RL-vs-gold rating gap.
+"""
+
+from .protocol import PairedComparison, StudyProtocol
+from .raters import (
+    PlanFeatureExtractor,
+    Question,
+    SimulatedStudy,
+    StudyResult,
+)
+
+__all__ = [
+    "PairedComparison",
+    "PlanFeatureExtractor",
+    "Question",
+    "SimulatedStudy",
+    "StudyProtocol",
+    "StudyResult",
+]

@@ -1,0 +1,151 @@
+"""Shared fixtures for the test suite.
+
+Expensive artifacts (generated datasets, trained planners) are session-
+scoped so the suite stays fast; tests that need mutation make copies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import RLPlanner
+from repro.core.catalog import Catalog
+from repro.core.constraints import (
+    HardConstraints,
+    InterleavingTemplate,
+    SoftConstraints,
+    TaskSpec,
+)
+from repro.core.items import Item, ItemType, Prerequisites
+from repro.datasets import (
+    load_nyc,
+    load_paris,
+    load_toy,
+    load_univ1_cs,
+    load_univ1_dsct,
+    load_univ2_ds,
+    toy_course_catalog,
+    toy_course_task,
+)
+
+
+@pytest.fixture(scope="session")
+def toy_catalog() -> Catalog:
+    """The paper's Table II six-course catalog."""
+    return toy_course_catalog()
+
+
+@pytest.fixture(scope="session")
+def toy_task() -> TaskSpec:
+    """Example 1's TPP instance over the toy catalog."""
+    return toy_course_task()
+
+
+@pytest.fixture(scope="session")
+def toy_dataset():
+    """Full toy dataset bundle."""
+    return load_toy(seed=0, with_gold=True)
+
+
+@pytest.fixture(scope="session")
+def dsct_dataset():
+    """Univ-1 M.S. DS-CT dataset (gold included)."""
+    return load_univ1_dsct(seed=0)
+
+
+@pytest.fixture(scope="session")
+def cs_dataset():
+    """Univ-1 M.S. CS dataset (gold included)."""
+    return load_univ1_cs(seed=0)
+
+
+@pytest.fixture(scope="session")
+def univ2_dataset():
+    """Univ-2 M.S. DS dataset (gold included)."""
+    return load_univ2_ds(seed=0)
+
+
+@pytest.fixture(scope="session")
+def nyc_dataset():
+    """NYC trip dataset (gold included)."""
+    return load_nyc(seed=0)
+
+
+@pytest.fixture(scope="session")
+def paris_dataset():
+    """Paris trip dataset (gold included)."""
+    return load_paris(seed=0)
+
+
+@pytest.fixture(scope="session")
+def fitted_toy_planner(toy_dataset) -> RLPlanner:
+    """A trained planner on the toy dataset."""
+    planner = RLPlanner(
+        toy_dataset.catalog,
+        toy_dataset.task,
+        toy_dataset.default_config,
+        mode=toy_dataset.mode,
+    )
+    planner.fit(start_item_ids=[toy_dataset.default_start])
+    return planner
+
+
+@pytest.fixture(scope="session")
+def fitted_dsct_planner(dsct_dataset) -> RLPlanner:
+    """A trained planner on Univ-1 DS-CT (200 episodes for speed)."""
+    planner = RLPlanner(
+        dsct_dataset.catalog,
+        dsct_dataset.task,
+        dsct_dataset.default_config,
+        mode=dsct_dataset.mode,
+    )
+    planner.fit(
+        start_item_ids=[dsct_dataset.default_start], episodes=200
+    )
+    return planner
+
+
+def make_item(
+    item_id: str,
+    item_type: ItemType = ItemType.PRIMARY,
+    credits: float = 3.0,
+    topics=(),
+    prereqs: Prerequisites = None,
+    category=None,
+) -> Item:
+    """Terse item factory used across unit tests."""
+    return Item(
+        item_id=item_id,
+        name=item_id,
+        item_type=item_type,
+        credits=credits,
+        prerequisites=prereqs if prereqs is not None else Prerequisites.none(),
+        topics=frozenset(topics),
+        category=category,
+    )
+
+
+def make_task(
+    num_primary: int = 2,
+    num_secondary: int = 2,
+    min_credits: float = 12.0,
+    gap: int = 1,
+    ideal_topics=("t1", "t2", "t3", "t4"),
+    template_labels=None,
+) -> TaskSpec:
+    """Terse task factory used across unit tests."""
+    if template_labels is None:
+        template_labels = [["P", "S", "P", "S"], ["P", "P", "S", "S"]]
+    return TaskSpec(
+        hard=HardConstraints.for_courses(
+            min_credits=min_credits,
+            num_primary=num_primary,
+            num_secondary=num_secondary,
+            gap=gap,
+        ),
+        soft=SoftConstraints(
+            ideal_topics=frozenset(ideal_topics),
+            template=InterleavingTemplate.from_labels(template_labels),
+        ),
+        name="unit-test task",
+    )

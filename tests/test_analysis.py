@@ -1,0 +1,166 @@
+"""Tests for the experiment harness (repro.analysis)."""
+
+import pytest
+
+from repro.analysis import (
+    SweepRunner,
+    compare_planners,
+    linear_fit,
+    mean_confidence_interval,
+    measure_scalability,
+    pearson_r,
+    render_sweep,
+    render_table,
+    run_transfer,
+    run_user_study,
+    summarize,
+)
+from repro.datasets import load_toy
+
+
+@pytest.fixture(scope="module")
+def toy():
+    return load_toy(seed=0, with_gold=True)
+
+
+class TestStats:
+    def test_summarize(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary.mean == 2.0
+        assert summary.minimum == 1.0 and summary.maximum == 3.0
+        assert summary.n == 3
+        assert summary.std == pytest.approx(1.0)
+
+    def test_summarize_empty(self):
+        assert summarize([]).n == 0
+
+    def test_confidence_interval_contains_mean(self):
+        lo, hi = mean_confidence_interval([1.0, 2.0, 3.0, 4.0])
+        assert lo < 2.5 < hi
+
+    def test_linear_fit_recovers_line(self):
+        xs = [1.0, 2.0, 3.0, 4.0]
+        ys = [2.0 * x + 1.0 for x in xs]
+        slope, intercept = linear_fit(xs, ys)
+        assert slope == pytest.approx(2.0)
+        assert intercept == pytest.approx(1.0)
+
+    def test_pearson_r_perfect_and_flat(self):
+        xs = [1.0, 2.0, 3.0]
+        assert pearson_r(xs, [2.0, 4.0, 6.0]) == pytest.approx(1.0)
+        assert pearson_r(xs, [5.0, 5.0, 5.0]) == 0.0
+
+    def test_degenerate_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            linear_fit([1.0], [1.0])
+        with pytest.raises(ValueError):
+            pearson_r([1.0, 2.0], [1.0])
+
+
+class TestTables:
+    def test_render_table_alignment(self):
+        text = render_table(
+            ["name", "score"], [["rl", 1.234], ["eda", None]],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "1.23" in text
+        assert "—" in text
+
+    def test_render_sweep(self, toy):
+        runner = SweepRunner(toy, runs=1, episodes=20)
+        result = runner.sweep_learning_rate(values=[0.5, 0.75])
+        text = render_sweep(result)
+        assert "learning_rate" in text
+        assert "RL (AvgSim)" in text
+
+
+class TestComparison:
+    def test_compare_planners_shape(self, toy):
+        result = compare_planners(toy, runs=2, episodes=30)
+        rows = dict(result.as_rows())
+        assert set(rows) == {
+            "RL-Planner", "OMEGA", "EDA", "Gold Standard",
+        }
+        assert 0.0 <= result.rl_validity <= 1.0
+
+    def test_user_study_runs(self, toy):
+        result = run_user_study(toy, num_raters=10, seed=0, episodes=30)
+        assert result.dataset == "toy"
+        for row in result.ratings.values():
+            assert 1.0 <= row["rl_planner"] <= 5.0
+            assert 1.0 <= row["gold"] <= 5.0
+
+    def test_transfer_between_same_catalog(self, toy):
+        outcome = run_transfer(toy, toy, seed=0, episodes=30)
+        assert outcome.entry_coverage == 1.0
+        assert len(outcome.plan) > 0
+
+
+class TestSweeps:
+    def test_episode_sweep_uses_value_as_n(self, toy):
+        runner = SweepRunner(toy, runs=1)
+        result = runner.sweep_episodes(values=[10, 20])
+        assert [p.value for p in result.points] == [10, 20]
+        assert result.points[0].eda is None  # N not applicable to EDA
+
+    def test_coverage_sweep_includes_eda(self, toy):
+        runner = SweepRunner(toy, runs=1, episodes=20)
+        result = runner.sweep_coverage_threshold(values=[1.0, 2.0])
+        assert all(p.eda is not None for p in result.points)
+
+    def test_weight_sweeps(self, toy):
+        runner = SweepRunner(toy, runs=1, episodes=20)
+        res = runner.sweep_type_weights(values=[(0.6, 0.4), (0.5, 0.5)])
+        assert len(res.points) == 2
+        res = runner.sweep_delta_beta(values=[(0.5, 0.5)])
+        assert res.points[0].parameter == "delta_beta"
+
+    def test_start_sweep(self, toy):
+        runner = SweepRunner(toy, runs=1, episodes=20)
+        result = runner.sweep_starting_points(values=["m1", "m3"])
+        assert [p.value for p in result.points] == ["m1", "m3"]
+
+    def test_best_point_selection(self, toy):
+        runner = SweepRunner(toy, runs=1, episodes=20)
+        result = runner.sweep_learning_rate(values=[0.5, 0.75])
+        best = result.best()
+        assert best.rl_avg_sim == max(result.series())
+
+
+class TestScalability:
+    def test_timing_points_and_linearity(self, toy):
+        result = measure_scalability(
+            toy, episode_grid=(10, 20, 40), recommend_repeats=2
+        )
+        xs, ys = result.learn_series()
+        assert xs == [10, 20, 40]
+        assert all(y > 0 for y in ys)
+        assert result.max_recommend_seconds() < 1.0
+        assert result.learning_slope() > 0
+
+
+class TestTheorem1:
+    def test_masked_battery_satisfies_all(self):
+        from repro.analysis import verify_theorem1
+
+        result = verify_theorem1(instances=4, episodes=60)
+        assert result.instances == 4
+        assert result.satisfaction_rate == 1.0
+        assert "all 4 instances" in result.describe()
+
+    def test_violation_counting(self):
+        from repro.analysis.theorem1 import Theorem1Result
+
+        result = Theorem1Result(
+            instances=5, valid=3,
+            violation_counts=(("credits", 2),),
+        )
+        assert result.satisfaction_rate == 0.6
+        assert "credits: 2" in result.describe()
+
+    def test_empty_battery(self):
+        from repro.analysis.theorem1 import Theorem1Result
+
+        assert Theorem1Result(0, 0, ()).satisfaction_rate == 0.0

@@ -1,0 +1,171 @@
+"""Tests for the baseline planners (repro.baselines)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    EDAPlanner,
+    OmegaPlanner,
+    PopularityPlanner,
+    RandomPlanner,
+    cofrequency_matrix,
+    topic_utility_matrix,
+)
+from repro.core.catalog import Catalog
+from repro.core.config import PlannerConfig
+from repro.core.env import DomainMode
+from repro.core.exceptions import PlanningError
+from repro.core.items import Item, ItemType, Prerequisites, make_metadata
+
+from conftest import make_item, make_task
+
+
+@pytest.fixture
+def catalog():
+    return Catalog(
+        [
+            make_item("p1", ItemType.PRIMARY, topics={"t1"}),
+            make_item("p2", ItemType.PRIMARY, topics={"t2"}),
+            make_item("s1", ItemType.SECONDARY, topics={"t3"}),
+            make_item(
+                "s2",
+                ItemType.SECONDARY,
+                topics={"t4"},
+                prereqs=Prerequisites.all_of(["p1"]),
+            ),
+        ]
+    )
+
+
+@pytest.fixture
+def task():
+    return make_task()
+
+
+class TestEDA:
+    def test_produces_full_length_plan(self, catalog, task):
+        eda = EDAPlanner(catalog, task, PlannerConfig(coverage_threshold=1.0))
+        plan = eda.recommend("p1")
+        assert len(plan) == 4
+        assert plan.item_ids[0] == "p1"
+
+    def test_greedy_picks_max_immediate_reward(self, catalog, task):
+        config = PlannerConfig(coverage_threshold=1.0)
+        eda = EDAPlanner(catalog, task, config, seed=0)
+        plan = eda.recommend("p1")
+        # With theta gating, the gap-violating s2 cannot be second (its
+        # reward is 0 while valid actions score > 0).
+        assert plan.item_ids[1] != "s2" or True  # see next assertion
+        reward = eda.reward
+        from repro.core.plan import PlanBuilder
+
+        builder = PlanBuilder(catalog)
+        builder.add_by_id("p1")
+        rewards = {
+            item.item_id: reward(builder, item)
+            for item in builder.remaining_items()
+        }
+        assert rewards[plan.item_ids[1]] == max(rewards.values())
+
+    def test_unknown_start_rejected(self, catalog, task):
+        eda = EDAPlanner(catalog, task)
+        with pytest.raises(PlanningError):
+            eda.recommend("ghost")
+
+    def test_seed_controls_tie_break(self, catalog, task):
+        config = PlannerConfig(coverage_threshold=1.0)
+        plans = {
+            EDAPlanner(catalog, task, config, seed=s)
+            .recommend("p1").item_ids
+            for s in range(6)
+        }
+        assert plans  # at least runs; ties may or may not diverge
+
+
+class TestOmega:
+    def test_topic_utility_matrix_is_union_size(self, catalog):
+        matrix = topic_utility_matrix(catalog)
+        i, j = catalog.index_of("p1"), catalog.index_of("s1")
+        assert matrix[i, j] == 2.0  # |{t1} U {t3}|
+        assert matrix[i, i] == 0.0
+
+    def test_cofrequency_matrix_counts_order(self, catalog):
+        histories = [["p1", "s1", "s2"], ["p1", "s2"]]
+        matrix = cofrequency_matrix(catalog, histories)
+        assert matrix[catalog.index_of("p1"), catalog.index_of("s2")] == 2
+        assert matrix[catalog.index_of("s2"), catalog.index_of("p1")] == 0
+
+    def test_produces_plan_of_target_length(self, catalog, task):
+        omega = OmegaPlanner(catalog, task)
+        plan = omega.recommend("p1")
+        assert len(plan) == 4
+        assert plan.item_ids[0] == "p1"
+        assert len(set(plan.item_ids)) == 4
+
+    def test_prefix_respects_prerequisite_order(self, catalog, task):
+        omega = OmegaPlanner(catalog, task)
+        plan = omega.recommend("p1")
+        positions = plan.positions()
+        if "s2" in positions and "p1" in positions:
+            assert positions["p1"] < positions["s2"]
+
+    def test_histories_switch_utility(self, catalog, task):
+        with_hist = OmegaPlanner(
+            catalog, task, histories=[["p1", "s1"]]
+        )
+        without = OmegaPlanner(catalog, task)
+        assert (with_hist.utility != without.utility).any()
+
+    def test_blind_to_template_split(self, task):
+        # OMEGA ignores the primary/secondary split: with many more
+        # secondaries than template slots it happily overfills them.
+        items = [make_item("p1", ItemType.PRIMARY, topics={"t0"})]
+        items += [
+            make_item(f"s{i}", ItemType.SECONDARY, topics={f"t{i}"})
+            for i in range(1, 9)
+        ]
+        catalog = Catalog(items)
+        omega = OmegaPlanner(catalog, task)
+        plan = omega.recommend("s1")
+        assert plan.num_primary < task.hard.num_primary  # invalid split
+
+
+class TestSanityBaselines:
+    def test_random_plan_has_target_length(self, catalog, task):
+        plan = RandomPlanner(catalog, task, seed=0).recommend("p1")
+        assert len(plan) == 4
+
+    def test_random_is_seed_deterministic(self, catalog, task):
+        a = RandomPlanner(catalog, task, seed=5).recommend("p1")
+        b = RandomPlanner(catalog, task, seed=5).recommend("p1")
+        assert a.item_ids == b.item_ids
+
+    def test_popularity_orders_by_metadata(self, task):
+        items = [
+            Item(
+                item_id=f"x{i}",
+                name=f"x{i}",
+                item_type=ItemType.SECONDARY,
+                credits=3.0,
+                topics=frozenset({f"t{i}"}),
+                metadata=make_metadata(popularity=float(i)),
+            )
+            for i in range(5)
+        ]
+        catalog = Catalog(items)
+        plan = PopularityPlanner(catalog, task).recommend("x0")
+        assert plan.item_ids == ("x0", "x4", "x3", "x2")
+
+    def test_trip_mode_respects_budget(self, task):
+        items = [
+            make_item("a", ItemType.PRIMARY, credits=3.0, topics={"t1"}),
+            make_item("b", ItemType.SECONDARY, credits=3.0, topics={"t2"}),
+            make_item("c", ItemType.SECONDARY, credits=9.0, topics={"t3"}),
+        ]
+        catalog = Catalog(items)
+        planner = RandomPlanner(
+            catalog, task, mode=DomainMode.TRIP, seed=0
+        )
+        plan = planner.recommend("a")
+        # task.min_credits=12 is the budget: c (9.0) never fits after a+b.
+        assert plan.total_credits <= 12.0

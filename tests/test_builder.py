@@ -1,0 +1,121 @@
+"""Tests for the fluent task builder (repro.core.builder)."""
+
+import pytest
+
+from repro.core.builder import TaskBuilder
+from repro.core.exceptions import ConstraintError
+from repro.core.items import ItemType
+
+
+class TestCourseTasks:
+    def test_paper_running_example(self):
+        task = (
+            TaskBuilder("M.S. DS-CT")
+            .credits(30)
+            .primaries(5)
+            .secondaries(5)
+            .gap(3)
+            .ideal_topics(["clustering", "classification"])
+            .template(["P", "P", "S", "P", "S", "S", "P", "S", "P", "S"])
+            .build()
+        )
+        assert task.name == "M.S. DS-CT"
+        assert task.hard.min_credits == 30
+        assert task.hard.plan_length == 10
+        assert task.hard.gap == 3
+        assert not task.hard.theme_adjacency_gap
+
+    def test_default_template_alternates(self):
+        task = (
+            TaskBuilder()
+            .credits(12)
+            .primaries(2)
+            .secondaries(2)
+            .ideal_topics(["t"])
+            .build()
+        )
+        assert task.soft.template.permutations[0] == (
+            ItemType.PRIMARY, ItemType.SECONDARY,
+            ItemType.PRIMARY, ItemType.SECONDARY,
+        )
+
+    def test_category_minima(self):
+        task = (
+            TaskBuilder()
+            .credits(12)
+            .primaries(2)
+            .secondaries(2)
+            .category_minimum("math", 6)
+            .ideal_topics(["t"])
+            .build()
+        )
+        assert task.hard.category_credit_map == {"math": 6.0}
+
+    def test_multiple_templates(self):
+        task = (
+            TaskBuilder()
+            .credits(12)
+            .primaries(2)
+            .secondaries(2)
+            .ideal_topics(["t"])
+            .templates([["P", "S", "P", "S"], ["P", "P", "S", "S"]])
+            .build()
+        )
+        assert len(task.soft.template) == 2
+
+
+class TestTripTasks:
+    def test_trip_semantics(self):
+        task = (
+            TaskBuilder("Paris day")
+            .time_budget(6)
+            .primaries(2)
+            .secondaries(3)
+            .max_distance(5)
+            .no_adjacent_same_theme()
+            .ideal_topics(["museum"])
+            .build()
+        )
+        assert task.hard.min_credits == 6
+        assert task.hard.max_distance == 5
+        assert task.hard.theme_adjacency_gap
+
+
+class TestValidation:
+    def test_missing_fields_reported(self):
+        with pytest.raises(ConstraintError) as excinfo:
+            TaskBuilder().credits(10).build()
+        message = str(excinfo.value)
+        assert "primaries" in message and "ideal_topics" in message
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda b: b.credits(0),
+            lambda b: b.primaries(-1),
+            lambda b: b.secondaries(-1),
+            lambda b: b.gap(-1),
+            lambda b: b.category_minimum("x", 0),
+            lambda b: b.max_distance(0),
+        ],
+    )
+    def test_eager_setter_validation(self, mutate):
+        with pytest.raises(ConstraintError):
+            mutate(TaskBuilder())
+
+    def test_template_split_mismatch_caught_at_build(self):
+        builder = (
+            TaskBuilder()
+            .credits(12)
+            .primaries(2)
+            .secondaries(2)
+            .ideal_topics(["t"])
+            .template(["P", "S", "S", "S"])  # only 1 primary slot
+        )
+        with pytest.raises(ConstraintError):
+            builder.build()
+
+    def test_builder_chains_return_self(self):
+        builder = TaskBuilder()
+        assert builder.credits(10) is builder
+        assert builder.primaries(1) is builder

@@ -1,0 +1,116 @@
+"""Unit tests for the item catalog (repro.core.catalog)."""
+
+import pytest
+
+from repro.core.catalog import Catalog
+from repro.core.exceptions import DataModelError, UnknownItemError
+from repro.core.items import ItemType, Prerequisites
+
+from conftest import make_item
+
+
+@pytest.fixture
+def small_catalog():
+    items = [
+        make_item("a", ItemType.PRIMARY, topics={"t1"}),
+        make_item("b", ItemType.SECONDARY, topics={"t2"}),
+        make_item(
+            "c",
+            ItemType.SECONDARY,
+            topics={"t1", "t3"},
+            prereqs=Prerequisites.all_of(["a"]),
+            category="cat1",
+        ),
+    ]
+    return Catalog(items, name="small")
+
+
+class TestConstruction:
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(DataModelError):
+            Catalog([], name="empty")
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(DataModelError):
+            Catalog([make_item("a"), make_item("a")])
+
+    def test_dangling_prerequisite_rejected(self):
+        items = [make_item("b", prereqs=Prerequisites.all_of(["ghost"]))]
+        with pytest.raises(DataModelError):
+            Catalog(items)
+
+    def test_dangling_prerequisite_allowed_when_unchecked(self):
+        items = [make_item("b", prereqs=Prerequisites.all_of(["ghost"]))]
+        catalog = Catalog(items, validate_prerequisites=False)
+        assert "b" in catalog
+
+    def test_explicit_vocabulary_must_cover_topics(self):
+        with pytest.raises(DataModelError):
+            Catalog(
+                [make_item("a", topics={"weird"})],
+                topic_vocabulary=["t1"],
+            )
+
+    def test_vocabulary_defaults_to_sorted_topic_union(self, small_catalog):
+        assert small_catalog.topic_vocabulary == ("t1", "t2", "t3")
+        assert small_catalog.num_topics == 3
+
+
+class TestLookups:
+    def test_getitem_and_contains(self, small_catalog):
+        assert small_catalog["a"].item_id == "a"
+        assert "a" in small_catalog and "zzz" not in small_catalog
+
+    def test_unknown_item_error(self, small_catalog):
+        with pytest.raises(UnknownItemError):
+            small_catalog["zzz"]
+        with pytest.raises(UnknownItemError):
+            small_catalog.index_of("zzz")
+
+    def test_index_round_trip(self, small_catalog):
+        for item in small_catalog:
+            assert small_catalog.item_at(
+                small_catalog.index_of(item.item_id)
+            ) is item
+
+    def test_type_partitions(self, small_catalog):
+        assert [i.item_id for i in small_catalog.primaries()] == ["a"]
+        assert [i.item_id for i in small_catalog.secondaries()] == ["b", "c"]
+
+    def test_category_queries(self, small_catalog):
+        assert small_catalog.categories() == ("cat1",)
+        assert [i.item_id for i in small_catalog.in_category("cat1")] == ["c"]
+
+    def test_with_topic(self, small_catalog):
+        assert {i.item_id for i in small_catalog.with_topic("t1")} == {
+            "a", "c",
+        }
+
+    def test_antecedent_ids(self, small_catalog):
+        assert small_catalog.antecedent_ids() == frozenset({"a"})
+
+    def test_dependents_of(self, small_catalog):
+        assert [i.item_id for i in small_catalog.dependents_of("a")] == ["c"]
+        with pytest.raises(UnknownItemError):
+            small_catalog.dependents_of("zzz")
+
+
+class TestSubsetsAndStats:
+    def test_subset_preserves_order(self, small_catalog):
+        sub = small_catalog.subset(["c", "a"])
+        assert sub.item_ids == ("a", "c")
+
+    def test_subset_unknown_id_rejected(self, small_catalog):
+        with pytest.raises(UnknownItemError):
+            small_catalog.subset(["a", "nope"])
+
+    def test_shared_item_ids(self, small_catalog):
+        other = Catalog([make_item("b"), make_item("z")])
+        assert small_catalog.shared_item_ids(other) == ("b",)
+
+    def test_stats(self, small_catalog):
+        stats = small_catalog.stats()
+        assert stats["num_items"] == 3
+        assert stats["num_primary"] == 1
+        assert stats["num_with_prerequisites"] == 1
+        assert stats["total_credits"] == 9.0

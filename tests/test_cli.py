@@ -1,0 +1,51 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["plan", "atlantis"])
+
+
+class TestCommands:
+    def test_datasets_lists_all(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for key in ("njit_dsct", "univ2_ds", "nyc", "paris", "toy"):
+            assert key in out
+
+    def test_plan_toy(self, capsys):
+        assert main(["plan", "toy", "--episodes", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "plan    :" in out
+        assert "score   :" in out
+
+    def test_plan_custom_start(self, capsys):
+        assert main(["plan", "toy", "--start", "m3",
+                     "--episodes", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "start   : m3" in out
+
+    def test_compare_toy(self, capsys):
+        assert main(["compare", "toy", "--runs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "RL-Planner" in out
+        assert "Gold Standard" in out
+
+    def test_transfer_toy_to_toy(self, capsys):
+        assert main(["transfer", "toy", "toy"]) == 0
+        out = capsys.readouterr().out
+        assert "applied to" in out
+
+    def test_diagnose_feasible_dataset(self, capsys):
+        assert main(["diagnose", "toy"]) == 0
+        out = capsys.readouterr().out
+        assert "no structural infeasibility" in out

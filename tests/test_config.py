@@ -1,0 +1,109 @@
+"""Unit tests for planner configuration (repro.core.config)."""
+
+import pytest
+
+from repro.core.config import (
+    PlannerConfig,
+    RecommendationMode,
+    RewardWeights,
+    UNIV2_CATEGORY_WEIGHTS,
+)
+from repro.core.exceptions import ConstraintError
+from repro.core.similarity import SimilarityMode
+
+
+class TestRewardWeights:
+    def test_defaults_sum_to_one(self):
+        weights = RewardWeights()
+        assert weights.delta + weights.beta == 1.0
+        assert weights.w_primary + weights.w_secondary == 1.0
+
+    def test_delta_beta_must_sum_to_one(self):
+        with pytest.raises(ConstraintError):
+            RewardWeights(delta=0.7, beta=0.2)
+
+    def test_type_weights_must_sum_to_one(self):
+        with pytest.raises(ConstraintError):
+            RewardWeights(w_primary=0.9, w_secondary=0.3)
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ConstraintError):
+            RewardWeights(delta=1.2, beta=-0.2)
+
+    def test_category_weights_must_sum_to_one(self):
+        with pytest.raises(ConstraintError):
+            RewardWeights.with_categories({"a": 0.5, "b": 0.2})
+
+    def test_paper_univ2_weights_accepted(self):
+        weights = RewardWeights.with_categories(UNIV2_CATEGORY_WEIGHTS)
+        assert weights.category_weight_map["applied_ml_ds"] == 0.42
+
+
+class TestPlannerConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(episodes=0),
+            dict(learning_rate=0.0),
+            dict(learning_rate=1.5),
+            dict(discount=-0.1),
+            dict(coverage_threshold=-1),
+            dict(exploration=1.5),
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConstraintError):
+            PlannerConfig(**kwargs)
+
+    def test_replace_returns_modified_copy(self):
+        config = PlannerConfig()
+        other = config.replace(episodes=42)
+        assert other.episodes == 42
+        assert config.episodes == 500  # original untouched
+
+    def test_coverage_count_fractional_epsilon(self):
+        # Table III epsilon = 0.0025 over 60 ideal topics -> 1 topic.
+        config = PlannerConfig(coverage_threshold=0.0025)
+        assert config.coverage_count_threshold(60) == 1
+        # 0.02 over 60 -> ceil(1.2) = 2 topics.
+        assert config.replace(
+            coverage_threshold=0.02
+        ).coverage_count_threshold(60) == 2
+
+    def test_coverage_count_integer_epsilon(self):
+        config = PlannerConfig(coverage_threshold=2.0)
+        assert config.coverage_count_threshold(60) == 2
+
+    def test_coverage_count_never_below_one(self):
+        config = PlannerConfig(coverage_threshold=0.0)
+        assert config.coverage_count_threshold(60) == 1
+
+
+class TestPresets:
+    def test_univ1_matches_table3(self):
+        config = PlannerConfig.univ1_default()
+        assert config.episodes == 500
+        assert config.learning_rate == 0.75
+        assert config.discount == 0.95
+        assert config.coverage_threshold == 0.0025
+
+    def test_univ2_matches_table3(self):
+        config = PlannerConfig.univ2_default(UNIV2_CATEGORY_WEIGHTS)
+        assert config.episodes == 100
+        assert config.weights.category_weight_map == dict(
+            UNIV2_CATEGORY_WEIGHTS
+        )
+
+    def test_trip_matches_table3(self):
+        config = PlannerConfig.trip_default()
+        assert config.episodes == 500
+        assert config.learning_rate == 0.95
+        assert config.discount == 0.75
+
+    def test_default_recommendation_is_lookahead(self):
+        assert (
+            PlannerConfig().recommendation is RecommendationMode.LOOKAHEAD
+        )
+
+    def test_default_similarity_is_average(self):
+        assert PlannerConfig().similarity is SimilarityMode.AVERAGE

@@ -1,0 +1,130 @@
+"""Unit tests for constraint specifications (repro.core.constraints)."""
+
+import pytest
+
+from repro.core.constraints import (
+    HardConstraints,
+    InterleavingTemplate,
+    SoftConstraints,
+    TaskSpec,
+)
+from repro.core.exceptions import ConstraintError
+from repro.core.items import ItemType
+
+
+class TestInterleavingTemplate:
+    def test_from_labels_accepts_aliases(self):
+        template = InterleavingTemplate.from_labels(
+            [["primary", "S"], ["core", "elective"]]
+        )
+        assert template.permutations[0] == (
+            ItemType.PRIMARY, ItemType.SECONDARY,
+        )
+        assert template.permutations[1] == (
+            ItemType.PRIMARY, ItemType.SECONDARY,
+        )
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(ConstraintError):
+            InterleavingTemplate.from_labels([["X", "S"]])
+
+    def test_empty_template_rejected(self):
+        with pytest.raises(ConstraintError):
+            InterleavingTemplate(())
+
+    def test_ragged_lengths_rejected(self):
+        with pytest.raises(ConstraintError):
+            InterleavingTemplate.from_labels([["P", "S"], ["P"]])
+
+    def test_count_of(self):
+        template = InterleavingTemplate.from_labels([["P", "S", "P"]])
+        assert template.count_of(ItemType.PRIMARY) == 2
+        assert template.count_of(ItemType.SECONDARY) == 1
+
+    def test_describe_is_compact(self):
+        template = InterleavingTemplate.from_labels(
+            [["P", "S"], ["S", "P"]]
+        )
+        assert template.describe() == "[P,S] | [S,P]"
+
+
+class TestHardConstraints:
+    def test_paper_example_values(self):
+        # P_hard = <30, 5, 5, 3> from Section II-B-1.
+        hard = HardConstraints.for_courses(30, 5, 5, 3)
+        assert hard.plan_length == 10
+        assert hard.gap == 3
+
+    def test_trip_constructor_sets_budget_semantics(self):
+        hard = HardConstraints.for_trips(6, 2, 3, max_distance=5)
+        assert hard.plan_length == 5
+        assert hard.theme_adjacency_gap
+        assert hard.max_distance == 5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(min_credits=0, num_primary=1, num_secondary=1, gap=0),
+            dict(min_credits=10, num_primary=-1, num_secondary=1, gap=0),
+            dict(min_credits=10, num_primary=0, num_secondary=0, gap=0),
+            dict(min_credits=10, num_primary=1, num_secondary=1, gap=-1),
+            dict(
+                min_credits=10, num_primary=1, num_secondary=1, gap=0,
+                max_distance=0,
+            ),
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(ConstraintError):
+            HardConstraints(**kwargs)
+
+    def test_category_credit_map(self):
+        hard = HardConstraints.for_courses(
+            30, 5, 5, 3, category_credits={"a": 6, "b": 3}
+        )
+        assert hard.category_credit_map == {"a": 6, "b": 3}
+
+
+class TestSoftConstraints:
+    def test_empty_ideal_topics_rejected(self):
+        template = InterleavingTemplate.from_labels([["P", "S"]])
+        with pytest.raises(ConstraintError):
+            SoftConstraints(ideal_topics=frozenset(), template=template)
+
+    def test_ideal_vector(self):
+        template = InterleavingTemplate.from_labels([["P", "S"]])
+        soft = SoftConstraints(
+            ideal_topics=frozenset({"b"}), template=template
+        )
+        assert soft.ideal_vector(["a", "b", "c"]) == (0, 1, 0)
+
+
+class TestTaskSpec:
+    def test_template_length_must_match_split(self):
+        hard = HardConstraints.for_courses(12, 2, 2, 1)
+        template = InterleavingTemplate.from_labels([["P", "S", "P"]])
+        soft = SoftConstraints(
+            ideal_topics=frozenset({"t"}), template=template
+        )
+        with pytest.raises(ConstraintError):
+            TaskSpec(hard=hard, soft=soft)
+
+    def test_template_primary_count_must_match_split(self):
+        hard = HardConstraints.for_courses(12, 2, 2, 1)
+        template = InterleavingTemplate.from_labels([["P", "S", "S", "S"]])
+        soft = SoftConstraints(
+            ideal_topics=frozenset({"t"}), template=template
+        )
+        with pytest.raises(ConstraintError):
+            TaskSpec(hard=hard, soft=soft)
+
+    def test_consistent_spec_accepted(self):
+        hard = HardConstraints.for_courses(12, 2, 2, 1)
+        template = InterleavingTemplate.from_labels(
+            [["P", "S", "P", "S"], ["P", "P", "S", "S"]]
+        )
+        soft = SoftConstraints(
+            ideal_topics=frozenset({"t"}), template=template
+        )
+        task = TaskSpec(hard=hard, soft=soft, name="ok")
+        assert task.name == "ok"

@@ -1,0 +1,69 @@
+"""Tests for the learning-curve analysis (repro.analysis.convergence)."""
+
+import pytest
+
+from repro.analysis import (
+    detect_convergence,
+    moving_average,
+    render_learning_curve,
+    summarize_learning,
+)
+
+
+class TestMovingAverage:
+    def test_window_one_is_identity(self):
+        assert moving_average([1.0, 2.0, 3.0], 1) == [1.0, 2.0, 3.0]
+
+    def test_trailing_window(self):
+        out = moving_average([2.0, 4.0, 6.0, 8.0], 2)
+        assert out == [2.0, 3.0, 5.0, 7.0]
+
+    def test_window_larger_than_series(self):
+        out = moving_average([2.0, 4.0], 10)
+        assert out == [2.0, 3.0]
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            moving_average([1.0], 0)
+
+
+class TestDetectConvergence:
+    def test_flat_curve_converges_immediately(self):
+        summary = detect_convergence([5.0] * 50, window=5)
+        assert summary.converged
+        assert summary.converged_at == 0
+        assert summary.final_level == 5.0
+
+    def test_rising_then_flat(self):
+        curve = [float(i) for i in range(20)] + [20.0] * 40
+        summary = detect_convergence(curve, window=5, tolerance=0.05)
+        assert summary.converged
+        assert summary.converged_at >= 15
+        assert summary.improved_fraction > 0.5
+
+    def test_never_settling_curve(self):
+        curve = [float(i) for i in range(100)]  # keeps rising
+        summary = detect_convergence(curve, window=5, tolerance=0.01)
+        assert not summary.converged
+
+    def test_empty_curve(self):
+        summary = detect_convergence([])
+        assert summary.episodes == 0
+        assert not summary.converged
+
+    def test_real_learning_run_summary(self, fitted_toy_planner):
+        result = fitted_toy_planner.last_learning_result
+        summary = summarize_learning(result)
+        assert summary.episodes == result.episodes
+        assert summary.final_level > 0
+
+
+class TestRenderCurve:
+    def test_render_contains_bounds(self):
+        text = render_learning_curve([1.0, 2.0, 3.0, 4.0], width=10,
+                                     height=4)
+        assert "episodes 1..4" in text
+        assert "#" in text
+
+    def test_empty(self):
+        assert "empty" in render_learning_curve([])

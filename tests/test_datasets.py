@@ -1,0 +1,121 @@
+"""Tests for dataset loaders and the Table II toy (repro.datasets)."""
+
+import pytest
+
+from repro.core.env import DomainMode
+from repro.core.exceptions import DatasetError
+from repro.datasets import (
+    LOADERS,
+    load,
+    load_toy,
+    toy_course_catalog,
+    toy_course_task,
+    toy_template,
+    TOY_TOPICS,
+)
+
+
+class TestRegistry:
+    def test_all_keys_loadable(self):
+        for key in LOADERS:
+            dataset = load(key, seed=0, with_gold=False)
+            assert dataset.key == key
+            assert dataset.default_start in dataset.catalog
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(DatasetError):
+            load("atlantis")
+
+    def test_modes(self):
+        assert load("njit_dsct", with_gold=False).mode is DomainMode.COURSE
+        assert load("nyc", with_gold=False).mode is DomainMode.TRIP
+
+    def test_gold_plans_attached_when_requested(self):
+        dataset = load("toy", with_gold=True)
+        assert dataset.gold_plan is not None
+        dataset = load("toy", with_gold=False)
+        assert dataset.gold_plan is None
+
+    def test_trip_datasets_expose_itineraries(self):
+        assert load("nyc", with_gold=False).itineraries
+        assert not load("toy", with_gold=False).itineraries
+
+    def test_default_config_matches_dataset(self):
+        # Table III: Univ-2 trains 100 episodes, the others 500.
+        assert load("univ2_ds", with_gold=False).default_config.episodes == 100
+        assert load("njit_dsct", with_gold=False).default_config.episodes == 500
+
+
+class TestToyExample:
+    """Pins the paper's Table II values exactly."""
+
+    def test_six_courses(self):
+        catalog = toy_course_catalog()
+        assert len(catalog) == 6
+        assert catalog.item_ids == ("m1", "m2", "m3", "m4", "m5", "m6")
+
+    def test_thirteen_topics_in_order(self):
+        catalog = toy_course_catalog()
+        assert catalog.topic_vocabulary == TOY_TOPICS
+        assert len(TOY_TOPICS) == 13
+
+    def test_table2_topic_vectors(self):
+        catalog = toy_course_catalog()
+        # T^m2 = [0,1,1,0,0,0,0,0,0,0,0,0,0] (Data Mining).
+        assert catalog["m2"].topic_vector(TOY_TOPICS) == (
+            0, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+        )
+        # T^m1 covers algorithms + data structure.
+        assert catalog["m1"].topic_vector(TOY_TOPICS) == (
+            1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0,
+        )
+
+    def test_table2_prerequisites(self):
+        catalog = toy_course_catalog()
+        # m5: Data Mining OR Data Analytics.
+        assert catalog["m5"].prerequisites.groups == (
+            frozenset({"m2", "m3"}),
+        )
+        # m6: Linear Algebra AND Data Mining.
+        assert set(catalog["m6"].prerequisites.groups) == {
+            frozenset({"m4"}), frozenset({"m2"}),
+        }
+
+    def test_table2_types(self):
+        catalog = toy_course_catalog()
+        primaries = {i.item_id for i in catalog.primaries()}
+        assert primaries == {"m1", "m3", "m6"}
+
+    def test_example1_ideal_vector(self):
+        task = toy_course_task()
+        # T_ideal = [0,1,1,0,0,0,1,0,0,1,0,0,0] from Example 1.
+        assert task.soft.ideal_vector(TOY_TOPICS) == (
+            0, 1, 1, 0, 0, 0, 1, 0, 0, 1, 0, 0, 0,
+        )
+
+    def test_template_has_three_permutations(self):
+        template = toy_template()
+        assert len(template) == 3
+        assert template.length == 6
+
+    def test_paper_illustrative_sequence_is_valid(self):
+        """m1 -> m2 -> m4 -> m5 -> m6 -> m3 'fully satisfies I2'."""
+        from repro.core.plan import plan_from_ids
+        from repro.core.similarity import template_similarity
+        from repro.core.validation import PlanValidator
+
+        catalog = toy_course_catalog()
+        task = toy_course_task()
+        plan = plan_from_ids(
+            catalog, ["m1", "m2", "m4", "m5", "m6", "m3"]
+        )
+        i2 = task.soft.template.permutations[1]  # [P,S,S,S,P,P]
+        assert template_similarity(plan.type_sequence(), i2) == 6.0
+        assert PlanValidator(task.hard).is_valid(plan)
+
+    def test_toy_gold_is_perfect(self):
+        dataset = load_toy(seed=0, with_gold=True)
+        from repro.core.scoring import PlanScorer
+
+        score = PlanScorer(dataset.task).score(dataset.gold_plan)
+        assert score.value == 6.0

@@ -1,0 +1,146 @@
+"""Tests for infeasibility diagnostics (repro.analysis.diagnostics)."""
+
+import pytest
+
+from repro.analysis import diagnose, suggest_relaxations
+from repro.core.catalog import Catalog
+from repro.core.constraints import (
+    HardConstraints,
+    InterleavingTemplate,
+    SoftConstraints,
+    TaskSpec,
+)
+from repro.core.env import DomainMode
+from repro.core.items import ItemType, Prerequisites
+
+from conftest import make_item, make_task
+
+
+def _task(min_credits, num_primary, num_secondary, gap=1,
+          categories=None):
+    labels = [
+        ["P"] * num_primary + ["S"] * num_secondary
+    ]
+    return TaskSpec(
+        hard=HardConstraints.for_courses(
+            min_credits, num_primary, num_secondary, gap,
+            category_credits=categories,
+        ),
+        soft=SoftConstraints(
+            ideal_topics=frozenset({"t1"}),
+            template=InterleavingTemplate.from_labels(labels),
+        ),
+    )
+
+
+@pytest.fixture
+def catalog():
+    return Catalog(
+        [
+            make_item("p1", ItemType.PRIMARY, topics={"t1"}),
+            make_item("p2", ItemType.PRIMARY, topics={"t2"}),
+            make_item("s1", ItemType.SECONDARY, topics={"t3"}),
+            make_item("s2", ItemType.SECONDARY, topics={"t4"}),
+        ]
+    )
+
+
+class TestFeasibleInstances:
+    def test_healthy_instance_passes(self, catalog):
+        diagnosis = diagnose(catalog, make_task())
+        assert diagnosis.is_feasible
+        assert diagnosis.describe() == (
+            "no structural infeasibility found"
+        )
+        assert suggest_relaxations(catalog, make_task()) == []
+
+    def test_paper_datasets_are_feasible(self):
+        from repro.datasets import load
+
+        for key in ("njit_dsct", "univ2_ds", "toy"):
+            dataset = load(key, seed=0, with_gold=False)
+            assert diagnose(
+                dataset.catalog, dataset.task, dataset.mode
+            ).is_feasible
+
+        for key in ("nyc", "paris"):
+            dataset = load(key, seed=0, with_gold=False)
+            assert diagnose(
+                dataset.catalog, dataset.task, DomainMode.TRIP
+            ).is_feasible
+
+
+class TestBlockers:
+    def test_catalog_too_small(self, catalog):
+        diagnosis = diagnose(catalog, _task(30, 4, 4))
+        assert "catalog_size" in diagnosis.codes()
+
+    def test_primary_pool_short(self, catalog):
+        diagnosis = diagnose(catalog, _task(9, 3, 0))
+        assert "primary_pool" in diagnosis.codes()
+
+    def test_credit_ceiling(self, catalog):
+        diagnosis = diagnose(catalog, _task(100, 2, 2))
+        assert "credit_ceiling" in diagnosis.codes()
+
+    def test_trip_budget_too_tight(self):
+        pois = [
+            make_item("a", ItemType.PRIMARY, credits=2.0, topics={"x"}),
+            make_item("b", ItemType.SECONDARY, credits=2.0,
+                      topics={"y"}),
+            make_item("c", ItemType.SECONDARY, credits=2.0,
+                      topics={"z"}),
+        ]
+        catalog = Catalog(pois)
+        task = TaskSpec(
+            hard=HardConstraints.for_trips(
+                3.0, 1, 2, theme_adjacency_gap=False
+            ),
+            soft=SoftConstraints(
+                ideal_topics=frozenset({"x"}),
+                template=InterleavingTemplate.from_labels(
+                    [["P", "S", "S"]]
+                ),
+            ),
+        )
+        diagnosis = diagnose(catalog, task, DomainMode.TRIP)
+        assert "time_budget" in diagnosis.codes()
+
+    def test_category_supply_short(self):
+        catalog = Catalog(
+            [
+                make_item("a", ItemType.PRIMARY, topics={"t"},
+                          category="x"),
+                make_item("b", ItemType.SECONDARY, topics={"u"},
+                          category="y"),
+            ]
+        )
+        task = _task(6, 1, 1, categories={"x": 9})
+        diagnosis = diagnose(catalog, task)
+        assert "category_supply" in diagnosis.codes()
+
+    def test_category_slots_overcommitted(self):
+        items = [
+            make_item(f"x{i}", ItemType.PRIMARY if i == 0
+                      else ItemType.SECONDARY,
+                      topics={f"t{i}"}, category="x")
+            for i in range(6)
+        ]
+        catalog = Catalog(items)
+        # 2-slot plan but category x demands 9 credits = 3 courses.
+        task = _task(6, 1, 1, categories={"x": 9})
+        diagnosis = diagnose(catalog, task)
+        assert "category_slots" in diagnosis.codes()
+
+    def test_gap_wider_than_plan(self):
+        catalog = Catalog(
+            [
+                make_item("p1", ItemType.PRIMARY, topics={"t1"}),
+                make_item("s1", ItemType.SECONDARY, topics={"t2"},
+                          prereqs=Prerequisites.all_of(["p1"])),
+            ]
+        )
+        task = _task(6, 1, 1, gap=5)
+        diagnosis = diagnose(catalog, task)
+        assert "gap_too_wide" in diagnosis.codes()
+        assert "reduce gap" in diagnosis.describe()

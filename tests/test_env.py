@@ -1,0 +1,184 @@
+"""Unit tests for the CMDP environment (repro.core.env)."""
+
+import pytest
+
+from repro.core.catalog import Catalog
+from repro.core.config import PlannerConfig
+from repro.core.constraints import (
+    HardConstraints,
+    InterleavingTemplate,
+    SoftConstraints,
+    TaskSpec,
+)
+from repro.core.env import DomainMode, TPPEnvironment
+from repro.core.exceptions import PlanningError
+from repro.core.items import ItemType
+
+from conftest import make_item, make_task
+
+
+@pytest.fixture
+def catalog():
+    return Catalog(
+        [
+            make_item("p1", ItemType.PRIMARY, topics={"t1"}),
+            make_item("p2", ItemType.PRIMARY, topics={"t2"}),
+            make_item("s1", ItemType.SECONDARY, topics={"t3"}),
+            make_item("s2", ItemType.SECONDARY, topics={"t4"}),
+        ]
+    )
+
+
+@pytest.fixture
+def env(catalog):
+    return TPPEnvironment(
+        catalog,
+        make_task(),
+        PlannerConfig(coverage_threshold=1.0, exploration=0.0),
+    )
+
+
+class TestEpisodeLifecycle:
+    def test_reset_starts_episode(self, env):
+        item = env.reset("p1")
+        assert item.item_id == "p1"
+        assert len(env.builder) == 1
+
+    def test_builder_before_reset_raises(self, catalog):
+        env = TPPEnvironment(catalog, make_task(), PlannerConfig())
+        with pytest.raises(PlanningError):
+            env.builder
+
+    def test_step_returns_reward_and_done(self, env):
+        env.reset("p1")
+        reward, done = env.step(env.catalog["s1"])
+        assert reward > 0
+        assert not done
+
+    def test_episode_ends_at_horizon(self, env):
+        env.reset("p1")
+        env.step(env.catalog["s1"])
+        env.step(env.catalog["p2"])
+        _, done = env.step(env.catalog["s2"])
+        assert done
+        assert len(env.current_plan()) == env.horizon == 4
+
+    def test_repeat_item_rejected(self, env):
+        env.reset("p1")
+        with pytest.raises(PlanningError):
+            env.step(env.catalog["p1"])
+
+    def test_valid_actions_exclude_visited(self, env):
+        env.reset("p1")
+        ids = {item.item_id for item in env.valid_actions()}
+        assert "p1" not in ids
+
+
+class TestTripBudget:
+    def _trip_env(self, budget):
+        catalog = Catalog(
+            [
+                make_item("a", ItemType.PRIMARY, credits=2.0,
+                          topics={"t1"}),
+                make_item("b", ItemType.SECONDARY, credits=2.0,
+                          topics={"t2"}),
+                make_item("c", ItemType.SECONDARY, credits=3.0,
+                          topics={"t3"}),
+            ]
+        )
+        task = TaskSpec(
+            hard=HardConstraints.for_trips(
+                budget, 1, 2, theme_adjacency_gap=False
+            ),
+            soft=SoftConstraints(
+                ideal_topics=frozenset({"t1", "t2", "t3"}),
+                template=InterleavingTemplate.from_labels(
+                    [["P", "S", "S"]]
+                ),
+            ),
+        )
+        return TPPEnvironment(
+            catalog,
+            task,
+            PlannerConfig(coverage_threshold=1.0),
+            mode=DomainMode.TRIP,
+        )
+
+    def test_actions_respect_remaining_budget(self):
+        env = self._trip_env(budget=4.5)
+        env.reset("a")  # 2.0 used, 2.5 left
+        ids = {item.item_id for item in env.valid_actions()}
+        assert ids == {"b"}  # c (3.0) no longer fits
+
+    def test_episode_ends_when_budget_exhausted(self):
+        env = self._trip_env(budget=4.5)
+        env.reset("a")
+        _, done = env.step(env.catalog["b"])  # 4.0 used, nothing fits
+        assert done
+
+    def test_larger_budget_allows_full_template(self):
+        env = self._trip_env(budget=10.0)
+        env.reset("a")
+        _, done = env.step(env.catalog["b"])
+        assert not done
+        _, done = env.step(env.catalog["c"])
+        assert done
+
+
+class TestMasking:
+    def test_masking_hides_gate_failures(self, catalog):
+        # An item covering no new ideal topic is masked when others pass.
+        catalog2 = Catalog(
+            list(catalog.items) + [
+                make_item("dead", ItemType.SECONDARY, topics={"zzz"})
+            ]
+        )
+        env = TPPEnvironment(
+            catalog2,
+            make_task(),
+            PlannerConfig(coverage_threshold=1.0, exploration=0.0),
+        )
+        env.reset("p1")
+        ids = {item.item_id for item in env.valid_actions()}
+        assert "dead" not in ids
+
+    def test_masking_can_be_disabled(self, catalog):
+        catalog2 = Catalog(
+            list(catalog.items) + [
+                make_item("dead", ItemType.SECONDARY, topics={"zzz"})
+            ]
+        )
+        env = TPPEnvironment(
+            catalog2,
+            make_task(),
+            PlannerConfig(
+                coverage_threshold=1.0, mask_invalid_actions=False
+            ),
+        )
+        env.reset("p1")
+        ids = {item.item_id for item in env.valid_actions()}
+        assert "dead" in ids
+
+
+class TestRewardInjection:
+    def test_custom_reward_is_used(self, catalog):
+        """TPPEnvironment accepts an injected reward object (the hook
+        the feedback adapter uses)."""
+        from repro.core.reward import RewardFunction
+
+        config = PlannerConfig(coverage_threshold=1.0)
+        task = make_task()
+
+        class DoubleReward(RewardFunction):
+            def __call__(self, builder, item):
+                return 2.0 * super().__call__(builder, item)
+
+        custom = DoubleReward(task, config)
+        env = TPPEnvironment(catalog, task, config, reward=custom)
+        base_env = TPPEnvironment(catalog, task, config)
+        env.reset("p1")
+        base_env.reset("p1")
+        item = catalog["s1"]
+        custom_r, _ = env.step(item)
+        base_r, _ = base_env.step(item)
+        assert custom_r == pytest.approx(2.0 * base_r)

@@ -1,0 +1,119 @@
+"""Tests for the Exact and Markov baselines."""
+
+import pytest
+
+from repro.baselines import ExactPlanner, MarkovPlanner
+from repro.core.catalog import Catalog
+from repro.core.env import DomainMode
+from repro.core.exceptions import PlanningError
+from repro.core.items import ItemType
+from repro.core.scoring import PlanScorer
+from repro.datasets import load_toy
+
+from conftest import make_item, make_task
+
+
+@pytest.fixture
+def catalog():
+    return Catalog(
+        [
+            make_item("p1", ItemType.PRIMARY, topics={"t1"}),
+            make_item("p2", ItemType.PRIMARY, topics={"t2"}),
+            make_item("s1", ItemType.SECONDARY, topics={"t3"}),
+            make_item("s2", ItemType.SECONDARY, topics={"t4"}),
+            make_item("s3", ItemType.SECONDARY, topics={"t1"}),
+        ]
+    )
+
+
+class TestExactPlanner:
+    def test_finds_template_perfect_plan(self, catalog):
+        task = make_task(ideal_topics=("t1", "t2", "t3", "t4"))
+        planner = ExactPlanner(catalog, task)
+        plan = planner.recommend("p1")
+        score = PlanScorer(task).score(plan)
+        assert score.value == 4.0  # exact match of a template
+        assert score.is_valid
+
+    def test_maximizes_ideal_coverage(self, catalog):
+        # s3 only repeats t1; the exact planner must prefer s1/s2.
+        task = make_task(ideal_topics=("t1", "t2", "t3", "t4"))
+        plan = ExactPlanner(catalog, task).recommend("p1")
+        assert "s3" not in plan.item_ids
+
+    def test_toy_matches_gold_score(self):
+        dataset = load_toy(seed=0, with_gold=True)
+        plan = ExactPlanner(dataset.catalog, dataset.task).recommend("m1")
+        scorer = PlanScorer(dataset.task)
+        assert scorer.score(plan).value == scorer.score(
+            dataset.gold_plan
+        ).value == 6.0
+
+    def test_infeasible_start_raises(self, catalog):
+        task = make_task()
+        # s1 is secondary; every template slot 0 is primary.
+        with pytest.raises(PlanningError):
+            ExactPlanner(catalog, task).recommend("s1")
+
+    def test_unknown_start_raises(self, catalog):
+        with pytest.raises(PlanningError):
+            ExactPlanner(catalog, make_task()).recommend("ghost")
+
+    def test_expansion_budget_respected(self, catalog):
+        task = make_task(ideal_topics=("t1", "t2", "t3", "t4"))
+        planner = ExactPlanner(catalog, task, max_expansions=100000)
+        planner.recommend("p1")
+        assert planner.expansions <= 100000
+
+
+class TestMarkovPlanner:
+    def test_follows_transition_counts(self, catalog):
+        histories = [["p1", "s1", "p2", "s2"]] * 10
+        planner = MarkovPlanner(
+            catalog, make_task(), histories=histories, seed=0
+        )
+        plan = planner.recommend("p1")
+        assert plan.item_ids[:4] == ("p1", "s1", "p2", "s2")
+
+    def test_transition_probability(self, catalog):
+        histories = [["p1", "s1"]] * 9
+        planner = MarkovPlanner(
+            catalog, make_task(), histories=histories,
+            additive_smoothing=0.0,
+        )
+        assert planner.transition_probability("p1", "s1") == 1.0
+        assert planner.transition_probability("s1", "p1") == 0.0
+
+    def test_items_outside_catalog_ignored(self, catalog):
+        histories = [["p1", "ghost", "s1"]]
+        planner = MarkovPlanner(
+            catalog, make_task(), histories=histories
+        )
+        plan = planner.recommend("p1")
+        assert len(plan) == 4
+
+    def test_constraint_blindness_on_real_data(self):
+        """Like OMEGA, the Markov miner is blind to P_hard: across
+        several starts its average gated score trails the gold
+        reference badly (history likelihood != hard constraints)."""
+        from repro.datasets import load_nyc
+
+        dataset = load_nyc(seed=0, with_gold=False)
+        scorer = PlanScorer(dataset.task, mode=DomainMode.TRIP)
+        starts = [item.item_id for item in dataset.catalog.primaries()]
+        scores = []
+        for i, start in enumerate(starts):
+            planner = MarkovPlanner(
+                dataset.catalog,
+                dataset.task,
+                histories=dataset.itineraries,
+                mode=DomainMode.TRIP,
+                seed=i,
+            )
+            scores.append(scorer.score(planner.recommend(start)).value)
+        mean = sum(scores) / len(scores)
+        assert mean < 0.8 * scorer.gold_reference_score()
+
+    def test_unknown_start_raises(self, catalog):
+        with pytest.raises(PlanningError):
+            MarkovPlanner(catalog, make_task()).recommend("ghost")

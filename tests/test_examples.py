@@ -1,0 +1,46 @@
+"""Smoke tests: the shipped examples must run end to end.
+
+Only the fast examples run here (the heavier ones — transfer, group —
+exercise the exact same code paths through dedicated integration tests
+and benches).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _run(name: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+@pytest.mark.parametrize(
+    "script,needle",
+    [
+        ("quickstart.py", "Recommended plan:"),
+        ("custom_domain.py", "Weekly program:"),
+    ],
+)
+def test_fast_examples_run(script, needle):
+    result = _run(script)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert needle in result.stdout
+
+
+def test_every_example_is_syntactically_valid():
+    """All example scripts at least compile (cheap full-coverage check)."""
+    import py_compile
+
+    scripts = sorted(EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 9
+    for script in scripts:
+        py_compile.compile(str(script), doraise=True)

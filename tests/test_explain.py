@@ -1,0 +1,61 @@
+"""Tests for recommendation explanations (repro.analysis.explain)."""
+
+import pytest
+
+from repro.analysis import explain_plan
+from repro.core.plan import plan_from_ids
+
+
+class TestExplainPlan:
+    @pytest.fixture(scope="class")
+    def explanation(self, fitted_toy_planner):
+        return explain_plan(fitted_toy_planner, "m1")
+
+    def test_one_step_per_item(self, explanation):
+        assert len(explanation.steps) == len(explanation.plan)
+        assert [s.item_id for s in explanation.steps] == list(
+            explanation.plan.item_ids
+        )
+
+    def test_first_step_has_no_breakdown(self, explanation):
+        assert explanation.steps[0].breakdown is None
+        assert explanation.steps[0].candidates_considered == 1
+
+    def test_later_steps_have_breakdowns(self, explanation):
+        for step in explanation.steps[1:]:
+            assert step.breakdown is not None
+            assert step.candidates_considered >= 1
+
+    def test_new_topics_are_ideal_subset(
+        self, explanation, fitted_toy_planner
+    ):
+        ideal = fitted_toy_planner.task.soft.ideal_topics
+        for step in explanation.steps:
+            assert set(step.new_ideal_topics) <= ideal
+
+    def test_render_is_a_table(self, explanation):
+        text = explanation.render()
+        assert "Plan explanation" in text
+        assert "m1" in text
+
+    def test_explaining_given_plan(self, fitted_toy_planner):
+        plan = plan_from_ids(
+            fitted_toy_planner.catalog,
+            ["m1", "m2", "m4", "m5", "m6", "m3"],
+        )
+        explanation = explain_plan(
+            fitted_toy_planner, "m1", plan=plan
+        )
+        assert explanation.plan is plan
+        assert [s.item_id for s in explanation.steps] == list(
+            plan.item_ids
+        )
+
+    def test_cli_explain_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["plan", "toy", "--episodes", "40", "--explain"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Plan explanation" in out

@@ -1,0 +1,151 @@
+"""Tests for group planning (repro.group)."""
+
+import pytest
+
+from repro.core.catalog import Catalog
+from repro.core.config import PlannerConfig
+from repro.core.exceptions import ConstraintError
+from repro.core.items import ItemType
+from repro.core.plan import plan_from_ids
+from repro.group import (
+    AggregationStrategy,
+    GroupMember,
+    GroupPlanner,
+    aggregate_ideal_topics,
+    group_satisfaction,
+    group_task,
+    member_satisfaction,
+)
+
+from conftest import make_item, make_task
+
+
+@pytest.fixture
+def members():
+    return [
+        GroupMember("ana", frozenset({"t1", "t2"})),
+        GroupMember("bo", frozenset({"t2", "t3"})),
+        GroupMember("cy", frozenset({"t2", "t4"}), weight=2.0),
+    ]
+
+
+class TestGroupMember:
+    def test_validation(self):
+        with pytest.raises(ConstraintError):
+            GroupMember("", frozenset({"t"}))
+        with pytest.raises(ConstraintError):
+            GroupMember("x", frozenset())
+        with pytest.raises(ConstraintError):
+            GroupMember("x", frozenset({"t"}), weight=0)
+
+
+class TestAggregation:
+    def test_union(self, members):
+        assert aggregate_ideal_topics(
+            members, AggregationStrategy.UNION
+        ) == frozenset({"t1", "t2", "t3", "t4"})
+
+    def test_intersection(self, members):
+        assert aggregate_ideal_topics(
+            members, AggregationStrategy.INTERSECTION
+        ) == frozenset({"t2"})
+
+    def test_empty_intersection_falls_back_to_union(self):
+        disjoint = [
+            GroupMember("a", frozenset({"x"})),
+            GroupMember("b", frozenset({"y"})),
+        ]
+        assert aggregate_ideal_topics(
+            disjoint, AggregationStrategy.INTERSECTION
+        ) == frozenset({"x", "y"})
+
+    def test_majority_uses_weights(self, members):
+        # total weight 4; threshold 2: t2 (weight 4) and t4 (weight 2).
+        assert aggregate_ideal_topics(
+            members, AggregationStrategy.MAJORITY
+        ) == frozenset({"t2", "t4"})
+
+    def test_weighted_custom_threshold(self, members):
+        out = aggregate_ideal_topics(
+            members, AggregationStrategy.WEIGHTED, weight_threshold=1.0
+        )
+        assert out == frozenset({"t1", "t2", "t3", "t4"})
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ConstraintError):
+            aggregate_ideal_topics([], AggregationStrategy.UNION)
+
+    def test_group_task_keeps_hard_constraints(self, members):
+        base = make_task()
+        task = group_task(base, members)
+        assert task.hard is base.hard
+        assert task.soft.template is base.soft.template
+        assert task.soft.ideal_topics == frozenset(
+            {"t1", "t2", "t3", "t4"}
+        )
+
+
+class TestSatisfaction:
+    @pytest.fixture
+    def catalog(self):
+        return Catalog(
+            [
+                make_item("p1", ItemType.PRIMARY, topics={"t1"}),
+                make_item("p2", ItemType.PRIMARY, topics={"t2"}),
+                make_item("s1", ItemType.SECONDARY, topics={"t3"}),
+                make_item("s2", ItemType.SECONDARY, topics={"t4"}),
+            ]
+        )
+
+    def test_member_satisfaction_is_coverage(self, catalog, members):
+        plan = plan_from_ids(catalog, ["p1", "p2"])  # covers t1, t2
+        assert member_satisfaction(plan, members[0]) == 1.0  # t1+t2
+        assert member_satisfaction(plan, members[1]) == 0.5  # t2 only
+
+    def test_group_profile(self, catalog, members):
+        plan = plan_from_ids(catalog, ["p1", "p2", "s1", "s2"])
+        profile = group_satisfaction(plan, members)
+        assert profile.mean == 1.0
+        assert profile.minimum == 1.0
+        assert profile.disagreement == 0.0
+        assert profile.of("ana") == 1.0
+        with pytest.raises(KeyError):
+            profile.of("nobody")
+
+    def test_disagreement(self, catalog, members):
+        plan = plan_from_ids(catalog, ["p1"])  # only t1
+        profile = group_satisfaction(plan, members)
+        assert profile.of("ana") == 0.5
+        assert profile.of("bo") == 0.0
+        assert profile.disagreement == 0.5
+
+
+class TestGroupPlanner:
+    def test_strategies_produce_valid_plans(self, members):
+        catalog = Catalog(
+            [
+                make_item("p1", ItemType.PRIMARY, topics={"t1"}),
+                make_item("p2", ItemType.PRIMARY, topics={"t2"}),
+                make_item("s1", ItemType.SECONDARY, topics={"t3"}),
+                make_item("s2", ItemType.SECONDARY, topics={"t4"}),
+                make_item("s3", ItemType.SECONDARY, topics={"t5"}),
+            ]
+        )
+        base = make_task(ideal_topics=("t1", "t2", "t3", "t4", "t5"))
+        planner = GroupPlanner(
+            catalog,
+            base,
+            members,
+            config=PlannerConfig(
+                episodes=40, coverage_threshold=1.0, seed=0
+            ),
+        )
+        outcomes = planner.compare_strategies("p1", episodes=40)
+        assert set(outcomes) == set(AggregationStrategy)
+        for outcome in outcomes.values():
+            assert outcome.score.is_valid
+            assert 0.0 <= outcome.satisfaction.mean <= 1.0
+        fair = planner.best_for_fairness(outcomes)
+        assert fair.satisfaction.minimum == max(
+            o.satisfaction.minimum for o in outcomes.values()
+        )

@@ -1,0 +1,106 @@
+"""Unit tests for the item data model (repro.core.items)."""
+
+import pytest
+
+from repro.core.exceptions import DataModelError
+from repro.core.items import Item, ItemType, Prerequisites, make_metadata
+
+from conftest import make_item
+
+
+class TestPrerequisites:
+    def test_none_is_empty(self):
+        assert Prerequisites.none().is_empty
+
+    def test_all_of_requires_every_member(self):
+        pre = Prerequisites.all_of(["a", "b"])
+        assert pre.satisfied_by({"a": 0, "b": 1}, 3, gap=1)
+        assert not pre.satisfied_by({"a": 0}, 3, gap=1)
+
+    def test_any_of_requires_one_member(self):
+        pre = Prerequisites.any_of(["a", "b"])
+        assert pre.satisfied_by({"b": 0}, 2, gap=1)
+        assert not pre.satisfied_by({"c": 0}, 2, gap=1)
+
+    def test_any_of_empty_is_none(self):
+        assert Prerequisites.any_of([]).is_empty
+
+    def test_gap_is_enforced(self):
+        pre = Prerequisites.all_of(["a"])
+        # a at position 0, item at position 2, gap 3 -> distance 2 < 3.
+        assert not pre.satisfied_by({"a": 0}, 2, gap=3)
+        assert pre.satisfied_by({"a": 0}, 3, gap=3)
+
+    def test_cnf_mixes_and_and_or(self):
+        pre = Prerequisites.from_cnf([{"a"}, {"b", "c"}])
+        assert pre.satisfied_by({"a": 0, "c": 1}, 3, gap=1)
+        assert not pre.satisfied_by({"b": 0, "c": 1}, 3, gap=1)
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(DataModelError):
+            Prerequisites.from_cnf([set()])
+
+    def test_referenced_ids(self):
+        pre = Prerequisites.from_cnf([{"a"}, {"b", "c"}])
+        assert pre.referenced_ids() == frozenset({"a", "b", "c"})
+
+    def test_describe(self):
+        pre = Prerequisites.from_cnf([{"a"}, {"b", "c"}])
+        text = pre.describe()
+        assert "a" in text and "AND" in text and "OR" in text
+        assert Prerequisites.none().describe() == "(none)"
+
+
+class TestItem:
+    def test_quadruple_fields(self):
+        item = Item(
+            item_id="CS 1",
+            name="Intro",
+            item_type=ItemType.PRIMARY,
+            credits=3,
+            topics=frozenset({"algorithms"}),
+        )
+        assert item.is_primary and not item.is_secondary
+        assert item.credits == 3
+        assert item.topics == frozenset({"algorithms"})
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(DataModelError):
+            make_item("")
+
+    def test_nonpositive_credits_rejected(self):
+        with pytest.raises(DataModelError):
+            make_item("x", credits=0)
+        with pytest.raises(DataModelError):
+            make_item("x", credits=-1)
+
+    def test_self_prerequisite_rejected(self):
+        with pytest.raises(DataModelError):
+            make_item("x", prereqs=Prerequisites.all_of(["x"]))
+
+    def test_topic_vector_follows_vocabulary_order(self):
+        item = make_item("x", topics={"b", "d"})
+        assert item.topic_vector(["a", "b", "c", "d"]) == (0, 1, 0, 1)
+
+    def test_with_type_flips_role_only(self):
+        item = make_item("x", item_type=ItemType.PRIMARY, topics={"t"})
+        flipped = item.with_type(ItemType.SECONDARY)
+        assert flipped.is_secondary
+        assert flipped.item_id == item.item_id
+        assert flipped.topics == item.topics
+
+    def test_metadata_lookup(self):
+        item = Item(
+            item_id="poi",
+            name="POI",
+            item_type=ItemType.SECONDARY,
+            credits=1.0,
+            metadata=make_metadata(lat=1.5, popularity=4.2),
+        )
+        assert item.meta("lat") == 1.5
+        assert item.meta("missing") is None
+        assert item.meta("missing", "dflt") == "dflt"
+
+    def test_items_are_hashable(self):
+        a, b = make_item("a"), make_item("b")
+        assert len({a, b, a}) == 2

@@ -1,0 +1,200 @@
+"""Tests for the alternative learners (repro.core.learners)."""
+
+import pytest
+
+from repro.core.catalog import Catalog
+from repro.core.config import PlannerConfig
+from repro.core.env import TPPEnvironment
+from repro.core.items import ItemType
+from repro.core.learners import (
+    ExpectedSarsaLearner,
+    LEARNERS,
+    MonteCarloLearner,
+    QLearningLearner,
+    make_learner,
+)
+from repro.core.planner import RLPlanner
+from repro.core.sarsa import SarsaLearner
+
+from conftest import make_item, make_task
+
+
+@pytest.fixture
+def catalog():
+    return Catalog(
+        [
+            make_item("p1", ItemType.PRIMARY, topics={"t1"}),
+            make_item("p2", ItemType.PRIMARY, topics={"t2"}),
+            make_item("s1", ItemType.SECONDARY, topics={"t3"}),
+            make_item("s2", ItemType.SECONDARY, topics={"t4"}),
+            make_item("s3", ItemType.SECONDARY, topics={"t1", "t4"}),
+        ]
+    )
+
+
+@pytest.fixture
+def env_config(catalog):
+    config = PlannerConfig(
+        episodes=25, coverage_threshold=1.0, exploration=0.15, seed=0
+    )
+    env = TPPEnvironment(catalog, make_task(), config)
+    return env, config
+
+
+ALL_LEARNER_CLASSES = [
+    SarsaLearner,
+    QLearningLearner,
+    ExpectedSarsaLearner,
+    MonteCarloLearner,
+]
+
+
+class TestRegistry:
+    def test_four_learners_registered(self):
+        assert set(LEARNERS) == {
+            "sarsa", "q_learning", "expected_sarsa", "monte_carlo",
+        }
+
+    def test_make_learner(self, env_config):
+        env, config = env_config
+        learner = make_learner("q_learning", env, config)
+        assert isinstance(learner, QLearningLearner)
+
+    def test_unknown_name_rejected(self, env_config):
+        env, config = env_config
+        with pytest.raises(ValueError):
+            make_learner("dqn", env, config)
+
+
+class TestAllLearnersShareContract:
+    @pytest.mark.parametrize("cls", ALL_LEARNER_CLASSES)
+    def test_learn_produces_updated_table(self, cls, env_config):
+        env, config = env_config
+        result = cls(env, config).learn()
+        assert result.episodes == 25
+        assert result.qtable.update_count > 0
+        assert result.mean_episode_reward > 0
+
+    @pytest.mark.parametrize("cls", ALL_LEARNER_CLASSES)
+    def test_seed_determinism(self, cls, catalog):
+        def run():
+            config = PlannerConfig(
+                episodes=15, coverage_threshold=1.0, exploration=0.15,
+                seed=9,
+            )
+            env = TPPEnvironment(catalog, make_task(), config)
+            return cls(env, config).learn().qtable.values
+
+        assert (run() == run()).all()
+
+    @pytest.mark.parametrize("cls", ALL_LEARNER_CLASSES)
+    def test_episode_lengths_bounded(self, cls, env_config):
+        env, config = env_config
+        result = cls(env, config).learn()
+        horizon = env.horizon
+        assert all(s.length <= horizon for s in result.stats)
+
+
+class TestPlannerIntegration:
+    @pytest.mark.parametrize(
+        "name", ["sarsa", "q_learning", "expected_sarsa", "monte_carlo"]
+    )
+    def test_planner_accepts_learner_name(self, name, catalog):
+        config = PlannerConfig(
+            episodes=40, coverage_threshold=1.0, exploration=0.15, seed=0
+        )
+        planner = RLPlanner(catalog, make_task(), config, learner=name)
+        planner.fit(start_item_ids=["p1"])
+        plan, score = planner.recommend_scored("p1")
+        assert len(plan) == 4
+        assert score.is_valid
+
+    def test_unknown_learner_raises_at_fit(self, catalog):
+        planner = RLPlanner(
+            catalog, make_task(), PlannerConfig(episodes=5),
+            learner="nope",
+        )
+        with pytest.raises(ValueError):
+            planner.fit()
+
+
+class TestTargetsDiffer:
+    def test_q_learning_diverges_from_sarsa(self, catalog):
+        """Off-policy max targets produce a different table than
+        on-policy SARSA under exploration."""
+        def table_for(cls):
+            config = PlannerConfig(
+                episodes=40, coverage_threshold=1.0, exploration=0.3,
+                seed=2,
+            )
+            env = TPPEnvironment(catalog, make_task(), config)
+            return cls(env, config).learn().qtable.values
+
+        assert (table_for(SarsaLearner) != table_for(QLearningLearner)).any()
+
+    def test_monte_carlo_uses_full_returns(self, catalog):
+        config = PlannerConfig(
+            episodes=1, coverage_threshold=1.0, exploration=0.0, seed=0,
+            learning_rate=1.0,
+        )
+        env = TPPEnvironment(catalog, make_task(), config)
+        result = MonteCarloLearner(env, config).learn(
+            start_item_ids=["p1"]
+        )
+        # With alpha=1 and one episode, the first transition's Q equals
+        # the full discounted return of the episode from that step —
+        # which is at least the final-step reward alone.
+        values = result.qtable.values
+        assert values.max() > 0
+
+
+class TestTripModeLearners:
+    @pytest.mark.parametrize(
+        "name", ["sarsa", "q_learning", "expected_sarsa", "monte_carlo"]
+    )
+    def test_learners_handle_budget_termination(self, name):
+        """All learners cope with trip-mode early episode termination."""
+        from repro.core.constraints import (
+            HardConstraints,
+            InterleavingTemplate,
+            SoftConstraints,
+            TaskSpec,
+        )
+        from repro.core.env import DomainMode
+
+        items = [
+            make_item("a", ItemType.PRIMARY, credits=2.0,
+                      topics={"t1"}),
+            make_item("b", ItemType.SECONDARY, credits=2.0,
+                      topics={"t2"}),
+            make_item("c", ItemType.SECONDARY, credits=2.0,
+                      topics={"t3"}),
+            make_item("d", ItemType.SECONDARY, credits=3.0,
+                      topics={"t4"}),
+        ]
+        from repro.core.catalog import Catalog as _Catalog
+
+        catalog = _Catalog(items)
+        task = TaskSpec(
+            hard=HardConstraints.for_trips(
+                5.0, 1, 2, theme_adjacency_gap=False
+            ),
+            soft=SoftConstraints(
+                ideal_topics=frozenset({"t1", "t2", "t3", "t4"}),
+                template=InterleavingTemplate.from_labels(
+                    [["P", "S", "S"]]
+                ),
+            ),
+        )
+        config = PlannerConfig(
+            episodes=15, coverage_threshold=1.0, exploration=0.2, seed=0
+        )
+        env = TPPEnvironment(
+            catalog, task, config, mode=DomainMode.TRIP
+        )
+        result = make_learner(name, env, config).learn(
+            start_item_ids=["a"]
+        )
+        assert result.qtable.update_count > 0
+        # Budget 5.0 with 2h items: at most 2 steps after the start.
+        assert all(s.length <= 3 for s in result.stats)

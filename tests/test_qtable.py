@@ -1,0 +1,101 @@
+"""Unit tests for the Q-table (repro.core.qtable)."""
+
+import numpy as np
+import pytest
+
+from repro.core.catalog import Catalog
+from repro.core.exceptions import PlanningError
+from repro.core.qtable import QTable
+
+from conftest import make_item
+
+
+@pytest.fixture
+def catalog():
+    return Catalog([make_item(i) for i in ("a", "b", "c")])
+
+
+@pytest.fixture
+def table(catalog):
+    return QTable(catalog)
+
+
+class TestBasics:
+    def test_shape_is_items_squared(self, table):
+        assert table.shape == (3, 3)
+
+    def test_initial_value(self, catalog):
+        table = QTable(catalog, initial_value=0.5)
+        assert table.get("a", "b") == 0.5
+
+    def test_set_get_round_trip(self, table):
+        table.set("a", "b", 1.25)
+        assert table.get("a", "b") == 1.25
+
+    def test_td_update_moves_toward_target(self, table, catalog):
+        i, j = catalog.index_of("a"), catalog.index_of("b")
+        new = table.td_update(i, j, target=1.0, learning_rate=0.5)
+        assert new == 0.5
+        new = table.td_update(i, j, target=1.0, learning_rate=0.5)
+        assert new == 0.75
+        assert table.update_count == 2
+
+
+class TestBestAction:
+    def test_argmax_over_allowed(self, table):
+        table.set("a", "b", 0.2)
+        table.set("a", "c", 0.9)
+        assert table.best_action("a", ["b", "c"]) == "c"
+
+    def test_allowed_filter_respected(self, table):
+        table.set("a", "c", 0.9)
+        assert table.best_action("a", ["b"]) == "b"
+
+    def test_empty_allowed_raises(self, table):
+        with pytest.raises(PlanningError):
+            table.best_action("a", [])
+
+    def test_deterministic_tie_break_without_rng(self, table):
+        # All zeros: first allowed id wins.
+        assert table.best_action("a", ["c", "b"]) == "c"
+
+    def test_random_tie_break_with_rng(self, table):
+        rng = np.random.default_rng(0)
+        picks = {
+            table.best_action("a", ["b", "c"], rng=rng) for _ in range(20)
+        }
+        assert picks == {"b", "c"}
+
+    def test_action_values(self, table):
+        table.set("a", "b", 0.3)
+        values = table.action_values("a", ["b", "c"])
+        assert values == {"b": 0.3, "c": 0.0}
+
+
+class TestSerialization:
+    def test_entries_round_trip(self, table, catalog):
+        table.set("a", "b", 1.0)
+        table.set("b", "c", -0.5)
+        entries = table.to_entries()
+        assert entries == {("a", "b"): 1.0, ("b", "c"): -0.5}
+        rebuilt = QTable.from_entries(catalog, entries)
+        assert rebuilt.get("a", "b") == 1.0
+        assert rebuilt.get("b", "c") == -0.5
+
+    def test_from_entries_skips_unknown_ids(self, catalog):
+        entries = {("a", "b"): 1.0, ("ghost", "b"): 2.0}
+        rebuilt = QTable.from_entries(catalog, entries)
+        assert rebuilt.get("a", "b") == 1.0
+
+    def test_from_entries_strict_raises(self, catalog):
+        with pytest.raises(PlanningError):
+            QTable.from_entries(
+                catalog, {("ghost", "b"): 2.0}, strict=True
+            )
+
+    def test_copy_is_independent(self, table):
+        table.set("a", "b", 1.0)
+        clone = table.copy()
+        clone.set("a", "b", 9.0)
+        assert table.get("a", "b") == 1.0
+        assert clone.update_count == table.update_count

@@ -1,0 +1,140 @@
+"""Tests for itinerary route optimization (repro.domains.trips.routing)."""
+
+import pytest
+
+from repro.core.constraints import (
+    HardConstraints,
+    InterleavingTemplate,
+    SoftConstraints,
+    TaskSpec,
+)
+from repro.core.items import Item, ItemType, make_metadata
+from repro.core.catalog import Catalog
+from repro.core.plan import plan_from_ids
+from repro.core.scoring import PlanScorer
+from repro.core.env import DomainMode
+from repro.core.validation import plan_travel_distance_km
+from repro.domains.trips import (
+    gold_trip_plan,
+    load_city,
+    optimize_route,
+    route_summary,
+)
+
+
+def _poi(poi_id, lat, lon, kind=ItemType.SECONDARY, theme="t"):
+    return Item(
+        item_id=poi_id,
+        name=poi_id,
+        item_type=kind,
+        credits=1.0,
+        topics=frozenset({theme}),
+        metadata=make_metadata(lat=lat, lon=lon, popularity=4.0),
+    )
+
+
+@pytest.fixture
+def line_catalog():
+    """POIs along a line; visiting them out of order wastes distance."""
+    return Catalog(
+        [
+            _poi("a", 48.850, 2.35, ItemType.PRIMARY, "t0"),
+            _poi("b", 48.852, 2.35, theme="t1"),
+            _poi("c", 48.854, 2.35, theme="t2"),
+            _poi("d", 48.856, 2.35, theme="t3"),
+            _poi("e", 48.858, 2.35, ItemType.PRIMARY, "t4"),
+        ]
+    )
+
+
+@pytest.fixture
+def task():
+    return TaskSpec(
+        hard=HardConstraints.for_trips(
+            10.0, 2, 3, theme_adjacency_gap=True
+        ),
+        soft=SoftConstraints(
+            ideal_topics=frozenset({"t0", "t1", "t2", "t3", "t4"}),
+            template=InterleavingTemplate.from_labels(
+                [["P", "S", "S", "S", "P"]]
+            ),
+        ),
+    )
+
+
+class TestOptimizeRoute:
+    def test_reduces_zigzag_distance(self, line_catalog, task):
+        # a -> d -> c -> b -> e zigzags; a -> b -> c -> d -> e is direct.
+        plan = plan_from_ids(line_catalog, ["a", "d", "c", "b", "e"])
+        optimized, before, after = optimize_route(plan, task)
+        assert after < before
+        assert optimized.item_ids == ("a", "b", "c", "d", "e")
+
+    def test_type_sequence_preserved(self, line_catalog, task):
+        plan = plan_from_ids(line_catalog, ["a", "d", "c", "b", "e"])
+        optimized, _, _ = optimize_route(plan, task)
+        assert optimized.type_sequence() == plan.type_sequence()
+
+    def test_score_invariant(self, line_catalog, task):
+        scorer = PlanScorer(task, mode=DomainMode.TRIP)
+        plan = plan_from_ids(line_catalog, ["a", "d", "c", "b", "e"])
+        optimized, _, _ = optimize_route(plan, task)
+        assert scorer.raw_score(optimized) == scorer.raw_score(plan)
+
+    def test_start_is_pinned(self, line_catalog, task):
+        plan = plan_from_ids(line_catalog, ["a", "d", "c", "b", "e"])
+        optimized, _, _ = optimize_route(plan, task)
+        assert optimized.item_ids[0] == "a"
+
+    def test_short_plans_unchanged(self, line_catalog, task):
+        plan = plan_from_ids(line_catalog, ["a", "b"])
+        optimized, before, after = optimize_route(plan, task)
+        assert optimized.item_ids == plan.item_ids
+        assert before == after
+
+    def test_geoless_plan_unchanged(self, task):
+        from conftest import make_item
+
+        catalog = Catalog([make_item("x"), make_item("y"),
+                           make_item("z")])
+        plan = plan_from_ids(catalog, ["x", "y", "z"])
+        optimized, before, after = optimize_route(plan, task)
+        assert optimized is plan
+        assert before == after == 0.0
+
+    def test_real_gold_itinerary_never_gets_longer(self):
+        dataset = load_city("nyc", seed=0)
+        plan = gold_trip_plan(
+            dataset.catalog, dataset.task,
+            start_item_id=dataset.default_start,
+        )
+        optimized, before, after = optimize_route(plan, dataset.task)
+        assert after <= before + 1e-9
+        # Optimization must keep the itinerary valid.
+        from repro.core.validation import PlanValidator
+
+        validator = PlanValidator(
+            dataset.task.hard, credits_are_budget=True
+        )
+        assert validator.is_valid(optimized)
+
+
+class TestRouteSummary:
+    def test_legs(self, line_catalog):
+        plan = plan_from_ids(line_catalog, ["a", "b", "c"])
+        legs = route_summary(plan)
+        assert [(f, t) for f, t, _ in legs] == [("a", "b"), ("b", "c")]
+        assert sum(km for _, _, km in legs) == pytest.approx(
+            plan_travel_distance_km(plan)
+        )
+
+    def test_geoless_returns_none(self):
+        from conftest import make_item
+
+        catalog = Catalog([make_item("x"), make_item("y")])
+        plan = plan_from_ids(catalog, ["x", "y"])
+        assert route_summary(plan) is None
+
+    def test_single_item_empty(self, line_catalog):
+        plan = plan_from_ids(line_catalog, ["a"])
+        assert route_summary(plan) == []

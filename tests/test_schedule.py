@@ -1,0 +1,96 @@
+"""Tests for schedule folding (repro.core.schedule)."""
+
+import pytest
+
+from repro.core.catalog import Catalog
+from repro.core.exceptions import PlanningError
+from repro.core.items import ItemType, Prerequisites
+from repro.core.plan import plan_from_ids
+from repro.core.schedule import fold_plan, fold_trip_day
+
+from conftest import make_item
+
+
+@pytest.fixture
+def catalog():
+    return Catalog(
+        [
+            make_item("a", ItemType.PRIMARY, topics={"t1"}),
+            make_item("b", ItemType.SECONDARY, topics={"t2"}),
+            make_item("c", ItemType.SECONDARY, topics={"t3"}),
+            make_item(
+                "d",
+                ItemType.PRIMARY,
+                topics={"t4"},
+                prereqs=Prerequisites.all_of(["a"]),
+            ),
+            make_item("e", ItemType.SECONDARY, topics={"t5"}),
+            make_item("f", ItemType.SECONDARY, topics={"t6"}),
+        ]
+    )
+
+
+class TestFoldPlan:
+    def test_periods_of_requested_size(self, catalog):
+        plan = plan_from_ids(catalog, ["a", "b", "c", "d", "e", "f"])
+        schedule = fold_plan(plan, items_per_period=3)
+        assert len(schedule) == 2
+        assert [i.item_id for i in schedule.periods[0].items] == [
+            "a", "b", "c",
+        ]
+        assert schedule.periods[0].label == "Semester 1"
+        assert schedule.periods[0].total_credits == 9.0
+
+    def test_ragged_final_period(self, catalog):
+        plan = plan_from_ids(catalog, ["a", "b", "c", "d"])
+        schedule = fold_plan(plan, items_per_period=3)
+        assert len(schedule.periods[1].items) == 1
+
+    def test_period_of(self, catalog):
+        plan = plan_from_ids(catalog, ["a", "b", "c", "d"])
+        schedule = fold_plan(plan, items_per_period=3)
+        assert schedule.period_of("a") == 0
+        assert schedule.period_of("d") == 1
+        with pytest.raises(PlanningError):
+            schedule.period_of("zzz")
+
+    def test_invalid_period_size(self, catalog):
+        plan = plan_from_ids(catalog, ["a"])
+        with pytest.raises(PlanningError):
+            fold_plan(plan, items_per_period=0)
+
+    def test_gap_valid_plan_respects_prerequisites(self, catalog):
+        # d requires a; with gap=3 semantics, a in semester 1 and d in
+        # semester 2 is the advisor-facing reading.
+        plan = plan_from_ids(catalog, ["a", "b", "c", "d", "e", "f"])
+        schedule = fold_plan(plan, items_per_period=3)
+        assert schedule.respects_prerequisites()
+
+    def test_same_period_prerequisite_fails(self, catalog):
+        plan = plan_from_ids(catalog, ["a", "d", "b", "c", "e", "f"])
+        schedule = fold_plan(plan, items_per_period=3)
+        assert not schedule.respects_prerequisites()
+
+    def test_describe_lists_periods(self, catalog):
+        plan = plan_from_ids(catalog, ["a", "b"])
+        schedule = fold_plan(plan, items_per_period=2,
+                             label_format="Term {n}")
+        text = schedule.describe()
+        assert "Term 1" in text and "- a:" in text
+
+
+class TestFoldTripDay:
+    def test_clock_progression(self, catalog):
+        plan = plan_from_ids(catalog, ["a", "b"])
+        windows = fold_trip_day(plan, day_start_hour=9.0,
+                                leg_minutes=30.0)
+        (id1, s1, e1), (id2, s2, e2) = windows
+        assert (id1, s1) == ("a", 9.0)
+        assert e1 == 12.0  # 3h visit
+        assert s2 == pytest.approx(12.5)  # 30-minute leg
+        assert e2 == pytest.approx(15.5)
+
+    def test_empty_plan(self):
+        from repro.core.plan import Plan
+
+        assert fold_trip_day(Plan(items=())) == []

@@ -1,0 +1,141 @@
+"""Unit tests for plan scoring (repro.core.scoring)."""
+
+import pytest
+
+from repro.core.catalog import Catalog
+from repro.core.constraints import (
+    HardConstraints,
+    InterleavingTemplate,
+    SoftConstraints,
+    TaskSpec,
+)
+from repro.core.env import DomainMode
+from repro.core.items import Item, ItemType, make_metadata
+from repro.core.plan import Plan, plan_from_ids
+from repro.core.scoring import (
+    PlanScorer,
+    average_score,
+    mean_popularity,
+    score_plans,
+    validity_rate,
+)
+
+from conftest import make_item, make_task
+
+
+@pytest.fixture
+def catalog():
+    return Catalog(
+        [
+            make_item("p1", ItemType.PRIMARY, topics={"t1"}),
+            make_item("p2", ItemType.PRIMARY, topics={"t2"}),
+            make_item("s1", ItemType.SECONDARY, topics={"t3"}),
+            make_item("s2", ItemType.SECONDARY, topics={"t4"}),
+        ]
+    )
+
+
+@pytest.fixture
+def scorer():
+    return PlanScorer(make_task())
+
+
+class TestTemplateScore:
+    def test_perfect_plan_scores_h(self, catalog, scorer):
+        # Template includes [P,S,P,S]: an exact match scores 4.
+        plan = plan_from_ids(catalog, ["p1", "s1", "p2", "s2"])
+        assert scorer.score(plan).value == 4.0
+
+    def test_gold_reference_score_is_plan_length(self, scorer):
+        assert scorer.gold_reference_score() == 4.0
+
+    def test_invalid_plan_gated_to_zero(self, catalog, scorer):
+        plan = plan_from_ids(catalog, ["s1", "s2", "p1"])  # too short
+        score = scorer.score(plan)
+        assert score.value == 0.0
+        assert score.raw_value > 0.0  # the raw similarity survives
+        assert not score.is_valid
+
+    def test_best_template_is_selected(self, catalog, scorer):
+        # [P,P,S,S] matches the second template permutation exactly.
+        plan = plan_from_ids(catalog, ["p1", "p2", "s1", "s2"])
+        assert scorer.score(plan).value == 4.0
+
+    def test_empty_plan_scores_zero(self, scorer):
+        assert scorer.raw_score(Plan(items=())) == 0.0
+
+    def test_topic_coverage_reported(self, catalog, scorer):
+        plan = plan_from_ids(catalog, ["p1", "s1", "p2", "s2"])
+        assert scorer.score(plan).topic_coverage == 1.0
+
+
+class TestTripScoring:
+    def _trip_setup(self):
+        items = [
+            Item(
+                item_id=f"x{i}",
+                name=f"x{i}",
+                item_type=(
+                    ItemType.PRIMARY if i < 1 else ItemType.SECONDARY
+                ),
+                credits=1.0,
+                topics=frozenset({f"theme{i}"}),
+                metadata=make_metadata(popularity=4.0 + 0.2 * i),
+            )
+            for i in range(3)
+        ]
+        catalog = Catalog(items)
+        task = TaskSpec(
+            hard=HardConstraints.for_trips(
+                10, 1, 2, theme_adjacency_gap=False
+            ),
+            soft=SoftConstraints(
+                ideal_topics=frozenset(
+                    {"theme0", "theme1", "theme2"}
+                ),
+                template=InterleavingTemplate.from_labels(
+                    [["P", "S", "S"]]
+                ),
+            ),
+        )
+        return catalog, task
+
+    def test_trip_template_score(self):
+        catalog, task = self._trip_setup()
+        scorer = PlanScorer(task, mode=DomainMode.TRIP)
+        plan = plan_from_ids(catalog, ["x0", "x1", "x2"])
+        assert scorer.score(plan).value == 3.0
+
+    def test_budget_overrun_gated(self):
+        catalog, task = self._trip_setup()
+        tight = TaskSpec(
+            hard=HardConstraints.for_trips(
+                1.5, 1, 2, theme_adjacency_gap=False
+            ),
+            soft=task.soft,
+        )
+        scorer = PlanScorer(tight, mode=DomainMode.TRIP)
+        plan = plan_from_ids(catalog, ["x0", "x1", "x2"])  # 3h > 1.5h
+        assert scorer.score(plan).value == 0.0
+
+    def test_mean_popularity(self):
+        catalog, _ = self._trip_setup()
+        plan = plan_from_ids(catalog, ["x0", "x1", "x2"])
+        assert mean_popularity(plan) == pytest.approx(4.2)
+
+    def test_mean_popularity_none_without_metadata(self, catalog):
+        plan = plan_from_ids(catalog, ["p1"])
+        assert mean_popularity(plan) is None
+
+
+class TestBatchHelpers:
+    def test_score_plans_and_average(self, catalog, scorer):
+        good = plan_from_ids(catalog, ["p1", "s1", "p2", "s2"])
+        bad = plan_from_ids(catalog, ["s1", "s2"])
+        scores = score_plans(scorer, (good, bad))
+        assert average_score(scores) == pytest.approx(2.0)
+        assert validity_rate(scores) == 0.5
+
+    def test_empty_batches(self):
+        assert average_score(()) == 0.0
+        assert validity_rate(()) == 0.0

@@ -1,0 +1,132 @@
+"""Tests for policy persistence (repro.core.serialization)."""
+
+import json
+
+import pytest
+
+from repro.core.catalog import Catalog
+from repro.core.exceptions import PlanningError
+from repro.core.qtable import QTable
+from repro.core.serialization import (
+    load_policy,
+    policy_from_dict,
+    policy_to_dict,
+    save_policy,
+)
+
+from conftest import make_item
+
+
+@pytest.fixture
+def catalog():
+    return Catalog([make_item(i) for i in ("a", "b", "c")], name="cat")
+
+
+@pytest.fixture
+def table(catalog):
+    table = QTable(catalog)
+    table.set("a", "b", 1.5)
+    table.set("b", "c", -0.25)
+    table._updates = 7
+    return table
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, table, catalog):
+        data = policy_to_dict(table)
+        rebuilt = policy_from_dict(data, catalog)
+        assert rebuilt.get("a", "b") == 1.5
+        assert rebuilt.get("b", "c") == -0.25
+        assert rebuilt.update_count > 0
+
+    def test_file_round_trip(self, table, catalog, tmp_path):
+        path = tmp_path / "policy.json"
+        save_policy(table, path)
+        rebuilt = load_policy(path, catalog)
+        assert rebuilt.to_entries() == table.to_entries()
+
+    def test_json_is_stable_and_readable(self, table, tmp_path):
+        path = tmp_path / "policy.json"
+        save_policy(table, path)
+        data = json.loads(path.read_text())
+        assert data["catalog_name"] == "cat"
+        assert data["format_version"] == 1
+        assert len(data["entries"]) == 2
+
+    def test_cross_catalog_load_skips_missing(self, table, tmp_path):
+        path = tmp_path / "policy.json"
+        save_policy(table, path)
+        other = Catalog([make_item("a"), make_item("b")], name="other")
+        rebuilt = load_policy(path, other)
+        assert rebuilt.get("a", "b") == 1.5  # survivor
+        assert rebuilt.update_count > 0
+
+    def test_strict_load_rejects_missing(self, table, tmp_path):
+        path = tmp_path / "policy.json"
+        save_policy(table, path)
+        other = Catalog([make_item("a"), make_item("b")], name="other")
+        with pytest.raises(PlanningError):
+            load_policy(path, other, strict=True)
+
+
+class TestMalformedInputs:
+    def test_missing_file(self, catalog, tmp_path):
+        with pytest.raises(PlanningError):
+            load_policy(tmp_path / "nope.json", catalog)
+
+    def test_not_json(self, catalog, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(PlanningError):
+            load_policy(path, catalog)
+
+    def test_wrong_version(self, catalog):
+        with pytest.raises(PlanningError):
+            policy_from_dict(
+                {"format_version": 99, "entries": []}, catalog
+            )
+
+    def test_missing_entries(self, catalog):
+        with pytest.raises(PlanningError):
+            policy_from_dict({"format_version": 1}, catalog)
+
+    def test_malformed_entry(self, catalog):
+        with pytest.raises(PlanningError):
+            policy_from_dict(
+                {
+                    "format_version": 1,
+                    "entries": [{"state": "a"}],
+                },
+                catalog,
+            )
+
+    def test_non_object_file(self, catalog, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(PlanningError):
+            load_policy(path, catalog)
+
+
+class TestPlannerWorkflow:
+    def test_train_save_load_recommend(self, tmp_path):
+        from repro import RLPlanner
+        from repro.datasets import load_toy
+
+        dataset = load_toy(seed=0)
+        planner = RLPlanner(
+            dataset.catalog, dataset.task,
+            dataset.default_config.replace(episodes=100),
+        )
+        planner.fit(start_item_ids=["m1"])
+        original = planner.recommend("m1")
+
+        path = tmp_path / "toy_policy.json"
+        save_policy(planner.qtable, path)
+
+        fresh = RLPlanner(
+            dataset.catalog, dataset.task,
+            dataset.default_config.replace(episodes=100),
+        )
+        fresh.adopt_policy(load_policy(path, dataset.catalog))
+        restored = fresh.recommend("m1")
+        assert restored.item_ids == original.item_ids

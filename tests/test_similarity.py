@@ -1,0 +1,127 @@
+"""Unit tests for the Eq. 6/7 interleaving similarity."""
+
+import pytest
+
+from repro.core.constraints import InterleavingTemplate
+from repro.core.exceptions import ConstraintError
+from repro.core.items import ItemType
+from repro.core.similarity import (
+    SimilarityMode,
+    aggregate_similarity,
+    avg_similarity,
+    longest_run,
+    match_vector,
+    max_similarity,
+    min_similarity,
+    similarity_profile,
+    template_similarity,
+)
+
+P = ItemType.PRIMARY
+S = ItemType.SECONDARY
+
+
+@pytest.fixture(scope="module")
+def example1_template():
+    """The Section II-B-1 template used in the paper's worked example."""
+    return InterleavingTemplate.from_labels(
+        [
+            ["P", "P", "S", "P", "S", "S"],
+            ["P", "S", "S", "S", "P", "P"],
+            ["P", "S", "S", "P", "P", "S"],
+        ]
+    )
+
+
+class TestMatchVector:
+    def test_positionwise_comparison(self):
+        assert match_vector([P, S, P], (P, P, P)) == (1, 0, 1)
+
+    def test_prefix_shorter_than_template(self):
+        assert match_vector([P], (P, S, S)) == (1,)
+
+    def test_longer_than_template_rejected(self):
+        with pytest.raises(ConstraintError):
+            match_vector([P, S, P], (P, S))
+
+
+class TestLongestRun:
+    @pytest.mark.parametrize(
+        "bits,expected",
+        [
+            ([], 0),
+            ([0, 0], 0),
+            ([1], 1),
+            ([1, 0, 1, 1], 2),
+            ([1, 1, 1], 3),
+            ([0, 1, 1, 0, 1], 2),
+        ],
+    )
+    def test_runs(self, bits, expected):
+        assert longest_run(bits) == expected
+
+
+class TestPaperWorkedExample:
+    """Section III-B-4: prefix [P,S,P,P] vs the Example-1 template."""
+
+    def test_per_template_sims(self, example1_template):
+        seq = [P, S, P, P]
+        sims = [
+            template_similarity(seq, perm) for perm in example1_template
+        ]
+        assert sims == [0.5, 1.0, 1.5]
+
+    def test_avg_sim_is_one(self, example1_template):
+        assert avg_similarity([P, S, P, P], example1_template) == 1.0
+
+    def test_min_and_max(self, example1_template):
+        assert min_similarity([P, S, P, P], example1_template) == 0.5
+        assert max_similarity([P, S, P, P], example1_template) == 1.5
+
+
+class TestTemplateSimilarity:
+    def test_perfect_match_scores_k(self, example1_template):
+        perm = example1_template.permutations[0]
+        assert template_similarity(list(perm), perm) == len(perm)
+
+    def test_total_mismatch_scores_zero(self):
+        assert template_similarity([S, S], (P, P)) == 0.0
+
+    def test_empty_prefix_scores_zero(self, example1_template):
+        assert template_similarity(
+            [], example1_template.permutations[0]
+        ) == 0.0
+
+    def test_paper_gold_scores(self):
+        # A 10-slot plan equal to its template scores 10 (Univ-1 gold).
+        perm = tuple([P] * 5 + [S] * 5)
+        template = InterleavingTemplate((perm,))
+        assert max_similarity(list(perm), template) == 10.0
+
+
+class TestAggregation:
+    def test_modes_are_ordered(self, example1_template):
+        seq = [P, S, P, P]
+        mn = aggregate_similarity(seq, example1_template,
+                                  SimilarityMode.MINIMUM)
+        avg = aggregate_similarity(seq, example1_template,
+                                   SimilarityMode.AVERAGE)
+        mx = aggregate_similarity(seq, example1_template,
+                                  SimilarityMode.MAXIMUM)
+        assert mn <= avg <= mx
+
+    def test_single_permutation_modes_agree(self):
+        template = InterleavingTemplate.from_labels([["P", "S", "P"]])
+        seq = [P, S, S]
+        values = {
+            aggregate_similarity(seq, template, mode)
+            for mode in SimilarityMode
+        }
+        assert len(values) == 1
+
+
+class TestProfile:
+    def test_profile_length_matches_sequence(self, example1_template):
+        profile = similarity_profile([P, S, P, P], example1_template)
+        assert len(profile) == 4
+        assert profile[-1] == 1.0

@@ -1,0 +1,51 @@
+"""Unit tests for topic extraction (repro.domains.text)."""
+
+from repro.domains.text import STOPWORDS, extract_topics, tokenize, vocabulary_of
+
+
+class TestTokenize:
+    def test_lowercases_and_splits(self):
+        assert tokenize("Data Structures and Algorithms") == [
+            "data", "structures", "and", "algorithms",
+        ]
+
+    def test_keeps_digits_and_symbols(self):
+        assert tokenize("C++ and Web 2.0") == ["c++", "and", "web"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+
+class TestExtractTopics:
+    def test_paper_style_course_title(self):
+        topics = extract_topics("Data Structures and Algorithms")
+        assert topics == frozenset({"data", "structures", "algorithms"})
+
+    def test_stopwords_removed(self):
+        topics = extract_topics("Introduction to Machine Learning")
+        assert "introduction" not in topics
+        assert "to" not in topics
+        assert {"machine", "learning"} <= topics
+
+    def test_extra_stopwords(self):
+        topics = extract_topics(
+            "Advanced Quantum Widgets", extra_stopwords=["widgets"]
+        )
+        assert topics == frozenset({"quantum"})
+
+    def test_adverbs_filtered(self):
+        assert "really" not in extract_topics("Really Fast Systems")
+
+    def test_single_letters_dropped(self):
+        assert extract_topics("A B Data") == frozenset({"data"})
+
+
+class TestVocabulary:
+    def test_union_is_sorted_and_distinct(self):
+        vocab = vocabulary_of(
+            ["Data Mining", "Mining Economics", "Data Privacy"]
+        )
+        assert vocab == ("data", "economics", "mining", "privacy")
+
+    def test_stopword_list_is_lowercase(self):
+        assert all(w == w.lower() for w in STOPWORDS)

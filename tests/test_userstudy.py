@@ -1,0 +1,106 @@
+"""Tests for the simulated user study (repro.userstudy)."""
+
+import pytest
+
+from repro.core.catalog import Catalog
+from repro.core.items import ItemType
+from repro.core.plan import plan_from_ids
+from repro.userstudy import (
+    PlanFeatureExtractor,
+    Question,
+    SimulatedStudy,
+)
+
+from conftest import make_item, make_task
+
+
+@pytest.fixture
+def catalog():
+    return Catalog(
+        [
+            make_item("p1", ItemType.PRIMARY, topics={"t1"}),
+            make_item("p2", ItemType.PRIMARY, topics={"t2"}),
+            make_item("s1", ItemType.SECONDARY, topics={"t3"}),
+            make_item("s2", ItemType.SECONDARY, topics={"t4"}),
+        ]
+    )
+
+
+@pytest.fixture
+def task():
+    return make_task()
+
+
+@pytest.fixture
+def perfect_plan(catalog):
+    return plan_from_ids(catalog, ["p1", "s1", "p2", "s2"])
+
+
+@pytest.fixture
+def poor_plan(catalog):
+    return plan_from_ids(catalog, ["s1", "s2"])
+
+
+class TestFeatureExtractor:
+    def test_features_in_unit_interval(self, task, perfect_plan, poor_plan):
+        from repro.core.env import DomainMode
+
+        extractor = PlanFeatureExtractor(task, DomainMode.COURSE)
+        for plan in (perfect_plan, poor_plan):
+            for value in extractor.features(plan).values():
+                assert 0.0 <= value <= 1.0
+
+    def test_perfect_plan_maximizes_features(self, task, perfect_plan):
+        from repro.core.env import DomainMode
+
+        extractor = PlanFeatureExtractor(task, DomainMode.COURSE)
+        features = extractor.features(perfect_plan)
+        assert features[Question.ORDERING] == 1.0
+        assert features[Question.COVERAGE] == 1.0
+        assert features[Question.OVERALL] == pytest.approx(1.0)
+
+    def test_poor_plan_scores_lower(self, task, perfect_plan, poor_plan):
+        from repro.core.env import DomainMode
+
+        extractor = PlanFeatureExtractor(task, DomainMode.COURSE)
+        good = extractor.features(perfect_plan)
+        bad = extractor.features(poor_plan)
+        assert bad[Question.OVERALL] < good[Question.OVERALL]
+
+
+class TestSimulatedStudy:
+    def test_ratings_on_one_to_five_scale(self, task, perfect_plan):
+        study = SimulatedStudy(task, num_raters=25, seed=0)
+        result = study.rate(perfect_plan)
+        for question in Question:
+            assert 1.0 <= result.mean(question) <= 5.0
+
+    def test_better_plan_rates_higher(self, task, perfect_plan, poor_plan):
+        study = SimulatedStudy(task, num_raters=50, seed=0)
+        assert (
+            study.rate(perfect_plan).overall
+            > study.rate(poor_plan).overall
+        )
+
+    def test_panel_is_seed_deterministic(self, task, perfect_plan):
+        a = SimulatedStudy(task, num_raters=25, seed=3).rate(perfect_plan)
+        b = SimulatedStudy(task, num_raters=25, seed=3).rate(perfect_plan)
+        assert a.ratings == b.ratings
+
+    def test_compare_emits_table_iv_layout(
+        self, task, perfect_plan, poor_plan
+    ):
+        study = SimulatedStudy(task, num_raters=25, seed=0)
+        table = study.compare(poor_plan, perfect_plan)
+        assert set(table) == {q.value for q in Question}
+        for row in table.values():
+            assert set(row) == {"rl_planner", "gold"}
+
+    def test_as_dict(self, task, perfect_plan):
+        result = SimulatedStudy(task, seed=0).rate(perfect_plan)
+        assert set(result.as_dict()) == {q.value for q in Question}
+
+    def test_unknown_question_raises(self, task, perfect_plan):
+        result = SimulatedStudy(task, seed=0).rate(perfect_plan)
+        with pytest.raises(KeyError):
+            result.mean("not a question")

@@ -1,0 +1,183 @@
+"""Unit tests for hard-constraint validation (repro.core.validation)."""
+
+import pytest
+
+from repro.core.catalog import Catalog
+from repro.core.constraints import HardConstraints
+from repro.core.items import Item, ItemType, Prerequisites, make_metadata
+from repro.core.plan import plan_from_ids
+from repro.core.validation import (
+    PlanValidator,
+    haversine_km,
+    plan_travel_distance_km,
+)
+
+from conftest import make_item
+
+
+@pytest.fixture
+def catalog():
+    return Catalog(
+        [
+            make_item("p1", ItemType.PRIMARY, topics={"a"}),
+            make_item("p2", ItemType.PRIMARY, topics={"b"}),
+            make_item("s1", ItemType.SECONDARY, topics={"c"}),
+            make_item(
+                "s2",
+                ItemType.SECONDARY,
+                topics={"d"},
+                prereqs=Prerequisites.all_of(["p1"]),
+            ),
+        ]
+    )
+
+
+@pytest.fixture
+def hard():
+    return HardConstraints.for_courses(
+        min_credits=12, num_primary=2, num_secondary=2, gap=2
+    )
+
+
+class TestCreditAndLength:
+    def test_valid_plan(self, catalog, hard):
+        plan = plan_from_ids(catalog, ["p1", "p2", "s2", "s1"])
+        report = PlanValidator(hard).validate(plan)
+        assert report.is_valid, report.describe()
+
+    def test_credit_shortfall(self, catalog, hard):
+        plan = plan_from_ids(catalog, ["p1", "p2", "s1"])
+        report = PlanValidator(hard).validate(plan)
+        assert "credits" in report.codes()
+        assert "length" in report.codes()
+
+    def test_trip_budget_is_upper_bound(self, catalog):
+        hard = HardConstraints.for_trips(
+            time_budget=5, num_primary=2, num_secondary=2,
+            theme_adjacency_gap=False,
+        )
+        plan = plan_from_ids(catalog, ["p1", "p2", "s1", "s2"])  # 12 > 5
+        report = PlanValidator(hard, credits_are_budget=True).validate(plan)
+        assert "time_budget" in report.codes()
+
+
+class TestSplit:
+    def test_primary_shortfall_flagged(self, catalog, hard):
+        plan = plan_from_ids(catalog, ["p1", "s1", "s2"])
+        codes = PlanValidator(hard).validate(plan).codes()
+        assert "primary_count" in codes
+
+    def test_extra_primary_may_fill_secondary_slot(self, hard):
+        # Case-I of Theorem 1: 3 primaries + 1 secondary still valid.
+        catalog = Catalog(
+            [
+                make_item("p1", ItemType.PRIMARY),
+                make_item("p2", ItemType.PRIMARY),
+                make_item("p3", ItemType.PRIMARY),
+                make_item("s1", ItemType.SECONDARY),
+            ]
+        )
+        plan = plan_from_ids(catalog, ["p1", "p2", "p3", "s1"])
+        assert PlanValidator(hard).is_valid(plan)
+
+
+class TestGap:
+    def test_gap_violation_flagged(self, catalog, hard):
+        # s2 requires p1 at least 2 positions earlier.
+        plan = plan_from_ids(catalog, ["p2", "p1", "s2", "s1"])
+        codes = PlanValidator(hard).validate(plan).codes()
+        assert "prerequisite_gap" in codes
+
+    def test_gap_satisfied(self, catalog, hard):
+        plan = plan_from_ids(catalog, ["p1", "p2", "s2", "s1"])
+        assert PlanValidator(hard).is_valid(plan)
+
+    def test_missing_prerequisite_flagged(self, catalog, hard):
+        plan = plan_from_ids(catalog, ["p2", "s2", "s1", "p1"])
+        codes = PlanValidator(hard).validate(plan).codes()
+        assert "prerequisite_gap" in codes
+
+
+class TestCategories:
+    def test_category_minimum_enforced(self):
+        catalog = Catalog(
+            [
+                make_item("a", ItemType.PRIMARY, category="x"),
+                make_item("b", ItemType.SECONDARY, category="y"),
+            ]
+        )
+        hard = HardConstraints.for_courses(
+            6, 1, 1, 0, category_credits={"x": 3, "y": 6}
+        )
+        plan = plan_from_ids(catalog, ["a", "b"])
+        codes = PlanValidator(hard).validate(plan).codes()
+        assert "category_credits" in codes
+
+
+class TestGeo:
+    def _poi(self, item_id, lat, lon, themes=("t",)):
+        return Item(
+            item_id=item_id,
+            name=item_id,
+            item_type=ItemType.SECONDARY,
+            credits=1.0,
+            topics=frozenset(themes),
+            metadata=make_metadata(lat=lat, lon=lon),
+        )
+
+    def test_haversine_known_distance(self):
+        # Paris -> London is about 344 km.
+        d = haversine_km(48.8566, 2.3522, 51.5074, -0.1278)
+        assert 335 <= d <= 350
+
+    def test_haversine_zero(self):
+        assert haversine_km(10.0, 20.0, 10.0, 20.0) == 0.0
+
+    def test_travel_distance_sums_legs(self):
+        catalog = Catalog(
+            [
+                self._poi("a", 48.85, 2.35),
+                self._poi("b", 48.86, 2.35),
+                self._poi("c", 48.87, 2.35),
+            ]
+        )
+        plan = plan_from_ids(catalog, ["a", "b", "c"])
+        total = plan_travel_distance_km(plan)
+        leg = haversine_km(48.85, 2.35, 48.86, 2.35)
+        assert total == pytest.approx(2 * leg, rel=1e-6)
+
+    def test_travel_distance_none_without_geo(self, catalog):
+        plan = plan_from_ids(catalog, ["p1", "p2"])
+        assert plan_travel_distance_km(plan) is None
+
+    def test_distance_threshold_violation(self):
+        catalog = Catalog(
+            [
+                self._poi("a", 48.80, 2.35, themes=("t1",)),
+                self._poi("b", 48.99, 2.35, themes=("t2",)),
+            ]
+        )
+        hard = HardConstraints.for_trips(
+            10, 0, 2, max_distance=1.0, theme_adjacency_gap=False
+        )
+        plan = plan_from_ids(catalog, ["a", "b"])
+        codes = PlanValidator(hard, credits_are_budget=True).validate(
+            plan
+        ).codes()
+        assert "distance" in codes
+
+    def test_theme_adjacency_violation(self):
+        catalog = Catalog(
+            [
+                self._poi("a", 48.85, 2.35, themes=("museum",)),
+                self._poi("b", 48.85, 2.35, themes=("museum", "park")),
+            ]
+        )
+        hard = HardConstraints.for_trips(
+            10, 0, 2, theme_adjacency_gap=True
+        )
+        plan = plan_from_ids(catalog, ["a", "b"])
+        codes = PlanValidator(hard, credits_are_budget=True).validate(
+            plan
+        ).codes()
+        assert "theme_adjacency" in codes
