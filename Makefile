@@ -1,0 +1,24 @@
+# Developer entry points.  The test suite needs src/ on the path; the
+# bench targets write their artifacts next to this file / under
+# benchmarks/results/.
+
+PYTHON ?= python
+PYTHONPATH := src
+
+.PHONY: test test-fast bench bench-paper
+
+## Full tier-1 suite (everything under tests/).
+test:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest
+
+## Quick loop: the suite minus the @slow integration/example tests.
+test-fast:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -m "not slow"
+
+## Reward-engine micro-benchmark -> BENCH_reward_engine.json.
+bench:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_reward_engine.py
+
+## Paper tables/figures (pytest-benchmark harness; slow).
+bench-paper:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks -p no:cacheprovider

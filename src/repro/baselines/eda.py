@@ -24,7 +24,7 @@ from ..core.constraints import TaskSpec
 from ..core.env import DomainMode
 from ..core.exceptions import PlanningError
 from ..core.plan import Plan, PlanBuilder
-from ..core.reward import RewardFunction
+from ..core.reward import RewardFunction, batch_rewards
 from .base import BaselinePlanner
 
 
@@ -75,13 +75,10 @@ class EDAPlanner(BaselinePlanner):
             ]
             if not candidates:
                 break
-            rewards = [self.reward(builder, item) for item in candidates]
-            best = max(rewards)
-            winners = [
-                item
-                for item, value in zip(candidates, rewards)
-                if value >= best
+            rewards = batch_rewards(self.reward, builder, candidates)
+            winners = np.flatnonzero(rewards == rewards.max())
+            choice = candidates[
+                int(winners[int(self._rng.integers(winners.size))])
             ]
-            choice = winners[int(self._rng.integers(len(winners)))]
             builder.add(choice)
         return builder.build()

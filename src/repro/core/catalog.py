@@ -24,8 +24,86 @@ from typing import (
     Tuple,
 )
 
+import numpy as np
+
 from .exceptions import DataModelError, UnknownItemError
 from .items import Item, ItemType
+
+
+class CatalogColumns:
+    """Precomputed NumPy columns over a catalog (the batch-reward SoA).
+
+    Built once, lazily, on first access of :attr:`Catalog.columns` and
+    shared by every consumer of the vectorized reward path.  All arrays
+    are indexed by the catalog's stable item index (:meth:`Catalog.index_of`).
+
+    Attributes
+    ----------
+    primary_mask / type_codes:
+        Boolean primary flag and its ``int8`` form (1 primary, 0 secondary).
+    credits:
+        ``cr_m`` per item (float64).
+    category_codes / categories:
+        Integer code of each item's category into ``categories`` (the
+        catalog's sorted distinct categories); ``-1`` for uncategorized.
+    topic_matrix / topic_index:
+        ``|I| x |T|`` boolean incidence matrix over the topic vocabulary
+        and the topic -> column lookup.
+    has_prereqs:
+        True where the item has at least one antecedent group.
+    lat / lon / has_coords:
+        Geo coordinates from item metadata (NaN when absent) and the
+        joint availability mask.
+    """
+
+    def __init__(self, catalog: "Catalog") -> None:
+        items = catalog.items
+        n = len(items)
+        self.primary_mask = np.fromiter(
+            (item.is_primary for item in items), dtype=bool, count=n
+        )
+        self.type_codes = self.primary_mask.astype(np.int8)
+        self.credits = np.fromiter(
+            (item.credits for item in items), dtype=np.float64, count=n
+        )
+
+        self.categories: Tuple[str, ...] = catalog.categories()
+        category_index = {c: i for i, c in enumerate(self.categories)}
+        self.category_codes = np.fromiter(
+            (
+                category_index.get(item.category, -1)
+                for item in items
+            ),
+            dtype=np.int64,
+            count=n,
+        )
+
+        vocabulary = catalog.topic_vocabulary
+        self.topic_index: Dict[str, int] = {
+            topic: j for j, topic in enumerate(vocabulary)
+        }
+        matrix = np.zeros((n, len(vocabulary)), dtype=bool)
+        for row, item in enumerate(items):
+            for topic in item.topics:
+                matrix[row, self.topic_index[topic]] = True
+        self.topic_matrix = matrix
+
+        self.has_prereqs = np.fromiter(
+            (not item.prerequisites.is_empty for item in items),
+            dtype=bool,
+            count=n,
+        )
+
+        lat = np.full(n, np.nan, dtype=np.float64)
+        lon = np.full(n, np.nan, dtype=np.float64)
+        for row, item in enumerate(items):
+            item_lat, item_lon = item.meta("lat"), item.meta("lon")
+            if item_lat is not None and item_lon is not None:
+                lat[row] = float(item_lat)  # type: ignore[arg-type]
+                lon[row] = float(item_lon)  # type: ignore[arg-type]
+        self.lat = lat
+        self.lon = lon
+        self.has_coords = ~(np.isnan(lat) | np.isnan(lon))
 
 
 class Catalog:
@@ -84,6 +162,7 @@ class Catalog:
         self._index: Dict[str, int] = {
             item.item_id: i for i, item in enumerate(self._items)
         }
+        self._columns: Optional[CatalogColumns] = None
 
     # ------------------------------------------------------------------
     # Basic container protocol
@@ -131,6 +210,18 @@ class Catalog:
     def num_topics(self) -> int:
         """``|T|``."""
         return len(self._vocabulary)
+
+    @property
+    def columns(self) -> CatalogColumns:
+        """Precomputed NumPy columns (built lazily, then cached)."""
+        if self._columns is None:
+            self._columns = CatalogColumns(self)
+        return self._columns
+
+    @property
+    def index_map(self) -> Dict[str, int]:
+        """The item id -> index mapping (treat as read-only)."""
+        return self._index
 
     def index_of(self, item_id: str) -> int:
         """Stable integer index of an item (Q-table row/column)."""

@@ -109,12 +109,16 @@ class TPPEnvironment:
         never deadlock.
         """
         builder = self.builder
-        remaining = builder.remaining_items()
         if self.mode is DomainMode.TRIP:
+            remaining_idx = builder.remaining_indices()
             budget_left = self.task.hard.min_credits - builder.total_credits
+            credits = self.catalog.columns.credits[remaining_idx]
+            remaining_idx = remaining_idx[credits <= budget_left + 1e-9]
             remaining = tuple(
-                item for item in remaining if item.credits <= budget_left + 1e-9
+                self.catalog.item_at(int(i)) for i in remaining_idx
             )
+        else:
+            remaining = builder.remaining_items()
         if self.config.mask_invalid_actions:
             return self.reward.mask_actions(builder, remaining)
         return remaining
@@ -137,10 +141,9 @@ class TPPEnvironment:
             return True
         if self.mode is DomainMode.TRIP:
             budget_left = self.task.hard.min_credits - builder.total_credits
-            if not any(
-                item.credits <= budget_left + 1e-9
-                for item in builder.remaining_items()
-            ):
+            remaining_idx = builder.remaining_indices()
+            credits = self.catalog.columns.credits[remaining_idx]
+            if not bool((credits <= budget_left + 1e-9).any()):
                 return True
         return len(builder) >= len(self.catalog)
 

@@ -43,7 +43,9 @@ class QLearningLearner(SarsaLearner):
     ) -> EpisodeStats:
         env = self.env
         catalog = env.catalog
+        index_map = catalog.index_map
         state = env.reset(start_id)
+        s_idx = index_map[state.item_id]
         total_reward = 0.0
         zero_steps = 0
 
@@ -52,13 +54,12 @@ class QLearningLearner(SarsaLearner):
             if not actions:
                 break
             action = self._choose_action(table, state, actions)
+            a_idx = index_map[action.item_id]
             reward, done = env.step(action)
             total_reward += reward
             if reward == 0.0:
                 zero_steps += 1
 
-            s_idx = catalog.index_of(state.item_id)
-            a_idx = catalog.index_of(action.item_id)
             if done:
                 table.td_update(
                     s_idx, a_idx, reward, self.config.learning_rate
@@ -70,14 +71,16 @@ class QLearningLearner(SarsaLearner):
                     s_idx, a_idx, reward, self.config.learning_rate
                 )
                 break
-            next_idx = catalog.index_of(action.item_id)
-            best_next = max(
-                table.values[next_idx, catalog.index_of(item.item_id)]
-                for item in next_actions
+            next_indices = np.fromiter(
+                (index_map[item.item_id] for item in next_actions),
+                dtype=np.int64,
+                count=len(next_actions),
             )
+            best_next = float(table.values[a_idx, next_indices].max())
             target = reward + self.config.discount * best_next
             table.td_update(s_idx, a_idx, target, self.config.learning_rate)
             state = action
+            s_idx = a_idx
 
         return EpisodeStats(
             episode=episode,
@@ -99,14 +102,14 @@ class ExpectedSarsaLearner(SarsaLearner):
     def _expected_value(
         self, table: QTable, state: Item, actions: Sequence[Item]
     ) -> float:
-        catalog = self.env.catalog
-        s_idx = catalog.index_of(state.item_id)
-        values = np.array(
-            [
-                table.values[s_idx, catalog.index_of(item.item_id)]
-                for item in actions
-            ]
+        index_map = self.env.catalog.index_map
+        s_idx = index_map[state.item_id]
+        indices = np.fromiter(
+            (index_map[item.item_id] for item in actions),
+            dtype=np.int64,
+            count=len(actions),
         )
+        values = table.values[s_idx, indices]
         eps = self.config.exploration
         if len(values) == 1:
             return float(values[0])
@@ -119,7 +122,9 @@ class ExpectedSarsaLearner(SarsaLearner):
     ) -> EpisodeStats:
         env = self.env
         catalog = env.catalog
+        index_map = catalog.index_map
         state = env.reset(start_id)
+        s_idx = index_map[state.item_id]
         total_reward = 0.0
         zero_steps = 0
 
@@ -128,13 +133,12 @@ class ExpectedSarsaLearner(SarsaLearner):
             if not actions:
                 break
             action = self._choose_action(table, state, actions)
+            a_idx = index_map[action.item_id]
             reward, done = env.step(action)
             total_reward += reward
             if reward == 0.0:
                 zero_steps += 1
 
-            s_idx = catalog.index_of(state.item_id)
-            a_idx = catalog.index_of(action.item_id)
             if done:
                 table.td_update(
                     s_idx, a_idx, reward, self.config.learning_rate
@@ -150,6 +154,7 @@ class ExpectedSarsaLearner(SarsaLearner):
             target = reward + self.config.discount * expected
             table.td_update(s_idx, a_idx, target, self.config.learning_rate)
             state = action
+            s_idx = a_idx
 
         return EpisodeStats(
             episode=episode,
@@ -173,7 +178,9 @@ class MonteCarloLearner(SarsaLearner):
     ) -> EpisodeStats:
         env = self.env
         catalog = env.catalog
+        index_map = catalog.index_map
         state = env.reset(start_id)
+        s_idx = index_map[state.item_id]
         total_reward = 0.0
         zero_steps = 0
         trajectory: List[Tuple[int, int, float]] = []
@@ -183,20 +190,16 @@ class MonteCarloLearner(SarsaLearner):
             if not actions:
                 break
             action = self._choose_action(table, state, actions)
+            a_idx = index_map[action.item_id]
             reward, done = env.step(action)
             total_reward += reward
             if reward == 0.0:
                 zero_steps += 1
-            trajectory.append(
-                (
-                    catalog.index_of(state.item_id),
-                    catalog.index_of(action.item_id),
-                    reward,
-                )
-            )
+            trajectory.append((s_idx, a_idx, reward))
             if done:
                 break
             state = action
+            s_idx = a_idx
 
         # Backward pass: discounted returns, first-visit updates.
         g = 0.0

@@ -13,10 +13,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from .catalog import Catalog
+from .constraints import InterleavingTemplate
 from .exceptions import PlanningError
 from .items import Item, ItemType
-from .similarity import type_sequence
+from .similarity import IncrementalSimilarity, SimilarityMode, type_sequence
 
 
 @dataclass(frozen=True)
@@ -116,6 +119,8 @@ class PlanBuilder:
         self._positions: Dict[str, int] = {}
         self._topics: set = set()
         self._total_credits: float = 0.0
+        self._num_primary: int = 0
+        self._sim_states: Dict[Tuple[int, str], IncrementalSimilarity] = {}
 
     # ------------------------------------------------------------------
     # State inspection
@@ -143,6 +148,11 @@ class PlanBuilder:
     def total_credits(self) -> float:
         """Running credit/visit-time total."""
         return self._total_credits
+
+    @property
+    def num_primary(self) -> int:
+        """Number of primary items added so far (maintained in O(1))."""
+        return self._num_primary
 
     @property
     def covered_topics(self) -> FrozenSet[str]:
@@ -174,6 +184,39 @@ class PlanBuilder:
             if item.item_id not in self._positions
         )
 
+    def remaining_indices(self) -> np.ndarray:
+        """Catalog indices of the unvisited items, ascending.
+
+        Ascending index order equals catalog order, so
+        ``catalog.item_at`` over this array reproduces
+        :meth:`remaining_items` exactly.
+        """
+        index_map = self._catalog.index_map
+        mask = np.ones(len(self._catalog), dtype=bool)
+        for item_id in self._positions:
+            idx = index_map.get(item_id)
+            if idx is not None:
+                mask[idx] = False
+        return np.flatnonzero(mask)
+
+    def similarity_state(
+        self, template: InterleavingTemplate, mode: SimilarityMode
+    ) -> IncrementalSimilarity:
+        """The incremental Eq. 6/7 state for ``(template, mode)``.
+
+        Created on first request (replaying the current prefix) and kept
+        in sync by :meth:`add` / :meth:`reset` afterwards, so reward
+        evaluations never rescan the prefix.
+        """
+        key = (id(template), mode.value)
+        state = self._sim_states.get(key)
+        if state is None:
+            state = IncrementalSimilarity(template, mode)
+            for item in self._items:
+                state.append(item.item_type)
+            self._sim_states[key] = state
+        return state
+
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
@@ -196,6 +239,10 @@ class PlanBuilder:
         self._items.append(item)
         self._topics |= item.topics
         self._total_credits += item.credits
+        if item.is_primary:
+            self._num_primary += 1
+        for state in self._sim_states.values():
+            state.append(item.item_type)
 
     def add_by_id(self, item_id: str) -> None:
         """Append the catalog item with the given id."""
@@ -211,6 +258,8 @@ class PlanBuilder:
         self._positions.clear()
         self._topics.clear()
         self._total_credits = 0.0
+        self._num_primary = 0
+        self._sim_states.clear()
 
 
 def plan_from_ids(catalog: Catalog, item_ids: Sequence[str]) -> Plan:

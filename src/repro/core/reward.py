@@ -26,9 +26,13 @@ catalog + task + config into a single callable.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from .catalog import Catalog
 from .config import PlannerConfig
 from .constraints import TaskSpec
 from .items import Item
@@ -57,6 +61,104 @@ class RewardBreakdown:
         return self.r1_coverage * self.r2_gap
 
 
+class _CatalogView:
+    """Task-specific vectorized columns over one catalog.
+
+    Combines the catalog's generic :class:`~repro.core.catalog.CatalogColumns`
+    with everything the batch reward derives from the *task/config* pair:
+    the ideal-topic incidence submatrix, the per-item type/category
+    weight vector, and the indices of prerequisite-carrying items.
+    Built once per (reward, catalog) pair and cached.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        task: TaskSpec,
+        config: PlannerConfig,
+        category_weights: Dict[str, float],
+    ) -> None:
+        cols = catalog.columns
+        self.cols = cols
+
+        ideal = task.soft.ideal_topics
+        ideal_cols = sorted(
+            cols.topic_index[t] for t in ideal if t in cols.topic_index
+        )
+        self.ideal_matrix = cols.topic_matrix[:, ideal_cols]
+        # topic -> position inside the ideal submatrix, for the running
+        # covered-ideal vector.
+        vocabulary_positions = {
+            col: pos for pos, col in enumerate(ideal_cols)
+        }
+        self.ideal_positions: Dict[str, int] = {
+            topic: vocabulary_positions[col]
+            for topic, col in cols.topic_index.items()
+            if col in vocabulary_positions
+        }
+
+        weights = np.where(
+            cols.primary_mask,
+            config.weights.w_primary,
+            config.weights.w_secondary,
+        )
+        if category_weights:
+            for code, category in enumerate(cols.categories):
+                weight = category_weights.get(category)
+                if weight is not None:
+                    weights[cols.category_codes == code] = weight
+        self.item_weights = weights
+
+    def covered_ideal(self, topics) -> np.ndarray:
+        """Boolean vector over the ideal columns covered by ``topics``."""
+        covered = np.zeros(self.ideal_matrix.shape[1], dtype=bool)
+        positions = self.ideal_positions
+        for topic in topics:
+            pos = positions.get(topic)
+            if pos is not None:
+                covered[pos] = True
+        return covered
+
+
+class _CategoryPoolStats:
+    """Per-category aggregates of a feasibility pool.
+
+    Carries exactly what `_joint_feasible` needs — count, primary count,
+    and the two smallest distinct credit values (with multiplicity of
+    the smallest) so one item's exclusion can be applied in O(1) without
+    rebuilding the pool.
+    """
+
+    __slots__ = ("count", "primaries", "min1", "min1_count", "min2")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.primaries = 0
+        self.min1 = float("inf")
+        self.min1_count = 0
+        self.min2 = float("inf")
+
+    def add(self, item: Item) -> None:
+        self.count += 1
+        if item.is_primary:
+            self.primaries += 1
+        credits = item.credits
+        if credits < self.min1:
+            self.min2 = self.min1
+            self.min1 = credits
+            self.min1_count = 1
+        elif credits == self.min1:
+            self.min1_count += 1
+        elif credits < self.min2:
+            self.min2 = credits
+
+    def min_without(self, credits: float) -> float:
+        """Smallest credit value if one item worth ``credits`` left."""
+        if credits == self.min1 and self.min1_count == 1:
+            return self.min2
+        return self.min1
+
+
 class RewardFunction:
     """Equation 2 bound to a task specification and planner config.
 
@@ -76,6 +178,20 @@ class RewardFunction:
             len(task.soft.ideal_topics)
         )
         self._category_weights = config.weights.category_weight_map
+        # Per-catalog vectorized columns; weak keys so subset/transfer
+        # catalogs do not pile up for the lifetime of the reward.
+        self._views: "weakref.WeakKeyDictionary[Catalog, _CatalogView]" = (
+            weakref.WeakKeyDictionary()
+        )
+
+    def _view(self, catalog: Catalog) -> _CatalogView:
+        view = self._views.get(catalog)
+        if view is None:
+            view = _CatalogView(
+                catalog, self.task, self.config, self._category_weights
+            )
+            self._views[catalog] = view
+        return view
 
     # ------------------------------------------------------------------
     # Components
@@ -275,8 +391,44 @@ class RewardFunction:
         3. r1 AND r2,
         4. r2,
         5. everything               (episodes never deadlock).
+
+        All three gates are evaluated batched (one pass of shared
+        per-step state instead of per-candidate rescans); the tier
+        semantics and candidate ordering are unchanged.
         """
         candidates = tuple(candidates)
+        if not candidates:
+            return candidates
+        cand_idx = self._candidate_indices(builder.catalog, candidates)
+        if cand_idx is None:
+            return self._mask_actions_scalar(builder, candidates)
+
+        view = self._view(builder.catalog)
+        gap_ok_mask = self._gap_mask(builder, view, candidates, cand_idx)
+        gap_ok = tuple(
+            item for item, ok in zip(candidates, gap_ok_mask.tolist()) if ok
+        )
+        feasible_mask = self.feasible_mask(builder, gap_ok)
+        feasible = tuple(
+            item for item, ok in zip(gap_ok, feasible_mask.tolist()) if ok
+        )
+        covered_mask = self._coverage_mask(builder, view, cand_idx)
+        covered_by_id = {
+            item.item_id: ok
+            for item, ok in zip(candidates, covered_mask.tolist())
+        }
+        for tier in (feasible, gap_ok):
+            covered = tuple(
+                item for item in tier if covered_by_id[item.item_id]
+            )
+            if covered:
+                return covered
+            if tier:
+                return tier
+        return candidates
+
+    def _mask_actions_scalar(self, builder: PlanBuilder, candidates) -> tuple:
+        """Per-item fallback for candidates outside the catalog index."""
         gap_ok = tuple(
             item for item in candidates if self.gap_gate(builder, item)
         )
@@ -292,6 +444,346 @@ class RewardFunction:
             if tier:
                 return tier
         return candidates
+
+    # ------------------------------------------------------------------
+    # Batched evaluation (one step, all candidates)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _candidate_indices(
+        catalog: Catalog, candidates: Sequence[Item]
+    ) -> Optional[np.ndarray]:
+        """Catalog indices of the candidates, or None when any is foreign."""
+        index_map = catalog.index_map
+        out = np.empty(len(candidates), dtype=np.int64)
+        for j, item in enumerate(candidates):
+            idx = index_map.get(item.item_id)
+            if idx is None:
+                return None
+            out[j] = idx
+        return out
+
+    def _coverage_mask(
+        self,
+        builder: PlanBuilder,
+        view: _CatalogView,
+        cand_idx: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized ``r1`` (Eq. 3) over candidate indices."""
+        covered = view.covered_ideal(builder.covered_topics)
+        gained = (view.ideal_matrix[cand_idx] & ~covered).sum(axis=1)
+        return gained >= self._coverage_needed
+
+    def _gap_mask(
+        self,
+        builder: PlanBuilder,
+        view: _CatalogView,
+        candidates: Sequence[Item],
+        cand_idx: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized ``r2`` (Eq. 4) over candidates.
+
+        The theme-adjacency check is a single matrix row intersection;
+        prerequisite CNF checks run only for the (typically few)
+        candidates that actually carry antecedents, against one shared
+        positions snapshot.
+        """
+        ok = np.ones(len(candidates), dtype=bool)
+        cols = view.cols
+        if self.task.hard.theme_adjacency_gap:
+            last = builder.last_item
+            if last is not None:
+                last_idx = builder.catalog.index_map.get(last.item_id)
+                if last_idx is not None:
+                    overlap = (
+                        cols.topic_matrix[cand_idx]
+                        & cols.topic_matrix[last_idx]
+                    ).any(axis=1)
+                else:
+                    overlap = np.fromiter(
+                        (
+                            bool(last.topics & item.topics)
+                            for item in candidates
+                        ),
+                        dtype=bool,
+                        count=len(candidates),
+                    )
+                ok &= ~overlap
+        if cols.has_prereqs[cand_idx].any():
+            positions = builder.positions
+            at_position = len(builder)
+            gap = self.task.hard.gap
+            for j, item in enumerate(candidates):
+                if ok[j] and not item.prerequisites.is_empty:
+                    ok[j] = item.prerequisites.satisfied_by(
+                        positions, at_position, gap
+                    )
+        return ok
+
+    def feasible_mask(
+        self, builder: PlanBuilder, candidates: Sequence[Item]
+    ) -> np.ndarray:
+        """Vectorized :meth:`feasibility_gate` over many candidates.
+
+        The feasibility pool (remaining items, their reachability, the
+        per-category credit aggregates, the travelled distance) is
+        computed *once* per step and adjusted per candidate in O(1)
+        amortized, instead of rebuilt per candidate.
+        """
+        candidates = tuple(candidates)
+        out = np.zeros(len(candidates), dtype=bool)
+        if not candidates:
+            return out
+        hard = self.task.hard
+        slots_after = hard.plan_length - (len(builder) + 1)
+        if slots_after < 0:
+            return out
+
+        positions = builder.positions
+        k = len(builder)
+        last_slot = hard.plan_length - 1
+        gap = hard.gap
+        base_primaries = builder.num_primary
+        candidate_can_fix = last_slot - k >= gap
+        minima = hard.category_credit_map
+
+        # Base reachability of the pool under the current positions; a
+        # candidate can only *add* reachability when it is a member of
+        # every unsatisfied OR-group of a pooled item.
+        reachable_ids: set = set()
+        reachable_primaries = 0
+        category_stats: Dict[str, _CategoryPoolStats] = {}
+        fixers: Dict[str, List[Item]] = {}
+        for other in builder.remaining_items():
+            prereqs = other.prerequisites
+            if prereqs.is_empty or prereqs.satisfied_by(
+                positions, last_slot, gap
+            ):
+                reachable_ids.add(other.item_id)
+                if other.is_primary:
+                    reachable_primaries += 1
+                if minima and other.category in minima:
+                    stats = category_stats.get(other.category)
+                    if stats is None:
+                        stats = _CategoryPoolStats()
+                        category_stats[other.category] = stats
+                    stats.add(other)
+            elif candidate_can_fix:
+                unsatisfied = [
+                    group
+                    for group in prereqs.groups
+                    if not any(
+                        member in positions
+                        and last_slot - positions[member] >= gap
+                        for member in group
+                    )
+                ]
+                common = frozenset.intersection(*unsatisfied)
+                for fixer_id in common:
+                    fixers.setdefault(fixer_id, []).append(other)
+
+        base_earned: Dict[str, float] = {}
+        if minima:
+            for chosen in builder.items:
+                if chosen.category is not None:
+                    base_earned[chosen.category] = (
+                        base_earned.get(chosen.category, 0.0) + chosen.credits
+                    )
+
+        max_distance = hard.max_distance
+        distance_applies = max_distance is not None and len(builder) > 0
+        base_distance = 0.0
+        last_coords: Optional[Tuple[float, float]] = None
+        if distance_applies:
+            coords = []
+            for chosen in builder.items:
+                lat, lon = chosen.meta("lat"), chosen.meta("lon")
+                if lat is None or lon is None:
+                    distance_applies = False  # no geo data: nothing to enforce
+                    break
+                coords.append((float(lat), float(lon)))
+            if distance_applies:
+                for a, b in zip(coords, coords[1:]):
+                    base_distance += haversine_km(a[0], a[1], b[0], b[1])
+                last_coords = coords[-1]
+
+        for j, cand in enumerate(candidates):
+            primaries_have = base_primaries + (1 if cand.is_primary else 0)
+            primaries_short = max(0, hard.num_primary - primaries_have)
+            if primaries_short > slots_after:
+                continue
+            fixed = fixers.get(cand.item_id, ())
+            unused_primaries = (
+                reachable_primaries
+                - (
+                    1
+                    if cand.is_primary and cand.item_id in reachable_ids
+                    else 0
+                )
+                + sum(1 for other in fixed if other.is_primary)
+            )
+            if primaries_short > unused_primaries:
+                continue
+            if minima and not self._joint_feasible_pooled(
+                cand,
+                category_stats,
+                base_earned,
+                fixed,
+                reachable_ids,
+                slots_after,
+                primaries_short,
+                unused_primaries,
+            ):
+                continue
+            if distance_applies:
+                lat, lon = cand.meta("lat"), cand.meta("lon")
+                if lat is not None and lon is not None:
+                    assert last_coords is not None
+                    total = base_distance + haversine_km(
+                        last_coords[0],
+                        last_coords[1],
+                        float(lat),  # type: ignore[arg-type]
+                        float(lon),  # type: ignore[arg-type]
+                    )
+                    if total > max_distance + 1e-9:
+                        continue
+            out[j] = True
+        return out
+
+    def _joint_feasible_pooled(
+        self,
+        cand: Item,
+        category_stats: Dict[str, _CategoryPoolStats],
+        base_earned: Dict[str, float],
+        fixed: Sequence[Item],
+        reachable_ids: set,
+        slots_after: int,
+        primaries_short: int,
+        unused_primaries: int,
+    ) -> bool:
+        """`_joint_feasible` against precomputed pool aggregates."""
+        minima = self.task.hard.category_credit_map
+        cand_reachable = cand.item_id in reachable_ids
+        slots_used = 0
+        primaries_covered = 0
+        for category, minimum in minima.items():
+            earned = base_earned.get(category, 0.0)
+            if cand.category == category:
+                earned += cand.credits
+            shortfall = minimum - earned
+            if shortfall <= 1e-9:
+                continue
+            stats = category_stats.get(category)
+            if stats is None:
+                pool_count = 0
+                pool_min = float("inf")
+                pool_primaries = 0
+            else:
+                pool_count = stats.count
+                pool_min = stats.min1
+                pool_primaries = stats.primaries
+                if cand_reachable and cand.category == category:
+                    pool_count -= 1
+                    pool_min = stats.min_without(cand.credits)
+                    if cand.is_primary:
+                        pool_primaries -= 1
+            for other in fixed:
+                if other.category == category:
+                    pool_count += 1
+                    pool_min = min(pool_min, other.credits)
+                    if other.is_primary:
+                        pool_primaries += 1
+            if pool_count == 0:
+                return False
+            per_item = pool_min
+            needed = int(-(-shortfall // per_item))  # ceil division
+            if needed > pool_count:
+                return False
+            slots_used += needed
+            primaries_covered += min(needed, pool_primaries)
+
+        if slots_used > slots_after:
+            return False
+        primaries_left = max(0, primaries_short - primaries_covered)
+        free_slots = slots_after - slots_used
+        if primaries_left > free_slots:
+            return False
+        return primaries_left <= unused_primaries
+
+    def batch_components(
+        self, builder: PlanBuilder, candidates: Sequence[Item]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized Eq. 2 components for every candidate.
+
+        Returns ``(theta, similarity, type_weight, total)`` arrays
+        aligned with ``candidates``; values equal the per-item
+        :meth:`breakdown` fields exactly (the equality is pinned by
+        tests).  Similarity is evaluated through the plan builder's
+        incremental state: since every candidate extends the same prefix
+        at the same position, only two aggregated similarities exist —
+        one per item type — and each costs O(|IT|).
+        """
+        candidates = tuple(candidates)
+        n = len(candidates)
+        if n == 0:
+            empty = np.zeros(0, dtype=np.float64)
+            return np.zeros(0, dtype=bool), empty, empty.copy(), empty.copy()
+        catalog = builder.catalog
+        cand_idx = self._candidate_indices(catalog, candidates)
+        if cand_idx is None:
+            return self._batch_components_scalar(builder, candidates)
+        view = self._view(catalog)
+
+        theta = self._coverage_mask(builder, view, cand_idx)
+        theta &= self._gap_mask(builder, view, candidates, cand_idx)
+
+        template = self.task.soft.template
+        if len(builder) + 1 > template.length or not theta.any():
+            sims = np.zeros(n, dtype=np.float64)
+        else:
+            state = builder.similarity_state(template, self.config.similarity)
+            sim_primary, sim_secondary = state.peek_types()
+            sims = np.where(
+                view.cols.primary_mask[cand_idx], sim_primary, sim_secondary
+            )
+            sims = np.where(theta, sims, 0.0)
+
+        weights = view.item_weights[cand_idx]
+        totals = np.where(
+            theta,
+            self.config.weights.delta * sims
+            + self.config.weights.beta * weights,
+            0.0,
+        )
+        return theta, sims, weights, totals
+
+    def _batch_components_scalar(
+        self, builder: PlanBuilder, candidates: Tuple[Item, ...]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Fallback path when candidates are outside the catalog index."""
+        n = len(candidates)
+        theta = np.zeros(n, dtype=bool)
+        sims = np.zeros(n, dtype=np.float64)
+        weights = np.zeros(n, dtype=np.float64)
+        totals = np.zeros(n, dtype=np.float64)
+        for j, item in enumerate(candidates):
+            b = self.breakdown(builder, item)
+            theta[j] = b.theta != 0
+            sims[j] = b.similarity
+            weights[j] = b.type_weight
+            totals[j] = b.total
+        return theta, sims, weights, totals
+
+    def reward_batch(
+        self, builder: PlanBuilder, candidates: Sequence[Item]
+    ) -> np.ndarray:
+        """Equation-2 rewards for all candidates as one float64 vector.
+
+        Semantically identical to ``[self(builder, c) for c in
+        candidates]`` but O(|I|) per step instead of
+        O(|I| * (|I| + k*|IT|)).
+        """
+        return self.batch_components(builder, candidates)[3]
 
     # ------------------------------------------------------------------
     # Equation 2
@@ -343,3 +835,23 @@ class RewardFunction:
             self.config.weights.delta * self.task.soft.template.length
             + self.config.weights.beta * max(weights)
         )
+
+
+def batch_rewards(
+    reward, builder: PlanBuilder, candidates: Sequence[Item]
+) -> np.ndarray:
+    """Score all candidates in one shot, whatever the reward object is.
+
+    Uses ``reward.reward_batch`` when the callable provides it (the
+    vectorized engine) and falls back to a per-item loop for plain
+    RewardFunction-compatible callables (e.g. test doubles), so every
+    hot-loop call site can switch to batch scoring unconditionally.
+    """
+    batch = getattr(reward, "reward_batch", None)
+    if batch is not None:
+        return batch(builder, candidates)
+    return np.fromiter(
+        (reward(builder, item) for item in candidates),
+        dtype=np.float64,
+        count=len(candidates),
+    )

@@ -28,6 +28,7 @@ from .env import TPPEnvironment
 from .exceptions import PlanningError
 from .items import Item
 from .qtable import QTable
+from .reward import batch_rewards
 
 
 class ActionSelection(enum.Enum):
@@ -119,14 +120,18 @@ class SarsaLearner:
         return self._argmax_q(qtable, state, actions)
 
     def _argmax_reward(self, state: Item, actions: Sequence[Item]) -> Item:
-        """Algorithm-1 selection: maximize the immediate Eq. 2 reward."""
+        """Algorithm-1 selection: maximize the immediate Eq. 2 reward.
+
+        All actions are scored in one vectorized pass; ties are the
+        exact-equality argmax set (``np.flatnonzero(r == r.max())``),
+        broken uniformly at random.
+        """
         builder = self.env.builder
-        rewards = [self.env.reward(builder, item) for item in actions]
-        best = max(rewards)
-        winners = [a for a, r in zip(actions, rewards) if r >= best]
-        if len(winners) == 1:
-            return winners[0]
-        return winners[int(self._rng.integers(len(winners)))]
+        rewards = batch_rewards(self.env.reward, builder, actions)
+        winners = np.flatnonzero(rewards == rewards.max())
+        if winners.size == 1:
+            return actions[int(winners[0])]
+        return actions[int(winners[int(self._rng.integers(winners.size))])]
 
     def _argmax_q(
         self, qtable: QTable, state: Item, actions: Sequence[Item]
@@ -199,7 +204,12 @@ class SarsaLearner:
     def _run_episode(
         self, table: QTable, episode: int, start_id: str
     ) -> EpisodeStats:
-        """One SARSA episode: roll out, updating Q along the way."""
+        """One SARSA episode: roll out, updating Q along the way.
+
+        Item ids are resolved to catalog indices once per chosen action
+        and threaded through the loop — the TD update and bootstrap
+        lookup never re-resolve an id.
+        """
         env = self.env
         catalog = env.catalog
         state = env.reset(start_id)
@@ -210,6 +220,8 @@ class SarsaLearner:
         if not actions:
             return EpisodeStats(episode, start_id, 1, 0.0, 0)
         action = self._choose_action(table, state, actions)
+        s_idx = catalog.index_of(state.item_id)
+        a_idx = catalog.index_of(action.item_id)
 
         while True:
             reward, done = env.step(action)
@@ -217,8 +229,6 @@ class SarsaLearner:
             if reward == 0.0:
                 zero_steps += 1
 
-            s_idx = catalog.index_of(state.item_id)
-            a_idx = catalog.index_of(action.item_id)
             next_state = action
 
             if done:
@@ -234,13 +244,14 @@ class SarsaLearner:
                 )
                 break
             next_action = self._choose_action(table, next_state, next_actions)
+            next_a_idx = catalog.index_of(next_action.item_id)
             target = reward + self.config.discount * table.values[
-                catalog.index_of(next_state.item_id),
-                catalog.index_of(next_action.item_id),
+                a_idx, next_a_idx
             ]
             table.td_update(s_idx, a_idx, target, self.config.learning_rate)
 
             state, action = next_state, next_action
+            s_idx, a_idx = a_idx, next_a_idx
 
         return EpisodeStats(
             episode=episode,

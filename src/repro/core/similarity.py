@@ -27,7 +27,10 @@ yields match vectors ``[1,0,0,1]``, ``[1,1,0,0]``, ``[1,1,0,1]``, giving
 from __future__ import annotations
 
 import enum
+import weakref
 from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
 
 from .constraints import InterleavingTemplate, TemplatePermutation
 from .exceptions import ConstraintError
@@ -133,6 +136,136 @@ def max_similarity(
 ) -> float:
     """Best-template similarity, used as the final plan score."""
     return aggregate_similarity(sequence, template, SimilarityMode.MAXIMUM)
+
+
+_TEMPLATE_CODE_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def template_codes(template: InterleavingTemplate) -> np.ndarray:
+    """The template as an ``(|IT|, length)`` int8 matrix (1=P, 0=S).
+
+    Cached per template object so every :class:`IncrementalSimilarity`
+    over the same template shares one immutable matrix.
+    """
+    codes = _TEMPLATE_CODE_CACHE.get(template)
+    if codes is None:
+        codes = np.array(
+            [
+                [1 if label is ItemType.PRIMARY else 0 for label in perm]
+                for perm in template
+            ],
+            dtype=np.int8,
+        )
+        codes.setflags(write=False)
+        _TEMPLATE_CODE_CACHE[template] = codes
+    return codes
+
+
+class IncrementalSimilarity:
+    """O(|IT|) incremental form of :func:`aggregate_similarity`.
+
+    Instead of rematching the whole plan prefix against every template
+    permutation on each reward evaluation (O(k * |IT|) per candidate),
+    this carries three per-permutation integers — the match count
+    ``sum(c_I)``, the longest run ``zeta``, and the run ending at the
+    current position — and updates them in O(|IT|) per appended item.
+
+    The batched reward exploits that all candidates extend the same
+    prefix at the same position, so only the candidate's *type* matters:
+    :meth:`peek` evaluates Eq. 6/7 for a hypothetical append of one type
+    without mutating state, and there are only two types.
+
+    Invariants (maintained by :meth:`append` / checked by tests):
+
+    * ``value()`` equals ``aggregate_similarity(prefix, template, mode)``
+      for the sequence of types appended so far,
+    * ``peek(t)`` equals ``value()`` of a copy after ``append(t)``,
+    * past the template horizon (``position > length``) both are 0.0,
+      matching ``RewardFunction.interleaving_similarity``.
+    """
+
+    def __init__(
+        self,
+        template: InterleavingTemplate,
+        mode: SimilarityMode = SimilarityMode.AVERAGE,
+    ) -> None:
+        self.template = template
+        self.mode = mode
+        self._codes = template_codes(template)
+        self._length = self._codes.shape[1]
+        n_perms = self._codes.shape[0]
+        self._position = 0
+        self._matches = np.zeros(n_perms, dtype=np.int64)
+        self._best_run = np.zeros(n_perms, dtype=np.int64)
+        self._current_run = np.zeros(n_perms, dtype=np.int64)
+
+    @property
+    def position(self) -> int:
+        """Number of items appended so far (the prefix length ``k``)."""
+        return self._position
+
+    def reset(self) -> None:
+        """Clear all state for a fresh plan."""
+        self._position = 0
+        self._matches[:] = 0
+        self._best_run[:] = 0
+        self._current_run[:] = 0
+
+    def append(self, item_type: ItemType) -> None:
+        """Advance the state by one appended item of ``item_type``."""
+        k = self._position
+        self._position = k + 1
+        if k >= self._length:
+            # Beyond the template horizon template adherence is moot;
+            # only the position counter advances.
+            return
+        match = self._codes[:, k] == (
+            1 if item_type is ItemType.PRIMARY else 0
+        )
+        self._matches += match
+        self._current_run = np.where(match, self._current_run + 1, 0)
+        np.maximum(self._best_run, self._current_run, out=self._best_run)
+
+    def _aggregate(self, sims: np.ndarray) -> float:
+        # The sequential-sum mean mirrors aggregate_similarity() exactly
+        # (bit-for-bit), which the batch-vs-scalar equality tests pin.
+        if self.mode is SimilarityMode.AVERAGE:
+            total = 0.0
+            for value in sims.tolist():
+                total += value
+            return total / sims.shape[0]
+        if self.mode is SimilarityMode.MINIMUM:
+            return float(sims.min())
+        if self.mode is SimilarityMode.MAXIMUM:
+            return float(sims.max())
+        raise ConstraintError(f"unknown similarity mode: {self.mode!r}")
+
+    def value(self) -> float:
+        """Aggregated Eq. 6/7 similarity of the current prefix."""
+        k = self._position
+        if k == 0 or k > self._length:
+            return 0.0
+        return self._aggregate(self._best_run * self._matches / k)
+
+    def peek(self, item_type: ItemType) -> float:
+        """Aggregated similarity if one ``item_type`` item were appended.
+
+        Does not mutate state; O(|IT|).
+        """
+        k = self._position + 1
+        if k > self._length:
+            return 0.0
+        match = self._codes[:, self._position] == (
+            1 if item_type is ItemType.PRIMARY else 0
+        )
+        matches = self._matches + match
+        current = np.where(match, self._current_run + 1, 0)
+        best = np.maximum(self._best_run, current)
+        return self._aggregate(best * matches / k)
+
+    def peek_types(self) -> Tuple[float, float]:
+        """``(peek(PRIMARY), peek(SECONDARY))`` — all a batch step needs."""
+        return self.peek(ItemType.PRIMARY), self.peek(ItemType.SECONDARY)
 
 
 def similarity_profile(

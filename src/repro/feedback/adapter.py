@@ -16,7 +16,9 @@ course the student refused.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..core.items import Item
 from ..core.plan import PlanBuilder
@@ -103,6 +105,30 @@ class FeedbackAdjustedReward:
     def __call__(self, builder: PlanBuilder, item: Item) -> float:
         """Adjusted Equation-2 value."""
         return self.breakdown(builder, item).total
+
+    def reward_batch(
+        self, builder: PlanBuilder, candidates: Sequence[Item]
+    ) -> np.ndarray:
+        """Vectorized adjusted rewards (batched base + preference term).
+
+        Matches the per-item :meth:`__call__` exactly: the preference
+        bonus applies only to theta-gated-in actions and the adjusted
+        total is clamped at zero.
+        """
+        candidates = tuple(candidates)
+        theta, _sims, _weights, totals = self.base.batch_components(
+            builder, candidates
+        )
+        if not candidates:
+            return totals
+        preference = self.store.preference
+        prefs = np.fromiter(
+            (preference(item.item_id) for item in candidates),
+            dtype=np.float64,
+            count=len(candidates),
+        )
+        adjusted = np.maximum(0.0, totals + self.feedback_weight * prefs)
+        return np.where(theta, adjusted, totals)
 
     def mask_actions(self, builder: PlanBuilder, candidates) -> tuple:
         """Base tiered masking plus hard rejection of refused items."""

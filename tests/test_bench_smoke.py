@@ -1,0 +1,54 @@
+"""Smoke test: the reward-engine bench runs and reports sane numbers.
+
+The full benchmark (``make bench``) times |I| up to 500 and writes
+``BENCH_reward_engine.json``; here we only prove the harness works —
+tiny sizes, few repeats, temporary output — so a refactor that breaks
+the bench is caught by the ordinary test suite.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+BENCH_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "benchmarks"
+    / "bench_reward_engine.py"
+)
+
+
+def _load_bench():
+    spec = importlib.util.spec_from_file_location(
+        "bench_reward_engine", BENCH_PATH
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_bench_runs_and_scores_agree():
+    bench = _load_bench()
+    results = bench.run(sizes=(30,), repeats=2)
+    assert len(results) == 1
+    row = results[0]
+    assert row["num_items"] == 30
+    assert row["num_candidates"] > 0
+    assert row["scalar_step_us"] > 0.0
+    assert row["batch_step_us"] > 0.0
+    assert row["speedup"] > 0.0
+    # The table renderer accepts what run() produces.
+    assert "speedup" in bench.render(results)
+
+
+def test_bench_main_writes_json(tmp_path):
+    bench = _load_bench()
+    out = tmp_path / "bench.json"
+    bench.main(
+        ["--sizes", "25", "--repeats", "2", "--output", str(out)]
+    )
+    rows = json.loads(out.read_text())
+    assert rows and rows[0]["num_items"] == 25

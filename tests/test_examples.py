@@ -11,6 +11,8 @@ import sys
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
 
 

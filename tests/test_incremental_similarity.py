@@ -1,0 +1,149 @@
+"""Property tests: incremental similarity == the Eq. 6/7 reference.
+
+The :class:`~repro.core.similarity.IncrementalSimilarity` tracker is the
+heart of the batched reward engine: it maintains per-permutation match
+counts and longest runs so that extending a prefix by one item costs
+O(|IT|) instead of re-scanning the whole prefix.  These tests pin it
+bit-for-bit to :func:`~repro.core.similarity.aggregate_similarity` — the
+direct (re-scan) implementation — across random templates, prefixes and
+all three aggregation modes, including the paper's Section III-B-4
+worked example.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.constraints import InterleavingTemplate
+from repro.core.items import ItemType
+from repro.core.similarity import (
+    IncrementalSimilarity,
+    SimilarityMode,
+    aggregate_similarity,
+)
+
+P = ItemType.PRIMARY
+S = ItemType.SECONDARY
+
+MODES = (
+    SimilarityMode.AVERAGE,
+    SimilarityMode.MINIMUM,
+    SimilarityMode.MAXIMUM,
+)
+
+
+def _random_case(rng: random.Random):
+    """One random (template, prefix) pair; prefixes may exceed |IT|."""
+    length = rng.randint(1, 10)
+    num_perms = rng.randint(1, 6)
+    template = InterleavingTemplate.from_labels(
+        [
+            [rng.choice("PS") for _ in range(length)]
+            for _ in range(num_perms)
+        ]
+    )
+    prefix = [
+        rng.choice((P, S)) for _ in range(rng.randint(1, length + 2))
+    ]
+    return template, prefix
+
+
+@pytest.fixture(scope="module")
+def example1_template():
+    """The Section II-B-1 template of the paper's worked example."""
+    return InterleavingTemplate.from_labels(
+        [
+            ["P", "P", "S", "P", "S", "S"],
+            ["P", "S", "S", "S", "P", "P"],
+            ["P", "S", "S", "P", "P", "S"],
+        ]
+    )
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize("mode", MODES, ids=lambda m: m.value)
+    def test_matches_aggregate_similarity_on_random_prefixes(self, mode):
+        """200 random (template, prefix) pairs agree exactly per append."""
+        rng = random.Random(20260805 + hash(mode.value) % 1000)
+        for _ in range(200):
+            template, prefix = _random_case(rng)
+            state = IncrementalSimilarity(template, mode)
+            for k in range(1, len(prefix) + 1):
+                state.append(prefix[k - 1])
+                if k > template.length:
+                    # Past the template the Eq. 6 ratio is undefined;
+                    # the tracker reports 0.0 (the reward never asks).
+                    assert state.value() == 0.0
+                else:
+                    expected = aggregate_similarity(
+                        prefix[:k], template, mode
+                    )
+                    assert state.value() == expected
+
+    @pytest.mark.parametrize("mode", MODES, ids=lambda m: m.value)
+    def test_peek_equals_append_without_mutation(self, mode):
+        """peek(t) == value-after-append(t), and peek never mutates."""
+        rng = random.Random(42)
+        for _ in range(50):
+            template, prefix = _random_case(rng)
+            state = IncrementalSimilarity(template, mode)
+            for item_type in prefix:
+                for probe in (P, S):
+                    fresh = IncrementalSimilarity(template, mode)
+                    for prior in prefix[: state.position]:
+                        fresh.append(prior)
+                    fresh.append(probe)
+                    assert state.peek(probe) == fresh.value()
+                before = state.position
+                peek_p, peek_s = state.peek_types()
+                assert state.position == before
+                state.append(item_type)
+                expected = peek_p if item_type is P else peek_s
+                assert state.value() == expected
+
+
+class TestWorkedExample:
+    def test_paper_section_iii_b_4(self, example1_template):
+        """Prefix [P, S, P, P]: Sim = (0.5, 1, 1.5) => AvgSim = 1."""
+        state = IncrementalSimilarity(
+            example1_template, SimilarityMode.AVERAGE
+        )
+        for item_type in (P, S, P, P):
+            state.append(item_type)
+        assert state.value() == 1.0
+        minimum = IncrementalSimilarity(
+            example1_template, SimilarityMode.MINIMUM
+        )
+        maximum = IncrementalSimilarity(
+            example1_template, SimilarityMode.MAXIMUM
+        )
+        for item_type in (P, S, P, P):
+            minimum.append(item_type)
+            maximum.append(item_type)
+        assert minimum.value() == 0.5
+        assert maximum.value() == 1.5
+
+
+class TestLifecycle:
+    def test_reset_restarts_the_prefix(self, example1_template):
+        state = IncrementalSimilarity(
+            example1_template, SimilarityMode.AVERAGE
+        )
+        for item_type in (P, S, P, P):
+            state.append(item_type)
+        state.reset()
+        assert state.position == 0
+        assert state.value() == 0.0
+        state.append(P)
+        assert state.value() == aggregate_similarity(
+            [P], example1_template, SimilarityMode.AVERAGE
+        )
+
+    def test_empty_prefix_scores_zero(self, example1_template):
+        state = IncrementalSimilarity(
+            example1_template, SimilarityMode.AVERAGE
+        )
+        assert state.position == 0
+        assert state.value() == 0.0

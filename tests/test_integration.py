@@ -12,6 +12,8 @@ from repro.baselines import EDAPlanner, OmegaPlanner
 from repro.core.validation import PlanValidator
 from repro.datasets import load
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.mark.parametrize(
     "key,episodes",

@@ -67,6 +67,7 @@ class TestValidation:
             generate_instance(**overrides)
 
 
+@pytest.mark.slow
 class TestPlannability:
     @given(st.integers(min_value=0, max_value=5))
     @settings(max_examples=5, deadline=None)
