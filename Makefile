@@ -5,7 +5,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test test-fast bench bench-paper
+.PHONY: test test-fast lint bench bench-runner bench-paper
 
 ## Full tier-1 suite (everything under tests/).
 test:
@@ -15,9 +15,17 @@ test:
 test-fast:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -m "not slow"
 
+## Static checks (ruff: syntax errors + pyflakes).  `pip install -e .[lint]`.
+lint:
+	$(PYTHON) -m ruff check src tests benchmarks
+
 ## Reward-engine micro-benchmark -> BENCH_reward_engine.json.
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_reward_engine.py
+
+## Parallel-runner benchmark (serial vs workers) -> BENCH_runner.json.
+bench-runner:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_runner.py
 
 ## Paper tables/figures (pytest-benchmark harness; slow).
 bench-paper:

@@ -1,0 +1,144 @@
+"""Benchmark of the parallel experiment runner (repro.runner).
+
+Times the Figure-1 comparison protocol on the synthetic dataset twice —
+serial (``workers=1``) and fanned across a process pool — asserts the
+two produce *identical* scores (seeds are fixed before dispatch, so the
+worker count can only change wall-clock), and exercises the
+checkpoint/resume path, asserting kill-and-resume training is
+byte-identical to an uninterrupted run.  Results land in
+``BENCH_runner.json`` at the repo root.
+
+Speedup is bounded by the CPUs actually available (``cpu_count`` is
+recorded alongside): on a multi-core box ``--workers 4`` approaches 4x;
+on a single-core container the pool adds overhead and the number shows
+it — the equality assertions are the part that must hold everywhere.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_runner.py
+
+or with custom sizing::
+
+    PYTHONPATH=src python benchmarks/bench_runner.py \
+        --runs 8 --episodes 200 --workers 4 --output BENCH_runner.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import tempfile
+import time
+from typing import Dict
+
+from repro.analysis import compare_planners
+from repro.datasets import load_synthetic
+from repro.runner import POLICY_NAME, RECOMMENDATION_NAME, resume_training, run_training
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_runner.json"
+
+
+def bench_parallel_compare(
+    dataset, runs: int, episodes: int, workers: int
+) -> Dict[str, object]:
+    """Serial vs parallel comparison protocol on one dataset."""
+    t0 = time.perf_counter()
+    serial = compare_planners(
+        dataset, runs=runs, episodes=episodes, workers=1
+    )
+    serial_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = compare_planners(
+        dataset, runs=runs, episodes=episodes, workers=workers
+    )
+    parallel_seconds = time.perf_counter() - t0
+
+    scores_equal = serial == parallel
+    assert scores_equal, (
+        "parallel scores diverged from serial:\n"
+        f"  serial:   {serial}\n  parallel: {parallel}"
+    )
+    return {
+        "dataset": dataset.key,
+        "runs": runs,
+        "episodes": episodes,
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": serial_seconds / parallel_seconds,
+        "scores_equal": bool(scores_equal),
+        "rl_mean": serial.rl_planner.mean,
+        "eda_mean": serial.eda.mean,
+        "omega_mean": serial.omega.mean,
+    }
+
+
+def bench_checkpoint_resume(dataset, episodes: int) -> Dict[str, object]:
+    """Uninterrupted vs killed-and-resumed training, byte-compared."""
+    every = max(10, episodes // 4)
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = pathlib.Path(tmp)
+        t0 = time.perf_counter()
+        run_training(
+            dataset, tmp / "straight", episodes=episodes,
+            checkpoint_every=every,
+        )
+        straight_seconds = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        run_training(
+            dataset, tmp / "resumed", episodes=episodes,
+            checkpoint_every=every, limit_episodes=episodes // 2,
+        )
+        resume_training(tmp / "resumed")
+        resumed_seconds = time.perf_counter() - t0
+
+        identical = all(
+            (tmp / "straight" / name).read_text()
+            == (tmp / "resumed" / name).read_text()
+            for name in (POLICY_NAME, RECOMMENDATION_NAME)
+        )
+    assert identical, "kill-and-resume did not reproduce the policy"
+    return {
+        "dataset": dataset.key,
+        "episodes": episodes,
+        "checkpoint_every": every,
+        "straight_seconds": straight_seconds,
+        "interrupted_plus_resume_seconds": resumed_seconds,
+        "bit_identical": bool(identical),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--runs", type=int, default=8)
+    parser.add_argument("--episodes", type=int, default=150)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument(
+        "--output", type=pathlib.Path, default=DEFAULT_OUTPUT
+    )
+    args = parser.parse_args(argv)
+
+    dataset = load_synthetic(seed=0)
+    results = {
+        "bench": "parallel_runner",
+        "parallel_compare": bench_parallel_compare(
+            dataset, args.runs, args.episodes, args.workers
+        ),
+        "checkpoint_resume": bench_checkpoint_resume(
+            dataset, args.episodes
+        ),
+    }
+    args.output.write_text(json.dumps(results, indent=2) + "\n")
+    print(json.dumps(results, indent=2))
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..baselines import EDAPlanner, OmegaPlanner
+from ..core.exceptions import PlanningError
 from ..core.planner import RLPlanner
 from ..core.plan import Plan
 from ..core.scoring import PlanScore
@@ -50,65 +50,102 @@ def compare_planners(
     dataset: Dataset,
     runs: int = 10,
     episodes: Optional[int] = None,
+    workers: int = 1,
+    root_seed: Optional[int] = None,
+    out_dir=None,
 ) -> ComparisonResult:
     """Average scores of RL-Planner, EDA, OMEGA, and gold over ``runs``.
 
     Each run re-seeds the planners (the paper presents averages over 10
     runs); the dataset itself is fixed so all systems see the same
-    catalog and task.
+    catalog and task.  Runs are embarrassingly parallel: ``workers > 1``
+    fans them across a process pool via :mod:`repro.runner` with scores
+    identical to the serial path (seeds are fixed before dispatch).
+
+    ``root_seed=None`` keeps the paper's run-index seeding; an integer
+    derives ``SeedSequence`` child seeds from it instead (statistically
+    independent runs).  ``out_dir`` additionally writes a run manifest
+    and a per-episode JSONL metrics stream.
     """
-    rl_scores: List[float] = []
-    eda_scores: List[float] = []
-    omega_scores: List[float] = []
-    valid = 0
+    from ..runner import (
+        ExperimentRunner,
+        RunManifest,
+        RunSpec,
+        child_seeds,
+        execute_spec,
+        prime_dataset_cache,
+        write_batch_artifacts,
+    )
 
-    for run in range(runs):
-        config = dataset.default_config.replace(seed=run)
-        planner = RLPlanner(
-            dataset.catalog, dataset.task, config, mode=dataset.mode
+    dataset_seed = int(dataset.default_config.seed or 0)
+    prime_dataset_cache(dataset, dataset_seed)
+    if root_seed is None:
+        seeds = list(range(runs))
+    else:
+        seeds = child_seeds(root_seed, runs)
+    specs = [
+        RunSpec(
+            kind="compare_run",
+            dataset_key=dataset.key,
+            dataset_seed=dataset_seed,
+            seed=seed,
+            index=run,
+            params={
+                "episodes": episodes,
+                "collect_stats": out_dir is not None,
+            },
         )
-        planner.fit(
-            start_item_ids=[dataset.default_start], episodes=episodes
+        for run, seed in enumerate(seeds)
+    ]
+    runner = ExperimentRunner(workers=workers)
+    results = runner.map(execute_spec, specs, keys=[s.key for s in specs])
+    failures = [r for r in results if not r.ok]
+    if failures:
+        detail = "; ".join(
+            f"{r.key}: {(r.error or '').splitlines()[-1]}" for r in failures
         )
-        _, score = planner.recommend_scored(dataset.default_start)
-        rl_scores.append(score.value)
-        valid += score.is_valid
-
-        eda = EDAPlanner(
-            dataset.catalog, dataset.task, config, mode=dataset.mode,
-            seed=run,
-        )
-        eda_scores.append(
-            planner.score(eda.recommend(dataset.default_start)).value
-        )
-
-        omega = OmegaPlanner(
-            dataset.catalog,
-            dataset.task,
-            mode=dataset.mode,
-            histories=dataset.itineraries or None,
-            seed=run,
-        )
-        omega_scores.append(
-            planner.score(omega.recommend(dataset.default_start)).value
+        raise PlanningError(
+            f"{len(failures)}/{runs} comparison runs failed: {detail}"
         )
 
     gold = 0.0
     if dataset.gold_plan is not None:
+        # Score gold under the same seeded config as run 0's planners so
+        # all four bars come from identically configured scorers.
         scorer = RLPlanner(
-            dataset.catalog, dataset.task, dataset.default_config,
+            dataset.catalog,
+            dataset.task,
+            dataset.default_config.replace(seed=seeds[0] if seeds else 0),
             mode=dataset.mode,
         ).scorer
         gold = scorer.score(dataset.gold_plan).value
 
-    return ComparisonResult(
+    comparison = ComparisonResult(
         dataset=dataset.key,
-        rl_planner=summarize(rl_scores),
-        eda=summarize(eda_scores),
-        omega=summarize(omega_scores),
+        rl_planner=summarize([r.value["rl"] for r in results]),
+        eda=summarize([r.value["eda"] for r in results]),
+        omega=summarize([r.value["omega"] for r in results]),
         gold=gold,
-        rl_validity=valid / runs,
+        rl_validity=sum(r.value["rl_valid"] for r in results) / runs,
     )
+    if out_dir is not None:
+        manifest = RunManifest(
+            protocol="compare",
+            dataset=dataset.key,
+            dataset_seed=dataset_seed,
+            root_seed=root_seed,
+            workers=workers,
+            status="complete",
+            result={
+                "rl_mean": comparison.rl_planner.mean,
+                "eda_mean": comparison.eda.mean,
+                "omega_mean": comparison.omega.mean,
+                "gold": gold,
+                "rl_validity": comparison.rl_validity,
+            },
+        )
+        write_batch_artifacts(out_dir, manifest, results)
+    return comparison
 
 
 @dataclass(frozen=True)

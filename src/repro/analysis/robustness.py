@@ -9,14 +9,19 @@ under both similarity aggregations and (where applicable) for EDA.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..baselines import EDAPlanner
 from ..core.config import PlannerConfig, RewardWeights
-from ..core.planner import RLPlanner
+from ..core.exceptions import PlanningError
 from ..core.similarity import SimilarityMode
 from ..datasets import Dataset
 from ..domains.trips import build_trip_task
+from ..runner import (
+    ExperimentRunner,
+    RunSpec,
+    execute_spec,
+    prime_dataset_cache,
+)
 from .stats import summarize
 
 
@@ -78,11 +83,79 @@ class SweepRunner:
     """
 
     def __init__(
-        self, dataset: Dataset, runs: int = 3, episodes: Optional[int] = None
+        self,
+        dataset: Dataset,
+        runs: int = 3,
+        episodes: Optional[int] = None,
+        workers: int = 1,
     ) -> None:
         self.dataset = dataset
         self.runs = runs
         self.episodes = episodes
+        self.workers = workers
+        self._dataset_seed = int(dataset.default_config.seed or 0)
+        prime_dataset_cache(dataset, self._dataset_seed)
+
+    # ------------------------------------------------------------------
+    # Spec plumbing
+    # ------------------------------------------------------------------
+
+    def _rl_spec(
+        self,
+        index: int,
+        run: int,
+        config: PlannerConfig,
+        task=None,
+        episodes: Optional[int] = None,
+        start: Optional[str] = None,
+    ) -> RunSpec:
+        params = {
+            "config": config.replace(seed=run),
+            "episodes": episodes if episodes is not None else self.episodes,
+        }
+        if task is not None:
+            params["task"] = task
+        if start is not None:
+            params["start"] = start
+        return RunSpec(
+            kind="rl_score",
+            dataset_key=self.dataset.key,
+            dataset_seed=self._dataset_seed,
+            seed=run,
+            index=index,
+            params=params,
+        )
+
+    def _eda_spec(
+        self, index: int, run: int, config: PlannerConfig, task=None
+    ) -> RunSpec:
+        params = {"config": config.replace(seed=run)}
+        if task is not None:
+            params["task"] = task
+        return RunSpec(
+            kind="eda_score",
+            dataset_key=self.dataset.key,
+            dataset_seed=self._dataset_seed,
+            seed=run,
+            index=index,
+            params=params,
+        )
+
+    def _execute(self, specs: List[RunSpec]):
+        runner = ExperimentRunner(workers=self.workers)
+        results = runner.map(
+            execute_spec, specs, keys=[s.key for s in specs]
+        )
+        failures = [r for r in results if not r.ok]
+        if failures:
+            detail = "; ".join(
+                f"{r.key}: {(r.error or '').splitlines()[-1]}"
+                for r in failures
+            )
+            raise PlanningError(
+                f"{len(failures)}/{len(specs)} sweep tasks failed: {detail}"
+            )
+        return results
 
     # ------------------------------------------------------------------
     # Scoring one configuration
@@ -95,41 +168,21 @@ class SweepRunner:
         episodes: Optional[int] = None,
     ) -> float:
         """Mean RL-Planner score over ``runs`` for one configuration."""
-        task = task if task is not None else self.dataset.task
-        scores = []
-        for run in range(self.runs):
-            planner = RLPlanner(
-                self.dataset.catalog,
-                task,
-                config.replace(seed=run),
-                mode=self.dataset.mode,
-            )
-            planner.fit(
-                start_item_ids=[self.dataset.default_start],
-                episodes=episodes if episodes is not None else self.episodes,
-            )
-            _, score = planner.recommend_scored(self.dataset.default_start)
-            scores.append(score.value)
-        return summarize(scores).mean
+        specs = [
+            self._rl_spec(run, run, config, task=task, episodes=episodes)
+            for run in range(self.runs)
+        ]
+        results = self._execute(specs)
+        return summarize([r.value["score"] for r in results]).mean
 
     def score_eda(self, config: PlannerConfig, task=None) -> float:
         """Mean EDA score over ``runs`` for one configuration."""
-        task = task if task is not None else self.dataset.task
-        scorer = RLPlanner(
-            self.dataset.catalog, task, config, mode=self.dataset.mode
-        ).scorer
-        scores = []
-        for run in range(self.runs):
-            eda = EDAPlanner(
-                self.dataset.catalog,
-                task,
-                config.replace(seed=run),
-                mode=self.dataset.mode,
-                seed=run,
-            )
-            plan = eda.recommend(self.dataset.default_start)
-            scores.append(scorer.score(plan).value)
-        return summarize(scores).mean
+        specs = [
+            self._eda_spec(run, run, config, task=task)
+            for run in range(self.runs)
+        ]
+        results = self._execute(specs)
+        return summarize([r.value["score"] for r in results]).mean
 
     # ------------------------------------------------------------------
     # Generic sweep machinery
@@ -143,28 +196,46 @@ class SweepRunner:
         eda_sensitive: bool,
         episodes_from_value: bool = False,
     ) -> SweepResult:
+        # Every (value, series, run) leg becomes one spec so the whole
+        # sweep fans across the pool at once, not one point at a time.
         base = self.dataset.default_config
-        points: List[SweepPoint] = []
-        for value in values:
+        specs: List[RunSpec] = []
+        slots: List[Tuple[int, str]] = []
+        for vi, value in enumerate(values):
             episodes = int(value) if episodes_from_value else None
-            avg_cfg = make_config(base, value).replace(
-                similarity=SimilarityMode.AVERAGE
-            )
-            min_cfg = make_config(base, value).replace(
-                similarity=SimilarityMode.MINIMUM
-            )
-            eda_score = None
+            for series, sim in (
+                ("avg", SimilarityMode.AVERAGE),
+                ("min", SimilarityMode.MINIMUM),
+            ):
+                cfg = make_config(base, value).replace(similarity=sim)
+                for run in range(self.runs):
+                    specs.append(
+                        self._rl_spec(len(specs), run, cfg, episodes=episodes)
+                    )
+                    slots.append((vi, series))
             if eda_sensitive:
-                eda_score = self.score_eda(make_config(base, value))
-            points.append(
-                SweepPoint(
-                    parameter=parameter,
-                    value=value,
-                    rl_avg_sim=self.score_config(avg_cfg, episodes=episodes),
-                    rl_min_sim=self.score_config(min_cfg, episodes=episodes),
-                    eda=eda_score,
-                )
+                cfg = make_config(base, value)
+                for run in range(self.runs):
+                    specs.append(self._eda_spec(len(specs), run, cfg))
+                    slots.append((vi, "eda"))
+        results = self._execute(specs)
+        buckets: Dict[Tuple[int, str], List[float]] = {}
+        for slot, result in zip(slots, results):
+            buckets.setdefault(slot, []).append(result.value["score"])
+        points = [
+            SweepPoint(
+                parameter=parameter,
+                value=value,
+                rl_avg_sim=summarize(buckets[(vi, "avg")]).mean,
+                rl_min_sim=summarize(buckets[(vi, "min")]).mean,
+                eda=(
+                    summarize(buckets[(vi, "eda")]).mean
+                    if eda_sensitive
+                    else None
+                ),
             )
+            for vi, value in enumerate(values)
+        ]
         return SweepResult(
             dataset=self.dataset.key,
             parameter=parameter,
@@ -255,34 +326,33 @@ class SweepRunner:
     ) -> SweepResult:
         """Vary s1 (the recommendation starting item)."""
         base = self.dataset.default_config
-        points: List[SweepPoint] = []
-        for start in values:
-            avg_scores, min_scores = [], []
-            for run in range(self.runs):
-                for mode_scores, sim in (
-                    (avg_scores, SimilarityMode.AVERAGE),
-                    (min_scores, SimilarityMode.MINIMUM),
-                ):
-                    planner = RLPlanner(
-                        self.dataset.catalog,
-                        self.dataset.task,
-                        base.replace(seed=run, similarity=sim),
-                        mode=self.dataset.mode,
+        specs: List[RunSpec] = []
+        slots: List[Tuple[int, str]] = []
+        for si, start in enumerate(values):
+            for series, sim in (
+                ("avg", SimilarityMode.AVERAGE),
+                ("min", SimilarityMode.MINIMUM),
+            ):
+                cfg = base.replace(similarity=sim)
+                for run in range(self.runs):
+                    specs.append(
+                        self._rl_spec(len(specs), run, cfg, start=start)
                     )
-                    planner.fit(
-                        start_item_ids=[start], episodes=self.episodes
-                    )
-                    _, score = planner.recommend_scored(start)
-                    mode_scores.append(score.value)
-            points.append(
-                SweepPoint(
-                    parameter="start",
-                    value=start,
-                    rl_avg_sim=summarize(avg_scores).mean,
-                    rl_min_sim=summarize(min_scores).mean,
-                    eda=None,
-                )
+                    slots.append((si, series))
+        results = self._execute(specs)
+        buckets: Dict[Tuple[int, str], List[float]] = {}
+        for slot, result in zip(slots, results):
+            buckets.setdefault(slot, []).append(result.value["score"])
+        points = [
+            SweepPoint(
+                parameter="start",
+                value=start,
+                rl_avg_sim=summarize(buckets[(si, "avg")]).mean,
+                rl_min_sim=summarize(buckets[(si, "min")]).mean,
+                eda=None,
             )
+            for si, start in enumerate(values)
+        ]
         return SweepResult(
             dataset=self.dataset.key, parameter="start", points=tuple(points)
         )

@@ -8,12 +8,17 @@ regardless of how long training ran.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
-from ..core.planner import RLPlanner
+from ..core.exceptions import PlanningError
 from ..datasets import Dataset
+from ..runner import (
+    ExperimentRunner,
+    RunSpec,
+    execute_spec,
+    prime_dataset_cache,
+)
 from .stats import linear_fit, pearson_r
 
 
@@ -68,30 +73,47 @@ def measure_scalability(
     episode_grid: Sequence[int] = (100, 200, 300, 500, 1000),
     seed: int = 0,
     recommend_repeats: int = 5,
+    workers: int = 1,
 ) -> ScalabilityResult:
-    """Time learning and recommendation across an episode grid."""
-    points: List[TimingPoint] = []
-    for episodes in episode_grid:
-        config = dataset.default_config.replace(seed=seed)
-        planner = RLPlanner(
-            dataset.catalog, dataset.task, config, mode=dataset.mode
-        )
-        t0 = time.perf_counter()
-        planner.fit(
-            start_item_ids=[dataset.default_start], episodes=episodes
-        )
-        learn_seconds = time.perf_counter() - t0
+    """Time learning and recommendation across an episode grid.
 
-        t0 = time.perf_counter()
-        for _ in range(recommend_repeats):
-            planner.recommend(dataset.default_start)
-        recommend_seconds = (time.perf_counter() - t0) / recommend_repeats
-
-        points.append(
-            TimingPoint(
-                episodes=int(episodes),
-                learn_seconds=learn_seconds,
-                recommend_seconds=recommend_seconds,
-            )
+    Each grid point is one :class:`RunSpec`; ``workers > 1`` measures
+    the points concurrently.  Timings are wall-clock and therefore noisy
+    under contention — use parallel mode for smoke runs, serial mode for
+    publication-quality numbers.
+    """
+    dataset_seed = int(dataset.default_config.seed or 0)
+    prime_dataset_cache(dataset, dataset_seed)
+    specs = [
+        RunSpec(
+            kind="timing",
+            dataset_key=dataset.key,
+            dataset_seed=dataset_seed,
+            seed=seed,
+            index=index,
+            params={
+                "episodes": int(episodes),
+                "recommend_repeats": recommend_repeats,
+            },
         )
+        for index, episodes in enumerate(episode_grid)
+    ]
+    runner = ExperimentRunner(workers=workers)
+    results = runner.map(execute_spec, specs, keys=[s.key for s in specs])
+    failures = [r for r in results if not r.ok]
+    if failures:
+        detail = "; ".join(
+            f"{r.key}: {(r.error or '').splitlines()[-1]}" for r in failures
+        )
+        raise PlanningError(
+            f"{len(failures)}/{len(specs)} timing tasks failed: {detail}"
+        )
+    points = [
+        TimingPoint(
+            episodes=int(r.value["episodes"]),
+            learn_seconds=float(r.value["learn_seconds"]),
+            recommend_seconds=float(r.value["recommend_seconds"]),
+        )
+        for r in results
+    ]
     return ScalabilityResult(dataset=dataset.key, points=tuple(points))

@@ -6,6 +6,10 @@ plan        Train RL-Planner on a dataset and print a recommended plan.
 compare     Figure-1 style comparison (RL-Planner / EDA / OMEGA / gold).
 transfer    Learn on one dataset, apply the policy to another.
 datasets    List available datasets with their statistics.
+run         Drive an experiment protocol through the checkpointable
+            parallel runner (``--workers N``; training runs checkpoint
+            to ``--out`` and are resumable).
+resume      Continue an interrupted ``run --protocol train`` run.
 """
 
 from __future__ import annotations
@@ -78,7 +82,9 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     dataset = load(args.dataset, seed=args.seed)
-    result = compare_planners(dataset, runs=args.runs)
+    result = compare_planners(
+        dataset, runs=args.runs, workers=args.workers
+    )
     print(
         render_table(
             ["system", "mean score"],
@@ -102,6 +108,97 @@ def _cmd_transfer(args: argparse.Namespace) -> int:
     print(f"score      : {outcome.score.value:.2f}")
     print(f"Q coverage : {outcome.entry_coverage:.0%}")
     return 0
+
+
+def _print_training(outcome) -> int:
+    print(f"run dir  : {outcome.run_dir}")
+    print(f"episodes : {outcome.completed_episodes}")
+    print(f"status   : {outcome.manifest.status}")
+    if outcome.complete and outcome.plan_item_ids:
+        print(f"plan     : {' -> '.join(outcome.plan_item_ids)}")
+        print(f"score    : {outcome.score:.2f}")
+    elif not outcome.complete:
+        print("resume with: rl-planner resume " + str(outcome.run_dir))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .runner import run_training
+
+    dataset = load(
+        args.dataset, seed=args.seed, with_gold=args.protocol == "compare"
+    )
+    if args.protocol == "train":
+        if not args.out:
+            print("run --protocol train requires --out RUN_DIR",
+                  file=sys.stderr)
+            return 2
+        # Target episodes flow through the manifest, NOT the config:
+        # resume reconstructs the config from dataset defaults + seed,
+        # and the checkpoint fingerprint must match it exactly.
+        config = dataset.default_config.replace(seed=args.seed)
+        outcome = run_training(
+            dataset,
+            args.out,
+            episodes=args.episodes,
+            checkpoint_every=args.checkpoint_every,
+            limit_episodes=args.limit_episodes,
+            config=config,
+        )
+        return _print_training(outcome)
+
+    if args.protocol == "compare":
+        result = compare_planners(
+            dataset,
+            runs=args.runs,
+            episodes=args.episodes,
+            workers=args.workers,
+            root_seed=args.root_seed,
+            out_dir=args.out,
+        )
+        print(
+            render_table(
+                ["system", "mean score"],
+                result.as_rows(),
+                title=f"Figure-1 comparison on {dataset.name} "
+                f"({args.runs} runs, {args.workers} workers)",
+            )
+        )
+        print(
+            "RL-Planner hard-constraint validity: "
+            f"{result.rl_validity:.0%}"
+        )
+        if args.out:
+            print(f"artifacts: {args.out}")
+        return 0
+
+    # scalability
+    from .analysis import measure_scalability
+
+    result = measure_scalability(
+        dataset, seed=args.seed, workers=args.workers
+    )
+    rows = [
+        [p.episodes, f"{p.learn_seconds:.3f}", f"{p.recommend_seconds:.4f}"]
+        for p in result.points
+    ]
+    print(
+        render_table(
+            ["episodes", "learn s", "recommend s"],
+            rows,
+            title=f"Figure-2 timings on {dataset.name}",
+        )
+    )
+    return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    from .runner import resume_training
+
+    outcome = resume_training(
+        args.run_dir, limit_episodes=args.limit_episodes
+    )
+    return _print_training(outcome)
 
 
 def _cmd_diagnose(args: argparse.Namespace) -> int:
@@ -150,7 +247,54 @@ def build_parser() -> argparse.ArgumentParser:
     compare = sub.add_parser("compare", help="Figure-1 comparison")
     _add_dataset_arg(compare)
     compare.add_argument("--runs", type=int, default=5)
+    compare.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool size (scores identical to serial)",
+    )
     compare.set_defaults(func=_cmd_compare)
+
+    run = sub.add_parser(
+        "run", help="run a protocol through the parallel runner"
+    )
+    _add_dataset_arg(run)
+    run.add_argument(
+        "--protocol",
+        choices=("train", "compare", "scalability"),
+        default="compare",
+    )
+    run.add_argument(
+        "--workers", type=int, default=1, help="process-pool size"
+    )
+    run.add_argument("--runs", type=int, default=5)
+    run.add_argument("--episodes", type=int, help="override N")
+    run.add_argument(
+        "--checkpoint-every", type=int, default=50,
+        help="training checkpoint interval (episodes)",
+    )
+    run.add_argument(
+        "--limit-episodes", type=int,
+        help="stop this training session early (resume later)",
+    )
+    run.add_argument(
+        "--root-seed", type=int,
+        help="derive run seeds from a SeedSequence instead of run indices",
+    )
+    run.add_argument(
+        "--out",
+        help="run directory (manifest + episode metrics; required for "
+        "--protocol train)",
+    )
+    run.set_defaults(func=_cmd_run)
+
+    resume = sub.add_parser(
+        "resume", help="continue an interrupted training run"
+    )
+    resume.add_argument("run_dir", help="directory of the interrupted run")
+    resume.add_argument(
+        "--limit-episodes", type=int,
+        help="cap this session too (checkpoint again and exit)",
+    )
+    resume.set_defaults(func=_cmd_resume)
 
     transfer = sub.add_parser("transfer", help="transfer-learning case")
     _add_dataset_arg(transfer)

@@ -41,6 +41,12 @@ class DomainMode(enum.Enum):
         return self.value
 
 
+#: Absolute tolerance for trip-mode budget comparisons.  Visit times are
+#: sums of floats, so an item whose cost lands within this band of the
+#: remaining budget still counts as affordable.
+BUDGET_TOLERANCE = 1e-9
+
+
 class TPPEnvironment:
     """Episodic environment for one (catalog, task) pair.
 
@@ -110,18 +116,27 @@ class TPPEnvironment:
         """
         builder = self.builder
         if self.mode is DomainMode.TRIP:
-            remaining_idx = builder.remaining_indices()
-            budget_left = self.task.hard.min_credits - builder.total_credits
-            credits = self.catalog.columns.credits[remaining_idx]
-            remaining_idx = remaining_idx[credits <= budget_left + 1e-9]
             remaining = tuple(
-                self.catalog.item_at(int(i)) for i in remaining_idx
+                self.catalog.item_at(int(i))
+                for i in self._affordable_indices(builder)
             )
         else:
             remaining = builder.remaining_items()
         if self.config.mask_invalid_actions:
             return self.reward.mask_actions(builder, remaining)
         return remaining
+
+    def _affordable_indices(self, builder: PlanBuilder):
+        """Unvisited catalog indices whose visit time fits the budget.
+
+        The single trip-mode feasibility rule — shared by
+        :meth:`valid_actions` and :meth:`is_done` so the two can never
+        disagree about whether any affordable item remains.
+        """
+        remaining_idx = builder.remaining_indices()
+        budget_left = self.task.hard.min_credits - builder.total_credits
+        credits = self.catalog.columns.credits[remaining_idx]
+        return remaining_idx[credits <= budget_left + BUDGET_TOLERANCE]
 
     def step(self, item: Item) -> Tuple[float, bool]:
         """Take the action that appends ``item``; return (reward, done)."""
@@ -140,10 +155,7 @@ class TPPEnvironment:
         if len(builder) >= self.horizon:
             return True
         if self.mode is DomainMode.TRIP:
-            budget_left = self.task.hard.min_credits - builder.total_credits
-            remaining_idx = builder.remaining_indices()
-            credits = self.catalog.columns.credits[remaining_idx]
-            if not bool((credits <= budget_left + 1e-9).any()):
+            if self._affordable_indices(builder).size == 0:
                 return True
         return len(builder) >= len(self.catalog)
 

@@ -31,7 +31,11 @@ class QTable:
         self.catalog = catalog
         n = len(catalog)
         self._values = np.full((n, n), float(initial_value), dtype=np.float64)
+        self._touched = np.zeros((n, n), dtype=bool)
         self._updates = 0
+        #: Entries dropped by the most recent :meth:`from_entries` load
+        #: because their ids were absent from the catalog.
+        self.skipped_on_load = 0
 
     # ------------------------------------------------------------------
     # Access
@@ -46,6 +50,18 @@ class QTable:
     def update_count(self) -> int:
         """Number of TD updates applied (learning-progress metric)."""
         return self._updates
+
+    @update_count.setter
+    def update_count(self, count: int) -> None:
+        """Restore the update counter (deserialization / transfer).
+
+        The counter marks a table as "trained" to the recommender, so
+        restoring it is part of the persistence contract rather than a
+        private poke.
+        """
+        if count < 0:
+            raise PlanningError("update_count must be >= 0")
+        self._updates = int(count)
 
     @property
     def values(self) -> np.ndarray:
@@ -63,6 +79,7 @@ class QTable:
         s = self.catalog.index_of(state_id)
         e = self.catalog.index_of(action_id)
         self._values[s, e] = value
+        self._touched[s, e] = True
 
     def td_update(
         self,
@@ -75,6 +92,7 @@ class QTable:
         old = self._values[state_idx, action_idx]
         new = old + learning_rate * (target - old)
         self._values[state_idx, action_idx] = new
+        self._touched[state_idx, action_idx] = True
         self._updates += 1
         return float(new)
 
@@ -91,7 +109,10 @@ class QTable:
         """Argmax over allowed actions from ``state_id``.
 
         Ties are broken uniformly at random when ``rng`` is given, else
-        by catalog order (deterministic).
+        deterministically by ``allowed_ids`` order (the first tied entry
+        of the sequence wins).  NaN Q-values never win: they are treated
+        as minus infinity, and if *every* allowed value is NaN the tie is
+        broken over the whole allowed set instead of raising.
         """
         if not allowed_ids:
             raise PlanningError(
@@ -104,10 +125,16 @@ class QTable:
             count=len(allowed_ids),
         )
         row = self._values[s, indices]
-        best = row.max()
-        winners = [
-            allowed_ids[i] for i in range(len(allowed_ids)) if row[i] >= best
-        ]
+        finite = row[~np.isnan(row)]
+        if finite.size == 0:
+            winners = list(allowed_ids)
+        else:
+            best = finite.max()
+            winners = [
+                allowed_ids[i]
+                for i in range(len(allowed_ids))
+                if row[i] >= best
+            ]
         if rng is not None and len(winners) > 1:
             return winners[int(rng.integers(len(winners)))]
         return winners[0]
@@ -127,14 +154,21 @@ class QTable:
     # ------------------------------------------------------------------
 
     def to_entries(self) -> Dict[Tuple[str, str], float]:
-        """Sparse dict of the non-zero entries, keyed by item-id pairs.
+        """Sparse dict of the learned entries, keyed by item-id pairs.
 
-        Used by transfer learning to re-key values onto another catalog
-        and by tests to snapshot learned policies.
+        An entry is *learned* when it was ever written through
+        :meth:`set` or :meth:`td_update`, or when its value differs from
+        zero (safety net for tables built by direct array manipulation).
+        Tracking touched cells — not just non-zero values — means a
+        genuinely learned entry whose value decayed to exactly 0.0
+        survives a save/load round trip.
+
+        Used by transfer learning to re-key values onto another catalog,
+        by persistence, and by tests to snapshot learned policies.
         """
         entries: Dict[Tuple[str, str], float] = {}
         ids = self.catalog.item_ids
-        rows, cols = np.nonzero(self._values)
+        rows, cols = np.nonzero(self._touched | (self._values != 0.0))
         for r, c in zip(rows.tolist(), cols.tolist()):
             entries[(ids[r], ids[c])] = float(self._values[r, c])
         return entries
@@ -145,12 +179,18 @@ class QTable:
         catalog: Catalog,
         entries: Dict[Tuple[str, str], float],
         strict: bool = False,
+        update_count: Optional[int] = None,
     ) -> "QTable":
         """Rebuild a table over ``catalog`` from id-keyed entries.
 
         Entries whose ids are absent from ``catalog`` are skipped unless
         ``strict`` is True — this permissive behaviour is exactly what
-        cross-catalog transfer needs.
+        cross-catalog transfer needs; the number of skipped entries is
+        recorded on the public :attr:`skipped_on_load` attribute.
+
+        ``update_count`` restores the training-progress counter (e.g.
+        from a policy file's metadata) so callers never have to reach
+        into private state to mark a table as trained.
         """
         table = cls(catalog)
         skipped = 0
@@ -165,13 +205,16 @@ class QTable:
                 )
             else:
                 skipped += 1
-        table._skipped_on_load = skipped  # type: ignore[attr-defined]
+        table.skipped_on_load = skipped
+        if update_count is not None:
+            table.update_count = update_count
         return table
 
     def copy(self) -> "QTable":
         """Deep copy over the same catalog."""
         clone = QTable(self.catalog)
         clone._values = self._values.copy()
+        clone._touched = self._touched.copy()
         clone._updates = self._updates
         return clone
 

@@ -101,6 +101,24 @@ class SarsaLearner:
         self._rng = np.random.default_rng(config.seed)
 
     # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+
+    @property
+    def rng_state(self) -> dict:
+        """The behaviour-policy bit-generator state (JSON-serializable).
+
+        Snapshotting this together with the Q-table and the episode
+        counter is all a checkpoint needs: restoring it makes a resumed
+        run draw the exact random sequence an uninterrupted run would.
+        """
+        return self._rng.bit_generator.state
+
+    @rng_state.setter
+    def rng_state(self, state: dict) -> None:
+        self._rng.bit_generator.state = state
+
+    # ------------------------------------------------------------------
     # Behaviour policy
     # ------------------------------------------------------------------
 
@@ -151,6 +169,7 @@ class SarsaLearner:
         episodes: Optional[int] = None,
         qtable: Optional[QTable] = None,
         on_episode: Optional[Callable[[EpisodeStats], None]] = None,
+        start_episode: int = 0,
     ) -> LearningResult:
         """Run ``episodes`` learning episodes and return the Q-table.
 
@@ -166,6 +185,10 @@ class SarsaLearner:
             Warm-start table (transfer learning / incremental training).
         on_episode:
             Optional callback receiving :class:`EpisodeStats`.
+        start_episode:
+            Offset applied to the episode numbers in the emitted stats
+            (checkpointed training runs ``learn`` in chunks and keep a
+            global episode counter across them).
         """
         catalog = self.env.catalog
         if start_item_ids is None:
@@ -188,7 +211,9 @@ class SarsaLearner:
 
         for episode in range(n_episodes):
             start_id = starts[int(self._rng.integers(len(starts)))]
-            episode_stats = self._run_episode(table, episode, start_id)
+            episode_stats = self._run_episode(
+                table, start_episode + episode, start_id
+            )
             stats.append(episode_stats)
             if on_episode is not None:
                 on_episode(episode_stats)

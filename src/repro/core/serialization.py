@@ -1,17 +1,28 @@
-"""Persistence for learned policies.
+"""Persistence for learned policies (format v2, v1-compatible reader).
 
 A trained Q-table can be saved to JSON (sparse, id-keyed — independent
 of catalog index order) and restored against the same or a different
 catalog, enabling the deployment pattern the paper motivates: train
 once per program/city, then answer interactive recommendations from the
 stored policy.
+
+Format v2 extends v1 in two ways:
+
+* entries are the Q-table's *touched* cells, so a learned value that
+  decayed to exactly 0.0 survives the round trip (v1 dropped it);
+* an optional ``training_state`` block — episode counter, NumPy
+  bit-generator state, config fingerprint — turns a policy file into a
+  mid-training checkpoint that :mod:`repro.runner.checkpoint` can
+  resume bit-identically.
+
+v1 files remain readable; the writer always emits v2.
 """
 
 from __future__ import annotations
 
 import json
 import pathlib
-from typing import Dict, Tuple, Union
+from typing import Dict, Optional, Tuple, Union
 
 from .catalog import Catalog
 from .exceptions import PlanningError
@@ -19,13 +30,21 @@ from .qtable import QTable
 
 PathLike = Union[str, pathlib.Path]
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+SUPPORTED_VERSIONS = (1, 2)
 
 
-def policy_to_dict(qtable: QTable) -> Dict[str, object]:
-    """JSON-safe dict of a Q-table (sparse entries, metadata)."""
+def policy_to_dict(
+    qtable: QTable, training_state: Optional[Dict[str, object]] = None
+) -> Dict[str, object]:
+    """JSON-safe dict of a Q-table (sparse entries, metadata).
+
+    ``training_state`` (optional) is stored verbatim under the
+    ``"training_state"`` key; it must be JSON-serializable.  It is what
+    makes the payload a resumable checkpoint rather than a plain policy.
+    """
     entries = qtable.to_entries()
-    return {
+    payload: Dict[str, object] = {
         "format_version": FORMAT_VERSION,
         "catalog_name": qtable.catalog.name,
         "num_items": len(qtable.catalog),
@@ -35,19 +54,24 @@ def policy_to_dict(qtable: QTable) -> Dict[str, object]:
             for (state, action), value in sorted(entries.items())
         ],
     }
+    if training_state is not None:
+        payload["training_state"] = training_state
+    return payload
 
 
 def policy_from_dict(
     data: Dict[str, object], catalog: Catalog, strict: bool = False
 ) -> QTable:
-    """Rebuild a Q-table from :func:`policy_to_dict` output.
+    """Rebuild a Q-table from :func:`policy_to_dict` output (v1 or v2).
 
     ``strict=True`` refuses entries referencing items missing from
     ``catalog``; the default skips them (the transfer-friendly
-    behaviour).
+    behaviour).  The stored ``update_count`` is restored through the
+    public metadata API so a table whose surviving entries are all
+    zero-valued still counts as trained.
     """
     version = data.get("format_version")
-    if version != FORMAT_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise PlanningError(
             f"unsupported policy format version: {version!r}"
         )
@@ -64,28 +88,66 @@ def policy_from_dict(
             raise PlanningError(
                 f"malformed policy entry: {row!r}"
             ) from exc
-    table = QTable.from_entries(catalog, entries, strict=strict)
-    if table.update_count == 0 and entries:
-        # Mark as trained so the recommender accepts it even when all
-        # surviving entries happened to be zero-valued.
-        table._updates = int(data.get("update_count", len(entries)) or 1)  # noqa: SLF001
-    return table
+    stored_count = data.get("update_count")
+    update_count: Optional[int] = None
+    if stored_count is not None:
+        try:
+            update_count = int(stored_count)  # type: ignore[arg-type]
+        except (TypeError, ValueError) as exc:
+            raise PlanningError(
+                f"malformed update_count: {stored_count!r}"
+            ) from exc
+    elif entries:
+        # v1 files written before the counter existed: any entry means
+        # the table was trained.
+        update_count = len(entries)
+    return QTable.from_entries(
+        catalog, entries, strict=strict, update_count=update_count
+    )
 
 
-def save_policy(qtable: QTable, path: PathLike) -> None:
-    """Write a learned policy to a JSON file."""
-    payload = policy_to_dict(qtable)
-    pathlib.Path(path).write_text(json.dumps(payload, indent=2))
+def training_state_from_dict(
+    data: Dict[str, object]
+) -> Optional[Dict[str, object]]:
+    """The checkpoint ``training_state`` block, or None for plain policies."""
+    state = data.get("training_state")
+    if state is None:
+        return None
+    if not isinstance(state, dict):
+        raise PlanningError("malformed policy file: training_state")
+    return state
+
+
+def save_policy(
+    qtable: QTable,
+    path: PathLike,
+    training_state: Optional[Dict[str, object]] = None,
+) -> None:
+    """Write a learned policy (or checkpoint) to a JSON file.
+
+    The file is written atomically (tmp file + rename) so a crash
+    mid-write can never leave a truncated checkpoint behind.
+    """
+    payload = policy_to_dict(qtable, training_state=training_state)
+    target = pathlib.Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2))
+    tmp.replace(target)
 
 
 def load_policy(
     path: PathLike, catalog: Catalog, strict: bool = False
 ) -> QTable:
     """Read a policy JSON file back into a Q-table over ``catalog``."""
+    return policy_from_dict(read_policy_file(path), catalog, strict=strict)
+
+
+def read_policy_file(path: PathLike) -> Dict[str, object]:
+    """Parse a policy/checkpoint file into its raw payload dict."""
     try:
         data = json.loads(pathlib.Path(path).read_text())
     except (OSError, json.JSONDecodeError) as exc:
         raise PlanningError(f"cannot read policy file {path}: {exc}") from exc
     if not isinstance(data, dict):
         raise PlanningError("malformed policy file: not a JSON object")
-    return policy_from_dict(data, catalog, strict=strict)
+    return data

@@ -67,7 +67,7 @@ def transfer_by_id(source: QTable, target: Catalog) -> TransferResult:
             matched.add(action_id)
     if transferred:
         # Mark the table as trained so recommendation does not refuse it.
-        table._updates = transferred  # noqa: SLF001 - deliberate internal poke
+        table.update_count = transferred
     report = TransferReport(
         source_catalog=source.catalog.name,
         target_catalog=target.name,
@@ -155,7 +155,7 @@ def transfer_by_theme(
     for key, total in sums.items():
         table.set(key[0], key[1], total / counts[key])
     if sums:
-        table._updates = len(sums)  # noqa: SLF001 - deliberate internal poke
+        table.update_count = len(sums)
 
     report = TransferReport(
         source_catalog=source.catalog.name,

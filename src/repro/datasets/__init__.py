@@ -6,6 +6,7 @@ from .loaders import (
     load,
     load_nyc,
     load_paris,
+    load_synthetic,
     load_toy,
     load_univ1_cs,
     load_univ1_cyber,
@@ -29,6 +30,7 @@ __all__ = [
     "load",
     "load_nyc",
     "load_paris",
+    "load_synthetic",
     "load_toy",
     "load_univ1_cs",
     "load_univ1_cyber",

@@ -24,6 +24,7 @@ from ..domains.courses import (
     gold_course_plan,
 )
 from ..domains.trips import TripDataset, gold_trip_plan, load_city
+from .synthetic import SyntheticSpec, generate_instance
 from .toy import toy_course_catalog, toy_course_task
 
 
@@ -166,6 +167,34 @@ def load_toy(seed: int = 0, with_gold: bool = False) -> Dataset:
     )
 
 
+def load_synthetic(
+    seed: int = 0, with_gold: bool = False, **spec_overrides
+) -> Dataset:
+    """A guaranteed-feasible random instance (stress/scale experiments).
+
+    Registered under the ``"synthetic"`` key so parallel workers — and
+    the CLI — can resolve it by name like the paper datasets; the
+    default :class:`SyntheticSpec` shape is used unless overridden.
+    """
+    catalog, task = generate_instance(
+        SyntheticSpec(seed=seed), **spec_overrides
+    )
+    gold = None
+    if with_gold:
+        gold = gold_course_plan(
+            catalog, task, start_item_id=catalog.items[0].item_id
+        )
+    return Dataset(
+        key="synthetic",
+        catalog=catalog,
+        task=task,
+        mode=DomainMode.COURSE,
+        default_config=PlannerConfig(seed=seed),
+        default_start=catalog.items[0].item_id,
+        gold_plan=gold,
+    )
+
+
 LOADERS: Dict[str, Callable[..., Dataset]] = {
     "njit_dsct": load_univ1_dsct,
     "njit_cyber": load_univ1_cyber,
@@ -174,6 +203,7 @@ LOADERS: Dict[str, Callable[..., Dataset]] = {
     "nyc": load_nyc,
     "paris": load_paris,
     "toy": load_toy,
+    "synthetic": load_synthetic,
 }
 
 

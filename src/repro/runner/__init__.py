@@ -1,0 +1,86 @@
+"""Checkpointable parallel experiment runner.
+
+The fault-tolerant fan-out layer under every experiment protocol:
+
+* :class:`ExperimentRunner` — process-pool execution with per-task
+  timeout, bounded retry, failure capture, and deterministic (worker-
+  count-independent) results.
+* :class:`RunSpec` / :func:`execute_spec` — picklable task descriptions
+  for the paper's protocols (comparison runs, sweep points, timing
+  measurements).
+* :func:`child_seeds` — ``np.random.SeedSequence``-derived seed trees.
+* :class:`RunManifest` / :class:`EpisodeMetricsWriter` — observability
+  artifacts (manifest.json + episodes.jsonl) for every run.
+* :func:`run_training` / :func:`resume_training` — mid-training
+  checkpoint/resume for the SARSA learner (bit-identical continuation).
+"""
+
+from .checkpoint import (
+    CHECKPOINT_NAME,
+    TrainingCheckpoint,
+    config_fingerprint,
+    load_checkpoint,
+)
+from .manifest import (
+    EPISODES_NAME,
+    MANIFEST_NAME,
+    EpisodeMetricsWriter,
+    RunManifest,
+    fingerprint_payload,
+    git_sha,
+    write_batch_artifacts,
+)
+from .pool import (
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    ExperimentRunner,
+    TaskResult,
+    TaskTimeoutError,
+)
+from .seeds import child_seeds
+from .specs import (
+    HANDLERS,
+    RunSpec,
+    execute_spec,
+    get_dataset,
+    prime_dataset_cache,
+)
+from .training import (
+    POLICY_NAME,
+    RECOMMENDATION_NAME,
+    TrainingOutcome,
+    resume_training,
+    run_training,
+)
+
+__all__ = [
+    "CHECKPOINT_NAME",
+    "EPISODES_NAME",
+    "ExperimentRunner",
+    "EpisodeMetricsWriter",
+    "HANDLERS",
+    "MANIFEST_NAME",
+    "POLICY_NAME",
+    "RECOMMENDATION_NAME",
+    "RunManifest",
+    "RunSpec",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "STATUS_TIMEOUT",
+    "TaskResult",
+    "TaskTimeoutError",
+    "TrainingCheckpoint",
+    "TrainingOutcome",
+    "child_seeds",
+    "config_fingerprint",
+    "execute_spec",
+    "fingerprint_payload",
+    "get_dataset",
+    "git_sha",
+    "load_checkpoint",
+    "prime_dataset_cache",
+    "resume_training",
+    "run_training",
+    "write_batch_artifacts",
+]

@@ -1,0 +1,114 @@
+"""Mid-training checkpoints for the SARSA learner.
+
+A checkpoint is a format-v2 policy file whose ``training_state`` block
+captures everything the learner needs to continue *bit-identically*:
+
+* the Q-table (touched cells included, so zero-valued learned entries
+  survive — the format-v1 bug this subsystem exists to avoid),
+* the behaviour policy's NumPy bit-generator state,
+* the global episode counter,
+* a config fingerprint that refuses resumption under a different
+  configuration.
+
+Checkpoints are written atomically; a run killed mid-write leaves the
+previous checkpoint intact.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from ..core.catalog import Catalog
+from ..core.config import PlannerConfig
+from ..core.exceptions import PlanningError
+from ..core.qtable import QTable
+from ..core.serialization import (
+    policy_from_dict,
+    read_policy_file,
+    save_policy,
+    training_state_from_dict,
+)
+
+PathLike = Union[str, pathlib.Path]
+
+CHECKPOINT_NAME = "checkpoint.json"
+
+
+def config_fingerprint(config: PlannerConfig) -> str:
+    """Stable identity of a training configuration.
+
+    ``PlannerConfig`` is a frozen dataclass of scalars/enums/tuples, so
+    its repr is canonical and survives process boundaries.
+    """
+    return repr(config)
+
+
+@dataclass
+class TrainingCheckpoint:
+    """A resumable snapshot of an in-progress training run."""
+
+    qtable: QTable
+    episode: int
+    rng_state: Dict[str, object]
+    config_fingerprint: str
+    target_episodes: int
+    start_item: str
+
+    def save(self, path: PathLike) -> None:
+        save_policy(
+            self.qtable,
+            path,
+            training_state={
+                "episode": self.episode,
+                "rng_state": self.rng_state,
+                "config_fingerprint": self.config_fingerprint,
+                "target_episodes": self.target_episodes,
+                "start_item": self.start_item,
+            },
+        )
+
+    @classmethod
+    def load(cls, path: PathLike, catalog: Catalog) -> "TrainingCheckpoint":
+        data = read_policy_file(path)
+        state = training_state_from_dict(data)
+        if state is None:
+            raise PlanningError(
+                f"{path} is a plain policy file, not a checkpoint "
+                "(no training_state block)"
+            )
+        qtable = policy_from_dict(data, catalog, strict=True)
+        try:
+            return cls(
+                qtable=qtable,
+                episode=int(state["episode"]),
+                rng_state=dict(state["rng_state"]),
+                config_fingerprint=str(state["config_fingerprint"]),
+                target_episodes=int(state["target_episodes"]),
+                start_item=str(state["start_item"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PlanningError(
+                f"malformed checkpoint training_state in {path}"
+            ) from exc
+
+    def verify_config(self, config: PlannerConfig) -> None:
+        """Refuse to resume under a configuration that drifted."""
+        fingerprint = config_fingerprint(config)
+        if fingerprint != self.config_fingerprint:
+            raise PlanningError(
+                "checkpoint was trained under a different configuration;\n"
+                f"  checkpoint: {self.config_fingerprint}\n"
+                f"  requested:  {fingerprint}"
+            )
+
+
+def load_checkpoint(
+    run_dir: PathLike, catalog: Catalog
+) -> Optional[TrainingCheckpoint]:
+    """The run directory's checkpoint, or None if none was written yet."""
+    path = pathlib.Path(run_dir) / CHECKPOINT_NAME
+    if not path.exists():
+        return None
+    return TrainingCheckpoint.load(path, catalog)

@@ -1,0 +1,236 @@
+"""Process-pool execution with timeout, bounded retry, and failure capture.
+
+:class:`ExperimentRunner` is the fan-out engine behind the parallel
+experiment protocols.  Its contract:
+
+* **Deterministic results.**  ``map`` returns results ordered by task
+  index, never by completion order, and all task seeds are fixed by the
+  caller before dispatch — so a batch's outcome is identical for any
+  worker count.
+* **Failure capture.**  A task that raises is retried up to
+  ``max_retries`` extra times; the final failure is captured as a
+  :class:`TaskResult` with the traceback string instead of poisoning the
+  whole batch.
+* **Per-task timeout.**  When ``task_timeout`` is set and the pool is
+  parallel, each worker arms ``signal.alarm`` around the task so a
+  runaway task dies inside its worker (keeping the pool healthy) and is
+  reported as ``"timeout"``.  Serial execution ignores the timeout —
+  interrupting the caller's own process would be rude.
+
+``workers <= 1`` executes in-process with the same retry/capture
+semantics, which is both the fast path for tests and the fallback for
+environments where ``multiprocessing`` is unavailable.
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+STATUS_TIMEOUT = "timeout"
+
+
+class TaskTimeoutError(Exception):
+    """Raised inside a worker when a task exceeds its time budget."""
+
+
+@dataclass
+class TaskResult:
+    """Outcome of one fanned-out task."""
+
+    index: int
+    key: str
+    status: str
+    value: Any = None
+    error: Optional[str] = None
+    attempts: int = 1
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when the task produced a value."""
+        return self.status == STATUS_OK
+
+
+def _alarm_handler(signum, frame):  # pragma: no cover - fires in workers
+    raise TaskTimeoutError("task exceeded its time budget")
+
+
+def _call_with_alarm(fn: Callable[[Any], Any], payload: Any, timeout: int):
+    """Run ``fn(payload)`` under a SIGALRM deadline (worker-side)."""
+    previous = signal.signal(signal.SIGALRM, _alarm_handler)
+    signal.alarm(timeout)
+    try:
+        return fn(payload)
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@dataclass
+class ExperimentRunner:
+    """Fan tasks across a process pool (or run them serially in-process).
+
+    Parameters
+    ----------
+    workers:
+        Pool size; ``<= 1`` runs serially in the calling process.  The
+        requested size is honored even beyond ``os.cpu_count()`` —
+        results are worker-count-independent, so oversubscription only
+        costs wall-clock, and capping silently (e.g. to serial on a
+        1-CPU box) would also silently disable the per-task timeout.
+    task_timeout:
+        Per-task wall-clock budget in seconds (parallel mode only;
+        rounded up to a whole second for ``signal.alarm``).
+    max_retries:
+        Extra attempts granted to a task that raised or timed out.
+    """
+
+    workers: int = 1
+    task_timeout: Optional[float] = None
+    max_retries: int = 1
+
+    @property
+    def effective_workers(self) -> int:
+        """The pool size actually used."""
+        return max(1, self.workers)
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        payloads: Sequence[Any],
+        keys: Optional[Sequence[str]] = None,
+    ) -> List[TaskResult]:
+        """Run ``fn`` over ``payloads``; results ordered by task index.
+
+        ``fn`` and each payload must be picklable when the pool is
+        parallel (``fn`` must be an importable top-level function).
+        """
+        if keys is None:
+            keys = [f"task-{i}" for i in range(len(payloads))]
+        if len(keys) != len(payloads):
+            raise ValueError("keys and payloads must have equal length")
+        if not payloads:
+            return []
+        if self.effective_workers <= 1:
+            return [
+                self._run_serial(fn, payload, i, keys[i])
+                for i, payload in enumerate(payloads)
+            ]
+        return self._run_parallel(fn, payloads, keys)
+
+    # ------------------------------------------------------------------
+    # Serial path
+    # ------------------------------------------------------------------
+
+    def _run_serial(
+        self, fn: Callable[[Any], Any], payload: Any, index: int, key: str
+    ) -> TaskResult:
+        t0 = time.perf_counter()
+        error = None
+        for attempt in range(1, self.max_retries + 2):
+            try:
+                value = fn(payload)
+            except Exception:
+                error = traceback.format_exc()
+                continue
+            return TaskResult(
+                index=index,
+                key=key,
+                status=STATUS_OK,
+                value=value,
+                attempts=attempt,
+                seconds=time.perf_counter() - t0,
+            )
+        return TaskResult(
+            index=index,
+            key=key,
+            status=STATUS_ERROR,
+            error=error,
+            attempts=self.max_retries + 1,
+            seconds=time.perf_counter() - t0,
+        )
+
+    # ------------------------------------------------------------------
+    # Parallel path
+    # ------------------------------------------------------------------
+
+    def _submit(
+        self,
+        pool: ProcessPoolExecutor,
+        fn: Callable[[Any], Any],
+        payload: Any,
+    ) -> Future:
+        if self.task_timeout is not None:
+            budget = max(1, int(self.task_timeout + 0.999))
+            return pool.submit(_call_with_alarm, fn, payload, budget)
+        return pool.submit(fn, payload)
+
+    def _run_parallel(
+        self,
+        fn: Callable[[Any], Any],
+        payloads: Sequence[Any],
+        keys: Sequence[str],
+    ) -> List[TaskResult]:
+        results: Dict[int, TaskResult] = {}
+        attempts = {i: 1 for i in range(len(payloads))}
+        started = {i: time.perf_counter() for i in range(len(payloads))}
+        with ProcessPoolExecutor(max_workers=self.effective_workers) as pool:
+            pending: Dict[Future, int] = {
+                self._submit(pool, fn, payload): i
+                for i, payload in enumerate(payloads)
+            }
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = pending.pop(future)
+                    result = self._collect(
+                        future, index, keys[index],
+                        attempts[index], started[index],
+                    )
+                    if (
+                        not result.ok
+                        and attempts[index] <= self.max_retries
+                    ):
+                        attempts[index] += 1
+                        retry = self._submit(pool, fn, payloads[index])
+                        pending[retry] = index
+                    else:
+                        results[index] = result
+        return [results[i] for i in range(len(payloads))]
+
+    def _collect(
+        self,
+        future: Future,
+        index: int,
+        key: str,
+        attempt: int,
+        started_at: float,
+    ) -> TaskResult:
+        elapsed = time.perf_counter() - started_at
+        try:
+            value = future.result()
+        except TaskTimeoutError:
+            return TaskResult(
+                index=index, key=key, status=STATUS_TIMEOUT,
+                error=f"timed out after {self.task_timeout}s",
+                attempts=attempt, seconds=elapsed,
+            )
+        except Exception as exc:
+            detail = "".join(
+                traceback.format_exception_only(type(exc), exc)
+            ).strip()
+            return TaskResult(
+                index=index, key=key, status=STATUS_ERROR,
+                error=detail, attempts=attempt, seconds=elapsed,
+            )
+        return TaskResult(
+            index=index, key=key, status=STATUS_OK,
+            value=value, attempts=attempt, seconds=elapsed,
+        )

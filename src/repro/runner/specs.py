@@ -1,0 +1,231 @@
+"""Picklable experiment task specs and their worker-side handlers.
+
+A :class:`RunSpec` names one unit of fan-out work — one seeded
+``compare_planners`` run, one sweep-point scoring run, one scalability
+timing point — in a form that crosses process boundaries.  Workers
+resolve datasets by ``(key, seed)`` through a per-process cache, so the
+(deterministic, seeded) dataset generators run at most once per worker
+instead of once per task.
+
+Each handler replicates its serial protocol *exactly* — same planner
+construction, same seeds, same scoring — which is what lets the
+parallel paths promise score equality with the serial ones.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Tuple
+
+from ..baselines import EDAPlanner, OmegaPlanner
+from ..core.planner import RLPlanner
+from ..core.scoring import PlanScorer
+
+# ----------------------------------------------------------------------
+# Dataset resolution (per-process cache)
+# ----------------------------------------------------------------------
+
+_DATASET_CACHE: Dict[Tuple[str, int], Any] = {}
+
+
+def get_dataset(key: str, seed: int):
+    """Load dataset ``key`` at ``seed``, memoized per process.
+
+    Workers forked from a parent that called :func:`prime_dataset_cache`
+    inherit the primed entry and skip the load entirely.
+    """
+    cache_key = (key, seed)
+    if cache_key not in _DATASET_CACHE:
+        from ..datasets import load
+
+        _DATASET_CACHE[cache_key] = load(key, seed=seed, with_gold=False)
+    return _DATASET_CACHE[cache_key]
+
+
+def prime_dataset_cache(dataset, seed: int) -> None:
+    """Insert an already-loaded dataset into the resolution cache.
+
+    This keeps serial execution reload-free and lets datasets that are
+    not in :data:`repro.datasets.LOADERS` (hand-built instances) flow
+    through the runner unchanged.
+    """
+    _DATASET_CACHE[(dataset.key, seed)] = dataset
+
+
+# ----------------------------------------------------------------------
+# Specs
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One schedulable experiment task.
+
+    Attributes
+    ----------
+    kind:
+        Handler name (see :data:`HANDLERS`).
+    dataset_key / dataset_seed:
+        How a worker re-resolves the dataset.
+    seed:
+        The task's RNG seed, fixed before dispatch (this is what makes
+        batches reproducible regardless of worker count).
+    index:
+        Position in the batch; results are returned in this order.
+    params:
+        Handler-specific extras (picklable; configs and tasks ride here
+        as live objects).
+    """
+
+    kind: str
+    dataset_key: str
+    dataset_seed: int = 0
+    seed: int = 0
+    index: int = 0
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def key(self) -> str:
+        """Stable identifier used in manifests and metrics streams."""
+        return (
+            f"{self.kind}:{self.dataset_key}:{self.index}:seed{self.seed}"
+        )
+
+
+def _episode_stats_rows(result) -> list:
+    """JSONL-ready rows for a LearningResult's per-episode stats."""
+    return [
+        {
+            "episode": s.episode,
+            "start": s.start_item_id,
+            "length": s.length,
+            "total_reward": s.total_reward,
+            "zero_reward_steps": s.zero_reward_steps,
+        }
+        for s in result.stats
+    ]
+
+
+# ----------------------------------------------------------------------
+# Handlers
+# ----------------------------------------------------------------------
+
+
+def run_compare_task(spec: RunSpec) -> Dict[str, Any]:
+    """One seeded run of the Figure-1 comparison protocol.
+
+    Mirrors one iteration of the ``compare_planners`` run loop: the RL
+    planner, EDA, and OMEGA all share the run's seed, and the baselines
+    are scored by the run's own scorer.
+    """
+    dataset = get_dataset(spec.dataset_key, spec.dataset_seed)
+    episodes = spec.params.get("episodes")
+    config = dataset.default_config.replace(seed=spec.seed)
+
+    planner = RLPlanner(
+        dataset.catalog, dataset.task, config, mode=dataset.mode
+    )
+    result = planner.fit(
+        start_item_ids=[dataset.default_start], episodes=episodes
+    )
+    _, score = planner.recommend_scored(dataset.default_start)
+
+    eda = EDAPlanner(
+        dataset.catalog, dataset.task, config, mode=dataset.mode,
+        seed=spec.seed,
+    )
+    eda_score = planner.score(eda.recommend(dataset.default_start)).value
+
+    omega = OmegaPlanner(
+        dataset.catalog,
+        dataset.task,
+        mode=dataset.mode,
+        histories=dataset.itineraries or None,
+        seed=spec.seed,
+    )
+    omega_score = planner.score(
+        omega.recommend(dataset.default_start)
+    ).value
+
+    payload: Dict[str, Any] = {
+        "rl": score.value,
+        "rl_valid": bool(score.is_valid),
+        "eda": eda_score,
+        "omega": omega_score,
+    }
+    if spec.params.get("collect_stats"):
+        payload["episode_stats"] = _episode_stats_rows(result)
+    return payload
+
+
+def run_rl_score_task(spec: RunSpec) -> Dict[str, Any]:
+    """Train + score one RL-Planner configuration (sweep protocol leg)."""
+    dataset = get_dataset(spec.dataset_key, spec.dataset_seed)
+    config = spec.params["config"]
+    task = spec.params.get("task") or dataset.task
+    start = spec.params.get("start") or dataset.default_start
+    planner = RLPlanner(
+        dataset.catalog, task, config, mode=dataset.mode
+    )
+    planner.fit(
+        start_item_ids=[start], episodes=spec.params.get("episodes")
+    )
+    _, score = planner.recommend_scored(start)
+    return {"score": score.value}
+
+
+def run_eda_score_task(spec: RunSpec) -> Dict[str, Any]:
+    """Score one EDA configuration (sweep protocol leg)."""
+    dataset = get_dataset(spec.dataset_key, spec.dataset_seed)
+    config = spec.params["config"]
+    task = spec.params.get("task") or dataset.task
+    scorer = PlanScorer(task, mode=dataset.mode)
+    eda = EDAPlanner(
+        dataset.catalog, task, config, mode=dataset.mode, seed=spec.seed
+    )
+    plan = eda.recommend(dataset.default_start)
+    return {"score": scorer.score(plan).value}
+
+
+def run_timing_task(spec: RunSpec) -> Dict[str, Any]:
+    """One Figure-2 grid point: time learning and recommendation."""
+    dataset = get_dataset(spec.dataset_key, spec.dataset_seed)
+    episodes = int(spec.params["episodes"])
+    repeats = int(spec.params.get("recommend_repeats", 5))
+    config = dataset.default_config.replace(seed=spec.seed)
+    planner = RLPlanner(
+        dataset.catalog, dataset.task, config, mode=dataset.mode
+    )
+    t0 = time.perf_counter()
+    planner.fit(
+        start_item_ids=[dataset.default_start], episodes=episodes
+    )
+    learn_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        planner.recommend(dataset.default_start)
+    recommend_seconds = (time.perf_counter() - t0) / repeats
+    return {
+        "episodes": episodes,
+        "learn_seconds": learn_seconds,
+        "recommend_seconds": recommend_seconds,
+    }
+
+
+HANDLERS: Dict[str, Callable[[RunSpec], Dict[str, Any]]] = {
+    "compare_run": run_compare_task,
+    "rl_score": run_rl_score_task,
+    "eda_score": run_eda_score_task,
+    "timing": run_timing_task,
+}
+
+
+def execute_spec(spec: RunSpec) -> Dict[str, Any]:
+    """Dispatch a spec to its handler (the pool's worker entry point)."""
+    try:
+        handler = HANDLERS[spec.kind]
+    except KeyError:
+        raise ValueError(f"unknown spec kind: {spec.kind!r}") from None
+    return handler(spec)

@@ -1,0 +1,302 @@
+"""Checkpointed (resumable) training runs.
+
+:func:`run_training` drives a :class:`SarsaLearner` in chunks of
+``checkpoint_every`` episodes, snapshotting the Q-table + RNG state +
+episode counter after every chunk and streaming per-episode metrics to
+``episodes.jsonl``.  Because all randomness flows through the learner's
+single generator and the snapshot captures its exact bit-generator
+state, a run killed at any checkpoint boundary and finished by
+:func:`resume_training` produces a final Q-table — and recommendation —
+bit-identical to an uninterrupted run.
+
+Artifacts in the run directory:
+
+* ``manifest.json``   — progress, config fingerprint, outcome
+* ``checkpoint.json`` — latest resumable snapshot (format v2)
+* ``episodes.jsonl``  — per-episode metrics stream
+* ``policy.json``     — final policy (written on completion)
+* ``recommendation.json`` — final plan + score (written on completion)
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..core.config import PlannerConfig
+from ..core.exceptions import PlanningError
+from ..core.planner import RLPlanner
+from ..core.qtable import QTable
+from ..core.sarsa import SarsaLearner
+from ..core.serialization import save_policy
+from .checkpoint import (
+    CHECKPOINT_NAME,
+    TrainingCheckpoint,
+    config_fingerprint,
+    load_checkpoint,
+)
+from .manifest import EPISODES_NAME, EpisodeMetricsWriter, RunManifest
+
+PathLike = Union[str, pathlib.Path]
+
+POLICY_NAME = "policy.json"
+RECOMMENDATION_NAME = "recommendation.json"
+
+
+@dataclass
+class TrainingOutcome:
+    """What a (possibly partial) training session produced."""
+
+    run_dir: pathlib.Path
+    manifest: RunManifest
+    qtable: QTable
+    completed_episodes: int
+    plan_item_ids: Optional[tuple] = None
+    score: Optional[float] = None
+
+    @property
+    def complete(self) -> bool:
+        return self.manifest.status == "complete"
+
+
+def run_training(
+    dataset,
+    run_dir: PathLike,
+    episodes: Optional[int] = None,
+    checkpoint_every: int = 50,
+    limit_episodes: Optional[int] = None,
+    config: Optional[PlannerConfig] = None,
+    start_item: Optional[str] = None,
+) -> TrainingOutcome:
+    """Start a fresh checkpointed training run in ``run_dir``.
+
+    ``limit_episodes`` caps this *session* (not the target): a run with
+    ``episodes=500, limit_episodes=200`` trains 200 episodes, writes a
+    checkpoint, and exits with status ``"interrupted"`` for a later
+    :func:`resume_training` to finish — the session-budget analogue of
+    being killed mid-run.
+    """
+    run_dir = pathlib.Path(run_dir)
+    if (run_dir / CHECKPOINT_NAME).exists():
+        raise PlanningError(
+            f"{run_dir} already holds a training run; use resume_training"
+        )
+    config = config if config is not None else dataset.default_config
+    target = episodes if episodes is not None else config.episodes
+    start = start_item if start_item is not None else dataset.default_start
+    if checkpoint_every <= 0:
+        raise PlanningError("checkpoint_every must be positive")
+
+    manifest = RunManifest(
+        protocol="train",
+        dataset=dataset.key,
+        dataset_seed=int(config.seed or 0),
+        root_seed=config.seed,
+        config_fingerprint=config_fingerprint(config),
+        target_episodes=target,
+        checkpoint_every=checkpoint_every,
+        start_item=start,
+    )
+    manifest.save(run_dir)
+
+    planner = RLPlanner(
+        dataset.catalog, dataset.task, config, mode=dataset.mode
+    )
+    learner = SarsaLearner(planner.env, config)
+    table = QTable(dataset.catalog)
+    return _train_loop(
+        dataset, config, manifest, run_dir, learner, table,
+        completed=0, session_budget=limit_episodes, append_stream=False,
+    )
+
+
+def resume_training(
+    run_dir: PathLike,
+    dataset=None,
+    config: Optional[PlannerConfig] = None,
+    limit_episodes: Optional[int] = None,
+) -> TrainingOutcome:
+    """Continue an interrupted training run from its latest checkpoint.
+
+    The dataset is re-resolved from the manifest (or passed explicitly
+    for hand-built datasets); the checkpoint's config fingerprint must
+    match, which catches both config drift and dataset drift.
+    """
+    run_dir = pathlib.Path(run_dir)
+    manifest = RunManifest.load(run_dir)
+    if manifest.protocol != "train":
+        raise PlanningError(
+            f"cannot resume protocol {manifest.protocol!r}; only "
+            "checkpointed training runs are resumable"
+        )
+    if dataset is None:
+        from ..datasets import load
+
+        dataset = load(
+            manifest.dataset, seed=manifest.dataset_seed, with_gold=False
+        )
+    config = config if config is not None else dataset.default_config
+    checkpoint = load_checkpoint(run_dir, dataset.catalog)
+    if checkpoint is None:
+        raise PlanningError(
+            f"no checkpoint found in {run_dir}; nothing to resume"
+        )
+    checkpoint.verify_config(config)
+    if manifest.status == "complete":
+        # Idempotent: the run already finished.
+        return _completed_outcome(run_dir, manifest, checkpoint.qtable)
+
+    planner = RLPlanner(
+        dataset.catalog, dataset.task, config, mode=dataset.mode
+    )
+    learner = SarsaLearner(planner.env, config)
+    learner.rng_state = checkpoint.rng_state
+    _truncate_stream(run_dir / EPISODES_NAME, checkpoint.episode)
+    return _train_loop(
+        dataset, config, manifest, run_dir, learner, checkpoint.qtable,
+        completed=checkpoint.episode, session_budget=limit_episodes,
+        append_stream=True,
+    )
+
+
+def _train_loop(
+    dataset,
+    config: PlannerConfig,
+    manifest: RunManifest,
+    run_dir: pathlib.Path,
+    learner: SarsaLearner,
+    table: QTable,
+    completed: int,
+    session_budget: Optional[int],
+    append_stream: bool,
+) -> TrainingOutcome:
+    target = manifest.target_episodes or config.episodes
+    every = manifest.checkpoint_every or 50
+    start = manifest.start_item or dataset.default_start
+    t0 = time.perf_counter()
+    session_done = 0
+
+    with EpisodeMetricsWriter(
+        run_dir / EPISODES_NAME, append=append_stream
+    ) as stream:
+        while completed < target:
+            if session_budget is not None and session_done >= session_budget:
+                break
+            chunk = min(every, target - completed)
+            if session_budget is not None:
+                chunk = min(chunk, session_budget - session_done)
+            result = learner.learn(
+                start_item_ids=[start],
+                episodes=chunk,
+                qtable=table,
+                start_episode=completed,
+                on_episode=lambda s: stream.write(
+                    {
+                        "episode": s.episode,
+                        "start": s.start_item_id,
+                        "length": s.length,
+                        "total_reward": s.total_reward,
+                        "zero_reward_steps": s.zero_reward_steps,
+                    }
+                ),
+            )
+            table = result.qtable
+            completed += chunk
+            session_done += chunk
+            TrainingCheckpoint(
+                qtable=table,
+                episode=completed,
+                rng_state=learner.rng_state,
+                config_fingerprint=config_fingerprint(config),
+                target_episodes=target,
+                start_item=start,
+            ).save(run_dir / CHECKPOINT_NAME)
+            manifest.completed_episodes = completed
+            manifest.wall_seconds += time.perf_counter() - t0
+            t0 = time.perf_counter()
+            manifest.save(run_dir)
+
+    if completed < target:
+        manifest.status = "interrupted"
+        manifest.save(run_dir)
+        return TrainingOutcome(
+            run_dir=run_dir,
+            manifest=manifest,
+            qtable=table,
+            completed_episodes=completed,
+        )
+    return _finalize(dataset, config, manifest, run_dir, table, start)
+
+
+def _finalize(
+    dataset,
+    config: PlannerConfig,
+    manifest: RunManifest,
+    run_dir: pathlib.Path,
+    table: QTable,
+    start: str,
+) -> TrainingOutcome:
+    save_policy(table, run_dir / POLICY_NAME)
+    planner = RLPlanner(
+        dataset.catalog, dataset.task, config, mode=dataset.mode
+    )
+    planner.adopt_policy(table)
+    plan, score = planner.recommend_scored(start)
+    payload = {
+        "start": start,
+        "plan": list(plan.item_ids),
+        "score": score.value,
+        "is_valid": bool(score.is_valid),
+    }
+    path = run_dir / RECOMMENDATION_NAME
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    tmp.replace(path)
+    manifest.status = "complete"
+    manifest.result = payload
+    manifest.save(run_dir)
+    return TrainingOutcome(
+        run_dir=run_dir,
+        manifest=manifest,
+        qtable=table,
+        completed_episodes=manifest.completed_episodes,
+        plan_item_ids=tuple(plan.item_ids),
+        score=score.value,
+    )
+
+
+def _completed_outcome(
+    run_dir: pathlib.Path, manifest: RunManifest, table: QTable
+) -> TrainingOutcome:
+    result = manifest.result or {}
+    return TrainingOutcome(
+        run_dir=run_dir,
+        manifest=manifest,
+        qtable=table,
+        completed_episodes=manifest.completed_episodes,
+        plan_item_ids=tuple(result.get("plan", ())) or None,
+        score=result.get("score"),
+    )
+
+
+def _truncate_stream(path: pathlib.Path, upto_episode: int) -> None:
+    """Drop stream rows at/after ``upto_episode`` (crash-torn tail).
+
+    A crash can land between "episodes written to the stream" and "the
+    checkpoint that covers them", leaving rows the resumed run will
+    re-emit; trimming keeps the stream an exact, duplicate-free record.
+    """
+    if not path.exists():
+        return
+    kept = []
+    for line in path.read_text().splitlines():
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if int(row.get("episode", -1)) < upto_episode:
+            kept.append(line)
+    path.write_text("".join(k + "\n" for k in kept))

@@ -1,0 +1,220 @@
+"""Tests for checkpointed (resumable) training — repro.runner."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import PlanningError
+from repro.core.planner import RLPlanner
+from repro.core.sarsa import SarsaLearner
+from repro.datasets import load_toy
+from repro.runner import (
+    CHECKPOINT_NAME,
+    EPISODES_NAME,
+    POLICY_NAME,
+    RECOMMENDATION_NAME,
+    TrainingCheckpoint,
+    load_checkpoint,
+    resume_training,
+    run_training,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_toy(with_gold=False)
+
+
+def _make_learner(dataset, seed=0):
+    config = dataset.default_config.replace(seed=seed)
+    planner = RLPlanner(
+        dataset.catalog, dataset.task, config, mode=dataset.mode
+    )
+    return SarsaLearner(planner.env, config)
+
+
+def _entries(qtable):
+    return qtable.to_entries()
+
+
+class TestChunkedLearningEquivalence:
+    def test_two_halves_equal_one_full_run(self, dataset):
+        """2 x N/2 chunks on one learner == one N-episode call."""
+        start = dataset.default_start
+        full = _make_learner(dataset).learn(
+            start_item_ids=[start], episodes=60
+        )
+
+        chunked = _make_learner(dataset)
+        first = chunked.learn(start_item_ids=[start], episodes=30)
+        second = chunked.learn(
+            start_item_ids=[start], episodes=30,
+            qtable=first.qtable, start_episode=30,
+        )
+        assert _entries(full.qtable) == _entries(second.qtable)
+        assert full.qtable.update_count == second.qtable.update_count
+
+    def test_rng_state_json_round_trip(self, dataset):
+        """Restoring a JSON-serialized RNG state continues bit-identically."""
+        start = dataset.default_start
+        reference = _make_learner(dataset)
+        reference.learn(start_item_ids=[start], episodes=30)
+        state = json.loads(json.dumps(reference.rng_state))
+
+        restored = _make_learner(dataset, seed=999)  # wrong seed on purpose
+        restored.rng_state = state
+        a = reference.learn(start_item_ids=[start], episodes=20)
+        b = restored.learn(start_item_ids=[start], episodes=20)
+        assert _entries(a.qtable) == _entries(b.qtable)
+
+
+class TestRunTraining:
+    def test_uninterrupted_run_completes(self, dataset, tmp_path):
+        outcome = run_training(
+            dataset, tmp_path / "run", episodes=80, checkpoint_every=40
+        )
+        assert outcome.complete
+        assert outcome.completed_episodes == 80
+        assert outcome.plan_item_ids
+        for name in (
+            CHECKPOINT_NAME, EPISODES_NAME, POLICY_NAME,
+            RECOMMENDATION_NAME, "manifest.json",
+        ):
+            assert (tmp_path / "run" / name).exists(), name
+
+    def test_kill_and_resume_is_bit_identical(self, dataset, tmp_path):
+        """Interrupted-and-resumed == uninterrupted, byte for byte."""
+        straight = run_training(
+            dataset, tmp_path / "straight", episodes=120,
+            checkpoint_every=40,
+        )
+        partial = run_training(
+            dataset, tmp_path / "resumed", episodes=120,
+            checkpoint_every=40, limit_episodes=40,
+        )
+        assert not partial.complete
+        assert partial.completed_episodes == 40
+        resumed = resume_training(tmp_path / "resumed")
+        assert resumed.complete
+        assert resumed.completed_episodes == 120
+
+        assert resumed.plan_item_ids == straight.plan_item_ids
+        assert resumed.score == straight.score
+        for name in (POLICY_NAME, RECOMMENDATION_NAME):
+            assert (
+                (tmp_path / "straight" / name).read_text()
+                == (tmp_path / "resumed" / name).read_text()
+            ), name
+
+    def test_episode_stream_has_each_episode_once(self, dataset, tmp_path):
+        run_training(
+            dataset, tmp_path / "run", episodes=90,
+            checkpoint_every=30, limit_episodes=30,
+        )
+        resume_training(tmp_path / "run")
+        rows = [
+            json.loads(line)
+            for line in (tmp_path / "run" / EPISODES_NAME)
+            .read_text()
+            .splitlines()
+        ]
+        assert sorted(r["episode"] for r in rows) == list(range(90))
+
+    def test_torn_stream_tail_is_truncated_on_resume(
+        self, dataset, tmp_path
+    ):
+        run_training(
+            dataset, tmp_path / "run", episodes=60,
+            checkpoint_every=30, limit_episodes=30,
+        )
+        stream = tmp_path / "run" / EPISODES_NAME
+        with stream.open("a") as handle:
+            # Rows past the checkpoint, as left by a crash mid-chunk.
+            handle.write(json.dumps({"episode": 30, "length": 0}) + "\n")
+            handle.write("{not json\n")
+        resume_training(tmp_path / "run")
+        rows = [
+            json.loads(line) for line in stream.read_text().splitlines()
+        ]
+        assert sorted(r["episode"] for r in rows) == list(range(60))
+
+    def test_fresh_dir_required(self, dataset, tmp_path):
+        run_training(
+            dataset, tmp_path / "run", episodes=40, checkpoint_every=20
+        )
+        with pytest.raises(PlanningError):
+            run_training(
+                dataset, tmp_path / "run", episodes=40, checkpoint_every=20
+            )
+
+    def test_resume_without_checkpoint_rejected(self, dataset, tmp_path):
+        with pytest.raises((PlanningError, OSError)):
+            resume_training(tmp_path / "empty")
+
+    def test_resume_refuses_config_drift(self, dataset, tmp_path):
+        run_training(
+            dataset, tmp_path / "run", episodes=60,
+            checkpoint_every=30, limit_episodes=30,
+        )
+        drifted = dataset.default_config.replace(learning_rate=0.123)
+        with pytest.raises(PlanningError, match="different configuration"):
+            resume_training(tmp_path / "run", config=drifted)
+
+    def test_resume_completed_run_is_idempotent(self, dataset, tmp_path):
+        run_training(
+            dataset, tmp_path / "run", episodes=40, checkpoint_every=20
+        )
+        before = (tmp_path / "run" / POLICY_NAME).read_text()
+        outcome = resume_training(tmp_path / "run")
+        assert outcome.complete
+        assert (tmp_path / "run" / POLICY_NAME).read_text() == before
+
+
+class TestCheckpointFile:
+    def test_round_trip_preserves_rng_and_qtable(self, dataset, tmp_path):
+        learner = _make_learner(dataset)
+        result = learner.learn(
+            start_item_ids=[dataset.default_start], episodes=25
+        )
+        path = tmp_path / "checkpoint.json"
+        TrainingCheckpoint(
+            qtable=result.qtable,
+            episode=25,
+            rng_state=learner.rng_state,
+            config_fingerprint="fp",
+            target_episodes=100,
+            start_item=dataset.default_start,
+        ).save(path)
+
+        loaded = TrainingCheckpoint.load(path, dataset.catalog)
+        assert loaded.episode == 25
+        assert loaded.target_episodes == 100
+        assert loaded.rng_state == learner.rng_state
+        assert _entries(loaded.qtable) == _entries(result.qtable)
+        assert loaded.qtable.update_count == result.qtable.update_count
+
+    def test_load_checkpoint_returns_none_without_file(
+        self, dataset, tmp_path
+    ):
+        assert load_checkpoint(tmp_path, dataset.catalog) is None
+
+    def test_checkpoint_values_survive_as_floats(self, dataset, tmp_path):
+        learner = _make_learner(dataset)
+        result = learner.learn(
+            start_item_ids=[dataset.default_start], episodes=25
+        )
+        path = tmp_path / "checkpoint.json"
+        TrainingCheckpoint(
+            qtable=result.qtable,
+            episode=25,
+            rng_state=learner.rng_state,
+            config_fingerprint="fp",
+            target_episodes=100,
+            start_item=dataset.default_start,
+        ).save(path)
+        loaded = TrainingCheckpoint.load(path, dataset.catalog)
+        for (s, a), q in _entries(result.qtable).items():
+            assert loaded.qtable.get(s, a) == q
+            assert isinstance(loaded.qtable.get(s, a), float)
+        assert np.isfinite(list(_entries(loaded.qtable).values())).all()

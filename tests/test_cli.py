@@ -49,3 +49,50 @@ class TestCommands:
         assert main(["diagnose", "toy"]) == 0
         out = capsys.readouterr().out
         assert "no structural infeasibility" in out
+
+
+class TestRunnerCommands:
+    def test_run_compare_parallel(self, capsys, tmp_path):
+        out = tmp_path / "cmp"
+        assert main([
+            "run", "toy", "--protocol", "compare", "--runs", "2",
+            "--episodes", "30", "--workers", "2", "--out", str(out),
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "RL-Planner" in text
+        assert (out / "manifest.json").exists()
+        assert (out / "episodes.jsonl").exists()
+
+    def test_compare_accepts_workers(self, capsys):
+        assert main([
+            "compare", "toy", "--runs", "2", "--workers", "2",
+        ]) == 0
+        assert "RL-Planner" in capsys.readouterr().out
+
+    def test_run_train_requires_out(self, capsys):
+        assert main(["run", "toy", "--protocol", "train"]) == 2
+        assert "--out" in capsys.readouterr().err
+
+    def test_run_train_then_resume(self, capsys, tmp_path):
+        out = tmp_path / "train"
+        assert main([
+            "run", "toy", "--protocol", "train", "--episodes", "60",
+            "--checkpoint-every", "20", "--limit-episodes", "20",
+            "--out", str(out),
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "interrupted" in text
+        assert (out / "checkpoint.json").exists()
+
+        assert main(["resume", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "complete" in text
+        assert "score" in text
+        assert (out / "policy.json").exists()
+        assert (out / "recommendation.json").exists()
+
+    def test_run_scalability(self, capsys):
+        assert main([
+            "run", "toy", "--protocol", "scalability", "--workers", "2",
+        ]) == 0
+        assert "episodes" in capsys.readouterr().out

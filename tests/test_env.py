@@ -182,3 +182,53 @@ class TestRewardInjection:
         custom_r, _ = env.step(item)
         base_r, _ = base_env.step(item)
         assert custom_r == pytest.approx(2.0 * base_r)
+
+
+class TestTripBudgetTolerance:
+    """valid_actions and is_done share one affordability rule."""
+
+    def _trip_env(self, extra_cost):
+        catalog = Catalog(
+            [
+                make_item("p1", ItemType.PRIMARY, credits=3.0,
+                          topics={"t1"}),
+                make_item("s1", ItemType.SECONDARY,
+                          credits=3.0 + extra_cost, topics={"t2"}),
+            ]
+        )
+        task = make_task(
+            num_primary=1, num_secondary=1, min_credits=6.0,
+            template_labels=[["P", "S"]],
+        )
+        env = TPPEnvironment(
+            catalog,
+            task,
+            PlannerConfig(
+                coverage_threshold=1.0, exploration=0.0,
+                mask_invalid_actions=False,
+            ),
+            mode=DomainMode.TRIP,
+        )
+        env.reset("p1")
+        return env
+
+    def test_float_noise_within_tolerance_is_affordable(self):
+        env = self._trip_env(extra_cost=5e-10)
+        assert [i.item_id for i in env.valid_actions()] == ["s1"]
+        assert not env.is_done()
+
+    def test_over_tolerance_is_unaffordable_and_done(self):
+        env = self._trip_env(extra_cost=1e-6)
+        assert env.valid_actions() == ()
+        assert env.is_done()
+
+    def test_exact_budget_fit_is_affordable(self):
+        env = self._trip_env(extra_cost=0.0)
+        assert [i.item_id for i in env.valid_actions()] == ["s1"]
+
+    def test_the_two_checks_never_disagree(self):
+        # is_done must be True exactly when no affordable item remains
+        # (before the horizon is reached).
+        for extra in (0.0, 5e-10, 1e-9, 2e-9, 1e-6, 1.0):
+            env = self._trip_env(extra)
+            assert (env.valid_actions() == ()) == env.is_done(), extra

@@ -74,7 +74,7 @@ class TestAdoptAndTransfer:
     def test_adopt_policy_same_catalog(self, planner, catalog):
         table = QTable(catalog)
         table.set("p1", "s1", 1.0)
-        table._updates = 1
+        table.update_count = 1
         planner.adopt_policy(table)
         assert planner.is_fitted
 

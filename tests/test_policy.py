@@ -49,7 +49,7 @@ class TestQOnlyTraversal:
         table.set("p1", "s1", 5.0)
         table.set("s1", "p2", 5.0)
         table.set("p2", "s2", 5.0)
-        table._updates = 3
+        table.update_count = 3
         policy = GreedyPolicy(
             table, task, recommendation=RecommendationMode.Q_ONLY
         )

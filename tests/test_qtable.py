@@ -99,3 +99,64 @@ class TestSerialization:
         clone.set("a", "b", 9.0)
         assert table.get("a", "b") == 1.0
         assert clone.update_count == table.update_count
+
+
+class TestNaNGuard:
+    def test_nan_entries_are_skipped(self, table):
+        table.set("a", "b", float("nan"))
+        table.set("a", "c", 0.5)
+        assert table.best_action("a", ["b", "c"]) == "c"
+
+    def test_all_nan_falls_back_to_first_allowed(self, table):
+        table.set("a", "b", float("nan"))
+        table.set("a", "c", float("nan"))
+        assert table.best_action("a", ["c", "b"]) == "c"
+
+    def test_all_nan_with_rng_samples_allowed(self, table):
+        table.set("a", "b", float("nan"))
+        table.set("a", "c", float("nan"))
+        rng = np.random.default_rng(0)
+        picks = {
+            table.best_action("a", ["b", "c"], rng=rng) for _ in range(20)
+        }
+        assert picks <= {"b", "c"}
+
+
+class TestTouchedTracking:
+    def test_zero_valued_learned_entry_survives(self, table):
+        # A learned value that is exactly 0.0 must still serialize.
+        table.set("a", "b", 0.0)
+        assert ("a", "b") in table.to_entries()
+
+    def test_td_update_to_zero_survives(self, table, catalog):
+        i, j = catalog.index_of("a"), catalog.index_of("b")
+        table.td_update(i, j, target=0.0, learning_rate=0.5)
+        entries = table.to_entries()
+        assert entries[("a", "b")] == 0.0
+
+    def test_untouched_zero_cells_stay_sparse(self, table):
+        table.set("a", "b", 1.0)
+        assert list(table.to_entries()) == [("a", "b")]
+
+    def test_copy_preserves_touched_cells(self, table):
+        table.set("a", "b", 0.0)
+        assert ("a", "b") in table.copy().to_entries()
+
+
+class TestUpdateCountMetadata:
+    def test_setter_round_trip(self, table):
+        table.update_count = 7
+        assert table.update_count == 7
+
+    def test_negative_rejected(self, table):
+        with pytest.raises(PlanningError):
+            table.update_count = -1
+
+    def test_from_entries_restores_count_and_skips(self, catalog):
+        table = QTable.from_entries(
+            catalog,
+            {("a", "b"): 0.5, ("zz", "b"): 1.0},
+            update_count=42,
+        )
+        assert table.update_count == 42
+        assert table.skipped_on_load == 1

@@ -27,7 +27,7 @@ def table(catalog):
     table = QTable(catalog)
     table.set("a", "b", 1.5)
     table.set("b", "c", -0.25)
-    table._updates = 7
+    table.update_count = 7
     return table
 
 
@@ -50,7 +50,7 @@ class TestRoundTrip:
         save_policy(table, path)
         data = json.loads(path.read_text())
         assert data["catalog_name"] == "cat"
-        assert data["format_version"] == 1
+        assert data["format_version"] == 2
         assert len(data["entries"]) == 2
 
     def test_cross_catalog_load_skips_missing(self, table, tmp_path):
@@ -130,3 +130,87 @@ class TestPlannerWorkflow:
         fresh.adopt_policy(load_policy(path, dataset.catalog))
         restored = fresh.recommend("m1")
         assert restored.item_ids == original.item_ids
+
+
+class TestZeroEntryRegression:
+    def test_zero_valued_learned_entry_round_trips(self, catalog, tmp_path):
+        """A learned Q-value of exactly 0.0 must survive save/load."""
+        table = QTable(catalog)
+        table.set("a", "b", 0.0)
+        table.set("b", "c", 2.0)
+        path = tmp_path / "policy.json"
+        save_policy(table, path)
+        loaded = load_policy(path, catalog)
+        entries = loaded.to_entries()
+        assert entries[("a", "b")] == 0.0
+        assert entries[("b", "c")] == 2.0
+
+    def test_all_zero_table_still_counts_as_trained(self, catalog):
+        table = QTable(catalog)
+        table.set("a", "b", 0.0)
+        table.update_count = 5
+        loaded = policy_from_dict(policy_to_dict(table), catalog)
+        assert loaded.update_count == 5
+        assert ("a", "b") in loaded.to_entries()
+
+
+class TestV1Compatibility:
+    def _v1_payload(self):
+        return {
+            "format_version": 1,
+            "catalog_name": "cat",
+            "num_items": 3,
+            "entries": [
+                {"state": "a", "action": "b", "q": 1.5},
+                {"state": "b", "action": "c", "q": -0.25},
+            ],
+        }
+
+    def test_v1_payload_still_loads(self, catalog):
+        loaded = policy_from_dict(self._v1_payload(), catalog)
+        assert loaded.get("a", "b") == 1.5
+        assert loaded.get("b", "c") == -0.25
+
+    def test_v1_without_counter_infers_trained(self, catalog):
+        # Pre-counter files: any entry means the table was trained.
+        loaded = policy_from_dict(self._v1_payload(), catalog)
+        assert loaded.update_count == 2
+
+    def test_v1_explicit_counter_respected(self, catalog):
+        payload = self._v1_payload()
+        payload["update_count"] = 9
+        assert policy_from_dict(payload, catalog).update_count == 9
+
+
+class TestTrainingState:
+    def test_training_state_round_trips(self, table, catalog, tmp_path):
+        from repro.core.serialization import (
+            read_policy_file,
+            training_state_from_dict,
+        )
+
+        state = {"episode": 40, "rng_state": {"state": 1}}
+        path = tmp_path / "checkpoint.json"
+        save_policy(table, path, training_state=state)
+        data = read_policy_file(path)
+        assert training_state_from_dict(data) == state
+        # The same file still loads as a plain policy.
+        assert policy_from_dict(data, catalog).get("a", "b") == 1.5
+
+    def test_plain_policy_has_no_training_state(self, table, tmp_path):
+        from repro.core.serialization import (
+            read_policy_file,
+            training_state_from_dict,
+        )
+
+        path = tmp_path / "policy.json"
+        save_policy(table, path)
+        assert training_state_from_dict(read_policy_file(path)) is None
+
+    def test_malformed_training_state_rejected(self, table):
+        from repro.core.serialization import training_state_from_dict
+
+        payload = policy_to_dict(table)
+        payload["training_state"] = "not-a-dict"
+        with pytest.raises(PlanningError):
+            training_state_from_dict(payload)

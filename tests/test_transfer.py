@@ -33,7 +33,7 @@ def source_table(source_catalog):
     table = QTable(source_catalog)
     table.set("a", "b", 1.0)
     table.set("b", "c", 2.0)
-    table._updates = 2
+    table.update_count = 2
     return table
 
 
