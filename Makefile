@@ -5,7 +5,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test test-fast lint bench bench-runner bench-paper
+.PHONY: test test-fast test-chaos lint bench bench-runner bench-paper
 
 ## Full tier-1 suite (everything under tests/).
 test:
@@ -14,6 +14,10 @@ test:
 ## Quick loop: the suite minus the @slow integration/example tests.
 test-fast:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -m "not slow"
+
+## Fault-injection suite: worker kills, torn writes, checkpoint rot.
+test-chaos:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -m chaos
 
 ## Static checks (ruff: syntax errors + pyflakes).  `pip install -e .[lint]`.
 lint:

@@ -53,6 +53,7 @@ def compare_planners(
     workers: int = 1,
     root_seed: Optional[int] = None,
     out_dir=None,
+    fault_injector=None,
 ) -> ComparisonResult:
     """Average scores of RL-Planner, EDA, OMEGA, and gold over ``runs``.
 
@@ -65,7 +66,11 @@ def compare_planners(
     ``root_seed=None`` keeps the paper's run-index seeding; an integer
     derives ``SeedSequence`` child seeds from it instead (statistically
     independent runs).  ``out_dir`` additionally writes a run manifest
-    and a per-episode JSONL metrics stream.
+    and a per-episode JSONL metrics stream.  ``fault_injector`` arms a
+    :class:`repro.runner.FaultInjector` around every run — because task
+    seeds are fixed before dispatch, a batch that survives injected
+    worker kills or transient errors still scores identically to an
+    undisturbed one (the chaos suite asserts exactly this).
     """
     from ..runner import (
         ExperimentRunner,
@@ -97,7 +102,9 @@ def compare_planners(
         )
         for run, seed in enumerate(seeds)
     ]
-    runner = ExperimentRunner(workers=workers)
+    runner = ExperimentRunner(
+        workers=workers, fault_injector=fault_injector
+    )
     results = runner.map(execute_spec, specs, keys=[s.key for s in specs])
     failures = [r for r in results if not r.ok]
     if failures:

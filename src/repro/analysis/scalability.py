@@ -74,13 +74,15 @@ def measure_scalability(
     seed: int = 0,
     recommend_repeats: int = 5,
     workers: int = 1,
+    fault_injector=None,
 ) -> ScalabilityResult:
     """Time learning and recommendation across an episode grid.
 
     Each grid point is one :class:`RunSpec`; ``workers > 1`` measures
     the points concurrently.  Timings are wall-clock and therefore noisy
     under contention — use parallel mode for smoke runs, serial mode for
-    publication-quality numbers.
+    publication-quality numbers.  ``fault_injector`` (chaos drills)
+    perturbs wall-clock but never which measurements come back.
     """
     dataset_seed = int(dataset.default_config.seed or 0)
     prime_dataset_cache(dataset, dataset_seed)
@@ -98,7 +100,9 @@ def measure_scalability(
         )
         for index, episodes in enumerate(episode_grid)
     ]
-    runner = ExperimentRunner(workers=workers)
+    runner = ExperimentRunner(
+        workers=workers, fault_injector=fault_injector
+    )
     results = runner.map(execute_spec, specs, keys=[s.key for s in specs])
     failures = [r for r in results if not r.ok]
     if failures:

@@ -128,6 +128,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
     dataset = load(
         args.dataset, seed=args.seed, with_gold=args.protocol == "compare"
     )
+    fault_injector = None
+    if getattr(args, "inject_faults", None):
+        if args.protocol == "train":
+            print(
+                "--inject-faults applies to pooled protocols "
+                "(compare, scalability), not train; ignoring",
+                file=sys.stderr,
+            )
+        else:
+            from .runner import FaultInjector
+
+            fault_injector = FaultInjector.from_spec(args.inject_faults)
     if args.protocol == "train":
         if not args.out:
             print("run --protocol train requires --out RUN_DIR",
@@ -155,6 +167,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             workers=args.workers,
             root_seed=args.root_seed,
             out_dir=args.out,
+            fault_injector=fault_injector,
         )
         print(
             render_table(
@@ -176,7 +189,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from .analysis import measure_scalability
 
     result = measure_scalability(
-        dataset, seed=args.seed, workers=args.workers
+        dataset,
+        seed=args.seed,
+        workers=args.workers,
+        fault_injector=fault_injector,
     )
     rows = [
         [p.episodes, f"{p.learn_seconds:.3f}", f"{p.recommend_seconds:.4f}"]
@@ -283,6 +299,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--out",
         help="run directory (manifest + episode metrics; required for "
         "--protocol train)",
+    )
+    run.add_argument(
+        "--inject-faults", metavar="SPEC",
+        help="chaos-test the pool with deterministic faults, e.g. "
+        "'kill@1;error:p=0.3,seed=7;slow@2:seconds=1' "
+        "(kinds: kill, error, io, slow; scores must not change)",
     )
     run.set_defaults(func=_cmd_run)
 

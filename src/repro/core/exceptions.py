@@ -2,8 +2,8 @@
 
 All library errors derive from :class:`ReproError` so callers can catch a
 single base class.  Each subclass corresponds to a distinct failure domain
-(data model, constraints, planning, datasets), which keeps error handling
-at call sites explicit without string matching.
+(data model, constraints, planning, datasets, on-disk artifacts), which
+keeps error handling at call sites explicit without string matching.
 """
 
 from __future__ import annotations
@@ -42,6 +42,17 @@ class PlanningError(ReproError):
 
 class UntrainedPolicyError(PlanningError):
     """A recommendation was requested before the policy was learned."""
+
+
+class ArtifactError(PlanningError):
+    """An on-disk artifact (policy, checkpoint, manifest) is unusable.
+
+    Raised when a run-directory file cannot be read, does not parse, or
+    fails its integrity checksum — i.e. the bytes on disk are wrong, as
+    opposed to a well-formed file describing an invalid configuration.
+    Subclasses :class:`PlanningError` because a corrupt artifact stops a
+    resume the same way a missing policy stops a recommendation.
+    """
 
 
 class UnknownItemError(DataModelError):

@@ -16,22 +16,44 @@ Format v2 extends v1 in two ways:
   resume bit-identically.
 
 v1 files remain readable; the writer always emits v2.
+
+Crash safety: the writer embeds a SHA-256 ``checksum`` over the
+canonical payload and fsyncs before the atomic rename, so a policy file
+that exists is complete, durable, and detectably-uncorrupted.  Files
+without a checksum (v1, early v2) load without verification.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 import pathlib
 from typing import Dict, Optional, Tuple, Union
 
 from .catalog import Catalog
-from .exceptions import PlanningError
+from .exceptions import ArtifactError, PlanningError
 from .qtable import QTable
 
 PathLike = Union[str, pathlib.Path]
 
 FORMAT_VERSION = 2
 SUPPORTED_VERSIONS = (1, 2)
+
+CHECKSUM_KEY = "checksum"
+
+
+def payload_checksum(payload: Dict[str, object]) -> str:
+    """SHA-256 of a payload's canonical JSON, checksum field excluded.
+
+    Canonical form (sorted keys, compact separators) survives the
+    write → parse round trip exactly: JSON ints are unbounded and float
+    reprs round-trip, so the checksum computed before writing matches
+    the one recomputed from the parsed file iff the bytes are intact.
+    """
+    body = {k: v for k, v in payload.items() if k != CHECKSUM_KEY}
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def policy_to_dict(
@@ -125,13 +147,19 @@ def save_policy(
 ) -> None:
     """Write a learned policy (or checkpoint) to a JSON file.
 
-    The file is written atomically (tmp file + rename) so a crash
-    mid-write can never leave a truncated checkpoint behind.
+    The payload carries a SHA-256 checksum (verified on read), and the
+    file is written atomically (tmp file + flush + fsync + rename) so a
+    crash mid-write can never leave a truncated checkpoint behind and a
+    crash right after the rename cannot lose the buffered bytes.
     """
     payload = policy_to_dict(qtable, training_state=training_state)
+    payload[CHECKSUM_KEY] = payload_checksum(payload)
     target = pathlib.Path(path)
     tmp = target.with_name(target.name + ".tmp")
-    tmp.write_text(json.dumps(payload, indent=2))
+    with tmp.open("w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.flush()
+        os.fsync(handle.fileno())
     tmp.replace(target)
 
 
@@ -143,11 +171,27 @@ def load_policy(
 
 
 def read_policy_file(path: PathLike) -> Dict[str, object]:
-    """Parse a policy/checkpoint file into its raw payload dict."""
+    """Parse a policy/checkpoint file into its raw payload dict.
+
+    When the payload embeds a checksum it is verified against the
+    parsed content; a mismatch (bit rot, a torn non-atomic copy, a
+    hand-edited file) raises :class:`ArtifactError` rather than letting
+    silently-corrupt Q-values into a planner.
+    """
     try:
         data = json.loads(pathlib.Path(path).read_text())
-    except (OSError, json.JSONDecodeError) as exc:
-        raise PlanningError(f"cannot read policy file {path}: {exc}") from exc
+    except (OSError, ValueError) as exc:
+        # ValueError covers both JSONDecodeError and the
+        # UnicodeDecodeError bit-rotted bytes produce.
+        raise ArtifactError(f"cannot read policy file {path}: {exc}") from exc
     if not isinstance(data, dict):
-        raise PlanningError("malformed policy file: not a JSON object")
+        raise ArtifactError("malformed policy file: not a JSON object")
+    stored = data.get(CHECKSUM_KEY)
+    if stored is not None:
+        computed = payload_checksum(data)
+        if computed != stored:
+            raise ArtifactError(
+                f"checksum mismatch in {path}: stored {stored!r}, "
+                f"computed {computed!r} — the file is corrupt"
+            )
     return data

@@ -13,21 +13,37 @@ The fault-tolerant fan-out layer under every experiment protocol:
   artifacts (manifest.json + episodes.jsonl) for every run.
 * :func:`run_training` / :func:`resume_training` — mid-training
   checkpoint/resume for the SARSA learner (bit-identical continuation).
+* :class:`FaultInjector` — seeded, deterministic chaos (worker kills,
+  transient errors, stalls, torn writes) wrapped around any task, so
+  every recovery path above is testable and stays tested.
 """
 
 from .checkpoint import (
     CHECKPOINT_NAME,
+    CHECKPOINT_PREV_NAME,
     TrainingCheckpoint,
     config_fingerprint,
     load_checkpoint,
+)
+from .faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultRule,
+    FaultSpecError,
+    InjectedFault,
+    corrupt_file,
+    parse_fault_spec,
+    tear_file,
 )
 from .manifest import (
     EPISODES_NAME,
     MANIFEST_NAME,
     EpisodeMetricsWriter,
     RunManifest,
+    atomic_write_text,
     fingerprint_payload,
     git_sha,
+    tolerant_stream_rows,
     write_batch_artifacts,
 )
 from .pool import (
@@ -56,10 +72,16 @@ from .training import (
 
 __all__ = [
     "CHECKPOINT_NAME",
+    "CHECKPOINT_PREV_NAME",
     "EPISODES_NAME",
     "ExperimentRunner",
     "EpisodeMetricsWriter",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultRule",
+    "FaultSpecError",
     "HANDLERS",
+    "InjectedFault",
     "MANIFEST_NAME",
     "POLICY_NAME",
     "RECOMMENDATION_NAME",
@@ -72,15 +94,20 @@ __all__ = [
     "TaskTimeoutError",
     "TrainingCheckpoint",
     "TrainingOutcome",
+    "atomic_write_text",
     "child_seeds",
     "config_fingerprint",
+    "corrupt_file",
     "execute_spec",
     "fingerprint_payload",
     "get_dataset",
     "git_sha",
     "load_checkpoint",
+    "parse_fault_spec",
     "prime_dataset_cache",
     "resume_training",
     "run_training",
+    "tear_file",
+    "tolerant_stream_rows",
     "write_batch_artifacts",
 ]

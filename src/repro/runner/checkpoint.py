@@ -10,12 +10,20 @@ captures everything the learner needs to continue *bit-identically*:
 * a config fingerprint that refuses resumption under a different
   configuration.
 
-Checkpoints are written atomically; a run killed mid-write leaves the
-previous checkpoint intact.
+Checkpoints are written atomically (tmp + fsync + rename) and carry a
+payload checksum; a run killed mid-write leaves the previous checkpoint
+intact.  Writes also rotate: the outgoing ``checkpoint.json`` becomes
+``checkpoint.prev.json``, so even if the *latest* checkpoint is later
+corrupted on disk (bit rot, a torn copy, an overzealous editor),
+:func:`load_checkpoint` falls back one generation with a warning
+instead of refusing to resume — losing at most ``checkpoint_every``
+episodes of progress, never the run.
 """
 
 from __future__ import annotations
 
+import logging
+import os
 import pathlib
 from dataclasses import dataclass
 from typing import Dict, Optional, Union
@@ -31,9 +39,18 @@ from ..core.serialization import (
     training_state_from_dict,
 )
 
+logger = logging.getLogger(__name__)
+
 PathLike = Union[str, pathlib.Path]
 
 CHECKPOINT_NAME = "checkpoint.json"
+CHECKPOINT_PREV_NAME = "checkpoint.prev.json"
+
+
+def rotated_path(path: PathLike) -> pathlib.Path:
+    """Where a checkpoint's previous generation lives (``*.prev.json``)."""
+    path = pathlib.Path(path)
+    return path.with_name(path.stem + ".prev" + path.suffix)
 
 
 def config_fingerprint(config: PlannerConfig) -> str:
@@ -57,6 +74,15 @@ class TrainingCheckpoint:
     start_item: str
 
     def save(self, path: PathLike) -> None:
+        """Write the checkpoint, rotating the previous one to ``.prev``.
+
+        Rotation happens before the (atomic, fsynced) write of the new
+        file, so the worst crash window leaves only ``.prev`` on disk —
+        a state :func:`load_checkpoint` recovers from.
+        """
+        target = pathlib.Path(path)
+        if target.exists():
+            os.replace(target, rotated_path(target))
         save_policy(
             self.qtable,
             path,
@@ -107,8 +133,35 @@ class TrainingCheckpoint:
 def load_checkpoint(
     run_dir: PathLike, catalog: Catalog
 ) -> Optional[TrainingCheckpoint]:
-    """The run directory's checkpoint, or None if none was written yet."""
-    path = pathlib.Path(run_dir) / CHECKPOINT_NAME
-    if not path.exists():
+    """The run directory's checkpoint, or None if none was written yet.
+
+    Tries ``checkpoint.json`` first; if it is missing (crash between
+    rotation and write), unparseable, or fails its checksum, falls back
+    to ``checkpoint.prev.json`` with a warning.  Only when every
+    generation on disk is unusable does the latest one's error
+    propagate.
+    """
+    run_dir = pathlib.Path(run_dir)
+    latest = run_dir / CHECKPOINT_NAME
+    prev = run_dir / CHECKPOINT_PREV_NAME
+    candidates = [p for p in (latest, prev) if p.exists()]
+    if not candidates:
         return None
-    return TrainingCheckpoint.load(path, catalog)
+    first_error: Optional[PlanningError] = None
+    for path in candidates:
+        try:
+            checkpoint = TrainingCheckpoint.load(path, catalog)
+        except PlanningError as exc:  # includes ArtifactError
+            logger.warning("checkpoint %s is unusable: %s", path, exc)
+            if first_error is None:
+                first_error = exc
+            continue
+        if path != latest:
+            logger.warning(
+                "falling back to rotated checkpoint %s (episode %d); "
+                "at most one checkpoint interval of progress is lost",
+                path, checkpoint.episode,
+            )
+        return checkpoint
+    assert first_error is not None
+    raise first_error

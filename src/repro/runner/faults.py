@@ -1,0 +1,311 @@
+"""Deterministic fault injection for the experiment runner.
+
+Chaos engineering needs faults that are *repeatable*: a CI job that
+kills a worker on task 3 must kill it on task 3 every run, and must
+stop killing it once the recovery path has been exercised — otherwise
+"the batch recovered" is luck, not a property.  :class:`FaultInjector`
+provides that:
+
+* **Seeded selection.**  Whether a rule fires on task *i* is decided by
+  hashing ``(rule seed, rule index, task index)`` — no RNG state, so
+  the decision is identical in every worker process and on every rerun.
+* **Bounded firing.**  Each rule fires at most ``times`` times per
+  task, tracked through marker files in a shared ``state_dir`` — worker
+  processes see each other's markers, so "kill the first attempt, let
+  the retry through" holds across pool rebuilds and even across the
+  pool's degradation to serial execution.
+* **Picklable wrapping.**  :meth:`FaultInjector.wrap` returns a
+  top-level callable that crosses process boundaries, which is how
+  :class:`repro.runner.pool.ExperimentRunner` arms faults inside its
+  workers.
+
+Fault kinds
+-----------
+``kill``
+    ``os._exit`` inside the worker — the un-catchable death (OOM
+    killer, SIGKILL) that surfaces to the pool as ``BrokenProcessPool``.
+    In serial mode this kills the calling process, exactly like a real
+    fatal fault would; keep ``times`` bounded.
+``error``
+    Raises :class:`InjectedFault`, a transient Python exception — the
+    retry-with-backoff path.
+``io``
+    Raises :class:`OSError` ("torn artifact write") — the failure mode
+    of a disk-full or interrupted write surfacing as an exception.
+``slow``
+    Sleeps ``seconds`` then lets the task proceed — the timeout path.
+
+Spec strings (CLI ``--inject-faults``)
+--------------------------------------
+Rules are ``;``-separated: ``kind[@task,task...][:key=value,...]``.
+
+* ``kill@1,3`` — kill the worker running task 1 and task 3, once each.
+* ``error:p=0.3,seed=7`` — transient failure on a seeded 30% of tasks.
+* ``slow@2:seconds=1.5`` — task 2 stalls for 1.5 s (once).
+* ``io@0:times=2`` — task 0's first two attempts fail with an IOError.
+
+The module also ships :func:`tear_file` and :func:`corrupt_file`, the
+artifact-level faults (truncation mid-payload, byte rot) used by the
+checkpoint-integrity drills in ``tests/test_chaos.py`` and the
+EXPERIMENTS.md "kill -9 drill".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pathlib
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Union
+
+PathLike = Union[str, pathlib.Path]
+
+#: Exit status used by ``kill`` faults — distinctive in post-mortems.
+KILL_EXIT_CODE = 87
+
+FAULT_KINDS = ("kill", "error", "io", "slow")
+
+
+class InjectedFault(RuntimeError):
+    """The transient exception raised by ``error`` fault rules."""
+
+
+class FaultSpecError(ValueError):
+    """A ``--inject-faults`` spec string could not be parsed."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One fault to inject: what, on which tasks, how often.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    tasks:
+        Task indices the rule applies to; ``None`` means every task.
+    p:
+        Probability a matching task is actually faulted, decided
+        deterministically per task from ``seed`` (1.0 = always).
+    seed:
+        Seed for the per-task firing decision.
+    seconds:
+        Stall duration for ``slow`` rules.
+    times:
+        Maximum firings per task (spent firings persist in the
+        injector's ``state_dir``, surviving process boundaries).
+    """
+
+    kind: str
+    tasks: Optional[frozenset] = None
+    p: float = 1.0
+    seed: int = 0
+    seconds: float = 0.05
+    times: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultSpecError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{', '.join(FAULT_KINDS)}"
+            )
+        if not 0.0 <= self.p <= 1.0:
+            raise FaultSpecError(f"fault probability out of range: {self.p}")
+        if self.times < 1:
+            raise FaultSpecError(f"fault times must be >= 1: {self.times}")
+
+    def matches(self, task_index: int) -> bool:
+        """Whether this rule applies to the task at ``task_index``."""
+        return self.tasks is None or task_index in self.tasks
+
+
+_RULE_FLOATS = {"p", "seconds"}
+_RULE_INTS = {"seed", "times"}
+
+
+def parse_fault_spec(spec: str) -> List[FaultRule]:
+    """Parse a ``--inject-faults`` spec string into rules.
+
+    See the module docstring for the grammar; raises
+    :class:`FaultSpecError` on anything malformed so CLI typos fail
+    loudly instead of silently injecting nothing.
+    """
+    rules: List[FaultRule] = []
+    for chunk in (c.strip() for c in spec.split(";")):
+        if not chunk:
+            continue
+        head, _, params = chunk.partition(":")
+        kind, _, tasks = head.partition("@")
+        kwargs: dict = {}
+        if tasks:
+            try:
+                kwargs["tasks"] = frozenset(
+                    int(t) for t in tasks.split(",") if t.strip()
+                )
+            except ValueError as exc:
+                raise FaultSpecError(
+                    f"bad task list in fault rule {chunk!r}"
+                ) from exc
+        if params:
+            for pair in params.split(","):
+                key, sep, value = pair.partition("=")
+                key = key.strip()
+                if not sep or (
+                    key not in _RULE_FLOATS and key not in _RULE_INTS
+                ):
+                    raise FaultSpecError(
+                        f"bad parameter {pair!r} in fault rule {chunk!r}"
+                    )
+                try:
+                    kwargs[key] = (
+                        float(value) if key in _RULE_FLOATS else int(value)
+                    )
+                except ValueError as exc:
+                    raise FaultSpecError(
+                        f"bad value {value!r} for {key} in {chunk!r}"
+                    ) from exc
+        rules.append(FaultRule(kind=kind.strip(), **kwargs))
+    if not rules:
+        raise FaultSpecError(f"empty fault spec: {spec!r}")
+    return rules
+
+
+class FaultInjector:
+    """Injects seeded, bounded faults into runner tasks.
+
+    Instances are picklable (rules + a state-directory path), so the
+    same injector object works in the parent, in pool workers, and in
+    the pool's serial-degradation fallback, all sharing one fire count
+    per ``(rule, task)`` through marker files in ``state_dir``.
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[FaultRule],
+        state_dir: Optional[PathLike] = None,
+    ) -> None:
+        self.rules = list(rules)
+        if state_dir is None:
+            state_dir = tempfile.mkdtemp(prefix="repro-faults-")
+        self.state_dir = str(state_dir)
+        pathlib.Path(self.state_dir).mkdir(parents=True, exist_ok=True)
+
+    @classmethod
+    def from_spec(
+        cls, spec: str, state_dir: Optional[PathLike] = None
+    ) -> "FaultInjector":
+        """Build an injector from a ``--inject-faults`` spec string."""
+        return cls(parse_fault_spec(spec), state_dir=state_dir)
+
+    # -- decision machinery -------------------------------------------
+
+    @staticmethod
+    def _decides(rule_index: int, rule: FaultRule, task_index: int) -> bool:
+        """Deterministic per-task coin flip (identical in any process)."""
+        if rule.p >= 1.0:
+            return True
+        digest = hashlib.sha256(
+            f"{rule.seed}:{rule_index}:{task_index}".encode("utf-8")
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / 2**64 < rule.p
+
+    def _claim(self, rule_index: int, task_index: int, times: int) -> bool:
+        """Consume one firing of a rule for a task, False when spent.
+
+        Fire counts live as marker-file sizes in ``state_dir`` so they
+        are visible across the processes a task may visit (original
+        worker, rebuilt pool, serial fallback).  No locking: a task runs
+        in exactly one process at a time.
+        """
+        marker = (
+            pathlib.Path(self.state_dir)
+            / f"rule{rule_index}-task{task_index}"
+        )
+        fired = marker.stat().st_size if marker.exists() else 0
+        if fired >= times:
+            return False
+        with marker.open("a") as handle:
+            handle.write("x")
+            handle.flush()
+            os.fsync(handle.fileno())
+        return True
+
+    def perturb(self, task_index: int) -> None:
+        """Fire every armed rule matching ``task_index`` (worker-side)."""
+        for rule_index, rule in enumerate(self.rules):
+            if not rule.matches(task_index):
+                continue
+            if not self._decides(rule_index, rule, task_index):
+                continue
+            if not self._claim(rule_index, task_index, rule.times):
+                continue
+            self._fire(rule)
+
+    @staticmethod
+    def _fire(rule: FaultRule) -> None:
+        if rule.kind == "slow":
+            time.sleep(rule.seconds)
+            return
+        if rule.kind == "error":
+            raise InjectedFault("injected transient failure")
+        if rule.kind == "io":
+            raise OSError("injected torn artifact write")
+        # kill: die the way the OOM killer kills — no exception, no
+        # cleanup, the pool just loses a process.
+        os._exit(KILL_EXIT_CODE)
+
+    def wrap(self, fn: Callable, task_index: int) -> "FaultingCall":
+        """A picklable callable running ``fn`` behind this injector."""
+        return FaultingCall(self, fn, task_index)
+
+
+class FaultingCall:
+    """Picklable ``fn`` wrapper that perturbs before each invocation."""
+
+    def __init__(
+        self, injector: FaultInjector, fn: Callable, task_index: int
+    ) -> None:
+        self.injector = injector
+        self.fn = fn
+        self.task_index = task_index
+
+    def __call__(self, payload):
+        self.injector.perturb(self.task_index)
+        return self.fn(payload)
+
+
+# ----------------------------------------------------------------------
+# Artifact-level faults (for checkpoint-integrity drills)
+# ----------------------------------------------------------------------
+
+
+def tear_file(path: PathLike, keep_fraction: float = 0.5) -> pathlib.Path:
+    """Truncate a file mid-payload, simulating a torn (non-atomic) write.
+
+    This is the on-disk state a crash leaves behind when a writer skips
+    the tmp-file + rename protocol — the checkpoint loader must detect
+    it (JSON parse failure or checksum mismatch) and fall back.
+    """
+    target = pathlib.Path(path)
+    data = target.read_bytes()
+    keep = max(1, int(len(data) * keep_fraction))
+    target.write_bytes(data[:keep])
+    return target
+
+
+def corrupt_file(path: PathLike, offset_fraction: float = 0.5) -> pathlib.Path:
+    """Flip bytes mid-file (keeping length), simulating silent bit rot.
+
+    Unlike :func:`tear_file` the result may still parse as JSON, which
+    is exactly what the payload checksum exists to catch.
+    """
+    target = pathlib.Path(path)
+    data = bytearray(target.read_bytes())
+    if data:
+        start = min(len(data) - 1, int(len(data) * offset_fraction))
+        for i in range(start, min(len(data), start + 8)):
+            data[i] ^= 0xFF
+    target.write_bytes(bytes(data))
+    return target

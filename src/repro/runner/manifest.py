@@ -19,11 +19,17 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
+import os
 import pathlib
 import subprocess
 import time
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional, Union
+
+from ..core.exceptions import ArtifactError
+
+logger = logging.getLogger(__name__)
 
 PathLike = Union[str, pathlib.Path]
 
@@ -65,6 +71,23 @@ def git_sha() -> Optional[str]:
         return None
     sha = out.stdout.strip()
     return sha if out.returncode == 0 and sha else None
+
+
+def atomic_write_text(path: PathLike, text: str) -> pathlib.Path:
+    """Write ``text`` durably: tmp file + flush + fsync + atomic rename.
+
+    The rename guarantees readers never see a half-written file; the
+    fsync guarantees a crash immediately *after* the rename cannot lose
+    the buffered bytes either.
+    """
+    target = pathlib.Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    with tmp.open("w") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    tmp.replace(target)
+    return target
 
 
 def _strip_timing(value: Any) -> Any:
@@ -116,20 +139,37 @@ class RunManifest:
         return payload
 
     def save(self, run_dir: PathLike) -> pathlib.Path:
-        """Write ``manifest.json`` atomically into ``run_dir``."""
+        """Write ``manifest.json`` atomically (and fsynced) into ``run_dir``."""
         self.updated_at = time.time()
         run_dir = pathlib.Path(run_dir)
         run_dir.mkdir(parents=True, exist_ok=True)
-        target = run_dir / MANIFEST_NAME
-        tmp = target.with_name(target.name + ".tmp")
-        tmp.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
-        tmp.replace(target)
-        return target
+        return atomic_write_text(
+            run_dir / MANIFEST_NAME,
+            json.dumps(self.to_dict(), indent=2, sort_keys=True),
+        )
 
     @classmethod
     def load(cls, run_dir: PathLike) -> "RunManifest":
+        """Read a run directory's manifest back.
+
+        A missing or corrupt ``manifest.json`` raises
+        :class:`~repro.core.exceptions.ArtifactError` — the typed,
+        catchable signal that the *artifact* is bad, consistent with
+        ``read_policy_file`` — never a raw ``JSONDecodeError``.
+        """
         path = pathlib.Path(run_dir) / MANIFEST_NAME
-        data = json.loads(path.read_text())
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            # ValueError covers both JSONDecodeError and the
+            # UnicodeDecodeError bit-rotted bytes produce.
+            raise ArtifactError(
+                f"cannot read run manifest {path}: {exc}"
+            ) from exc
+        if not isinstance(data, dict):
+            raise ArtifactError(
+                f"malformed run manifest {path}: not a JSON object"
+            )
         data.pop("fingerprint", None)
         known = {f for f in cls.__dataclass_fields__}
         return cls(**{k: v for k, v in data.items() if k in known})
@@ -157,6 +197,16 @@ class EpisodeMetricsWriter:
         self._handle.flush()
 
     def close(self) -> None:
+        """Flush *and* fsync before closing.
+
+        Flushing alone hands the rows to the OS; a machine crash right
+        after a run could still lose them from the page cache.  The
+        fsync pins every episode row written so far to disk.
+        """
+        if self._handle.closed:
+            return
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
         self._handle.close()
 
     def __enter__(self) -> "EpisodeMetricsWriter":
@@ -164,6 +214,33 @@ class EpisodeMetricsWriter:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+def tolerant_stream_rows(path: PathLike) -> List[Dict[str, Any]]:
+    """Parse an ``episodes.jsonl`` stream, tolerating a crash-torn tail.
+
+    The writer appends one line per episode; a kill mid-append leaves a
+    final line that is truncated JSON.  Parsing stops (with a logged
+    warning) at the first undecodable line — everything before it is a
+    valid prefix, everything at/after it is the torn tail a crash left
+    behind.  A missing file is an empty stream.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        return []
+    rows: List[Dict[str, Any]] = []
+    lines = path.read_text().splitlines()
+    for lineno, line in enumerate(lines):
+        try:
+            rows.append(json.loads(line))
+        except json.JSONDecodeError:
+            logger.warning(
+                "%s: torn/corrupt line %d; truncating %d trailing "
+                "line(s) (valid prefix of %d row(s) kept)",
+                path, lineno + 1, len(lines) - lineno, len(rows),
+            )
+            break
+    return rows
 
 
 def write_batch_artifacts(

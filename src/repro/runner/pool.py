@@ -1,4 +1,4 @@
-"""Process-pool execution with timeout, bounded retry, and failure capture.
+"""Process-pool execution with timeout, retry, and worker-death recovery.
 
 :class:`ExperimentRunner` is the fan-out engine behind the parallel
 experiment protocols.  Its contract:
@@ -6,16 +6,30 @@ experiment protocols.  Its contract:
 * **Deterministic results.**  ``map`` returns results ordered by task
   index, never by completion order, and all task seeds are fixed by the
   caller before dispatch — so a batch's outcome is identical for any
-  worker count.
-* **Failure capture.**  A task that raises is retried up to
-  ``max_retries`` extra times; the final failure is captured as a
-  :class:`TaskResult` with the traceback string instead of poisoning the
-  whole batch.
+  worker count, and identical whether or not faults forced retries,
+  pool rebuilds, or serial degradation along the way.
+* **Failure capture.**  A task that raises is retried (with jittered
+  exponential backoff) up to ``max_retries`` extra times; the final
+  failure is captured as a :class:`TaskResult` with the traceback
+  string instead of poisoning the whole batch.
+* **Worker-death recovery.**  A worker killed outright (OOM killer,
+  SIGKILL, ``os._exit``) surfaces as ``BrokenProcessPool`` and renders
+  the executor unusable.  The runner rebuilds the pool and re-submits
+  only the tasks that had no result yet — with their retry budgets
+  intact, because a pool death is not attributable to any one task.
+  After ``pool_death_limit`` consecutive deaths without progress it
+  degrades to serial in-process execution with a logged warning rather
+  than failing the batch.
 * **Per-task timeout.**  When ``task_timeout`` is set and the pool is
   parallel, each worker arms ``signal.alarm`` around the task so a
   runaway task dies inside its worker (keeping the pool healthy) and is
   reported as ``"timeout"``.  Serial execution ignores the timeout —
-  interrupting the caller's own process would be rude.
+  interrupting the caller's own process would be rude — and says so
+  once via ``warnings.warn``.
+* **Fault injection.**  An optional :class:`~repro.runner.faults.
+  FaultInjector` wraps every task (parallel, serial, and degraded-
+  serial alike), which is how the chaos suite exercises each recovery
+  path above deterministically.
 
 ``workers <= 1`` executes in-process with the same retry/capture
 semantics, which is both the fast path for tests and the fallback for
@@ -24,16 +38,37 @@ environments where ``multiprocessing`` is unavailable.
 
 from __future__ import annotations
 
+import logging
+import random
 import signal
 import time
 import traceback
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+import warnings
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from .faults import FaultInjector
+
+logger = logging.getLogger(__name__)
 
 STATUS_OK = "ok"
 STATUS_ERROR = "error"
 STATUS_TIMEOUT = "timeout"
+
+#: Seed for backoff jitter — fixed so wall-clock behaviour is
+#: reproducible; jitter never influences results, only sleep lengths.
+_JITTER_SEED = 0x5EED
+
+# One warning per process for the serial-mode timeout no-op; module
+# state so repeated maps on one-worker boxes do not nag.
+_SERIAL_TIMEOUT_WARNED = False
 
 
 class TaskTimeoutError(Exception):
@@ -90,11 +125,26 @@ class ExperimentRunner:
         rounded up to a whole second for ``signal.alarm``).
     max_retries:
         Extra attempts granted to a task that raised or timed out.
+        Pool deaths do not consume this budget.
+    retry_backoff:
+        Base sleep before retry *k* — ``retry_backoff * 2**(k-1)``
+        seconds, jittered to 50–150% and capped at ``backoff_cap``.
+        Zero disables backoff.
+    pool_death_limit:
+        Consecutive no-progress pool deaths tolerated before the
+        remaining tasks run serially in-process.
+    fault_injector:
+        Optional deterministic fault source wrapped around every task
+        (see :mod:`repro.runner.faults`).
     """
 
     workers: int = 1
     task_timeout: Optional[float] = None
     max_retries: int = 1
+    retry_backoff: float = 0.05
+    backoff_cap: float = 2.0
+    pool_death_limit: int = 3
+    fault_injector: Optional[FaultInjector] = None
 
     @property
     def effective_workers(self) -> int:
@@ -119,26 +169,65 @@ class ExperimentRunner:
         if not payloads:
             return []
         if self.effective_workers <= 1:
+            self._warn_serial_timeout()
             return [
                 self._run_serial(fn, payload, i, keys[i])
                 for i, payload in enumerate(payloads)
             ]
         return self._run_parallel(fn, payloads, keys)
 
+    def _warn_serial_timeout(self) -> None:
+        global _SERIAL_TIMEOUT_WARNED
+        if self.task_timeout is None or _SERIAL_TIMEOUT_WARNED:
+            return
+        _SERIAL_TIMEOUT_WARNED = True
+        warnings.warn(
+            "task_timeout is ignored in serial mode (workers<=1): a "
+            "runaway task will not be bounded; use workers>=2 to arm "
+            "per-task timeouts",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+    def _wrap(self, fn: Callable[[Any], Any], index: int):
+        if self.fault_injector is None:
+            return fn
+        return self.fault_injector.wrap(fn, index)
+
+    def _backoff_seconds(self, attempt: int, rng: random.Random) -> float:
+        """Jittered exponential sleep before attempt number ``attempt``."""
+        if self.retry_backoff <= 0:
+            return 0.0
+        base = min(
+            self.backoff_cap,
+            self.retry_backoff * (2 ** max(0, attempt - 2)),
+        )
+        return base * (0.5 + rng.random())
+
     # ------------------------------------------------------------------
     # Serial path
     # ------------------------------------------------------------------
 
     def _run_serial(
-        self, fn: Callable[[Any], Any], payload: Any, index: int, key: str
+        self,
+        fn: Callable[[Any], Any],
+        payload: Any,
+        index: int,
+        key: str,
+        first_attempt: int = 1,
     ) -> TaskResult:
+        task = self._wrap(fn, index)
+        rng = random.Random(_JITTER_SEED + index)
         t0 = time.perf_counter()
         error = None
-        for attempt in range(1, self.max_retries + 2):
+        attempt = first_attempt
+        for attempt in range(first_attempt, self.max_retries + 2):
             try:
-                value = fn(payload)
+                value = task(payload)
             except Exception:
                 error = traceback.format_exc()
+                if attempt <= self.max_retries:
+                    time.sleep(self._backoff_seconds(attempt + 1, rng))
                 continue
             return TaskResult(
                 index=index,
@@ -153,7 +242,7 @@ class ExperimentRunner:
             key=key,
             status=STATUS_ERROR,
             error=error,
-            attempts=self.max_retries + 1,
+            attempts=attempt,
             seconds=time.perf_counter() - t0,
         )
 
@@ -166,11 +255,13 @@ class ExperimentRunner:
         pool: ProcessPoolExecutor,
         fn: Callable[[Any], Any],
         payload: Any,
+        index: int,
     ) -> Future:
+        task = self._wrap(fn, index)
         if self.task_timeout is not None:
             budget = max(1, int(self.task_timeout + 0.999))
-            return pool.submit(_call_with_alarm, fn, payload, budget)
-        return pool.submit(fn, payload)
+            return pool.submit(_call_with_alarm, task, payload, budget)
+        return pool.submit(task, payload)
 
     def _run_parallel(
         self,
@@ -181,10 +272,60 @@ class ExperimentRunner:
         results: Dict[int, TaskResult] = {}
         attempts = {i: 1 for i in range(len(payloads))}
         started = {i: time.perf_counter() for i in range(len(payloads))}
+        todo = list(range(len(payloads)))
+        deaths = 0
+        rng = random.Random(_JITTER_SEED)
+        while todo:
+            prior = len(results)
+            try:
+                self._pool_round(
+                    fn, payloads, keys, todo, results, attempts, started,
+                    rng,
+                )
+                todo = []
+            except BrokenExecutor:
+                # A worker died without raising (SIGKILL, OOM, os._exit);
+                # every in-flight future is void.  Completed tasks keep
+                # their results; unfinished ones are re-submitted to a
+                # fresh pool with retry budgets intact — the death is
+                # not attributable to any single task.
+                deaths = 1 if len(results) > prior else deaths + 1
+                todo = [i for i in range(len(payloads)) if i not in results]
+                logger.warning(
+                    "process pool died (%d consecutive, limit %d); "
+                    "%d/%d tasks already have results, re-submitting %d",
+                    deaths, self.pool_death_limit,
+                    len(results), len(payloads), len(todo),
+                )
+                if deaths >= self.pool_death_limit:
+                    logger.warning(
+                        "pool died %d times consecutively; degrading "
+                        "to serial in-process execution for the "
+                        "remaining %d task(s)", deaths, len(todo),
+                    )
+                    for i in todo:
+                        results[i] = self._run_serial(
+                            fn, payloads[i], i, keys[i],
+                            first_attempt=attempts[i],
+                        )
+                    todo = []
+        return [results[i] for i in range(len(payloads))]
+
+    def _pool_round(
+        self,
+        fn: Callable[[Any], Any],
+        payloads: Sequence[Any],
+        keys: Sequence[str],
+        todo: Sequence[int],
+        results: Dict[int, TaskResult],
+        attempts: Dict[int, int],
+        started: Dict[int, float],
+        rng: random.Random,
+    ) -> None:
+        """Drive one executor until ``todo`` drains or the pool breaks."""
         with ProcessPoolExecutor(max_workers=self.effective_workers) as pool:
             pending: Dict[Future, int] = {
-                self._submit(pool, fn, payload): i
-                for i, payload in enumerate(payloads)
+                self._submit(pool, fn, payloads[i], i): i for i in todo
             }
             while pending:
                 done, _ = wait(pending, return_when=FIRST_COMPLETED)
@@ -199,11 +340,15 @@ class ExperimentRunner:
                         and attempts[index] <= self.max_retries
                     ):
                         attempts[index] += 1
-                        retry = self._submit(pool, fn, payloads[index])
+                        time.sleep(
+                            self._backoff_seconds(attempts[index], rng)
+                        )
+                        retry = self._submit(
+                            pool, fn, payloads[index], index
+                        )
                         pending[retry] = index
                     else:
                         results[index] = result
-        return [results[i] for i in range(len(payloads))]
 
     def _collect(
         self,
@@ -222,6 +367,10 @@ class ExperimentRunner:
                 error=f"timed out after {self.task_timeout}s",
                 attempts=attempt, seconds=elapsed,
             )
+        except BrokenExecutor:
+            # Not a task failure — the pool itself is gone.  Propagate
+            # to the recovery logic in _run_parallel.
+            raise
         except Exception as exc:
             detail = "".join(
                 traceback.format_exception_only(type(exc), exc)

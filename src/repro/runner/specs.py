@@ -188,6 +188,20 @@ def run_eda_score_task(spec: RunSpec) -> Dict[str, Any]:
     return {"score": scorer.score(plan).value}
 
 
+def run_probe_task(spec: RunSpec) -> Dict[str, Any]:
+    """No-op diagnostic task: echo identity, optionally stall.
+
+    Costs nothing to run, so chaos drills and pool benchmarks can
+    exercise dispatch, retry, worker-death, and timeout machinery
+    without paying for training.  ``params["sleep"]`` (seconds) makes
+    it a controllable slow task.
+    """
+    seconds = float(spec.params.get("sleep", 0.0))
+    if seconds > 0:
+        time.sleep(seconds)
+    return {"probe": spec.index, "seed": spec.seed}
+
+
 def run_timing_task(spec: RunSpec) -> Dict[str, Any]:
     """One Figure-2 grid point: time learning and recommendation."""
     dataset = get_dataset(spec.dataset_key, spec.dataset_seed)
@@ -218,6 +232,7 @@ HANDLERS: Dict[str, Callable[[RunSpec], Dict[str, Any]]] = {
     "compare_run": run_compare_task,
     "rl_score": run_rl_score_task,
     "eda_score": run_eda_score_task,
+    "probe": run_probe_task,
     "timing": run_timing_task,
 }
 

@@ -38,7 +38,13 @@ from .checkpoint import (
     config_fingerprint,
     load_checkpoint,
 )
-from .manifest import EPISODES_NAME, EpisodeMetricsWriter, RunManifest
+from .manifest import (
+    EPISODES_NAME,
+    EpisodeMetricsWriter,
+    RunManifest,
+    atomic_write_text,
+    tolerant_stream_rows,
+)
 
 PathLike = Union[str, pathlib.Path]
 
@@ -251,10 +257,10 @@ def _finalize(
         "score": score.value,
         "is_valid": bool(score.is_valid),
     }
-    path = run_dir / RECOMMENDATION_NAME
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
-    tmp.replace(path)
+    atomic_write_text(
+        run_dir / RECOMMENDATION_NAME,
+        json.dumps(payload, indent=2, sort_keys=True),
+    )
     manifest.status = "complete"
     manifest.result = payload
     manifest.save(run_dir)
@@ -287,16 +293,17 @@ def _truncate_stream(path: pathlib.Path, upto_episode: int) -> None:
 
     A crash can land between "episodes written to the stream" and "the
     checkpoint that covers them", leaving rows the resumed run will
-    re-emit; trimming keeps the stream an exact, duplicate-free record.
+    re-emit — and possibly a half-written final line.  The tolerant
+    reader truncates the torn tail; trimming past-checkpoint rows keeps
+    the stream an exact, duplicate-free record.  Re-serialization uses
+    the writer's own format (sorted keys), so surviving rows stay
+    byte-identical.
     """
     if not path.exists():
         return
-    kept = []
-    for line in path.read_text().splitlines():
-        try:
-            row = json.loads(line)
-        except json.JSONDecodeError:
-            continue
-        if int(row.get("episode", -1)) < upto_episode:
-            kept.append(line)
-    path.write_text("".join(k + "\n" for k in kept))
+    kept = [
+        json.dumps(row, sort_keys=True)
+        for row in tolerant_stream_rows(path)
+        if int(row.get("episode", -1)) < upto_episode
+    ]
+    atomic_write_text(path, "".join(k + "\n" for k in kept))

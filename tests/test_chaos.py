@@ -1,0 +1,347 @@
+"""Fault-injection (chaos) suite for the runner's recovery paths.
+
+Every test here injects a fault deterministically — worker kills,
+transient exceptions, stalls, torn artifact writes — and asserts the
+PR-2 invariant survives: any kill/corrupt/recover sequence produces
+results identical to an undisturbed run.  Run with ``make test-chaos``
+(``pytest -m chaos``); the suite is also part of the default tier-1
+run.
+"""
+
+import json
+import logging
+
+import pytest
+
+from repro.analysis import compare_planners
+from repro.core.exceptions import ArtifactError, PlanningError
+from repro.datasets import load_toy
+from repro.runner import (
+    CHECKPOINT_NAME,
+    CHECKPOINT_PREV_NAME,
+    EPISODES_NAME,
+    ExperimentRunner,
+    FaultInjector,
+    FaultRule,
+    FaultSpecError,
+    InjectedFault,
+    POLICY_NAME,
+    RECOMMENDATION_NAME,
+    RunSpec,
+    STATUS_OK,
+    corrupt_file,
+    execute_spec,
+    parse_fault_spec,
+    resume_training,
+    run_training,
+    tear_file,
+    tolerant_stream_rows,
+)
+
+pytestmark = pytest.mark.chaos
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_toy(with_gold=False)
+
+
+def _probe_specs(n):
+    return [
+        RunSpec(kind="probe", dataset_key="toy", seed=100 + i, index=i)
+        for i in range(n)
+    ]
+
+
+def _values(results):
+    return [r.value for r in results]
+
+
+class TestFaultSpecParsing:
+    def test_full_grammar(self):
+        rules = parse_fault_spec(
+            "kill@1,3;error:p=0.25,seed=7;slow@2:seconds=0.2;io@0:times=2"
+        )
+        assert [r.kind for r in rules] == ["kill", "error", "slow", "io"]
+        assert rules[0].tasks == frozenset({1, 3})
+        assert rules[1].p == 0.25 and rules[1].seed == 7
+        assert rules[2].seconds == 0.2
+        assert rules[3].times == 2
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultSpecError):
+            parse_fault_spec("meteor@1")
+
+    def test_bad_parameter_rejected(self):
+        with pytest.raises(FaultSpecError):
+            parse_fault_spec("kill@1:volume=11")
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(FaultSpecError):
+            parse_fault_spec(" ; ")
+
+    def test_probability_out_of_range_rejected(self):
+        with pytest.raises(FaultSpecError):
+            FaultRule(kind="error", p=1.5)
+
+    def test_probability_decision_is_deterministic(self):
+        rule = FaultRule(kind="error", p=0.5, seed=3)
+        decisions = [
+            FaultInjector._decides(0, rule, i) for i in range(64)
+        ]
+        assert decisions == [
+            FaultInjector._decides(0, rule, i) for i in range(64)
+        ]
+        # A 0.5-probability rule should actually split the tasks.
+        assert 0 < sum(decisions) < 64
+
+
+class TestWorkerDeathRecovery:
+    def test_killed_worker_batch_matches_undisturbed(self, tmp_path):
+        specs = _probe_specs(6)
+        keys = [s.key for s in specs]
+        undisturbed = ExperimentRunner(workers=2).map(
+            execute_spec, specs, keys=keys
+        )
+        injector = FaultInjector.from_spec(
+            "kill@1,4", state_dir=tmp_path / "faults"
+        )
+        survived = ExperimentRunner(
+            workers=2, fault_injector=injector
+        ).map(execute_spec, specs, keys=keys)
+        assert all(r.status == STATUS_OK for r in survived)
+        assert _values(survived) == _values(undisturbed)
+
+    def test_pool_death_does_not_consume_retry_budget(self, tmp_path):
+        # max_retries=0: a task that dies with the pool must still be
+        # re-submitted (the death is not attributed to it).
+        injector = FaultInjector.from_spec(
+            "kill@0", state_dir=tmp_path / "faults"
+        )
+        results = ExperimentRunner(
+            workers=2, max_retries=0, fault_injector=injector
+        ).map(execute_spec, _probe_specs(3))
+        assert all(r.status == STATUS_OK for r in results)
+        assert all(r.attempts == 1 for r in results)
+
+    def test_degrades_to_serial_after_death_limit(self, tmp_path, caplog):
+        injector = FaultInjector.from_spec(
+            "kill@0", state_dir=tmp_path / "faults"
+        )
+        runner = ExperimentRunner(
+            workers=2, fault_injector=injector, pool_death_limit=1
+        )
+        with caplog.at_level(logging.WARNING, logger="repro.runner.pool"):
+            results = runner.map(execute_spec, _probe_specs(2))
+        assert all(r.status == STATUS_OK for r in results)
+        assert any("degrading" in rec.message for rec in caplog.records)
+
+    def test_compare_with_kills_scores_identical(self, tmp_path, dataset):
+        baseline = compare_planners(
+            dataset, runs=3, episodes=30, workers=2
+        )
+        injector = FaultInjector.from_spec(
+            "kill@1", state_dir=tmp_path / "faults"
+        )
+        chaotic = compare_planners(
+            dataset, runs=3, episodes=30, workers=2,
+            fault_injector=injector,
+        )
+        assert chaotic == baseline
+
+
+class TestTransientFaults:
+    def test_error_fault_recovered_by_retry(self, tmp_path):
+        injector = FaultInjector.from_spec(
+            "error@2", state_dir=tmp_path / "faults"
+        )
+        results = ExperimentRunner(
+            workers=2, max_retries=1, retry_backoff=0.01,
+            fault_injector=injector,
+        ).map(execute_spec, _probe_specs(4))
+        assert all(r.status == STATUS_OK for r in results)
+        assert results[2].attempts == 2
+        assert all(
+            r.attempts == 1 for r in results if r.index != 2
+        )
+
+    def test_io_fault_recovered_by_retry_serial(self, tmp_path):
+        injector = FaultInjector.from_spec(
+            "io@0", state_dir=tmp_path / "faults"
+        )
+        results = ExperimentRunner(
+            workers=1, max_retries=1, retry_backoff=0.0,
+            fault_injector=injector,
+        ).map(execute_spec, _probe_specs(2))
+        assert all(r.status == STATUS_OK for r in results)
+        assert results[0].attempts == 2
+
+    def test_slow_fault_trips_parallel_timeout(self, tmp_path):
+        injector = FaultInjector(
+            [FaultRule(kind="slow", tasks=frozenset({0}), seconds=5.0)],
+            state_dir=tmp_path / "faults",
+        )
+        results = ExperimentRunner(
+            workers=2, task_timeout=1, max_retries=1,
+            retry_backoff=0.0, fault_injector=injector,
+        ).map(execute_spec, _probe_specs(2))
+        # First attempt times out, the (single-shot) fault is spent,
+        # and the retry completes.
+        assert results[0].status == STATUS_OK
+        assert results[0].attempts == 2
+        assert results[1].attempts == 1
+
+    def test_injected_fault_is_a_runtime_error(self):
+        assert issubclass(InjectedFault, RuntimeError)
+
+    def test_fire_counts_are_bounded(self, tmp_path):
+        injector = FaultInjector(
+            [FaultRule(kind="error", tasks=frozenset({0}), times=2)],
+            state_dir=tmp_path / "faults",
+        )
+        for expected in (InjectedFault, InjectedFault, None):
+            if expected is None:
+                injector.perturb(0)
+            else:
+                with pytest.raises(expected):
+                    injector.perturb(0)
+
+
+class TestCheckpointIntegrity:
+    def test_rotation_keeps_previous_generation(self, dataset, tmp_path):
+        run_training(
+            dataset, tmp_path / "run", episodes=60, checkpoint_every=30
+        )
+        assert (tmp_path / "run" / CHECKPOINT_NAME).exists()
+        assert (tmp_path / "run" / CHECKPOINT_PREV_NAME).exists()
+        latest = json.loads(
+            (tmp_path / "run" / CHECKPOINT_NAME).read_text()
+        )
+        rotated = json.loads(
+            (tmp_path / "run" / CHECKPOINT_PREV_NAME).read_text()
+        )
+        assert latest["training_state"]["episode"] == 60
+        assert rotated["training_state"]["episode"] == 30
+
+    def test_resume_from_torn_checkpoint_is_bit_identical(
+        self, dataset, tmp_path, caplog
+    ):
+        straight = run_training(
+            dataset, tmp_path / "straight", episodes=120,
+            checkpoint_every=30,
+        )
+        run_training(
+            dataset, tmp_path / "torn", episodes=120,
+            checkpoint_every=30, limit_episodes=60,
+        )
+        tear_file(tmp_path / "torn" / CHECKPOINT_NAME)
+        with caplog.at_level(
+            logging.WARNING, logger="repro.runner.checkpoint"
+        ):
+            resumed = resume_training(tmp_path / "torn")
+        assert resumed.complete
+        assert any("falling back" in rec.message for rec in caplog.records)
+        assert resumed.plan_item_ids == straight.plan_item_ids
+        for name in (POLICY_NAME, RECOMMENDATION_NAME):
+            assert (
+                (tmp_path / "straight" / name).read_text()
+                == (tmp_path / "torn" / name).read_text()
+            ), name
+
+    def test_resume_from_bit_rotted_checkpoint_falls_back(
+        self, dataset, tmp_path
+    ):
+        # corrupt_file keeps the length, so only the checksum (or JSON
+        # syntax) can catch it.
+        run_training(
+            dataset, tmp_path / "rot", episodes=90,
+            checkpoint_every=30, limit_episodes=60,
+        )
+        corrupt_file(tmp_path / "rot" / CHECKPOINT_NAME)
+        resumed = resume_training(tmp_path / "rot")
+        assert resumed.complete
+        assert resumed.completed_episodes == 90
+
+    def test_both_generations_corrupt_raises_typed_error(
+        self, dataset, tmp_path
+    ):
+        run_training(
+            dataset, tmp_path / "dead", episodes=90,
+            checkpoint_every=30, limit_episodes=60,
+        )
+        tear_file(tmp_path / "dead" / CHECKPOINT_NAME)
+        tear_file(tmp_path / "dead" / CHECKPOINT_PREV_NAME)
+        with pytest.raises(PlanningError):
+            resume_training(tmp_path / "dead")
+
+    def test_missing_latest_falls_back_to_prev(self, dataset, tmp_path):
+        # The crash window between rotation and the new write leaves
+        # only checkpoint.prev.json behind.
+        run_training(
+            dataset, tmp_path / "gap", episodes=90,
+            checkpoint_every=30, limit_episodes=60,
+        )
+        (tmp_path / "gap" / CHECKPOINT_NAME).unlink()
+        resumed = resume_training(tmp_path / "gap")
+        assert resumed.complete
+        assert resumed.completed_episodes == 90
+
+
+class TestTornStreams:
+    def test_half_written_trailing_line_tolerated(self, dataset, tmp_path):
+        run_training(
+            dataset, tmp_path / "run", episodes=60,
+            checkpoint_every=30, limit_episodes=30,
+        )
+        stream = tmp_path / "run" / EPISODES_NAME
+        with stream.open("a") as handle:
+            # A row cut mid-write, no trailing newline — what a
+            # SIGKILL during write() leaves behind.
+            handle.write('{"episode": 30, "length')
+        resume_training(tmp_path / "run")
+        rows = [
+            json.loads(line)
+            for line in stream.read_text().splitlines()
+        ]
+        assert sorted(r["episode"] for r in rows) == list(range(60))
+
+    def test_tolerant_reader_reports_valid_prefix(self, tmp_path):
+        stream = tmp_path / "episodes.jsonl"
+        stream.write_text(
+            '{"episode": 0}\n{"episode": 1}\n{"epis'
+        )
+        rows = tolerant_stream_rows(stream)
+        assert [r["episode"] for r in rows] == [0, 1]
+
+    def test_tolerant_reader_missing_file_is_empty(self, tmp_path):
+        assert tolerant_stream_rows(tmp_path / "nope.jsonl") == []
+
+
+class TestArtifactChecksum:
+    def test_bit_rot_detected_on_load(self, dataset, tmp_path):
+        from repro.core.serialization import read_policy_file, save_policy
+        from repro.core.qtable import QTable
+
+        table = QTable(dataset.catalog)
+        items = list(dataset.catalog.item_ids)[:2]
+        table.set(items[0], items[1], 1.25)
+        path = tmp_path / "policy.json"
+        save_policy(table, path)
+        # Flip one digit of a Q-value, keeping the JSON valid: only
+        # the checksum can notice.
+        text = path.read_text().replace("1.25", "1.35")
+        assert text != path.read_text()
+        path.write_text(text)
+        with pytest.raises(ArtifactError, match="checksum mismatch"):
+            read_policy_file(path)
+
+    def test_corrupt_manifest_raises_artifact_error(self, tmp_path):
+        from repro.runner import RunManifest
+
+        manifest = RunManifest(
+            protocol="compare", dataset="toy", dataset_seed=0
+        )
+        manifest.save(tmp_path)
+        tear_file(tmp_path / "manifest.json", keep_fraction=0.3)
+        with pytest.raises(ArtifactError):
+            RunManifest.load(tmp_path)

@@ -2,6 +2,7 @@
 
 import json
 import time
+import warnings
 
 import pytest
 
@@ -47,6 +48,21 @@ def _fail_until_marker_exists(marker_path):
 
 def _sleep_forever(_):
     time.sleep(60)
+
+
+def _always_raises(_):
+    raise RuntimeError("permanent failure")
+
+
+def _timeout_once_then_fast(marker_path):
+    """Sleeps past the timeout on the first attempt, instant after."""
+    import pathlib
+
+    marker = pathlib.Path(marker_path)
+    if not marker.exists():
+        marker.write_text("seen")
+        time.sleep(60)
+    return "fast"
 
 
 class TestChildSeeds:
@@ -113,6 +129,57 @@ class TestExperimentRunner:
         ).map(_sleep_forever, [None])
         assert results[0].status == STATUS_TIMEOUT
         assert "timed out" in results[0].error
+
+    def test_timeout_once_then_success_accounting(self, tmp_path):
+        """attempts counts the timed-out try; seconds spans both."""
+        marker = tmp_path / "marker"
+        results = ExperimentRunner(
+            workers=2, task_timeout=1, max_retries=1, retry_backoff=0.01
+        ).map(_timeout_once_then_fast, [str(marker)])
+        assert results[0].status == STATUS_OK
+        assert results[0].value == "fast"
+        assert results[0].attempts == 2
+        # Wall-clock covers the full timed-out first attempt.
+        assert results[0].seconds >= 1.0
+
+    def test_timeout_exhausts_retry_budget_accounting(self):
+        results = ExperimentRunner(
+            workers=2, task_timeout=1, max_retries=1, retry_backoff=0.01
+        ).map(_sleep_forever, [None])
+        assert results[0].status == STATUS_TIMEOUT
+        assert results[0].attempts == 2
+        assert results[0].seconds >= 2.0  # two timed-out attempts
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_error_exhausts_retry_budget_accounting(self, workers):
+        results = ExperimentRunner(
+            workers=workers, max_retries=2, retry_backoff=0.0
+        ).map(_always_raises, [None])
+        assert results[0].status == STATUS_ERROR
+        assert results[0].attempts == 3
+        assert results[0].seconds > 0.0
+        assert "permanent failure" in results[0].error
+
+    def test_serial_transient_failure_accounting(self, tmp_path):
+        results = ExperimentRunner(workers=1, max_retries=1).map(
+            _fail_until_marker_exists, [str(tmp_path / "m")]
+        )
+        assert results[0].status == STATUS_OK
+        assert results[0].attempts == 2
+        assert results[0].seconds > 0.0
+
+    def test_serial_timeout_warns_once(self):
+        from repro.runner import pool
+
+        pool._SERIAL_TIMEOUT_WARNED = False
+        with pytest.warns(RuntimeWarning, match="ignored in serial mode"):
+            ExperimentRunner(workers=1, task_timeout=5).map(
+                _square, [1, 2]
+            )
+        # Second map in the same process stays quiet.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            ExperimentRunner(workers=1, task_timeout=5).map(_square, [3])
 
     def test_keys_length_mismatch_rejected(self):
         with pytest.raises(ValueError):

@@ -5,12 +5,15 @@ import json
 import pytest
 
 from repro.core.catalog import Catalog
-from repro.core.exceptions import PlanningError
+from repro.core.exceptions import ArtifactError, PlanningError
 from repro.core.qtable import QTable
 from repro.core.serialization import (
+    CHECKSUM_KEY,
     load_policy,
+    payload_checksum,
     policy_from_dict,
     policy_to_dict,
+    read_policy_file,
     save_policy,
 )
 
@@ -29,6 +32,47 @@ def table(catalog):
     table.set("b", "c", -0.25)
     table.update_count = 7
     return table
+
+
+class TestChecksum:
+    def test_writer_embeds_valid_checksum(self, table, tmp_path):
+        path = tmp_path / "policy.json"
+        save_policy(table, path)
+        data = json.loads(path.read_text())
+        assert data[CHECKSUM_KEY] == payload_checksum(data)
+
+    def test_checksum_survives_json_round_trip(self, table):
+        # The canonical form must be identical before writing and
+        # after re-parsing, or every load would "detect corruption".
+        payload = policy_to_dict(
+            table, training_state={"episode": 3, "big": 2**127}
+        )
+        reparsed = json.loads(json.dumps(payload, indent=2))
+        assert payload_checksum(payload) == payload_checksum(reparsed)
+
+    def test_tampered_value_detected(self, table, tmp_path):
+        path = tmp_path / "policy.json"
+        save_policy(table, path)
+        path.write_text(path.read_text().replace("1.5", "2.5"))
+        with pytest.raises(ArtifactError, match="checksum mismatch"):
+            read_policy_file(path)
+
+    def test_file_without_checksum_still_loads(self, table, catalog, tmp_path):
+        # Pre-integrity v2 files (and v1 files) carry no checksum.
+        path = tmp_path / "legacy.json"
+        payload = policy_to_dict(table)
+        assert CHECKSUM_KEY not in payload
+        path.write_text(json.dumps(payload))
+        rebuilt = load_policy(path, catalog)
+        assert rebuilt.to_entries() == table.to_entries()
+
+    def test_unreadable_file_raises_artifact_error(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_bytes(b"\x00\xff\x8b not json")
+        with pytest.raises(ArtifactError):
+            read_policy_file(path)
+        # ArtifactError stays catchable as PlanningError (taxonomy).
+        assert issubclass(ArtifactError, PlanningError)
 
 
 class TestRoundTrip:
