@@ -5,7 +5,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test test-fast test-chaos lint bench bench-runner bench-paper
+.PHONY: test test-fast test-chaos lint bench bench-runner bench-obs bench-paper
 
 ## Full tier-1 suite (everything under tests/).
 test:
@@ -25,11 +25,15 @@ lint:
 
 ## Reward-engine micro-benchmark -> BENCH_reward_engine.json.
 bench:
-	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_reward_engine.py
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_reward_engine.py --obs
 
 ## Parallel-runner benchmark (serial vs workers) -> BENCH_runner.json.
 bench-runner:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_runner.py
+
+## Observability overhead only (< 5% assertion + fingerprint equality).
+bench-obs:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_runner.py --only obs --runs 2 --episodes 80
 
 ## Paper tables/figures (pytest-benchmark harness; slow).
 bench-paper:

@@ -5,7 +5,10 @@ serial (``workers=1``) and fanned across a process pool — asserts the
 two produce *identical* scores (seeds are fixed before dispatch, so the
 worker count can only change wall-clock), and exercises the
 checkpoint/resume path, asserting kill-and-resume training is
-byte-identical to an uninterrupted run.  Results land in
+byte-identical to an uninterrupted run.  The ``obs`` section times the
+same protocol with the observability layer off vs on and asserts
+instrumentation overhead stays under 5% (and that two identical seeded
+runs produce equal ``metrics.json`` fingerprints).  Results land in
 ``BENCH_runner.json`` at the repo root.
 
 Speedup is bounded by the CPUs actually available (``cpu_count`` is
@@ -33,6 +36,7 @@ import tempfile
 import time
 from typing import Dict
 
+from repro import obs
 from repro.analysis import compare_planners
 from repro.core.serialization import policy_to_dict
 from repro.datasets import load_synthetic
@@ -232,33 +236,125 @@ def bench_fault_recovery(
     }
 
 
+def bench_obs_overhead(
+    dataset, runs: int, episodes: int, repeats: int = 3
+) -> Dict[str, object]:
+    """Cost of the observability layer on the instrumented hot path.
+
+    Times the serial comparison protocol — the workload whose inner
+    loops (``env.step``, action selection, ``runner.map``) carry the
+    metric/span instrumentation — with observability disabled (the
+    :class:`~repro.obs.NullRegistry` default) and enabled, best-of-N
+    each, and asserts recording costs less than 5% on top of the no-op
+    path.  Also re-runs the identical seeded batch twice with metrics
+    on and asserts the two ``metrics.json`` fingerprints are equal —
+    the observability analogue of the manifest fingerprint check.
+    """
+
+    def workload(out_dir=None) -> float:
+        t0 = time.perf_counter()
+        compare_planners(
+            dataset, runs=runs, episodes=episodes, workers=1,
+            out_dir=out_dir,
+        )
+        return time.perf_counter() - t0
+
+    # Interleave disabled/enabled passes so slow drift (thermal, noisy
+    # neighbours) hits both sides equally; best-of-N each.
+    disabled_times, enabled_times = [], []
+    for _ in range(max(1, repeats)):
+        obs.disable()
+        disabled_times.append(workload())
+        obs.enable()
+        enabled_times.append(workload())
+    obs.disable()
+    disabled_seconds = min(disabled_times)
+    enabled_seconds = min(enabled_times)
+
+    overhead_fraction = (
+        max(0.0, enabled_seconds - disabled_seconds) / disabled_seconds
+    )
+    assert overhead_fraction < 0.05, (
+        "observability instrumentation costs more than 5% of the "
+        f"uninstrumented hot loop: {overhead_fraction:.2%}"
+    )
+
+    fingerprints = []
+    for _ in range(2):
+        obs.enable()
+        with tempfile.TemporaryDirectory() as tmp:
+            workload(out_dir=tmp)
+            payload = json.loads(
+                (pathlib.Path(tmp) / "metrics.json").read_text()
+            )
+        fingerprints.append(payload["fingerprint"])
+        obs.disable()
+    assert fingerprints[0] == fingerprints[1], (
+        "two identical seeded runs produced different metrics "
+        f"fingerprints:\n  {fingerprints[0]}\n  {fingerprints[1]}"
+    )
+    return {
+        "dataset": dataset.key,
+        "runs": runs,
+        "episodes": episodes,
+        "repeats": repeats,
+        "disabled_seconds": disabled_seconds,
+        "enabled_seconds": enabled_seconds,
+        "overhead_fraction": overhead_fraction,
+        "overhead_under_5pct": bool(overhead_fraction < 0.05),
+        "metrics_fingerprint": fingerprints[0],
+        "fingerprints_equal": True,
+    }
+
+
+SECTIONS = ("compare", "checkpoint", "crash", "faults", "obs")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--runs", type=int, default=8)
     parser.add_argument("--episodes", type=int, default=150)
     parser.add_argument("--workers", type=int, default=4)
     parser.add_argument(
-        "--output", type=pathlib.Path, default=DEFAULT_OUTPUT
+        "--only", choices=SECTIONS, nargs="+", default=None,
+        help="run only these sections (results are printed, and "
+        "written only when --output is given explicitly)",
     )
+    parser.add_argument("--output", type=pathlib.Path, default=None)
     args = parser.parse_args(argv)
 
+    # A partial run must not clobber the full BENCH_runner.json.
+    output = args.output
+    if output is None and args.only is None:
+        output = DEFAULT_OUTPUT
+    sections = tuple(args.only) if args.only else SECTIONS
+
     dataset = load_synthetic(seed=0)
-    results = {
-        "bench": "parallel_runner",
-        "parallel_compare": bench_parallel_compare(
+    results: Dict[str, object] = {"bench": "parallel_runner"}
+    if "compare" in sections:
+        results["parallel_compare"] = bench_parallel_compare(
             dataset, args.runs, args.episodes, args.workers
-        ),
-        "checkpoint_resume": bench_checkpoint_resume(
+        )
+    if "checkpoint" in sections:
+        results["checkpoint_resume"] = bench_checkpoint_resume(
             dataset, args.episodes
-        ),
-        "crash_safety": bench_crash_safety(dataset, args.episodes),
-        "fault_recovery": bench_fault_recovery(
+        )
+    if "crash" in sections:
+        results["crash_safety"] = bench_crash_safety(
+            dataset, args.episodes
+        )
+    if "faults" in sections:
+        results["fault_recovery"] = bench_fault_recovery(
             dataset, min(args.runs, 4), args.episodes, args.workers
-        ),
-    }
-    args.output.write_text(json.dumps(results, indent=2) + "\n")
+        )
+    if "obs" in sections:
+        results["obs_overhead"] = bench_obs_overhead(
+            dataset, min(args.runs, 4), args.episodes
+        )
     print(json.dumps(results, indent=2))
-    print(f"\nwrote {args.output}")
+    if output is not None:
+        output.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"\nwrote {output}")
     return 0
 
 

@@ -8,13 +8,17 @@ transfer    Learn on one dataset, apply the policy to another.
 datasets    List available datasets with their statistics.
 run         Drive an experiment protocol through the checkpointable
             parallel runner (``--workers N``; training runs checkpoint
-            to ``--out`` and are resumable).
+            to ``--out`` and are resumable; ``--metrics`` records the
+            observability registry to ``metrics.json``).
 resume      Continue an interrupted ``run --protocol train`` run.
+metrics     Render a run directory's ``metrics.json`` as
+            Prometheus-style text (or raw JSON).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -125,6 +129,10 @@ def _print_training(outcome) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     from .runner import run_training
 
+    if getattr(args, "metrics", False):
+        from . import obs
+
+        obs.enable()
     dataset = load(
         args.dataset, seed=args.seed, with_gold=args.protocol == "compare"
     )
@@ -157,7 +165,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             limit_episodes=args.limit_episodes,
             config=config,
         )
-        return _print_training(outcome)
+        code = _print_training(outcome)
+        _report_metrics(args)
+        return code
 
     if args.protocol == "compare":
         result = compare_planners(
@@ -183,6 +193,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
         if args.out:
             print(f"artifacts: {args.out}")
+        _report_metrics(args)
         return 0
 
     # scalability
@@ -205,6 +216,41 @@ def _cmd_run(args: argparse.Namespace) -> int:
             title=f"Figure-2 timings on {dataset.name}",
         )
     )
+    _report_metrics(args)
+    return 0
+
+
+def _report_metrics(args: argparse.Namespace) -> None:
+    """Close out a ``--metrics`` run: point at (or print) the metrics.
+
+    With ``--out`` the protocol already exported ``metrics.json`` next
+    to the manifest; without one there is nowhere durable, so the
+    Prometheus rendering goes to stdout instead.
+    """
+    if not getattr(args, "metrics", False):
+        return
+    from .obs import METRICS_NAME, get_registry, metrics_payload, to_prometheus
+
+    if getattr(args, "out", None):
+        print(f"metrics  : {args.out}/{METRICS_NAME}")
+        return
+    payload = metrics_payload(get_registry())
+    print()
+    print(to_prometheus(payload), end="")
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from .obs import load_metrics, snapshot_fingerprint, to_prometheus
+
+    snapshot = load_metrics(args.run_dir)
+    if args.format == "json":
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
+    fingerprint = snapshot.get("fingerprint") or snapshot_fingerprint(
+        snapshot
+    )
+    print(f"# metrics fingerprint {fingerprint}")
+    print(to_prometheus(snapshot), end="")
     return 0
 
 
@@ -306,7 +352,26 @@ def build_parser() -> argparse.ArgumentParser:
         "'kill@1;error:p=0.3,seed=7;slow@2:seconds=1' "
         "(kinds: kill, error, io, slow; scores must not change)",
     )
+    run.add_argument(
+        "--metrics", action="store_true",
+        help="record counters/gauges/spans; written to metrics.json "
+        "next to the manifest when --out is set, else printed as "
+        "Prometheus text",
+    )
     run.set_defaults(func=_cmd_run)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="render a run directory's metrics.json (Prometheus text)",
+    )
+    metrics.add_argument(
+        "run_dir", help="run directory (or metrics.json path)"
+    )
+    metrics.add_argument(
+        "--format", choices=("prom", "json"), default="prom",
+        help="output format (default: Prometheus text exposition)",
+    )
+    metrics.set_defaults(func=_cmd_metrics)
 
     resume = sub.add_parser(
         "resume", help="continue an interrupted training run"

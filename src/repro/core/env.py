@@ -22,6 +22,7 @@ from __future__ import annotations
 import enum
 from typing import Optional, Tuple
 
+from ..obs import get_registry
 from .catalog import Catalog
 from .config import PlannerConfig
 from .constraints import TaskSpec
@@ -95,6 +96,7 @@ class TPPEnvironment:
         item = self.catalog[start_item_id]
         self._builder = PlanBuilder(self.catalog)
         self._builder.add(item)
+        get_registry().inc("env_episodes_total")
         return item
 
     @property
@@ -145,9 +147,15 @@ class TPPEnvironment:
             raise PlanningError(
                 f"item {item.item_id!r} already visited this episode"
             )
-        reward = self.reward(builder, item)
-        builder.add(item)
-        return reward, self.is_done()
+        obs = get_registry()
+        with obs.span("env.step"):
+            reward = self.reward(builder, item)
+            builder.add(item)
+            done = self.is_done()
+        obs.inc("env_steps_total")
+        if reward == 0.0:
+            obs.inc("env_zero_reward_steps_total")
+        return reward, done
 
     def is_done(self) -> bool:
         """Episode termination check (length bound or exhausted budget)."""

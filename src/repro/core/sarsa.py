@@ -23,6 +23,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import get_registry
 from .config import PlannerConfig
 from .env import TPPEnvironment
 from .exceptions import PlanningError
@@ -87,6 +88,11 @@ class SarsaLearner:
         seed.
     selection:
         Behaviour-policy flavour; defaults to the paper's reward-greedy.
+    registry:
+        Explicit metrics sink; ``None`` resolves the process-active
+        registry (:func:`repro.obs.get_registry`) at each :meth:`learn`
+        call, so enabling observability after construction still takes
+        effect.
     """
 
     def __init__(
@@ -94,10 +100,13 @@ class SarsaLearner:
         env: TPPEnvironment,
         config: PlannerConfig,
         selection: ActionSelection = ActionSelection.REWARD_GREEDY,
+        registry=None,
     ) -> None:
         self.env = env
         self.config = config
         self.selection = selection
+        self.registry = registry
+        self._obs = registry if registry is not None else get_registry()
         self._rng = np.random.default_rng(config.seed)
 
     # ------------------------------------------------------------------
@@ -128,14 +137,15 @@ class SarsaLearner:
         """Pick the next item per the behaviour policy."""
         if not actions:
             raise PlanningError("no valid actions available")
-        if (
-            self.config.exploration > 0.0
-            and self._rng.random() < self.config.exploration
-        ):
-            return actions[int(self._rng.integers(len(actions)))]
-        if self.selection is ActionSelection.REWARD_GREEDY:
-            return self._argmax_reward(state, actions)
-        return self._argmax_q(qtable, state, actions)
+        with self._obs.span("sarsa.action_selection"):
+            if (
+                self.config.exploration > 0.0
+                and self._rng.random() < self.config.exploration
+            ):
+                return actions[int(self._rng.integers(len(actions)))]
+            if self.selection is ActionSelection.REWARD_GREEDY:
+                return self._argmax_reward(state, actions)
+            return self._argmax_q(qtable, state, actions)
 
     def _argmax_reward(self, state: Item, actions: Sequence[Item]) -> Item:
         """Algorithm-1 selection: maximize the immediate Eq. 2 reward.
@@ -145,7 +155,8 @@ class SarsaLearner:
         broken uniformly at random.
         """
         builder = self.env.builder
-        rewards = batch_rewards(self.env.reward, builder, actions)
+        with self._obs.span("sarsa.batch_rewards"):
+            rewards = batch_rewards(self.env.reward, builder, actions)
         winners = np.flatnonzero(rewards == rewards.max())
         if winners.size == 1:
             return actions[int(winners[0])]
@@ -207,16 +218,31 @@ class SarsaLearner:
         n_episodes = episodes if episodes is not None else self.config.episodes
         table = qtable if qtable is not None else QTable(catalog)
         stats: List[EpisodeStats] = []
+        obs = self._obs = (
+            self.registry if self.registry is not None else get_registry()
+        )
         t0 = time.perf_counter()
 
-        for episode in range(n_episodes):
-            start_id = starts[int(self._rng.integers(len(starts)))]
-            episode_stats = self._run_episode(
-                table, start_episode + episode, start_id
-            )
-            stats.append(episode_stats)
-            if on_episode is not None:
-                on_episode(episode_stats)
+        with obs.span("sarsa.learn"):
+            for episode in range(n_episodes):
+                start_id = starts[int(self._rng.integers(len(starts)))]
+                episode_stats = self._run_episode(
+                    table, start_episode + episode, start_id
+                )
+                stats.append(episode_stats)
+                obs.inc("sarsa_episodes_total")
+                obs.set_gauge(
+                    "sarsa_episode_reward", episode_stats.total_reward
+                )
+                obs.set_gauge(
+                    "sarsa_episode_length", episode_stats.length
+                )
+                obs.set_gauge(
+                    "sarsa_episode_zero_reward_steps",
+                    episode_stats.zero_reward_steps,
+                )
+                if on_episode is not None:
+                    on_episode(episode_stats)
 
         elapsed = time.perf_counter() - t0
         return LearningResult(
@@ -243,13 +269,26 @@ class SarsaLearner:
 
         actions = env.valid_actions()
         if not actions:
-            return EpisodeStats(episode, start_id, 1, 0.0, 0)
+            # Dead start: no step is ever taken.  The episode length is
+            # whatever reset() seeded (NOT a hardcoded 1 — an env may
+            # seed more than the start item), and with zero steps taken
+            # there are zero zero-reward steps, exactly as the normal
+            # path would count them.
+            self._obs.inc("sarsa_dead_start_episodes_total")
+            return EpisodeStats(
+                episode=episode,
+                start_item_id=start_id,
+                length=len(env.builder),
+                total_reward=total_reward,
+                zero_reward_steps=zero_steps,
+            )
         action = self._choose_action(table, state, actions)
         s_idx = catalog.index_of(state.item_id)
         a_idx = catalog.index_of(action.item_id)
 
         while True:
             reward, done = env.step(action)
+            self._obs.inc("sarsa_steps_total")
             total_reward += reward
             if reward == 0.0:
                 zero_steps += 1

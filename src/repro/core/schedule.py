@@ -11,7 +11,7 @@ an advisor would hand it out.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 from .exceptions import PlanningError
 from .items import Item
@@ -42,28 +42,47 @@ class Schedule:
     def __len__(self) -> int:
         return len(self.periods)
 
+    def _period_index(self) -> Dict[str, int]:
+        """``item_id -> period index`` map, built once per schedule.
+
+        Cached via ``object.__setattr__`` (the dataclass is frozen);
+        periods are immutable tuples, so the map can never go stale.
+        """
+        cached = self.__dict__.get("_period_index_cache")
+        if cached is None:
+            cached = {
+                item.item_id: period.index
+                for period in self.periods
+                for item in period.items
+            }
+            object.__setattr__(self, "_period_index_cache", cached)
+        return cached
+
     def period_of(self, item_id: str) -> int:
         """0-based period index of an item (raises when absent)."""
-        for period in self.periods:
-            if any(item.item_id == item_id for item in period.items):
-                return period.index
-        raise PlanningError(f"item {item_id!r} not in the schedule")
+        index = self._period_index().get(item_id)
+        if index is None:
+            raise PlanningError(f"item {item_id!r} not in the schedule")
+        return index
 
     def respects_prerequisites(self) -> bool:
         """True when every antecedent sits in a strictly earlier period.
 
         This is the advisor-facing restatement of the gap constraint:
         with ``items_per_period == gap``, a gap-valid plan always folds
-        into a prerequisite-respecting schedule.
+        into a prerequisite-respecting schedule.  One precomputed
+        ``item_id -> period`` map serves every membership test, so the
+        check is O(total prerequisite members), not O(P·n).
         """
+        period_index = self._period_index()
         for period in self.periods:
             for item in period.items:
                 if item.prerequisites.is_empty:
                     continue
                 for group in item.prerequisites.groups:
                     if not any(
-                        member in self.plan.item_ids
-                        and self.period_of(member) < period.index
+                        period_index.get(member, period.index)
+                        < period.index
                         for member in group
                     ):
                         return False
@@ -94,9 +113,28 @@ def fold_plan(
     For course plans the natural ``items_per_period`` equals the
     hard-constraint ``gap`` (courses per semester in the paper's
     running example).
+
+    ``label_format`` must reference the period number ``{n}`` (any
+    format spec, e.g. ``"Sem {n:02d}"``); a format that ignores it — or
+    uses an unknown field — raises :class:`PlanningError` up front
+    instead of a cryptic ``KeyError`` or silently constant labels.
     """
     if items_per_period < 1:
         raise PlanningError("items_per_period must be >= 1")
+    try:
+        distinct = (
+            label_format.format(n=1) != label_format.format(n=2)
+        )
+    except (KeyError, IndexError, ValueError) as exc:
+        raise PlanningError(
+            f"bad period label_format {label_format!r}: {exc} "
+            "(the format may reference only the field {n})"
+        ) from exc
+    if not distinct:
+        raise PlanningError(
+            f"period label_format {label_format!r} never varies: it "
+            "must reference the period number {n}"
+        )
     periods: List[Period] = []
     for start in range(0, len(plan), items_per_period):
         chunk = plan.items[start:start + items_per_period]

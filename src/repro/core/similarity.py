@@ -106,7 +106,19 @@ def aggregate_similarity(
 
     ``MINIMUM`` is the alternative studied in the paper's robustness
     experiments; ``MAXIMUM`` is the scoring aggregation of Section IV-A.
+
+    Past the template horizon (``len(sequence) > template.length``,
+    possible in trip mode before the time budget bites) template
+    adherence is moot and the similarity is defined as 0.0 — the same
+    convention as :meth:`IncrementalSimilarity.value` and
+    ``RewardFunction.interleaving_similarity``, so the scalar
+    diagnostics, the incremental tracker, and the reward path can never
+    disagree.  (:func:`template_similarity` against a *single*
+    permutation still raises for an over-long prefix: with no template
+    horizon in play, that call is genuinely malformed.)
     """
+    if len(sequence) > template.length:
+        return 0.0
     sims = [template_similarity(sequence, perm) for perm in template]
     if mode is SimilarityMode.AVERAGE:
         return sum(sims) / len(sims)
@@ -276,7 +288,9 @@ def similarity_profile(
     """Aggregated similarity after each prefix length 1..len(sequence).
 
     Useful for diagnostics: shows how template adherence evolves while a
-    plan is being built.
+    plan is being built.  Entries past the template horizon are 0.0,
+    matching an :class:`IncrementalSimilarity` replay of the same
+    sequence position for position.
     """
     return [
         aggregate_similarity(sequence[:k], template, mode)

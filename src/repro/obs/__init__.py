@@ -1,0 +1,104 @@
+"""Observability layer: metrics registry, timing spans, exporters.
+
+The structured view of where time and reward go.  Hot layers (the SARSA
+learn loop, :meth:`TPPEnvironment.step`, the experiment runner, the
+fault injector) write counters, gauges, histograms, and timing spans
+into the process-active :class:`MetricsRegistry`; a :class:`NullRegistry`
+is active by default so instrumentation costs nothing until
+:func:`enable` (or the CLI's ``--metrics`` flag) switches recording on.
+
+Worker processes record into their own registries and ship snapshots
+back over the runner's ``TaskResult`` channel (see
+:class:`MeteredCall`); the parent merges them in task-index order, so
+the aggregate is deterministic for any worker count.  Runs export the
+merged registry as ``metrics.json`` (with a timing-independent
+fingerprint, like the manifest's) and as Prometheus text via
+``rl-planner metrics``.
+"""
+
+from .export import (
+    METRICS_NAME,
+    is_timing_metric,
+    load_metrics,
+    metrics_payload,
+    snapshot_fingerprint,
+    to_prometheus,
+    write_metrics,
+)
+from .registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    SpanNode,
+    disable,
+    enable,
+    get_registry,
+    iter_span_nodes,
+    labelled,
+    set_registry,
+    use_registry,
+)
+
+
+class MetricsEnvelope:
+    """A task's return value bundled with its worker-side metrics."""
+
+    __slots__ = ("value", "metrics")
+
+    def __init__(self, value, metrics) -> None:
+        self.value = value
+        self.metrics = metrics
+
+
+class MeteredCall:
+    """Picklable wrapper recording a task's metrics in its own registry.
+
+    The runner arms this around pool tasks when observability is on:
+    inside the worker it activates a fresh registry, runs the task, and
+    returns a :class:`MetricsEnvelope` so the snapshot rides the normal
+    result channel back to the parent.  A task that raises loses its
+    partial metrics with the attempt — retries start clean, and the
+    parent's per-task counters (attempts, retries, timeouts) come from
+    the ``TaskResult`` itself.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn) -> None:
+        self.fn = fn
+
+    def __call__(self, payload):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            value = self.fn(payload)
+        return MetricsEnvelope(value, registry.snapshot())
+
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "METRICS_NAME",
+    "MeteredCall",
+    "MetricsEnvelope",
+    "MetricsRegistry",
+    "NullRegistry",
+    "SpanNode",
+    "disable",
+    "enable",
+    "get_registry",
+    "is_timing_metric",
+    "iter_span_nodes",
+    "labelled",
+    "load_metrics",
+    "metrics_payload",
+    "set_registry",
+    "snapshot_fingerprint",
+    "to_prometheus",
+    "use_registry",
+    "write_metrics",
+]

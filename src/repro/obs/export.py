@@ -1,0 +1,194 @@
+"""Snapshot export: ``metrics.json`` payloads and Prometheus text.
+
+Both exporters work from plain :meth:`MetricsRegistry.snapshot` dicts,
+so the CLI can re-render a ``metrics.json`` written by a finished run
+without reconstructing any live registry state.
+
+The fingerprint mirrors the run manifest's: a SHA-256 over the
+*deterministic* subset of the snapshot.  Wall-clock leaks into metrics
+in exactly two places — span ``seconds`` fields and any metric whose
+name marks it as a duration (``_seconds`` suffix or infix) — and both
+are stripped before hashing, so two identical seeded runs produce equal
+fingerprints even though their timings differ.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import re
+from typing import Any, Dict, Union
+
+from .registry import MetricsRegistry, iter_span_nodes
+
+PathLike = Union[str, pathlib.Path]
+
+METRICS_NAME = "metrics.json"
+
+_SECONDS_NAME = re.compile(r"_seconds(_|$|\{)")
+
+
+def is_timing_metric(name: str) -> bool:
+    """Whether a metric name denotes wall-clock (excluded from hashing)."""
+    return bool(_SECONDS_NAME.search(name))
+
+
+def _deterministic_subset(snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    spans: Dict[str, Any] = {}
+    for path, node in iter_span_nodes(snapshot.get("spans", {})):
+        # Span call counts are reproducible; their durations are not.
+        spans[path] = node.get("count", 0)
+    return {
+        "schema": snapshot.get("schema"),
+        "counters": {
+            name: value
+            for name, value in snapshot.get("counters", {}).items()
+            if not is_timing_metric(name)
+        },
+        "gauges": {
+            name: value
+            for name, value in snapshot.get("gauges", {}).items()
+            if not is_timing_metric(name)
+        },
+        "histograms": {
+            name: value
+            for name, value in snapshot.get("histograms", {}).items()
+            if not is_timing_metric(name)
+        },
+        "span_counts": spans,
+    }
+
+
+def snapshot_fingerprint(snapshot: Dict[str, Any]) -> str:
+    """SHA-256 over the timing-independent subset of a snapshot."""
+    canonical = json.dumps(
+        _deterministic_subset(snapshot),
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def metrics_payload(registry: MetricsRegistry) -> Dict[str, Any]:
+    """The ``metrics.json`` payload: snapshot + its fingerprint."""
+    snapshot = registry.snapshot()
+    snapshot["fingerprint"] = snapshot_fingerprint(snapshot)
+    return snapshot
+
+
+def write_metrics(run_dir: PathLike, registry: MetricsRegistry):
+    """Write ``metrics.json`` next to the run's ``manifest.json``.
+
+    No-ops (returning ``None``) for a disabled registry so callers can
+    pass the active registry through unconditionally.
+    """
+    if not registry.enabled:
+        return None
+    from ..runner.manifest import atomic_write_text
+
+    run_dir = pathlib.Path(run_dir)
+    run_dir.mkdir(parents=True, exist_ok=True)
+    return atomic_write_text(
+        run_dir / METRICS_NAME,
+        json.dumps(metrics_payload(registry), indent=2, sort_keys=True)
+        + "\n",
+    )
+
+
+def load_metrics(run_dir: PathLike) -> Dict[str, Any]:
+    """Read a run directory's ``metrics.json`` back.
+
+    Raises :class:`~repro.core.exceptions.ArtifactError` on a missing or
+    unreadable file, consistent with :meth:`RunManifest.load`.
+    """
+    from ..core.exceptions import ArtifactError
+
+    path = pathlib.Path(run_dir)
+    if path.is_dir():
+        path = path / METRICS_NAME
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise ArtifactError(
+            f"cannot read metrics file {path}: {exc}"
+        ) from exc
+    if not isinstance(data, dict):
+        raise ArtifactError(
+            f"malformed metrics file {path}: not a JSON object"
+        )
+    return data
+
+
+def _base_name(name: str) -> str:
+    return name.partition("{")[0]
+
+
+def to_prometheus(snapshot: Dict[str, Any]) -> str:
+    """Render a snapshot as Prometheus text-format exposition.
+
+    Counters and histograms map directly; gauges expose their ``last``
+    value plus ``_count``/``_sum`` companions (their running statistics
+    live in the JSON snapshot); the span tree flattens to
+    ``repro_span_seconds_total`` / ``repro_span_calls_total`` series
+    labelled by the ``/``-joined span path.
+    """
+    lines = []
+    typed = set()
+
+    def emit_type(name: str, kind: str) -> None:
+        base = _base_name(name)
+        if base not in typed:
+            typed.add(base)
+            lines.append(f"# TYPE {base} {kind}")
+
+    for name, value in snapshot.get("counters", {}).items():
+        emit_type(name, "counter")
+        lines.append(f"{name} {value:g}")
+    for name, payload in snapshot.get("gauges", {}).items():
+        emit_type(name, "gauge")
+        lines.append(f"{name} {payload['last']:g}")
+        lines.append(f"{_with_suffix(name, '_sum')} {payload['total']:g}")
+        lines.append(f"{_with_suffix(name, '_count')} {payload['count']:g}")
+    for name, payload in snapshot.get("histograms", {}).items():
+        emit_type(name, "histogram")
+        # Bucket counts are stored cumulatively, matching Prometheus.
+        for bound, count in zip(payload["bounds"], payload["counts"]):
+            lines.append(
+                f'{_with_labels(name, le=f"{bound:g}")} {count:g}'
+            )
+        lines.append(
+            f'{_with_labels(name, le="+Inf")} {payload["counts"][-1]:g}'
+        )
+        lines.append(f"{_with_suffix(name, '_sum')} {payload['total']:g}")
+        lines.append(f"{_with_suffix(name, '_count')} {payload['count']:g}")
+
+    span_items = list(iter_span_nodes(snapshot.get("spans", {})))
+    if span_items:
+        lines.append("# TYPE repro_span_seconds_total counter")
+        lines.append("# TYPE repro_span_calls_total counter")
+        for path, node in span_items:
+            label = f'{{span="{path}"}}'
+            lines.append(
+                f"repro_span_seconds_total{label} "
+                f"{node.get('seconds', 0.0):.9g}"
+            )
+            lines.append(
+                f"repro_span_calls_total{label} {node.get('count', 0):g}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _with_suffix(name: str, suffix: str) -> str:
+    """Append a series suffix before any label block in ``name``."""
+    base, brace, labels = name.partition("{")
+    return f"{base}{suffix}{brace}{labels}"
+
+
+def _with_labels(name: str, **labels: Any) -> str:
+    """Add labels to ``name``, merging with any it already carries."""
+    base, _, existing = name.partition("{")
+    existing = existing.rstrip("}")
+    extra = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    inner = f"{existing},{extra}" if existing else extra
+    return f"{base}{{{inner}}}"

@@ -1,0 +1,476 @@
+"""Dependency-free metrics primitives: counters, gauges, histograms, spans.
+
+The registry is the process-local sink every instrumented layer writes
+to.  Three design constraints shape it:
+
+* **Zero cost when off.**  The hot loops (SARSA steps, runner dispatch)
+  are instrumented unconditionally; when observability is disabled the
+  active registry is a :class:`NullRegistry` whose operations are
+  attribute lookups on shared singletons — no allocation, no branching
+  in caller code.
+* **Mergeable across processes.**  A registry serializes to a plain-dict
+  :meth:`~MetricsRegistry.snapshot` and folds another snapshot in with
+  :meth:`~MetricsRegistry.merge`, which is how worker-process metrics
+  ride the runner's ``TaskResult`` channel back to the parent.
+* **Deterministic identity.**  Everything a seeded run records — except
+  wall-clock — is reproducible, so a snapshot has a timing-independent
+  fingerprint (see :mod:`repro.obs.export`) exactly like the run
+  manifest's.
+
+Metric naming follows Prometheus conventions: ``_total`` suffix for
+counters, ``_seconds`` for wall-clock values (the fingerprint strips
+those), and :func:`labelled` for the ``name{key="value"}`` label form.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+SNAPSHOT_SCHEMA = 1
+
+#: Default histogram bucket upper bounds.  Fixed (never derived from the
+#: data) so histograms from different workers and different runs merge
+#: bucket-for-bucket and fingerprint identically.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0,
+)
+
+
+def labelled(name: str, **labels: Any) -> str:
+    """Canonical ``name{key="value",...}`` metric id (keys sorted).
+
+    Labels are folded into the metric name rather than kept structured —
+    the registry stays a flat dict and the Prometheus renderer emits the
+    id verbatim.
+    """
+    if not labels:
+        return name
+    inner = ",".join(
+        f'{key}="{labels[key]}"' for key in sorted(labels)
+    )
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value, tracked with running min/max/sum/count.
+
+    The extra statistics make per-episode gauges useful after the fact
+    (mean episode reward, max episode length) and make cross-worker
+    merges well-defined: min/max/total/count combine exactly; ``last``
+    is taken from the most recently merged snapshot, which the runner
+    keeps deterministic by merging in task-index order.
+    """
+
+    __slots__ = ("name", "last", "min", "max", "total", "count")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.last = 0.0
+        self.min = 0.0
+        self.max = 0.0
+        self.total = 0.0
+        self.count = 0
+
+    def set(self, value: float) -> None:
+        value = float(value)
+        if self.count == 0:
+            self.min = value
+            self.max = value
+        else:
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+        self.last = value
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class Histogram:
+    """Cumulative-bucket histogram over fixed upper bounds.
+
+    ``counts[i]`` is the number of observations ``<= bounds[i]``;
+    ``counts[-1]`` (the ``+Inf`` bucket) equals ``count``.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "total", "count")
+
+    def __init__(
+        self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS
+    ) -> None:
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError(
+                f"histogram bounds must be sorted: {self.bounds}"
+            )
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.total += value
+        self.count += 1
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+        self.counts[-1] += 1
+
+
+class SpanNode:
+    """One node of the timing tree: a span name under a parent span."""
+
+    __slots__ = ("name", "count", "seconds", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.seconds = 0.0
+        self.children: Dict[str, "SpanNode"] = {}
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "count": self.count,
+            "seconds": self.seconds,
+        }
+        if self.children:
+            payload["children"] = {
+                name: child.to_dict()
+                for name, child in sorted(self.children.items())
+            }
+        return payload
+
+
+class _Span:
+    """Context manager timing one entry into a span node.
+
+    Nesting is tracked by the registry's span stack: entering finds (or
+    creates) the named child of the innermost active span, so repeated
+    ``span("a") / span("b")`` pairs build a stable tree rather than a
+    trace of individual events.
+    """
+
+    __slots__ = ("_registry", "_name", "_node", "_start")
+
+    def __init__(self, registry: "MetricsRegistry", name: str) -> None:
+        self._registry = registry
+        self._name = name
+        self._node: Optional[SpanNode] = None
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        stack = self._registry._span_stack
+        parent = stack[-1]
+        node = parent.children.get(self._name)
+        if node is None:
+            node = SpanNode(self._name)
+            parent.children[self._name] = node
+        self._node = node
+        stack.append(node)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        elapsed = time.perf_counter() - self._start
+        node = self._node
+        node.count += 1
+        node.seconds += elapsed
+        self._registry._span_stack.pop()
+        return False
+
+
+class MetricsRegistry:
+    """Process-local sink for counters, gauges, histograms, and spans."""
+
+    #: Whether this registry records anything.  Callers with a setup
+    #: cost (snapshotting, payload assembly) may branch on this; the
+    #: hot-loop operations themselves never need to.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._span_root = SpanNode("")
+        self._span_stack: List[SpanNode] = [self._span_root]
+
+    # -- instrument lookup (created on first use) ----------------------
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = Counter(name)
+            self._counters[name] = instrument
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = Gauge(name)
+            self._gauges[name] = instrument
+        return instrument
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = Histogram(name, bounds)
+            self._histograms[name] = instrument
+        return instrument
+
+    # -- hot-loop conveniences -----------------------------------------
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    def span(self, name: str) -> _Span:
+        """Timing context manager; nests under the active span."""
+        return _Span(self, name)
+
+    # -- snapshot / merge ----------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready dict of everything recorded so far."""
+        return {
+            "schema": SNAPSHOT_SCHEMA,
+            "counters": {
+                name: c.value
+                for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: {
+                    "last": g.last,
+                    "min": g.min,
+                    "max": g.max,
+                    "total": g.total,
+                    "count": g.count,
+                }
+                for name, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: {
+                    "bounds": list(h.bounds),
+                    "counts": list(h.counts),
+                    "total": h.total,
+                    "count": h.count,
+                }
+                for name, h in sorted(self._histograms.items())
+            },
+            "spans": {
+                name: child.to_dict()
+                for name, child in sorted(self._span_root.children.items())
+            },
+        }
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        """Fold a :meth:`snapshot` (e.g. from a worker process) in.
+
+        Counters and histogram buckets add; gauges combine their running
+        statistics with ``last`` taken from the incoming snapshot; span
+        subtrees add node-wise by name.  Merging is associative, so any
+        grouping of workers produces the same totals — only gauge
+        ``last`` depends on merge *order*, which the runner fixes by
+        merging in task-index order.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, payload in snapshot.get("gauges", {}).items():
+            gauge = self.gauge(name)
+            count = int(payload.get("count", 0))
+            if count <= 0:
+                continue
+            if gauge.count == 0:
+                gauge.min = float(payload["min"])
+                gauge.max = float(payload["max"])
+            else:
+                gauge.min = min(gauge.min, float(payload["min"]))
+                gauge.max = max(gauge.max, float(payload["max"]))
+            gauge.last = float(payload["last"])
+            gauge.total += float(payload["total"])
+            gauge.count += count
+        for name, payload in snapshot.get("histograms", {}).items():
+            hist = self.histogram(name, payload["bounds"])
+            if list(hist.bounds) != [float(b) for b in payload["bounds"]]:
+                raise ValueError(
+                    f"histogram {name!r} bucket bounds differ between "
+                    f"registries: {hist.bounds} vs {payload['bounds']}"
+                )
+            for i, count in enumerate(payload["counts"]):
+                hist.counts[i] += count
+            hist.total += float(payload["total"])
+            hist.count += int(payload["count"])
+        _merge_span_tree(self._span_root, snapshot.get("spans", {}))
+
+
+def _merge_span_tree(node: SpanNode, children: Dict[str, Any]) -> None:
+    for name, payload in children.items():
+        child = node.children.get(name)
+        if child is None:
+            child = SpanNode(name)
+            node.children[name] = child
+        child.count += int(payload.get("count", 0))
+        child.seconds += float(payload.get("seconds", 0.0))
+        _merge_span_tree(child, payload.get("children", {}))
+
+
+class _NullSpan:
+    """Shared no-op span — one instance serves every disabled call."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class NullRegistry(MetricsRegistry):
+    """The disabled registry: every operation is an allocation-free no-op.
+
+    Instrumented hot loops call through unconditionally; when this
+    registry is active each call touches only pre-built singletons, so
+    disabling observability removes essentially all of its cost.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._null_span = _NullSpan()
+        self._null_counter = _NullCounter("null")
+        self._null_gauge = _NullGauge("null")
+        self._null_histogram = _NullHistogram("null")
+
+    def counter(self, name: str) -> Counter:
+        return self._null_counter
+
+    def gauge(self, name: str) -> Gauge:
+        return self._null_gauge
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._null_histogram
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def span(self, name: str) -> _NullSpan:
+        return self._null_span
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        pass
+
+
+#: The process-wide active registry.  Disabled by default; `enable()` or
+#: the CLI's ``--metrics`` flag swaps a recording registry in.
+_NULL_REGISTRY = NullRegistry()
+_ACTIVE: MetricsRegistry = _NULL_REGISTRY
+
+
+def get_registry() -> MetricsRegistry:
+    """The currently active registry (a :class:`NullRegistry` when off)."""
+    return _ACTIVE
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as the active sink; returns it."""
+    global _ACTIVE
+    _ACTIVE = registry
+    return registry
+
+
+def enable() -> MetricsRegistry:
+    """Activate a fresh recording registry and return it."""
+    return set_registry(MetricsRegistry())
+
+
+def disable() -> None:
+    """Restore the no-op registry."""
+    set_registry(_NULL_REGISTRY)
+
+
+class use_registry:
+    """Context manager installing a registry for a scope (tests, workers)."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self._previous: Optional[MetricsRegistry] = None
+
+    def __enter__(self) -> MetricsRegistry:
+        self._previous = get_registry()
+        set_registry(self.registry)
+        return self.registry
+
+    def __exit__(self, *exc_info) -> bool:
+        set_registry(self._previous)
+        return False
+
+
+def iter_span_nodes(
+    spans: Dict[str, Any], prefix: str = ""
+) -> Iterator[Tuple[str, Dict[str, Any]]]:
+    """Depth-first ``(path, node)`` pairs over a snapshot's span tree.
+
+    Paths join nested span names with ``/`` (``runner.map/task.probe``),
+    the form the Prometheus renderer and tests key on.
+    """
+    for name in sorted(spans):
+        node = spans[name]
+        path = f"{prefix}/{name}" if prefix else name
+        yield path, node
+        yield from iter_span_nodes(node.get("children", {}), path)

@@ -232,6 +232,26 @@ class FaultInjector:
             os.fsync(handle.fileno())
         return True
 
+    def fired_counts(self) -> dict:
+        """Total firings so far, keyed by fault kind.
+
+        Read from the marker files in ``state_dir``, so the counts are
+        exact even for faults whose firing destroyed the process that
+        fired them (``kill``) or unwound it with an exception
+        (``error``/``io``) — the claim is fsynced *before* the fault
+        fires.  This is what the runner exports as the
+        ``faults_fired_total{kind=...}`` counters.
+        """
+        totals: dict = {}
+        state = pathlib.Path(self.state_dir)
+        for rule_index, rule in enumerate(self.rules):
+            fired = 0
+            for marker in state.glob(f"rule{rule_index}-task*"):
+                fired += marker.stat().st_size
+            if fired:
+                totals[rule.kind] = totals.get(rule.kind, 0) + fired
+        return totals
+
     def perturb(self, task_index: int) -> None:
         """Fire every armed rule matching ``task_index`` (worker-side)."""
         for rule_index, rule in enumerate(self.rules):

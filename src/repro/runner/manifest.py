@@ -28,6 +28,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional, Union
 
 from ..core.exceptions import ArtifactError
+from ..obs import get_registry, write_metrics
 
 logger = logging.getLogger(__name__)
 
@@ -254,7 +255,8 @@ def write_batch_artifacts(
     any ``episode_stats`` collected by workers are folded into one
     ``episodes.jsonl`` keyed by task, then dropped from the manifest
     copy (the manifest stays small and timing-free values stay in the
-    JSONL stream).
+    JSONL stream).  When observability is enabled the active registry
+    is additionally exported as ``metrics.json`` next to the manifest.
     """
     run_dir = pathlib.Path(run_dir)
     run_dir.mkdir(parents=True, exist_ok=True)
@@ -280,6 +282,7 @@ def write_batch_artifacts(
         for r in task_results
     ]
     manifest.save(run_dir)
+    write_metrics(run_dir, get_registry())
 
 
 def _strip_stats(value: Any) -> Any:

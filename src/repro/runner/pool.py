@@ -54,6 +54,7 @@ from concurrent.futures import (
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from ..obs import MeteredCall, MetricsEnvelope, get_registry, labelled
 from .faults import FaultInjector
 
 logger = logging.getLogger(__name__)
@@ -86,6 +87,10 @@ class TaskResult:
     error: Optional[str] = None
     attempts: int = 1
     seconds: float = 0.0
+    #: Worker-side metrics snapshot (populated when observability is on
+    #: and the task ran in a pool worker; merged into the parent
+    #: registry by ``ExperimentRunner.map``).
+    metrics: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -136,6 +141,11 @@ class ExperimentRunner:
     fault_injector:
         Optional deterministic fault source wrapped around every task
         (see :mod:`repro.runner.faults`).
+    collect_worker_metrics:
+        Whether pool tasks ship their worker-side metrics snapshots
+        back for merging (see :class:`repro.obs.MeteredCall`).  ``None``
+        (the default) follows the active registry: metrics are
+        collected exactly when observability is enabled.
     """
 
     workers: int = 1
@@ -145,6 +155,7 @@ class ExperimentRunner:
     backoff_cap: float = 2.0
     pool_death_limit: int = 3
     fault_injector: Optional[FaultInjector] = None
+    collect_worker_metrics: Optional[bool] = None
 
     @property
     def effective_workers(self) -> int:
@@ -168,13 +179,53 @@ class ExperimentRunner:
             raise ValueError("keys and payloads must have equal length")
         if not payloads:
             return []
-        if self.effective_workers <= 1:
-            self._warn_serial_timeout()
-            return [
-                self._run_serial(fn, payload, i, keys[i])
-                for i, payload in enumerate(payloads)
-            ]
-        return self._run_parallel(fn, payloads, keys)
+        obs = get_registry()
+        with obs.span("runner.map"):
+            if self.effective_workers <= 1:
+                self._warn_serial_timeout()
+                results = [
+                    self._run_serial(fn, payload, i, keys[i])
+                    for i, payload in enumerate(payloads)
+                ]
+            else:
+                results = self._run_parallel(fn, payloads, keys)
+        self._record_batch(obs, results)
+        return results
+
+    def _record_batch(self, obs, results: List[TaskResult]) -> None:
+        """Fold a finished batch into the parent registry.
+
+        Worker snapshots are unwrapped and merged in task-index order —
+        never completion order — so the aggregate (including gauge
+        ``last`` values) is identical across reruns and worker counts.
+        Per-task dispatch counters come from the ``TaskResult`` channel;
+        fault firings are reconciled from the injector's marker files,
+        which survive even the worker deaths that destroy the worker's
+        own snapshot.
+        """
+        obs.inc("runner_batches_total")
+        for result in results:
+            if isinstance(result.value, MetricsEnvelope):
+                envelope = result.value
+                result.value = envelope.value
+                result.metrics = envelope.metrics
+                obs.merge(envelope.metrics)
+            obs.inc("runner_tasks_total")
+            obs.inc(
+                labelled("runner_tasks_total", status=result.status)
+            )
+            obs.inc("runner_attempts_total", result.attempts)
+            obs.inc("runner_retries_total", result.attempts - 1)
+            obs.observe("runner_task_seconds", result.seconds)
+        if self.fault_injector is not None and obs.enabled:
+            for kind, fired in self.fault_injector.fired_counts().items():
+                counter = obs.counter(
+                    labelled("faults_fired_total", kind=kind)
+                )
+                # Marker files are cumulative across retries, pool
+                # rebuilds, and previous batches with the same injector;
+                # take the running total rather than re-adding it.
+                counter.value = max(counter.value, float(fired))
 
     def _warn_serial_timeout(self) -> None:
         global _SERIAL_TIMEOUT_WARNED
@@ -225,6 +276,7 @@ class ExperimentRunner:
             try:
                 value = task(payload)
             except Exception:
+                get_registry().inc("runner_failed_attempts_total")
                 error = traceback.format_exc()
                 if attempt <= self.max_retries:
                     time.sleep(self._backoff_seconds(attempt + 1, rng))
@@ -250,6 +302,16 @@ class ExperimentRunner:
     # Parallel path
     # ------------------------------------------------------------------
 
+    def _metered(self) -> bool:
+        """Whether pool tasks should ship worker metrics snapshots back.
+
+        Serial tasks run in-process under the parent's own registry, so
+        only the parallel path needs the envelope protocol.
+        """
+        if self.collect_worker_metrics is not None:
+            return self.collect_worker_metrics
+        return get_registry().enabled
+
     def _submit(
         self,
         pool: ProcessPoolExecutor,
@@ -258,6 +320,8 @@ class ExperimentRunner:
         index: int,
     ) -> Future:
         task = self._wrap(fn, index)
+        if self._metered():
+            task = MeteredCall(task)
         if self.task_timeout is not None:
             budget = max(1, int(self.task_timeout + 0.999))
             return pool.submit(_call_with_alarm, task, payload, budget)
@@ -291,6 +355,8 @@ class ExperimentRunner:
                 # not attributable to any single task.
                 deaths = 1 if len(results) > prior else deaths + 1
                 todo = [i for i in range(len(payloads)) if i not in results]
+                obs = get_registry()
+                obs.inc("runner_pool_deaths_total")
                 logger.warning(
                     "process pool died (%d consecutive, limit %d); "
                     "%d/%d tasks already have results, re-submitting %d",
@@ -303,12 +369,15 @@ class ExperimentRunner:
                         "to serial in-process execution for the "
                         "remaining %d task(s)", deaths, len(todo),
                     )
+                    obs.inc("runner_serial_degradations_total")
                     for i in todo:
                         results[i] = self._run_serial(
                             fn, payloads[i], i, keys[i],
                             first_attempt=attempts[i],
                         )
                     todo = []
+                else:
+                    obs.inc("runner_pool_rebuilds_total")
         return [results[i] for i in range(len(payloads))]
 
     def _pool_round(
@@ -362,6 +431,7 @@ class ExperimentRunner:
         try:
             value = future.result()
         except TaskTimeoutError:
+            get_registry().inc("runner_timeouts_total")
             return TaskResult(
                 index=index, key=key, status=STATUS_TIMEOUT,
                 error=f"timed out after {self.task_timeout}s",
@@ -372,6 +442,7 @@ class ExperimentRunner:
             # to the recovery logic in _run_parallel.
             raise
         except Exception as exc:
+            get_registry().inc("runner_failed_attempts_total")
             detail = "".join(
                 traceback.format_exception_only(type(exc), exc)
             ).strip()

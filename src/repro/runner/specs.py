@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Tuple
 
 from ..baselines import EDAPlanner, OmegaPlanner
+from ..obs import get_registry, labelled
 from ..core.planner import RLPlanner
 from ..core.scoring import PlanScorer
 
@@ -238,9 +239,18 @@ HANDLERS: Dict[str, Callable[[RunSpec], Dict[str, Any]]] = {
 
 
 def execute_spec(spec: RunSpec) -> Dict[str, Any]:
-    """Dispatch a spec to its handler (the pool's worker entry point)."""
+    """Dispatch a spec to its handler (the pool's worker entry point).
+
+    Each execution is timed under a per-kind ``task.<kind>`` span and
+    counted, so a batch's metrics show where its time went by task
+    kind.  (In serial mode the span nests under the parent's
+    ``runner.map``; worker snapshots merge at the root.)
+    """
     try:
         handler = HANDLERS[spec.kind]
     except KeyError:
         raise ValueError(f"unknown spec kind: {spec.kind!r}") from None
-    return handler(spec)
+    obs = get_registry()
+    obs.inc(labelled("runner_specs_total", kind=spec.kind))
+    with obs.span(f"task.{spec.kind}"):
+        return handler(spec)

@@ -28,6 +28,7 @@ from typing import Optional, Union
 
 from ..core.config import PlannerConfig
 from ..core.exceptions import PlanningError
+from ..obs import get_registry, write_metrics
 from ..core.planner import RLPlanner
 from ..core.qtable import QTable
 from ..core.sarsa import SarsaLearner
@@ -225,6 +226,10 @@ def _train_loop(
             t0 = time.perf_counter()
             manifest.save(run_dir)
 
+    # Session-end metrics export (no-op when observability is off).
+    # Interrupted sessions export too: a resumed run's registry picks up
+    # where its own session started, not where the run did.
+    write_metrics(run_dir, get_registry())
     if completed < target:
         manifest.status = "interrupted"
         manifest.save(run_dir)

@@ -50,5 +50,8 @@ def test_bench_main_writes_json(tmp_path):
     bench.main(
         ["--sizes", "25", "--repeats", "2", "--output", str(out)]
     )
-    rows = json.loads(out.read_text())
+    payload = json.loads(out.read_text())
+    rows = payload["sizes"]
     assert rows and rows[0]["num_items"] == 25
+    # --obs not passed: no overhead section, and no registry left active.
+    assert "obs_overhead" not in payload

@@ -15,6 +15,8 @@ from __future__ import annotations
 import random
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.constraints import InterleavingTemplate
 from repro.core.items import ItemType
@@ -22,6 +24,7 @@ from repro.core.similarity import (
     IncrementalSimilarity,
     SimilarityMode,
     aggregate_similarity,
+    similarity_profile,
 )
 
 P = ItemType.PRIMARY
@@ -102,6 +105,64 @@ class TestAgainstReference:
                 state.append(item_type)
                 expected = peek_p if item_type is P else peek_s
                 assert state.value() == expected
+
+
+@st.composite
+def _template_and_prefix(draw):
+    """Random (template, prefix); prefixes may run past the horizon."""
+    length = draw(st.integers(min_value=1, max_value=8))
+    labels = draw(
+        st.lists(
+            st.lists(
+                st.sampled_from("PS"),
+                min_size=length,
+                max_size=length,
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    prefix = draw(
+        st.lists(
+            st.sampled_from((P, S)),
+            min_size=1,
+            max_size=length + 3,
+        )
+    )
+    return InterleavingTemplate.from_labels(labels), prefix
+
+
+class TestProfileProperty:
+    """similarity_profile == an IncrementalSimilarity replay, everywhere.
+
+    This is the horizon-consistency contract: for every prefix length
+    ``k`` — including k past the template horizon, where both sides
+    must report 0.0 — the k-th profile entry equals the tracker's value
+    after k appends, bit for bit, in every aggregation mode.
+    """
+
+    @pytest.mark.parametrize("mode", MODES, ids=lambda m: m.value)
+    @given(case=_template_and_prefix())
+    @settings(max_examples=60, deadline=None)
+    def test_profile_entries_match_incremental_replay(self, mode, case):
+        template, prefix = case
+        profile = similarity_profile(prefix, template, mode)
+        assert len(profile) == len(prefix)
+        state = IncrementalSimilarity(template, mode)
+        for k, item_type in enumerate(prefix, start=1):
+            state.append(item_type)
+            assert profile[k - 1] == state.value()
+            if k > template.length:
+                assert profile[k - 1] == 0.0
+
+    def test_past_horizon_profile_is_zero_not_an_error(
+        self, example1_template
+    ):
+        """Regression: over-long prefixes used to raise from Eq. 6."""
+        prefix = [P, S, P, P, S, S, P, P]  # template length is 6
+        profile = similarity_profile(prefix, example1_template)
+        assert profile[6:] == [0.0, 0.0]
+        assert aggregate_similarity(prefix, example1_template) == 0.0
 
 
 class TestWorkedExample:

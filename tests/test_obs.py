@@ -1,0 +1,378 @@
+"""Tests for the observability layer (repro.obs).
+
+Covers the registry primitives (counters, gauges, histograms, spans),
+the NullRegistry no-op guarantees, snapshot/merge semantics (the
+cross-process aggregation path), the timing-independent fingerprint,
+the Prometheus renderer, and the integration through ExperimentRunner
+and the ``rl-planner run --metrics`` / ``rl-planner metrics`` CLI.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.core.exceptions import ArtifactError
+from repro.datasets import load_toy
+from repro.obs import (
+    MetricsRegistry,
+    NullRegistry,
+    is_timing_metric,
+    iter_span_nodes,
+    labelled,
+    load_metrics,
+    metrics_payload,
+    snapshot_fingerprint,
+    to_prometheus,
+    use_registry,
+    write_metrics,
+)
+from repro.runner import ExperimentRunner
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    """Every test starts and ends with the global registry disabled."""
+    obs.disable()
+    yield
+    obs.disable()
+
+
+# Worker functions must be importable top-level names so the process
+# pool can pickle them.
+
+def _observe(x):
+    registry = obs.get_registry()
+    registry.inc("worker_events_total", x)
+    registry.set_gauge("worker_gauge", x)
+    with registry.span("work"):
+        pass
+    return x * x
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.inc("jobs_total")
+        registry.inc("jobs_total", 2.5)
+        assert registry.counter("jobs_total").value == 3.5
+
+    def test_labelled_sorts_keys(self):
+        assert (
+            labelled("t_total", b=1, a="x") == 't_total{a="x",b="1"}'
+        )
+        assert labelled("t_total") == "t_total"
+
+    def test_gauge_running_statistics(self):
+        registry = MetricsRegistry()
+        for value in (3.0, -1.0, 2.0):
+            registry.set_gauge("episode_reward", value)
+        gauge = registry.gauge("episode_reward")
+        assert gauge.last == 2.0
+        assert gauge.min == -1.0
+        assert gauge.max == 3.0
+        assert gauge.total == 4.0
+        assert gauge.count == 3
+        assert gauge.mean == pytest.approx(4.0 / 3.0)
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", bounds=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        # counts[i] = observations <= bounds[i]; final slot is +Inf.
+        assert hist.counts == [1, 2, 3, 4]
+        assert hist.count == 4
+        assert hist.total == pytest.approx(55.55)
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("bad", bounds=(1.0, 0.1))
+
+
+class TestSpans:
+    def test_nesting_builds_a_tree(self):
+        registry = MetricsRegistry()
+        with registry.span("outer"):
+            with registry.span("inner"):
+                pass
+        with registry.span("outer"):
+            pass
+        spans = registry.snapshot()["spans"]
+        paths = dict(iter_span_nodes(spans))
+        assert set(paths) == {"outer", "outer/inner"}
+        assert paths["outer"]["count"] == 2
+        assert paths["outer/inner"]["count"] == 1
+        assert paths["outer"]["seconds"] >= paths["outer/inner"]["seconds"]
+
+    def test_reentry_accumulates_into_one_node(self):
+        registry = MetricsRegistry()
+        for _ in range(5):
+            with registry.span("step"):
+                pass
+        (path, node), = iter_span_nodes(registry.snapshot()["spans"])
+        assert path == "step"
+        assert node["count"] == 5
+
+
+class TestNullRegistry:
+    def test_default_registry_is_disabled(self):
+        registry = obs.get_registry()
+        assert isinstance(registry, NullRegistry)
+        assert registry.enabled is False
+
+    def test_span_is_a_shared_singleton(self):
+        null = NullRegistry()
+        assert null.span("a") is null.span("b")
+        assert null.counter("a") is null.counter("b")
+
+    def test_operations_record_nothing(self):
+        null = NullRegistry()
+        null.inc("jobs_total")
+        null.set_gauge("g", 1.0)
+        null.observe("h", 1.0)
+        with null.span("a"):
+            pass
+        null.merge({"counters": {"jobs_total": 7.0}})
+        snapshot = null.snapshot()
+        assert snapshot["counters"] == {}
+        assert snapshot["gauges"] == {}
+        assert snapshot["histograms"] == {}
+        assert snapshot["spans"] == {}
+
+    def test_use_registry_restores_previous(self):
+        outer = obs.get_registry()
+        inner = MetricsRegistry()
+        with use_registry(inner) as active:
+            assert obs.get_registry() is inner
+            assert active is inner
+        assert obs.get_registry() is outer
+
+    def test_enable_returns_fresh_recording_registry(self):
+        first = obs.enable()
+        first.inc("jobs_total")
+        second = obs.enable()
+        assert second is obs.get_registry()
+        assert second.snapshot()["counters"] == {}
+
+
+def _sample_registry(scale=1.0):
+    registry = MetricsRegistry()
+    registry.inc("tasks_total", 2 * scale)
+    registry.set_gauge("reward", 1.5 * scale)
+    registry.observe("latency", 0.2)
+    with registry.span("outer"):
+        with registry.span("inner"):
+            pass
+    return registry
+
+
+class TestSnapshotMerge:
+    def test_merge_adds_counters_and_histograms(self):
+        a = _sample_registry()
+        b = _sample_registry()
+        a.merge(b.snapshot())
+        snapshot = a.snapshot()
+        assert snapshot["counters"]["tasks_total"] == 4.0
+        assert snapshot["histograms"]["latency"]["count"] == 2
+        assert snapshot["histograms"]["latency"]["counts"][-1] == 2
+
+    def test_merge_combines_gauge_statistics(self):
+        a = MetricsRegistry()
+        a.set_gauge("g", 1.0)
+        b = MetricsRegistry()
+        b.set_gauge("g", 5.0)
+        b.set_gauge("g", -2.0)
+        a.merge(b.snapshot())
+        gauge = a.gauge("g")
+        assert gauge.min == -2.0
+        assert gauge.max == 5.0
+        assert gauge.total == 4.0
+        assert gauge.count == 3
+        # `last` comes from the incoming snapshot (merge order decides).
+        assert gauge.last == -2.0
+
+    def test_merge_adds_span_subtrees(self):
+        a = _sample_registry()
+        a.merge(_sample_registry().snapshot())
+        paths = dict(iter_span_nodes(a.snapshot()["spans"]))
+        assert paths["outer"]["count"] == 2
+        assert paths["outer/inner"]["count"] == 2
+
+    def test_merge_is_associative_on_totals(self):
+        parts = [_sample_registry(scale=s).snapshot() for s in (1, 2, 3)]
+        left = MetricsRegistry()
+        for part in parts:
+            left.merge(part)
+        right = MetricsRegistry()
+        inner = MetricsRegistry()
+        inner.merge(parts[1])
+        inner.merge(parts[2])
+        right.merge(parts[0])
+        right.merge(inner.snapshot())
+        assert (
+            left.snapshot()["counters"] == right.snapshot()["counters"]
+        )
+        assert (
+            left.snapshot()["histograms"]
+            == right.snapshot()["histograms"]
+        )
+
+    def test_bucket_bounds_mismatch_rejected(self):
+        a = MetricsRegistry()
+        a.histogram("h", bounds=(1.0, 2.0)).observe(0.5)
+        b = MetricsRegistry()
+        b.histogram("h", bounds=(5.0, 6.0)).observe(0.5)
+        with pytest.raises(ValueError):
+            a.merge(b.snapshot())
+
+
+class TestFingerprint:
+    def test_timing_metric_name_detection(self):
+        assert is_timing_metric("task_seconds")
+        assert is_timing_metric("task_seconds_total")
+        assert is_timing_metric('task_seconds{kind="x"}')
+        assert not is_timing_metric("tasks_total")
+        assert not is_timing_metric("secondsight_total")
+
+    def test_fingerprint_ignores_wall_clock(self):
+        a = _sample_registry()
+        b = _sample_registry()
+        # Perturb everything wall-clock: span durations and _seconds
+        # metrics differ between the two registries.
+        b._span_root.children["outer"].seconds += 123.0
+        a.observe("task_seconds", 0.1)
+        b.observe("task_seconds", 99.0)
+        assert snapshot_fingerprint(a.snapshot()) == snapshot_fingerprint(
+            b.snapshot()
+        )
+
+    def test_fingerprint_sees_counts(self):
+        a = _sample_registry()
+        b = _sample_registry()
+        b.inc("tasks_total")
+        assert snapshot_fingerprint(a.snapshot()) != snapshot_fingerprint(
+            b.snapshot()
+        )
+
+
+class TestExport:
+    def test_write_and_load_round_trip(self, tmp_path):
+        registry = _sample_registry()
+        path = write_metrics(tmp_path, registry)
+        assert path is not None and path.name == "metrics.json"
+        loaded = load_metrics(tmp_path)
+        assert loaded["counters"] == registry.snapshot()["counters"]
+        # The stored fingerprint re-verifies against the stored data.
+        assert loaded["fingerprint"] == snapshot_fingerprint(loaded)
+
+    def test_write_metrics_noops_when_disabled(self, tmp_path):
+        assert write_metrics(tmp_path, NullRegistry()) is None
+        assert not (tmp_path / "metrics.json").exists()
+
+    def test_load_metrics_raises_artifact_error(self, tmp_path):
+        with pytest.raises(ArtifactError):
+            load_metrics(tmp_path)
+        (tmp_path / "metrics.json").write_text("{ torn")
+        with pytest.raises(ArtifactError):
+            load_metrics(tmp_path)
+
+    def test_prometheus_rendering(self):
+        registry = _sample_registry()
+        registry.inc(labelled("tasks_total", status="ok"))
+        text = to_prometheus(metrics_payload(registry))
+        assert "# TYPE tasks_total counter" in text
+        assert 'tasks_total{status="ok"} 1' in text
+        assert "reward_sum 1.5" in text
+        assert "reward_count 1" in text
+        assert 'latency{le="+Inf"} 1' in text
+        assert 'repro_span_seconds_total{span="outer/inner"}' in text
+        assert 'repro_span_calls_total{span="outer"} 1' in text
+
+
+class TestRunnerIntegration:
+    def test_parallel_workers_merge_into_parent(self):
+        registry = obs.enable()
+        results = ExperimentRunner(workers=2).map(_observe, [1, 2, 3])
+        assert [r.value for r in results] == [1, 4, 9]
+        # Every worker snapshot rode the TaskResult channel back.
+        assert all(r.metrics is not None for r in results)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["worker_events_total"] == 6.0
+        assert snapshot["counters"]["runner_tasks_total"] == 3.0
+        assert snapshot["counters"]['runner_tasks_total{status="ok"}'] == 3.0
+        gauge = snapshot["gauges"]["worker_gauge"]
+        assert gauge.items() >= {"count": 3, "min": 1.0, "max": 3.0}.items()
+        paths = dict(iter_span_nodes(snapshot["spans"]))
+        assert paths["work"]["count"] == 3
+        assert "runner.map" in paths
+
+    def test_serial_counters_match_parallel(self):
+        serial = obs.enable()
+        ExperimentRunner(workers=1).map(_observe, [1, 2, 3])
+        serial_counters = serial.snapshot()["counters"]
+        parallel = obs.enable()
+        ExperimentRunner(workers=2).map(_observe, [1, 2, 3])
+        parallel_counters = parallel.snapshot()["counters"]
+        assert serial_counters == parallel_counters
+
+    def test_disabled_runs_carry_no_envelopes(self):
+        results = ExperimentRunner(workers=2).map(_observe, [1, 2])
+        assert [r.value for r in results] == [1, 4]
+        assert all(r.metrics is None for r in results)
+        assert obs.get_registry().snapshot()["counters"] == {}
+
+    def test_fault_fires_counted_by_kind(self, tmp_path):
+        from repro.runner import FaultInjector
+
+        registry = obs.enable()
+        injector = FaultInjector.from_spec(
+            "error@0:times=1", state_dir=tmp_path
+        )
+        results = ExperimentRunner(
+            workers=2, max_retries=2, fault_injector=injector
+        ).map(_observe, [1, 2])
+        # The injected fault fired once, the retry recovered the task.
+        assert [r.value for r in results] == [1, 4]
+        counters = registry.snapshot()["counters"]
+        assert counters['faults_fired_total{kind="error"}'] == 1.0
+        assert counters["runner_retries_total"] == 1.0
+
+
+@pytest.mark.slow
+class TestEndToEndDeterminism:
+    def test_identical_seeded_runs_fingerprint_equal(self, tmp_path):
+        from repro.analysis import compare_planners
+
+        dataset = load_toy(seed=0, with_gold=True)
+        fingerprints = []
+        for name in ("a", "b"):
+            obs.enable()
+            compare_planners(
+                dataset, runs=2, episodes=5, workers=1,
+                out_dir=tmp_path / name,
+            )
+            payload = load_metrics(tmp_path / name)
+            fingerprints.append(payload["fingerprint"])
+            obs.disable()
+        assert fingerprints[0] == fingerprints[1]
+
+    def test_cli_run_and_metrics_subcommand(self, tmp_path, capsys):
+        out = tmp_path / "run"
+        assert main([
+            "run", "toy", "--protocol", "compare", "--runs", "2",
+            "--episodes", "5", "--metrics", "--out", str(out),
+        ]) == 0
+        assert (out / "metrics.json").exists()
+        assert "metrics  :" in capsys.readouterr().out
+
+        assert main(["metrics", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert text.startswith("# metrics fingerprint ")
+        assert "sarsa_episodes_total" in text
+        assert "env_steps_total" in text
+
+        assert main(["metrics", str(out), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counters"]["runner_tasks_total"] == 2.0

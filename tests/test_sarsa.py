@@ -105,6 +105,43 @@ class TestDeterminismAndStats:
         assert all(s.length <= 4 for s in result.stats)
 
 
+class _TwoSeedDeadEnv(TPPEnvironment):
+    """reset() seeds two items and no action is ever available.
+
+    Models the dead-start corner: an environment may legitimately seed
+    more than the start item before the first step (e.g. mandated
+    items), and the episode can still offer no legal action.
+    """
+
+    def reset(self, start_item_id):
+        item = super().reset(start_item_id)
+        self.builder.add(self.catalog["p2"])
+        return item
+
+    def valid_actions(self):
+        return ()
+
+
+class TestDeadStartEpisodes:
+    def test_length_counts_everything_reset_seeded(self, catalog):
+        # Regression: the dead-start branch used to hardcode length=1,
+        # disagreeing with len(env.builder) whenever reset() seeded
+        # more than the start item.
+        config = PlannerConfig(
+            episodes=3, coverage_threshold=1.0, exploration=0.1, seed=0
+        )
+        env = _TwoSeedDeadEnv(catalog, make_task(), config)
+        learner = SarsaLearner(env, config)
+        result = learner.learn(start_item_ids=["p1"])
+        assert len(result.stats) == 3
+        for stats in result.stats:
+            assert stats.length == 2
+            # Zero steps taken => zero zero-reward steps, exactly as
+            # the stepping path would count them.
+            assert stats.zero_reward_steps == 0
+            assert stats.total_reward == 0.0
+
+
 class TestSelectionModes:
     def test_q_greedy_mode_learns(self, catalog):
         config = PlannerConfig(

@@ -78,6 +78,44 @@ class TestFoldPlan:
         text = schedule.describe()
         assert "Term 1" in text and "- a:" in text
 
+    def test_prerequisite_in_later_period_fails(self, catalog):
+        plan = plan_from_ids(catalog, ["d", "b", "c", "a", "e", "f"])
+        schedule = fold_plan(plan, items_per_period=3)
+        assert not schedule.respects_prerequisites()
+
+    def test_prerequisite_absent_from_schedule_fails(self, catalog):
+        # d requires a, which is not scheduled at all.
+        plan = plan_from_ids(catalog, ["b", "c", "d"])
+        schedule = fold_plan(plan, items_per_period=2)
+        assert not schedule.respects_prerequisites()
+
+
+class TestLabelFormatValidation:
+    """fold_plan rejects label formats that cannot label periods."""
+
+    def test_unknown_field_rejected_up_front(self, catalog):
+        plan = plan_from_ids(catalog, ["a", "b"])
+        with pytest.raises(PlanningError, match="label_format"):
+            fold_plan(plan, items_per_period=2, label_format="Sem {m}")
+
+    def test_positional_field_rejected(self, catalog):
+        plan = plan_from_ids(catalog, ["a", "b"])
+        with pytest.raises(PlanningError, match="label_format"):
+            fold_plan(plan, items_per_period=2, label_format="Sem {}")
+
+    def test_constant_format_rejected(self, catalog):
+        # Formats, but every period would get the same label.
+        plan = plan_from_ids(catalog, ["a", "b"])
+        with pytest.raises(PlanningError, match="never varies"):
+            fold_plan(plan, items_per_period=2, label_format="Semester")
+
+    def test_format_spec_on_n_accepted(self, catalog):
+        plan = plan_from_ids(catalog, ["a", "b", "c"])
+        schedule = fold_plan(
+            plan, items_per_period=2, label_format="Sem {n:02d}"
+        )
+        assert [p.label for p in schedule.periods] == ["Sem 01", "Sem 02"]
+
 
 class TestFoldTripDay:
     def test_clock_progression(self, catalog):
