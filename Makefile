@@ -5,7 +5,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test test-fast test-chaos lint bench bench-runner bench-obs bench-paper
+.PHONY: test test-fast test-chaos test-serving lint bench bench-runner bench-obs bench-serving bench-paper
 
 ## Full tier-1 suite (everything under tests/).
 test:
@@ -18,6 +18,10 @@ test-fast:
 ## Fault-injection suite: worker kills, torn writes, checkpoint rot.
 test-chaos:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -m chaos
+
+## Serving-layer suite: admission, deadlines, breaker, ladder.
+test-serving:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -m serving
 
 ## Static checks (ruff: syntax errors + pyflakes).  `pip install -e .[lint]`.
 lint:
@@ -34,6 +38,10 @@ bench-runner:
 ## Observability overhead only (< 5% assertion + fingerprint equality).
 bench-obs:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_runner.py --only obs --runs 2 --episodes 80
+
+## Serving-facade latency (p50/p95 per rung) -> BENCH_serving.json.
+bench-serving:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_serving.py
 
 ## Paper tables/figures (pytest-benchmark harness; slow).
 bench-paper:

@@ -1,0 +1,194 @@
+"""Benchmark of the resilient serving facade (repro.serving).
+
+Measures three things and writes ``BENCH_serving.json`` at the repo
+root:
+
+1. **Per-rung latency** — p50/p95 of ``serve()`` when each rung of the
+   degradation ladder answers: the trained SARSA policy (happy path),
+   EDA (policy rung disabled via an error fault), and constructive
+   repair (policy and EDA rungs both faulted).
+2. **Facade overhead** — the happy path runs ``RLPlanner.recommend`` +
+   one scoring pass + the envelope; its median must stay within 5% of
+   a bare ``recommend`` + ``score`` loop, asserted here so the facade
+   can never silently grow a hidden cost.
+3. **Admission latency** — p50/p95 of the full catalog audit and the
+   per-request screen, the costs the serving layer adds at load and on
+   every request.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py
+
+or with custom sizing::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py \
+        --iterations 200 --episodes 300 --output BENCH_serving.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import statistics
+import tempfile
+import time
+from typing import Callable, Dict, List
+
+from repro.datasets import load
+from repro.runner.faults import FaultInjector, parse_fault_spec
+from repro.serving import PlanningService
+from repro.serving.admission import audit_catalog, screen_request
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_serving.json"
+
+#: Facade overhead budget vs bare recommend+score (fraction).
+OVERHEAD_BUDGET = 0.05
+
+
+def _percentiles(samples: List[float]) -> Dict[str, float]:
+    ordered = sorted(samples)
+    n = len(ordered)
+    return {
+        "p50_ms": 1e3 * ordered[n // 2],
+        "p95_ms": 1e3 * ordered[min(n - 1, int(n * 0.95))],
+        "mean_ms": 1e3 * statistics.fmean(ordered),
+        "samples": n,
+    }
+
+
+def _time(fn: Callable[[], object], iterations: int) -> List[float]:
+    samples = []
+    for _ in range(iterations):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return samples
+
+
+def bench_rungs(dataset, episodes: int, iterations: int) -> Dict[str, object]:
+    """p50/p95 of serve() with each rung forced to answer."""
+    shared = PlanningService.from_dataset(dataset)
+    shared.fit(start_item_ids=[dataset.default_start], episodes=episodes)
+    start = dataset.default_start
+    out: Dict[str, object] = {}
+
+    # sarsa: the trained happy path.
+    samples = _time(lambda: shared.serve(start_item_id=start), iterations)
+    result = shared.serve(start_item_id=start)
+    assert result.rung == "sarsa" and result.ok, result.describe()
+    out["sarsa"] = _percentiles(samples)
+
+    # eda / repair: fault the rungs above so the ladder lands where we
+    # want; `times` is sized to cover warm-up + all iterations.
+    for rung, spec in (
+        ("eda", "error@0:times=1000000"),
+        ("repair", "error@0:times=1000000;error@1:times=1000000"),
+    ):
+        injector = FaultInjector(
+            parse_fault_spec(spec), state_dir=tempfile.mkdtemp()
+        )
+        service = PlanningService.from_dataset(
+            dataset, planner=shared.planner, fault_injector=injector,
+            breaker_threshold=10**9,  # keep the faulted rung in play
+        )
+        samples = _time(
+            lambda: service.serve(start_item_id=start), iterations
+        )
+        result = service.serve(start_item_id=start)
+        assert result.rung == rung and result.ok, result.describe()
+        out[rung] = _percentiles(samples)
+    return out
+
+
+def bench_overhead(dataset, episodes: int, iterations: int) -> Dict[str, object]:
+    """Happy-path serve() vs bare recommend()+score()."""
+    service = PlanningService.from_dataset(dataset)
+    service.fit(start_item_ids=[dataset.default_start], episodes=episodes)
+    planner = service.planner
+    start = dataset.default_start
+
+    def bare():
+        plan = planner.recommend(start)
+        planner.scorer.score(plan)
+
+    # Interleave warm-up so neither side benefits from cache order.
+    bare(); service.serve(start_item_id=start)
+    bare_s = _time(bare, iterations)
+    serve_s = _time(lambda: service.serve(start_item_id=start), iterations)
+    bare_p50 = sorted(bare_s)[len(bare_s) // 2]
+    serve_p50 = sorted(serve_s)[len(serve_s) // 2]
+    overhead = serve_p50 / bare_p50 - 1.0
+    return {
+        "bare_recommend": _percentiles(bare_s),
+        "serve": _percentiles(serve_s),
+        "overhead_fraction": overhead,
+        "budget_fraction": OVERHEAD_BUDGET,
+        "within_budget": overhead < OVERHEAD_BUDGET,
+    }
+
+
+def bench_admission(dataset, iterations: int) -> Dict[str, object]:
+    """Load-time audit and per-request screen latency."""
+    audit_s = _time(
+        lambda: audit_catalog(
+            dataset.catalog, task=dataset.task, mode=dataset.mode
+        ),
+        iterations,
+    )
+    screen_s = _time(
+        lambda: screen_request(
+            dataset.catalog, dataset.task, dataset.mode,
+            dataset.default_start,
+        ),
+        iterations,
+    )
+    return {
+        "audit_catalog": _percentiles(audit_s),
+        "screen_request": _percentiles(screen_s),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dataset", default="njit_cs")
+    parser.add_argument("--iterations", type=int, default=100)
+    parser.add_argument("--episodes", type=int, default=300)
+    parser.add_argument("--output", default=str(DEFAULT_OUTPUT))
+    args = parser.parse_args(argv)
+
+    dataset = load(args.dataset, seed=0, with_gold=False)
+    payload = {
+        "dataset": args.dataset,
+        "iterations": args.iterations,
+        "episodes": args.episodes,
+        "rungs": bench_rungs(dataset, args.episodes, args.iterations),
+        "overhead": bench_overhead(
+            dataset, args.episodes, args.iterations
+        ),
+        "admission": bench_admission(dataset, args.iterations),
+    }
+    out = pathlib.Path(args.output)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    print(f"serving bench on {args.dataset} -> {out}")
+    for rung, stats in payload["rungs"].items():
+        print(
+            f"  {rung:7s} p50 {stats['p50_ms']:8.3f} ms   "
+            f"p95 {stats['p95_ms']:8.3f} ms"
+        )
+    ov = payload["overhead"]
+    print(
+        f"  facade overhead {ov['overhead_fraction']:+.1%} "
+        f"(budget {OVERHEAD_BUDGET:.0%}, "
+        f"{'OK' if ov['within_budget'] else 'OVER'})"
+    )
+    if not ov["within_budget"]:
+        print("  FAIL: facade overhead exceeds budget")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

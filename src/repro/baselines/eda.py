@@ -14,7 +14,7 @@ in the robustness tables.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -56,9 +56,17 @@ class EDAPlanner(BaselinePlanner):
         self._rng = np.random.default_rng(seed)
 
     def recommend(
-        self, start_item_id: str, horizon: Optional[int] = None
+        self,
+        start_item_id: str,
+        horizon: Optional[int] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
     ) -> Plan:
-        """Greedy plan: argmax of immediate Eq. 2 reward at every step."""
+        """Greedy plan: argmax of immediate Eq. 2 reward at every step.
+
+        ``should_stop`` is checked once per step; when it fires the plan
+        built so far is returned (possibly shorter than the horizon) so
+        a serving deadline can bound even this fallback.
+        """
         if start_item_id not in self.catalog:
             raise PlanningError(
                 f"start item {start_item_id!r} not in catalog"
@@ -68,6 +76,8 @@ class EDAPlanner(BaselinePlanner):
         builder.add(self.catalog[start_item_id])
 
         while len(builder) < h:
+            if should_stop is not None and should_stop():
+                break
             candidates = [
                 item
                 for item in builder.remaining_items()

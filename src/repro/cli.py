@@ -13,6 +13,10 @@ run         Drive an experiment protocol through the checkpointable
 resume      Continue an interrupted ``run --protocol train`` run.
 metrics     Render a run directory's ``metrics.json`` as
             Prometheus-style text (or raw JSON).
+serve       Answer one request through the resilient serving facade
+            (admission → deadline-bounded ladder → envelope).
+audit       Run the admission auditor over a dataset and print the
+            findings (exit 1 when the catalog/task is rejected).
 """
 
 from __future__ import annotations
@@ -263,6 +267,61 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     return _print_training(outcome)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serving import PlanningService
+
+    if args.metrics:
+        from . import obs
+
+        obs.enable()
+    dataset = load(args.dataset, seed=args.seed, with_gold=False)
+    fault_injector = None
+    if args.inject_faults:
+        from .runner import FaultInjector
+
+        fault_injector = FaultInjector.from_spec(args.inject_faults)
+    service = PlanningService.from_dataset(
+        dataset, fault_injector=fault_injector
+    )
+    if not args.no_fit:
+        episodes = args.episodes or dataset.default_config.episodes
+        service.fit(
+            start_item_ids=[dataset.default_start], episodes=episodes
+        )
+    result = service.serve(
+        start_item_id=args.start or dataset.default_start,
+        deadline_s=args.deadline,
+    )
+    print(f"dataset  : {dataset.name}")
+    print(result.describe())
+    if args.metrics:
+        from .obs import get_registry, metrics_payload, to_prometheus
+
+        print()
+        print(to_prometheus(metrics_payload(get_registry())), end="")
+    return 0 if result.ok else 1
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from .serving import audit_catalog
+
+    dataset = load(
+        args.dataset, seed=args.seed, with_gold=False, audit=False
+    )
+    report, admitted = audit_catalog(
+        dataset.catalog,
+        task=dataset.task,
+        mode=dataset.mode,
+        quarantine=args.quarantine,
+    )
+    print(f"dataset  : {dataset.name}")
+    print(report.describe())
+    if report.quarantined:
+        dropped = len(dataset.catalog) - len(admitted)
+        print(f"quarantined items: {dropped}")
+    return 1 if report.rejected else 0
+
+
 def _cmd_diagnose(args: argparse.Namespace) -> int:
     from .analysis import diagnose
 
@@ -389,6 +448,43 @@ def build_parser() -> argparse.ArgumentParser:
         "target", choices=sorted(LOADERS), help="target dataset key"
     )
     transfer.set_defaults(func=_cmd_transfer)
+
+    serve = sub.add_parser(
+        "serve",
+        help="answer one request through the resilient serving facade",
+    )
+    _add_dataset_arg(serve)
+    serve.add_argument("--start", help="starting item id")
+    serve.add_argument(
+        "--deadline", type=float,
+        help="request deadline in seconds (default: unbounded)",
+    )
+    serve.add_argument("--episodes", type=int, help="training episodes")
+    serve.add_argument(
+        "--no-fit", action="store_true",
+        help="skip training (exercises the degradation ladder)",
+    )
+    serve.add_argument(
+        "--inject-faults", metavar="SPEC",
+        help="arm the ladder with deterministic faults; rung indices "
+        "are sarsa=0, eda=1, repair=2 (e.g. 'slow@0:seconds=1')",
+    )
+    serve.add_argument(
+        "--metrics", action="store_true",
+        help="print serving counters as Prometheus text",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    audit = sub.add_parser(
+        "audit", help="run the admission auditor over a dataset"
+    )
+    _add_dataset_arg(audit)
+    audit.add_argument(
+        "--quarantine", action="store_true",
+        help="drop defective items and report survivors instead of "
+        "rejecting the whole catalog",
+    )
+    audit.set_defaults(func=_cmd_audit)
 
     diagnose_cmd = sub.add_parser(
         "diagnose", help="check a dataset's task for structural blockers"

@@ -23,11 +23,15 @@ from .constraints import (
 )
 from .env import DomainMode, TPPEnvironment
 from .exceptions import (
+    ArtifactError,
     ConstraintError,
     DataModelError,
     DatasetError,
+    InfeasibleError,
+    NonRetriableError,
     PlanningError,
     ReproError,
+    RetriableError,
     TransferError,
     UnknownItemError,
     UntrainedPolicyError,
@@ -78,6 +82,7 @@ from .validation import (
 
 __all__ = [
     "ActionSelection",
+    "ArtifactError",
     "Catalog",
     "ConstraintError",
     "DataModelError",
@@ -87,9 +92,11 @@ __all__ = [
     "GreedyPolicy",
     "HardConstraints",
     "InterleavingTemplate",
+    "InfeasibleError",
     "Item",
     "ItemType",
     "LearningResult",
+    "NonRetriableError",
     "Period",
     "Plan",
     "PlanBuilder",
@@ -102,6 +109,7 @@ __all__ = [
     "QTable",
     "RecommendationMode",
     "ReproError",
+    "RetriableError",
     "RewardBreakdown",
     "RewardFunction",
     "RewardWeights",

@@ -4,6 +4,25 @@ All library errors derive from :class:`ReproError` so callers can catch a
 single base class.  Each subclass corresponds to a distinct failure domain
 (data model, constraints, planning, datasets, on-disk artifacts), which
 keeps error handling at call sites explicit without string matching.
+
+Orthogonally to the failure domain, every concrete error is classified
+as *retriable* or *non-retriable* through the :class:`RetriableError` /
+:class:`NonRetriableError` mixins, the split the serving layer's
+degradation ladder keys on:
+
+* **Retriable** — the operation may succeed on a later attempt without
+  changing the request: a missing/corrupt artifact can be rebuilt, an
+  untrained policy can be trained or loaded.  Retrying (or falling to a
+  lower rung and trying again later) is reasonable.
+* **Non-retriable** — the input itself is wrong (malformed data model,
+  invalid constraint specification, provably unsatisfiable task).
+  Retrying with the same request can never succeed; the request must be
+  rejected and the caller told why.
+
+``except RetriableError`` / ``except NonRetriableError`` both work as
+catch clauses (the mixins subclass :class:`Exception` so they are legal
+in ``except``), and a single error class may carry exactly one of the
+two mixins.
 """
 
 from __future__ import annotations
@@ -13,7 +32,19 @@ class ReproError(Exception):
     """Base class for every error raised by the repro library."""
 
 
-class DataModelError(ReproError):
+class RetriableError(Exception):
+    """Mixin: a later attempt (after repair/training/reload) may succeed.
+
+    Marker class only — concrete errors derive from both a failure-domain
+    class and exactly one of the retriable/non-retriable mixins.
+    """
+
+
+class NonRetriableError(Exception):
+    """Mixin: the request itself is invalid; retrying can never succeed."""
+
+
+class DataModelError(NonRetriableError, ReproError):
     """An item, catalog, or constraint object was constructed inconsistently.
 
     Examples: a topic vector of the wrong length, a duplicate item id, a
@@ -21,7 +52,7 @@ class DataModelError(ReproError):
     """
 
 
-class ConstraintError(ReproError):
+class ConstraintError(NonRetriableError, ReproError):
     """A constraint specification is invalid (not merely unsatisfied).
 
     Raised when hard/soft constraint *definitions* are malformed — e.g. a
@@ -37,14 +68,23 @@ class PlanningError(ReproError):
     failures are reported through :class:`repro.core.validation.ValidationReport`,
     while :class:`PlanningError` means the search itself broke down (e.g. an
     empty catalog, an unknown start item, or an untrained policy).
+
+    The base class carries neither retriability mixin — whether a
+    planning breakdown is worth retrying depends on the concrete
+    subclass (an untrained policy is, an infeasible task is not).
     """
 
 
-class UntrainedPolicyError(PlanningError):
-    """A recommendation was requested before the policy was learned."""
+class UntrainedPolicyError(RetriableError, PlanningError):
+    """A recommendation was requested before the policy was learned.
+
+    Retriable: training (or loading a saved policy) and asking again
+    succeeds — the serving ladder treats this as "policy rung not ready
+    yet", not as a broken request.
+    """
 
 
-class ArtifactError(PlanningError):
+class ArtifactError(RetriableError, PlanningError):
     """An on-disk artifact (policy, checkpoint, manifest) is unusable.
 
     Raised when a run-directory file cannot be read, does not parse, or
@@ -52,6 +92,20 @@ class ArtifactError(PlanningError):
     opposed to a well-formed file describing an invalid configuration.
     Subclasses :class:`PlanningError` because a corrupt artifact stops a
     resume the same way a missing policy stops a recommendation.
+    Retriable: the artifact can be regenerated (or a previous rotation
+    restored) and the operation repeated.
+    """
+
+
+class InfeasibleError(NonRetriableError, PlanningError):
+    """The task's hard constraints are provably unsatisfiable.
+
+    Distinct from a planner breakdown: no amount of retraining or
+    retrying can produce a valid plan when the catalog cannot cover the
+    constraints (total attainable credits below ``#cr``, primary pool
+    smaller than ``#primary``, required items locked behind prerequisite
+    cycles).  The admission layer raises this so callers can reject the
+    request instead of burning the deadline on a doomed search.
     """
 
 
@@ -63,9 +117,9 @@ class UnknownItemError(DataModelError):
         self.item_id = item_id
 
 
-class DatasetError(ReproError):
+class DatasetError(NonRetriableError, ReproError):
     """A dataset loader or generator was asked for something impossible."""
 
 
-class TransferError(ReproError):
+class TransferError(NonRetriableError, ReproError):
     """Transfer learning between two catalogs could not be set up."""

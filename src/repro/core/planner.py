@@ -18,7 +18,7 @@ scorer, and transfer helpers behind a small API.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from .catalog import Catalog
 from .config import PlannerConfig, RecommendationMode
@@ -139,13 +139,7 @@ class RLPlanner:
         (lookahead weight 0) — and the plan scoring higher under the
         task's own scorer is returned.
         """
-        weights = [self._effective_lookahead_weight()]
-        if (
-            self.config.portfolio
-            and self.config.recommendation is RecommendationMode.LOOKAHEAD
-            and weights[0] != 0.0
-        ):
-            weights.append(0.0)
+        weights = self._portfolio_weights()
 
         best_plan: Optional[Plan] = None
         best_key = None
@@ -160,6 +154,17 @@ class RLPlanner:
                 best_plan = plan
         assert best_plan is not None  # weights is never empty
         return best_plan
+
+    def _portfolio_weights(self) -> Sequence[float]:
+        """Lookahead weights the recommendation portfolio rolls out."""
+        weights = [self._effective_lookahead_weight()]
+        if (
+            self.config.portfolio
+            and self.config.recommendation is RecommendationMode.LOOKAHEAD
+            and weights[0] != 0.0
+        ):
+            weights.append(0.0)
+        return weights
 
     def _effective_lookahead_weight(self) -> float:
         if self.config.lookahead_weight is not None:
@@ -218,6 +223,59 @@ class RLPlanner:
                 best = (plan, score)
         assert best is not None  # start list is never empty
         return best
+
+    def recommend_anytime(
+        self,
+        start_item_ids: Optional[Sequence[str]] = None,
+        horizon: Optional[int] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
+        stop_when_valid: bool = False,
+    ) -> Tuple[Optional[Plan], Optional[PlanScore], bool]:
+        """Best-so-far recommendation under a stop callback.
+
+        Sweeps the same (start, lookahead-weight) rollouts as
+        :meth:`recommend_best`, but checks ``should_stop`` before each
+        rollout and returns the best snapshot found so far the moment it
+        fires — the anytime contract the serving layer's deadline needs.
+        A single rollout is never preempted mid-flight (they are
+        milliseconds), so the callback granularity is one rollout.
+
+        Returns ``(plan, score, exhausted)``; ``plan`` is ``None`` when
+        the callback fired before the first rollout completed, and
+        ``exhausted`` is True when every rollout ran (i.e. the result
+        matches :meth:`recommend_best`).  With ``stop_when_valid`` the
+        sweep additionally short-circuits after the first start whose
+        best rollout is hard-constraint valid.
+        """
+        if start_item_ids is None:
+            start_item_ids = [
+                item.item_id
+                for item in self.catalog.primaries()
+                if item.prerequisites.is_empty
+            ] or [self.catalog.items[0].item_id]
+        weights = self._portfolio_weights()
+        best: Optional[Tuple[Plan, PlanScore]] = None
+        best_key = None
+        for start in start_item_ids:
+            for weight in weights:
+                if should_stop is not None and should_stop():
+                    if best is None:
+                        return None, None, False
+                    return best[0], best[1], False
+                plan = self._build_policy(weight).recommend(
+                    start, horizon=horizon
+                )
+                score = self.scorer.score(plan)
+                key = (score.is_valid, score.value, score.raw_value)
+                if best_key is None or key > best_key:
+                    best_key = key
+                    best = (plan, score)
+            if stop_when_valid and best is not None and best[1].is_valid:
+                exhausted = start == start_item_ids[-1]
+                return best[0], best[1], exhausted
+        if best is None:
+            return None, None, True
+        return best[0], best[1], True
 
     # ------------------------------------------------------------------
     # Persistence

@@ -8,7 +8,7 @@ everything a bench or example needs in one object.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, Optional, Tuple
 
 from ..core.catalog import Catalog
@@ -17,6 +17,7 @@ from ..core.constraints import TaskSpec
 from ..core.env import DomainMode
 from ..core.exceptions import DatasetError
 from ..core.plan import Plan
+from ..serving.admission import AdmissionReport, audit_catalog
 from ..domains.courses import (
     GeneratedProgram,
     generate_njit_university,
@@ -46,6 +47,8 @@ class Dataset:
         A gold-standard plan (None when the oracle is skipped).
     itineraries:
         Historical itineraries (trip datasets only) for OMEGA.
+    admission:
+        The load-time admission audit (None when loading bypassed it).
     """
 
     key: str
@@ -56,6 +59,7 @@ class Dataset:
     default_start: str
     gold_plan: Optional[Plan] = None
     itineraries: Tuple[Tuple[str, ...], ...] = ()
+    admission: Optional[AdmissionReport] = None
 
     @property
     def name(self) -> str:
@@ -207,12 +211,39 @@ LOADERS: Dict[str, Callable[..., Dataset]] = {
 }
 
 
-def load(key: str, seed: int = 0, with_gold: bool = True) -> Dataset:
-    """Load any dataset by key (see :data:`LOADERS`)."""
+#: Dataset keys audited in quarantine mode (generated content may carry
+#: defects worth dropping); the built-in paper datasets are strict — a
+#: defect there is a bug, not noise.
+QUARANTINE_KEYS = frozenset({"synthetic"})
+
+
+def load(
+    key: str, seed: int = 0, with_gold: bool = True, audit: bool = True
+) -> Dataset:
+    """Load any dataset by key (see :data:`LOADERS`).
+
+    Every load runs the serving layer's admission audit: built-in
+    datasets are audited strictly (any structural defect — duplicate
+    ids, dangling or cyclic prerequisites, NaN credits, an infeasible
+    task — raises), while keys in :data:`QUARANTINE_KEYS` drop
+    defective items and continue on the clean subset.  The report is
+    attached as ``dataset.admission``; pass ``audit=False`` to skip
+    (e.g. when deliberately loading a corrupted catalog in a test).
+    """
     try:
         loader = LOADERS[key]
     except KeyError:
         raise DatasetError(
             f"unknown dataset {key!r}; available: {sorted(LOADERS)}"
         ) from None
-    return loader(seed=seed, with_gold=with_gold)
+    dataset = loader(seed=seed, with_gold=with_gold)
+    if not audit:
+        return dataset
+    report, admitted = audit_catalog(
+        dataset.catalog,
+        task=dataset.task,
+        mode=dataset.mode,
+        quarantine=key in QUARANTINE_KEYS,
+    )
+    report.raise_if_rejected()
+    return replace(dataset, catalog=admitted, admission=report)

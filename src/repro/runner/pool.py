@@ -275,6 +275,10 @@ class ExperimentRunner:
         for attempt in range(first_attempt, self.max_retries + 2):
             try:
                 value = task(payload)
+            except (KeyboardInterrupt, SystemExit):
+                # Ctrl-C / interpreter shutdown must stop the batch, not
+                # be recorded as a task failure and retried.
+                raise
             except Exception:
                 get_registry().inc("runner_failed_attempts_total")
                 error = traceback.format_exc()
@@ -440,6 +444,11 @@ class ExperimentRunner:
         except BrokenExecutor:
             # Not a task failure — the pool itself is gone.  Propagate
             # to the recovery logic in _run_parallel.
+            raise
+        except (KeyboardInterrupt, SystemExit):
+            # The *parent* was interrupted while waiting on the future
+            # (workers re-raise their own exceptions through result(),
+            # but an interrupt here belongs to the operator): propagate.
             raise
         except Exception as exc:
             get_registry().inc("runner_failed_attempts_total")

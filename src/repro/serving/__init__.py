@@ -1,0 +1,63 @@
+"""Resilient serving layer: admission control, deadlines, degradation.
+
+Public surface of the serving subsystem.  The facade
+(:class:`PlanningService`) is the intended entry point; the building
+blocks (admission audit, :class:`Deadline`, :class:`CircuitBreaker`,
+:class:`RepairPlanner`) are exported for tests and power users.
+
+Import discipline: this package may import from ``repro.core``,
+``repro.baselines`` and ``repro.obs`` only — never from
+``repro.datasets`` (which imports the auditor from here).
+"""
+
+from .admission import (
+    AdmissionError,
+    AdmissionFinding,
+    AdmissionReport,
+    INFEASIBILITY_CODES,
+    audit_catalog,
+    audit_items,
+    screen_request,
+)
+from .breaker import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    CircuitBreaker,
+)
+from .deadline import Deadline
+from .facade import (
+    PlanningService,
+    RUNG_EDA,
+    RUNG_REPAIR,
+    RUNG_SARSA,
+    RUNGS,
+    RungAttempt,
+    ServeRequest,
+    ServeResult,
+)
+from .repair import RepairPlanner
+
+__all__ = [
+    "AdmissionError",
+    "AdmissionFinding",
+    "AdmissionReport",
+    "CircuitBreaker",
+    "Deadline",
+    "INFEASIBILITY_CODES",
+    "PlanningService",
+    "RUNG_EDA",
+    "RUNG_REPAIR",
+    "RUNG_SARSA",
+    "RUNGS",
+    "RepairPlanner",
+    "RungAttempt",
+    "STATE_CLOSED",
+    "STATE_HALF_OPEN",
+    "STATE_OPEN",
+    "ServeRequest",
+    "ServeResult",
+    "audit_catalog",
+    "audit_items",
+    "screen_request",
+]

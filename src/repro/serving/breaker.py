@@ -1,0 +1,122 @@
+"""A small circuit breaker guarding each rung of the degradation ladder.
+
+Classic three-state breaker (closed → open → half-open):
+
+* **closed** — the rung runs normally; ``failure_threshold`` consecutive
+  failures/timeouts trip the breaker.
+* **open** — the rung is skipped outright for ``cooldown_s`` (monotonic)
+  seconds, so a persistently broken policy artifact or a pathological
+  catalog stops burning every request's deadline on a doomed rung.
+* **half-open** — after the cool-down one trial request is let through;
+  success closes the breaker (and resets the failure count), failure
+  re-opens it for another cool-down.
+
+The clock is injectable so chaos tests drive recovery deterministically
+instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from ..obs import get_registry, labelled
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a monotonic cool-down.
+
+    Parameters
+    ----------
+    name:
+        Label for metrics (the rung name).
+    failure_threshold:
+        Consecutive failures that trip the breaker (``k`` in the docs).
+    cooldown_s:
+        Seconds the breaker stays open before allowing a trial.
+    clock:
+        Injectable monotonic clock (tests pass a fake).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        failure_threshold: int = 3,
+        cooldown_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_s < 0:
+            raise ValueError("cooldown_s must be >= 0")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._state = STATE_CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+
+    @property
+    def state(self) -> str:
+        """Current state, accounting for an elapsed cool-down."""
+        if (
+            self._state == STATE_OPEN
+            and self._clock() - self._opened_at >= self.cooldown_s
+        ):
+            self._transition(STATE_HALF_OPEN)
+        return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        """Failures since the last success."""
+        return self._failures
+
+    def allows(self) -> bool:
+        """Whether a request may use the guarded rung right now.
+
+        Open blocks; half-open admits the trial request (a failure will
+        re-open, a success will close).
+        """
+        return self.state != STATE_OPEN
+
+    def record_success(self) -> None:
+        """The rung produced a usable result: close and reset."""
+        self._failures = 0
+        if self._state != STATE_CLOSED:
+            self._transition(STATE_CLOSED)
+
+    def record_failure(self) -> None:
+        """The rung raised or timed out: count, and trip at threshold.
+
+        A half-open trial failure re-opens immediately regardless of the
+        threshold — the trial existed precisely to test recovery.
+        """
+        self._failures += 1
+        if (
+            self._state == STATE_HALF_OPEN
+            or self._failures >= self.failure_threshold
+        ):
+            self._opened_at = self._clock()
+            if self._state != STATE_OPEN:
+                self._transition(STATE_OPEN)
+
+    def _transition(self, state: str) -> None:
+        self._state = state
+        get_registry().inc(
+            labelled(
+                "serve_breaker_transitions_total",
+                rung=self.name,
+                state=state,
+            )
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        return (
+            f"CircuitBreaker({self.name!r}, state={self.state}, "
+            f"failures={self._failures}/{self.failure_threshold})"
+        )

@@ -1,0 +1,65 @@
+"""Monotonic deadlines for anytime planning.
+
+A :class:`Deadline` wraps ``time.monotonic`` (wall-clock changes must
+never extend or shrink a request budget) and is passed down the serving
+stack as a plain ``should_stop`` callable, so the core planners stay
+free of any serving dependency.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+
+class Deadline:
+    """A monotonic time budget for one request.
+
+    Parameters
+    ----------
+    seconds:
+        Budget from *now*; ``None`` means unbounded (``expired`` is
+        always False and ``remaining()`` is infinite).
+    clock:
+        Injectable monotonic clock for tests (defaults to
+        ``time.monotonic``).
+    """
+
+    __slots__ = ("seconds", "_clock", "_start")
+
+    def __init__(
+        self,
+        seconds: Optional[float],
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if seconds is not None and seconds <= 0:
+            raise ValueError(f"deadline must be positive, got {seconds}")
+        self.seconds = seconds
+        self._clock = clock
+        self._start = clock()
+
+    @property
+    def expired(self) -> bool:
+        """True once the budget is spent."""
+        return self.seconds is not None and self.elapsed() >= self.seconds
+
+    def elapsed(self) -> float:
+        """Seconds spent since construction."""
+        return self._clock() - self._start
+
+    def remaining(self) -> float:
+        """Seconds left (never negative; infinite when unbounded)."""
+        if self.seconds is None:
+            return float("inf")
+        return max(0.0, self.seconds - self.elapsed())
+
+    def should_stop(self) -> bool:
+        """The bound-method form planners accept as a stop callback."""
+        return self.expired
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        if self.seconds is None:
+            return "Deadline(unbounded)"
+        return (
+            f"Deadline({self.seconds:g}s, remaining={self.remaining():.3f}s)"
+        )

@@ -1,0 +1,513 @@
+"""The resilient serving facade: admission → plan → validate → envelope.
+
+:class:`PlanningService` fronts the existing planners with the three
+mechanisms a production planning service needs:
+
+1. **Admission control** — the catalog is audited once at construction
+   (strict by default, quarantine-and-continue on request) and every
+   request passes the fast structural screens, so malformed catalogs and
+   provably unsatisfiable tasks are rejected with a typed report instead
+   of burning the deadline on a doomed search.
+2. **Deadline-aware anytime planning** — ``serve`` drives the policy
+   rung through :meth:`RLPlanner.recommend_anytime` under a monotonic
+   :class:`~repro.serving.deadline.Deadline`; the rung keeps the best
+   valid plan found so far and a timeout returns that snapshot (or falls
+   through) instead of hanging.
+3. **Degradation ladder + circuit breakers** — trained SARSA policy →
+   EDA greedy → feasibility-only constructive repair, each rung guarded
+   by a :class:`~repro.serving.breaker.CircuitBreaker` that trips after
+   ``k`` consecutive failures/timeouts and recovers after a cool-down.
+   The two fallback rungs run even when the deadline is already spent:
+   they are fast by construction, and returning a slightly-late valid
+   plan beats returning nothing (the envelope discloses the overrun).
+
+Every response is a :class:`ServeResult` envelope carrying the rung
+used, the deadline spent, the admission findings, the per-rung attempt
+log, and the validation report — the caller never has to guess what the
+service did on its behalf.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..baselines.eda import EDAPlanner
+from ..core.catalog import Catalog
+from ..core.config import PlannerConfig
+from ..core.constraints import TaskSpec
+from ..core.env import DomainMode
+from ..core.exceptions import NonRetriableError
+from ..core.plan import Plan
+from ..core.planner import RLPlanner
+from ..core.scoring import PlanScore
+from ..obs import get_registry, labelled
+from .admission import AdmissionReport, audit_catalog, screen_request
+from .breaker import CircuitBreaker
+from .deadline import Deadline
+from .repair import RepairPlanner
+
+RUNG_SARSA = "sarsa"
+RUNG_EDA = "eda"
+RUNG_REPAIR = "repair"
+
+#: Ladder order, top rung first.  Also the fault-injection task indices
+#: (``slow@0`` stalls the policy rung, ``error@1`` breaks EDA, ...).
+RUNGS: Tuple[str, ...] = (RUNG_SARSA, RUNG_EDA, RUNG_REPAIR)
+
+#: Deadline-remaining histogram buckets: sub-millisecond to a minute.
+DEADLINE_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 60.0,
+)
+
+OUTCOME_OK = "ok"
+OUTCOME_DEGRADED = "degraded"
+OUTCOME_REJECTED = "rejected"
+OUTCOME_FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One planning request.
+
+    Attributes
+    ----------
+    start_item_id:
+        Pinned opening item; ``None`` lets the service pick among the
+        natural openers (prerequisite-free primaries).
+    deadline_s:
+        Wall-clock budget for the request (monotonic); ``None`` is
+        unbounded.
+    horizon:
+        Optional plan-length override passed to the policy/EDA rungs.
+    """
+
+    start_item_id: Optional[str] = None
+    deadline_s: Optional[float] = None
+    horizon: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class RungAttempt:
+    """What one rung of the ladder did for one request."""
+
+    rung: str
+    outcome: str  # ok | invalid | timeout | error | skipped_open
+    seconds: float = 0.0
+    error: Optional[str] = None
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        detail = f" ({self.error})" if self.error else ""
+        return f"{self.rung}: {self.outcome} in {self.seconds:.3f}s{detail}"
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """The response envelope: plan + full provenance.
+
+    ``outcome`` is ``ok`` (top rung, valid, in budget), ``degraded``
+    (valid plan via a lower rung, over budget, or an invalid best-effort
+    plan explicitly marked as such), ``rejected`` (admission refused the
+    request), or ``failed`` (no rung produced any plan).
+    """
+
+    outcome: str
+    plan: Optional[Plan] = None
+    score: Optional[PlanScore] = None
+    rung: Optional[str] = None
+    degraded: bool = False
+    deadline_s: Optional[float] = None
+    deadline_spent: float = 0.0
+    deadline_exceeded: bool = False
+    admission: Optional[AdmissionReport] = None
+    attempts: Tuple[RungAttempt, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """True when a hard-constraint-valid plan was returned."""
+        return self.score is not None and self.score.is_valid
+
+    @property
+    def valid(self) -> bool:
+        """Alias for :attr:`ok` (validation-report view)."""
+        return self.ok
+
+    def describe(self) -> str:
+        """Multi-line envelope rendering for logs and the CLI."""
+        lines = [f"outcome  : {self.outcome}"]
+        if self.rung is not None:
+            lines.append(f"rung     : {self.rung}")
+        if self.plan is not None:
+            lines.append(f"plan     : {self.plan.describe()}")
+        if self.score is not None:
+            lines.append(f"score    : {self.score.value:.2f}")
+            lines.append(f"valid    : {self.score.report.describe()}")
+        budget = "unbounded" if self.deadline_s is None else (
+            f"{self.deadline_s:g}s"
+        )
+        exceeded = " (EXCEEDED)" if self.deadline_exceeded else ""
+        lines.append(
+            f"deadline : spent {self.deadline_spent:.3f}s of "
+            f"{budget}{exceeded}"
+        )
+        if self.admission is not None and not self.admission.ok:
+            lines.append("admission:")
+            lines.extend(
+                f"  {finding}" for finding in self.admission.findings
+            )
+        if self.attempts:
+            lines.append("ladder   :")
+            lines.extend(f"  {attempt}" for attempt in self.attempts)
+        return "\n".join(lines)
+
+
+class PlanningService:
+    """Resilient planning facade for one (catalog, task) pair.
+
+    Parameters
+    ----------
+    catalog / task / config / mode:
+        The TPP instance, exactly as for :class:`RLPlanner`.
+    planner:
+        An existing (possibly fitted) :class:`RLPlanner` to reuse;
+        built from the other arguments when omitted.
+    audit:
+        Run load-time admission on the catalog at construction.
+    quarantine:
+        With ``audit``, drop defective items and continue on the clean
+        subset instead of rejecting outright (task-level infeasibility
+        still rejects).
+    breaker_threshold / breaker_cooldown_s:
+        Circuit-breaker tuning, shared by all rungs.
+    eda_grace_s:
+        Minimum wall-clock the EDA rung is allowed even after the
+        deadline is spent (the fallbacks must be able to finish).
+    clock:
+        Injectable monotonic clock for deadlines and breakers (tests).
+    fault_injector:
+        Optional :class:`~repro.runner.faults.FaultInjector`; rung *i*
+        of :data:`RUNGS` is perturbed as task index *i* before it runs,
+        which is how the chaos suite drives the ladder deterministically.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        task: TaskSpec,
+        config: Optional[PlannerConfig] = None,
+        mode: DomainMode = DomainMode.COURSE,
+        planner: Optional[RLPlanner] = None,
+        audit: bool = True,
+        quarantine: bool = False,
+        breaker_threshold: int = 3,
+        breaker_cooldown_s: float = 30.0,
+        eda_grace_s: float = 2.0,
+        repair_max_expansions: int = 200_000,
+        clock: Callable[[], float] = time.monotonic,
+        fault_injector=None,
+    ) -> None:
+        self.task = task
+        self.mode = mode
+        self.clock = clock
+        self.eda_grace_s = eda_grace_s
+        self.fault_injector = fault_injector
+        self.admission: Optional[AdmissionReport] = None
+        if audit:
+            report, catalog = audit_catalog(
+                catalog, task=task, mode=mode, quarantine=quarantine
+            )
+            report.raise_if_rejected()
+            self.admission = report
+        self.catalog = catalog
+        if planner is not None:
+            self.planner = planner
+        else:
+            self.planner = RLPlanner(catalog, task, config, mode=mode)
+        self.config = self.planner.config
+        self.eda = EDAPlanner(
+            catalog, task, config=self.config, mode=mode,
+            seed=self.config.seed,
+        )
+        self.repair = RepairPlanner(
+            catalog, task, mode=mode, max_expansions=repair_max_expansions
+        )
+        self.breakers: Dict[str, CircuitBreaker] = {
+            rung: CircuitBreaker(
+                rung,
+                failure_threshold=breaker_threshold,
+                cooldown_s=breaker_cooldown_s,
+                clock=clock,
+            )
+            for rung in RUNGS
+        }
+
+    @classmethod
+    def from_dataset(cls, dataset, **kwargs) -> "PlanningService":
+        """Build a service from a :class:`repro.datasets.Dataset`."""
+        kwargs.setdefault("config", dataset.default_config)
+        return cls(
+            dataset.catalog, dataset.task, mode=dataset.mode, **kwargs
+        )
+
+    # ------------------------------------------------------------------
+    # Policy lifecycle
+    # ------------------------------------------------------------------
+
+    def fit(self, **kwargs):
+        """Train the policy rung (delegates to :meth:`RLPlanner.fit`)."""
+        return self.planner.fit(**kwargs)
+
+    def load_policy(self, path, strict: bool = False) -> None:
+        """Load a saved policy for the top rung."""
+        self.planner.load_policy(path, strict=strict)
+
+    @property
+    def default_start(self) -> str:
+        """The opener used when a request does not pin one."""
+        for item in self.catalog.primaries():
+            if item.prerequisites.is_empty:
+                return item.item_id
+        return self.catalog.items[0].item_id
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+
+    def serve(
+        self,
+        request: Optional[ServeRequest] = None,
+        *,
+        start_item_id: Optional[str] = None,
+        deadline_s: Optional[float] = None,
+        horizon: Optional[int] = None,
+    ) -> ServeResult:
+        """Serve one request through the ladder; never raises for
+        request-level problems — the envelope carries the outcome.
+
+        (Programming errors and ``KeyboardInterrupt``/``SystemExit``
+        still propagate.)
+        """
+        if request is None:
+            request = ServeRequest(
+                start_item_id=start_item_id,
+                deadline_s=deadline_s,
+                horizon=horizon,
+            )
+        obs = get_registry()
+        deadline = Deadline(request.deadline_s, clock=self.clock)
+        with obs.span("serve"):
+            result = self._serve_inner(request, deadline)
+        obs.inc(
+            labelled(
+                "serve_requests_total",
+                rung=result.rung or "none",
+                outcome=result.outcome,
+            )
+        )
+        obs.histogram(
+            "serve_deadline_remaining_seconds", DEADLINE_BUCKETS
+        ).observe(deadline.remaining())
+        return result
+
+    def _serve_inner(
+        self, request: ServeRequest, deadline: Deadline
+    ) -> ServeResult:
+        obs = get_registry()
+        with obs.span("serve.admission"):
+            screen = screen_request(
+                self.catalog, self.task, self.mode, request.start_item_id
+            )
+        if screen.rejected:
+            for finding in screen.findings:
+                obs.inc(
+                    labelled(
+                        "admission_rejects_total", code=finding.code
+                    )
+                )
+            return ServeResult(
+                outcome=OUTCOME_REJECTED,
+                admission=screen,
+                deadline_s=request.deadline_s,
+                deadline_spent=deadline.elapsed(),
+                deadline_exceeded=deadline.expired,
+            )
+
+        attempts: List[RungAttempt] = []
+        best: Optional[Tuple[Plan, PlanScore, str]] = None
+        for index, rung in enumerate(RUNGS):
+            breaker = self.breakers[rung]
+            if not breaker.allows():
+                attempts.append(RungAttempt(rung, "skipped_open"))
+                continue
+            t0 = self.clock()
+            try:
+                with obs.span(f"serve.rung.{rung}"):
+                    if self.fault_injector is not None:
+                        self.fault_injector.perturb(index)
+                    plan, score = self._run_rung(rung, request, deadline)
+            except NonRetriableError as exc:
+                # The request itself is broken (e.g. unsatisfiable
+                # task surfaced mid-search): no lower rung can help.
+                attempts.append(
+                    RungAttempt(
+                        rung, "error", self.clock() - t0,
+                        f"{type(exc).__name__}: {exc}",
+                    )
+                )
+                breaker.record_failure()
+                return self._envelope(
+                    OUTCOME_REJECTED, None, request, deadline, screen,
+                    attempts,
+                )
+            except Exception as exc:  # noqa: BLE001 - rung isolation:
+                # any rung failure (injected fault, missing policy,
+                # artifact rot) must degrade, not propagate.
+                attempts.append(
+                    RungAttempt(
+                        rung, "error", self.clock() - t0,
+                        f"{type(exc).__name__}: {exc}",
+                    )
+                )
+                breaker.record_failure()
+                continue
+            elapsed = self.clock() - t0
+            if plan is None:
+                attempts.append(
+                    RungAttempt(
+                        rung, "timeout", elapsed,
+                        "deadline expired before any plan completed",
+                    )
+                )
+                breaker.record_failure()
+                continue
+            if score.is_valid:
+                attempts.append(RungAttempt(rung, "ok", elapsed))
+                breaker.record_success()
+                best = (plan, score, rung)
+                break
+            # A complete but invalid plan: deterministic, so the rung
+            # is healthy (no breaker trip) — keep it as best-effort and
+            # fall one rung down.
+            attempts.append(
+                RungAttempt(
+                    rung, "invalid", elapsed,
+                    score.report.describe(),
+                )
+            )
+            breaker.record_success()
+            if best is None:
+                best = (plan, score, rung)
+        if best is None:
+            return self._envelope(
+                OUTCOME_FAILED, None, request, deadline, screen, attempts
+            )
+        return self._envelope(
+            None, best, request, deadline, screen, attempts
+        )
+
+    def _envelope(
+        self,
+        outcome: Optional[str],
+        best: Optional[Tuple[Plan, PlanScore, str]],
+        request: ServeRequest,
+        deadline: Deadline,
+        screen: AdmissionReport,
+        attempts: List[RungAttempt],
+    ) -> ServeResult:
+        plan = score = rung = None
+        if best is not None:
+            plan, score, rung = best
+        exceeded = deadline.expired
+        if outcome is None:
+            degraded = (
+                rung != RUNG_SARSA
+                or not score.is_valid
+                or exceeded
+            )
+            outcome = OUTCOME_DEGRADED if degraded else OUTCOME_OK
+        else:
+            degraded = outcome != OUTCOME_OK
+        return ServeResult(
+            outcome=outcome,
+            plan=plan,
+            score=score,
+            rung=rung,
+            degraded=degraded,
+            deadline_s=request.deadline_s,
+            deadline_spent=deadline.elapsed(),
+            deadline_exceeded=exceeded,
+            admission=screen,
+            attempts=tuple(attempts),
+        )
+
+    # ------------------------------------------------------------------
+    # Rung execution
+    # ------------------------------------------------------------------
+
+    def _run_rung(
+        self, rung: str, request: ServeRequest, deadline: Deadline
+    ) -> Tuple[Optional[Plan], Optional[PlanScore]]:
+        if rung == RUNG_SARSA:
+            return self._run_sarsa(request, deadline)
+        if rung == RUNG_EDA:
+            return self._run_eda(request, deadline)
+        return self._run_repair(request)
+
+    def _run_sarsa(
+        self, request: ServeRequest, deadline: Deadline
+    ) -> Tuple[Optional[Plan], Optional[PlanScore]]:
+        """Anytime policy rung: best valid snapshot under the deadline.
+
+        A pinned start is honoured exactly (one rollout set, matching a
+        bare :meth:`RLPlanner.recommend` — the happy path adds only the
+        envelope); otherwise the natural openers are swept best-first
+        until the deadline fires.
+        """
+        starts = (
+            [request.start_item_id]
+            if request.start_item_id is not None
+            else None
+        )
+        plan, score, _ = self.planner.recommend_anytime(
+            start_item_ids=starts,
+            horizon=request.horizon,
+            should_stop=deadline.should_stop,
+            stop_when_valid=True,
+        )
+        return plan, score
+
+    def _run_eda(
+        self, request: ServeRequest, deadline: Deadline
+    ) -> Tuple[Optional[Plan], Optional[PlanScore]]:
+        """Greedy fallback, granted a grace budget past the deadline.
+
+        EDA is O(H·|I|) — milliseconds — so it runs even when the
+        policy rung already spent the request budget; the grace guard
+        only exists to bound pathological catalogs.
+        """
+        grace = Deadline(
+            max(deadline.remaining(), self.eda_grace_s), clock=self.clock
+        )
+        start = request.start_item_id or self.default_start
+        plan = self.eda.recommend(
+            start, horizon=request.horizon,
+            should_stop=grace.should_stop,
+        )
+        if grace.expired and len(plan) < self.task.hard.plan_length:
+            # Partial plan cut off by the guard: surface as a timeout
+            # rather than pretending the greedy run completed.
+            return None, None
+        return plan, self.planner.scorer.score(plan)
+
+    def _run_repair(
+        self, request: ServeRequest
+    ) -> Tuple[Optional[Plan], Optional[PlanScore]]:
+        """Floor rung: constructive feasibility search, no deadline.
+
+        Deliberately unbounded by the request deadline — this is the
+        last chance to return a valid plan, and its DFS is capped by
+        ``max_expansions`` anyway.
+        """
+        plan = self.repair.recommend(request.start_item_id)
+        return plan, self.planner.scorer.score(plan)

@@ -1,0 +1,288 @@
+"""Feasibility-only constructive repair: the ladder's bottom rung.
+
+When the learned policy is unavailable (untrained, corrupt, tripped
+breaker) and the greedy EDA fallback produced an invalid plan, the
+service still owes the caller *something valid*.  This planner performs
+a depth-first search over the template's slots that checks nothing but
+the hard constraints — no reward, no topic preference, no popularity —
+which makes it the cheapest search that is still complete:
+
+* slot type comes from the template permutation (so the length and
+  primary/secondary split hold by construction),
+* prerequisite/gap satisfaction is checked at placement,
+* course mode prunes branches that can no longer reach ``#cr`` or the
+  per-category minima,
+* trip mode prunes on the time budget, the travel-distance threshold,
+  and the no-consecutive-shared-theme rule.
+
+Candidates are ordered to fail fast: courses try high-credit items first
+(reaching ``#cr`` as early as possible), trips try short visits first
+(keeping the budget open).  The search is bounded by ``max_expansions``
+and an optional ``should_stop`` callback; the facade calls the repair
+rung *without* a deadline because returning nothing is strictly worse
+than running a few milliseconds over.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..baselines.base import BaselinePlanner
+from ..core.catalog import Catalog
+from ..core.constraints import TaskSpec
+from ..core.env import DomainMode
+from ..core.exceptions import InfeasibleError, PlanningError
+from ..core.items import Item, ItemType
+from ..core.plan import Plan
+from ..core.validation import PlanValidator, _item_distance_km
+
+
+class RepairPlanner(BaselinePlanner):
+    """Constructive hard-constraint-only planner (see module docstring).
+
+    Parameters
+    ----------
+    max_expansions:
+        DFS node budget per template permutation.
+    """
+
+    name = "repair"
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        task: TaskSpec,
+        mode: DomainMode = DomainMode.COURSE,
+        max_expansions: int = 200_000,
+    ) -> None:
+        super().__init__(catalog, task, mode)
+        self.max_expansions = max_expansions
+        self._validator = PlanValidator(
+            task.hard, credits_are_budget=(mode is DomainMode.TRIP)
+        )
+
+    def recommend(
+        self,
+        start_item_id: Optional[str] = None,
+        horizon: Optional[int] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
+    ) -> Plan:
+        """A hard-constraint-valid plan, preferring the pinned start.
+
+        Tries every template permutation with the start pinned, then —
+        unlike the gold oracles — retries unpinned, because a valid plan
+        from a different opening item still beats no plan at all.
+
+        Raises
+        ------
+        PlanningError
+            When no permutation admits a valid completion within the
+            expansion budget (or ``should_stop`` fired first).
+        """
+        if start_item_id is not None and start_item_id not in self.catalog:
+            raise InfeasibleError(
+                f"start item {start_item_id!r} not in catalog "
+                f"{self.catalog.name!r}"
+            )
+        for pinned in (start_item_id, None):
+            for permutation in self.task.soft.template:
+                plan = self._search(permutation, pinned, should_stop)
+                if plan is not None:
+                    return plan
+            if start_item_id is None:
+                break
+        raise PlanningError(
+            f"repair search found no valid plan for task "
+            f"{self.task.name!r} in catalog {self.catalog.name!r}"
+        )
+
+    # ------------------------------------------------------------------
+    # DFS over template slots
+    # ------------------------------------------------------------------
+
+    def _search(
+        self,
+        permutation: Sequence[ItemType],
+        start_item_id: Optional[str],
+        should_stop: Optional[Callable[[], bool]],
+    ) -> Optional[Plan]:
+        self._expansions = 0
+        self._stop = should_stop
+        chosen: List[Item] = []
+        positions: Dict[str, int] = {}
+        if self._dfs(permutation, 0, chosen, positions, 0.0, start_item_id):
+            plan = Plan(items=tuple(chosen), catalog_name=self.catalog.name)
+            if self._validator.is_valid(plan):
+                return plan
+        return None
+
+    def _dfs(
+        self,
+        permutation: Sequence[ItemType],
+        slot: int,
+        chosen: List[Item],
+        positions: Dict[str, int],
+        distance_used: float,
+        start_item_id: Optional[str],
+    ) -> bool:
+        if slot == len(permutation):
+            return self._totals_ok(chosen)
+        if self._expansions >= self.max_expansions:
+            return False
+        if (
+            self._stop is not None
+            and self._expansions % 256 == 0
+            and self._stop()
+        ):
+            return False
+        for item, leg in self._candidates(
+            permutation[slot], slot, chosen, positions, start_item_id
+        ):
+            self._expansions += 1
+            chosen.append(item)
+            positions[item.item_id] = slot
+            slots_left = len(permutation) - slot - 1
+            if self._feasible(chosen, slots_left, distance_used + leg) and (
+                self._dfs(
+                    permutation, slot + 1, chosen, positions,
+                    distance_used + leg, start_item_id,
+                )
+            ):
+                return True
+            chosen.pop()
+            del positions[item.item_id]
+        return False
+
+    def _candidates(
+        self,
+        required_type: ItemType,
+        slot: int,
+        chosen: List[Item],
+        positions: Dict[str, int],
+        start_item_id: Optional[str],
+    ) -> List[Tuple[Item, float]]:
+        """Eligible items for a slot, with the new travel leg (trips)."""
+        hard = self.task.hard
+        trip = self.mode is DomainMode.TRIP
+        used = sum(i.credits for i in chosen)
+        last = chosen[-1] if chosen else None
+        if slot == 0 and start_item_id is not None:
+            pool: Sequence[Item] = (self.catalog[start_item_id],)
+        else:
+            pool = self.catalog.items
+
+        out: List[Tuple[float, str, Item, float]] = []
+        for item in pool:
+            if item.item_id in positions:
+                continue
+            if item.item_type is not required_type:
+                continue
+            if trip and item.credits > hard.min_credits - used + 1e-9:
+                continue
+            if not item.prerequisites.satisfied_by(
+                positions, slot, hard.gap
+            ):
+                continue
+            if (
+                trip
+                and hard.theme_adjacency_gap
+                and last is not None
+                and (item.topics & last.topics)
+            ):
+                continue
+            leg = 0.0
+            if trip and hard.max_distance is not None and last is not None:
+                d = _item_distance_km(last, item)
+                leg = d if d is not None else 0.0
+            # Courses reach #cr fastest with big items first; trips keep
+            # the budget open with short visits first.
+            rank = -item.credits if not trip else item.credits
+            out.append((rank, item.item_id, item, leg))
+        out.sort(key=lambda entry: (entry[0], entry[1]))
+        return [(item, leg) for _, _, item, leg in out]
+
+    # ------------------------------------------------------------------
+    # Pruning
+    # ------------------------------------------------------------------
+
+    def _feasible(
+        self, chosen: Sequence[Item], slots_left: int, distance_used: float
+    ) -> bool:
+        hard = self.task.hard
+        if self.mode is DomainMode.TRIP:
+            if (
+                hard.max_distance is not None
+                and distance_used > hard.max_distance + 1e-9
+            ):
+                return False
+            return True
+        # Courses: can the remaining slots still reach #cr?
+        used_ids = {i.item_id for i in chosen}
+        open_credits = sorted(
+            (
+                i.credits
+                for i in self.catalog
+                if i.item_id not in used_ids
+            ),
+            reverse=True,
+        )
+        attainable = (
+            sum(i.credits for i in chosen) + sum(open_credits[:slots_left])
+        )
+        if attainable < hard.min_credits - 1e-9:
+            return False
+        return self._categories_feasible(chosen, slots_left, used_ids)
+
+    def _categories_feasible(
+        self, chosen: Sequence[Item], slots_left: int, used_ids: set
+    ) -> bool:
+        """Prune branches that can no longer meet the category minima."""
+        minima = self.task.hard.category_credit_map
+        if not minima:
+            return True
+        earned: Dict[str, float] = {}
+        for item in chosen:
+            if item.category is not None:
+                earned[item.category] = (
+                    earned.get(item.category, 0.0) + item.credits
+                )
+        deficit_slots = 0
+        for category, need in sorted(minima.items()):
+            shortfall = need - earned.get(category, 0.0)
+            if shortfall <= 1e-9:
+                continue
+            available = [
+                i
+                for i in self.catalog.in_category(category)
+                if i.item_id not in used_ids
+            ]
+            if not available:
+                return False
+            per_item = max(i.credits for i in available)
+            needed = int(-(-shortfall // per_item))  # ceil
+            if needed > len(available):
+                return False
+            deficit_slots += needed
+        return deficit_slots <= slots_left
+
+    def _totals_ok(self, chosen: Sequence[Item]) -> bool:
+        """Leaf check: credit floor (courses) and category minima."""
+        hard = self.task.hard
+        if self.mode is DomainMode.TRIP:
+            return True
+        total = sum(i.credits for i in chosen)
+        if total < hard.min_credits - 1e-9:
+            return False
+        minima = hard.category_credit_map
+        if not minima:
+            return True
+        earned: Dict[str, float] = {}
+        for item in chosen:
+            if item.category is not None:
+                earned[item.category] = (
+                    earned.get(item.category, 0.0) + item.credits
+                )
+        return all(
+            earned.get(cat, 0.0) >= need - 1e-9
+            for cat, need in minima.items()
+        )

@@ -54,6 +54,14 @@ def _always_raises(_):
     raise RuntimeError("permanent failure")
 
 
+def _interrupt(_):
+    raise KeyboardInterrupt
+
+
+def _exit(_):
+    raise SystemExit(3)
+
+
 def _timeout_once_then_fast(marker_path):
     """Sleeps past the timeout on the first attempt, instant after."""
     import pathlib
@@ -86,6 +94,18 @@ class TestExperimentRunner:
         results = ExperimentRunner(workers=1).map(_square, [1, 2, 3])
         assert [r.value for r in results] == [1, 4, 9]
         assert all(r.status == STATUS_OK for r in results)
+
+    def test_serial_keyboard_interrupt_not_swallowed(self):
+        # Ctrl-C must abort the batch, not be retried and recorded as a
+        # task failure by the broad exception handler.
+        with pytest.raises(KeyboardInterrupt):
+            ExperimentRunner(workers=1, max_retries=3).map(
+                _interrupt, ["x"]
+            )
+
+    def test_serial_system_exit_not_swallowed(self):
+        with pytest.raises(SystemExit):
+            ExperimentRunner(workers=1, max_retries=3).map(_exit, ["x"])
 
     def test_parallel_matches_serial_in_order(self):
         payloads = list(range(12))

@@ -1,0 +1,643 @@
+"""Serving-layer suite: admission control, deadlines, breaker, ladder.
+
+Run in isolation with ``make test-serving`` (``pytest -m serving``);
+the chaos-marked tests additionally drive the degradation ladder with
+deterministic injected faults.
+"""
+
+import math
+
+import pytest
+
+from conftest import make_item, make_task
+from repro.core.catalog import Catalog
+from repro.core.env import DomainMode
+from repro.core.exceptions import (
+    ArtifactError,
+    ConstraintError,
+    DataModelError,
+    DatasetError,
+    InfeasibleError,
+    NonRetriableError,
+    PlanningError,
+    ReproError,
+    RetriableError,
+    UntrainedPolicyError,
+)
+from repro.core.items import ItemType, Prerequisites
+from repro.core.planner import RLPlanner
+from repro.datasets import load, load_toy
+from repro.datasets.loaders import Dataset, LOADERS
+from repro.obs import MetricsRegistry, use_registry
+from repro.runner.faults import FaultInjector, parse_fault_spec
+from repro.serving import (
+    AdmissionError,
+    CircuitBreaker,
+    Deadline,
+    PlanningService,
+    RepairPlanner,
+    RUNG_EDA,
+    RUNG_REPAIR,
+    RUNG_SARSA,
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    ServeRequest,
+    audit_catalog,
+    audit_items,
+    screen_request,
+)
+
+pytestmark = pytest.mark.serving
+
+
+class FakeClock:
+    """Manually advanced monotonic clock for deadline/breaker tests."""
+
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _items(*specs):
+    """specs: (item_id, type, prereq-groups) shorthand."""
+    out = []
+    for item_id, item_type, groups in specs:
+        prereqs = (
+            Prerequisites(groups=tuple(frozenset(g) for g in groups))
+            if groups
+            else Prerequisites.none()
+        )
+        out.append(make_item(item_id, item_type, prereqs=prereqs))
+    return out
+
+
+P, S = ItemType.PRIMARY, ItemType.SECONDARY
+
+
+# ----------------------------------------------------------------------
+# Admission: item/reference checks
+# ----------------------------------------------------------------------
+
+
+class TestAdmissionChecks:
+    def test_clean_catalog_has_no_findings(self, toy_catalog, toy_task):
+        report, admitted = audit_catalog(toy_catalog, task=toy_task)
+        assert report.ok and not report.rejected
+        assert admitted is toy_catalog
+        assert report.admitted == len(toy_catalog)
+
+    def test_duplicate_id_flagged(self):
+        items = _items(("a", P, ()), ("b", S, ())) + _items(("a", S, ()))
+        report, _ = audit_items(items)
+        assert "duplicate_id" in report.codes()
+        assert report.rejected  # strict mode
+
+    def test_nan_credits_flagged(self):
+        # Item.__post_init__ rejects credits <= 0, but NaN passes every
+        # comparison — the auditor must catch it explicitly.
+        bad = make_item("nan", credits=float("nan"))
+        assert math.isnan(bad.credits)
+        report, _ = audit_items([bad, make_item("ok")])
+        assert "bad_credits" in report.codes()
+
+    def test_infinite_credits_flagged(self):
+        report, _ = audit_items([make_item("inf", credits=float("inf"))])
+        assert "bad_credits" in report.codes()
+
+    def test_blank_topic_flagged(self):
+        report, _ = audit_items([make_item("a", topics=("  ",))])
+        assert "bad_topic" in report.codes()
+
+    def test_dangling_prereq_flagged(self):
+        items = _items(("a", P, [["ghost"]]), ("b", S, ()))
+        report, _ = audit_items(items)
+        assert "dangling_prereq" in report.codes()
+
+    def test_or_group_with_one_known_member_is_fine(self):
+        items = _items(("a", P, [["ghost", "b"]]), ("b", S, ()))
+        report, _ = audit_items(items)
+        assert "dangling_prereq" not in report.codes()
+
+
+class TestCycleDetection:
+    def test_two_cycle_flagged_and_named(self):
+        items = _items(("a", P, [["b"]]), ("b", P, [["a"]]), ("c", S, ()))
+        report, _ = audit_items(items)
+        finding = next(
+            f for f in report.findings if f.code == "prereq_cycle"
+        )
+        assert set(finding.item_ids) == {"a", "b"}
+        # The report names one concrete witness cycle.
+        assert "a -> b" in finding.message or "b -> a" in finding.message
+
+    def test_escapable_or_cycle_not_flagged(self):
+        # a requires (b OR c); b requires a; c is clean.  Every plan can
+        # route a through c, so nothing is actually locked.
+        items = _items(
+            ("a", P, [["b", "c"]]), ("b", P, [["a"]]), ("c", S, ())
+        )
+        report, _ = audit_items(items)
+        assert "prereq_cycle" not in report.codes()
+
+    def test_item_depending_on_cycle_is_stuck_too(self):
+        items = _items(
+            ("a", P, [["b"]]), ("b", P, [["a"]]), ("c", S, [["a"]])
+        )
+        report, _ = audit_items(items)
+        finding = next(
+            f for f in report.findings if f.code == "prereq_cycle"
+        )
+        assert set(finding.item_ids) == {"a", "b", "c"}
+
+    def test_three_cycle_flagged(self):
+        items = _items(
+            ("a", P, [["b"]]), ("b", P, [["c"]]), ("c", P, [["a"]]),
+            ("d", S, ()),
+        )
+        report, _ = audit_items(items)
+        finding = next(
+            f for f in report.findings if f.code == "prereq_cycle"
+        )
+        assert set(finding.item_ids) == {"a", "b", "c"}
+
+
+class TestQuarantine:
+    def test_quarantine_drops_and_readmits_rest(self):
+        items = _items(
+            ("a", P, [["b"]]), ("b", P, [["a"]]),
+            ("c", P, ()), ("d", S, ()),
+        )
+        report, survivors = audit_items(items, quarantine=True)
+        assert not report.rejected
+        assert set(report.quarantined) == {"a", "b"}
+        assert {i.item_id for i in survivors} == {"c", "d"}
+
+    def test_quarantine_cascades_to_orphans(self):
+        # Dropping NaN-credits "a" orphans "b" (whose only prereq group
+        # becomes unsatisfiable), which in turn orphans "c".
+        items = [
+            make_item("a", credits=float("nan")),
+            make_item("b", prereqs=Prerequisites.all_of(["a"])),
+            make_item("c", prereqs=Prerequisites.all_of(["b"])),
+            make_item("d", ItemType.SECONDARY),
+        ]
+        report, survivors = audit_items(items, quarantine=True)
+        assert set(report.quarantined) == {"a", "b", "c"}
+        assert {i.item_id for i in survivors} == {"d"}
+
+    def test_infeasible_task_rejects_even_in_quarantine(self):
+        task = make_task(min_credits=1000.0)
+        report, _ = audit_items(
+            _items(("a", P, ()), ("b", P, ()), ("c", S, ()), ("d", S, ())),
+            task=task,
+            quarantine=True,
+        )
+        assert report.rejected
+        assert "infeasible_credits" in report.codes()
+        with pytest.raises(InfeasibleError):
+            report.raise_if_rejected()
+
+    def test_structural_rejection_raises_admission_error(self):
+        report, _ = audit_items(
+            _items(("a", P, [["b"]]), ("b", P, [["a"]]), ("c", S, ()))
+        )
+        with pytest.raises(AdmissionError) as excinfo:
+            report.raise_if_rejected()
+        assert excinfo.value.report is report
+        assert isinstance(excinfo.value, NonRetriableError)
+
+    def test_pool_smaller_than_plan_rejects(self):
+        report, _ = audit_items(
+            _items(("a", P, ())), task=make_task()
+        )
+        assert "infeasible_length" in report.codes()
+        assert "infeasible_primary" in report.codes()
+
+
+class TestRequestScreen:
+    def test_unknown_start_rejected(self, toy_catalog, toy_task):
+        report = screen_request(
+            toy_catalog, toy_task, DomainMode.COURSE, "nope"
+        )
+        assert report.rejected
+        assert "unknown_start" in report.codes()
+
+    def test_known_start_admitted(self, toy_catalog, toy_task):
+        report = screen_request(
+            toy_catalog, toy_task, DomainMode.COURSE, "m1"
+        )
+        assert report.ok
+
+
+# ----------------------------------------------------------------------
+# Loaders run the auditor (satellite regression test)
+# ----------------------------------------------------------------------
+
+
+class TestLoaderAudit:
+    def test_builtin_datasets_carry_clean_reports(self):
+        dataset = load("toy", with_gold=False)
+        assert dataset.admission is not None and dataset.admission.ok
+
+    def test_cyclic_catalog_rejected_at_load(self, monkeypatch):
+        def load_cyclic(seed=0, with_gold=True):
+            catalog = Catalog(
+                _items(
+                    ("a", P, [["b"]]), ("b", P, [["a"]]),
+                    ("c", P, ()), ("d", S, ()), ("e", S, ()),
+                ),
+                name="cyclic-toy",
+            )
+            base = load_toy(seed=seed, with_gold=False)
+            return Dataset(
+                key="cyclic_toy",
+                catalog=catalog,
+                task=make_task(min_credits=6.0),
+                mode=DomainMode.COURSE,
+                default_config=base.default_config,
+                default_start="c",
+            )
+
+        monkeypatch.setitem(LOADERS, "cyclic_toy", load_cyclic)
+        with pytest.raises(AdmissionError) as excinfo:
+            load("cyclic_toy")
+        report = excinfo.value.report
+        assert "prereq_cycle" in report.codes()
+        # The rejection names the witness cycle, not just "a cycle".
+        assert any(
+            "->" in f.message
+            for f in report.findings
+            if f.code == "prereq_cycle"
+        )
+        # Bypass hatch for tests that need the corrupted catalog.
+        dataset = load("cyclic_toy", audit=False)
+        assert dataset.admission is None
+
+
+# ----------------------------------------------------------------------
+# Deadline
+# ----------------------------------------------------------------------
+
+
+class TestDeadline:
+    def test_expires_at_budget(self):
+        clock = FakeClock()
+        deadline = Deadline(2.0, clock=clock)
+        assert not deadline.expired and not deadline.should_stop()
+        clock.advance(1.5)
+        assert deadline.remaining() == pytest.approx(0.5)
+        clock.advance(0.5)
+        assert deadline.expired and deadline.should_stop()
+        assert deadline.remaining() == 0.0
+
+    def test_unbounded_never_expires(self):
+        clock = FakeClock()
+        deadline = Deadline(None, clock=clock)
+        clock.advance(1e9)
+        assert not deadline.expired
+        assert deadline.remaining() == float("inf")
+
+    def test_nonpositive_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline(0.0)
+        with pytest.raises(ValueError):
+            Deadline(-1.0)
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker
+# ----------------------------------------------------------------------
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_and_recovers(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            "sarsa", failure_threshold=3, cooldown_s=30.0, clock=clock
+        )
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == STATE_CLOSED and breaker.allows()
+        breaker.record_failure()
+        assert breaker.state == STATE_OPEN and not breaker.allows()
+        clock.advance(29.0)
+        assert not breaker.allows()
+        clock.advance(1.0)
+        assert breaker.state == STATE_HALF_OPEN and breaker.allows()
+        breaker.record_success()
+        assert breaker.state == STATE_CLOSED
+        assert breaker.consecutive_failures == 0
+
+    def test_half_open_trial_failure_reopens_immediately(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            "eda", failure_threshold=5, cooldown_s=10.0, clock=clock
+        )
+        for _ in range(5):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.state == STATE_HALF_OPEN
+        breaker.record_failure()  # single trial failure, below threshold
+        assert breaker.state == STATE_OPEN
+
+    def test_success_resets_failure_streak(self):
+        breaker = CircuitBreaker("r", failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == STATE_CLOSED
+
+
+# ----------------------------------------------------------------------
+# Exception taxonomy (satellite)
+# ----------------------------------------------------------------------
+
+
+class TestExceptionTaxonomy:
+    def test_retriable_vs_nonretriable_partition(self):
+        retriable = (UntrainedPolicyError, ArtifactError)
+        nonretriable = (
+            DataModelError, ConstraintError, DatasetError,
+            InfeasibleError, AdmissionError,
+        )
+        for exc in retriable:
+            assert issubclass(exc, RetriableError)
+            assert not issubclass(exc, NonRetriableError)
+        for exc in nonretriable:
+            assert issubclass(exc, NonRetriableError)
+            assert not issubclass(exc, RetriableError)
+
+    def test_mixins_are_catchable(self):
+        with pytest.raises(RetriableError):
+            raise UntrainedPolicyError("transient")
+        with pytest.raises(NonRetriableError):
+            raise InfeasibleError("permanent")
+
+    def test_infeasible_is_a_planning_error(self):
+        # Provable unsatisfiability is still a planning-domain failure,
+        # so callers catching PlanningError keep seeing it...
+        assert issubclass(InfeasibleError, PlanningError)
+        assert issubclass(InfeasibleError, ReproError)
+        # ...but retry loops must not: it can never succeed on retry.
+        assert not issubclass(InfeasibleError, RetriableError)
+
+
+# ----------------------------------------------------------------------
+# Repair planner
+# ----------------------------------------------------------------------
+
+
+class TestRepairPlanner:
+    def test_valid_plan_on_toy(self, toy_dataset):
+        planner = RepairPlanner(toy_dataset.catalog, toy_dataset.task)
+        plan = planner.recommend(toy_dataset.default_start)
+        report = RLPlanner(
+            toy_dataset.catalog, toy_dataset.task
+        ).scorer.validator.validate(plan)
+        assert report.is_valid
+        assert plan.items[0].item_id == toy_dataset.default_start
+
+    def test_unpinned_start_allowed(self, toy_dataset):
+        planner = RepairPlanner(toy_dataset.catalog, toy_dataset.task)
+        plan = planner.recommend()
+        assert len(plan) == toy_dataset.task.hard.plan_length
+
+    def test_unknown_start_is_infeasible(self, toy_dataset):
+        planner = RepairPlanner(toy_dataset.catalog, toy_dataset.task)
+        with pytest.raises(InfeasibleError):
+            planner.recommend("ghost")
+
+    def test_should_stop_bounds_search(self, toy_dataset):
+        planner = RepairPlanner(toy_dataset.catalog, toy_dataset.task)
+        with pytest.raises(PlanningError):
+            planner.recommend(should_stop=lambda: True)
+
+
+# ----------------------------------------------------------------------
+# Anytime recommendation + EDA stop hook
+# ----------------------------------------------------------------------
+
+
+class TestAnytimeRecommend:
+    def test_matches_recommend_best_when_unbounded(
+        self, fitted_toy_planner
+    ):
+        best_plan, best_score = fitted_toy_planner.recommend_best()
+        plan, score, exhausted = fitted_toy_planner.recommend_anytime()
+        assert exhausted
+        assert score.value == pytest.approx(best_score.value)
+        assert plan.item_ids == best_plan.item_ids
+
+    def test_immediate_stop_returns_nothing(self, fitted_toy_planner):
+        plan, score, exhausted = fitted_toy_planner.recommend_anytime(
+            should_stop=lambda: True
+        )
+        assert plan is None and score is None and not exhausted
+
+    def test_stop_after_first_rollout_returns_snapshot(
+        self, fitted_toy_planner
+    ):
+        calls = {"n": 0}
+
+        def stop_after_one():
+            calls["n"] += 1
+            return calls["n"] > 1
+
+        plan, score, exhausted = fitted_toy_planner.recommend_anytime(
+            should_stop=stop_after_one
+        )
+        assert plan is not None and not exhausted
+
+    def test_eda_should_stop_truncates(self, toy_dataset):
+        from repro.baselines.eda import EDAPlanner
+
+        eda = EDAPlanner(
+            toy_dataset.catalog, toy_dataset.task,
+            config=toy_dataset.default_config,
+        )
+        plan = eda.recommend(
+            toy_dataset.default_start, should_stop=lambda: True
+        )
+        assert len(plan) == 1  # only the start item was placed
+
+
+# ----------------------------------------------------------------------
+# The facade
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def toy_service_untrained():
+    dataset = load_toy(with_gold=False)
+    return PlanningService.from_dataset(dataset), dataset
+
+
+class TestPlanningService:
+    def test_untrained_service_degrades_to_eda(
+        self, toy_service_untrained
+    ):
+        service, dataset = toy_service_untrained
+        result = service.serve(start_item_id=dataset.default_start)
+        assert result.ok
+        assert result.outcome == "degraded"
+        assert result.rung in (RUNG_EDA, RUNG_REPAIR)
+        assert result.attempts[0].rung == RUNG_SARSA
+        assert result.attempts[0].outcome == "error"
+        assert "UntrainedPolicyError" in result.attempts[0].error
+
+    def test_trained_service_serves_from_top_rung(self, toy_dataset):
+        service = PlanningService.from_dataset(toy_dataset)
+        service.fit(start_item_ids=[toy_dataset.default_start])
+        result = service.serve(
+            start_item_id=toy_dataset.default_start, deadline_s=30.0
+        )
+        assert result.ok and result.outcome == "ok"
+        assert result.rung == RUNG_SARSA and not result.degraded
+        assert not result.deadline_exceeded
+        assert result.deadline_spent < 30.0
+
+    def test_unknown_start_rejected_with_envelope(
+        self, toy_service_untrained
+    ):
+        service, _ = toy_service_untrained
+        result = service.serve(start_item_id="ghost")
+        assert result.outcome == "rejected"
+        assert not result.ok and result.plan is None
+        assert "unknown_start" in result.admission.codes()
+
+    def test_request_object_form(self, toy_service_untrained):
+        service, dataset = toy_service_untrained
+        result = service.serve(
+            ServeRequest(start_item_id=dataset.default_start)
+        )
+        assert result.ok
+
+    def test_envelope_describe_mentions_rung_and_deadline(
+        self, toy_service_untrained
+    ):
+        service, dataset = toy_service_untrained
+        result = service.serve(
+            start_item_id=dataset.default_start, deadline_s=10.0
+        )
+        text = result.describe()
+        assert result.rung in text
+        assert "deadline" in text
+
+    def test_serve_metrics_recorded(self, toy_service_untrained):
+        service, dataset = toy_service_untrained
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            result = service.serve(start_item_id=dataset.default_start)
+        snapshot = registry.snapshot()
+        key = (
+            "serve_requests_total"
+            f'{{outcome="{result.outcome}",rung="{result.rung}"}}'
+        )
+        assert snapshot["counters"][key] == 1
+
+    def test_strict_admission_rejects_cyclic_catalog(self):
+        catalog = Catalog(
+            _items(
+                ("a", P, [["b"]]), ("b", P, [["a"]]),
+                ("c", P, ()), ("d", S, ()),
+            ),
+            name="cyclic",
+        )
+        with pytest.raises(AdmissionError):
+            PlanningService(catalog, make_task(min_credits=6.0))
+
+
+# ----------------------------------------------------------------------
+# Chaos: faults drive the ladder deterministically
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.chaos
+class TestServingChaos:
+    def _service(self, dataset, spec, tmp_path, **kwargs):
+        injector = FaultInjector(
+            parse_fault_spec(spec), state_dir=tmp_path / "faults"
+        )
+        return PlanningService.from_dataset(
+            dataset, fault_injector=injector, **kwargs
+        )
+
+    def test_slow_policy_rung_times_out_and_degrades(
+        self, toy_dataset, tmp_path
+    ):
+        service = self._service(
+            toy_dataset, "slow@0:seconds=1,times=100", tmp_path
+        )
+        service.fit(
+            start_item_ids=[toy_dataset.default_start], episodes=50
+        )
+        result = service.serve(
+            start_item_id=toy_dataset.default_start, deadline_s=0.5
+        )
+        assert result.ok and result.rung != RUNG_SARSA
+        assert result.degraded and result.deadline_exceeded
+        assert result.attempts[0].outcome == "timeout"
+
+    def test_error_faults_trip_and_recover_breaker(
+        self, toy_dataset, tmp_path
+    ):
+        clock = FakeClock()
+        service = self._service(
+            toy_dataset, "error@0:times=2", tmp_path,
+            breaker_threshold=2, breaker_cooldown_s=30.0, clock=clock,
+        )
+        # Two faulted serves trip the sarsa breaker...
+        for _ in range(2):
+            result = service.serve()
+            assert result.ok and result.rung != RUNG_SARSA
+            assert result.attempts[0].outcome == "error"
+        assert service.breakers[RUNG_SARSA].state == STATE_OPEN
+        # ...the next serve skips the rung outright...
+        result = service.serve()
+        assert result.attempts[0].outcome == "skipped_open"
+        # ...and after the cool-down the (now fault-free, but untrained)
+        # rung is tried again: UntrainedPolicyError re-opens the breaker
+        # on the half-open trial.
+        clock.advance(31.0)
+        result = service.serve()
+        assert result.attempts[0].outcome == "error"
+        assert "UntrainedPolicyError" in result.attempts[0].error
+        assert service.breakers[RUNG_SARSA].state == STATE_OPEN
+        assert result.ok  # the ladder still served a valid plan
+
+    def test_double_fault_falls_to_repair(self, toy_dataset, tmp_path):
+        service = self._service(
+            toy_dataset, "error@0:times=100;error@1:times=100", tmp_path
+        )
+        result = service.serve(start_item_id=toy_dataset.default_start)
+        assert result.ok and result.rung == RUNG_REPAIR
+        assert [a.outcome for a in result.attempts] == [
+            "error", "error", "ok",
+        ]
+
+    @pytest.mark.slow
+    def test_acceptance_all_course_datasets_degrade_validly(
+        self, tmp_path
+    ):
+        """ISSUE acceptance: faulted policy rung + 0.5 s deadline still
+        yields a hard-constraint-valid plan on every paper course
+        dataset, served from a lower rung, with full provenance."""
+        for key in ("njit_dsct", "njit_cyber", "njit_cs", "univ2_ds"):
+            dataset = load(key, seed=0, with_gold=False)
+            service = self._service(
+                dataset, "error@0:times=100", tmp_path / key
+            )
+            result = service.serve(
+                start_item_id=dataset.default_start, deadline_s=0.5
+            )
+            assert result.ok, f"{key}: {result.describe()}"
+            assert result.rung in (RUNG_EDA, RUNG_REPAIR)
+            assert result.degraded
+            assert result.deadline_spent >= 0.0
+            assert result.score.report.is_valid
