@@ -5,7 +5,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test test-fast test-chaos test-serving lint bench bench-runner bench-obs bench-serving bench-paper
+.PHONY: test test-fast test-chaos test-serving test-registry lint bench bench-runner bench-obs bench-serving bench-paper
 
 ## Full tier-1 suite (everything under tests/).
 test:
@@ -22,6 +22,10 @@ test-chaos:
 ## Serving-layer suite: admission, deadlines, breaker, ladder.
 test-serving:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -m serving
+
+## Policy-registry suite: fingerprints, warm cache, background refit.
+test-registry:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -m registry
 
 ## Static checks (ruff: syntax errors + pyflakes).  `pip install -e .[lint]`.
 lint:

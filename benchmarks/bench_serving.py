@@ -14,6 +14,10 @@ root:
 3. **Admission latency** — p50/p95 of the full catalog audit and the
    per-request screen, the costs the serving layer adds at load and on
    every request.
+4. **Registry cold vs warm** — the per-request cost of the old
+   fit-every-time pattern against a policy-registry warm hit (cached
+   table + memoized traversal) and a warm traversal (cached table,
+   fresh greedy sweep); asserts warm-hit p50 < cold-fit p50.
 
 Run standalone::
 
@@ -37,7 +41,7 @@ from typing import Callable, Dict, List
 
 from repro.datasets import load
 from repro.runner.faults import FaultInjector, parse_fault_spec
-from repro.serving import PlanningService
+from repro.serving import PlanningService, PolicyRegistry
 from repro.serving.admission import audit_catalog, screen_request
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
@@ -129,6 +133,60 @@ def bench_overhead(dataset, episodes: int, iterations: int) -> Dict[str, object]
     }
 
 
+def bench_registry(
+    dataset, episodes: int, iterations: int
+) -> Dict[str, object]:
+    """Cold-fit serve vs registry warm-hit serve (train-once/serve-many).
+
+    *Cold* is the pre-registry pattern: build a service, fit the policy,
+    answer one request — the full per-request cost when nothing is
+    amortized.  *Warm hit* is the steady state behind a registry: the
+    policy is already in the in-process cache and the request either
+    replays the memoized greedy traversal (``warm_hit_serve``) or runs
+    it fresh against the cached table (``warm_traversal_serve``) — no
+    fit, no disk read either way.
+    """
+    start = dataset.default_start
+
+    def cold():
+        service = PlanningService.from_dataset(dataset)
+        service.fit(start_item_ids=[start], episodes=episodes)
+        service.serve(start_item_id=start)
+
+    # Cold iterations are expensive (a full fit each); a handful is
+    # enough for a stable median of a multi-hundred-ms quantity.
+    cold_s = _time(cold, max(3, iterations // 20))
+
+    registry = PolicyRegistry(tempfile.mkdtemp())
+    service = PlanningService.from_dataset(dataset)
+    service.attach_registry(registry, episodes=episodes)
+    first = service.serve(start_item_id=start)  # trains exactly once
+    assert first.rung == "sarsa" and first.ok, first.describe()
+
+    warm_s = _time(lambda: service.serve(start_item_id=start), iterations)
+    check = service.serve(start_item_id=start)
+    assert check.plan_cache_hit and check.ok, check.describe()
+
+    entry = registry.get(dataset.policy_key(), dataset.catalog)
+
+    def warm_traversal():
+        entry.plans.clear()  # force the greedy traversal to rerun
+        service.serve(start_item_id=start)
+
+    traversal_s = _time(warm_traversal, iterations)
+
+    cold_p50 = sorted(cold_s)[len(cold_s) // 2]
+    warm_p50 = sorted(warm_s)[len(warm_s) // 2]
+    return {
+        "cold_fit_serve": _percentiles(cold_s),
+        "warm_hit_serve": _percentiles(warm_s),
+        "warm_traversal_serve": _percentiles(traversal_s),
+        "speedup_p50": cold_p50 / warm_p50,
+        "warm_hit_p50_under_1ms": 1e3 * warm_p50 <= 1.0,
+        "warm_faster_than_cold": warm_p50 < cold_p50,
+    }
+
+
 def bench_admission(dataset, iterations: int) -> Dict[str, object]:
     """Load-time audit and per-request screen latency."""
     audit_s = _time(
@@ -168,6 +226,9 @@ def main(argv=None) -> int:
             dataset, args.episodes, args.iterations
         ),
         "admission": bench_admission(dataset, args.iterations),
+        "registry": bench_registry(
+            dataset, args.episodes, args.iterations
+        ),
     }
     out = pathlib.Path(args.output)
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
@@ -184,8 +245,18 @@ def main(argv=None) -> int:
         f"(budget {OVERHEAD_BUDGET:.0%}, "
         f"{'OK' if ov['within_budget'] else 'OVER'})"
     )
+    reg = payload["registry"]
+    print(
+        f"  registry cold-fit p50 {reg['cold_fit_serve']['p50_ms']:8.3f} ms"
+        f"   warm-hit p50 {reg['warm_hit_serve']['p50_ms']:8.3f} ms"
+        f"   traversal p50 {reg['warm_traversal_serve']['p50_ms']:8.3f} ms"
+        f"   ({reg['speedup_p50']:.0f}x)"
+    )
     if not ov["within_budget"]:
         print("  FAIL: facade overhead exceeds budget")
+        return 1
+    if not reg["warm_faster_than_cold"]:
+        print("  FAIL: registry warm-hit serve is not faster than cold fit")
         return 1
     return 0
 

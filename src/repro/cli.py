@@ -14,7 +14,11 @@ resume      Continue an interrupted ``run --protocol train`` run.
 metrics     Render a run directory's ``metrics.json`` as
             Prometheus-style text (or raw JSON).
 serve       Answer one request through the resilient serving facade
-            (admission → deadline-bounded ladder → envelope).
+            (admission → deadline-bounded ladder → envelope); can serve
+            from a saved artifact (``--policy``) or a train-once/
+            serve-many registry (``--registry``).
+registry    Inspect and manage a policy artifact registry
+            (list / evict / prewarm).
 audit       Run the admission auditor over a dataset and print the
             findings (exit 1 when the catalog/task is rejected).
 """
@@ -268,7 +272,7 @@ def _cmd_resume(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from .serving import PlanningService
+    from .serving import PlanningService, PolicyRegistry
 
     if args.metrics:
         from . import obs
@@ -283,10 +287,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     service = PlanningService.from_dataset(
         dataset, fault_injector=fault_injector
     )
-    if not args.no_fit:
+    if args.registry:
+        # Train-once/serve-many: the registry trains on the first miss
+        # and answers every later request from the warm cache.
+        service.attach_registry(
+            PolicyRegistry(args.registry),
+            episodes=args.episodes,
+            label=args.dataset,
+        )
+    elif args.policy:
+        # Pre-trained artifact; checksum-verified on read.
+        service.load_policy(args.policy)
+    elif not args.no_fit:
         episodes = args.episodes or dataset.default_config.episodes
         service.fit(
             start_item_ids=[dataset.default_start], episodes=episodes
+        )
+    else:
+        print(
+            "warning: --no-fit without --policy/--registry leaves the "
+            "policy rung untrained; requests will degrade to EDA",
+            file=sys.stderr,
         )
     result = service.serve(
         start_item_id=args.start or dataset.default_start,
@@ -300,6 +321,83 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print()
         print(to_prometheus(metrics_payload(get_registry())), end="")
     return 0 if result.ok else 1
+
+
+def _resolve_registry_key(registry, prefix: str) -> Optional[str]:
+    """Expand a (possibly short) key prefix to a unique stored key."""
+    matches = [
+        str(row["key"])
+        for row in registry.entries()
+        if str(row["key"]).startswith(prefix)
+    ]
+    if len(matches) == 1:
+        return matches[0]
+    if len(matches) > 1:
+        print(f"key prefix {prefix!r} is ambiguous", file=sys.stderr)
+        return None
+    # Warm-cache-only keys have no meta row yet; accept exact matches.
+    return prefix if prefix in registry.cached_keys else None
+
+
+def _cmd_registry_list(args: argparse.Namespace) -> int:
+    from .serving import PolicyRegistry
+
+    registry = PolicyRegistry(args.root)
+    rows = [
+        [
+            row["short_key"],
+            row["version"],
+            row["label"] or "-",
+            row["mode"],
+            row["episodes"] if row["episodes"] is not None else "-",
+            row["update_count"],
+            f"{row['age_s']:.0f}s",
+            row["bytes"],
+        ]
+        for row in registry.entries()
+    ]
+    print(
+        render_table(
+            ["key", "ver", "label", "mode", "episodes", "updates",
+             "age", "bytes"],
+            rows,
+            title=f"Policy registry at {args.root}",
+        )
+    )
+    return 0
+
+
+def _cmd_registry_evict(args: argparse.Namespace) -> int:
+    from .serving import PolicyRegistry, short_key
+
+    registry = PolicyRegistry(args.root)
+    key = _resolve_registry_key(registry, args.key)
+    if key is None:
+        print(f"no registry entry matches {args.key!r}", file=sys.stderr)
+        return 1
+    removed = registry.evict(key, delete=args.delete)
+    verb = "deleted" if args.delete else "evicted"
+    print(f"{verb} {short_key(key)}" if removed else "nothing to do")
+    return 0
+
+
+def _cmd_registry_prewarm(args: argparse.Namespace) -> int:
+    from .serving import PolicyRegistry, short_key
+
+    registry = PolicyRegistry(args.root)
+    dataset = load(args.dataset, seed=args.seed, with_gold=False)
+    meta, source = registry.prewarm(
+        dataset.catalog,
+        dataset.task,
+        dataset.default_config,
+        mode=dataset.mode,
+        episodes=args.episodes,
+        label=args.dataset,
+    )
+    print(f"key     : {short_key(meta.key)} (v{meta.version})")
+    print(f"source  : {source}")
+    print(f"updates : {meta.update_count}")
+    return 0
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
@@ -465,6 +563,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip training (exercises the degradation ladder)",
     )
     serve.add_argument(
+        "--policy", metavar="PATH",
+        help="serve a saved policy artifact (checksum-verified) "
+        "instead of fitting",
+    )
+    serve.add_argument(
+        "--registry", metavar="DIR",
+        help="serve through a policy registry at DIR (train-once/"
+        "serve-many: first request trains, later ones hit the cache)",
+    )
+    serve.add_argument(
         "--inject-faults", metavar="SPEC",
         help="arm the ladder with deterministic faults; rung indices "
         "are sarsa=0, eda=1, repair=2 (e.g. 'slow@0:seconds=1')",
@@ -474,6 +582,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="print serving counters as Prometheus text",
     )
     serve.set_defaults(func=_cmd_serve)
+
+    registry = sub.add_parser(
+        "registry",
+        help="inspect and manage a policy artifact registry",
+    )
+    reg_sub = registry.add_subparsers(dest="registry_command", required=True)
+    reg_list = reg_sub.add_parser("list", help="list stored policies")
+    reg_list.add_argument("root", help="registry directory")
+    reg_list.set_defaults(func=_cmd_registry_list)
+    reg_evict = reg_sub.add_parser(
+        "evict", help="drop a policy from the cache (and optionally disk)"
+    )
+    reg_evict.add_argument("root", help="registry directory")
+    reg_evict.add_argument("key", help="policy key (prefix accepted)")
+    reg_evict.add_argument(
+        "--delete", action="store_true",
+        help="also remove the on-disk artifact",
+    )
+    reg_evict.set_defaults(func=_cmd_registry_evict)
+    reg_prewarm = reg_sub.add_parser(
+        "prewarm", help="train (or load) a dataset's policy ahead of traffic"
+    )
+    reg_prewarm.add_argument("root", help="registry directory")
+    reg_prewarm.add_argument(
+        "dataset", choices=sorted(LOADERS), help="dataset key"
+    )
+    reg_prewarm.add_argument(
+        "--episodes", type=int, help="training episodes on a miss"
+    )
+    reg_prewarm.set_defaults(func=_cmd_registry_prewarm)
 
     audit = sub.add_parser(
         "audit", help="run the admission auditor over a dataset"

@@ -66,6 +66,23 @@ class Dataset:
         """Human-readable dataset name."""
         return self.catalog.name
 
+    def policy_key(self, config: Optional[PlannerConfig] = None) -> str:
+        """Registry key for this dataset's default planning universe.
+
+        The key a :class:`~repro.serving.PolicyRegistry` derives for
+        ``(catalog, task, default_config, mode)`` — useful for prewarm
+        scripts and for asserting that two loads share an artifact.
+        ``config`` overrides the default configuration.
+        """
+        from ..serving.fingerprint import policy_key
+
+        return policy_key(
+            self.catalog,
+            self.task,
+            config if config is not None else self.default_config,
+            self.mode,
+        )
+
 
 def _course_dataset(
     key: str,

@@ -6,8 +6,9 @@ blocks (admission audit, :class:`Deadline`, :class:`CircuitBreaker`,
 :class:`RepairPlanner`) are exported for tests and power users.
 
 Import discipline: this package may import from ``repro.core``,
-``repro.baselines`` and ``repro.obs`` only — never from
-``repro.datasets`` (which imports the auditor from here).
+``repro.baselines``, ``repro.obs`` and ``repro.runner.manifest`` (the
+fingerprint/atomic-write helpers, which are dataset-free) only — never
+from ``repro.datasets`` (which imports the auditor from here).
 """
 
 from .admission import (
@@ -36,22 +37,43 @@ from .facade import (
     ServeRequest,
     ServeResult,
 )
+from .fingerprint import (
+    catalog_fingerprint,
+    config_fingerprint,
+    constraint_fingerprint,
+    policy_key,
+    short_key,
+)
+from .registry import (
+    ArtifactMeta,
+    CacheEntry,
+    PolicyRegistry,
+    SOURCE_CACHE,
+    SOURCE_DISK,
+    SOURCE_TRAINED,
+)
 from .repair import RepairPlanner
 
 __all__ = [
     "AdmissionError",
     "AdmissionFinding",
     "AdmissionReport",
+    "ArtifactMeta",
+    "CacheEntry",
     "CircuitBreaker",
     "Deadline",
     "INFEASIBILITY_CODES",
     "PlanningService",
+    "PolicyRegistry",
     "RUNG_EDA",
     "RUNG_REPAIR",
     "RUNG_SARSA",
     "RUNGS",
     "RepairPlanner",
     "RungAttempt",
+    "SOURCE_CACHE",
+    "SOURCE_DISK",
+    "SOURCE_TRAINED",
     "STATE_CLOSED",
     "STATE_HALF_OPEN",
     "STATE_OPEN",
@@ -59,5 +81,10 @@ __all__ = [
     "ServeResult",
     "audit_catalog",
     "audit_items",
+    "catalog_fingerprint",
+    "config_fingerprint",
+    "constraint_fingerprint",
+    "policy_key",
     "screen_request",
+    "short_key",
 ]

@@ -38,7 +38,7 @@ from ..core.catalog import Catalog
 from ..core.config import PlannerConfig
 from ..core.constraints import TaskSpec
 from ..core.env import DomainMode
-from ..core.exceptions import NonRetriableError
+from ..core.exceptions import NonRetriableError, UntrainedPolicyError
 from ..core.plan import Plan
 from ..core.planner import RLPlanner
 from ..core.scoring import PlanScore
@@ -46,6 +46,8 @@ from ..obs import get_registry, labelled
 from .admission import AdmissionReport, audit_catalog, screen_request
 from .breaker import CircuitBreaker
 from .deadline import Deadline
+from .fingerprint import short_key
+from .registry import CacheEntry, PolicyRegistry
 from .repair import RepairPlanner
 
 RUNG_SARSA = "sarsa"
@@ -122,6 +124,13 @@ class ServeResult:
     deadline_exceeded: bool = False
     admission: Optional[AdmissionReport] = None
     attempts: Tuple[RungAttempt, ...] = ()
+    #: Provenance of the policy that answered (``<short_key>@v<N>``)
+    #: when the request was served through a registry; ``None`` for the
+    #: classic fit-and-serve path.
+    policy: Optional[str] = None
+    #: True when the response came from the per-policy-version plan
+    #: memo — no traversal ran at all.
+    plan_cache_hit: bool = False
 
     @property
     def ok(self) -> bool:
@@ -138,6 +147,9 @@ class ServeResult:
         lines = [f"outcome  : {self.outcome}"]
         if self.rung is not None:
             lines.append(f"rung     : {self.rung}")
+        if self.policy is not None:
+            memo = " (plan memo hit)" if self.plan_cache_hit else ""
+            lines.append(f"policy   : {self.policy}{memo}")
         if self.plan is not None:
             lines.append(f"plan     : {self.plan.describe()}")
         if self.score is not None:
@@ -241,6 +253,17 @@ class PlanningService:
             )
             for rung in RUNGS
         }
+        # Registry wiring (attach_registry); None keeps the classic
+        # fit-and-serve behaviour untouched.
+        self.policy_registry: Optional[PolicyRegistry] = None
+        self._policy_key: Optional[str] = None
+        self._registry_episodes: Optional[int] = None
+        self._registry_label: str = ""
+        self._cache_entry: Optional[CacheEntry] = None
+        # Per-request provenance scratch (the facade serves one request
+        # at a time; see serve()).
+        self._last_policy: Optional[str] = None
+        self._last_plan_cache_hit: bool = False
 
     @classmethod
     def from_dataset(cls, dataset, **kwargs) -> "PlanningService":
@@ -261,6 +284,29 @@ class PlanningService:
     def load_policy(self, path, strict: bool = False) -> None:
         """Load a saved policy for the top rung."""
         self.planner.load_policy(path, strict=strict)
+
+    def attach_registry(
+        self,
+        registry: PolicyRegistry,
+        episodes: Optional[int] = None,
+        label: str = "",
+    ) -> None:
+        """Serve the policy rung through a :class:`PolicyRegistry`.
+
+        The policy key for this service's (catalog, task, config, mode)
+        universe is derived once here; after that a request is a warm
+        cache probe — a miss trains (or disk-loads) through the
+        registry, a hit adopts the cached table and goes straight to
+        greedy traversal with no fit and no disk read.  ``episodes``
+        overrides ``config.episodes`` for registry-triggered training.
+        """
+        self.policy_registry = registry
+        self._registry_episodes = episodes
+        self._registry_label = label
+        self._policy_key = registry.key_for(
+            self.catalog, self.task, self.config, self.mode
+        )
+        self._cache_entry = None
 
     @property
     def default_start(self) -> str:
@@ -314,6 +360,8 @@ class PlanningService:
         self, request: ServeRequest, deadline: Deadline
     ) -> ServeResult:
         obs = get_registry()
+        self._last_policy = None
+        self._last_plan_cache_hit = False
         with obs.span("serve.admission"):
             screen = screen_request(
                 self.catalog, self.task, self.mode, request.start_item_id
@@ -439,6 +487,10 @@ class PlanningService:
             deadline_exceeded=exceeded,
             admission=screen,
             attempts=tuple(attempts),
+            policy=self._last_policy if rung == RUNG_SARSA else None,
+            plan_cache_hit=(
+                self._last_plan_cache_hit if rung == RUNG_SARSA else False
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -459,11 +511,34 @@ class PlanningService:
     ) -> Tuple[Optional[Plan], Optional[PlanScore]]:
         """Anytime policy rung: best valid snapshot under the deadline.
 
-        A pinned start is honoured exactly (one rollout set, matching a
-        bare :meth:`RLPlanner.recommend` — the happy path adds only the
-        envelope); otherwise the natural openers are swept best-first
-        until the deadline fires.
+        With a registry attached, the rung first resolves the policy
+        for this universe (warm cache probe on the steady state) and
+        consults the per-version plan memo — a memo hit answers without
+        any traversal at all.  A pinned start is honoured exactly (one
+        rollout set, matching a bare :meth:`RLPlanner.recommend` — the
+        happy path adds only the envelope); otherwise the natural
+        openers are swept best-first until the deadline fires.
         """
+        entry = self._resolve_policy()
+        if entry is not None:
+            hit = entry.cached_plan(request.start_item_id, request.horizon)
+            if hit is not None:
+                get_registry().inc("serve_plan_memo_hits_total")
+                self._last_plan_cache_hit = True
+                return hit
+        elif not self.planner.is_fitted or (
+            self.planner.qtable.update_count == 0
+        ):
+            # Satellite guard: an unfitted (or zero-update) table would
+            # "succeed" with an untrained greedy traversal — garbage
+            # with a straight face.  Raise the typed retriable error so
+            # rung isolation records it and the ladder degrades to EDA.
+            get_registry().inc("serve_untrained_policy_total")
+            raise UntrainedPolicyError(
+                "policy rung has no trained Q-table: call fit(), load a "
+                "policy artifact (serve --policy), or attach a registry "
+                "(serve --registry); degrading to the EDA rung"
+            )
         starts = (
             [request.start_item_id]
             if request.start_item_id is not None
@@ -475,7 +550,46 @@ class PlanningService:
             should_stop=deadline.should_stop,
             stop_when_valid=True,
         )
+        if (
+            entry is not None
+            and plan is not None
+            and score is not None
+            and score.is_valid
+        ):
+            # A valid stop_when_valid result is deterministic for this
+            # (table, start, horizon) regardless of the deadline — safe
+            # to memoize.  Invalid/truncated snapshots are not.
+            entry.store_plan(
+                request.start_item_id, request.horizon, plan, score
+            )
         return plan, score
+
+    def _resolve_policy(self) -> Optional[CacheEntry]:
+        """Resolve the policy rung's table through the registry.
+
+        Returns ``None`` when no registry is attached (classic path).
+        Otherwise: acquire through cache → disk → train, adopt the
+        table into the planner only when the version actually changed,
+        and stamp the request's policy provenance.
+        """
+        if self.policy_registry is None:
+            return None
+        entry, _source = self.policy_registry.acquire(
+            self.catalog,
+            self.task,
+            self.config,
+            self.mode,
+            episodes=self._registry_episodes,
+            label=self._registry_label,
+            key=self._policy_key,
+        )
+        if entry is not self._cache_entry:
+            self.planner.adopt_policy(entry.qtable)
+            self._cache_entry = entry
+        self._last_policy = (
+            f"{short_key(entry.meta.key)}@v{entry.meta.version}"
+        )
+        return entry
 
     def _run_eda(
         self, request: ServeRequest, deadline: Deadline

@@ -1,0 +1,664 @@
+"""Versioned policy artifact store with a warm in-process LRU cache.
+
+The train-once/serve-many layer: a :class:`PolicyRegistry` keys trained
+Q-tables by ``(catalog fingerprint, constraint signature, config hash)``
+(see :mod:`repro.serving.fingerprint`), persists them with the
+checksummed format-v2 writer (:func:`repro.core.serialization.save_policy`),
+and fronts the on-disk store with an LRU cache of deserialized tables so
+the serving hot path never touches the filesystem — let alone a SARSA
+fit — after the first request for a given planning universe.
+
+Layout (one directory per key under the registry root)::
+
+    <root>/<key>/meta.json          current version pointer + provenance
+    <root>/<key>/policy.v<N>.json   immutable policy artifacts (v2 format)
+
+Lifecycle
+---------
+* **Lookup** walks cache → disk → (optional) train.  A disk artifact
+  that fails its checksum or does not parse is *quarantined* — renamed
+  to ``*.quarantined`` and counted — instead of poisoning the cache or
+  killing the request; the caller falls through to a retrain.
+* **Publish** writes the new ``policy.v<N+1>.json`` first, fsynced, then
+  atomically replaces ``meta.json``.  Readers either see the old
+  complete version or the new complete version, never a torn one.
+* **Staleness / background refit** — entries older than ``max_age_s``
+  keep serving (stale reads are explicitly allowed) while a single
+  daemon thread retrains per key and swaps the cache entry on success.
+  A hit during an in-flight refit returns the old version.
+
+Every transition is observable: ``registry_cache_{hits,misses,
+evictions}_total``, ``registry_refits_total``, ``registry_artifacts_
+quarantined_total`` counters, a ``registry_policy_age_seconds`` gauge,
+and ``registry.{lookup,load,train,refit}`` spans.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import pathlib
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from ..core.catalog import Catalog
+from ..core.config import PlannerConfig
+from ..core.constraints import TaskSpec
+from ..core.env import DomainMode
+from ..core.exceptions import ArtifactError, PlanningError
+from ..core.plan import Plan
+from ..core.qtable import QTable
+from ..core.scoring import PlanScore
+from ..core.serialization import load_policy, save_policy
+from ..obs import get_registry as get_metrics
+from ..runner.manifest import atomic_write_text
+from .fingerprint import (
+    catalog_fingerprint,
+    config_fingerprint,
+    constraint_fingerprint,
+    policy_key,
+    short_key,
+)
+
+logger = logging.getLogger(__name__)
+
+PathLike = Union[str, pathlib.Path]
+
+META_NAME = "meta.json"
+META_SCHEMA = 1
+QUARANTINE_SUFFIX = ".quarantined"
+
+#: How a lookup was satisfied (the label on ``registry_lookups_total``).
+SOURCE_CACHE = "cache"
+SOURCE_DISK = "disk"
+SOURCE_TRAINED = "trained"
+
+#: Default capacity of the warm cache (deserialized Q-tables).
+DEFAULT_CACHE_SIZE = 8
+
+#: Per-entry cap on memoized plans (see :attr:`CacheEntry.plans`).
+DEFAULT_PLAN_CACHE_SIZE = 64
+
+
+def _policy_name(version: int) -> str:
+    return f"policy.v{version}.json"
+
+
+@dataclass(frozen=True)
+class ArtifactMeta:
+    """Provenance of one stored policy version."""
+
+    key: str
+    version: int
+    catalog_fingerprint: str
+    constraint_fingerprint: str
+    config_fingerprint: str
+    mode: str
+    trained_at: float
+    episodes: Optional[int] = None
+    update_count: int = 0
+    label: str = ""
+    schema: int = META_SCHEMA
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": self.schema,
+            "key": self.key,
+            "version": self.version,
+            "catalog_fingerprint": self.catalog_fingerprint,
+            "constraint_fingerprint": self.constraint_fingerprint,
+            "config_fingerprint": self.config_fingerprint,
+            "mode": self.mode,
+            "trained_at": self.trained_at,
+            "episodes": self.episodes,
+            "update_count": self.update_count,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ArtifactMeta":
+        try:
+            return cls(
+                key=str(data["key"]),
+                version=int(data["version"]),  # type: ignore[arg-type]
+                catalog_fingerprint=str(data["catalog_fingerprint"]),
+                constraint_fingerprint=str(data["constraint_fingerprint"]),
+                config_fingerprint=str(data["config_fingerprint"]),
+                mode=str(data.get("mode", "course")),
+                trained_at=float(data["trained_at"]),  # type: ignore[arg-type]
+                episodes=(
+                    None
+                    if data.get("episodes") is None
+                    else int(data["episodes"])  # type: ignore[arg-type]
+                ),
+                update_count=int(data.get("update_count", 0)),  # type: ignore[arg-type]
+                label=str(data.get("label", "")),
+                schema=int(data.get("schema", META_SCHEMA)),  # type: ignore[arg-type]
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ArtifactError(f"malformed registry meta: {exc}") from exc
+
+
+class CacheEntry:
+    """One warm policy: the deserialized table plus its provenance.
+
+    ``plans`` memoizes greedy-traversal results per ``(start, horizon)``:
+    recommendation (and scoring) is a pure function of (table, start,
+    horizon, seed), so identical warm requests can skip the traversal
+    entirely.  The memo dies with the entry — an eviction or a refit
+    swap starts a fresh one, which is exactly the invalidation the
+    plan cache needs.
+    """
+
+    __slots__ = ("qtable", "meta", "plans", "plan_cache_size")
+
+    def __init__(
+        self,
+        qtable: QTable,
+        meta: ArtifactMeta,
+        plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
+    ) -> None:
+        self.qtable = qtable
+        self.meta = meta
+        self.plans: "OrderedDict[Tuple[Optional[str], Optional[int]], Tuple[Plan, PlanScore]]" = (
+            OrderedDict()
+        )
+        self.plan_cache_size = plan_cache_size
+
+    def cached_plan(
+        self, start: Optional[str], horizon: Optional[int]
+    ) -> Optional[Tuple[Plan, PlanScore]]:
+        hit = self.plans.get((start, horizon))
+        if hit is not None:
+            self.plans.move_to_end((start, horizon))
+        return hit
+
+    def store_plan(
+        self,
+        start: Optional[str],
+        horizon: Optional[int],
+        plan: Plan,
+        score: PlanScore,
+    ) -> None:
+        self.plans[(start, horizon)] = (plan, score)
+        self.plans.move_to_end((start, horizon))
+        while len(self.plans) > self.plan_cache_size:
+            self.plans.popitem(last=False)
+
+
+class PolicyRegistry:
+    """Versioned policy store + warm LRU cache + background refit.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the artifact store (created on first publish).
+    cache_size:
+        Warm-cache capacity in deserialized Q-tables (LRU eviction).
+    max_age_s:
+        Staleness horizon: a cache hit whose artifact is older schedules
+        a background refit (the hit itself still serves the old
+        version).  ``None`` disables staleness tracking.
+    plan_cache_size:
+        Per-entry cap on memoized greedy-traversal plans.
+    clock:
+        Injectable wall clock (``time.time``).  Artifact ages are
+        persisted timestamps, so the wall clock — not the monotonic
+        clock — is the right base; tests inject a fake.
+    """
+
+    def __init__(
+        self,
+        root: PathLike,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        max_age_s: Optional[float] = None,
+        plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if cache_size < 1:
+            raise PlanningError("registry cache_size must be >= 1")
+        self.root = pathlib.Path(root)
+        self.cache_size = cache_size
+        self.max_age_s = max_age_s
+        self.plan_cache_size = plan_cache_size
+        self.clock = clock
+        self._cache: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._refits: Dict[str, threading.Thread] = {}
+
+    # ------------------------------------------------------------------
+    # Key derivation
+    # ------------------------------------------------------------------
+
+    def key_for(
+        self,
+        catalog: Catalog,
+        task: TaskSpec,
+        config: PlannerConfig,
+        mode: DomainMode = DomainMode.COURSE,
+    ) -> str:
+        """The artifact key for one planning universe."""
+        return policy_key(catalog, task, config, mode)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def acquire(
+        self,
+        catalog: Catalog,
+        task: TaskSpec,
+        config: PlannerConfig,
+        mode: DomainMode = DomainMode.COURSE,
+        trainer: Optional[Callable[[], QTable]] = None,
+        episodes: Optional[int] = None,
+        label: str = "",
+        refit: bool = True,
+        key: Optional[str] = None,
+    ) -> Tuple[CacheEntry, str]:
+        """Resolve a policy: cache → disk → train (miss-through).
+
+        Returns ``(entry, source)`` with ``source`` one of
+        :data:`SOURCE_CACHE` / :data:`SOURCE_DISK` / :data:`SOURCE_TRAINED`.
+        ``trainer`` produces a fitted :class:`QTable` on a full miss; when
+        omitted, a fresh :class:`~repro.core.planner.RLPlanner` is fitted
+        (``episodes`` overriding ``config.episodes``).  With ``refit``
+        (default) a stale cache hit also schedules a background retrain.
+        ``key`` lets a caller that already derived the policy key (the
+        serving facade does it once per universe) skip re-hashing the
+        catalog on every request — the warm path is then a lock and a
+        dict probe, nothing more.
+        """
+        obs = get_metrics()
+        if key is None:
+            key = self.key_for(catalog, task, config, mode)
+        with obs.span("registry.lookup"):
+            with self._lock:
+                entry = self._cache.get(key)
+                if entry is not None:
+                    self._cache.move_to_end(key)
+            if entry is not None:
+                obs.inc("registry_cache_hits_total")
+                age = max(0.0, self.clock() - entry.meta.trained_at)
+                obs.set_gauge("registry_policy_age_seconds", age)
+                if refit and self.max_age_s is not None and age > self.max_age_s:
+                    self._schedule_refit(
+                        key, catalog, task, config, mode, trainer, episodes,
+                        label,
+                    )
+                return entry, SOURCE_CACHE
+            obs.inc("registry_cache_misses_total")
+
+        entry = self._load_entry(key, catalog)
+        if entry is not None:
+            self._insert(key, entry)
+            age = max(0.0, self.clock() - entry.meta.trained_at)
+            obs.set_gauge("registry_policy_age_seconds", age)
+            if refit and self.max_age_s is not None and age > self.max_age_s:
+                self._schedule_refit(
+                    key, catalog, task, config, mode, trainer, episodes, label
+                )
+            return entry, SOURCE_DISK
+
+        with obs.span("registry.train"):
+            qtable = self._train(catalog, task, config, mode, trainer, episodes)
+        meta = self.publish(
+            catalog, task, config, mode, qtable,
+            episodes=episodes if episodes is not None else config.episodes,
+            label=label,
+        )
+        entry = CacheEntry(qtable, meta, self.plan_cache_size)
+        self._insert(key, entry)
+        obs.set_gauge("registry_policy_age_seconds", 0.0)
+        return entry, SOURCE_TRAINED
+
+    def get(self, key: str, catalog: Catalog) -> Optional[CacheEntry]:
+        """Cache-then-disk lookup by raw key; ``None`` on a full miss."""
+        with self._lock:
+            entry = self._cache.get(key)
+            if entry is not None:
+                self._cache.move_to_end(key)
+        if entry is not None:
+            get_metrics().inc("registry_cache_hits_total")
+            return entry
+        get_metrics().inc("registry_cache_misses_total")
+        entry = self._load_entry(key, catalog)
+        if entry is not None:
+            self._insert(key, entry)
+        return entry
+
+    # ------------------------------------------------------------------
+    # Publish / evict / prewarm
+    # ------------------------------------------------------------------
+
+    def publish(
+        self,
+        catalog: Catalog,
+        task: TaskSpec,
+        config: PlannerConfig,
+        mode: DomainMode,
+        qtable: QTable,
+        episodes: Optional[int] = None,
+        label: str = "",
+    ) -> ArtifactMeta:
+        """Persist a trained table as the next version of its key.
+
+        The policy file is written (checksummed, fsynced, atomic) before
+        ``meta.json`` flips the current-version pointer, so a crash
+        between the two leaves the previous version live.  Superseded
+        version files are pruned down to the latest two.
+        """
+        key = self.key_for(catalog, task, config, mode)
+        entry_dir = self.root / key
+        entry_dir.mkdir(parents=True, exist_ok=True)
+        current = self._read_meta(entry_dir)
+        version = 1 if current is None else current.version + 1
+        meta = ArtifactMeta(
+            key=key,
+            version=version,
+            catalog_fingerprint=catalog_fingerprint(catalog),
+            constraint_fingerprint=constraint_fingerprint(task),
+            config_fingerprint=config_fingerprint(config),
+            mode=mode.value,
+            trained_at=self.clock(),
+            episodes=episodes,
+            update_count=qtable.update_count,
+            label=label,
+        )
+        save_policy(qtable, entry_dir / _policy_name(version))
+        atomic_write_text(
+            entry_dir / META_NAME,
+            json.dumps(meta.to_dict(), indent=2, sort_keys=True),
+        )
+        self._prune_versions(entry_dir, keep_from=version - 1)
+        return meta
+
+    def evict(self, key: str, delete: bool = False) -> bool:
+        """Drop a key from the warm cache (and optionally from disk).
+
+        Returns True when anything was removed.
+        """
+        removed = False
+        with self._lock:
+            if self._cache.pop(key, None) is not None:
+                removed = True
+                get_metrics().inc("registry_cache_evictions_total")
+        if delete:
+            entry_dir = self.root / key
+            if entry_dir.is_dir():
+                for path in sorted(entry_dir.iterdir()):
+                    path.unlink()
+                entry_dir.rmdir()
+                removed = True
+        return removed
+
+    def prewarm(
+        self,
+        catalog: Catalog,
+        task: TaskSpec,
+        config: PlannerConfig,
+        mode: DomainMode = DomainMode.COURSE,
+        episodes: Optional[int] = None,
+        label: str = "",
+    ) -> Tuple[ArtifactMeta, str]:
+        """Train-or-load a key ahead of traffic; returns (meta, source)."""
+        entry, source = self.acquire(
+            catalog, task, config, mode,
+            episodes=episodes, label=label, refit=False,
+        )
+        return entry.meta, source
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def entries(self) -> List[Dict[str, object]]:
+        """One row per stored key: provenance, age, cache state, size."""
+        rows: List[Dict[str, object]] = []
+        if not self.root.is_dir():
+            return rows
+        with self._lock:
+            warm = set(self._cache)
+        for entry_dir in sorted(p for p in self.root.iterdir() if p.is_dir()):
+            meta = self._read_meta(entry_dir)
+            if meta is None:
+                continue
+            policy_path = entry_dir / _policy_name(meta.version)
+            rows.append(
+                {
+                    "key": meta.key,
+                    "short_key": short_key(meta.key),
+                    "version": meta.version,
+                    "mode": meta.mode,
+                    "label": meta.label,
+                    "episodes": meta.episodes,
+                    "update_count": meta.update_count,
+                    "age_s": max(0.0, self.clock() - meta.trained_at),
+                    "bytes": (
+                        policy_path.stat().st_size
+                        if policy_path.exists()
+                        else 0
+                    ),
+                    "warm": meta.key in warm,
+                }
+            )
+        return rows
+
+    @property
+    def cached_keys(self) -> Tuple[str, ...]:
+        """Warm-cache keys in LRU order (oldest first)."""
+        with self._lock:
+            return tuple(self._cache)
+
+    def refit_in_flight(self, key: str) -> bool:
+        """True while a background refit for ``key`` is running."""
+        with self._lock:
+            thread = self._refits.get(key)
+        return thread is not None and thread.is_alive()
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Join all in-flight refit threads (tests, orderly shutdown)."""
+        with self._lock:
+            threads = list(self._refits.values())
+        for thread in threads:
+            thread.join(timeout)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _insert(self, key: str, entry: CacheEntry) -> None:
+        with self._lock:
+            self._cache[key] = entry
+            self._cache.move_to_end(key)
+            while len(self._cache) > self.cache_size:
+                evicted, _ = self._cache.popitem(last=False)
+                get_metrics().inc("registry_cache_evictions_total")
+                logger.debug("registry: evicted %s", short_key(evicted))
+
+    def _read_meta(self, entry_dir: pathlib.Path) -> Optional[ArtifactMeta]:
+        path = entry_dir / META_NAME
+        if not path.exists():
+            return None
+        try:
+            data = json.loads(path.read_text())
+            if not isinstance(data, dict):
+                raise ArtifactError(f"{path}: not a JSON object")
+            return ArtifactMeta.from_dict(data)
+        except (OSError, ValueError, ArtifactError) as exc:
+            logger.warning("registry: unreadable meta %s: %s", path, exc)
+            return None
+
+    def _load_entry(
+        self, key: str, catalog: Catalog
+    ) -> Optional[CacheEntry]:
+        """Deserialize the current version from disk; quarantine rot."""
+        obs = get_metrics()
+        entry_dir = self.root / key
+        meta = self._read_meta(entry_dir)
+        if meta is None:
+            return None
+        policy_path = entry_dir / _policy_name(meta.version)
+        with obs.span("registry.load"):
+            try:
+                qtable = load_policy(policy_path, catalog)
+            except (ArtifactError, PlanningError, OSError) as exc:
+                self._quarantine(policy_path, exc)
+                return None
+        return CacheEntry(qtable, meta, self.plan_cache_size)
+
+    def _quarantine(self, policy_path: pathlib.Path, exc: Exception) -> None:
+        """Sideline a corrupt artifact so it cannot poison later lookups."""
+        obs = get_metrics()
+        obs.inc("registry_artifacts_quarantined_total")
+        logger.warning(
+            "registry: quarantining corrupt artifact %s: %s",
+            policy_path, exc,
+        )
+        try:
+            if policy_path.exists():
+                policy_path.replace(
+                    policy_path.with_name(
+                        policy_path.name + QUARANTINE_SUFFIX
+                    )
+                )
+            meta_path = policy_path.parent / META_NAME
+            if meta_path.exists():
+                meta_path.replace(
+                    meta_path.with_name(meta_path.name + QUARANTINE_SUFFIX)
+                )
+        except OSError as move_exc:  # pragma: no cover - fs race
+            logger.warning(
+                "registry: could not quarantine %s: %s",
+                policy_path, move_exc,
+            )
+
+    @staticmethod
+    def _train(
+        catalog: Catalog,
+        task: TaskSpec,
+        config: PlannerConfig,
+        mode: DomainMode,
+        trainer: Optional[Callable[[], QTable]],
+        episodes: Optional[int],
+    ) -> QTable:
+        if trainer is not None:
+            return trainer()
+        # Local import: planner pulls in the learner stack, which the
+        # registry only needs on the training path.
+        from ..core.planner import RLPlanner
+
+        planner = RLPlanner(catalog, task, config, mode=mode)
+        starts = [
+            item.item_id
+            for item in catalog.primaries()
+            if item.prerequisites.is_empty
+        ] or [catalog.items[0].item_id]
+        planner.fit(start_item_ids=starts[:1], episodes=episodes)
+        return planner.qtable
+
+    def _schedule_refit(
+        self,
+        key: str,
+        catalog: Catalog,
+        task: TaskSpec,
+        config: PlannerConfig,
+        mode: DomainMode,
+        trainer: Optional[Callable[[], QTable]],
+        episodes: Optional[int],
+        label: str,
+    ) -> None:
+        """Kick off (at most one) background retrain for a stale key.
+
+        The worker trains on a *fresh* planner — never the serving one,
+        whose environment state is not thread-safe — publishes the new
+        version, and swaps the cache entry under the lock.  Readers in
+        flight keep their reference to the old entry; the next lookup
+        sees the new one.  Failures are counted and logged, and the old
+        version keeps serving.
+        """
+        with self._lock:
+            existing = self._refits.get(key)
+            if existing is not None and existing.is_alive():
+                return
+            thread = threading.Thread(
+                target=self._refit_worker,
+                args=(key, catalog, task, config, mode, trainer, episodes,
+                      label),
+                name=f"registry-refit-{short_key(key)}",
+                daemon=True,
+            )
+            self._refits[key] = thread
+        get_metrics().inc("registry_refits_scheduled_total")
+        thread.start()
+
+    def _refit_worker(
+        self,
+        key: str,
+        catalog: Catalog,
+        task: TaskSpec,
+        config: PlannerConfig,
+        mode: DomainMode,
+        trainer: Optional[Callable[[], QTable]],
+        episodes: Optional[int],
+        label: str,
+    ) -> None:
+        obs = get_metrics()
+        try:
+            with obs.span("registry.refit"):
+                qtable = self._train(
+                    catalog, task, config, mode, trainer, episodes
+                )
+                meta = self.publish(
+                    catalog, task, config, mode, qtable,
+                    episodes=(
+                        episodes if episodes is not None else config.episodes
+                    ),
+                    label=label,
+                )
+            entry = CacheEntry(qtable, meta, self.plan_cache_size)
+            with self._lock:
+                # Swap only if the key is still cached or cacheable; an
+                # explicit evict during the refit should not resurrect it.
+                self._cache[key] = entry
+                self._cache.move_to_end(key)
+                while len(self._cache) > self.cache_size:
+                    evicted, _ = self._cache.popitem(last=False)
+                    obs.inc("registry_cache_evictions_total")
+                    logger.debug(
+                        "registry: evicted %s", short_key(evicted)
+                    )
+            obs.inc("registry_refits_total")
+        except Exception as exc:  # noqa: BLE001 - background isolation:
+            # a refit failure must never take serving down; the stale
+            # version keeps answering.
+            obs.inc("registry_refit_failures_total")
+            logger.warning(
+                "registry: background refit of %s failed: %s",
+                short_key(key), exc,
+            )
+
+    @staticmethod
+    def _prune_versions(entry_dir: pathlib.Path, keep_from: int) -> None:
+        """Delete version files older than ``keep_from`` (rollback margin)."""
+        for path in entry_dir.glob("policy.v*.json"):
+            stem = path.name[len("policy.v"):-len(".json")]
+            try:
+                version = int(stem)
+            except ValueError:
+                continue
+            if version < keep_from:
+                try:
+                    path.unlink()
+                except OSError:  # pragma: no cover - fs race
+                    pass
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        return (
+            f"PolicyRegistry(root={str(self.root)!r}, "
+            f"cache={len(self._cache)}/{self.cache_size}, "
+            f"max_age_s={self.max_age_s})"
+        )

@@ -1,0 +1,343 @@
+"""Cache semantics of the policy registry and the warm serving path.
+
+Covers the ISSUE-6 satellite matrix: LRU eviction order, a hit during an
+in-flight background refit serving the old version, corrupt on-disk
+artifacts quarantining instead of poisoning the cache, the counters and
+gauge landing in ``metrics.json``, and the warm facade path producing
+zero fit spans.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.obs import (
+    MetricsRegistry,
+    load_metrics,
+    use_registry,
+    write_metrics,
+)
+from repro.serving import (
+    PlanningService,
+    PolicyRegistry,
+    RUNG_EDA,
+    RUNG_SARSA,
+    SOURCE_CACHE,
+    SOURCE_DISK,
+    SOURCE_TRAINED,
+    short_key,
+)
+from repro.serving.registry import META_NAME, QUARANTINE_SUFFIX
+
+pytestmark = [pytest.mark.serving, pytest.mark.registry]
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture(scope="module")
+def toy_qtable(toy_dataset):
+    """One trained toy table reused as a cheap trainer stub."""
+    from repro import RLPlanner
+
+    planner = RLPlanner(
+        toy_dataset.catalog,
+        toy_dataset.task,
+        toy_dataset.default_config,
+        mode=toy_dataset.mode,
+    )
+    planner.fit(start_item_ids=[toy_dataset.default_start], episodes=50)
+    return planner.qtable
+
+
+def _universe(toy_dataset, seed: int):
+    """Same catalog/task, distinct config → distinct policy key."""
+    return (
+        toy_dataset.catalog,
+        toy_dataset.task,
+        toy_dataset.default_config.replace(seed=seed),
+        toy_dataset.mode,
+    )
+
+
+def _span_names(tree):
+    for name, node in tree.items():
+        yield name
+        yield from _span_names(node.get("children", {}))
+
+
+class TestLRUCache:
+    def test_eviction_order(self, tmp_path, toy_dataset, toy_qtable):
+        obs = MetricsRegistry()
+        with use_registry(obs):
+            reg = PolicyRegistry(tmp_path, cache_size=2)
+            trainer = lambda: toy_qtable  # noqa: E731
+            keys = []
+            for seed in (1, 2, 3):
+                entry, source = reg.acquire(
+                    *_universe(toy_dataset, seed), trainer=trainer
+                )
+                assert source == SOURCE_TRAINED
+                keys.append(entry.meta.key)
+            k1, k2, k3 = keys
+            # Capacity 2: the oldest (k1) fell out.
+            assert reg.cached_keys == (k2, k3)
+            # Touching k2 makes k3 the LRU victim...
+            _, source = reg.acquire(
+                *_universe(toy_dataset, 2), trainer=trainer
+            )
+            assert source == SOURCE_CACHE
+            # ...so re-acquiring k1 (disk, not retrain) evicts k3.
+            _, source = reg.acquire(
+                *_universe(toy_dataset, 1), trainer=trainer
+            )
+            assert source == SOURCE_DISK
+            assert reg.cached_keys == (k2, k1)
+        counters = obs.snapshot()["counters"]
+        assert counters["registry_cache_evictions_total"] == 2
+        assert counters["registry_cache_hits_total"] == 1
+        assert counters["registry_cache_misses_total"] == 4
+
+    def test_explicit_evict_and_delete(self, tmp_path, toy_dataset, toy_qtable):
+        reg = PolicyRegistry(tmp_path, cache_size=2)
+        entry, _ = reg.acquire(
+            *_universe(toy_dataset, 1), trainer=lambda: toy_qtable
+        )
+        key = entry.meta.key
+        assert reg.evict(key)
+        assert reg.cached_keys == ()
+        # Still on disk: next acquire loads instead of retraining.
+        _, source = reg.acquire(
+            *_universe(toy_dataset, 1), trainer=lambda: toy_qtable
+        )
+        assert source == SOURCE_DISK
+        assert reg.evict(key, delete=True)
+        assert reg.entries() == []
+
+    def test_get_full_miss_returns_none(self, tmp_path, toy_dataset):
+        reg = PolicyRegistry(tmp_path)
+        assert reg.get("no-such-key", toy_dataset.catalog) is None
+
+
+class TestBackgroundRefit:
+    def test_hit_during_refit_serves_old_version(
+        self, tmp_path, toy_dataset, toy_qtable
+    ):
+        clock = FakeClock()
+        reg = PolicyRegistry(tmp_path, max_age_s=10.0, clock=clock)
+        universe = _universe(toy_dataset, 1)
+        entry, _ = reg.acquire(*universe, trainer=lambda: toy_qtable)
+        assert entry.meta.version == 1
+
+        release = threading.Event()
+
+        def slow_trainer():
+            release.wait(timeout=30)
+            return toy_qtable
+
+        clock.now = 100.0  # stale now
+        stale, source = reg.acquire(*universe, trainer=slow_trainer)
+        assert source == SOURCE_CACHE
+        assert stale.meta.version == 1  # old version keeps serving
+        assert reg.refit_in_flight(stale.meta.key)
+        # Another hit while the refit is blocked: still the old version.
+        again, _ = reg.acquire(*universe, trainer=slow_trainer)
+        assert again.meta.version == 1
+
+        release.set()
+        reg.drain(timeout=30)
+        fresh, source = reg.acquire(*universe, trainer=slow_trainer)
+        assert source == SOURCE_CACHE
+        assert fresh.meta.version == 2
+        assert fresh.meta.trained_at == 100.0
+        # The swap also landed on disk.
+        meta = json.loads(
+            (tmp_path / fresh.meta.key / META_NAME).read_text()
+        )
+        assert meta["version"] == 2
+
+    def test_refit_failure_keeps_old_version(
+        self, tmp_path, toy_dataset, toy_qtable
+    ):
+        clock = FakeClock()
+        obs = MetricsRegistry()
+        with use_registry(obs):
+            reg = PolicyRegistry(tmp_path, max_age_s=10.0, clock=clock)
+            universe = _universe(toy_dataset, 1)
+            reg.acquire(*universe, trainer=lambda: toy_qtable)
+
+            def broken_trainer():
+                raise RuntimeError("training cluster on fire")
+
+            clock.now = 100.0
+            entry, _ = reg.acquire(*universe, trainer=broken_trainer)
+            reg.drain(timeout=30)
+            assert entry.meta.version == 1
+            after, _ = reg.acquire(*universe, trainer=lambda: toy_qtable)
+            assert after.meta.version == 1
+        counters = obs.snapshot()["counters"]
+        assert counters["registry_refit_failures_total"] >= 1
+
+
+class TestQuarantine:
+    def test_corrupt_artifact_quarantines_and_retrains(
+        self, tmp_path, toy_dataset, toy_qtable
+    ):
+        writer = PolicyRegistry(tmp_path)
+        entry, _ = writer.acquire(
+            *_universe(toy_dataset, 1), trainer=lambda: toy_qtable
+        )
+        key = entry.meta.key
+        policy_path = tmp_path / key / "policy.v1.json"
+        # Bit rot: valid JSON, wrong checksum.
+        payload = json.loads(policy_path.read_text())
+        payload["entries"] = []
+        policy_path.write_text(json.dumps(payload))
+
+        obs = MetricsRegistry()
+        with use_registry(obs):
+            reader = PolicyRegistry(tmp_path)  # cold cache, same disk
+            fresh, source = reader.acquire(
+                *_universe(toy_dataset, 1), trainer=lambda: toy_qtable
+            )
+        assert source == SOURCE_TRAINED  # fell through to retrain
+        assert fresh.qtable.update_count == toy_qtable.update_count
+        quarantined = list((tmp_path / key).glob(f"*{QUARANTINE_SUFFIX}"))
+        assert quarantined  # the rotten file was sidelined, not deleted
+        counters = obs.snapshot()["counters"]
+        assert counters["registry_artifacts_quarantined_total"] == 1
+        # The retrained artifact is immediately loadable again.
+        reloaded = PolicyRegistry(tmp_path)
+        _, source = reloaded.acquire(
+            *_universe(toy_dataset, 1), trainer=lambda: toy_qtable
+        )
+        assert source == SOURCE_DISK
+
+
+class TestMetricsExport:
+    def test_counters_and_gauge_land_in_metrics_json(
+        self, tmp_path, toy_dataset, toy_qtable
+    ):
+        obs = MetricsRegistry()
+        with use_registry(obs):
+            reg = PolicyRegistry(
+                tmp_path / "reg", cache_size=1, clock=FakeClock(5.0)
+            )
+            reg.acquire(*_universe(toy_dataset, 1), trainer=lambda: toy_qtable)
+            reg.acquire(*_universe(toy_dataset, 1), trainer=lambda: toy_qtable)
+            reg.acquire(*_universe(toy_dataset, 2), trainer=lambda: toy_qtable)
+        run_dir = tmp_path / "run"
+        run_dir.mkdir()
+        write_metrics(run_dir, obs)
+        exported = load_metrics(run_dir)
+        counters = exported["counters"]
+        assert counters["registry_cache_hits_total"] == 1
+        assert counters["registry_cache_misses_total"] == 2
+        assert counters["registry_cache_evictions_total"] == 1
+        assert "registry_policy_age_seconds" in exported["gauges"]
+        assert "registry.lookup" in exported["spans"]
+
+
+class TestWarmServing:
+    def test_warm_hit_produces_zero_fit_spans(self, tmp_path, toy_dataset):
+        service = PlanningService.from_dataset(toy_dataset)
+        service.attach_registry(PolicyRegistry(tmp_path), episodes=50)
+        cold_obs = MetricsRegistry()
+        with use_registry(cold_obs):
+            cold = service.serve()
+        assert cold.outcome == "ok" and cold.rung == RUNG_SARSA
+        assert "sarsa.learn" in set(
+            _span_names(cold_obs.snapshot()["spans"])
+        ) or "registry.train" in set(
+            _span_names(cold_obs.snapshot()["spans"])
+        )
+
+        warm_obs = MetricsRegistry()
+        with use_registry(warm_obs):
+            warm = service.serve()
+        assert warm.outcome == "ok" and warm.rung == RUNG_SARSA
+        assert warm.plan_cache_hit
+        assert warm.plan.item_ids == cold.plan.item_ids
+        names = set(_span_names(warm_obs.snapshot()["spans"]))
+        assert "sarsa.learn" not in names  # zero fit spans
+        assert "registry.train" not in names
+        assert "registry.load" not in names  # no disk read either
+        counters = warm_obs.snapshot()["counters"]
+        assert counters["registry_cache_hits_total"] == 1
+        assert counters["serve_plan_memo_hits_total"] == 1
+
+    def test_policy_provenance_in_envelope(self, tmp_path, toy_dataset):
+        service = PlanningService.from_dataset(toy_dataset)
+        service.attach_registry(PolicyRegistry(tmp_path), episodes=50)
+        result = service.serve()
+        key = toy_dataset.policy_key()
+        assert result.policy == f"{short_key(key)}@v1"
+
+    def test_two_services_share_one_artifact(self, tmp_path, toy_dataset):
+        a = PlanningService.from_dataset(toy_dataset)
+        a.attach_registry(PolicyRegistry(tmp_path), episodes=50)
+        a.serve()
+        b = PlanningService.from_dataset(toy_dataset)
+        b.attach_registry(PolicyRegistry(tmp_path), episodes=50)
+        obs = MetricsRegistry()
+        with use_registry(obs):
+            result = b.serve()
+        assert result.ok
+        names = set(_span_names(obs.snapshot()["spans"]))
+        assert "sarsa.learn" not in names  # loaded, never refitted
+        assert "registry.load" in names
+
+    def test_unfitted_service_degrades_with_clear_error(self, toy_dataset):
+        service = PlanningService.from_dataset(toy_dataset)
+        obs = MetricsRegistry()
+        with use_registry(obs):
+            result = service.serve()
+        assert result.outcome == "degraded"
+        assert result.rung == RUNG_EDA
+        sarsa_attempt = result.attempts[0]
+        assert sarsa_attempt.rung == RUNG_SARSA
+        assert "UntrainedPolicyError" in sarsa_attempt.error
+        assert "fit()" in sarsa_attempt.error
+        counters = obs.snapshot()["counters"]
+        assert counters["serve_untrained_policy_total"] == 1
+
+
+class TestRegistryCLI:
+    def test_prewarm_list_serve_evict_roundtrip(self, tmp_path, capsys):
+        root = str(tmp_path / "reg")
+        assert main(
+            ["registry", "prewarm", root, "toy", "--episodes", "30"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "source  : trained" in out
+        # Prewarm again (fresh process-level cache): loads from disk.
+        assert main(
+            ["registry", "prewarm", root, "toy", "--episodes", "30"]
+        ) == 0
+        assert "source  : disk" in capsys.readouterr().out
+
+        assert main(["registry", "list", root]) == 0
+        listing = capsys.readouterr().out
+        assert "toy" in listing
+
+        assert main(["serve", "toy", "--registry", root]) == 0
+        served = capsys.readouterr().out
+        assert "rung     : sarsa" in served
+        assert "policy   : " in served
+
+        key_prefix = listing.splitlines()[3].split("|")[0].strip()
+        assert main(
+            ["registry", "evict", root, key_prefix, "--delete"]
+        ) == 0
+        assert "deleted" in capsys.readouterr().out
+        assert main(["registry", "list", root]) == 0
+        assert key_prefix not in capsys.readouterr().out
