@@ -5,7 +5,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test test-fast test-chaos test-serving test-registry lint bench bench-runner bench-obs bench-serving bench-paper
+.PHONY: test test-fast test-chaos test-serving test-registry lint bench bench-runner bench-obs bench-serving bench-paper loadtest-smoke
 
 ## Full tier-1 suite (everything under tests/).
 test:
@@ -50,3 +50,11 @@ bench-serving:
 ## Paper tables/figures (pytest-benchmark harness; slow).
 bench-paper:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks -p no:cacheprovider
+
+## Short closed-loop sweep through the concurrent server (1/4/16
+## clients on the toy dataset) -> loadtest-smoke.json.  CI uploads the
+## latency section as an artifact.
+loadtest-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli loadtest toy \
+		--mode closed --levels 1,4,16 --requests 48 --episodes 60 \
+		--deadline 2.0 --slo 0.5 --output loadtest-smoke.json

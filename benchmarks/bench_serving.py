@@ -18,6 +18,11 @@ root:
    fit-every-time pattern against a policy-registry warm hit (cached
    table + memoized traversal) and a warm traversal (cached table,
    fresh greedy sweep); asserts warm-hit p50 < cold-fit p50.
+5. **Concurrency** — the threaded front-end under load: a closed-loop
+   sweep (1/4/16 clients: p50/p95/p99 + SLO attainment per level), an
+   open-loop overload run that must shed (shed rate > 0, admitted p99
+   still bounded), and a mid-load fault-injection run that must finish
+   through the degradation ladder with breaker transitions on record.
 
 Run standalone::
 
@@ -187,6 +192,111 @@ def bench_registry(
     }
 
 
+def bench_concurrency(
+    dataset, episodes: int, requests: int
+) -> Dict[str, object]:
+    """The threaded front-end under concurrent load (three scenarios).
+
+    1. Closed-loop sweep at 1/4/16 clients (workers sized to match):
+       per-level p50/p95/p99 and SLO attainment.
+    2. Open-loop overload against a deliberately undersized server
+       (1 worker, queue of 4) at ~3x measured capacity: the shed rate
+       must be positive while the *admitted* p99 stays bounded — the
+       whole point of admission control.
+    3. Mid-load fault injection (``error@0`` breaking the policy rung
+       partway through a closed-loop run): every request must still
+       complete via the degradation ladder, with the breaker
+       transitions on record in the metrics registry.
+    """
+    from repro import obs as obs_module
+    from repro.obs import get_registry, metrics_payload
+    from repro.serving import PlanningServer, closed_loop, open_loop
+
+    obs_module.enable()
+    service = PlanningService.from_dataset(dataset)
+    service.fit(start_item_ids=[dataset.default_start], episodes=episodes)
+    deadline_s = 2.0
+    slo_s = 0.25
+    out: Dict[str, object] = {"deadline_s": deadline_s, "slo_s": slo_s}
+
+    levels: Dict[str, object] = {}
+    for level in (1, 4, 16):
+        server = PlanningServer(
+            service, workers=level, max_queue=4 * level
+        )
+        try:
+            levels[str(level)] = closed_loop(
+                server,
+                concurrency=level,
+                requests=requests,
+                deadline_s=deadline_s,
+                slo_s=slo_s,
+            )
+        finally:
+            server.close()
+    out["closed_loop_levels"] = levels
+
+    # Overload: measure single-request service time, then offer ~3x
+    # what one worker can sustain so the bounded queue must shed.
+    probe = _time(
+        lambda: service.serve(start_item_id=dataset.default_start), 5
+    )
+    service_p50 = sorted(probe)[len(probe) // 2]
+    rate = max(50.0, 3.0 / max(service_p50, 1e-4))
+    tight_deadline = max(0.05, 10.0 * service_p50)
+    server = PlanningServer(service, workers=1, max_queue=4)
+    try:
+        overload = open_loop(
+            server,
+            rate=rate,
+            duration_s=2.0,
+            deadline_s=tight_deadline,
+            slo_s=tight_deadline,
+            seed=0,
+            burst_every_s=0.5,
+            burst_len_s=0.2,
+            burst_factor=3.0,
+        )
+    finally:
+        server.close()
+    overload["admitted_p99_bounded"] = (
+        overload["latency_ms"]["p99"] <= 1e3 * (tight_deadline + 0.5)
+    )
+    out["overload"] = overload
+
+    # Chaos: break the policy rung mid-run; the ladder must absorb it.
+    faulted = PlanningService.from_dataset(
+        dataset, planner=service.planner
+    )
+    server = PlanningServer(faulted, workers=4, max_queue=64)
+    try:
+        fault_run = closed_loop(
+            server,
+            concurrency=4,
+            requests=requests,
+            deadline_s=deadline_s,
+            slo_s=slo_s,
+            fault_spec="error@0:times=12",
+            fault_at=0.3,
+        )
+    finally:
+        server.close()
+    transitions = {
+        name: count
+        for name, count in metrics_payload(get_registry())
+        .get("counters", {})
+        .items()
+        if name.startswith("serve_breaker_transitions_total")
+    }
+    fault_run["breaker_transitions"] = transitions
+    fault_run["completed_all"] = (
+        fault_run["requests_completed"] == requests
+        and fault_run["errors"] == 0
+    )
+    out["fault_injection"] = fault_run
+    return out
+
+
 def bench_admission(dataset, iterations: int) -> Dict[str, object]:
     """Load-time audit and per-request screen latency."""
     audit_s = _time(
@@ -230,6 +340,11 @@ def main(argv=None) -> int:
             dataset, args.episodes, args.iterations
         ),
     }
+    # Last: it enables the metrics registry, which would otherwise leak
+    # observation overhead into the facade-overhead measurement above.
+    payload["concurrency"] = bench_concurrency(
+        dataset, args.episodes, max(16, args.iterations // 2)
+    )
     out = pathlib.Path(args.output)
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
@@ -252,11 +367,42 @@ def main(argv=None) -> int:
         f"   traversal p50 {reg['warm_traversal_serve']['p50_ms']:8.3f} ms"
         f"   ({reg['speedup_p50']:.0f}x)"
     )
+    conc = payload["concurrency"]
+    for level, run in conc["closed_loop_levels"].items():
+        lat = run["latency_ms"]
+        print(
+            f"  closed x{level:>2s} p50 {lat['p50']:8.3f} ms   "
+            f"p95 {lat['p95']:8.3f} ms   p99 {lat['p99']:8.3f} ms   "
+            f"slo {run['slo']['attainment']:.0%}"
+        )
+    over = conc["overload"]
+    print(
+        f"  overload shed {over['shed_rate']:.0%}  admitted p99 "
+        f"{over['latency_ms']['p99']:.3f} ms "
+        f"({'bounded' if over['admitted_p99_bounded'] else 'UNBOUNDED'})"
+    )
+    chaos = conc["fault_injection"]
+    print(
+        f"  chaos run outcomes {chaos['outcomes']}  "
+        f"transitions {len(chaos['breaker_transitions'])}"
+    )
     if not ov["within_budget"]:
         print("  FAIL: facade overhead exceeds budget")
         return 1
     if not reg["warm_faster_than_cold"]:
         print("  FAIL: registry warm-hit serve is not faster than cold fit")
+        return 1
+    if over["shed_rate"] <= 0:
+        print("  FAIL: overload run shed nothing (queue never pushed back)")
+        return 1
+    if not over["admitted_p99_bounded"]:
+        print("  FAIL: admitted p99 unbounded under overload")
+        return 1
+    if not chaos["completed_all"]:
+        print("  FAIL: fault-injection run did not complete all requests")
+        return 1
+    if not chaos["breaker_transitions"]:
+        print("  FAIL: no breaker transitions recorded under faults")
         return 1
     return 0
 

@@ -16,7 +16,12 @@ metrics     Render a run directory's ``metrics.json`` as
 serve       Answer one request through the resilient serving facade
             (admission → deadline-bounded ladder → envelope); can serve
             from a saved artifact (``--policy``) or a train-once/
-            serve-many registry (``--registry``).
+            serve-many registry (``--registry``), and with ``--listen
+            HOST:PORT`` becomes a concurrent JSON-lines TCP server.
+loadtest    Drive the concurrent server with a closed-loop concurrency
+            sweep or an open-loop (Poisson, bursty) arrival process and
+            report p50/p95/p99 latency, shed rate and SLO attainment;
+            ``--inject-faults`` arms chaos mid-load.
 registry    Inspect and manage a policy artifact registry
             (list / evict / prewarm).
 audit       Run the admission auditor over a dataset and print the
@@ -271,23 +276,23 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     return _print_training(outcome)
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
+def _build_service(args: argparse.Namespace, dataset):
+    """Build + prime a PlanningService per the shared serve/loadtest flags."""
     from .serving import PlanningService, PolicyRegistry
 
-    if args.metrics:
-        from . import obs
-
-        obs.enable()
-    dataset = load(args.dataset, seed=args.seed, with_gold=False)
     fault_injector = None
-    if args.inject_faults:
+    # loadtest arms faults mid-run (it has --inject-at); serve arms at
+    # construction so the single request sees them.
+    if getattr(args, "inject_faults", None) and not hasattr(
+        args, "inject_at"
+    ):
         from .runner import FaultInjector
 
         fault_injector = FaultInjector.from_spec(args.inject_faults)
     service = PlanningService.from_dataset(
         dataset, fault_injector=fault_injector
     )
-    if args.registry:
+    if getattr(args, "registry", None):
         # Train-once/serve-many: the registry trains on the first miss
         # and answers every later request from the warm cache.
         service.attach_registry(
@@ -295,10 +300,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             episodes=args.episodes,
             label=args.dataset,
         )
-    elif args.policy:
+    elif getattr(args, "policy", None):
         # Pre-trained artifact; checksum-verified on read.
         service.load_policy(args.policy)
-    elif not args.no_fit:
+    elif not getattr(args, "no_fit", False):
         episodes = args.episodes or dataset.default_config.episodes
         service.fit(
             start_item_ids=[dataset.default_start], episodes=episodes
@@ -309,6 +314,51 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "policy rung untrained; requests will degrade to EDA",
             file=sys.stderr,
         )
+    return service
+
+
+def _parse_listen(value: str):
+    host, _, port = value.rpartition(":")
+    try:
+        return host or "127.0.0.1", int(port)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--listen expects HOST:PORT, got {value!r}"
+        )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.metrics:
+        from . import obs
+
+        obs.enable()
+    dataset = load(args.dataset, seed=args.seed, with_gold=False)
+    service = _build_service(args, dataset)
+    if args.listen:
+        from .serving import PlanningServer
+
+        host, port = args.listen
+        server = PlanningServer(
+            service,
+            workers=args.workers,
+            max_queue=args.queue,
+            default_deadline_s=args.deadline,
+        )
+        bound_host, bound_port = server.listen(host, port)
+        print(f"dataset  : {dataset.name}")
+        print(f"listening: {bound_host}:{bound_port} "
+              f"({args.workers} workers, queue {args.queue})")
+        print("protocol : one JSON request per line, e.g. "
+              '{"start": null, "deadline_s": 1.0}')
+        try:
+            import threading
+
+            threading.Event().wait()
+        except KeyboardInterrupt:
+            print("draining...", file=sys.stderr)
+        finally:
+            server.close()
+        return 0
     result = service.serve(
         start_item_id=args.start or dataset.default_start,
         deadline_s=args.deadline,
@@ -321,6 +371,79 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print()
         print(to_prometheus(metrics_payload(get_registry())), end="")
     return 0 if result.ok else 1
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    from .serving import PlanningServer, closed_loop, open_loop
+
+    if args.metrics:
+        from . import obs
+
+        obs.enable()
+    dataset = load(args.dataset, seed=args.seed, with_gold=False)
+    service = _build_service(args, dataset)
+
+    def make_server():
+        return PlanningServer(
+            service,
+            workers=args.workers,
+            max_queue=args.queue,
+            default_deadline_s=args.deadline,
+        )
+
+    report: dict
+    if args.mode == "closed":
+        levels = [int(x) for x in args.levels.split(",") if x.strip()]
+        runs = {}
+        for level in levels:
+            server = make_server()
+            try:
+                runs[str(level)] = closed_loop(
+                    server,
+                    concurrency=level,
+                    requests=args.requests,
+                    deadline_s=args.deadline,
+                    slo_s=args.slo,
+                    fault_spec=args.inject_faults,
+                    fault_at=args.inject_at,
+                )
+            finally:
+                server.close()
+        report = {"mode": "closed", "levels": runs}
+    else:
+        server = make_server()
+        try:
+            report = open_loop(
+                server,
+                rate=args.rate,
+                duration_s=args.duration,
+                deadline_s=args.deadline,
+                slo_s=args.slo,
+                seed=args.seed,
+                burst_every_s=args.burst_every,
+                burst_len_s=args.burst_len,
+                burst_factor=args.burst_factor,
+                fault_spec=args.inject_faults,
+                fault_at=args.inject_at,
+            )
+        finally:
+            server.close()
+    text = json.dumps(report, indent=2, sort_keys=True)
+    print(text)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"report  : {args.output}", file=sys.stderr)
+    if args.metrics:
+        from .obs import get_registry, metrics_payload, to_prometheus
+
+        print(file=sys.stderr)
+        print(
+            to_prometheus(metrics_payload(get_registry())),
+            end="",
+            file=sys.stderr,
+        )
+    return 0
 
 
 def _resolve_registry_key(registry, prefix: str) -> Optional[str]:
@@ -581,7 +704,102 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", action="store_true",
         help="print serving counters as Prometheus text",
     )
+    serve.add_argument(
+        "--listen", type=_parse_listen, metavar="HOST:PORT",
+        help="serve the JSON-lines protocol on a TCP socket instead of "
+        "answering one request (port 0 picks a free port)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4,
+        help="thread-pool size for --listen (default 4)",
+    )
+    serve.add_argument(
+        "--queue", type=int, default=32,
+        help="admission queue bound for --listen (default 32)",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="drive the concurrent server with a closed- or open-loop "
+        "load and report latency percentiles + SLO attainment",
+    )
+    _add_dataset_arg(loadtest)
+    loadtest.add_argument(
+        "--mode", choices=("closed", "open"), default="closed",
+        help="closed: N clients in lockstep; open: Poisson arrivals "
+        "that never back off (exercises shedding)",
+    )
+    loadtest.add_argument(
+        "--levels", default="1,4,16",
+        help="closed-loop concurrency levels, comma-separated",
+    )
+    loadtest.add_argument(
+        "--requests", type=int, default=64,
+        help="closed-loop requests per level",
+    )
+    loadtest.add_argument(
+        "--rate", type=float, default=50.0,
+        help="open-loop arrival rate (req/s)",
+    )
+    loadtest.add_argument(
+        "--duration", type=float, default=5.0,
+        help="open-loop run length (seconds)",
+    )
+    loadtest.add_argument(
+        "--burst-every", type=float, metavar="S",
+        help="open-loop burst period (seconds; off by default)",
+    )
+    loadtest.add_argument(
+        "--burst-len", type=float, default=0.5, metavar="S",
+        help="burst window length (default 0.5s)",
+    )
+    loadtest.add_argument(
+        "--burst-factor", type=float, default=4.0,
+        help="rate multiplier inside a burst (default 4x)",
+    )
+    loadtest.add_argument(
+        "--deadline", type=float,
+        help="per-request deadline in seconds (default: unbounded)",
+    )
+    loadtest.add_argument(
+        "--slo", type=float,
+        help="latency SLO in seconds for the attainment figure",
+    )
+    loadtest.add_argument(
+        "--workers", type=int, default=4, help="server thread-pool size"
+    )
+    loadtest.add_argument(
+        "--queue", type=int, default=32, help="admission queue bound"
+    )
+    loadtest.add_argument("--episodes", type=int, help="training episodes")
+    loadtest.add_argument(
+        "--no-fit", action="store_true",
+        help="skip training (requests degrade to EDA)",
+    )
+    loadtest.add_argument(
+        "--policy", metavar="PATH", help="serve a saved policy artifact"
+    )
+    loadtest.add_argument(
+        "--registry", metavar="DIR", help="serve through a policy registry"
+    )
+    loadtest.add_argument(
+        "--inject-faults", metavar="SPEC",
+        help="arm deterministic faults mid-load (rungs: sarsa=0, eda=1, "
+        "repair=2; e.g. 'error@0:times=10'); see --inject-at",
+    )
+    loadtest.add_argument(
+        "--inject-at", type=float, default=0.5, metavar="FRAC",
+        help="run fraction at which the faults arm (default 0.5)",
+    )
+    loadtest.add_argument(
+        "--output", metavar="PATH", help="also write the JSON report here"
+    )
+    loadtest.add_argument(
+        "--metrics", action="store_true",
+        help="print serving counters as Prometheus text on stderr",
+    )
+    loadtest.set_defaults(func=_cmd_loadtest)
 
     registry = sub.add_parser(
         "registry",

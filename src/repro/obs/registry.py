@@ -12,6 +12,15 @@ to.  Three design constraints shape it:
   :meth:`~MetricsRegistry.snapshot` and folds another snapshot in with
   :meth:`~MetricsRegistry.merge`, which is how worker-process metrics
   ride the runner's ``TaskResult`` channel back to the parent.
+* **Safe under concurrent writers.**  The serving front-end multiplexes
+  requests across a thread pool, so every mutation — counter adds,
+  gauge sets, histogram observes, span enter/exit — takes the
+  instrument's lock (bare ``+=`` on a Python float is load/add/store
+  and loses updates under preemption).  Span *nesting* is tracked with
+  a per-thread stack over the shared tree, so concurrent ``serve``
+  spans nest under their own thread's context instead of corrupting a
+  global stack.  The :class:`NullRegistry` path stays allocation-free:
+  disabled operations never touch a lock.
 * **Deterministic identity.**  Everything a seeded run records — except
   wall-clock — is reproducible, so a snapshot has a timing-independent
   fingerprint (see :mod:`repro.obs.export`) exactly like the run
@@ -24,6 +33,7 @@ those), and :func:`labelled` for the ``name{key="value"}`` label form.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -53,16 +63,18 @@ def labelled(name: str, **labels: Any) -> str:
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count (thread-safe)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
@@ -75,7 +87,7 @@ class Gauge:
     keeps deterministic by merging in task-index order.
     """
 
-    __slots__ = ("name", "last", "min", "max", "total", "count")
+    __slots__ = ("name", "last", "min", "max", "total", "count", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -84,20 +96,22 @@ class Gauge:
         self.max = 0.0
         self.total = 0.0
         self.count = 0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         value = float(value)
-        if self.count == 0:
-            self.min = value
-            self.max = value
-        else:
-            if value < self.min:
+        with self._lock:
+            if self.count == 0:
                 self.min = value
-            if value > self.max:
                 self.max = value
-        self.last = value
-        self.total += value
-        self.count += 1
+            else:
+                if value < self.min:
+                    self.min = value
+                if value > self.max:
+                    self.max = value
+            self.last = value
+            self.total += value
+            self.count += 1
 
     @property
     def mean(self) -> float:
@@ -111,7 +125,7 @@ class Histogram:
     ``counts[-1]`` (the ``+Inf`` bucket) equals ``count``.
     """
 
-    __slots__ = ("name", "bounds", "counts", "total", "count")
+    __slots__ = ("name", "bounds", "counts", "total", "count", "_lock")
 
     def __init__(
         self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS
@@ -125,15 +139,17 @@ class Histogram:
         self.counts = [0] * (len(self.bounds) + 1)
         self.total = 0.0
         self.count = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.total += value
-        self.count += 1
-        for i, bound in enumerate(self.bounds):
-            if value <= bound:
-                self.counts[i] += 1
-        self.counts[-1] += 1
+        with self._lock:
+            self.total += value
+            self.count += 1
+            for i, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self.counts[i] += 1
+            self.counts[-1] += 1
 
 
 class SpanNode:
@@ -178,12 +194,15 @@ class _Span:
         self._start = 0.0
 
     def __enter__(self) -> "_Span":
-        stack = self._registry._span_stack
+        stack = self._registry._thread_span_stack()
         parent = stack[-1]
         node = parent.children.get(self._name)
         if node is None:
-            node = SpanNode(self._name)
-            parent.children[self._name] = node
+            with self._registry._span_lock:
+                node = parent.children.get(self._name)
+                if node is None:
+                    node = SpanNode(self._name)
+                    parent.children[self._name] = node
         self._node = node
         stack.append(node)
         self._start = time.perf_counter()
@@ -192,9 +211,10 @@ class _Span:
     def __exit__(self, *exc_info) -> bool:
         elapsed = time.perf_counter() - self._start
         node = self._node
-        node.count += 1
-        node.seconds += elapsed
-        self._registry._span_stack.pop()
+        with self._registry._span_lock:
+            node.count += 1
+            node.seconds += elapsed
+        self._registry._thread_span_stack().pop()
         return False
 
 
@@ -211,22 +231,42 @@ class MetricsRegistry:
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
         self._span_root = SpanNode("")
-        self._span_stack: List[SpanNode] = [self._span_root]
+        self._span_lock = threading.Lock()
+        self._span_local = threading.local()
+        # Creation lock for the instrument dicts: the fast path is a
+        # bare dict probe (atomic under the GIL); only a miss pays for
+        # the lock, so two racing first-users cannot each install their
+        # own instrument and split the counts between them.
+        self._create_lock = threading.Lock()
+
+    def _thread_span_stack(self) -> List[SpanNode]:
+        """This thread's span-nesting stack, rooted at the shared tree."""
+        stack = getattr(self._span_local, "stack", None)
+        if stack is None:
+            stack = [self._span_root]
+            self._span_local.stack = stack
+        return stack
 
     # -- instrument lookup (created on first use) ----------------------
 
     def counter(self, name: str) -> Counter:
         instrument = self._counters.get(name)
         if instrument is None:
-            instrument = Counter(name)
-            self._counters[name] = instrument
+            with self._create_lock:
+                instrument = self._counters.get(name)
+                if instrument is None:
+                    instrument = Counter(name)
+                    self._counters[name] = instrument
         return instrument
 
     def gauge(self, name: str) -> Gauge:
         instrument = self._gauges.get(name)
         if instrument is None:
-            instrument = Gauge(name)
-            self._gauges[name] = instrument
+            with self._create_lock:
+                instrument = self._gauges.get(name)
+                if instrument is None:
+                    instrument = Gauge(name)
+                    self._gauges[name] = instrument
         return instrument
 
     def histogram(
@@ -234,8 +274,11 @@ class MetricsRegistry:
     ) -> Histogram:
         instrument = self._histograms.get(name)
         if instrument is None:
-            instrument = Histogram(name, bounds)
-            self._histograms[name] = instrument
+            with self._create_lock:
+                instrument = self._histograms.get(name)
+                if instrument is None:
+                    instrument = Histogram(name, bounds)
+                    self._histograms[name] = instrument
         return instrument
 
     # -- hot-loop conveniences -----------------------------------------
@@ -264,22 +307,11 @@ class MetricsRegistry:
                 for name, c in sorted(self._counters.items())
             },
             "gauges": {
-                name: {
-                    "last": g.last,
-                    "min": g.min,
-                    "max": g.max,
-                    "total": g.total,
-                    "count": g.count,
-                }
+                name: self._gauge_payload(g)
                 for name, g in sorted(self._gauges.items())
             },
             "histograms": {
-                name: {
-                    "bounds": list(h.bounds),
-                    "counts": list(h.counts),
-                    "total": h.total,
-                    "count": h.count,
-                }
+                name: self._histogram_payload(h)
                 for name, h in sorted(self._histograms.items())
             },
             "spans": {
@@ -287,6 +319,27 @@ class MetricsRegistry:
                 for name, child in sorted(self._span_root.children.items())
             },
         }
+
+    @staticmethod
+    def _gauge_payload(gauge: Gauge) -> Dict[str, Any]:
+        with gauge._lock:
+            return {
+                "last": gauge.last,
+                "min": gauge.min,
+                "max": gauge.max,
+                "total": gauge.total,
+                "count": gauge.count,
+            }
+
+    @staticmethod
+    def _histogram_payload(hist: Histogram) -> Dict[str, Any]:
+        with hist._lock:
+            return {
+                "bounds": list(hist.bounds),
+                "counts": list(hist.counts),
+                "total": hist.total,
+                "count": hist.count,
+            }
 
     def merge(self, snapshot: Dict[str, Any]) -> None:
         """Fold a :meth:`snapshot` (e.g. from a worker process) in.
@@ -305,15 +358,16 @@ class MetricsRegistry:
             count = int(payload.get("count", 0))
             if count <= 0:
                 continue
-            if gauge.count == 0:
-                gauge.min = float(payload["min"])
-                gauge.max = float(payload["max"])
-            else:
-                gauge.min = min(gauge.min, float(payload["min"]))
-                gauge.max = max(gauge.max, float(payload["max"]))
-            gauge.last = float(payload["last"])
-            gauge.total += float(payload["total"])
-            gauge.count += count
+            with gauge._lock:
+                if gauge.count == 0:
+                    gauge.min = float(payload["min"])
+                    gauge.max = float(payload["max"])
+                else:
+                    gauge.min = min(gauge.min, float(payload["min"]))
+                    gauge.max = max(gauge.max, float(payload["max"]))
+                gauge.last = float(payload["last"])
+                gauge.total += float(payload["total"])
+                gauge.count += count
         for name, payload in snapshot.get("histograms", {}).items():
             hist = self.histogram(name, payload["bounds"])
             if list(hist.bounds) != [float(b) for b in payload["bounds"]]:
@@ -321,11 +375,13 @@ class MetricsRegistry:
                     f"histogram {name!r} bucket bounds differ between "
                     f"registries: {hist.bounds} vs {payload['bounds']}"
                 )
-            for i, count in enumerate(payload["counts"]):
-                hist.counts[i] += count
-            hist.total += float(payload["total"])
-            hist.count += int(payload["count"])
-        _merge_span_tree(self._span_root, snapshot.get("spans", {}))
+            with hist._lock:
+                for i, count in enumerate(payload["counts"]):
+                    hist.counts[i] += count
+                hist.total += float(payload["total"])
+                hist.count += int(payload["count"])
+        with self._span_lock:
+            _merge_span_tree(self._span_root, snapshot.get("spans", {}))
 
 
 def _merge_span_tree(node: SpanNode, children: Dict[str, Any]) -> None:

@@ -37,6 +37,14 @@ from .facade import (
     ServeRequest,
     ServeResult,
 )
+from .loadgen import closed_loop, open_loop, sweep_closed_loop
+from .server import (
+    OUTCOME_SHED,
+    PlanningServer,
+    ServerClosed,
+    request_from_payload,
+    result_to_payload,
+)
 from .fingerprint import (
     catalog_fingerprint,
     config_fingerprint,
@@ -63,6 +71,8 @@ __all__ = [
     "CircuitBreaker",
     "Deadline",
     "INFEASIBILITY_CODES",
+    "OUTCOME_SHED",
+    "PlanningServer",
     "PlanningService",
     "PolicyRegistry",
     "RUNG_EDA",
@@ -79,12 +89,18 @@ __all__ = [
     "STATE_OPEN",
     "ServeRequest",
     "ServeResult",
+    "ServerClosed",
     "audit_catalog",
     "audit_items",
     "catalog_fingerprint",
+    "closed_loop",
     "config_fingerprint",
     "constraint_fingerprint",
+    "open_loop",
     "policy_key",
+    "request_from_payload",
+    "result_to_payload",
     "screen_request",
     "short_key",
+    "sweep_closed_loop",
 ]

@@ -7,9 +7,17 @@ Classic three-state breaker (closed → open → half-open):
 * **open** — the rung is skipped outright for ``cooldown_s`` (monotonic)
   seconds, so a persistently broken policy artifact or a pathological
   catalog stops burning every request's deadline on a doomed rung.
-* **half-open** — after the cool-down one trial request is let through;
-  success closes the breaker (and resets the failure count), failure
-  re-opens it for another cool-down.
+* **half-open** — after the cool-down exactly one trial request is let
+  through (``allows`` hands out a single-trial token under the lock;
+  concurrent callers are refused until the trial resolves); success
+  closes the breaker (and resets the failure count), failure re-opens
+  it for another cool-down.
+
+All state transitions and the failure counter are guarded by a lock:
+the serving front-end calls ``allows``/``record_*`` from many worker
+threads at once, and an unsynchronized ``_failures += 1`` loses counts
+while an unsynchronized half-open would admit a thundering herd of
+"trial" requests at a rung that just proved itself broken.
 
 The clock is injectable so chaos tests drive recovery deterministically
 instead of sleeping.
@@ -17,6 +25,7 @@ instead of sleeping.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Callable
 
@@ -57,38 +66,59 @@ class CircuitBreaker:
         self.failure_threshold = failure_threshold
         self.cooldown_s = cooldown_s
         self._clock = clock
+        self._lock = threading.RLock()
         self._state = STATE_CLOSED
         self._failures = 0
         self._opened_at = 0.0
+        self._trial_in_flight = False
 
-    @property
-    def state(self) -> str:
-        """Current state, accounting for an elapsed cool-down."""
+    def _refresh_locked(self) -> None:
+        """Open → half-open once the cool-down has elapsed (lock held)."""
         if (
             self._state == STATE_OPEN
             and self._clock() - self._opened_at >= self.cooldown_s
         ):
             self._transition(STATE_HALF_OPEN)
-        return self._state
+            self._trial_in_flight = False
+
+    @property
+    def state(self) -> str:
+        """Current state, accounting for an elapsed cool-down."""
+        with self._lock:
+            self._refresh_locked()
+            return self._state
 
     @property
     def consecutive_failures(self) -> int:
         """Failures since the last success."""
-        return self._failures
+        with self._lock:
+            return self._failures
 
     def allows(self) -> bool:
         """Whether a request may use the guarded rung right now.
 
-        Open blocks; half-open admits the trial request (a failure will
-        re-open, a success will close).
+        Open blocks.  Half-open admits exactly one trial request: the
+        first caller takes the single-trial token and probes the rung (a
+        failure will re-open, a success will close); every concurrent
+        caller is refused until the trial resolves.
         """
-        return self.state != STATE_OPEN
+        with self._lock:
+            self._refresh_locked()
+            if self._state == STATE_OPEN:
+                return False
+            if self._state == STATE_HALF_OPEN:
+                if self._trial_in_flight:
+                    return False
+                self._trial_in_flight = True
+            return True
 
     def record_success(self) -> None:
         """The rung produced a usable result: close and reset."""
-        self._failures = 0
-        if self._state != STATE_CLOSED:
-            self._transition(STATE_CLOSED)
+        with self._lock:
+            self._failures = 0
+            self._trial_in_flight = False
+            if self._state != STATE_CLOSED:
+                self._transition(STATE_CLOSED)
 
     def record_failure(self) -> None:
         """The rung raised or timed out: count, and trip at threshold.
@@ -96,14 +126,16 @@ class CircuitBreaker:
         A half-open trial failure re-opens immediately regardless of the
         threshold — the trial existed precisely to test recovery.
         """
-        self._failures += 1
-        if (
-            self._state == STATE_HALF_OPEN
-            or self._failures >= self.failure_threshold
-        ):
-            self._opened_at = self._clock()
-            if self._state != STATE_OPEN:
-                self._transition(STATE_OPEN)
+        with self._lock:
+            self._failures += 1
+            self._trial_in_flight = False
+            if (
+                self._state == STATE_HALF_OPEN
+                or self._failures >= self.failure_threshold
+            ):
+                self._opened_at = self._clock()
+                if self._state != STATE_OPEN:
+                    self._transition(STATE_OPEN)
 
     def _transition(self, state: str) -> None:
         self._state = state

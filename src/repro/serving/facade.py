@@ -29,6 +29,7 @@ service did on its behalf.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
@@ -67,6 +68,20 @@ OUTCOME_OK = "ok"
 OUTCOME_DEGRADED = "degraded"
 OUTCOME_REJECTED = "rejected"
 OUTCOME_FAILED = "failed"
+
+
+@dataclass
+class _ServeContext:
+    """Per-request mutable scratch, threaded through one ``serve`` call.
+
+    Provenance that earlier versions parked on ``self`` (and that two
+    concurrent requests would therefore cross-contaminate) lives here:
+    each request owns its context for the duration of ``_serve_inner``
+    and the envelope reads it back at the end.
+    """
+
+    policy: Optional[str] = None
+    plan_cache_hit: bool = False
 
 
 @dataclass(frozen=True)
@@ -237,13 +252,12 @@ class PlanningService:
         else:
             self.planner = RLPlanner(catalog, task, config, mode=mode)
         self.config = self.planner.config
-        self.eda = EDAPlanner(
-            catalog, task, config=self.config, mode=mode,
-            seed=self.config.seed,
-        )
-        self.repair = RepairPlanner(
-            catalog, task, mode=mode, max_expansions=repair_max_expansions
-        )
+        # The fallback rungs keep per-search mutable state (EDA's
+        # tie-break RNG, repair's expansion counter / stop callback), so
+        # each worker thread gets its own instances; everything they
+        # read (catalog, task, config) is immutable after construction.
+        self._repair_max_expansions = repair_max_expansions
+        self._rung_local = threading.local()
         self.breakers: Dict[str, CircuitBreaker] = {
             rung: CircuitBreaker(
                 rung,
@@ -254,16 +268,15 @@ class PlanningService:
             for rung in RUNGS
         }
         # Registry wiring (attach_registry); None keeps the classic
-        # fit-and-serve behaviour untouched.
+        # fit-and-serve behaviour untouched.  _adopt_lock serializes the
+        # adopt-on-version-change step so concurrent requests cannot
+        # interleave the (adopt table, remember entry) pair.
         self.policy_registry: Optional[PolicyRegistry] = None
         self._policy_key: Optional[str] = None
         self._registry_episodes: Optional[int] = None
         self._registry_label: str = ""
         self._cache_entry: Optional[CacheEntry] = None
-        # Per-request provenance scratch (the facade serves one request
-        # at a time; see serve()).
-        self._last_policy: Optional[str] = None
-        self._last_plan_cache_hit: bool = False
+        self._adopt_lock = threading.Lock()
 
     @classmethod
     def from_dataset(cls, dataset, **kwargs) -> "PlanningService":
@@ -309,6 +322,30 @@ class PlanningService:
         self._cache_entry = None
 
     @property
+    def eda(self) -> EDAPlanner:
+        """This thread's EDA rung (lazily built; see ``_rung_local``)."""
+        eda = getattr(self._rung_local, "eda", None)
+        if eda is None:
+            eda = EDAPlanner(
+                self.catalog, self.task, config=self.config,
+                mode=self.mode, seed=self.config.seed,
+            )
+            self._rung_local.eda = eda
+        return eda
+
+    @property
+    def repair(self) -> RepairPlanner:
+        """This thread's repair rung (lazily built; see ``_rung_local``)."""
+        repair = getattr(self._rung_local, "repair", None)
+        if repair is None:
+            repair = RepairPlanner(
+                self.catalog, self.task, mode=self.mode,
+                max_expansions=self._repair_max_expansions,
+            )
+            self._rung_local.repair = repair
+        return repair
+
+    @property
     def default_start(self) -> str:
         """The opener used when a request does not pin one."""
         for item in self.catalog.primaries():
@@ -327,9 +364,14 @@ class PlanningService:
         start_item_id: Optional[str] = None,
         deadline_s: Optional[float] = None,
         horizon: Optional[int] = None,
+        deadline: Optional[Deadline] = None,
     ) -> ServeResult:
         """Serve one request through the ladder; never raises for
         request-level problems — the envelope carries the outcome.
+
+        ``deadline`` lets a front-end pass a budget that started ticking
+        at *arrival* (so queueing time counts against it) instead of a
+        fresh one starting now.
 
         (Programming errors and ``KeyboardInterrupt``/``SystemExit``
         still propagate.)
@@ -341,7 +383,8 @@ class PlanningService:
                 horizon=horizon,
             )
         obs = get_registry()
-        deadline = Deadline(request.deadline_s, clock=self.clock)
+        if deadline is None:
+            deadline = Deadline(request.deadline_s, clock=self.clock)
         with obs.span("serve"):
             result = self._serve_inner(request, deadline)
         obs.inc(
@@ -360,8 +403,7 @@ class PlanningService:
         self, request: ServeRequest, deadline: Deadline
     ) -> ServeResult:
         obs = get_registry()
-        self._last_policy = None
-        self._last_plan_cache_hit = False
+        ctx = _ServeContext()
         with obs.span("serve.admission"):
             screen = screen_request(
                 self.catalog, self.task, self.mode, request.start_item_id
@@ -393,7 +435,9 @@ class PlanningService:
                 with obs.span(f"serve.rung.{rung}"):
                     if self.fault_injector is not None:
                         self.fault_injector.perturb(index)
-                    plan, score = self._run_rung(rung, request, deadline)
+                    plan, score = self._run_rung(
+                        rung, request, deadline, ctx
+                    )
             except NonRetriableError as exc:
                 # The request itself is broken (e.g. unsatisfiable
                 # task surfaced mid-search): no lower rung can help.
@@ -406,7 +450,7 @@ class PlanningService:
                 breaker.record_failure()
                 return self._envelope(
                     OUTCOME_REJECTED, None, request, deadline, screen,
-                    attempts,
+                    attempts, ctx,
                 )
             except Exception as exc:  # noqa: BLE001 - rung isolation:
                 # any rung failure (injected fault, missing policy,
@@ -448,10 +492,11 @@ class PlanningService:
                 best = (plan, score, rung)
         if best is None:
             return self._envelope(
-                OUTCOME_FAILED, None, request, deadline, screen, attempts
+                OUTCOME_FAILED, None, request, deadline, screen, attempts,
+                ctx,
             )
         return self._envelope(
-            None, best, request, deadline, screen, attempts
+            None, best, request, deadline, screen, attempts, ctx
         )
 
     def _envelope(
@@ -462,6 +507,7 @@ class PlanningService:
         deadline: Deadline,
         screen: AdmissionReport,
         attempts: List[RungAttempt],
+        ctx: _ServeContext,
     ) -> ServeResult:
         plan = score = rung = None
         if best is not None:
@@ -487,9 +533,9 @@ class PlanningService:
             deadline_exceeded=exceeded,
             admission=screen,
             attempts=tuple(attempts),
-            policy=self._last_policy if rung == RUNG_SARSA else None,
+            policy=ctx.policy if rung == RUNG_SARSA else None,
             plan_cache_hit=(
-                self._last_plan_cache_hit if rung == RUNG_SARSA else False
+                ctx.plan_cache_hit if rung == RUNG_SARSA else False
             ),
         )
 
@@ -498,16 +544,23 @@ class PlanningService:
     # ------------------------------------------------------------------
 
     def _run_rung(
-        self, rung: str, request: ServeRequest, deadline: Deadline
+        self,
+        rung: str,
+        request: ServeRequest,
+        deadline: Deadline,
+        ctx: _ServeContext,
     ) -> Tuple[Optional[Plan], Optional[PlanScore]]:
         if rung == RUNG_SARSA:
-            return self._run_sarsa(request, deadline)
+            return self._run_sarsa(request, deadline, ctx)
         if rung == RUNG_EDA:
             return self._run_eda(request, deadline)
         return self._run_repair(request)
 
     def _run_sarsa(
-        self, request: ServeRequest, deadline: Deadline
+        self,
+        request: ServeRequest,
+        deadline: Deadline,
+        ctx: _ServeContext,
     ) -> Tuple[Optional[Plan], Optional[PlanScore]]:
         """Anytime policy rung: best valid snapshot under the deadline.
 
@@ -519,12 +572,12 @@ class PlanningService:
         happy path adds only the envelope); otherwise the natural
         openers are swept best-first until the deadline fires.
         """
-        entry = self._resolve_policy()
+        entry = self._resolve_policy(ctx)
         if entry is not None:
             hit = entry.cached_plan(request.start_item_id, request.horizon)
             if hit is not None:
                 get_registry().inc("serve_plan_memo_hits_total")
-                self._last_plan_cache_hit = True
+                ctx.plan_cache_hit = True
                 return hit
         elif not self.planner.is_fitted or (
             self.planner.qtable.update_count == 0
@@ -564,13 +617,15 @@ class PlanningService:
             )
         return plan, score
 
-    def _resolve_policy(self) -> Optional[CacheEntry]:
+    def _resolve_policy(self, ctx: _ServeContext) -> Optional[CacheEntry]:
         """Resolve the policy rung's table through the registry.
 
         Returns ``None`` when no registry is attached (classic path).
         Otherwise: acquire through cache → disk → train, adopt the
-        table into the planner only when the version actually changed,
-        and stamp the request's policy provenance.
+        table into the planner only when the version actually changed
+        (under ``_adopt_lock`` — two concurrent requests racing a
+        version swap must not interleave the adopt/remember pair), and
+        stamp the request's policy provenance on its context.
         """
         if self.policy_registry is None:
             return None
@@ -584,9 +639,11 @@ class PlanningService:
             key=self._policy_key,
         )
         if entry is not self._cache_entry:
-            self.planner.adopt_policy(entry.qtable)
-            self._cache_entry = entry
-        self._last_policy = (
+            with self._adopt_lock:
+                if entry is not self._cache_entry:
+                    self.planner.adopt_policy(entry.qtable)
+                    self._cache_entry = entry
+        ctx.policy = (
             f"{short_key(entry.meta.key)}@v{entry.meta.version}"
         )
         return entry

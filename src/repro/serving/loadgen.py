@@ -1,0 +1,384 @@
+"""Closed-loop and open-loop load generation for the planning server.
+
+Two canonical load models, matching how serving papers report latency:
+
+* **Closed loop** (:func:`closed_loop`) — ``concurrency`` synchronous
+  clients, each issuing its next request the moment the previous one
+  returns.  Offered load adapts to service capacity, so this measures
+  *latency under a fixed multiprogramming level* — the 1/4/16-worker
+  sweep in BENCH_serving.json.
+* **Open loop** (:func:`open_loop`) — requests arrive on a seeded
+  Poisson process at ``rate`` req/s regardless of how the server is
+  doing, optionally with burst windows that multiply the rate.  Offered
+  load does *not* back off, which is what actually exercises the
+  bounded admission queue and the shedding path: a closed loop can
+  never overload a server that sheds.
+
+Both return one report dict (p50/p95/p99 latency over admitted
+requests, throughput, outcome/rung/shed tallies, SLO attainment) ready
+to be written into ``BENCH_serving.json`` or printed by the
+``loadtest`` CLI.
+
+Fault injection mid-load: pass ``fault_spec`` (the
+:mod:`repro.runner.faults` grammar; rung indices are task indices —
+``error@0:times=10`` breaks ten policy-rung calls) and ``fault_at``
+(fraction of the run after which the injector is armed on the service).
+The report records when it armed and what fired, so a chaos sweep can
+assert "the ladder degraded and the run still completed".
+
+The generator deliberately lives *behind* the server's public
+``submit``/``handle`` surface — it measures what a remote client would
+see (queueing included), not internal service time.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..runner.faults import FaultInjector
+from .facade import OUTCOME_REJECTED, ServeRequest
+from .server import OUTCOME_SHED, PlanningServer
+
+#: Outcomes that never reached a worker — excluded from latency
+#: percentiles (their "latency" is the shed decision, microseconds).
+NON_SERVICE_OUTCOMES = (OUTCOME_SHED, OUTCOME_REJECTED)
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of an ascending sequence."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = (len(sorted_values) - 1) * q
+    low = int(rank)
+    high = min(low + 1, len(sorted_values) - 1)
+    frac = rank - low
+    return sorted_values[low] * (1.0 - frac) + sorted_values[high] * frac
+
+
+class _Recorder:
+    """Thread-safe sample sink shared by all client/callback threads."""
+
+    def __init__(self, slo_s: Optional[float]) -> None:
+        self.slo_s = slo_s
+        self._lock = threading.Lock()
+        self.latencies_s: List[float] = []
+        self.outcomes: Dict[str, int] = {}
+        self.rungs: Dict[str, int] = {}
+        self.slo_attained = 0
+        self.errors = 0
+
+    def record(self, outcome: str, rung: Optional[str],
+               valid: bool, latency_s: float) -> None:
+        with self._lock:
+            self.outcomes[outcome] = self.outcomes.get(outcome, 0) + 1
+            if rung is not None:
+                self.rungs[rung] = self.rungs.get(rung, 0) + 1
+            if outcome not in NON_SERVICE_OUTCOMES:
+                self.latencies_s.append(latency_s)
+                if valid and (
+                    self.slo_s is None or latency_s <= self.slo_s
+                ):
+                    self.slo_attained += 1
+
+    def record_error(self) -> None:
+        with self._lock:
+            self.errors += 1
+
+    def report(self, mode: str, wall_s: float,
+               issued: int) -> Dict[str, Any]:
+        with self._lock:
+            latencies = sorted(self.latencies_s)
+            outcomes = dict(self.outcomes)
+            rungs = dict(self.rungs)
+            attained = self.slo_attained
+            errors = self.errors
+        completed = sum(outcomes.values())
+        admitted = len(latencies)
+        shed = outcomes.get(OUTCOME_SHED, 0)
+        return {
+            "mode": mode,
+            "requests_issued": issued,
+            "requests_completed": completed,
+            "errors": errors,
+            "wall_s": round(wall_s, 4),
+            "throughput_rps": (
+                round(completed / wall_s, 2) if wall_s > 0 else 0.0
+            ),
+            "outcomes": outcomes,
+            "rungs": rungs,
+            "shed_rate": round(shed / completed, 4) if completed else 0.0,
+            "latency_ms": {
+                "count": admitted,
+                "p50": round(1e3 * percentile(latencies, 0.50), 3),
+                "p95": round(1e3 * percentile(latencies, 0.95), 3),
+                "p99": round(1e3 * percentile(latencies, 0.99), 3),
+                "mean": (
+                    round(1e3 * sum(latencies) / admitted, 3)
+                    if admitted else 0.0
+                ),
+                "max": (
+                    round(1e3 * latencies[-1], 3) if latencies else 0.0
+                ),
+            },
+            "slo": {
+                "slo_s": self.slo_s,
+                "attained": attained,
+                "attainment": (
+                    round(attained / completed, 4) if completed else 0.0
+                ),
+            },
+        }
+
+
+class _FaultArmer:
+    """Arms a fault injector on the service once, at a run fraction."""
+
+    def __init__(
+        self,
+        server: PlanningServer,
+        spec: Optional[str],
+        at_fraction: float,
+    ) -> None:
+        self.server = server
+        self.spec = spec
+        self.at_fraction = max(0.0, min(1.0, at_fraction))
+        self.armed_at: Optional[int] = None
+        self.injector: Optional[FaultInjector] = None
+        self._lock = threading.Lock()
+
+    def maybe_arm(self, progress: float, position: int) -> None:
+        if self.spec is None or self.armed_at is not None:
+            return
+        with self._lock:
+            if self.armed_at is not None or progress < self.at_fraction:
+                return
+            self.injector = FaultInjector.from_spec(self.spec)
+            # The facade reads fault_injector per rung attempt, so a
+            # plain attribute swap takes effect on in-flight traffic.
+            self.server.service.fault_injector = self.injector
+            self.armed_at = position
+
+    def summary(self) -> Optional[Dict[str, Any]]:
+        if self.spec is None:
+            return None
+        return {
+            "spec": self.spec,
+            "armed_at_request": self.armed_at,
+            "fired": (
+                self.injector.fired_counts() if self.injector else {}
+            ),
+        }
+
+
+def _default_request_factory(
+    deadline_s: Optional[float],
+) -> Callable[[int], ServeRequest]:
+    def factory(index: int) -> ServeRequest:
+        return ServeRequest(deadline_s=deadline_s)
+
+    return factory
+
+
+def closed_loop(
+    server: PlanningServer,
+    concurrency: int,
+    requests: int,
+    deadline_s: Optional[float] = None,
+    slo_s: Optional[float] = None,
+    request_factory: Optional[Callable[[int], ServeRequest]] = None,
+    fault_spec: Optional[str] = None,
+    fault_at: float = 0.5,
+) -> Dict[str, Any]:
+    """Closed-loop run: ``concurrency`` clients, ``requests`` total.
+
+    Each client thread blocks in :meth:`PlanningServer.handle` and
+    immediately issues the next request; a shared counter hands out
+    request indices so the total is exact regardless of per-client
+    speed.  ``request_factory(index)`` customizes the traffic mix.
+    """
+    if concurrency < 1:
+        raise ValueError("concurrency must be >= 1")
+    if requests < 1:
+        raise ValueError("requests must be >= 1")
+    factory = request_factory or _default_request_factory(deadline_s)
+    recorder = _Recorder(slo_s)
+    armer = _FaultArmer(server, fault_spec, fault_at)
+    counter_lock = threading.Lock()
+    issued = 0
+
+    def next_index() -> Optional[int]:
+        nonlocal issued
+        with counter_lock:
+            if issued >= requests:
+                return None
+            index = issued
+            issued += 1
+            return index
+
+    def client() -> None:
+        while True:
+            index = next_index()
+            if index is None:
+                return
+            armer.maybe_arm(index / requests, index)
+            request = factory(index)
+            t0 = time.monotonic()
+            try:
+                result = server.handle(request)
+            except Exception:  # noqa: BLE001 - keep other clients going
+                recorder.record_error()
+                continue
+            recorder.record(
+                result.outcome,
+                result.rung,
+                result.ok,
+                time.monotonic() - t0,
+            )
+
+    threads = [
+        threading.Thread(target=client, name=f"loadgen-{i}")
+        for i in range(concurrency)
+    ]
+    t_start = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report = recorder.report(
+        "closed", time.monotonic() - t_start, issued
+    )
+    report["concurrency"] = concurrency
+    report["faults"] = armer.summary()
+    return report
+
+
+def open_loop(
+    server: PlanningServer,
+    rate: float,
+    duration_s: float,
+    deadline_s: Optional[float] = None,
+    slo_s: Optional[float] = None,
+    seed: int = 0,
+    burst_every_s: Optional[float] = None,
+    burst_len_s: float = 0.5,
+    burst_factor: float = 4.0,
+    request_factory: Optional[Callable[[int], ServeRequest]] = None,
+    fault_spec: Optional[str] = None,
+    fault_at: float = 0.5,
+) -> Dict[str, Any]:
+    """Open-loop run: Poisson arrivals at ``rate`` req/s for
+    ``duration_s`` seconds, never waiting for responses.
+
+    Inter-arrival gaps are ``random.Random(seed).expovariate`` draws,
+    so the arrival sequence is reproducible.  While inside a burst
+    window (every ``burst_every_s`` seconds, for ``burst_len_s``) the
+    instantaneous rate is multiplied by ``burst_factor`` — the square
+    wave that knocks a queue sized for the average over its bound.
+
+    Requests are fired through :meth:`PlanningServer.submit` with a
+    completion callback, so arrival timing is independent of service
+    latency (the defining property of the open loop).
+    """
+    if rate <= 0:
+        raise ValueError("rate must be > 0")
+    if duration_s <= 0:
+        raise ValueError("duration_s must be > 0")
+    if burst_factor < 1.0:
+        raise ValueError("burst_factor must be >= 1.0")
+    factory = request_factory or _default_request_factory(deadline_s)
+    recorder = _Recorder(slo_s)
+    armer = _FaultArmer(server, fault_spec, fault_at)
+    rng = random.Random(seed)
+    pending: List[threading.Event] = []
+    issued = 0
+
+    def in_burst(elapsed: float) -> bool:
+        if burst_every_s is None or burst_every_s <= 0:
+            return False
+        return (elapsed % burst_every_s) < burst_len_s
+
+    t_start = time.monotonic()
+    while True:
+        elapsed = time.monotonic() - t_start
+        if elapsed >= duration_s:
+            break
+        armer.maybe_arm(elapsed / duration_s, issued)
+        current_rate = rate * (
+            burst_factor if in_burst(elapsed) else 1.0
+        )
+        gap = rng.expovariate(current_rate)
+        if elapsed + gap >= duration_s:
+            break
+        time.sleep(gap)
+        index = issued
+        issued += 1
+        request = factory(index)
+        t0 = time.monotonic()
+        done = threading.Event()
+        pending.append(done)
+
+        def on_done(future, _t0=t0, _done=done) -> None:
+            try:
+                result = future.result()
+            except Exception:  # noqa: BLE001 - count, keep loading
+                recorder.record_error()
+            else:
+                recorder.record(
+                    result.outcome,
+                    result.rung,
+                    result.ok,
+                    time.monotonic() - _t0,
+                )
+            _done.set()
+
+        try:
+            server.submit(request).add_done_callback(on_done)
+        except Exception:  # noqa: BLE001 - e.g. ServerClosed mid-run
+            recorder.record_error()
+            done.set()
+    for done in pending:
+        done.wait(timeout=60.0)
+    report = recorder.report(
+        "open", time.monotonic() - t_start, issued
+    )
+    report["rate_rps"] = rate
+    report["burst"] = (
+        None
+        if burst_every_s is None
+        else {
+            "every_s": burst_every_s,
+            "len_s": burst_len_s,
+            "factor": burst_factor,
+        }
+    )
+    report["faults"] = armer.summary()
+    return report
+
+
+def sweep_closed_loop(
+    server_factory: Callable[[], PlanningServer],
+    levels: Sequence[int],
+    requests: int,
+    **kwargs: Any,
+) -> Dict[str, Any]:
+    """Run :func:`closed_loop` at each concurrency level.
+
+    ``server_factory`` builds (and the sweep closes) a fresh server per
+    level so EWMA state and queue depth never leak across levels.
+    Returns ``{"levels": {str(level): report, ...}}``.
+    """
+    reports: Dict[str, Any] = {}
+    for level in levels:
+        server = server_factory()
+        try:
+            reports[str(level)] = closed_loop(
+                server, concurrency=level, requests=requests, **kwargs
+            )
+        finally:
+            server.close()
+    return {"levels": reports}

@@ -150,10 +150,13 @@ class CacheEntry:
     horizon, seed), so identical warm requests can skip the traversal
     entirely.  The memo dies with the entry — an eviction or a refit
     swap starts a fresh one, which is exactly the invalidation the
-    plan cache needs.
+    plan cache needs.  Lookups and stores take the entry's lock: the
+    serving front-end probes one entry from many worker threads, and
+    an unguarded ``move_to_end``/``popitem`` pair corrupts the
+    ``OrderedDict`` (or raises ``KeyError``) under that interleaving.
     """
 
-    __slots__ = ("qtable", "meta", "plans", "plan_cache_size")
+    __slots__ = ("qtable", "meta", "plans", "plan_cache_size", "_lock")
 
     def __init__(
         self,
@@ -167,14 +170,16 @@ class CacheEntry:
             OrderedDict()
         )
         self.plan_cache_size = plan_cache_size
+        self._lock = threading.Lock()
 
     def cached_plan(
         self, start: Optional[str], horizon: Optional[int]
     ) -> Optional[Tuple[Plan, PlanScore]]:
-        hit = self.plans.get((start, horizon))
-        if hit is not None:
-            self.plans.move_to_end((start, horizon))
-        return hit
+        with self._lock:
+            hit = self.plans.get((start, horizon))
+            if hit is not None:
+                self.plans.move_to_end((start, horizon))
+            return hit
 
     def store_plan(
         self,
@@ -183,10 +188,11 @@ class CacheEntry:
         plan: Plan,
         score: PlanScore,
     ) -> None:
-        self.plans[(start, horizon)] = (plan, score)
-        self.plans.move_to_end((start, horizon))
-        while len(self.plans) > self.plan_cache_size:
-            self.plans.popitem(last=False)
+        with self._lock:
+            self.plans[(start, horizon)] = (plan, score)
+            self.plans.move_to_end((start, horizon))
+            while len(self.plans) > self.plan_cache_size:
+                self.plans.popitem(last=False)
 
 
 class PolicyRegistry:

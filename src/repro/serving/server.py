@@ -1,0 +1,478 @@
+"""Concurrent service front-end: a threaded traffic path for serving.
+
+:class:`PlanningServer` multiplexes concurrent requests onto one
+:class:`~repro.serving.facade.PlanningService` through a stdlib
+``ThreadPoolExecutor``, adding the four things a single-threaded facade
+cannot provide:
+
+1. **Bounded admission queue + shedding.**  The executor's internal
+   queue is unbounded, so the server tracks queued/in-flight counts
+   itself and *sheds* (typed ``shed`` envelope, never an exception)
+   when the backlog reaches ``max_queue``, when the estimated queue
+   wait already exceeds the request's deadline (an EWMA of recent
+   service times prices the wait), or when the server is draining.
+   Provably-doomed requests are rejected on the caller's thread by the
+   existing :func:`~repro.serving.admission.screen_request` fast
+   screens before they ever occupy a queue slot.
+2. **Arrival-anchored deadlines.**  The request's
+   :class:`~repro.serving.deadline.Deadline` starts ticking at
+   *admission*, so time spent queued counts against the budget; a
+   request whose budget died in the queue is shed at dequeue instead of
+   burning a worker on an already-lost cause.
+3. **Graceful drain.**  :meth:`drain` stops admitting (new submits get
+   ``shed``/``draining`` envelopes), lets every admitted request
+   finish, and joins the pool — the shutdown path load tests exercise
+   mid-flight.
+4. **A wire protocol.**  :meth:`listen` exposes the same ``submit``
+   path over a JSON-lines TCP socket (one request object per line, one
+   envelope per line back), the minimal front-end a load balancer or
+   the load generator can talk to across processes.
+
+Everything beneath ``submit`` is the ordinary facade ladder — breakers,
+degradation, registry — which is exactly the point: this is the layer
+that puts real contention on the resilience machinery.
+
+Thread-safety contract (see DESIGN.md §10): the server shares one
+``PlanningService`` across workers; the facade keeps per-request state
+on a per-request context and per-thread fallback rungs, the breakers
+and metrics registry take locks, and this module's own counters are
+guarded by ``_lock``.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..obs import get_registry, labelled
+from .admission import screen_request
+from .deadline import Deadline
+from .facade import (
+    OUTCOME_REJECTED,
+    PlanningService,
+    ServeRequest,
+    ServeResult,
+)
+
+#: Envelope outcome for a request the server refused to run at all.
+OUTCOME_SHED = "shed"
+
+#: Shed reasons (the ``reason`` label on ``server_shed_total``).
+SHED_QUEUE_FULL = "queue_full"
+SHED_DEADLINE_UNREACHABLE = "deadline_unreachable"
+SHED_QUEUE_EXPIRED = "queue_expired"
+SHED_DRAINING = "draining"
+
+#: Server latency histogram buckets (seconds): sub-ms to 30 s.
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+    5.0, 10.0, 30.0,
+)
+
+#: EWMA smoothing for the service-time estimate behind deadline sheds.
+EWMA_ALPHA = 0.2
+
+
+class ServerClosed(RuntimeError):
+    """The server was closed (not draining — fully shut down)."""
+
+
+class PlanningServer:
+    """Threaded front-end multiplexing requests onto a PlanningService.
+
+    Parameters
+    ----------
+    service:
+        The (fitted / registry-attached) facade answering requests.
+    workers:
+        Thread-pool size.
+    max_queue:
+        Bound on *queued* (admitted, not yet running) requests; the
+        queue-full shed threshold.
+    default_deadline_s:
+        Budget applied to requests that do not carry their own.
+    clock:
+        Injectable monotonic clock (tests drive shedding without
+        sleeping).
+    """
+
+    def __init__(
+        self,
+        service: PlanningService,
+        workers: int = 4,
+        max_queue: int = 32,
+        default_deadline_s: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        self.service = service
+        self.workers = workers
+        self.max_queue = max_queue
+        self.default_deadline_s = default_deadline_s
+        self.clock = clock
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="plansrv"
+        )
+        self._lock = threading.Lock()
+        self._queued = 0
+        self._inflight = 0
+        self._ewma_service_s: Optional[float] = None
+        self._draining = False
+        self._closed = False
+        self._tcp_server: Optional[_JsonLineTcpServer] = None
+        self._tcp_thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Admission + dispatch
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        request: Optional[ServeRequest] = None,
+        *,
+        start_item_id: Optional[str] = None,
+        deadline_s: Optional[float] = None,
+        horizon: Optional[int] = None,
+    ) -> "Future[ServeResult]":
+        """Admit one request; returns a future resolving to its envelope.
+
+        Sheds (an immediately-completed future carrying a ``shed``
+        envelope) instead of blocking or raising when the queue is
+        full, the deadline is provably unreachable, or the server is
+        draining.  Raises :class:`ServerClosed` only after
+        :meth:`close`.
+        """
+        if request is None:
+            request = ServeRequest(
+                start_item_id=start_item_id,
+                deadline_s=deadline_s,
+                horizon=horizon,
+            )
+        if request.deadline_s is None and self.default_deadline_s is not None:
+            request = ServeRequest(
+                start_item_id=request.start_item_id,
+                deadline_s=self.default_deadline_s,
+                horizon=request.horizon,
+            )
+        obs = get_registry()
+        if self._closed:
+            raise ServerClosed("server is closed")
+
+        # Fast screen on the caller's thread: a provably-doomed request
+        # must not occupy a queue slot or a worker.
+        screen = screen_request(
+            self.service.catalog,
+            self.service.task,
+            self.service.mode,
+            request.start_item_id,
+        )
+        if screen.rejected:
+            for finding in screen.findings:
+                obs.inc(
+                    labelled("admission_rejects_total", code=finding.code)
+                )
+            obs.inc(
+                labelled("server_requests_total", outcome=OUTCOME_REJECTED)
+            )
+            return _completed(
+                ServeResult(
+                    outcome=OUTCOME_REJECTED,
+                    admission=screen,
+                    deadline_s=request.deadline_s,
+                )
+            )
+
+        with self._lock:
+            if self._draining:
+                return self._shed(request, SHED_DRAINING)
+            if self._queued >= self.max_queue:
+                return self._shed(request, SHED_QUEUE_FULL)
+            if request.deadline_s is not None:
+                wait = self._estimated_wait_locked()
+                if wait >= request.deadline_s:
+                    return self._shed(request, SHED_DEADLINE_UNREACHABLE)
+            self._queued += 1
+            obs.set_gauge("server_queue_depth", self._queued)
+        deadline = Deadline(request.deadline_s, clock=self.clock)
+        admitted_at = self.clock()
+        return self._executor.submit(
+            self._work, request, deadline, admitted_at
+        )
+
+    def handle(
+        self,
+        request: Optional[ServeRequest] = None,
+        **kwargs: Any,
+    ) -> ServeResult:
+        """Synchronous :meth:`submit` (closed-loop clients block here)."""
+        return self.submit(request, **kwargs).result()
+
+    def _work(
+        self, request: ServeRequest, deadline: Deadline, admitted_at: float
+    ) -> ServeResult:
+        obs = get_registry()
+        with self._lock:
+            self._queued -= 1
+            self._inflight += 1
+            obs.set_gauge("server_queue_depth", self._queued)
+        try:
+            queue_wait = max(0.0, self.clock() - admitted_at)
+            obs.histogram(
+                "server_queue_wait_seconds", LATENCY_BUCKETS
+            ).observe(queue_wait)
+            if deadline.expired:
+                # The whole budget died in the queue: shed at dequeue
+                # rather than burn a worker on a lost cause.
+                obs.inc(
+                    labelled("server_shed_total", reason=SHED_QUEUE_EXPIRED)
+                )
+                obs.inc(
+                    labelled("server_requests_total", outcome=OUTCOME_SHED)
+                )
+                return ServeResult(
+                    outcome=OUTCOME_SHED,
+                    deadline_s=request.deadline_s,
+                    deadline_spent=deadline.elapsed(),
+                    deadline_exceeded=True,
+                )
+            t0 = self.clock()
+            result = self.service.serve(request, deadline=deadline)
+            service_s = max(0.0, self.clock() - t0)
+            with self._lock:
+                if self._ewma_service_s is None:
+                    self._ewma_service_s = service_s
+                else:
+                    self._ewma_service_s = (
+                        EWMA_ALPHA * service_s
+                        + (1.0 - EWMA_ALPHA) * self._ewma_service_s
+                    )
+            obs.inc(
+                labelled("server_requests_total", outcome=result.outcome)
+            )
+            obs.histogram(
+                "server_latency_seconds", LATENCY_BUCKETS
+            ).observe(queue_wait + service_s)
+            return result
+        finally:
+            with self._lock:
+                self._inflight -= 1
+
+    def _estimated_wait_locked(self) -> float:
+        """Expected seconds before a new arrival reaches a worker."""
+        if self._ewma_service_s is None:
+            return 0.0
+        backlog = self._queued + max(0, self._inflight - self.workers + 1)
+        return self._ewma_service_s * (backlog / self.workers)
+
+    def _shed(
+        self, request: ServeRequest, reason: str
+    ) -> "Future[ServeResult]":
+        obs = get_registry()
+        obs.inc(labelled("server_shed_total", reason=reason))
+        obs.inc(labelled("server_requests_total", outcome=OUTCOME_SHED))
+        return _completed(
+            ServeResult(
+                outcome=OUTCOME_SHED,
+                deadline_s=request.deadline_s,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Point-in-time queue/pool state (for logs and tests)."""
+        with self._lock:
+            return {
+                "queued": self._queued,
+                "inflight": self._inflight,
+                "workers": self.workers,
+                "max_queue": self.max_queue,
+                "draining": self._draining,
+                "ewma_service_ms": (
+                    None
+                    if self._ewma_service_s is None
+                    else 1e3 * self._ewma_service_s
+                ),
+            }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def drain(self) -> None:
+        """Stop admitting, finish every admitted request, join the pool."""
+        with self._lock:
+            self._draining = True
+        if self._tcp_server is not None:
+            self._tcp_server.shutdown()
+        self._executor.shutdown(wait=True)
+
+    def close(self) -> None:
+        """Drain, tear down the socket listener, and reject new submits."""
+        self.drain()
+        if self._tcp_server is not None:
+            self._tcp_server.server_close()
+            self._tcp_server = None
+        if self._tcp_thread is not None:
+            self._tcp_thread.join(timeout=5.0)
+            self._tcp_thread = None
+        self._closed = True
+
+    def __enter__(self) -> "PlanningServer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # JSON-lines socket front-end
+    # ------------------------------------------------------------------
+
+    def listen(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> Tuple[str, int]:
+        """Serve the JSON-lines protocol on a TCP socket.
+
+        Returns the bound ``(host, port)`` (``port=0`` picks a free
+        one).  Each connection may pipeline many newline-delimited
+        request objects; each gets one envelope line back.  The accept
+        loop runs on a daemon thread; :meth:`close` tears it down.
+        """
+        if self._tcp_server is not None:
+            raise RuntimeError("server is already listening")
+        self._tcp_server = _JsonLineTcpServer((host, port), self)
+        self._tcp_thread = threading.Thread(
+            target=self._tcp_server.serve_forever,
+            name="plansrv-accept",
+            daemon=True,
+        )
+        self._tcp_thread.start()
+        bound = self._tcp_server.server_address
+        return str(bound[0]), int(bound[1])
+
+
+def _completed(result: ServeResult) -> "Future[ServeResult]":
+    future: "Future[ServeResult]" = Future()
+    future.set_result(result)
+    return future
+
+
+# ----------------------------------------------------------------------
+# Wire codecs (JSON-lines protocol)
+# ----------------------------------------------------------------------
+
+
+def request_from_payload(payload: Dict[str, Any]) -> ServeRequest:
+    """Decode one request line; raises ``ValueError`` on bad fields."""
+    if not isinstance(payload, dict):
+        raise ValueError("request must be a JSON object")
+    known = {"start", "deadline_s", "horizon"}
+    unknown = set(payload) - known
+    if unknown:
+        raise ValueError(f"unknown request fields: {sorted(unknown)}")
+    start = payload.get("start")
+    if start is not None and not isinstance(start, str):
+        raise ValueError("start must be a string item id")
+    deadline_s = payload.get("deadline_s")
+    if deadline_s is not None:
+        deadline_s = float(deadline_s)
+        if deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+    horizon = payload.get("horizon")
+    if horizon is not None:
+        horizon = int(horizon)
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+    return ServeRequest(
+        start_item_id=start, deadline_s=deadline_s, horizon=horizon
+    )
+
+
+def result_to_payload(result: ServeResult) -> Dict[str, Any]:
+    """Encode one envelope as a JSON-ready dict (wire + load reports)."""
+    return {
+        "outcome": result.outcome,
+        "rung": result.rung,
+        "degraded": result.degraded,
+        "valid": result.ok,
+        "score": None if result.score is None else result.score.value,
+        "plan": (
+            None if result.plan is None else list(result.plan.item_ids)
+        ),
+        "policy": result.policy,
+        "plan_cache_hit": result.plan_cache_hit,
+        "deadline_s": result.deadline_s,
+        "deadline_spent": result.deadline_spent,
+        "deadline_exceeded": result.deadline_exceeded,
+        "attempts": [
+            {
+                "rung": attempt.rung,
+                "outcome": attempt.outcome,
+                "seconds": attempt.seconds,
+                "error": attempt.error,
+            }
+            for attempt in result.attempts
+        ],
+    }
+
+
+class _JsonLineHandler(socketserver.StreamRequestHandler):
+    """One connection: newline-delimited request → envelope exchanges."""
+
+    def handle(self) -> None:
+        server: _JsonLineTcpServer = self.server  # type: ignore[assignment]
+        for raw in self.rfile:
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line.decode("utf-8"))
+                request = request_from_payload(payload)
+            except (ValueError, UnicodeDecodeError) as exc:
+                self._reply({"outcome": "error", "error": str(exc)})
+                continue
+            try:
+                result = server.planning_server.handle(request)
+            except ServerClosed:
+                self._reply(
+                    {"outcome": "error", "error": "server is closed"}
+                )
+                return
+            self._reply(result_to_payload(result))
+
+    def _reply(self, payload: Dict[str, Any]) -> None:
+        self.wfile.write(
+            (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        )
+        self.wfile.flush()
+
+
+class _JsonLineTcpServer(socketserver.ThreadingTCPServer):
+    """Threading TCP server bound to one :class:`PlanningServer`.
+
+    Connection threads only parse lines and block in ``handle`` — all
+    backpressure still happens in the planning server's admission path,
+    so a thousand idle connections cost threads but cannot bypass the
+    bounded queue.
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        planning_server: PlanningServer,
+    ) -> None:
+        self.planning_server = planning_server
+        super().__init__(address, _JsonLineHandler)

@@ -1,0 +1,748 @@
+"""Concurrent front-end suite: server, load generator, and the
+thread-safety regressions behind them.
+
+The regression classes are deliberate re-creations of the races this
+sweep fixed — each is constructed so it FAILS against the pre-fix code:
+
+* ``TestContextIsolation`` — request provenance lived on the service
+  instance, so a memo hit on thread B stamped thread A's envelope.
+* ``TestBreakerSingleTrial`` — half-open admitted every concurrent
+  caller instead of exactly one trial.
+* ``TestMetricsExactness`` — unlocked instruments tore under GIL
+  preemption: ``Histogram.observe`` (a multi-step update with a loop,
+  so preemptible mid-write) could be half-visible to an unlocked
+  snapshot (``test_histogram_snapshot_is_never_torn`` catches exactly
+  that pre-fix).  The exact-total tests pin the stronger invariant the
+  locks now guarantee on every platform, not just CPython builds where
+  straight-line ``+=`` happens to be preemption-free.
+
+Run with ``make test-serving`` (``pytest -m serving``).
+"""
+
+import json
+import socket
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.obs import MetricsRegistry, use_registry
+from repro.serving import (
+    CircuitBreaker,
+    Deadline,
+    OUTCOME_SHED,
+    PlanningServer,
+    PlanningService,
+    PolicyRegistry,
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    ServeRequest,
+    ServeResult,
+    ServerClosed,
+    closed_loop,
+    open_loop,
+    request_from_payload,
+    result_to_payload,
+)
+
+pytestmark = pytest.mark.serving
+
+
+class FakeClock:
+    """Manually advanced monotonic clock."""
+
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class StubService:
+    """Minimal facade stand-in with a controllable serve body.
+
+    Exposes just what :class:`PlanningServer` touches: the screen
+    inputs (catalog/task/mode), ``fault_injector``, and ``serve``.
+    """
+
+    def __init__(self, dataset, serve_fn=None):
+        self.catalog = dataset.catalog
+        self.task = dataset.task
+        self.mode = dataset.mode
+        self.fault_injector = None
+        self._serve_fn = serve_fn
+
+    def serve(self, request, deadline=None):
+        if self._serve_fn is not None:
+            return self._serve_fn(request, deadline)
+        return ServeResult(outcome="ok", deadline_s=request.deadline_s)
+
+
+@pytest.fixture(scope="module")
+def toy_service(toy_dataset, fitted_toy_planner):
+    return PlanningService.from_dataset(
+        toy_dataset, planner=fitted_toy_planner
+    )
+
+
+# ----------------------------------------------------------------------
+# Regression: per-request provenance must not bleed across threads
+# ----------------------------------------------------------------------
+
+
+class TestContextIsolation:
+    def test_memo_hit_on_one_thread_does_not_stamp_another(
+        self, toy_dataset, tmp_path, monkeypatch
+    ):
+        """Thread A (slow traversal) must not inherit thread B's memo hit.
+
+        Pre-fix, ``_serve_inner`` parked ``plan_cache_hit`` on the
+        service instance: B's memo hit flipped it to True while A was
+        still inside ``recommend_anytime``, so A's envelope lied.
+        """
+        service = PlanningService.from_dataset(toy_dataset)
+        service.attach_registry(PolicyRegistry(tmp_path), episodes=60)
+        first = service.serve(ServeRequest())
+        assert first.ok and first.rung == "sarsa"
+        memo = service.serve(ServeRequest())
+        assert memo.plan_cache_hit, memo.describe()
+
+        horizon = len(first.plan)  # memo key differs from (None, None)
+        entered = threading.Event()
+        release = threading.Event()
+        original = service.planner.recommend_anytime
+
+        def blocking(*args, **kwargs):
+            entered.set()
+            assert release.wait(timeout=10.0)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(
+            service.planner, "recommend_anytime", blocking
+        )
+        results = {}
+
+        def slow_request():
+            results["a"] = service.serve(ServeRequest(horizon=horizon))
+
+        thread = threading.Thread(target=slow_request)
+        thread.start()
+        assert entered.wait(timeout=10.0)
+        # B completes an entire memo-hit request while A sits in the rung.
+        results["b"] = service.serve(ServeRequest())
+        release.set()
+        thread.join(timeout=10.0)
+
+        assert results["b"].plan_cache_hit is True
+        assert results["a"].plan_cache_hit is False, (
+            "thread B's memo hit bled into thread A's envelope"
+        )
+        assert results["a"].policy is not None
+        assert results["a"].ok
+
+    def test_concurrent_envelopes_carry_their_own_policy(
+        self, toy_dataset, tmp_path
+    ):
+        """A burst of concurrent serves all report consistent provenance."""
+        service = PlanningService.from_dataset(toy_dataset)
+        service.attach_registry(PolicyRegistry(tmp_path), episodes=60)
+        service.serve(ServeRequest())
+        results = []
+        lock = threading.Lock()
+
+        def client():
+            result = service.serve(ServeRequest())
+            with lock:
+                results.append(result)
+
+        threads = [threading.Thread(target=client) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert len(results) == 8
+        policies = {r.policy for r in results}
+        assert len(policies) == 1 and None not in policies
+        assert all(r.ok for r in results)
+
+
+# ----------------------------------------------------------------------
+# Regression: half-open admits exactly one trial under contention
+# ----------------------------------------------------------------------
+
+
+class TestBreakerSingleTrial:
+    def test_half_open_admits_exactly_one_concurrent_trial(self):
+        """Pre-fix every racer got True; the rung saw a thundering herd."""
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            "rung", failure_threshold=1, cooldown_s=5.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(5.0)
+        racers = 8
+        barrier = threading.Barrier(racers)
+        admitted = []
+
+        def probe():
+            barrier.wait(timeout=10.0)
+            admitted.append(breaker.allows())
+
+        threads = [threading.Thread(target=probe) for _ in range(racers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert sum(admitted) == 1, (
+            f"half-open admitted {sum(admitted)} concurrent trials"
+        )
+        assert breaker.state == STATE_HALF_OPEN
+
+    def test_trial_token_released_on_each_resolution(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            "rung", failure_threshold=1, cooldown_s=1.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allows() is True  # the trial
+        assert breaker.allows() is False  # token held
+        breaker.record_failure()  # trial failed -> re-open
+        clock.advance(1.0)
+        assert breaker.allows() is True  # fresh token after cooldown
+        breaker.record_success()
+        assert breaker.state == STATE_CLOSED
+        assert breaker.allows() and breaker.allows()  # closed: no token
+
+    def test_failure_counter_exact_under_contention(self):
+        breaker = CircuitBreaker(
+            "rung", failure_threshold=10**9, cooldown_s=0.0
+        )
+        old = sys.getswitchinterval()
+        sys.setswitchinterval(5e-6)
+        try:
+            per_thread = 2000
+
+            def hammer():
+                for _ in range(per_thread):
+                    breaker.record_failure()
+
+            threads = [
+                threading.Thread(target=hammer) for _ in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30.0)
+        finally:
+            sys.setswitchinterval(old)
+        assert breaker.consecutive_failures == 8 * per_thread
+
+
+# ----------------------------------------------------------------------
+# Regression: metric updates are never lost
+# ----------------------------------------------------------------------
+
+
+class TestMetricsExactness:
+    THREADS = 8
+    PER_THREAD = 5000
+
+    def _hammer(self, op):
+        old = sys.getswitchinterval()
+        sys.setswitchinterval(5e-6)
+        try:
+            def worker():
+                for _ in range(self.PER_THREAD):
+                    op()
+
+            threads = [
+                threading.Thread(target=worker)
+                for _ in range(self.THREADS)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60.0)
+        finally:
+            sys.setswitchinterval(old)
+
+    def test_counter_total_is_exact(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits_total")
+        self._hammer(counter.inc)
+        assert counter.value == self.THREADS * self.PER_THREAD
+
+    def test_histogram_count_and_buckets_are_exact(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat_seconds", (0.5, 1.0))
+        self._hammer(lambda: histogram.observe(0.25))
+        expected = self.THREADS * self.PER_THREAD
+        assert histogram.count == expected
+        assert histogram.counts[0] == expected  # <= 0.5
+        assert histogram.counts[-1] == expected  # +Inf
+        assert histogram.total == pytest.approx(0.25 * expected)
+
+    def test_histogram_snapshot_is_never_torn(self):
+        """A reader must never see ``count`` disagree with ``+Inf``.
+
+        ``observe`` contains a loop, so the interpreter can preempt a
+        writer between the count bump and the bucket bumps; pre-fix the
+        unlocked snapshot read that half-applied update.  Post-fix both
+        sides take the instrument lock, so every snapshot is a
+        consistent cut.
+        """
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat_seconds", (0.5, 1.0))
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                histogram.observe(0.25)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        old = sys.getswitchinterval()
+        sys.setswitchinterval(5e-6)
+        try:
+            for t in threads:
+                t.start()
+            for _ in range(3000):
+                snap = registry.snapshot()["histograms"]["lat_seconds"]
+                assert snap["count"] == snap["counts"][-1], (
+                    "snapshot observed a half-applied histogram update"
+                )
+        finally:
+            stop.set()
+            sys.setswitchinterval(old)
+            for t in threads:
+                t.join(timeout=10.0)
+
+    def test_concurrent_first_use_creates_one_instrument(self):
+        registry = MetricsRegistry()
+        barrier = threading.Barrier(8)
+        grabbed = []
+
+        def race():
+            barrier.wait(timeout=10.0)
+            grabbed.append(registry.counter("raced_total"))
+
+        threads = [threading.Thread(target=race) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert len({id(c) for c in grabbed}) == 1
+
+    def test_span_counts_exact_across_threads(self):
+        registry = MetricsRegistry()
+
+        def worker():
+            for _ in range(200):
+                with registry.span("outer"):
+                    with registry.span("inner"):
+                        pass
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        spans = registry.snapshot()["spans"]
+        assert spans["outer"]["count"] == 1600
+        assert spans["outer"]["children"]["inner"]["count"] == 1600
+
+
+# ----------------------------------------------------------------------
+# The server: admission, shedding, deadlines, drain
+# ----------------------------------------------------------------------
+
+
+class TestPlanningServer:
+    def test_happy_path_serves_through_real_facade(self, toy_service):
+        server = PlanningServer(toy_service, workers=2, max_queue=8)
+        try:
+            result = server.handle(ServeRequest(deadline_s=5.0))
+            assert result.ok and result.rung == "sarsa"
+        finally:
+            server.close()
+
+    def test_screen_reject_never_occupies_a_queue_slot(
+        self, toy_dataset
+    ):
+        gate = threading.Event()
+
+        def stuck(request, deadline):
+            gate.wait(10.0)
+            return ServeResult(outcome="ok")
+
+        service = StubService(toy_dataset, stuck)
+        server = PlanningServer(service, workers=1, max_queue=1)
+        try:
+            blocker = server.submit(ServeRequest())
+            time.sleep(0.05)  # the worker is now parked in the gate
+            result = server.handle(
+                ServeRequest(start_item_id="no-such-item")
+            )
+            assert result.outcome == "rejected"
+            assert result.admission is not None
+            assert "unknown_start" in result.admission.codes()
+            assert server.stats()["queued"] == 0
+        finally:
+            gate.set()
+            blocker.result(timeout=10.0)
+            server.close()
+
+    def test_queue_full_sheds_instead_of_blocking(self, toy_dataset):
+        gate = threading.Event()
+        started = threading.Event()
+
+        def stuck(request, deadline):
+            started.set()
+            gate.wait(10.0)
+            return ServeResult(outcome="ok")
+
+        service = StubService(toy_dataset, stuck)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            server = PlanningServer(service, workers=1, max_queue=2)
+            inflight = server.submit(ServeRequest())
+            assert started.wait(timeout=10.0)
+            queued = [server.submit(ServeRequest()) for _ in range(2)]
+            shed = server.handle(ServeRequest())
+        assert shed.outcome == OUTCOME_SHED
+        assert (
+            registry.counter(
+                'server_shed_total{reason="queue_full"}'
+            ).value == 1
+        )
+        gate.set()
+        assert inflight.result(timeout=10.0).outcome == "ok"
+        for future in queued:
+            assert future.result(timeout=10.0).outcome == "ok"
+        server.close()
+
+    def test_estimated_wait_sheds_unreachable_deadline(
+        self, toy_dataset
+    ):
+        gate = threading.Event()
+        started = threading.Event()
+
+        def stuck(request, deadline):
+            started.set()
+            gate.wait(10.0)
+            return ServeResult(outcome="ok")
+
+        service = StubService(toy_dataset, stuck)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            server = PlanningServer(service, workers=1, max_queue=32)
+            inflight = server.submit(ServeRequest())
+            assert started.wait(timeout=10.0)
+            server._ewma_service_s = 10.0  # as if requests take 10s
+            shed = server.handle(ServeRequest(deadline_s=0.5))
+            # An unbounded-deadline request is still admitted.
+            patient = server.submit(ServeRequest())
+        assert shed.outcome == OUTCOME_SHED
+        assert (
+            registry.counter(
+                'server_shed_total{reason="deadline_unreachable"}'
+            ).value == 1
+        )
+        gate.set()
+        assert inflight.result(timeout=10.0).outcome == "ok"
+        assert patient.result(timeout=10.0).outcome == "ok"
+        server.close()
+
+    def test_deadline_expired_in_queue_sheds_at_dequeue(
+        self, toy_dataset
+    ):
+        """Queue wait counts against the budget (arrival anchoring)."""
+        gate = threading.Event()
+
+        def stuck(request, deadline):
+            gate.wait(10.0)
+            return ServeResult(outcome="ok")
+
+        service = StubService(toy_dataset, stuck)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            server = PlanningServer(service, workers=1, max_queue=8)
+            blocker = server.submit(ServeRequest())
+            time.sleep(0.05)
+            doomed = server.submit(ServeRequest(deadline_s=0.01))
+            time.sleep(0.1)  # budget dies while queued
+            gate.set()
+            result = doomed.result(timeout=10.0)
+        assert result.outcome == OUTCOME_SHED
+        assert result.deadline_exceeded
+        assert (
+            registry.counter(
+                'server_shed_total{reason="queue_expired"}'
+            ).value == 1
+        )
+        blocker.result(timeout=10.0)
+        server.close()
+
+    def test_deadline_is_arrival_anchored_into_the_facade(
+        self, toy_dataset
+    ):
+        seen = {}
+
+        def capture(request, deadline):
+            seen["deadline"] = deadline
+            return ServeResult(outcome="ok")
+
+        service = StubService(toy_dataset, capture)
+        server = PlanningServer(service, workers=1, max_queue=4)
+        try:
+            server.handle(ServeRequest(deadline_s=5.0))
+            assert isinstance(seen["deadline"], Deadline)
+            assert 0 < seen["deadline"].remaining() <= 5.0
+        finally:
+            server.close()
+
+    def test_drain_completes_inflight_and_sheds_new(self, toy_dataset):
+        gate = threading.Event()
+        started = threading.Event()
+
+        def stuck(request, deadline):
+            started.set()
+            gate.wait(10.0)
+            return ServeResult(outcome="ok")
+
+        service = StubService(toy_dataset, stuck)
+        server = PlanningServer(service, workers=1, max_queue=8)
+        inflight = server.submit(ServeRequest())
+        assert started.wait(timeout=10.0)
+        drainer = threading.Thread(target=server.drain)
+        drainer.start()
+        time.sleep(0.05)
+        shed = server.handle(ServeRequest())
+        assert shed.outcome == OUTCOME_SHED
+        gate.set()
+        drainer.join(timeout=10.0)
+        assert not drainer.is_alive()
+        assert inflight.result(timeout=1.0).outcome == "ok"
+        server.close()
+        with pytest.raises(ServerClosed):
+            server.submit(ServeRequest())
+
+    def test_default_deadline_applied_to_bare_requests(
+        self, toy_dataset
+    ):
+        seen = {}
+
+        def capture(request, deadline):
+            seen["request"] = request
+            return ServeResult(outcome="ok")
+
+        service = StubService(toy_dataset, capture)
+        server = PlanningServer(
+            service, workers=1, max_queue=4, default_deadline_s=2.5
+        )
+        try:
+            server.handle(ServeRequest())
+            assert seen["request"].deadline_s == 2.5
+        finally:
+            server.close()
+
+    def test_server_metrics_outcomes_and_latency(self, toy_dataset):
+        service = StubService(toy_dataset)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            server = PlanningServer(service, workers=2, max_queue=8)
+            for _ in range(5):
+                server.handle(ServeRequest())
+            server.close()
+        assert (
+            registry.counter(
+                'server_requests_total{outcome="ok"}'
+            ).value == 5
+        )
+        snapshot = registry.snapshot()
+        latency = snapshot["histograms"]["server_latency_seconds"]
+        assert latency["count"] == 5
+        assert snapshot["histograms"][
+            "server_queue_wait_seconds"
+        ]["count"] == 5
+
+    def test_constructor_validation(self, toy_dataset):
+        service = StubService(toy_dataset)
+        with pytest.raises(ValueError):
+            PlanningServer(service, workers=0)
+        with pytest.raises(ValueError):
+            PlanningServer(service, max_queue=0)
+
+
+# ----------------------------------------------------------------------
+# JSON-lines socket front-end
+# ----------------------------------------------------------------------
+
+
+class TestSocketFrontend:
+    def test_round_trip_and_error_lines(self, toy_service):
+        server = PlanningServer(toy_service, workers=2, max_queue=8)
+        try:
+            host, port = server.listen()
+            with socket.create_connection((host, port), timeout=10.0) as conn:
+                reader = conn.makefile("r", encoding="utf-8")
+                conn.sendall(b'{"deadline_s": 5.0}\n')
+                reply = json.loads(reader.readline())
+                assert reply["outcome"] in ("ok", "degraded")
+                assert reply["valid"] is True
+                assert isinstance(reply["plan"], list) and reply["plan"]
+                assert reply["rung"] == "sarsa"
+                # pipelined second request on the same connection
+                conn.sendall(b'{"start": "no-such-item"}\n')
+                reply = json.loads(reader.readline())
+                assert reply["outcome"] == "rejected"
+                # malformed JSON and unknown fields answer, not hang up
+                conn.sendall(b'this is not json\n')
+                assert json.loads(reader.readline())["outcome"] == "error"
+                conn.sendall(b'{"frobnicate": 1}\n')
+                reply = json.loads(reader.readline())
+                assert reply["outcome"] == "error"
+                assert "frobnicate" in reply["error"]
+        finally:
+            server.close()
+
+    def test_listen_twice_refused(self, toy_dataset):
+        service = StubService(toy_dataset)
+        server = PlanningServer(service, workers=1, max_queue=4)
+        try:
+            server.listen()
+            with pytest.raises(RuntimeError):
+                server.listen()
+        finally:
+            server.close()
+
+    def test_request_codec_validation(self):
+        request = request_from_payload(
+            {"start": "a", "deadline_s": 1.5, "horizon": 3}
+        )
+        assert request == ServeRequest(
+            start_item_id="a", deadline_s=1.5, horizon=3
+        )
+        with pytest.raises(ValueError):
+            request_from_payload([1, 2])
+        with pytest.raises(ValueError):
+            request_from_payload({"deadline_s": -1})
+        with pytest.raises(ValueError):
+            request_from_payload({"horizon": 0})
+        with pytest.raises(ValueError):
+            request_from_payload({"start": 7})
+
+    def test_result_codec_shape(self):
+        payload = result_to_payload(ServeResult(outcome="failed"))
+        assert payload["outcome"] == "failed"
+        assert payload["plan"] is None
+        assert payload["valid"] is False
+        assert payload["attempts"] == []
+
+
+# ----------------------------------------------------------------------
+# Load generator
+# ----------------------------------------------------------------------
+
+
+class TestLoadGenerator:
+    def test_closed_loop_report_is_exact(self, toy_dataset):
+        service = StubService(toy_dataset)
+        server = PlanningServer(service, workers=4, max_queue=32)
+        try:
+            report = closed_loop(
+                server, concurrency=4, requests=40, slo_s=5.0
+            )
+        finally:
+            server.close()
+        assert report["requests_issued"] == 40
+        assert report["requests_completed"] == 40
+        assert report["outcomes"] == {"ok": 40}
+        assert report["errors"] == 0
+        assert report["latency_ms"]["count"] == 40
+        assert (
+            report["latency_ms"]["p50"]
+            <= report["latency_ms"]["p95"]
+            <= report["latency_ms"]["p99"]
+        )
+        assert report["shed_rate"] == 0.0
+
+    def test_closed_loop_slo_counts_valid_in_time_only(
+        self, toy_service
+    ):
+        server = PlanningServer(toy_service, workers=2, max_queue=16)
+        try:
+            report = closed_loop(
+                server, concurrency=2, requests=10,
+                deadline_s=5.0, slo_s=5.0,
+            )
+        finally:
+            server.close()
+        assert report["slo"]["attained"] == 10
+        assert report["slo"]["attainment"] == 1.0
+        assert report["rungs"].get("sarsa") == 10
+
+    def test_open_loop_overload_sheds_and_reports(self, toy_dataset):
+        def slowish(request, deadline):
+            time.sleep(0.02)
+            return ServeResult(outcome="ok")
+
+        service = StubService(toy_dataset, slowish)
+        server = PlanningServer(service, workers=1, max_queue=2)
+        try:
+            report = open_loop(
+                server, rate=300.0, duration_s=0.7,
+                deadline_s=0.5, slo_s=0.5, seed=3,
+                burst_every_s=0.3, burst_len_s=0.1, burst_factor=3.0,
+            )
+        finally:
+            server.close()
+        assert report["requests_completed"] == report["requests_issued"]
+        assert report["outcomes"].get(OUTCOME_SHED, 0) > 0
+        assert report["shed_rate"] > 0
+        assert report["burst"]["factor"] == 3.0
+        # Latency percentiles cover admitted requests only.
+        assert report["latency_ms"]["count"] == report["outcomes"]["ok"]
+
+    def test_fault_spec_arms_mid_run_and_ladder_absorbs(
+        self, toy_dataset, fitted_toy_planner
+    ):
+        service = PlanningService.from_dataset(
+            toy_dataset, planner=fitted_toy_planner
+        )
+        server = PlanningServer(service, workers=2, max_queue=32)
+        try:
+            report = closed_loop(
+                server, concurrency=2, requests=24,
+                deadline_s=5.0, slo_s=5.0,
+                fault_spec="error@0:times=6", fault_at=0.25,
+            )
+        finally:
+            server.close()
+        assert report["errors"] == 0
+        assert report["requests_completed"] == 24
+        assert report["faults"]["spec"] == "error@0:times=6"
+        assert report["faults"]["armed_at_request"] is not None
+        assert report["faults"]["fired"].get("error", 0) > 0
+        assert report["outcomes"].get("degraded", 0) > 0
+        assert report["rungs"].get("eda", 0) > 0
+        assert service.fault_injector is not None
+
+    def test_input_validation(self, toy_dataset):
+        service = StubService(toy_dataset)
+        server = PlanningServer(service, workers=1, max_queue=4)
+        try:
+            with pytest.raises(ValueError):
+                closed_loop(server, concurrency=0, requests=1)
+            with pytest.raises(ValueError):
+                closed_loop(server, concurrency=1, requests=0)
+            with pytest.raises(ValueError):
+                open_loop(server, rate=0.0, duration_s=1.0)
+            with pytest.raises(ValueError):
+                open_loop(server, rate=1.0, duration_s=0.0)
+        finally:
+            server.close()
