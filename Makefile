@@ -5,7 +5,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test test-fast test-chaos test-serving test-registry lint bench bench-runner bench-obs bench-serving bench-paper loadtest-smoke
+.PHONY: test test-fast test-chaos test-serving test-registry test-scenarios lint bench bench-runner bench-obs bench-serving bench-paper loadtest-smoke
 
 ## Full tier-1 suite (everything under tests/).
 test:
@@ -26,6 +26,10 @@ test-serving:
 ## Policy-registry suite: fingerprints, warm cache, background refit.
 test-registry:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -m registry
+
+## Dynamic-world suite: availability churn, mid-plan replanning, drain.
+test-scenarios:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -m scenarios
 
 ## Static checks (ruff: syntax errors + pyflakes).  `pip install -e .[lint]`.
 lint:

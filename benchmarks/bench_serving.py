@@ -23,6 +23,11 @@ root:
    open-loop overload run that must shed (shed rate > 0, admitted p99
    still bounded), and a mid-load fault-injection run that must finish
    through the degradation ladder with breaker transitions on record.
+6. **Churn** — availability churn and mid-plan replanning: suffix-only
+   replan latency under a deadline, byte-identical decision logs when
+   the same seeded churn schedule is replayed, and a burst-closure
+   load run that must shed/degrade rather than serve a plan
+   referencing a closed item.
 
 Run standalone::
 
@@ -297,6 +302,114 @@ def bench_concurrency(
     return out
 
 
+def bench_churn(
+    dataset, episodes: int, iterations: int
+) -> Dict[str, object]:
+    """Availability churn and mid-plan replanning (three drills).
+
+    1. **Suffix-only replan latency** — close one suffix item of a
+       partially-executed plan and replan under a deadline; p95 of the
+       replan must land inside the budget (the committed prefix is
+       pinned, only the suffix is re-planned).
+    2. **Replay determinism** — ingesting the same seeded churn
+       schedule into two fresh sessions and replanning yields
+       byte-identical decision logs (no wall-clock anywhere).
+    3. **Burst closures under load** — a single-threaded closed loop
+       with a burst churn schedule: the server must shed or degrade
+       rather than ever serve a plan referencing a closed item
+       (``invalid_served == 0``).
+    """
+    from repro.core.deltas import DELTA_CLOSE, CatalogDelta
+    from repro.scenarios import poisson_schedule
+    from repro.serving import PlanningServer, closed_loop
+
+    service = PlanningService.from_dataset(dataset)
+    service.fit(start_item_ids=[dataset.default_start], episodes=episodes)
+    base = service.serve(start_item_id=dataset.default_start)
+    assert base.ok and base.plan is not None, base.describe()
+    plan = base.plan
+    victim = plan.item_ids[-1]
+    replan_deadline_s = 1.0
+
+    latencies: List[float] = []
+    outcomes: Dict[str, int] = {}
+    suffix_lengths: List[int] = []
+    for i in range(max(10, iterations // 10)):
+        session = service.open_session(
+            plan, executed=2, session_id=f"bench{i}"
+        )
+        session.ingest(
+            CatalogDelta(kind=DELTA_CLOSE, item_id=victim, seq=1)
+        )
+        result = session.replan(deadline_s=replan_deadline_s)
+        outcomes[result.outcome] = outcomes.get(result.outcome, 0) + 1
+        latencies.append(result.deadline_spent)
+        if result.plan is not None:
+            suffix_lengths.append(len(result.plan) - result.suffix_start)
+    lat = _percentiles(latencies)
+    suffix_only = {
+        "deadline_s": replan_deadline_s,
+        "latency": lat,
+        "outcomes": outcomes,
+        "mean_suffix_length": (
+            statistics.fmean(suffix_lengths) if suffix_lengths else 0.0
+        ),
+        "p95_within_deadline": (
+            lat["p95_ms"] <= 1e3 * replan_deadline_s
+        ),
+    }
+
+    # Replay determinism: same seeded schedule, two fresh sessions.
+    schedule = poisson_schedule(
+        dataset.catalog, seed=11, rate=5.0, reopen_rate=3.0
+    )
+
+    def replay() -> str:
+        session = service.open_session(
+            plan, executed=1, session_id="replay"
+        )
+        for event in schedule.events:
+            session.ingest(event.delta)
+        session.replan(deadline_s=5.0)
+        return session.log_json()
+
+    log_a, log_b = replay(), replay()
+    determinism = {
+        "schedule_events": len(schedule),
+        "log_bytes": len(log_a),
+        "identical": log_a == log_b,
+    }
+
+    # Burst closures under a single-threaded closed loop: deltas and
+    # requests interleave on one thread, so the invalid_served check is
+    # exact (no completion-time races).
+    burst_service = PlanningService.from_dataset(
+        dataset, planner=service.planner
+    )
+    server = PlanningServer(burst_service, workers=1, max_queue=8)
+    try:
+        burst_run = closed_loop(
+            server,
+            concurrency=1,
+            requests=max(16, iterations // 4),
+            deadline_s=2.0,
+            churn_spec="burst:every=0.25,len=0.1,per=2,seed=5",
+        )
+    finally:
+        server.close()
+    burst = {
+        "outcomes": burst_run["outcomes"],
+        "churn": burst_run["churn"],
+        "invalid_served": burst_run["invalid_served"],
+        "shed_not_invalid": burst_run["invalid_served"] == 0,
+    }
+    return {
+        "suffix_only": suffix_only,
+        "determinism": determinism,
+        "burst": burst,
+    }
+
+
 def bench_admission(dataset, iterations: int) -> Dict[str, object]:
     """Load-time audit and per-request screen latency."""
     audit_s = _time(
@@ -345,6 +458,9 @@ def main(argv=None) -> int:
     payload["concurrency"] = bench_concurrency(
         dataset, args.episodes, max(16, args.iterations // 2)
     )
+    payload["churn"] = bench_churn(
+        dataset, args.episodes, args.iterations
+    )
     out = pathlib.Path(args.output)
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
@@ -386,6 +502,19 @@ def main(argv=None) -> int:
         f"  chaos run outcomes {chaos['outcomes']}  "
         f"transitions {len(chaos['breaker_transitions'])}"
     )
+    churn = payload["churn"]
+    suffix = churn["suffix_only"]
+    print(
+        f"  replan   p50 {suffix['latency']['p50_ms']:8.3f} ms   "
+        f"p95 {suffix['latency']['p95_ms']:8.3f} ms   "
+        f"(deadline {suffix['deadline_s']:.1f}s, "
+        f"{'OK' if suffix['p95_within_deadline'] else 'OVER'})"
+    )
+    print(
+        f"  churn determinism "
+        f"{'OK' if churn['determinism']['identical'] else 'DIVERGED'}  "
+        f"burst invalid_served {churn['burst']['invalid_served']}"
+    )
     if not ov["within_budget"]:
         print("  FAIL: facade overhead exceeds budget")
         return 1
@@ -403,6 +532,15 @@ def main(argv=None) -> int:
         return 1
     if not chaos["breaker_transitions"]:
         print("  FAIL: no breaker transitions recorded under faults")
+        return 1
+    if not suffix["p95_within_deadline"]:
+        print("  FAIL: suffix replan p95 exceeds the replan deadline")
+        return 1
+    if not churn["determinism"]["identical"]:
+        print("  FAIL: churn replay produced diverging decision logs")
+        return 1
+    if not churn["burst"]["shed_not_invalid"]:
+        print("  FAIL: served a plan referencing a closed item under burst")
         return 1
     return 0
 

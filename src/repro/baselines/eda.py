@@ -14,7 +14,7 @@ in the robustness tables.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -23,6 +23,7 @@ from ..core.config import PlannerConfig
 from ..core.constraints import TaskSpec
 from ..core.env import DomainMode
 from ..core.exceptions import PlanningError
+from ..core.items import Item
 from ..core.plan import Plan, PlanBuilder
 from ..core.reward import RewardFunction, batch_rewards
 from .base import BaselinePlanner
@@ -71,11 +72,38 @@ class EDAPlanner(BaselinePlanner):
             raise PlanningError(
                 f"start item {start_item_id!r} not in catalog"
             )
-        h = self._horizon(horizon)
         builder = PlanBuilder(self.catalog)
         builder.add(self.catalog[start_item_id])
+        return self._greedy_fill(builder, self._horizon(horizon), should_stop)
 
-        while len(builder) < h:
+    def complete(
+        self,
+        prefix_items: Sequence[Item],
+        horizon: Optional[int] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
+    ) -> Plan:
+        """Greedily extend a committed plan prefix to the horizon.
+
+        The prefix items are placed verbatim and may be foreign to this
+        planner's catalog (mid-plan replanning runs EDA over the *live*
+        catalog while the committed prefix references the original one);
+        only the suffix is chosen, from this catalog's remaining items.
+        """
+        prefix = tuple(prefix_items)
+        if not prefix:
+            raise PlanningError("complete() requires a non-empty prefix")
+        builder = PlanBuilder(self.catalog)
+        for item in prefix:
+            builder.add(item)
+        return self._greedy_fill(builder, self._horizon(horizon), should_stop)
+
+    def _greedy_fill(
+        self,
+        builder: PlanBuilder,
+        horizon: int,
+        should_stop: Optional[Callable[[], bool]],
+    ) -> Plan:
+        while len(builder) < horizon:
             if should_stop is not None and should_stop():
                 break
             candidates = [

@@ -21,7 +21,9 @@ serve       Answer one request through the resilient serving facade
 loadtest    Drive the concurrent server with a closed-loop concurrency
             sweep or an open-loop (Poisson, bursty) arrival process and
             report p50/p95/p99 latency, shed rate and SLO attainment;
-            ``--inject-faults`` arms chaos mid-load.
+            ``--inject-faults`` arms chaos mid-load and ``--churn``
+            arms a seeded availability-churn schedule (closures,
+            reopenings) against the live catalog.
 registry    Inspect and manage a policy artifact registry
             (list / evict / prewarm).
 audit       Run the admission auditor over a dataset and print the
@@ -406,6 +408,7 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
                     slo_s=args.slo,
                     fault_spec=args.inject_faults,
                     fault_at=args.inject_at,
+                    churn_spec=args.churn,
                 )
             finally:
                 server.close()
@@ -425,6 +428,7 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
                 burst_factor=args.burst_factor,
                 fault_spec=args.inject_faults,
                 fault_at=args.inject_at,
+                churn_spec=args.churn,
             )
         finally:
             server.close()
@@ -791,6 +795,12 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument(
         "--inject-at", type=float, default=0.5, metavar="FRAC",
         help="run fraction at which the faults arm (default 0.5)",
+    )
+    loadtest.add_argument(
+        "--churn", metavar="SPEC",
+        help="arm a seeded availability-churn schedule mid-load, e.g. "
+        "'poisson:rate=6,seed=3', 'cut:cuts=2', or "
+        "'burst:every=0.25,len=0.1,per=2' (see repro.scenarios)",
     )
     loadtest.add_argument(
         "--output", metavar="PATH", help="also write the JSON report here"

@@ -14,11 +14,13 @@ planner and validators need:
 
 from __future__ import annotations
 
+import dataclasses
 from typing import (
     Dict,
     FrozenSet,
     Iterable,
     Iterator,
+    List,
     Optional,
     Sequence,
     Tuple,
@@ -26,8 +28,101 @@ from typing import (
 
 import numpy as np
 
-from .exceptions import DataModelError, UnknownItemError
-from .items import Item, ItemType
+from .exceptions import (
+    DanglingPrerequisiteError,
+    DataModelError,
+    UnknownItemError,
+)
+from .items import Item, ItemType, Prerequisites
+
+#: Subset-finding codes (:class:`SubsetFinding.code`).
+SUBSET_PRUNED_PREREQ = "pruned_prereq"
+SUBSET_ORPHANED_ITEM = "orphaned_item"
+
+
+@dataclasses.dataclass(frozen=True)
+class SubsetFinding:
+    """One typed integrity finding from :meth:`Catalog.subset_with_findings`.
+
+    Attributes
+    ----------
+    code:
+        ``"pruned_prereq"`` — a kept item's prerequisite group referenced
+        excluded items and the dead references were dropped; or
+        ``"orphaned_item"`` — an entire OR-group of a kept item died
+        (every alternative excluded), so the item itself was dropped.
+    message:
+        Human-readable description.
+    item_ids:
+        The affected item ids (the kept-but-pruned item, or the dropped
+        orphan), sorted.
+    """
+
+    code: str
+    message: str
+    item_ids: Tuple[str, ...] = ()
+
+
+def _prune_excluded_prerequisites(
+    items: Sequence[Item],
+    known_ids: FrozenSet[str],
+) -> Tuple[Tuple[Item, ...], Tuple[SubsetFinding, ...]]:
+    """Drop prerequisite references to *known-but-excluded* items.
+
+    References to ids that were never in ``known_ids`` (out-of-program
+    prerequisites tolerated by the legacy ``subset`` contract) are kept
+    untouched.  If pruning empties an OR-group, that item becomes
+    unsatisfiable in the subset and is dropped entirely ("orphaned");
+    orphan drops cascade until a fixpoint.
+    """
+    pool: Dict[str, Item] = {item.item_id: item for item in items}
+    findings: List[SubsetFinding] = []
+    changed = True
+    while changed:
+        changed = False
+        for item in list(pool.values()):
+            groups = item.prerequisites.groups
+            if not groups:
+                continue
+            new_groups: List[FrozenSet[str]] = []
+            slimmed = False
+            dead = False
+            for group in groups:
+                kept = frozenset(
+                    ref
+                    for ref in group
+                    if ref in pool or ref not in known_ids
+                )
+                if kept != group:
+                    slimmed = True
+                if not kept:
+                    dead = True
+                    break
+                new_groups.append(kept)
+            if dead:
+                findings.append(
+                    SubsetFinding(
+                        SUBSET_ORPHANED_ITEM,
+                        f"item {item.item_id!r} lost every alternative in a "
+                        f"prerequisite group; dropped from the subset",
+                        (item.item_id,),
+                    )
+                )
+                del pool[item.item_id]
+                changed = True
+            elif slimmed:
+                findings.append(
+                    SubsetFinding(
+                        SUBSET_PRUNED_PREREQ,
+                        f"item {item.item_id!r}: pruned prerequisite "
+                        f"references to excluded items",
+                        (item.item_id,),
+                    )
+                )
+                pool[item.item_id] = dataclasses.replace(
+                    item, prerequisites=Prerequisites(tuple(new_groups))
+                )
+    return tuple(pool.values()), tuple(findings)
 
 
 class CatalogColumns:
@@ -284,23 +379,76 @@ class Catalog:
     # Construction helpers
     # ------------------------------------------------------------------
 
-    def subset(self, item_ids: Iterable[str], name: Optional[str] = None) -> "Catalog":
+    def subset(
+        self,
+        item_ids: Iterable[str],
+        name: Optional[str] = None,
+        on_dangling: str = "keep",
+    ) -> "Catalog":
         """Sub-catalog restricted to ``item_ids`` (insertion order kept).
 
-        Prerequisite references that point outside the subset are allowed
-        (they simply can never be satisfied), matching real degree programs
-        whose courses may require out-of-program prerequisites.
+        ``on_dangling`` controls prerequisite edges that point at items
+        of *this* catalog excluded from the subset (e.g. removed by an
+        availability-churn delta):
+
+        * ``"keep"`` (default, legacy) — leave the edges in place; they
+          simply can never be satisfied inside the subset.
+        * ``"prune"`` — drop the dead references; items whose OR-group
+          loses every alternative are dropped (cascading).
+        * ``"reject"`` — raise :class:`DanglingPrerequisiteError`.
+
+        References to ids this catalog never contained (out-of-program
+        prerequisites, matching real degree programs) are tolerated under
+        every mode.  Use :meth:`subset_with_findings` to also receive the
+        typed findings describing what was pruned or orphaned.
         """
+        catalog, _ = self.subset_with_findings(
+            item_ids, name=name, on_dangling=on_dangling
+        )
+        return catalog
+
+    def subset_with_findings(
+        self,
+        item_ids: Iterable[str],
+        name: Optional[str] = None,
+        on_dangling: str = "keep",
+    ) -> Tuple["Catalog", Tuple[SubsetFinding, ...]]:
+        """Like :meth:`subset` but also returns the integrity findings.
+
+        With ``on_dangling="keep"`` the findings tuple is always empty;
+        with ``"prune"`` it lists every pruned edge / orphaned item; with
+        ``"reject"`` a non-empty finding set raises instead.
+        """
+        if on_dangling not in ("keep", "prune", "reject"):
+            raise ValueError(
+                f"on_dangling must be 'keep', 'prune', or 'reject', "
+                f"got {on_dangling!r}"
+            )
         wanted = set(item_ids)
         missing = wanted - set(self._by_id)
         if missing:
             raise UnknownItemError(sorted(missing)[0])
-        items = [i for i in self._items if i.item_id in wanted]
-        return Catalog(
+        items: Sequence[Item] = [
+            i for i in self._items if i.item_id in wanted
+        ]
+        findings: Tuple[SubsetFinding, ...] = ()
+        if on_dangling != "keep":
+            items, findings = _prune_excluded_prerequisites(
+                items, frozenset(self._by_id)
+            )
+            if findings and on_dangling == "reject":
+                raise DanglingPrerequisiteError(
+                    f"subset of {self.name!r} would leave "
+                    f"{len(findings)} dangling-prerequisite finding(s): "
+                    + "; ".join(f.message for f in findings),
+                    findings,
+                )
+        catalog = Catalog(
             items,
             name=name or f"{self.name} (subset)",
             validate_prerequisites=False,
         )
+        return catalog, findings
 
     def shared_item_ids(self, other: "Catalog") -> Tuple[str, ...]:
         """Ids present in both catalogs (used by transfer learning)."""

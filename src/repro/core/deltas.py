@@ -1,0 +1,257 @@
+"""Catalog/constraint delta events: the changing-world data model.
+
+The paper plans once against a frozen catalog; real traffic closes items
+mid-plan (full course sections, shuttered POIs) and tightens constraints
+after the first ``k`` slots are committed.  This module defines the
+event vocabulary for that churn and a :class:`CatalogView` that folds a
+stream of events over an immutable base :class:`~repro.core.catalog.Catalog`
+into a *live* catalog, re-materialized per event so a later ``reopen``
+restores exactly the prerequisite edges a ``close`` pruned.
+
+Event kinds
+-----------
+``CatalogDelta``:
+
+* ``close`` — the item becomes unavailable for new placements.
+* ``reopen`` — a previously closed item becomes available again.
+* ``credit_change`` — the item's credit/cost value changes.
+
+``ConstraintDelta``:
+
+* ``min_credits`` — the task's credit floor (courses) or budget ceiling
+  (trips) moves.  Constraint deltas are session-scoped: they retarget a
+  :class:`~repro.serving.replan.ReplanSession`'s task, not the shared
+  service catalog.
+
+All dataclasses are frozen and carry a caller-assigned ``seq`` so replay
+logs order identically across runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from typing import Dict, FrozenSet, Optional, Tuple, Union
+
+from .catalog import Catalog, SubsetFinding
+from .exceptions import DeltaError
+from .items import Item
+
+#: Catalog-delta kinds.
+DELTA_CLOSE = "close"
+DELTA_REOPEN = "reopen"
+DELTA_CREDIT_CHANGE = "credit_change"
+CATALOG_DELTA_KINDS = (DELTA_CLOSE, DELTA_REOPEN, DELTA_CREDIT_CHANGE)
+
+#: Constraint-delta kinds.
+DELTA_MIN_CREDITS = "min_credits"
+CONSTRAINT_DELTA_KINDS = (DELTA_MIN_CREDITS,)
+
+
+@dataclasses.dataclass(frozen=True)
+class CatalogDelta:
+    """One availability/attribute change to a single catalog item."""
+
+    kind: str
+    item_id: str
+    credits: Optional[float] = None
+    seq: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in CATALOG_DELTA_KINDS:
+            raise DeltaError(
+                f"unknown catalog delta kind {self.kind!r} "
+                f"(expected one of {CATALOG_DELTA_KINDS})"
+            )
+        if not self.item_id:
+            raise DeltaError("catalog delta requires an item_id")
+        if self.kind == DELTA_CREDIT_CHANGE:
+            if self.credits is None or self.credits <= 0:
+                raise DeltaError(
+                    f"credit_change delta for {self.item_id!r} requires a "
+                    f"positive credits value, got {self.credits!r}"
+                )
+        elif self.credits is not None:
+            raise DeltaError(
+                f"{self.kind} delta for {self.item_id!r} must not carry "
+                f"a credits value"
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "kind": self.kind,
+            "item": self.item_id,
+            "seq": self.seq,
+        }
+        if self.credits is not None:
+            out["credits"] = self.credits
+        return out
+
+
+@dataclasses.dataclass(frozen=True)
+class ConstraintDelta:
+    """One change to the task's hard constraints (session-scoped)."""
+
+    kind: str
+    value: float
+    seq: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in CONSTRAINT_DELTA_KINDS:
+            raise DeltaError(
+                f"unknown constraint delta kind {self.kind!r} "
+                f"(expected one of {CONSTRAINT_DELTA_KINDS})"
+            )
+        if self.value <= 0:
+            raise DeltaError(
+                f"constraint delta {self.kind!r} requires a positive "
+                f"value, got {self.value!r}"
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "value": self.value, "seq": self.seq}
+
+
+Delta = Union[CatalogDelta, ConstraintDelta]
+
+
+def delta_from_payload(payload: object) -> Delta:
+    """Decode a wire payload (one JSON object) into a typed delta.
+
+    Accepts the shape produced by ``to_dict``.  Unknown fields are
+    rejected so protocol typos fail loudly rather than silently no-op.
+    """
+    if not isinstance(payload, dict):
+        raise DeltaError(f"delta payload must be an object, got {payload!r}")
+    known = {"kind", "item", "credits", "value", "seq"}
+    unknown = set(payload) - known
+    if unknown:
+        raise DeltaError(f"unknown delta field(s): {sorted(unknown)}")
+    kind = payload.get("kind")
+    if not isinstance(kind, str):
+        raise DeltaError(f"delta payload requires a string 'kind', got {kind!r}")
+    seq_raw = payload.get("seq", 0)
+    if not isinstance(seq_raw, int) or isinstance(seq_raw, bool):
+        raise DeltaError(f"delta 'seq' must be an integer, got {seq_raw!r}")
+    if kind in CONSTRAINT_DELTA_KINDS:
+        value = payload.get("value")
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise DeltaError(
+                f"constraint delta {kind!r} requires a numeric 'value'"
+            )
+        return ConstraintDelta(kind=kind, value=float(value), seq=seq_raw)
+    item = payload.get("item")
+    if not isinstance(item, str):
+        raise DeltaError(f"catalog delta {kind!r} requires a string 'item'")
+    credits = payload.get("credits")
+    if credits is not None:
+        if not isinstance(credits, (int, float)) or isinstance(credits, bool):
+            raise DeltaError("delta 'credits' must be numeric")
+        credits = float(credits)
+    return CatalogDelta(kind=kind, item_id=item, credits=credits, seq=seq_raw)
+
+
+class CatalogView:
+    """A mutable live view over an immutable base catalog.
+
+    Folds :class:`CatalogDelta` events into a closed-item set plus a
+    credit-override map and re-materializes the live catalog from the
+    base each time, so closures prune prerequisite edges (through
+    ``Catalog.subset(on_dangling="prune")``) and reopens restore them.
+    Items whose every OR-group alternative is closed are dropped from
+    the live catalog (they cannot be legally placed in a fresh plan);
+    prerequisite references the *base* catalog never resolved remain
+    tolerated, preserving the out-of-program-prereq contract.
+
+    Thread-safe: ``apply`` serializes under an internal lock and swaps
+    :attr:`live` atomically; readers never see a half-applied event.
+    """
+
+    def __init__(self, base: Catalog) -> None:
+        self.base = base
+        self._closed: set = set()
+        self._credit_overrides: Dict[str, float] = {}
+        self._version = 0
+        self._live = base
+        self._findings: Tuple[SubsetFinding, ...] = ()
+        self._lock = threading.Lock()
+
+    @property
+    def live(self) -> Catalog:
+        """The current materialized catalog (base until the first delta)."""
+        return self._live
+
+    @property
+    def version(self) -> int:
+        """Number of deltas applied so far."""
+        return self._version
+
+    @property
+    def closed_ids(self) -> FrozenSet[str]:
+        return frozenset(self._closed)
+
+    @property
+    def last_findings(self) -> Tuple[SubsetFinding, ...]:
+        """Integrity findings from the most recent materialization."""
+        return self._findings
+
+    def resolve(self, item: Item) -> Item:
+        """``item`` with any live credit override applied.
+
+        Works for closed items too — used to re-cost a committed plan
+        prefix whose items may no longer exist in the live catalog.
+        """
+        override = self._credit_overrides.get(item.item_id)
+        if override is None or override == item.credits:
+            return item
+        return dataclasses.replace(item, credits=override)
+
+    def apply(self, delta: CatalogDelta) -> Tuple[SubsetFinding, ...]:
+        """Fold one delta into the view; returns the new findings."""
+        if not isinstance(delta, CatalogDelta):
+            raise DeltaError(
+                f"CatalogView can only apply CatalogDelta events, "
+                f"got {type(delta).__name__}"
+            )
+        if delta.item_id not in self.base:
+            raise DeltaError(
+                f"delta {delta.kind!r} references item {delta.item_id!r} "
+                f"unknown to base catalog {self.base.name!r}"
+            )
+        with self._lock:
+            if delta.kind == DELTA_CLOSE:
+                self._closed.add(delta.item_id)
+            elif delta.kind == DELTA_REOPEN:
+                self._closed.discard(delta.item_id)
+            else:  # credit_change
+                assert delta.credits is not None
+                self._credit_overrides[delta.item_id] = delta.credits
+            open_ids = [
+                item_id
+                for item_id in self.base.item_ids
+                if item_id not in self._closed
+            ]
+            if not open_ids:
+                # Roll back: a catalog must keep at least one item.
+                self._closed.discard(delta.item_id)
+                raise DeltaError(
+                    f"delta {delta.kind!r} on {delta.item_id!r} would "
+                    f"close the last open item"
+                )
+            self._version += 1
+            source = self.base
+            if self._credit_overrides:
+                source = Catalog(
+                    tuple(self.resolve(item) for item in self.base.items),
+                    name=self.base.name,
+                    topic_vocabulary=self.base.topic_vocabulary,
+                    validate_prerequisites=False,
+                )
+            live, findings = source.subset_with_findings(
+                open_ids,
+                name=f"{self.base.name}@v{self._version}",
+                on_dangling="prune",
+            )
+            self._live = live
+            self._findings = findings
+            return findings

@@ -117,6 +117,29 @@ class UnknownItemError(DataModelError):
         self.item_id = item_id
 
 
+class DanglingPrerequisiteError(DataModelError):
+    """A catalog subset would leave prerequisite edges pointing at
+    removed items and the caller asked for rejection instead of pruning.
+
+    Raised by :meth:`repro.core.catalog.Catalog.subset` with
+    ``on_dangling="reject"``; carries the typed findings so the caller
+    can report exactly which edges and items were affected.
+    """
+
+    def __init__(self, message: str, findings=()) -> None:
+        super().__init__(message)
+        self.findings = tuple(findings)
+
+
+class DeltaError(NonRetriableError, ReproError):
+    """A catalog/constraint delta event is malformed or inapplicable.
+
+    Examples: closing an item the base catalog never contained, a
+    credit change without a credit value, an unknown delta kind on the
+    wire.  Non-retriable: the event itself is wrong.
+    """
+
+
 class DatasetError(NonRetriableError, ReproError):
     """A dataset loader or generator was asked for something impossible."""
 

@@ -18,13 +18,14 @@ scorer, and transfer helpers behind a small API.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, Optional, Sequence, Tuple
 
 from .catalog import Catalog
 from .config import PlannerConfig, RecommendationMode
 from .constraints import TaskSpec
 from .env import DomainMode, TPPEnvironment
 from .exceptions import UntrainedPolicyError
+from .items import Item
 from .plan import Plan
 from .policy import GreedyPolicy
 from .qtable import QTable
@@ -230,6 +231,7 @@ class RLPlanner:
         horizon: Optional[int] = None,
         should_stop: Optional[Callable[[], bool]] = None,
         stop_when_valid: bool = False,
+        allowed_item_ids: Optional[FrozenSet[str]] = None,
     ) -> Tuple[Optional[Plan], Optional[PlanScore], bool]:
         """Best-so-far recommendation under a stop callback.
 
@@ -239,6 +241,9 @@ class RLPlanner:
         fires — the anytime contract the serving layer's deadline needs.
         A single rollout is never preempted mid-flight (they are
         milliseconds), so the callback granularity is one rollout.
+
+        ``allowed_item_ids`` restricts every rollout to a live subset of
+        the training catalog (availability churn serving a stale policy).
 
         Returns ``(plan, score, exhausted)``; ``plan`` is ``None`` when
         the callback fired before the first rollout completed, and
@@ -252,6 +257,10 @@ class RLPlanner:
                 item.item_id
                 for item in self.catalog.primaries()
                 if item.prerequisites.is_empty
+                and (
+                    allowed_item_ids is None
+                    or item.item_id in allowed_item_ids
+                )
             ] or [self.catalog.items[0].item_id]
         weights = self._portfolio_weights()
         best: Optional[Tuple[Plan, PlanScore]] = None
@@ -263,7 +272,8 @@ class RLPlanner:
                         return None, None, False
                     return best[0], best[1], False
                 plan = self._build_policy(weight).recommend(
-                    start, horizon=horizon
+                    start, horizon=horizon,
+                    allowed_item_ids=allowed_item_ids,
                 )
                 score = self.scorer.score(plan)
                 key = (score.is_valid, score.value, score.raw_value)
@@ -273,6 +283,45 @@ class RLPlanner:
             if stop_when_valid and best is not None and best[1].is_valid:
                 exhausted = start == start_item_ids[-1]
                 return best[0], best[1], exhausted
+        if best is None:
+            return None, None, True
+        return best[0], best[1], True
+
+    def complete_plan(
+        self,
+        prefix_items: Sequence[Item],
+        horizon: Optional[int] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
+        allowed_item_ids: Optional[FrozenSet[str]] = None,
+        scorer: Optional[PlanScorer] = None,
+    ) -> Tuple[Optional[Plan], Optional[PlanScore], bool]:
+        """Anytime portfolio completion of a committed plan prefix.
+
+        Rolls the lookahead-weight portfolio over
+        :meth:`GreedyPolicy.complete` — the prefix stays verbatim, only
+        the suffix varies — and keeps the best-scoring completion.  A
+        caller-supplied ``scorer`` lets a replan session judge
+        completions under *its* (possibly delta-updated) task rather
+        than the planner's training task.  Same anytime contract and
+        return shape as :meth:`recommend_anytime`.
+        """
+        judge = scorer if scorer is not None else self.scorer
+        best: Optional[Tuple[Plan, PlanScore]] = None
+        best_key = None
+        for weight in self._portfolio_weights():
+            if should_stop is not None and should_stop():
+                if best is None:
+                    return None, None, False
+                return best[0], best[1], False
+            plan = self._build_policy(weight).complete(
+                prefix_items, horizon=horizon,
+                allowed_item_ids=allowed_item_ids,
+            )
+            score = judge.score(plan)
+            key = (score.is_valid, score.value, score.raw_value)
+            if best_key is None or key > best_key:
+                best_key = key
+                best = (plan, score)
         if best is None:
             return None, None, True
         return best[0], best[1], True

@@ -19,7 +19,7 @@ Two traversal strategies are provided:
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import FrozenSet, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -91,6 +91,7 @@ class GreedyPolicy:
         start_item_id: str,
         horizon: Optional[int] = None,
         require_trained: bool = True,
+        allowed_item_ids: Optional[FrozenSet[str]] = None,
     ) -> Plan:
         """Produce a plan of up to ``horizon`` items starting at the item.
 
@@ -103,6 +104,11 @@ class GreedyPolicy:
         require_trained:
             When True, refuse to recommend from a never-updated table
             (all-zero Q would otherwise yield an arbitrary plan).
+        allowed_item_ids:
+            Optional availability filter: only these ids may be chosen
+            (and only they contribute continuation value).  Lets a
+            policy trained on the full catalog serve a live universe
+            where some items have closed, without retraining.
         """
         catalog = self.catalog
         if start_item_id not in catalog:
@@ -110,22 +116,68 @@ class GreedyPolicy:
                 f"start item {start_item_id!r} not in catalog "
                 f"{catalog.name!r}"
             )
+        if (
+            allowed_item_ids is not None
+            and start_item_id not in allowed_item_ids
+        ):
+            raise PlanningError(
+                f"start item {start_item_id!r} is not in the allowed "
+                f"(live) item set"
+            )
         h = horizon if horizon is not None else self.task.hard.plan_length
-        if require_trained and self.qtable.update_count == 0 and h > 1:
+        self._check_trained(require_trained, h)
+        builder = PlanBuilder(catalog)
+        builder.add(catalog[start_item_id])
+        return self._extend(builder, start_item_id, h, allowed_item_ids)
+
+    def complete(
+        self,
+        prefix_items: Sequence[Item],
+        horizon: Optional[int] = None,
+        require_trained: bool = True,
+        allowed_item_ids: Optional[FrozenSet[str]] = None,
+    ) -> Plan:
+        """Extend a committed plan prefix to the horizon.
+
+        The prefix items are placed verbatim (they may even be absent
+        from the live universe — history is immutable); the traversal
+        then continues from the last prefix item exactly as
+        :meth:`recommend` would, optionally restricted to
+        ``allowed_item_ids``.  Used by mid-plan replanning to redo only
+        the suffix after an availability delta.
+        """
+        prefix = tuple(prefix_items)
+        if not prefix:
+            raise PlanningError("complete() requires a non-empty prefix")
+        h = horizon if horizon is not None else self.task.hard.plan_length
+        self._check_trained(require_trained, h)
+        builder = PlanBuilder(self.catalog)
+        for item in prefix:
+            builder.add(item)
+        return self._extend(builder, prefix[-1].item_id, h, allowed_item_ids)
+
+    def _check_trained(self, require_trained: bool, horizon: int) -> None:
+        if require_trained and self.qtable.update_count == 0 and horizon > 1:
             raise UntrainedPolicyError(
                 "the Q-table has never been updated; train first or pass "
                 "require_trained=False"
             )
-        builder = PlanBuilder(catalog)
-        builder.add(catalog[start_item_id])
-        current = start_item_id
 
-        while len(builder) < h:
-            candidates = self._allowed_actions(builder)
+    def _extend(
+        self,
+        builder: PlanBuilder,
+        current: str,
+        horizon: int,
+        allowed_item_ids: Optional[FrozenSet[str]],
+    ) -> Plan:
+        while len(builder) < horizon:
+            candidates = self._allowed_actions(builder, allowed_item_ids)
             if not candidates:
                 break
             if self.recommendation is RecommendationMode.LOOKAHEAD:
-                next_id = self._lookahead_choice(builder, candidates)
+                next_id = self._lookahead_choice(
+                    builder, candidates, allowed_item_ids
+                )
             else:
                 next_id = self.qtable.best_action(
                     current, [c.item_id for c in candidates], rng=self._rng
@@ -136,7 +188,10 @@ class GreedyPolicy:
         return builder.build()
 
     def _lookahead_choice(
-        self, builder: PlanBuilder, candidates: Sequence[Item]
+        self,
+        builder: PlanBuilder,
+        candidates: Sequence[Item],
+        allowed_item_ids: Optional[FrozenSet[str]] = None,
     ) -> str:
         """argmax over a of ``R(s, a) + gamma * max_b Q(a, b)``.
 
@@ -148,6 +203,17 @@ class GreedyPolicy:
         catalog = self.catalog
         q = self.qtable.values
         remaining_idx = builder.remaining_indices()
+        if allowed_item_ids is not None:
+            # Closed items must not contribute continuation value either.
+            keep = np.fromiter(
+                (
+                    catalog.item_at(int(i)).item_id in allowed_item_ids
+                    for i in remaining_idx
+                ),
+                dtype=bool,
+                count=len(remaining_idx),
+            )
+            remaining_idx = remaining_idx[keep]
         index_map = catalog.index_map
         cand_idx = np.fromiter(
             (index_map[item.item_id] for item in candidates),
@@ -178,10 +244,20 @@ class GreedyPolicy:
             return winners[int(self._rng.integers(len(winners)))]
         return winners[0]
 
-    def _allowed_actions(self, builder: PlanBuilder) -> Tuple[Item, ...]:
+    def _allowed_actions(
+        self,
+        builder: PlanBuilder,
+        allowed_item_ids: Optional[FrozenSet[str]] = None,
+    ) -> Tuple[Item, ...]:
         """Unvisited items (trip mode: also within the time budget),
         gate-masked when a reward function is attached."""
         remaining = builder.remaining_items()
+        if allowed_item_ids is not None:
+            remaining = tuple(
+                item
+                for item in remaining
+                if item.item_id in allowed_item_ids
+            )
         if self.mode is DomainMode.TRIP:
             budget_left = self.task.hard.min_credits - builder.total_credits
             remaining = tuple(

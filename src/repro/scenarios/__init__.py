@@ -1,0 +1,27 @@
+"""Dynamic-world scenario generators (availability churn, replanning).
+
+This package turns the static benchmark catalogs into *changing worlds*:
+seeded, replayable schedules of :class:`~repro.core.deltas.CatalogDelta`
+events (closures, reopenings, credit changes) that the serving layer
+must survive mid-plan.  Schedules are pure data — generating one twice
+with the same seed yields byte-identical ``to_dict()`` forms, which is
+what the determinism drills in the benchmarks assert.
+"""
+
+from .churn import (
+    ChurnEvent,
+    ChurnSchedule,
+    burst_schedule,
+    poisson_schedule,
+    prereq_cut_schedule,
+    schedule_from_spec,
+)
+
+__all__ = [
+    "ChurnEvent",
+    "ChurnSchedule",
+    "burst_schedule",
+    "poisson_schedule",
+    "prereq_cut_schedule",
+    "schedule_from_spec",
+]

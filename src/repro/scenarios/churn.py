@@ -1,0 +1,362 @@
+"""Seeded availability-churn schedules over a catalog.
+
+A *schedule* is an ordered list of :class:`ChurnEvent`s, each pairing a
+progress fraction ``at`` in ``[0, 1]`` (how far through a load run or a
+plan execution the event fires) with one
+:class:`~repro.core.deltas.CatalogDelta`.  Three generators cover the
+robustness drills:
+
+* :func:`poisson_schedule` — background churn: closure and reopening
+  arrivals from two merged Poisson processes, the steady drizzle of a
+  changing world.
+* :func:`prereq_cut_schedule` — adversarial cuts: close the most
+  load-bearing antecedents (ranked by dependent count) so prerequisite
+  chains behind committed prefixes go dark all at once.
+* :func:`burst_schedule` — correlated bursts: several closures landing
+  together at burst windows (aligned with the load generator's burst
+  arrival phases), optionally healing at the window's end.
+
+Everything is driven by a seeded ``random.Random`` over *sorted* item-id
+pools and fraction timestamps — no wall clock anywhere — so the same
+seed always produces a byte-identical schedule, and a recorded run can
+be replayed exactly (the same property :class:`~repro.chaos` fault
+schedules have).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.catalog import Catalog
+from ..core.deltas import (
+    DELTA_CLOSE,
+    DELTA_REOPEN,
+    CatalogDelta,
+)
+from ..core.plan import Plan
+
+#: Schedule kinds (the generator that produced it).
+KIND_POISSON = "poisson"
+KIND_PREREQ_CUT = "cut"
+KIND_BURST = "burst"
+
+
+@dataclasses.dataclass(frozen=True)
+class ChurnEvent:
+    """One delta armed to fire at a progress fraction of a run."""
+
+    at: float
+    delta: CatalogDelta
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.at <= 1.0:
+            raise ValueError(
+                f"event fraction must be in [0, 1], got {self.at}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON-ready form (determinism drills compare these)."""
+        return {"at": round(self.at, 9), "delta": self.delta.to_dict()}
+
+
+@dataclasses.dataclass(frozen=True)
+class ChurnSchedule:
+    """An ordered, replayable list of churn events."""
+
+    kind: str
+    seed: int
+    events: Tuple[ChurnEvent, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def events_until(self, progress: float) -> Tuple[ChurnEvent, ...]:
+        """Events whose fraction is ``<= progress`` (in order)."""
+        return tuple(e for e in self.events if e.at <= progress)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON-ready form of the whole schedule."""
+        return {
+            "kind": self.kind,
+            "seed": self.seed,
+            "events": [e.to_dict() for e in self.events],
+        }
+
+
+def _open_pool(catalog: Catalog, closed: set) -> List[str]:
+    """Sorted ids still open (deterministic choice pool)."""
+    return sorted(i for i in catalog.item_ids if i not in closed)
+
+
+def poisson_schedule(
+    catalog: Catalog,
+    seed: int = 0,
+    rate: float = 6.0,
+    reopen_rate: float = 3.0,
+    duration: float = 1.0,
+    max_closed_fraction: float = 0.5,
+) -> ChurnSchedule:
+    """Background churn: merged Poisson closure/reopening processes.
+
+    Parameters
+    ----------
+    rate / reopen_rate:
+        Expected closure / reopening arrivals over ``duration`` (the
+        whole run maps to the fraction axis, so these are per-run
+        rates, not per-second).
+    max_closed_fraction:
+        Closures that would push the closed set past this fraction of
+        the catalog are skipped (the world degrades, it never empties).
+    """
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    if reopen_rate < 0:
+        raise ValueError("reopen_rate must be >= 0")
+    rng = random.Random(seed)
+    max_closed = int(max_closed_fraction * len(catalog))
+    closed: set = set()
+    events: List[ChurnEvent] = []
+    seq = 0
+
+    # Merge the two processes: draw arrival times for each, then walk
+    # the combined timeline in order.
+    arrivals: List[Tuple[float, str]] = []
+    t = 0.0
+    while True:
+        t += rng.expovariate(rate)
+        if t > duration:
+            break
+        arrivals.append((t, DELTA_CLOSE))
+    t = 0.0
+    while reopen_rate > 0:
+        t += rng.expovariate(reopen_rate)
+        if t > duration:
+            break
+        arrivals.append((t, DELTA_REOPEN))
+    arrivals.sort()
+
+    for when, kind in arrivals:
+        if kind == DELTA_CLOSE:
+            if len(closed) >= max_closed:
+                continue
+            pool = _open_pool(catalog, closed)
+            if len(pool) <= 1:
+                continue  # never close the last open item
+            item_id = pool[rng.randrange(len(pool))]
+            closed.add(item_id)
+        else:
+            if not closed:
+                continue
+            pool = sorted(closed)
+            item_id = pool[rng.randrange(len(pool))]
+            closed.discard(item_id)
+        seq += 1
+        events.append(
+            ChurnEvent(
+                at=when / duration,
+                delta=CatalogDelta(kind=kind, item_id=item_id, seq=seq),
+            )
+        )
+    return ChurnSchedule(
+        kind=KIND_POISSON, seed=seed, events=tuple(events)
+    )
+
+
+def prereq_cut_schedule(
+    catalog: Catalog,
+    seed: int = 0,
+    cuts: int = 2,
+    plan: Optional[Plan] = None,
+    executed: int = 0,
+    at: float = 0.5,
+) -> ChurnSchedule:
+    """Adversarial prerequisite-graph cuts.
+
+    Closes the ``cuts`` most load-bearing antecedents — items ranked by
+    ``(-dependent_count, item_id)`` — all at the same fraction ``at``,
+    so whole prerequisite chains go dark at once.  When a ``plan`` with
+    an ``executed`` prefix is given, antecedents appearing *in the
+    committed prefix itself* are ranked first: closing them is the
+    worst case (the prefix is invalidated, not just the suffix), which
+    is exactly what the acceptance drill wants to provoke.
+    """
+    if cuts < 1:
+        raise ValueError("cuts must be >= 1")
+    prefix_ids = (
+        frozenset(plan.item_ids[:executed]) if plan is not None else frozenset()
+    )
+    candidates = sorted(
+        catalog.antecedent_ids() & frozenset(catalog.item_ids)
+    )
+    if not candidates:
+        # Degenerate catalog with no prerequisite edges: fall back to
+        # cutting the lexicographically-first items so the drill still
+        # exercises closures.
+        candidates = sorted(catalog.item_ids)
+    ranked = sorted(
+        candidates,
+        key=lambda i: (
+            0 if i in prefix_ids else 1,
+            -len(catalog.dependents_of(i)),
+            i,
+        ),
+    )
+    # Keep at least one item open no matter how aggressive the cut.
+    chosen = ranked[: min(cuts, len(catalog) - 1)]
+    rng = random.Random(seed)  # jitters fire order within the cut
+    rng.shuffle(chosen)
+    events = tuple(
+        ChurnEvent(
+            at=at,
+            delta=CatalogDelta(
+                kind=DELTA_CLOSE, item_id=item_id, seq=seq + 1
+            ),
+        )
+        for seq, item_id in enumerate(chosen)
+    )
+    return ChurnSchedule(kind=KIND_PREREQ_CUT, seed=seed, events=events)
+
+
+def burst_schedule(
+    catalog: Catalog,
+    seed: int = 0,
+    every: float = 0.25,
+    length: float = 0.1,
+    per_burst: int = 2,
+    duration: float = 1.0,
+    reopen: bool = True,
+) -> ChurnSchedule:
+    """Correlated closures aligned with burst windows.
+
+    Bursts start at ``every, 2*every, ...``; each closes ``per_burst``
+    randomly-chosen open items at the window start and (when ``reopen``)
+    restores them at the window end.  Aligning ``every``/``length`` with
+    the load generator's burst arrival phase puts churn and traffic
+    spikes on top of each other — the worst-case the shed-rather-than-
+    serve-invalid acceptance drill measures.
+    """
+    if not 0.0 < every <= duration:
+        raise ValueError("every must be in (0, duration]")
+    if length < 0:
+        raise ValueError("length must be >= 0")
+    if per_burst < 1:
+        raise ValueError("per_burst must be >= 1")
+    rng = random.Random(seed)
+    closed: set = set()
+    events: List[ChurnEvent] = []
+    seq = 0
+    start = every
+    while start <= duration + 1e-12:
+        victims: List[str] = []
+        for _ in range(per_burst):
+            pool = _open_pool(catalog, closed)
+            if len(pool) <= 1:
+                break
+            item_id = pool[rng.randrange(len(pool))]
+            closed.add(item_id)
+            victims.append(item_id)
+            seq += 1
+            events.append(
+                ChurnEvent(
+                    at=min(start / duration, 1.0),
+                    delta=CatalogDelta(
+                        kind=DELTA_CLOSE, item_id=item_id, seq=seq
+                    ),
+                )
+            )
+        if reopen:
+            heal_at = min((start + length) / duration, 1.0)
+            for item_id in victims:
+                closed.discard(item_id)
+                seq += 1
+                events.append(
+                    ChurnEvent(
+                        at=heal_at,
+                        delta=CatalogDelta(
+                            kind=DELTA_REOPEN, item_id=item_id, seq=seq
+                        ),
+                    )
+                )
+        start += every
+    return ChurnSchedule(kind=KIND_BURST, seed=seed, events=tuple(events))
+
+
+# ----------------------------------------------------------------------
+# Spec parsing (CLI / load generator surface)
+# ----------------------------------------------------------------------
+
+_SPEC_ALIASES = {
+    "poisson": KIND_POISSON,
+    "cut": KIND_PREREQ_CUT,
+    "burst": KIND_BURST,
+}
+
+
+def _parse_kv(parts: Sequence[str], spec: str) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for part in parts:
+        if not part:
+            continue
+        if "=" not in part:
+            raise ValueError(
+                f"bad churn spec {spec!r}: expected key=value, got {part!r}"
+            )
+        key, _, value = part.partition("=")
+        try:
+            out[key.strip()] = float(value)
+        except ValueError:
+            raise ValueError(
+                f"bad churn spec {spec!r}: {value!r} is not a number"
+            ) from None
+    return out
+
+
+def schedule_from_spec(catalog: Catalog, spec: str) -> ChurnSchedule:
+    """Build a schedule from a compact CLI spec string.
+
+    Formats (all numeric fields optional, seeded and deterministic)::
+
+        poisson:rate=6,reopen=3,seed=0,max_closed=0.5
+        cut:cuts=2,at=0.5,seed=0
+        burst:every=0.25,len=0.1,per=2,seed=0,reopen=1
+    """
+    head, _, tail = spec.partition(":")
+    kind = _SPEC_ALIASES.get(head.strip().lower())
+    if kind is None:
+        raise ValueError(
+            f"unknown churn schedule kind {head!r} "
+            f"(expected one of {sorted(_SPEC_ALIASES)})"
+        )
+    kv = _parse_kv(tail.split(","), spec)
+    seed = int(kv.pop("seed", 0))
+    if kind == KIND_POISSON:
+        schedule = poisson_schedule(
+            catalog,
+            seed=seed,
+            rate=kv.pop("rate", 6.0),
+            reopen_rate=kv.pop("reopen", 3.0),
+            max_closed_fraction=kv.pop("max_closed", 0.5),
+        )
+    elif kind == KIND_PREREQ_CUT:
+        schedule = prereq_cut_schedule(
+            catalog,
+            seed=seed,
+            cuts=int(kv.pop("cuts", 2)),
+            at=kv.pop("at", 0.5),
+        )
+    else:
+        schedule = burst_schedule(
+            catalog,
+            seed=seed,
+            every=kv.pop("every", 0.25),
+            length=kv.pop("len", 0.1),
+            per_burst=int(kv.pop("per", 2)),
+            reopen=bool(kv.pop("reopen", 1.0)),
+        )
+    if kv:
+        raise ValueError(
+            f"bad churn spec {spec!r}: unknown fields {sorted(kv)}"
+        )
+    return schedule

@@ -11,6 +11,12 @@ fingerprint/atomic-write helpers, which are dataset-free) only — never
 from ``repro.datasets`` (which imports the auditor from here).
 """
 
+from ..core.deltas import (
+    CatalogDelta,
+    CatalogView,
+    ConstraintDelta,
+    delta_from_payload,
+)
 from .admission import (
     AdmissionError,
     AdmissionFinding,
@@ -28,6 +34,7 @@ from .breaker import (
 )
 from .deadline import Deadline
 from .facade import (
+    DeltaReport,
     PlanningService,
     RUNG_EDA,
     RUNG_REPAIR,
@@ -38,6 +45,20 @@ from .facade import (
     ServeResult,
 )
 from .loadgen import closed_loop, open_loop, sweep_closed_loop
+from .replan import (
+    CLASS_BENIGN,
+    CLASS_PREFIX_INVALIDATING,
+    CLASS_SUFFIX_ONLY,
+    REPLAN_DEGRADED,
+    REPLAN_DRAINING,
+    REPLAN_FAILED,
+    REPLAN_INVALIDATED,
+    REPLAN_NOOP,
+    REPLAN_OK,
+    AppliedDelta,
+    ReplanResult,
+    ReplanSession,
+)
 from .server import (
     OUTCOME_SHED,
     PlanningServer,
@@ -66,20 +87,36 @@ __all__ = [
     "AdmissionError",
     "AdmissionFinding",
     "AdmissionReport",
+    "AppliedDelta",
     "ArtifactMeta",
+    "CLASS_BENIGN",
+    "CLASS_PREFIX_INVALIDATING",
+    "CLASS_SUFFIX_ONLY",
     "CacheEntry",
+    "CatalogDelta",
+    "CatalogView",
     "CircuitBreaker",
+    "ConstraintDelta",
     "Deadline",
+    "DeltaReport",
     "INFEASIBILITY_CODES",
     "OUTCOME_SHED",
     "PlanningServer",
     "PlanningService",
     "PolicyRegistry",
+    "REPLAN_DEGRADED",
+    "REPLAN_DRAINING",
+    "REPLAN_FAILED",
+    "REPLAN_INVALIDATED",
+    "REPLAN_NOOP",
+    "REPLAN_OK",
     "RUNG_EDA",
     "RUNG_REPAIR",
     "RUNG_SARSA",
     "RUNGS",
     "RepairPlanner",
+    "ReplanResult",
+    "ReplanSession",
     "RungAttempt",
     "SOURCE_CACHE",
     "SOURCE_DISK",
@@ -96,6 +133,7 @@ __all__ = [
     "closed_loop",
     "config_fingerprint",
     "constraint_fingerprint",
+    "delta_from_payload",
     "open_loop",
     "policy_key",
     "request_from_payload",

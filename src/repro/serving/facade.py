@@ -35,11 +35,16 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..baselines.eda import EDAPlanner
-from ..core.catalog import Catalog
+from ..core.catalog import Catalog, SubsetFinding
 from ..core.config import PlannerConfig
 from ..core.constraints import TaskSpec
+from ..core.deltas import CatalogDelta, CatalogView
 from ..core.env import DomainMode
-from ..core.exceptions import NonRetriableError, UntrainedPolicyError
+from ..core.exceptions import (
+    DeltaError,
+    NonRetriableError,
+    UntrainedPolicyError,
+)
 from ..core.plan import Plan
 from ..core.planner import RLPlanner
 from ..core.scoring import PlanScore
@@ -146,6 +151,9 @@ class ServeResult:
     #: True when the response came from the per-policy-version plan
     #: memo — no traversal ran at all.
     plan_cache_hit: bool = False
+    #: Delta provenance: how many availability deltas the live catalog
+    #: had absorbed when this request was served (0 = pristine base).
+    catalog_version: int = 0
 
     @property
     def ok(self) -> bool:
@@ -187,6 +195,23 @@ class ServeResult:
             lines.append("ladder   :")
             lines.extend(f"  {attempt}" for attempt in self.attempts)
         return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class DeltaReport:
+    """What applying one world-level catalog delta did to the service."""
+
+    kind: str
+    item_id: str
+    catalog_version: int
+    #: Dangling-prereq findings from re-materializing the live catalog.
+    findings: Tuple[SubsetFinding, ...] = ()
+    #: True when the delta changed the catalog fingerprint of an
+    #: attached registry's policy key (a refit may have been scheduled).
+    fingerprint_changed: bool = False
+    #: True when a single-flight background refit was scheduled for the
+    #: new key by this call (False if one was already in flight).
+    refit_scheduled: bool = False
 
 
 class PlanningService:
@@ -277,6 +302,14 @@ class PlanningService:
         self._registry_label: str = ""
         self._cache_entry: Optional[CacheEntry] = None
         self._adopt_lock = threading.Lock()
+        # Availability churn (apply_delta): the live catalog view, the
+        # catalog the adopted policy indexes (they diverge while a
+        # post-churn refit is pending), and the refit-target key the
+        # resolve step probes each request.
+        self._delta_lock = threading.Lock()
+        self._catalog_view: Optional[CatalogView] = None
+        self._policy_catalog: Catalog = self.catalog
+        self._pending_policy_key: Optional[str] = None
 
     @classmethod
     def from_dataset(cls, dataset, **kwargs) -> "PlanningService":
@@ -320,38 +353,164 @@ class PlanningService:
             self.catalog, self.task, self.config, self.mode
         )
         self._cache_entry = None
+        self._policy_catalog = self.catalog
+        self._pending_policy_key = None
+
+    # ------------------------------------------------------------------
+    # The changing world: availability deltas
+    # ------------------------------------------------------------------
+
+    @property
+    def live_catalog(self) -> Catalog:
+        """The post-delta catalog (the base until the first delta)."""
+        view = self._catalog_view
+        return view.live if view is not None else self.catalog
+
+    @property
+    def catalog_version(self) -> int:
+        """Number of availability deltas absorbed (0 = pristine base)."""
+        view = self._catalog_view
+        return view.version if view is not None else 0
+
+    @property
+    def repair_max_expansions(self) -> int:
+        """DFS node budget the repair rung is constructed with."""
+        return self._repair_max_expansions
+
+    def apply_delta(self, delta: CatalogDelta) -> DeltaReport:
+        """Fold one world-level catalog delta into the service.
+
+        The live catalog is re-materialized (closures prune dangling
+        prerequisite edges; reopens restore them), subsequent requests
+        are screened and planned against it, and — when a registry is
+        attached — a changed catalog fingerprint schedules exactly one
+        single-flight background refit for the new policy key while the
+        stale policy keeps serving (restricted to live items).
+
+        Constraint deltas are session-scoped (they retarget a
+        :class:`~repro.serving.replan.ReplanSession`'s task); passing
+        one here raises :class:`DeltaError`.
+        """
+        if not isinstance(delta, CatalogDelta):
+            raise DeltaError(
+                "PlanningService.apply_delta takes CatalogDelta events; "
+                "constraint deltas are session-scoped (ReplanSession.ingest)"
+            )
+        obs = get_registry()
+        with self._delta_lock:
+            if self._catalog_view is None:
+                self._catalog_view = CatalogView(self.catalog)
+            findings = self._catalog_view.apply(delta)
+            version = self._catalog_view.version
+            fingerprint_changed = False
+            refit_scheduled = False
+            if self.policy_registry is not None:
+                live = self._catalog_view.live
+                new_key = self.policy_registry.key_for(
+                    live, self.task, self.config, self.mode
+                )
+                if new_key != self._policy_key:
+                    fingerprint_changed = True
+                    if new_key != self._pending_policy_key:
+                        self._pending_policy_key = new_key
+                        refit_scheduled = (
+                            self.policy_registry.invalidate(
+                                new_key,
+                                live,
+                                self.task,
+                                self.config,
+                                self.mode,
+                                episodes=self._registry_episodes,
+                                label=self._registry_label,
+                            )
+                        )
+                else:
+                    # The delta cycled the world back to the adopted
+                    # policy's universe (e.g. close then reopen).
+                    self._pending_policy_key = None
+        obs.inc(labelled("deltas_applied_total", kind=delta.kind))
+        for finding in findings:
+            obs.inc(
+                labelled("delta_prereq_findings_total", code=finding.code)
+            )
+        return DeltaReport(
+            kind=delta.kind,
+            item_id=delta.item_id,
+            catalog_version=version,
+            findings=findings,
+            fingerprint_changed=fingerprint_changed,
+            refit_scheduled=refit_scheduled,
+        )
+
+    def open_session(
+        self,
+        plan: Plan,
+        executed: int = 0,
+        session_id: str = "",
+        repair_only_below_s: Optional[float] = None,
+    ):
+        """Start a :class:`~repro.serving.replan.ReplanSession` over a
+        partially-executed plan (snapshotting today's live catalog)."""
+        from .replan import ReplanSession
+
+        kwargs = {}
+        if repair_only_below_s is not None:
+            kwargs["repair_only_below_s"] = repair_only_below_s
+        return ReplanSession(
+            self, plan, executed=executed, session_id=session_id, **kwargs
+        )
+
+    def replan(
+        self,
+        session,
+        deadline_s: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
+    ):
+        """The ``replan`` entry point: suffix-only replanning for a
+        session, with delta provenance in the returned envelope."""
+        return session.replan(deadline_s=deadline_s, deadline=deadline)
 
     @property
     def eda(self) -> EDAPlanner:
-        """This thread's EDA rung (lazily built; see ``_rung_local``)."""
-        eda = getattr(self._rung_local, "eda", None)
-        if eda is None:
+        """This thread's EDA rung (lazily built; see ``_rung_local``).
+
+        Rebuilt when the live catalog has moved past the version this
+        thread's instance was constructed against, so fallback rungs
+        never offer closed items.
+        """
+        version = self.catalog_version
+        cached = getattr(self._rung_local, "eda", None)
+        if cached is None or cached[0] != version:
             eda = EDAPlanner(
-                self.catalog, self.task, config=self.config,
+                self.live_catalog, self.task, config=self.config,
                 mode=self.mode, seed=self.config.seed,
             )
-            self._rung_local.eda = eda
-        return eda
+            self._rung_local.eda = (version, eda)
+            return eda
+        return cached[1]
 
     @property
     def repair(self) -> RepairPlanner:
         """This thread's repair rung (lazily built; see ``_rung_local``)."""
-        repair = getattr(self._rung_local, "repair", None)
-        if repair is None:
+        version = self.catalog_version
+        cached = getattr(self._rung_local, "repair", None)
+        if cached is None or cached[0] != version:
             repair = RepairPlanner(
-                self.catalog, self.task, mode=self.mode,
+                self.live_catalog, self.task, mode=self.mode,
                 max_expansions=self._repair_max_expansions,
             )
-            self._rung_local.repair = repair
-        return repair
+            self._rung_local.repair = (version, repair)
+            return repair
+        return cached[1]
 
     @property
     def default_start(self) -> str:
         """The opener used when a request does not pin one."""
-        for item in self.catalog.primaries():
+        live = self.live_catalog
+        for item in live.primaries():
             if item.prerequisites.is_empty:
                 return item.item_id
-        return self.catalog.items[0].item_id
+        return live.items[0].item_id
 
     # ------------------------------------------------------------------
     # Serving
@@ -405,8 +564,13 @@ class PlanningService:
         obs = get_registry()
         ctx = _ServeContext()
         with obs.span("serve.admission"):
+            # Screen against the *live* (post-delta) catalog, not the
+            # admission-time snapshot: a start item that has since
+            # closed, or a universe churn made infeasible, must reject
+            # here instead of failing deep inside a rung.
             screen = screen_request(
-                self.catalog, self.task, self.mode, request.start_item_id
+                self.live_catalog, self.task, self.mode,
+                request.start_item_id,
             )
         if screen.rejected:
             for finding in screen.findings:
@@ -421,6 +585,7 @@ class PlanningService:
                 deadline_s=request.deadline_s,
                 deadline_spent=deadline.elapsed(),
                 deadline_exceeded=deadline.expired,
+                catalog_version=self.catalog_version,
             )
 
         attempts: List[RungAttempt] = []
@@ -537,6 +702,7 @@ class PlanningService:
             plan_cache_hit=(
                 ctx.plan_cache_hit if rung == RUNG_SARSA else False
             ),
+            catalog_version=self.catalog_version,
         )
 
     # ------------------------------------------------------------------
@@ -573,14 +739,19 @@ class PlanningService:
         openers are swept best-first until the deadline fires.
         """
         entry = self._resolve_policy(ctx)
-        if entry is not None:
+        allowed = self._sarsa_allowed()
+        if entry is not None and allowed is None:
+            # The plan memo is only trustworthy when the policy's
+            # catalog IS the live universe — a memoized plan may hold
+            # items that have since closed.
             hit = entry.cached_plan(request.start_item_id, request.horizon)
             if hit is not None:
                 get_registry().inc("serve_plan_memo_hits_total")
                 ctx.plan_cache_hit = True
                 return hit
-        elif not self.planner.is_fitted or (
-            self.planner.qtable.update_count == 0
+        if entry is None and (
+            not self.planner.is_fitted
+            or self.planner.qtable.update_count == 0
         ):
             # Satellite guard: an unfitted (or zero-update) table would
             # "succeed" with an untrained greedy traversal — garbage
@@ -602,20 +773,41 @@ class PlanningService:
             horizon=request.horizon,
             should_stop=deadline.should_stop,
             stop_when_valid=True,
+            allowed_item_ids=allowed,
         )
         if (
             entry is not None
+            and allowed is None
             and plan is not None
             and score is not None
             and score.is_valid
         ):
             # A valid stop_when_valid result is deterministic for this
             # (table, start, horizon) regardless of the deadline — safe
-            # to memoize.  Invalid/truncated snapshots are not.
+            # to memoize.  Invalid/truncated snapshots are not (nor is
+            # anything produced under an availability filter).
             entry.store_plan(
                 request.start_item_id, request.horizon, plan, score
             )
         return plan, score
+
+    def _sarsa_allowed(self):
+        """Availability filter for the policy rung, or ``None``.
+
+        ``None`` when the adopted policy already indexes the live
+        universe (no churn, or the post-churn refit has been adopted);
+        otherwise the frozen live id set, so a stale policy keeps
+        serving without ever offering a closed item.
+        """
+        view = self._catalog_view
+        if view is None:
+            return None
+        live = view.live
+        if self.planner.catalog is live:
+            return None
+        if set(self.planner.catalog.item_ids) == set(live.item_ids):
+            return None
+        return frozenset(live.item_ids)
 
     def _resolve_policy(self, ctx: _ServeContext) -> Optional[CacheEntry]:
         """Resolve the policy rung's table through the registry.
@@ -629,8 +821,15 @@ class PlanningService:
         """
         if self.policy_registry is None:
             return None
+        pending = self._pending_policy_key
+        if pending is not None:
+            fresh = self.policy_registry.peek(pending)
+            if fresh is not None:
+                self._adopt_refit(pending, fresh)
+            # else: the refit hasn't landed — keep serving the stale
+            # version (restricted to live items by _sarsa_allowed).
         entry, _source = self.policy_registry.acquire(
-            self.catalog,
+            self._policy_catalog,
             self.task,
             self.config,
             self.mode,
@@ -647,6 +846,29 @@ class PlanningService:
             f"{short_key(entry.meta.key)}@v{entry.meta.version}"
         )
         return entry
+
+    def _adopt_refit(self, key: str, entry: CacheEntry) -> None:
+        """Swap in a landed post-churn refit (new catalog universe).
+
+        ``adopt_policy`` refuses a table whose item-id set differs from
+        the planner's catalog, so the planner is rebuilt over the refit
+        table's own catalog first; the old policy key retires and the
+        memo naturally starts fresh with the new entry.
+        """
+        with self._adopt_lock:
+            if self._pending_policy_key != key:
+                return
+            planner = RLPlanner(
+                entry.qtable.catalog, self.task, self.config,
+                mode=self.mode,
+            )
+            planner.adopt_policy(entry.qtable)
+            self.planner = planner
+            self._policy_catalog = entry.qtable.catalog
+            self._policy_key = key
+            self._pending_policy_key = None
+            self._cache_entry = entry
+            get_registry().inc("serve_policy_swaps_total")
 
     def _run_eda(
         self, request: ServeRequest, deadline: Deadline

@@ -39,12 +39,21 @@ import time
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..runner.faults import FaultInjector
-from .facade import OUTCOME_REJECTED, ServeRequest
+from .facade import (
+    OUTCOME_DEGRADED,
+    OUTCOME_OK,
+    OUTCOME_REJECTED,
+    ServeRequest,
+    ServeResult,
+)
 from .server import OUTCOME_SHED, PlanningServer
 
 #: Outcomes that never reached a worker — excluded from latency
 #: percentiles (their "latency" is the shed decision, microseconds).
 NON_SERVICE_OUTCOMES = (OUTCOME_SHED, OUTCOME_REJECTED)
+
+#: Outcomes that hand the caller a plan to act on.
+SERVED_OUTCOMES = (OUTCOME_OK, OUTCOME_DEGRADED)
 
 
 def percentile(sorted_values: Sequence[float], q: float) -> float:
@@ -71,13 +80,17 @@ class _Recorder:
         self.rungs: Dict[str, int] = {}
         self.slo_attained = 0
         self.errors = 0
+        self.invalid_served = 0
 
     def record(self, outcome: str, rung: Optional[str],
-               valid: bool, latency_s: float) -> None:
+               valid: bool, latency_s: float,
+               invalid_served: bool = False) -> None:
         with self._lock:
             self.outcomes[outcome] = self.outcomes.get(outcome, 0) + 1
             if rung is not None:
                 self.rungs[rung] = self.rungs.get(rung, 0) + 1
+            if invalid_served:
+                self.invalid_served += 1
             if outcome not in NON_SERVICE_OUTCOMES:
                 self.latencies_s.append(latency_s)
                 if valid and (
@@ -97,6 +110,7 @@ class _Recorder:
             rungs = dict(self.rungs)
             attained = self.slo_attained
             errors = self.errors
+            invalid_served = self.invalid_served
         completed = sum(outcomes.values())
         admitted = len(latencies)
         shed = outcomes.get(OUTCOME_SHED, 0)
@@ -112,6 +126,7 @@ class _Recorder:
             "outcomes": outcomes,
             "rungs": rungs,
             "shed_rate": round(shed / completed, 4) if completed else 0.0,
+            "invalid_served": invalid_served,
             "latency_ms": {
                 "count": admitted,
                 "p50": round(1e3 * percentile(latencies, 0.50), 3),
@@ -175,6 +190,87 @@ class _FaultArmer:
         }
 
 
+class _ChurnArmer:
+    """Applies a churn schedule's due deltas as the run progresses.
+
+    Mirrors :class:`_FaultArmer`: built from a compact spec string
+    (``poisson:rate=6,seed=3`` / ``cut:cuts=2`` / ``burst:every=0.25``),
+    it replays the seeded schedule against the server as the run's
+    progress fraction crosses each event's ``at`` mark.  Deltas flow
+    through :meth:`PlanningServer.apply_delta`, so the live catalog,
+    the policy fingerprint, and every open replan session all see them
+    — availability churn and traffic load on the same clock.
+    """
+
+    def __init__(
+        self, server: PlanningServer, spec: Optional[str]
+    ) -> None:
+        self.server = server
+        self.spec = spec
+        self.schedule = None
+        if spec is not None:
+            # Imported lazily: the serving package stays importable
+            # without the scenarios package on exotic install slices.
+            from ..scenarios import schedule_from_spec
+
+            self.schedule = schedule_from_spec(
+                server.service.catalog, spec
+            )
+        self._applied = 0
+        self._errors = 0
+        self._lock = threading.Lock()
+
+    def maybe_apply(self, progress: float) -> None:
+        if self.schedule is None:
+            return
+        with self._lock:
+            events = self.schedule.events
+            while self._applied < len(events):
+                event = events[self._applied]
+                if event.at > progress:
+                    break
+                self._applied += 1
+                try:
+                    self.server.apply_delta(event.delta)
+                except Exception:  # noqa: BLE001 - keep the run going
+                    self._errors += 1
+
+    def finish(self) -> None:
+        """Fire any events the run ended before reaching."""
+        self.maybe_apply(1.0)
+
+    def summary(self) -> Optional[Dict[str, Any]]:
+        if self.schedule is None:
+            return None
+        with self._lock:
+            return {
+                "spec": self.spec,
+                "kind": self.schedule.kind,
+                "seed": self.schedule.seed,
+                "events": len(self.schedule),
+                "applied": self._applied,
+                "errors": self._errors,
+                "catalog_version": self.server.service.catalog_version,
+            }
+
+
+def _served_invalid(
+    server: PlanningServer, result: ServeResult
+) -> bool:
+    """True when a *served* plan references a closed item.
+
+    The shed-rather-than-invalid drill: checked at completion time, so
+    single-threaded (closed loop, concurrency 1) churn runs get an
+    exact answer — deltas and requests interleave on one thread.
+    """
+    if result.outcome not in SERVED_OUTCOMES or result.plan is None:
+        return False
+    live = server.service.live_catalog
+    return any(
+        item_id not in live for item_id in result.plan.item_ids
+    )
+
+
 def _default_request_factory(
     deadline_s: Optional[float],
 ) -> Callable[[int], ServeRequest]:
@@ -193,6 +289,7 @@ def closed_loop(
     request_factory: Optional[Callable[[int], ServeRequest]] = None,
     fault_spec: Optional[str] = None,
     fault_at: float = 0.5,
+    churn_spec: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Closed-loop run: ``concurrency`` clients, ``requests`` total.
 
@@ -200,6 +297,8 @@ def closed_loop(
     immediately issues the next request; a shared counter hands out
     request indices so the total is exact regardless of per-client
     speed.  ``request_factory(index)`` customizes the traffic mix.
+    ``churn_spec`` arms a seeded availability-churn schedule that fires
+    catalog deltas as the run progresses (see :mod:`repro.scenarios`).
     """
     if concurrency < 1:
         raise ValueError("concurrency must be >= 1")
@@ -208,6 +307,7 @@ def closed_loop(
     factory = request_factory or _default_request_factory(deadline_s)
     recorder = _Recorder(slo_s)
     armer = _FaultArmer(server, fault_spec, fault_at)
+    churn = _ChurnArmer(server, churn_spec)
     counter_lock = threading.Lock()
     issued = 0
 
@@ -226,6 +326,7 @@ def closed_loop(
             if index is None:
                 return
             armer.maybe_arm(index / requests, index)
+            churn.maybe_apply(index / requests)
             request = factory(index)
             t0 = time.monotonic()
             try:
@@ -238,6 +339,7 @@ def closed_loop(
                 result.rung,
                 result.ok,
                 time.monotonic() - t0,
+                invalid_served=_served_invalid(server, result),
             )
 
     threads = [
@@ -249,11 +351,16 @@ def closed_loop(
         thread.start()
     for thread in threads:
         thread.join()
+    # Fire any schedule tail the request clock never reached (events at
+    # the very end of the run, e.g. a final-burst reopen at 1.0), so a
+    # replayed run always ends in the schedule's terminal world state.
+    churn.finish()
     report = recorder.report(
         "closed", time.monotonic() - t_start, issued
     )
     report["concurrency"] = concurrency
     report["faults"] = armer.summary()
+    report["churn"] = churn.summary()
     return report
 
 
@@ -270,6 +377,7 @@ def open_loop(
     request_factory: Optional[Callable[[int], ServeRequest]] = None,
     fault_spec: Optional[str] = None,
     fault_at: float = 0.5,
+    churn_spec: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Open-loop run: Poisson arrivals at ``rate`` req/s for
     ``duration_s`` seconds, never waiting for responses.
@@ -293,6 +401,7 @@ def open_loop(
     factory = request_factory or _default_request_factory(deadline_s)
     recorder = _Recorder(slo_s)
     armer = _FaultArmer(server, fault_spec, fault_at)
+    churn = _ChurnArmer(server, churn_spec)
     rng = random.Random(seed)
     pending: List[threading.Event] = []
     issued = 0
@@ -308,6 +417,7 @@ def open_loop(
         if elapsed >= duration_s:
             break
         armer.maybe_arm(elapsed / duration_s, issued)
+        churn.maybe_apply(elapsed / duration_s)
         current_rate = rate * (
             burst_factor if in_burst(elapsed) else 1.0
         )
@@ -333,6 +443,7 @@ def open_loop(
                     result.rung,
                     result.ok,
                     time.monotonic() - _t0,
+                    invalid_served=_served_invalid(server, result),
                 )
             _done.set()
 
@@ -343,6 +454,7 @@ def open_loop(
             done.set()
     for done in pending:
         done.wait(timeout=60.0)
+    churn.finish()
     report = recorder.report(
         "open", time.monotonic() - t_start, issued
     )
@@ -357,6 +469,7 @@ def open_loop(
         }
     )
     report["faults"] = armer.summary()
+    report["churn"] = churn.summary()
     return report
 
 

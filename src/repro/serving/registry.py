@@ -336,6 +336,54 @@ class PolicyRegistry:
             self._insert(key, entry)
         return entry
 
+    def peek(self, key: str) -> Optional[CacheEntry]:
+        """Warm-cache-only probe: no disk read, no train, no LRU touch.
+
+        The serving facade polls this per request while a post-churn
+        refit for a *new* key is in flight — the probe must never block
+        or train, because the stale policy is still answering traffic.
+        """
+        with self._lock:
+            return self._cache.get(key)
+
+    def invalidate(
+        self,
+        key: str,
+        catalog: Catalog,
+        task: TaskSpec,
+        config: PlannerConfig,
+        mode: DomainMode = DomainMode.COURSE,
+        trainer: Optional[Callable[[], QTable]] = None,
+        episodes: Optional[int] = None,
+        label: str = "",
+    ) -> bool:
+        """An availability delta changed a universe's fingerprint.
+
+        ``key`` is the *new* universe's policy key (derived from the
+        post-delta catalog).  If neither the warm cache nor the disk
+        store already holds it, schedule the usual single-flight
+        background refit to train it; the caller keeps serving its
+        stale key until :meth:`peek` returns the landed entry.  Returns
+        True when a refit thread was newly started.
+        """
+        with self._lock:
+            if key in self._cache:
+                return False
+            already = self._refits.get(key)
+            if already is not None and already.is_alive():
+                return False
+        # A previous run may have the artifact on disk: loading it is
+        # much cheaper than retraining.
+        entry = self._load_entry(key, catalog)
+        if entry is not None:
+            self._insert(key, entry)
+            return False
+        get_metrics().inc("registry_invalidations_total")
+        self._schedule_refit(
+            key, catalog, task, config, mode, trainer, episodes, label
+        )
+        return self.refit_in_flight(key)
+
     # ------------------------------------------------------------------
     # Publish / evict / prewarm
     # ------------------------------------------------------------------

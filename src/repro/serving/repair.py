@@ -66,6 +66,7 @@ class RepairPlanner(BaselinePlanner):
         start_item_id: Optional[str] = None,
         horizon: Optional[int] = None,
         should_stop: Optional[Callable[[], bool]] = None,
+        pinned: Optional[Sequence[Item]] = None,
     ) -> Plan:
         """A hard-constraint-valid plan, preferring the pinned start.
 
@@ -73,26 +74,78 @@ class RepairPlanner(BaselinePlanner):
         unlike the gold oracles — retries unpinned, because a valid plan
         from a different opening item still beats no plan at all.
 
+        ``pinned`` locks an already-executed plan prefix into slots
+        ``0..len(pinned)-1`` verbatim: repair can never rewrite history.
+        The prefix is given as :class:`Item` objects (not ids) because
+        committed items may no longer exist in the live catalog after an
+        availability delta.  Only permutations whose leading slot types
+        match the prefix are searched, and the DFS fills suffix slots
+        only.  ``pinned`` and ``start_item_id`` are mutually exclusive.
+
         Raises
         ------
         PlanningError
             When no permutation admits a valid completion within the
             expansion budget (or ``should_stop`` fired first).
         """
+        if pinned:
+            if start_item_id is not None:
+                raise PlanningError(
+                    "pinned prefix and start_item_id are mutually "
+                    "exclusive; the prefix already fixes slot 0"
+                )
+            return self._recommend_pinned(tuple(pinned), should_stop)
         if start_item_id is not None and start_item_id not in self.catalog:
             raise InfeasibleError(
                 f"start item {start_item_id!r} not in catalog "
                 f"{self.catalog.name!r}"
             )
-        for pinned in (start_item_id, None):
+        for start in (start_item_id, None):
             for permutation in self.task.soft.template:
-                plan = self._search(permutation, pinned, should_stop)
+                plan = self._search(permutation, start, should_stop)
                 if plan is not None:
                     return plan
             if start_item_id is None:
                 break
         raise PlanningError(
             f"repair search found no valid plan for task "
+            f"{self.task.name!r} in catalog {self.catalog.name!r}"
+        )
+
+    def _recommend_pinned(
+        self,
+        prefix: Tuple[Item, ...],
+        should_stop: Optional[Callable[[], bool]],
+    ) -> Plan:
+        """Complete a committed prefix; the prefix slots are immutable."""
+        ids = [item.item_id for item in prefix]
+        if len(set(ids)) != len(ids):
+            raise PlanningError(
+                f"pinned prefix repeats item(s): {sorted(set(ids))}"
+            )
+        matched = False
+        for permutation in self.task.soft.template:
+            if len(prefix) > len(permutation):
+                continue
+            if any(
+                permutation[i] is not prefix[i].item_type
+                for i in range(len(prefix))
+            ):
+                continue
+            matched = True
+            plan = self._search(
+                permutation, None, should_stop, prefix=prefix
+            )
+            if plan is not None:
+                return plan
+        if not matched:
+            raise PlanningError(
+                f"no template permutation of task {self.task.name!r} "
+                f"matches the pinned prefix types"
+            )
+        raise PlanningError(
+            f"repair search found no valid completion of the "
+            f"{len(prefix)}-item pinned prefix for task "
             f"{self.task.name!r} in catalog {self.catalog.name!r}"
         )
 
@@ -105,12 +158,26 @@ class RepairPlanner(BaselinePlanner):
         permutation: Sequence[ItemType],
         start_item_id: Optional[str],
         should_stop: Optional[Callable[[], bool]],
+        prefix: Tuple[Item, ...] = (),
     ) -> Optional[Plan]:
         self._expansions = 0
         self._stop = should_stop
-        chosen: List[Item] = []
-        positions: Dict[str, int] = {}
-        if self._dfs(permutation, 0, chosen, positions, 0.0, start_item_id):
+        chosen: List[Item] = list(prefix)
+        positions: Dict[str, int] = {
+            item.item_id: i for i, item in enumerate(prefix)
+        }
+        distance_used = 0.0
+        if (
+            self.mode is DomainMode.TRIP
+            and self.task.hard.max_distance is not None
+        ):
+            for previous, item in zip(prefix, prefix[1:]):
+                d = _item_distance_km(previous, item)
+                distance_used += d if d is not None else 0.0
+        if self._dfs(
+            permutation, len(prefix), chosen, positions,
+            distance_used, start_item_id,
+        ):
             plan = Plan(items=tuple(chosen), catalog_name=self.catalog.name)
             if self._validator.is_valid(plan):
                 return plan

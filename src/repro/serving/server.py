@@ -48,15 +48,20 @@ import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from ..core.deltas import CatalogDelta, Delta, delta_from_payload
+from ..core.exceptions import DataModelError, DeltaError, PlanningError
+from ..core.plan import Plan
 from ..obs import get_registry, labelled
 from .admission import screen_request
 from .deadline import Deadline
 from .facade import (
     OUTCOME_REJECTED,
+    DeltaReport,
     PlanningService,
     ServeRequest,
     ServeResult,
 )
+from .replan import REPLAN_DRAINING, ReplanResult, ReplanSession
 
 #: Envelope outcome for a request the server refused to run at all.
 OUTCOME_SHED = "shed"
@@ -95,6 +100,10 @@ class PlanningServer:
         queue-full shed threshold.
     default_deadline_s:
         Budget applied to requests that do not carry their own.
+    drain_session_grace_s:
+        Per-session replan budget :meth:`drain` grants open
+        :class:`~repro.serving.replan.ReplanSession`s with unresolved
+        deltas before shedding them with a ``draining`` envelope.
     clock:
         Injectable monotonic clock (tests drive shedding without
         sleeping).
@@ -106,6 +115,7 @@ class PlanningServer:
         workers: int = 4,
         max_queue: int = 32,
         default_deadline_s: Optional[float] = None,
+        drain_session_grace_s: float = 1.0,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if workers < 1:
@@ -116,6 +126,7 @@ class PlanningServer:
         self.workers = workers
         self.max_queue = max_queue
         self.default_deadline_s = default_deadline_s
+        self.drain_session_grace_s = drain_session_grace_s
         self.clock = clock
         self._executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="plansrv"
@@ -128,6 +139,8 @@ class PlanningServer:
         self._closed = False
         self._tcp_server: Optional[_JsonLineTcpServer] = None
         self._tcp_thread: Optional[threading.Thread] = None
+        self._sessions: Dict[str, ReplanSession] = {}
+        self._session_seq = 0
 
     # ------------------------------------------------------------------
     # Admission + dispatch
@@ -168,7 +181,7 @@ class PlanningServer:
         # Fast screen on the caller's thread: a provably-doomed request
         # must not occupy a queue slot or a worker.
         screen = screen_request(
-            self.service.catalog,
+            self.service.live_catalog,
             self.service.task,
             self.service.mode,
             request.start_item_id,
@@ -186,6 +199,9 @@ class PlanningServer:
                     outcome=OUTCOME_REJECTED,
                     admission=screen,
                     deadline_s=request.deadline_s,
+                    catalog_version=getattr(
+                        self.service, "catalog_version", 0
+                    ),
                 )
             )
 
@@ -285,6 +301,124 @@ class PlanningServer:
         )
 
     # ------------------------------------------------------------------
+    # Sessions + world deltas
+    # ------------------------------------------------------------------
+
+    def open_session(
+        self, plan: Plan, executed: int = 0
+    ) -> ReplanSession:
+        """Register a mid-execution plan for delta broadcast + replans."""
+        if self._closed:
+            raise ServerClosed("server is closed")
+        with self._lock:
+            if self._draining:
+                raise PlanningError(
+                    "server is draining; no new replan sessions"
+                )
+            self._session_seq += 1
+            session_id = f"s{self._session_seq}"
+        session = self.service.open_session(
+            plan, executed=executed, session_id=session_id
+        )
+        with self._lock:
+            self._sessions[session_id] = session
+        return session
+
+    def sessions(self) -> Tuple[ReplanSession, ...]:
+        """Snapshot of registered sessions (drained ones included)."""
+        with self._lock:
+            return tuple(self._sessions.values())
+
+    def apply_delta(self, delta: Delta) -> Optional[DeltaReport]:
+        """Fold one world delta in and broadcast it to open sessions.
+
+        Catalog deltas go through the service (re-materializing the
+        live catalog and invalidating the policy fingerprint) *and* to
+        every non-drained session; constraint deltas are session-scoped
+        and only broadcast.  Returns the service's
+        :class:`~repro.serving.facade.DeltaReport` for catalog deltas,
+        ``None`` for constraint deltas.
+        """
+        if self._closed:
+            raise ServerClosed("server is closed")
+        report: Optional[DeltaReport] = None
+        if isinstance(delta, CatalogDelta):
+            report = self.service.apply_delta(delta)
+        for session in self.sessions():
+            if session.drained:
+                continue
+            try:
+                session.ingest(delta)
+            except PlanningError:
+                continue  # drained between the check and the ingest
+        return report
+
+    def submit_replan(
+        self,
+        session: ReplanSession,
+        deadline_s: Optional[float] = None,
+    ) -> "Future[ReplanResult]":
+        """Admit one replan onto the worker pool (same queue accounting).
+
+        While draining, replans are shed with a typed ``draining``
+        envelope instead of being enqueued — the quiesce pass in
+        :meth:`drain` is the only replanning that happens after that.
+        """
+        obs = get_registry()
+        if self._closed:
+            raise ServerClosed("server is closed")
+        with self._lock:
+            if self._draining:
+                obs.inc(
+                    labelled("server_shed_total", reason=SHED_DRAINING)
+                )
+                return _completed(
+                    ReplanResult(
+                        outcome=REPLAN_DRAINING,
+                        trigger="drain",
+                        suffix_start=session.executed,
+                        session_id=session.session_id,
+                    )
+                )
+            self._queued += 1
+            obs.set_gauge("server_queue_depth", self._queued)
+        return self._executor.submit(
+            self._replan_work, session, deadline_s
+        )
+
+    def _replan_work(
+        self, session: ReplanSession, deadline_s: Optional[float]
+    ) -> ReplanResult:
+        obs = get_registry()
+        with self._lock:
+            self._queued -= 1
+            self._inflight += 1
+            obs.set_gauge("server_queue_depth", self._queued)
+        try:
+            return session.replan(deadline_s=deadline_s)
+        finally:
+            with self._lock:
+                self._inflight -= 1
+
+    def _quiesce_sessions(self) -> None:
+        """Finish-or-shed every open session at drain time."""
+        obs = get_registry()
+        for session in self.sessions():
+            if session.drained:
+                continue
+            result = session.quiesce(
+                grace_s=self.drain_session_grace_s
+            )
+            outcome = (
+                "shed" if result.outcome == REPLAN_DRAINING else "finished"
+            )
+            obs.inc(
+                labelled(
+                    "server_sessions_quiesced_total", outcome=outcome
+                )
+            )
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
 
@@ -297,6 +431,7 @@ class PlanningServer:
                 "workers": self.workers,
                 "max_queue": self.max_queue,
                 "draining": self._draining,
+                "sessions": len(self._sessions),
                 "ewma_service_ms": (
                     None
                     if self._ewma_service_s is None
@@ -309,12 +444,19 @@ class PlanningServer:
     # ------------------------------------------------------------------
 
     def drain(self) -> None:
-        """Stop admitting, finish every admitted request, join the pool."""
+        """Stop admitting, finish every admitted request, join the pool.
+
+        After the pool quiesces, every open replan session is drained
+        too: sessions with unresolved deltas get one final bounded
+        replan (``drain_session_grace_s``), the rest are shed with a
+        typed ``draining`` envelope — no session is left half-updated.
+        """
         with self._lock:
             self._draining = True
         if self._tcp_server is not None:
             self._tcp_server.shutdown()
         self._executor.shutdown(wait=True)
+        self._quiesce_sessions()
 
     def close(self) -> None:
         """Drain, tear down the socket listener, and reject new submits."""
@@ -361,8 +503,8 @@ class PlanningServer:
         return str(bound[0]), int(bound[1])
 
 
-def _completed(result: ServeResult) -> "Future[ServeResult]":
-    future: "Future[ServeResult]" = Future()
+def _completed(result: Any) -> "Future[Any]":
+    future: "Future[Any]" = Future()
     future.set_result(result)
     return future
 
@@ -402,6 +544,7 @@ def result_to_payload(result: ServeResult) -> Dict[str, Any]:
     """Encode one envelope as a JSON-ready dict (wire + load reports)."""
     return {
         "outcome": result.outcome,
+        "catalog_version": result.catalog_version,
         "rung": result.rung,
         "degraded": result.degraded,
         "valid": result.ok,
@@ -437,8 +580,15 @@ class _JsonLineHandler(socketserver.StreamRequestHandler):
                 continue
             try:
                 payload = json.loads(line.decode("utf-8"))
-                request = request_from_payload(payload)
             except (ValueError, UnicodeDecodeError) as exc:
+                self._reply({"outcome": "error", "error": str(exc)})
+                continue
+            if isinstance(payload, dict) and "delta" in payload:
+                self._handle_delta(payload)
+                continue
+            try:
+                request = request_from_payload(payload)
+            except ValueError as exc:
                 self._reply({"outcome": "error", "error": str(exc)})
                 continue
             try:
@@ -449,6 +599,39 @@ class _JsonLineHandler(socketserver.StreamRequestHandler):
                 )
                 return
             self._reply(result_to_payload(result))
+
+    def _handle_delta(self, payload: Dict[str, Any]) -> None:
+        """One ``{"delta": {...}}`` line: apply a world delta event."""
+        server: _JsonLineTcpServer = self.server  # type: ignore[assignment]
+        planning_server = server.planning_server
+        extra = set(payload) - {"delta"}
+        if extra:
+            self._reply(
+                {
+                    "outcome": "error",
+                    "error": f"unknown delta fields: {sorted(extra)}",
+                }
+            )
+            return
+        try:
+            delta = delta_from_payload(payload["delta"])
+            report = planning_server.apply_delta(delta)
+        except (DeltaError, DataModelError, ValueError) as exc:
+            self._reply({"outcome": "error", "error": str(exc)})
+            return
+        except ServerClosed:
+            self._reply({"outcome": "error", "error": "server is closed"})
+            return
+        reply: Dict[str, Any] = {
+            "outcome": "delta_applied",
+            "kind": delta.kind,
+            "catalog_version": planning_server.service.catalog_version,
+        }
+        if report is not None:
+            reply["findings"] = [f.code for f in report.findings]
+            reply["fingerprint_changed"] = report.fingerprint_changed
+            reply["refit_scheduled"] = report.refit_scheduled
+        self._reply(reply)
 
     def _reply(self, payload: Dict[str, Any]) -> None:
         self.wfile.write(

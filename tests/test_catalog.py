@@ -2,8 +2,16 @@
 
 import pytest
 
-from repro.core.catalog import Catalog
-from repro.core.exceptions import DataModelError, UnknownItemError
+from repro.core.catalog import (
+    SUBSET_ORPHANED_ITEM,
+    SUBSET_PRUNED_PREREQ,
+    Catalog,
+)
+from repro.core.exceptions import (
+    DanglingPrerequisiteError,
+    DataModelError,
+    UnknownItemError,
+)
 from repro.core.items import ItemType, Prerequisites
 
 from conftest import make_item
@@ -114,3 +122,100 @@ class TestSubsetsAndStats:
         assert stats["num_primary"] == 1
         assert stats["num_with_prerequisites"] == 1
         assert stats["total_credits"] == 9.0
+
+
+class TestSubsetFindings:
+    """on_dangling semantics for churn-driven sub-catalogs (ISSUE-8)."""
+
+    @pytest.fixture
+    def chain_catalog(self):
+        # s2 needs p1 (AND); s3 needs p2-or-p3 (OR); s4 needs s3.
+        items = [
+            make_item("p1", ItemType.PRIMARY),
+            make_item("p2", ItemType.PRIMARY),
+            make_item("p3", ItemType.PRIMARY),
+            make_item(
+                "s2",
+                ItemType.SECONDARY,
+                prereqs=Prerequisites.all_of(["p1"]),
+            ),
+            make_item(
+                "s3",
+                ItemType.SECONDARY,
+                prereqs=Prerequisites.any_of(["p2", "p3"]),
+            ),
+            make_item(
+                "s4",
+                ItemType.SECONDARY,
+                prereqs=Prerequisites.all_of(["s3"]),
+            ),
+        ]
+        return Catalog(items, name="chain")
+
+    def test_keep_is_the_default_and_reports_nothing(self, chain_catalog):
+        sub, findings = chain_catalog.subset_with_findings(
+            ["p2", "s2", "s3", "s4"]
+        )
+        assert findings == ()
+        # The dead edge survives verbatim: s2 still references p1.
+        assert "p1" in sub["s2"].prerequisites.groups[0]
+
+    def test_prune_slims_or_groups(self, chain_catalog):
+        sub, findings = chain_catalog.subset_with_findings(
+            ["p2", "s3", "s4"], on_dangling="prune"
+        )
+        assert sub.item_ids == ("p2", "s3", "s4")
+        codes = [f.code for f in findings]
+        assert codes == [SUBSET_PRUNED_PREREQ]
+        assert findings[0].item_ids == ("s3",)
+        # s3 kept its surviving alternative only.
+        assert sub["s3"].prerequisites.groups[0] == frozenset({"p2"})
+
+    def test_prune_cascades_orphans(self, chain_catalog):
+        # Dropping both p2 and p3 kills s3's only OR-group; s4 then
+        # loses its only prerequisite and cascades out too.
+        sub, findings = chain_catalog.subset_with_findings(
+            ["p1", "s2", "s3", "s4"], on_dangling="prune"
+        )
+        assert sub.item_ids == ("p1", "s2")
+        orphaned = sorted(
+            f.item_ids[0]
+            for f in findings
+            if f.code == SUBSET_ORPHANED_ITEM
+        )
+        assert orphaned == ["s3", "s4"]
+
+    def test_reject_raises_with_findings_attached(self, chain_catalog):
+        with pytest.raises(DanglingPrerequisiteError) as exc:
+            chain_catalog.subset(
+                ["s2", "s3", "s4"], on_dangling="reject"
+            )
+        codes = {f.code for f in exc.value.findings}
+        assert SUBSET_PRUNED_PREREQ in codes or SUBSET_ORPHANED_ITEM in codes
+
+    def test_reject_passes_when_clean(self, chain_catalog):
+        sub = chain_catalog.subset(
+            ["p1", "s2"], on_dangling="reject"
+        )
+        assert sub.item_ids == ("p1", "s2")
+
+    def test_out_of_program_prereqs_tolerated_everywhere(self):
+        # References to ids the base catalog never contained mirror real
+        # degree programs and survive every mode untouched.
+        items = [
+            make_item("a"),
+            make_item(
+                "b", prereqs=Prerequisites.all_of(["external-101"])
+            ),
+        ]
+        base = Catalog(items, validate_prerequisites=False)
+        for mode in ("keep", "prune", "reject"):
+            sub, findings = base.subset_with_findings(
+                ["a", "b"], on_dangling=mode
+            )
+            assert findings == ()
+            assert "external-101" in sub["b"].prerequisites.groups[0]
+
+    def test_invalid_mode_rejected(self, chain_catalog):
+        with pytest.raises(ValueError):
+            chain_catalog.subset(["p1"], on_dangling="explode")

@@ -341,3 +341,186 @@ class TestRegistryCLI:
         assert "deleted" in capsys.readouterr().out
         assert main(["registry", "list", root]) == 0
         assert key_prefix not in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# ISSUE-8 satellite: availability churn vs. the registry
+# ----------------------------------------------------------------------
+
+def _slack_catalog():
+    """Ten 3-credit items: make_task() (12 credits) survives closures."""
+    from conftest import make_item
+
+    from repro.core.catalog import Catalog
+    from repro.core.items import ItemType, Prerequisites
+
+    items = [
+        make_item("p1", ItemType.PRIMARY, topics={"t1"}),
+        make_item("p2", ItemType.PRIMARY, topics={"t2"}),
+        make_item("p3", ItemType.PRIMARY, topics={"t3"}),
+        make_item("p4", ItemType.PRIMARY, topics={"t4"}),
+        make_item("p5", ItemType.PRIMARY, topics={"t1", "t3"}),
+        make_item("s1", ItemType.SECONDARY, topics={"t1"}),
+        make_item(
+            "s2",
+            ItemType.SECONDARY,
+            topics={"t2"},
+            prereqs=Prerequisites.all_of(["p1"]),
+        ),
+        make_item(
+            "s3",
+            ItemType.SECONDARY,
+            topics={"t3"},
+            prereqs=Prerequisites.any_of(["p2", "p3"]),
+        ),
+        make_item("s4", ItemType.SECONDARY, topics={"t4"}),
+        make_item("s5", ItemType.SECONDARY, topics={"t2", "t4"}),
+    ]
+    return Catalog(items, name="registry-churn")
+
+
+class TestChurnInvalidation:
+    """A changed catalog fingerprint invalidates without blocking serving."""
+
+    pytestmark = [pytest.mark.scenarios]
+
+    def _world(self, tmp_path):
+        from conftest import make_task
+
+        from repro.core.config import PlannerConfig
+
+        catalog = _slack_catalog()
+        registry = PolicyRegistry(tmp_path / "reg", cache_size=4)
+        service = PlanningService(
+            catalog, make_task(), PlannerConfig(episodes=200, seed=3)
+        )
+        service.attach_registry(registry, episodes=200)
+        return service, registry
+
+    def test_churn_delta_misses_cache_and_refits_exactly_once(
+        self, tmp_path
+    ):
+        from repro.core.deltas import DELTA_CLOSE, CatalogDelta
+        from repro.serving.facade import OUTCOME_DEGRADED, OUTCOME_OK
+
+        obs = MetricsRegistry()
+        with use_registry(obs):
+            service, registry = self._world(tmp_path)
+            first = service.serve()
+            assert first.outcome == OUTCOME_OK
+            victim = first.plan.item_ids[-1]
+
+            report = service.apply_delta(
+                CatalogDelta(kind=DELTA_CLOSE, item_id=victim, seq=1)
+            )
+            assert report.fingerprint_changed
+            # The post-delta key was in neither the warm cache nor the
+            # disk store, so a single-flight background refit started.
+            assert report.refit_scheduled
+            new_key = registry.key_for(
+                service.live_catalog,
+                service.task,
+                service.config,
+                service.mode,
+            )
+
+            # The stale policy keeps serving while the refit is in
+            # flight -- restricted to live items.
+            stale = service.serve()
+            assert stale.outcome in (OUTCOME_OK, OUTCOME_DEGRADED)
+            assert victim not in stale.plan.item_ids
+
+            registry.drain(timeout=120.0)
+            assert not registry.refit_in_flight(new_key)
+            assert registry.peek(new_key) is not None
+
+            # First request after landing adopts the refit table.
+            swapped = service.serve()
+            assert swapped.outcome == OUTCOME_OK
+            assert victim not in swapped.plan.item_ids
+            assert swapped.policy != first.policy
+
+            counters = obs.snapshot()["counters"]
+            assert counters["registry_invalidations_total"] == 1
+            assert counters["registry_refits_scheduled_total"] == 1
+            assert counters["serve_policy_swaps_total"] == 1
+
+    def test_invalidate_is_single_flight(self, tmp_path, toy_dataset,
+                                          toy_qtable):
+        reg = PolicyRegistry(tmp_path, cache_size=2)
+        release = threading.Event()
+
+        def trainer():
+            release.wait(30.0)
+            return toy_qtable
+
+        catalog, task, config, mode = _universe(toy_dataset, seed=77)
+        key = reg.key_for(catalog, task, config, mode)
+        assert reg.invalidate(
+            key, catalog, task, config, mode, trainer=trainer
+        )
+        # Second invalidation for the same key while the first refit is
+        # still training: no second thread.
+        assert not reg.invalidate(
+            key, catalog, task, config, mode, trainer=trainer
+        )
+        release.set()
+        reg.drain(timeout=30.0)
+        assert reg.peek(key) is not None
+        # A key the cache already holds never refits.
+        assert not reg.invalidate(
+            key, catalog, task, config, mode, trainer=trainer
+        )
+
+    def test_close_reopen_cycles_key_back_without_swap(self, tmp_path):
+        from repro.core.deltas import (
+            DELTA_CLOSE,
+            DELTA_REOPEN,
+            CatalogDelta,
+        )
+        from repro.serving.facade import OUTCOME_OK
+
+        obs = MetricsRegistry()
+        with use_registry(obs):
+            service, registry = self._world(tmp_path)
+            first = service.serve()
+            victim = first.plan.item_ids[-1]
+            r1 = service.apply_delta(
+                CatalogDelta(kind=DELTA_CLOSE, item_id=victim, seq=1)
+            )
+            r2 = service.apply_delta(
+                CatalogDelta(kind=DELTA_REOPEN, item_id=victim, seq=2)
+            )
+            assert r1.fingerprint_changed
+            # Reopen restored the original universe: same fingerprint,
+            # nothing new scheduled, the pending refit target retired.
+            assert not r2.fingerprint_changed
+            assert not r2.refit_scheduled
+            registry.drain(timeout=120.0)
+            after = service.serve()
+            assert after.outcome == OUTCOME_OK
+            assert after.policy == first.policy
+            counters = obs.snapshot()["counters"]
+            assert counters.get("serve_policy_swaps_total", 0) == 0
+
+    def test_session_suffix_replan_never_refits(self, tmp_path):
+        from repro.core.deltas import DELTA_CLOSE, CatalogDelta
+
+        obs = MetricsRegistry()
+        with use_registry(obs):
+            service, registry = self._world(tmp_path)
+            plan = service.serve().plan
+            session = service.open_session(plan, executed=1)
+            session.ingest(
+                CatalogDelta(
+                    kind=DELTA_CLOSE, item_id=plan.item_ids[-1], seq=1
+                )
+            )
+            result = session.replan(deadline_s=10.0)
+            assert result.ok
+            # Session-scoped deltas stay off the registry: no
+            # invalidation, no refit, world version untouched.
+            assert service.catalog_version == 0
+            counters = obs.snapshot()["counters"]
+            assert counters.get("registry_invalidations_total", 0) == 0
+            assert counters.get("registry_refits_scheduled_total", 0) == 0

@@ -1,0 +1,416 @@
+"""Mid-plan replanning under availability churn (ISSUE-8 tentpole).
+
+Covers the delta-classification matrix, suffix-only replanning (prefix
+pinned, closed items excluded), prefix invalidation and reopen
+self-healing, the repair-only tight-deadline path, byte-identical
+decision logs on replay, the pinned-prefix repair search, and the
+drain-time quiesce contract.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from conftest import make_item, make_task
+
+from repro.core.catalog import Catalog
+from repro.core.config import PlannerConfig
+from repro.core.deltas import (
+    DELTA_CLOSE,
+    DELTA_CREDIT_CHANGE,
+    DELTA_MIN_CREDITS,
+    DELTA_REOPEN,
+    CatalogDelta,
+    ConstraintDelta,
+)
+from repro.core.exceptions import DeltaError, PlanningError
+from repro.core.items import ItemType, Prerequisites
+from repro.serving import (
+    CLASS_BENIGN,
+    CLASS_PREFIX_INVALIDATING,
+    CLASS_SUFFIX_ONLY,
+    REPLAN_DEGRADED,
+    REPLAN_DRAINING,
+    REPLAN_INVALIDATED,
+    REPLAN_NOOP,
+    REPLAN_OK,
+    PlanningService,
+    RepairPlanner,
+)
+
+pytestmark = [pytest.mark.serving, pytest.mark.scenarios]
+
+
+def _churn_catalog() -> Catalog:
+    """Ten items with slack: any single closure keeps the task feasible."""
+    items = [
+        make_item("p1", ItemType.PRIMARY, topics={"t1"}),
+        make_item("p2", ItemType.PRIMARY, topics={"t2"}),
+        make_item("p3", ItemType.PRIMARY, topics={"t3"}),
+        make_item("p4", ItemType.PRIMARY, topics={"t4"}),
+        make_item("p5", ItemType.PRIMARY, topics={"t1", "t3"}),
+        make_item("s1", ItemType.SECONDARY, topics={"t1"}),
+        make_item(
+            "s2",
+            ItemType.SECONDARY,
+            topics={"t2"},
+            prereqs=Prerequisites.all_of(["p1"]),
+        ),
+        make_item(
+            "s3",
+            ItemType.SECONDARY,
+            topics={"t3"},
+            prereqs=Prerequisites.any_of(["p2", "p3"]),
+        ),
+        make_item("s4", ItemType.SECONDARY, topics={"t4"}),
+        make_item("s5", ItemType.SECONDARY, topics={"t2", "t4"}),
+    ]
+    return Catalog(items, name="churn-unit")
+
+
+@pytest.fixture(scope="module")
+def fitted_proto():
+    """Train once per module; tests clone services around the planner."""
+    catalog = _churn_catalog()
+    task = make_task()
+    config = PlannerConfig(episodes=250, seed=3)
+    service = PlanningService(catalog, task, config)
+    service.fit()
+    return service
+
+
+@pytest.fixture()
+def service(fitted_proto):
+    """Fresh facade per test (clean view/pending state, shared policy)."""
+    return PlanningService(
+        fitted_proto.catalog,
+        fitted_proto.task,
+        fitted_proto.config,
+        planner=fitted_proto.planner,
+    )
+
+
+@pytest.fixture()
+def base_plan(service):
+    result = service.serve()
+    assert result.ok and result.plan is not None, result.describe()
+    return result.plan
+
+
+def _close(item_id: str, seq: int = 1) -> CatalogDelta:
+    return CatalogDelta(kind=DELTA_CLOSE, item_id=item_id, seq=seq)
+
+
+def _reopen(item_id: str, seq: int = 2) -> CatalogDelta:
+    return CatalogDelta(kind=DELTA_REOPEN, item_id=item_id, seq=seq)
+
+
+def _off_plan_item(plan, service) -> str:
+    for item_id in service.catalog.item_ids:
+        if item_id not in plan.item_ids:
+            return item_id
+    raise AssertionError("plan uses the whole catalog; no slack item")
+
+
+class TestClassification:
+    def test_close_prefix_member_invalidates_prefix(
+        self, service, base_plan
+    ):
+        session = service.open_session(base_plan, executed=2)
+        cls = session.ingest(_close(base_plan.item_ids[0]))
+        assert cls == CLASS_PREFIX_INVALIDATING
+        assert not session.prefix_valid()
+
+    def test_close_suffix_member_is_suffix_only(self, service, base_plan):
+        session = service.open_session(base_plan, executed=2)
+        cls = session.ingest(_close(base_plan.item_ids[-1]))
+        assert cls == CLASS_SUFFIX_ONLY
+        assert session.prefix_valid()
+        assert session.pending_deltas == 1
+
+    def test_close_off_plan_item_is_benign(self, service, base_plan):
+        session = service.open_session(base_plan, executed=2)
+        cls = session.ingest(_close(_off_plan_item(base_plan, service)))
+        assert cls == CLASS_BENIGN
+        assert session.pending_deltas == 0
+
+    def test_reopen_is_benign(self, service, base_plan):
+        session = service.open_session(base_plan, executed=2)
+        session.ingest(_close(base_plan.item_ids[-1]))
+        cls = session.ingest(_reopen(base_plan.item_ids[-1]))
+        assert cls == CLASS_BENIGN
+
+    def test_credit_change_off_plan_is_benign(self, service, base_plan):
+        session = service.open_session(base_plan, executed=2)
+        cls = session.ingest(
+            CatalogDelta(
+                kind=DELTA_CREDIT_CHANGE,
+                item_id=_off_plan_item(base_plan, service),
+                credits=9.0,
+                seq=1,
+            )
+        )
+        assert cls == CLASS_BENIGN
+
+    def test_min_credits_within_plan_total_is_benign(
+        self, service, base_plan
+    ):
+        session = service.open_session(base_plan, executed=1)
+        cls = session.ingest(
+            ConstraintDelta(
+                kind=DELTA_MIN_CREDITS,
+                value=base_plan.total_credits,
+                seq=1,
+            )
+        )
+        assert cls == CLASS_BENIGN
+
+    def test_min_credits_beyond_plan_total_is_suffix_only(
+        self, service, base_plan
+    ):
+        session = service.open_session(base_plan, executed=1)
+        cls = session.ingest(
+            ConstraintDelta(
+                kind=DELTA_MIN_CREDITS,
+                value=base_plan.total_credits + 3.0,
+                seq=1,
+            )
+        )
+        assert cls == CLASS_SUFFIX_ONLY
+        # The session's own task now carries the tightened constraint.
+        assert session.task.hard.min_credits == base_plan.total_credits + 3.0
+
+    def test_ingest_rejects_unknown_item(self, service, base_plan):
+        session = service.open_session(base_plan)
+        with pytest.raises(DeltaError):
+            session.ingest(_close("ghost"))
+
+
+class TestReplan:
+    def test_suffix_only_replan_pins_prefix_and_drops_closed(
+        self, service, base_plan
+    ):
+        session = service.open_session(base_plan, executed=2)
+        victim = base_plan.item_ids[-1]
+        session.ingest(_close(victim))
+        result = session.replan(deadline_s=5.0)
+        assert result.outcome in (REPLAN_OK, REPLAN_DEGRADED)
+        assert result.ok
+        assert result.suffix_start == 2
+        assert result.plan.item_ids[:2] == base_plan.item_ids[:2]
+        assert victim not in result.plan.item_ids
+        # The session adopted the new plan and cleared pending deltas.
+        assert session.plan.item_ids == result.plan.item_ids
+        assert session.pending_deltas == 0
+
+    def test_replan_result_carries_delta_provenance(
+        self, service, base_plan
+    ):
+        session = service.open_session(base_plan, executed=2)
+        session.ingest(_close(base_plan.item_ids[-1]))
+        result = session.replan(deadline_s=5.0)
+        assert len(result.deltas) == 1
+        record = result.deltas[0]
+        assert record.kind == DELTA_CLOSE
+        assert record.item_id == base_plan.item_ids[-1]
+        assert record.classification == CLASS_SUFFIX_ONLY
+
+    def test_noop_when_nothing_pending(self, service, base_plan):
+        session = service.open_session(base_plan, executed=1)
+        result = session.replan(deadline_s=5.0)
+        assert result.outcome == REPLAN_NOOP
+        assert result.plan.item_ids == base_plan.item_ids
+
+    def test_prefix_invalidation_blocks_planning(self, service, base_plan):
+        session = service.open_session(base_plan, executed=2)
+        session.ingest(_close(base_plan.item_ids[0]))
+        result = session.replan(deadline_s=5.0)
+        assert result.outcome == REPLAN_INVALIDATED
+        assert not result.attempts  # no rung ever ran
+        assert session.plan.item_ids == base_plan.item_ids
+
+    def test_reopen_heals_invalidated_prefix(self, service, base_plan):
+        session = service.open_session(base_plan, executed=2)
+        session.ingest(_close(base_plan.item_ids[0]))
+        assert session.replan(deadline_s=5.0).outcome == REPLAN_INVALIDATED
+        session.ingest(_reopen(base_plan.item_ids[0]))
+        assert session.prefix_valid()
+        result = session.replan(deadline_s=5.0)
+        assert result.outcome in (REPLAN_OK, REPLAN_DEGRADED, REPLAN_NOOP)
+        assert result.ok
+
+    def test_tight_deadline_goes_straight_to_repair(
+        self, service, base_plan
+    ):
+        session = service.open_session(
+            base_plan, executed=2, repair_only_below_s=60.0
+        )
+        session.ingest(_close(base_plan.item_ids[-1]))
+        result = session.replan(deadline_s=5.0)
+        assert [a.rung for a in result.attempts] == ["repair"]
+        assert result.rung == "repair"
+        assert result.ok
+
+    def test_decision_log_replay_is_byte_identical(
+        self, service, base_plan
+    ):
+        def run() -> str:
+            session = service.open_session(
+                base_plan, executed=1, session_id="replay"
+            )
+            session.ingest(_close(base_plan.item_ids[-1], seq=1))
+            session.ingest(
+                _close(_off_plan_item(base_plan, service), seq=2)
+            )
+            session.replan(deadline_s=30.0)
+            session.ingest(_reopen(base_plan.item_ids[-1], seq=3))
+            session.replan(deadline_s=30.0)
+            return session.log_json()
+
+        log_a, log_b = run(), run()
+        assert log_a == log_b
+        parsed = json.loads(log_a)
+        events = [entry["event"] for entry in parsed]
+        assert events.count("replan") == 2
+        # No wall-clock values anywhere in the log.
+        for entry in parsed:
+            assert "time" not in entry and "seconds" not in entry
+
+    def test_advance_moves_the_committed_boundary(
+        self, service, base_plan
+    ):
+        session = service.open_session(base_plan, executed=0)
+        assert session.advance(2) == 2
+        cls = session.ingest(_close(base_plan.item_ids[1]))
+        assert cls == CLASS_PREFIX_INVALIDATING
+
+
+class TestQuiesce:
+    def test_quiesce_without_pending_shed_draining(
+        self, service, base_plan
+    ):
+        session = service.open_session(base_plan, executed=1)
+        result = session.quiesce(grace_s=1.0)
+        assert result.outcome == REPLAN_DRAINING
+        assert session.drained
+        with pytest.raises(PlanningError):
+            session.ingest(_close(base_plan.item_ids[-1]))
+
+    def test_quiesce_with_pending_finishes_under_grace(
+        self, service, base_plan
+    ):
+        session = service.open_session(base_plan, executed=2)
+        session.ingest(_close(base_plan.item_ids[-1]))
+        result = session.quiesce(grace_s=5.0)
+        assert result.outcome in (REPLAN_OK, REPLAN_DEGRADED)
+        assert result.ok
+        assert session.drained
+
+    def test_quiesce_with_zero_grace_sheds_typed_envelope(
+        self, service, base_plan
+    ):
+        session = service.open_session(base_plan, executed=2)
+        session.ingest(_close(base_plan.item_ids[-1]))
+        result = session.quiesce(grace_s=0.0)
+        assert result.outcome == REPLAN_DRAINING
+        assert len(result.deltas) == 1  # pending provenance preserved
+        assert session.drained
+
+    def test_replan_after_drain_returns_draining(self, service, base_plan):
+        session = service.open_session(base_plan, executed=1)
+        session.quiesce()
+        result = session.replan(deadline_s=1.0)
+        assert result.outcome == REPLAN_DRAINING
+
+
+class TestFacadeDeltas:
+    def test_apply_delta_bumps_version_and_avoids_closed_item(
+        self, service, base_plan
+    ):
+        victim = base_plan.item_ids[-1]
+        report = service.apply_delta(_close(victim))
+        assert report.catalog_version == 1
+        assert victim not in service.live_catalog
+        result = service.serve()
+        assert result.ok, result.describe()
+        assert result.catalog_version == 1
+        assert victim not in result.plan.item_ids
+
+    def test_screen_rejects_request_for_closed_start(
+        self, service, base_plan
+    ):
+        victim = base_plan.item_ids[0]
+        service.apply_delta(_close(victim))
+        result = service.serve(start_item_id=victim)
+        assert result.outcome == "rejected"
+
+    def test_reopen_restores_the_world(self, service, base_plan):
+        victim = base_plan.item_ids[-1]
+        service.apply_delta(_close(victim))
+        service.apply_delta(_reopen(victim))
+        assert victim in service.live_catalog
+        assert service.catalog_version == 2
+        result = service.serve()
+        assert result.ok
+
+    def test_constraint_delta_rejected_at_service_level(self, service):
+        with pytest.raises(DeltaError):
+            service.apply_delta(
+                ConstraintDelta(kind=DELTA_MIN_CREDITS, value=15.0, seq=1)
+            )
+
+    def test_closing_prereq_cascades_out_dependents(self, service):
+        # s2 requires p1; closing p1 prunes s2's only alternative, so
+        # the live catalog drops s2 too (orphan cascade).
+        report = service.apply_delta(_close("p1"))
+        codes = {f.code for f in report.findings}
+        assert "orphaned_item" in codes
+        assert "s2" not in service.live_catalog
+        result = service.serve()
+        assert result.ok
+        assert "p1" not in result.plan.item_ids
+        assert "s2" not in result.plan.item_ids
+
+
+class TestRepairPinned:
+    def test_pinned_prefix_is_kept_verbatim(self, service, base_plan):
+        planner = RepairPlanner(
+            service.catalog, service.task, service.mode
+        )
+        prefix = base_plan.items[:2]
+        plan = planner.recommend(pinned=prefix)
+        assert plan.item_ids[:2] == base_plan.item_ids[:2]
+        from repro.core.scoring import PlanScorer
+
+        score = PlanScorer(service.task, service.mode).score(plan)
+        assert score.is_valid, score.report
+
+    def test_pinned_and_start_are_mutually_exclusive(
+        self, service, base_plan
+    ):
+        planner = RepairPlanner(
+            service.catalog, service.task, service.mode
+        )
+        with pytest.raises(PlanningError):
+            planner.recommend(
+                start_item_id="p1", pinned=base_plan.items[:1]
+            )
+
+    def test_pinned_duplicate_ids_rejected(self, service, base_plan):
+        planner = RepairPlanner(
+            service.catalog, service.task, service.mode
+        )
+        first = base_plan.items[0]
+        with pytest.raises(PlanningError):
+            planner.recommend(pinned=(first, first))
+
+    def test_pinned_type_mismatch_has_typed_error(self, service):
+        planner = RepairPlanner(
+            service.catalog, service.task, service.mode
+        )
+        # Every template slot 0 is primary; pinning four secondaries
+        # cannot match any permutation.
+        secondaries = service.catalog.secondaries()[:4]
+        with pytest.raises(PlanningError):
+            planner.recommend(pinned=secondaries)

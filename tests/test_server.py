@@ -76,6 +76,11 @@ class StubService:
         self.fault_injector = None
         self._serve_fn = serve_fn
 
+    @property
+    def live_catalog(self):
+        # No churn support in the stub: the world never changes.
+        return self.catalog
+
     def serve(self, request, deadline=None):
         if self._serve_fn is not None:
             return self._serve_fn(request, deadline)
