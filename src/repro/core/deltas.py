@@ -195,6 +195,24 @@ class CatalogView:
         """Integrity findings from the most recent materialization."""
         return self._findings
 
+    def fork(self) -> "CatalogView":
+        """An independent view over the same *base* seeded with the
+        current closed-set/credit state.
+
+        A session-scoped fork can keep folding deltas without mutating
+        the view it was forked from, and — because it shares the
+        pristine base — it resolves a later ``reopen`` of an item the
+        parent view has already pruned from :attr:`live`.
+        """
+        clone = CatalogView(self.base)
+        with self._lock:
+            clone._closed = set(self._closed)
+            clone._credit_overrides = dict(self._credit_overrides)
+            clone._version = self._version
+            clone._live = self._live
+            clone._findings = self._findings
+        return clone
+
     def resolve(self, item: Item) -> Item:
         """``item`` with any live credit override applied.
 

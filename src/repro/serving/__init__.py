@@ -55,6 +55,7 @@ from .replan import (
     REPLAN_INVALIDATED,
     REPLAN_NOOP,
     REPLAN_OK,
+    REPLAN_SHED,
     AppliedDelta,
     ReplanResult,
     ReplanSession,
@@ -110,6 +111,7 @@ __all__ = [
     "REPLAN_INVALIDATED",
     "REPLAN_NOOP",
     "REPLAN_OK",
+    "REPLAN_SHED",
     "RUNG_EDA",
     "RUNG_REPAIR",
     "RUNG_SARSA",

@@ -349,12 +349,14 @@ class PlanningService:
         self.policy_registry = registry
         self._registry_episodes = episodes
         self._registry_label = label
-        self._policy_key = registry.key_for(
+        key = registry.key_for(
             self.catalog, self.task, self.config, self.mode
         )
-        self._cache_entry = None
-        self._policy_catalog = self.catalog
-        self._pending_policy_key = None
+        with self._delta_lock:
+            self._policy_key = key
+            self._cache_entry = None
+            self._policy_catalog = self.catalog
+            self._pending_policy_key = None
 
     # ------------------------------------------------------------------
     # The changing world: availability deltas
@@ -441,6 +443,20 @@ class PlanningService:
             fingerprint_changed=fingerprint_changed,
             refit_scheduled=refit_scheduled,
         )
+
+    def fork_view(self) -> CatalogView:
+        """A session-scoped :class:`CatalogView` seeded with today's state.
+
+        The fork is based on the *pristine* base catalog (not the pruned
+        ``live_catalog``) with the service's current closed-set/credit
+        overrides replayed in, so a session opened after a ``close`` can
+        still ingest a later ``reopen`` of that item — the id resolves
+        against the full base even though the live catalog dropped it.
+        """
+        with self._delta_lock:
+            if self._catalog_view is not None:
+                return self._catalog_view.fork()
+        return CatalogView(self.catalog)
 
     def open_session(
         self,
@@ -854,20 +870,31 @@ class PlanningService:
         the planner's catalog, so the planner is rebuilt over the refit
         table's own catalog first; the old policy key retires and the
         memo naturally starts fresh with the new entry.
+
+        The pending-key fields are written by ``apply_delta`` under
+        ``_delta_lock``, so this method checks and clears them under the
+        same lock — and re-checks right before the swap — ensuring a
+        delta that scheduled a newer refit while the planner was being
+        rebuilt is never clobbered (its pending key stays armed and this
+        stale refit is discarded).
         """
         with self._adopt_lock:
-            if self._pending_policy_key != key:
-                return
+            with self._delta_lock:
+                if self._pending_policy_key != key:
+                    return
             planner = RLPlanner(
                 entry.qtable.catalog, self.task, self.config,
                 mode=self.mode,
             )
             planner.adopt_policy(entry.qtable)
-            self.planner = planner
-            self._policy_catalog = entry.qtable.catalog
-            self._policy_key = key
-            self._pending_policy_key = None
-            self._cache_entry = entry
+            with self._delta_lock:
+                if self._pending_policy_key != key:
+                    return
+                self.planner = planner
+                self._policy_catalog = entry.qtable.catalog
+                self._policy_key = key
+                self._pending_policy_key = None
+                self._cache_entry = entry
             get_registry().inc("serve_policy_swaps_total")
 
     def _run_eda(

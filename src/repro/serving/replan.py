@@ -76,6 +76,7 @@ REPLAN_NOOP = "noop"
 REPLAN_INVALIDATED = "invalidated"
 REPLAN_FAILED = "failed"
 REPLAN_DRAINING = "draining"
+REPLAN_SHED = "shed"
 
 #: Ladder rungs (mirror the facade's names so dashboards line up).
 RUNG_SARSA = "sarsa"
@@ -224,7 +225,14 @@ class ReplanSession:
         self.service = service
         self.session_id = session_id
         self.repair_only_below_s = repair_only_below_s
-        self.view = CatalogView(service.live_catalog)
+        # The view must be based on the *pristine* base catalog with the
+        # service's current churn state replayed in (fork_view) — basing
+        # it on the pruned live catalog would make a later ``reopen`` of
+        # an already-closed item unresolvable ("unknown to base").
+        fork = getattr(service, "fork_view", None)
+        self.view = (
+            fork() if callable(fork) else CatalogView(service.live_catalog)
+        )
         self._state = _SessionState(
             plan=plan, executed=executed, task=service.task
         )

@@ -61,7 +61,12 @@ from .facade import (
     ServeRequest,
     ServeResult,
 )
-from .replan import REPLAN_DRAINING, ReplanResult, ReplanSession
+from .replan import (
+    REPLAN_DRAINING,
+    REPLAN_SHED,
+    ReplanResult,
+    ReplanSession,
+)
 
 #: Envelope outcome for a request the server refused to run at all.
 OUTCOME_SHED = "shed"
@@ -321,7 +326,18 @@ class PlanningServer:
             plan, executed=executed, session_id=session_id
         )
         with self._lock:
-            self._sessions[session_id] = session
+            # Re-check: a drain() that began while the session was being
+            # built has already run its quiesce pass, which would never
+            # see this session — reject instead of leaking a live
+            # session on a drained server.
+            draining = self._draining
+            if not draining:
+                self._sessions[session_id] = session
+        if draining:
+            session.quiesce(grace_s=0.0)
+            raise PlanningError(
+                "server is draining; no new replan sessions"
+            )
         return session
 
     def sessions(self) -> Tuple[ReplanSession, ...]:
@@ -341,6 +357,7 @@ class PlanningServer:
         """
         if self._closed:
             raise ServerClosed("server is closed")
+        obs = get_registry()
         report: Optional[DeltaReport] = None
         if isinstance(delta, CatalogDelta):
             report = self.service.apply_delta(delta)
@@ -349,8 +366,17 @@ class PlanningServer:
                 continue
             try:
                 session.ingest(delta)
-            except PlanningError:
-                continue  # drained between the check and the ingest
+            except (PlanningError, DeltaError):
+                # The session drained between the check and the ingest,
+                # or its view cannot absorb this delta.  Record it and
+                # keep broadcasting — one failing session must not
+                # starve the sessions after it in the list.
+                obs.inc(
+                    labelled(
+                        "server_session_ingest_errors_total",
+                        kind=delta.kind,
+                    )
+                )
         return report
 
     def submit_replan(
@@ -360,9 +386,11 @@ class PlanningServer:
     ) -> "Future[ReplanResult]":
         """Admit one replan onto the worker pool (same queue accounting).
 
-        While draining, replans are shed with a typed ``draining``
-        envelope instead of being enqueued — the quiesce pass in
-        :meth:`drain` is the only replanning that happens after that.
+        Replans share the serve path's backpressure: a full queue sheds
+        with a typed ``shed`` envelope so a replan burst cannot bypass
+        ``max_queue``.  While draining, replans are shed with a typed
+        ``draining`` envelope instead of being enqueued — the quiesce
+        pass in :meth:`drain` is the only replanning after that.
         """
         obs = get_registry()
         if self._closed:
@@ -376,6 +404,18 @@ class PlanningServer:
                     ReplanResult(
                         outcome=REPLAN_DRAINING,
                         trigger="drain",
+                        suffix_start=session.executed,
+                        session_id=session.session_id,
+                    )
+                )
+            if self._queued >= self.max_queue:
+                obs.inc(
+                    labelled("server_shed_total", reason=SHED_QUEUE_FULL)
+                )
+                return _completed(
+                    ReplanResult(
+                        outcome=REPLAN_SHED,
+                        trigger="queue_full",
                         suffix_start=session.executed,
                         session_id=session.session_id,
                     )

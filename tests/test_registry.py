@@ -503,6 +503,43 @@ class TestChurnInvalidation:
             counters = obs.snapshot()["counters"]
             assert counters.get("serve_policy_swaps_total", 0) == 0
 
+    def test_adopt_refit_recheck_preserves_newer_pending_key(
+        self, tmp_path, monkeypatch
+    ):
+        """A delta arming a newer refit target while an adopt is mid-swap
+        must not be clobbered by the stale adopt (REVIEW: medium)."""
+        from repro.core.deltas import DELTA_CLOSE, CatalogDelta
+
+        import repro.serving.facade as facade_mod
+
+        service, registry = self._world(tmp_path)
+        first = service.serve()
+        victim = first.plan.item_ids[-1]
+        service.apply_delta(
+            CatalogDelta(kind=DELTA_CLOSE, item_id=victim, seq=1)
+        )
+        k1 = service._pending_policy_key
+        assert k1 is not None
+        registry.drain(timeout=120.0)
+        entry = registry.peek(k1)
+        assert entry is not None
+
+        old_key = service._policy_key
+        real_planner = facade_mod.RLPlanner
+
+        def racing_planner(*args, **kwargs):
+            # Simulates apply_delta scheduling a newer refit target
+            # while _adopt_refit is rebuilding the planner for k1.
+            with service._delta_lock:
+                service._pending_policy_key = "k2-newer"
+            return real_planner(*args, **kwargs)
+
+        monkeypatch.setattr(facade_mod, "RLPlanner", racing_planner)
+        service._adopt_refit(k1, entry)
+        # The stale k1 swap was discarded; the newer target stays armed.
+        assert service._pending_policy_key == "k2-newer"
+        assert service._policy_key == old_key
+
     def test_session_suffix_replan_never_refits(self, tmp_path):
         from repro.core.deltas import DELTA_CLOSE, CatalogDelta
 

@@ -360,6 +360,32 @@ class TestFacadeDeltas:
                 ConstraintDelta(kind=DELTA_MIN_CREDITS, value=15.0, seq=1)
             )
 
+    def test_session_opened_after_close_ingests_reopen(
+        self, service, base_plan
+    ):
+        """Sessions fork the pristine base, so a reopen of an item the
+        live catalog already pruned still resolves (REVIEW: high)."""
+        victim = base_plan.item_ids[-1]
+        service.apply_delta(_close(victim))
+        session = service.open_session(base_plan, executed=1)
+        assert victim not in session.view.live
+        cls = session.ingest(_reopen(victim))
+        assert cls == CLASS_BENIGN
+        assert victim in session.view.live
+
+    def test_session_opened_after_cascade_resolves_orphan_items(
+        self, service, base_plan
+    ):
+        # Closing p1 cascades s2 out of the live catalog; a session
+        # opened afterwards must still resolve deltas on both.
+        service.apply_delta(_close("p1"))
+        session = service.open_session(base_plan, executed=0)
+        assert "s2" not in session.view.live
+        cls = session.ingest(_reopen("p1"))
+        assert cls == CLASS_BENIGN
+        assert "p1" in session.view.live
+        assert "s2" in session.view.live
+
     def test_closing_prereq_cascades_out_dependents(self, service):
         # s2 requires p1; closing p1 prunes s2's only alternative, so
         # the live catalog drops s2 too (orphan cascade).

@@ -31,8 +31,10 @@ from repro.scenarios import (
     prereq_cut_schedule,
     schedule_from_spec,
 )
+from repro.core.exceptions import DeltaError
 from repro.serving import (
     REPLAN_DRAINING,
+    REPLAN_SHED,
     PlanningServer,
     PlanningService,
     closed_loop,
@@ -245,6 +247,53 @@ class TestChurnUnderLoad:
             result = future.result(timeout=30.0)
             assert result.ok
             assert victim not in result.plan.item_ids
+        finally:
+            server.close()
+
+    def test_broadcast_survives_one_failing_session(self, service):
+        """A session whose ingest raises must not starve the sessions
+        after it in the broadcast list (REVIEW: high)."""
+
+        class _Exploding:
+            session_id = "boom"
+            drained = False
+            executed = 0
+
+            def ingest(self, delta):
+                raise DeltaError("cannot absorb this delta")
+
+        server = PlanningServer(service, workers=1, max_queue=8)
+        try:
+            plan = service.serve().plan
+            with server._lock:
+                server._sessions["boom"] = _Exploding()
+            healthy = server.open_session(plan, executed=1)
+            victim = plan.item_ids[-1]
+            report = server.apply_delta(
+                CatalogDelta(kind=DELTA_CLOSE, item_id=victim, seq=1)
+            )
+            # The service-level state moved and the healthy session
+            # (broadcast after the exploding one) still got the delta.
+            assert report is not None and report.catalog_version == 1
+            assert healthy.pending_deltas == 1
+        finally:
+            with server._lock:
+                server._sessions.pop("boom", None)
+            server.close()
+
+    def test_replan_sheds_at_queue_full(self, service):
+        """Replans share the serve path's max_queue backpressure."""
+        server = PlanningServer(service, workers=1, max_queue=1)
+        try:
+            plan = service.serve().plan
+            session = server.open_session(plan, executed=1)
+            with server._lock:
+                server._queued = server.max_queue  # simulate a full queue
+            shed = server.submit_replan(session, deadline_s=1.0).result()
+            assert shed.outcome == REPLAN_SHED
+            assert shed.trigger == "queue_full"
+            with server._lock:
+                server._queued = 0
         finally:
             server.close()
 
