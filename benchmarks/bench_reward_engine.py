@@ -30,14 +30,21 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro import obs
-from repro.core.config import PlannerConfig
+from repro.core.catalog import Catalog
+from repro.core.config import PlannerConfig, RewardWeights
+from repro.core.env import TPPEnvironment
+from repro.core.items import Item
 from repro.core.plan import PlanBuilder
-from repro.core.reward import RewardFunction
+from repro.core.policy import GreedyPolicy
+from repro.core.qtable import QTable, SparseQTable
+from repro.core.reward import RewardFunction, batch_rewards
+from repro.core.sarsa import SarsaLearner
 from repro.datasets.synthetic import generate_instance
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_reward_engine.json"
 DEFAULT_SIZES = (50, 200, 500)
+DEFAULT_SCALE_SIZES = (5_000, 20_000, 50_000)
 
 
 def _make_step(num_items: int, seed: int = 0):
@@ -151,6 +158,278 @@ def obs_overhead(
     }
 
 
+def _assert_pruning_bit_identity(
+    catalog, task, top_k: int = 32, steps: int = 3, start: str = "item000"
+) -> int:
+    """Greedy-rollout check that pruned selection matches the full argmax.
+
+    Walks ``steps`` reward-greedy steps with two environments over the
+    same universe — one with ``candidate_top_k`` set, one without — and
+    asserts the exact argmax winner *sets* (ids, in order) agree at
+    every step.  Returns the number of steps compared.
+    """
+    env_full = TPPEnvironment(catalog, task, PlannerConfig())
+    env_pruned = TPPEnvironment(
+        catalog, task, PlannerConfig(candidate_top_k=top_k)
+    )
+    env_full.reset(start)
+    env_pruned.reset(start)
+    compared = 0
+    for _ in range(steps):
+        if env_full.is_done():
+            break
+        full = env_full.valid_actions()
+        pruned = env_pruned.valid_actions()
+        if not full:
+            assert not pruned
+            break
+        r_full = batch_rewards(env_full.reward, env_full.builder, full)
+        r_pruned = batch_rewards(
+            env_pruned.reward, env_pruned.builder, pruned
+        )
+        winners_full = [
+            full[i].item_id
+            for i in np.flatnonzero(r_full == r_full.max())
+        ]
+        winners_pruned = [
+            pruned[i].item_id
+            for i in np.flatnonzero(r_pruned == r_pruned.max())
+        ]
+        assert winners_pruned == winners_full, (
+            f"pruned argmax diverged at step {compared}: "
+            f"{winners_pruned[:3]} vs {winners_full[:3]}"
+        )
+        chosen = catalog[winners_full[0]]
+        env_full.step(chosen)
+        env_pruned.step(chosen)
+        compared += 1
+    return compared
+
+
+def run_scale(
+    sizes: Sequence[int] = DEFAULT_SCALE_SIZES,
+    episodes: int = 8,
+    episode_batch: int = 8,
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Large-catalog training: the sparse backend where dense cannot fit.
+
+    At each |I| the ``auto`` backend (sparse above the threshold) trains
+    a SARSA policy end to end and the row records the wall clock, the
+    stored-entry count, and the dense-table footprint the run *avoided*
+    (``8 * |I|^2`` bytes — 20 GB at 50k, far beyond the worker's RAM).
+    Each row also re-asserts in-bench that two-stage candidate pruning
+    is bit-identical to the unpruned argmax on that universe.
+    """
+    rows: List[Dict[str, object]] = []
+    for num_items in sizes:
+        t0 = time.perf_counter()
+        catalog, task = generate_instance(
+            num_items=num_items,
+            num_primary_items=max(12, num_items // 4),
+            seed=seed,
+        )
+        generate_s = time.perf_counter() - t0
+        config = PlannerConfig(
+            seed=seed,
+            exploration=0.1,
+            qtable_backend="auto",
+            mask_invalid_actions=False,
+        )
+        learner = SarsaLearner(
+            TPPEnvironment(catalog, task, config), config
+        )
+        t0 = time.perf_counter()
+        result = learner.learn(
+            episodes=episodes, episode_batch=episode_batch
+        )
+        train_s = time.perf_counter() - t0
+        table = result.qtable
+        assert isinstance(table, SparseQTable), (
+            f"auto backend must go sparse at |I|={num_items}"
+        )
+        pruned_steps = _assert_pruning_bit_identity(catalog, task)
+        rows.append(
+            {
+                "num_items": int(num_items),
+                "episodes": int(episodes),
+                "episode_batch": int(episode_batch),
+                "backend": type(table).__name__,
+                "generate_s": generate_s,
+                "train_s": train_s,
+                "updates": int(table.update_count),
+                "nnz": int(table.nnz),
+                "dense_bytes_estimate": int(8 * num_items * num_items),
+                "pruning_bit_identical_steps": int(pruned_steps),
+            }
+        )
+    return rows
+
+
+def run_backends(
+    num_items: int = 500, episodes: int = 16, seed: int = 0
+) -> Dict[str, object]:
+    """Dense vs sparse backend head-to-head on one training run.
+
+    Same universe, same seed, same episode schedule; the two backends
+    must learn bit-identical entries (asserted) — the row records the
+    wall-clock of each plus the sparse occupancy, i.e. what fraction of
+    the dense |I|^2 table training actually touched.
+    """
+    catalog, task = generate_instance(
+        num_items=num_items,
+        num_primary_items=max(12, num_items // 4),
+        seed=seed,
+    )
+    timings: Dict[str, float] = {}
+    entries = {}
+    for backend in ("dense", "sparse"):
+        config = PlannerConfig(seed=seed, qtable_backend=backend)
+        learner = SarsaLearner(
+            TPPEnvironment(catalog, task, config), config
+        )
+        t0 = time.perf_counter()
+        result = learner.learn(episodes=episodes)
+        timings[backend] = time.perf_counter() - t0
+        entries[backend] = result.qtable.to_entries()
+        if backend == "sparse":
+            nnz = result.qtable.nnz
+    assert entries["dense"] == entries["sparse"], (
+        "dense and sparse backends diverged on identical training"
+    )
+    return {
+        "num_items": int(num_items),
+        "episodes": int(episodes),
+        "dense_train_s": timings["dense"],
+        "sparse_train_s": timings["sparse"],
+        "entries": len(entries["dense"]),
+        "nnz": int(nnz),
+        "occupancy": len(entries["dense"]) / float(num_items * num_items),
+        "bit_identical": True,
+    }
+
+
+def _tie_free_universe(num_items: int, seed: int):
+    """A synthetic universe whose Eq. 2 rewards never tie.
+
+    Every item gets its own category with a distinct category weight, so
+    ``delta*sim + beta*weight`` is injective over candidates.  With zero
+    exploration the behaviour policy then consumes no RNG inside
+    episodes, which is the regime where batched and sequential training
+    are byte-identical (see ``SarsaLearner._run_episode_batch``).
+    """
+    base, task = generate_instance(
+        num_items=num_items,
+        num_primary_items=max(12, num_items // 4),
+        seed=seed,
+    )
+    items = [
+        Item(
+            item_id=item.item_id,
+            name=item.name,
+            item_type=item.item_type,
+            credits=item.credits,
+            prerequisites=item.prerequisites,
+            topics=item.topics,
+            category=f"cat{rank:05d}",
+        )
+        for rank, item in enumerate(base)
+    ]
+    catalog = Catalog(
+        items,
+        name=f"tie-free-{num_items}",
+        topic_vocabulary=base.topic_vocabulary,
+    )
+    weights = RewardWeights(
+        category_weights=tuple(
+            (f"cat{rank:05d}", 1.0 + 1e-5 * rank)
+            for rank in range(len(items))
+        )
+    )
+    return catalog, task, weights
+
+
+def run_episode_batch(
+    num_items: int = 5_000,
+    episodes: int = 32,
+    episode_batch: int = 8,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Vectorized multi-episode training vs the per-episode loop.
+
+    Runs on a tie-free universe with zero exploration, where the
+    episode-batched path provably trains the byte-identical table —
+    asserted on ``to_entries()`` and on the recommended plan — so the
+    measured speedup buys *nothing but* wall clock.  Asserts >= 2x.
+    """
+    catalog, task, weights = _tie_free_universe(num_items, seed)
+    config = PlannerConfig(
+        seed=seed,
+        exploration=0.0,
+        qtable_backend="sparse",
+        mask_invalid_actions=False,
+        weights=weights,
+    )
+
+    def train(batch: int):
+        learner = SarsaLearner(
+            TPPEnvironment(catalog, task, config), config
+        )
+        t0 = time.perf_counter()
+        result = learner.learn(episodes=episodes, episode_batch=batch)
+        return time.perf_counter() - t0, result.qtable
+
+    train(1)  # warm caches (catalog columns, reward views)
+    sequential_s, sequential = train(1)
+    batched_s, batched = train(episode_batch)
+    assert sequential.to_entries() == batched.to_entries(), (
+        "episode-batched training diverged from the sequential loop "
+        "on a tie-free universe"
+    )
+    reward = RewardFunction(task, config)
+    start = catalog.item_ids[0]
+    plans = [
+        GreedyPolicy(table, task, reward=reward)
+        .recommend(start, require_trained=False)
+        .item_ids
+        for table in (sequential, batched)
+    ]
+    assert plans[0] == plans[1], "final recommended plans diverged"
+    speedup = sequential_s / batched_s
+    assert speedup >= 2.0, (
+        f"episode batching must be >= 2x at |I|={num_items}: "
+        f"{speedup:.2f}x"
+    )
+    return {
+        "num_items": int(num_items),
+        "episodes": int(episodes),
+        "episode_batch": int(episode_batch),
+        "sequential_s": sequential_s,
+        "batched_s": batched_s,
+        "speedup": speedup,
+        "tables_bit_identical": True,
+        "plans_identical": True,
+    }
+
+
+def render_scale(rows: Sequence[Dict[str, object]]) -> str:
+    """Plain-text table of the large-catalog training rows."""
+    lines = [
+        "Sparse-backend training at catalog scale "
+        "(dense footprint avoided)",
+        f"{'|I|':>7} {'train s':>9} {'nnz':>8} {'dense GB':>9} "
+        f"{'prune ok':>9}",
+    ]
+    for row in rows:
+        dense_gb = row["dense_bytes_estimate"] / 1e9
+        lines.append(
+            f"{row['num_items']:>7} {row['train_s']:>9.2f} "
+            f"{row['nnz']:>8} {dense_gb:>9.1f} "
+            f"{row['pruning_bit_identical_steps']:>8}ok"
+        )
+    return "\n".join(lines)
+
+
 def render(results: Sequence[Dict[str, float]]) -> str:
     """Plain-text table of the measured speedups."""
     lines = [
@@ -188,6 +467,18 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         "--output", type=pathlib.Path, default=DEFAULT_OUTPUT,
         help="where to write the JSON results",
     )
+    parser.add_argument(
+        "--scale", action="store_true",
+        help="also run the large-catalog sections: sparse-backend "
+        "training at --scale-sizes (with the in-bench pruning "
+        "bit-identity check), the dense-vs-sparse backend "
+        "head-to-head, and the episode-batched >= 2x speedup gate",
+    )
+    parser.add_argument(
+        "--scale-sizes", type=int, nargs="+",
+        default=list(DEFAULT_SCALE_SIZES),
+        help="catalog sizes |I| for the --scale training section",
+    )
     args = parser.parse_args(argv)
 
     results = run(sizes=args.sizes, repeats=args.repeats, seed=args.seed)
@@ -196,6 +487,28 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         "bench": "reward_engine",
         "sizes": results,
     }
+    if args.scale:
+        scale_rows = run_scale(sizes=args.scale_sizes, seed=args.seed)
+        payload["scale"] = scale_rows
+        print()
+        print(render_scale(scale_rows))
+        payload["qtable_backends"] = run_backends(seed=args.seed)
+        print(
+            "backend head-to-head at |I|="
+            f"{payload['qtable_backends']['num_items']}: dense "
+            f"{payload['qtable_backends']['dense_train_s']:.2f}s vs "
+            f"sparse {payload['qtable_backends']['sparse_train_s']:.2f}s "
+            "(bit-identical entries asserted)"
+        )
+        batch_size = min(args.scale_sizes)
+        payload["episode_batch"] = run_episode_batch(
+            num_items=batch_size, seed=args.seed
+        )
+        print(
+            f"episode batching at |I|={batch_size}: "
+            f"{payload['episode_batch']['speedup']:.2f}x "
+            "(>= 2x asserted, byte-identical table and plan)"
+        )
     if args.obs:
         payload["obs_overhead"] = obs_overhead(seed=args.seed)
         print(

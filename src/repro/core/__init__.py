@@ -40,7 +40,15 @@ from .items import Item, ItemType, Prerequisites, make_metadata
 from .plan import Plan, PlanBuilder, plan_from_ids
 from .planner import RLPlanner
 from .policy import GreedyPolicy
-from .qtable import QTable
+from .qtable import (
+    QTable,
+    QTableBackend,
+    QTableBase,
+    SPARSE_BACKEND_THRESHOLD,
+    SparseQTable,
+    make_qtable,
+    resolve_backend,
+)
 from .reward import RewardBreakdown, RewardFunction
 from .sarsa import ActionSelection, EpisodeStats, LearningResult, SarsaLearner
 from .schedule import Period, Schedule, fold_plan, fold_trip_day
@@ -107,6 +115,10 @@ __all__ = [
     "PlanningError",
     "Prerequisites",
     "QTable",
+    "QTableBackend",
+    "QTableBase",
+    "SPARSE_BACKEND_THRESHOLD",
+    "SparseQTable",
     "RecommendationMode",
     "ReproError",
     "RetriableError",
@@ -139,6 +151,7 @@ __all__ = [
     "load_policy",
     "longest_run",
     "make_metadata",
+    "make_qtable",
     "match_vector",
     "max_similarity",
     "mean_popularity",
@@ -147,6 +160,7 @@ __all__ = [
     "policy_from_dict",
     "policy_to_dict",
     "plan_travel_distance_km",
+    "resolve_backend",
     "save_policy",
     "similarity_profile",
     "template_similarity",

@@ -385,7 +385,13 @@ class Catalog:
         name: Optional[str] = None,
         on_dangling: str = "keep",
     ) -> "Catalog":
-        """Sub-catalog restricted to ``item_ids`` (insertion order kept).
+        """Sub-catalog restricted to ``item_ids`` (base-catalog order).
+
+        The subset keeps *this catalog's* item order, regardless of the
+        order ``item_ids`` is supplied in: the same id set always yields
+        the same catalog, with the same stable item indexing — the
+        property shard-and-merge planners (DPPM-style) rely on when they
+        key Q-tables by subset indices.
 
         ``on_dangling`` controls prerequisite edges that point at items
         of *this* catalog excluded from the subset (e.g. removed by an
@@ -414,6 +420,9 @@ class Catalog:
         on_dangling: str = "keep",
     ) -> Tuple["Catalog", Tuple[SubsetFinding, ...]]:
         """Like :meth:`subset` but also returns the integrity findings.
+
+        Item order follows the base catalog, not ``item_ids`` (see
+        :meth:`subset` for why that contract matters).
 
         With ``on_dangling="keep"`` the findings tuple is always empty;
         with ``"prune"`` it lists every pruned edge / orphaned item; with

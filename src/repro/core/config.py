@@ -151,6 +151,22 @@ class PlannerConfig:
         Stabilizes the single-plan variance of greedy Q traversals.
     seed:
         RNG seed for tie-breaking and exploration; ``None`` = nondeterministic.
+    qtable_backend:
+        Q-table storage backend: ``"dense"`` (the |I| x |I| matrix),
+        ``"sparse"`` (dict-of-rows, memory proportional to learned
+        entries), or ``"auto"`` (default — dense below
+        ``repro.core.qtable.SPARSE_BACKEND_THRESHOLD`` items, sparse at
+        or above it).  Purely a representation choice: both backends
+        produce bit-identical Q-values and plans.
+    candidate_top_k:
+        When set, action masking prunes the fully-gated candidate tier
+        to the top ``k`` feasible actions by their exact reward before
+        the reward batch scores them (plus boundary ties, so the argmax
+        — including tie-break draws — is bit-identical to the unpruned
+        path).  ``None`` (default) disables pruning.  Note that under
+        epsilon-greedy exploration the *random* branch then samples from
+        the pruned set, which changes learning trajectories — the knob
+        therefore participates in policy fingerprints.
     """
 
     episodes: int = 500
@@ -165,6 +181,8 @@ class PlannerConfig:
     lookahead_weight: Optional[float] = None
     portfolio: bool = True
     seed: Optional[int] = 0
+    qtable_backend: str = "auto"
+    candidate_top_k: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.episodes <= 0:
@@ -177,6 +195,15 @@ class PlannerConfig:
             raise ConstraintError("coverage_threshold must be >= 0")
         if not 0.0 <= self.exploration <= 1.0:
             raise ConstraintError("exploration must be in [0, 1]")
+        if self.qtable_backend not in ("auto", "dense", "sparse"):
+            raise ConstraintError(
+                "qtable_backend must be 'auto', 'dense', or 'sparse', "
+                f"got {self.qtable_backend!r}"
+            )
+        if self.candidate_top_k is not None and self.candidate_top_k < 1:
+            raise ConstraintError(
+                "candidate_top_k must be >= 1 (or None to disable pruning)"
+            )
 
     def replace(self, **changes: object) -> "PlannerConfig":
         """Copy with selected fields changed (sweep helper)."""

@@ -115,8 +115,23 @@ class TPPEnvironment:
         gates (theta = 0) are additionally excluded — unless that leaves
         nothing, in which case the unmasked set is returned so episodes
         never deadlock.
+
+        With ``config.candidate_top_k`` set (and a reward exposing the
+        pruned path) masking runs two-stage: vectorized gate screens
+        over the raw candidate indices first, then a top-k-by-reward
+        cut of the survivors, without ever materializing the full
+        candidate Item tuple — the greedy argmax over the result is
+        bit-identical to the unpruned path (see
+        ``RewardFunction.mask_actions_pruned_idx``).
         """
         builder = self.builder
+        if self.config.mask_invalid_actions:
+            top_k = self.config.candidate_top_k
+            pruner = getattr(self.reward, "mask_actions_pruned_idx", None)
+            if top_k is not None and pruner is not None:
+                idx = self.valid_action_indices()
+                if idx.size > top_k:
+                    return pruner(builder, idx, top_k)
         if self.mode is DomainMode.TRIP:
             remaining = tuple(
                 self.catalog.item_at(int(i))
@@ -127,6 +142,21 @@ class TPPEnvironment:
         if self.config.mask_invalid_actions:
             return self.reward.mask_actions(builder, remaining)
         return remaining
+
+    def valid_action_indices(self):
+        """Catalog indices of the raw (pre-mask) candidate set.
+
+        The index-space twin of the unmasked :meth:`valid_actions`
+        tiers' input — unvisited items, restricted in trip mode to the
+        affordable ones — in ascending catalog order, which is exactly
+        the order ``remaining_items`` yields.  Used by the pruned
+        masking path and the episode-batched learner to avoid
+        materializing Item tuples for the whole catalog.
+        """
+        builder = self.builder
+        if self.mode is DomainMode.TRIP:
+            return self._affordable_indices(builder)
+        return builder.remaining_indices()
 
     def _affordable_indices(self, builder: PlanBuilder):
         """Unvisited catalog indices whose visit time fits the budget.

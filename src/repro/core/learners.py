@@ -26,7 +26,7 @@ import numpy as np
 from .config import PlannerConfig
 from .env import TPPEnvironment
 from .items import Item
-from .qtable import QTable
+from .qtable import QTableBase
 from .sarsa import ActionSelection, EpisodeStats, SarsaLearner
 
 
@@ -39,7 +39,7 @@ class QLearningLearner(SarsaLearner):
     """
 
     def _run_episode(
-        self, table: QTable, episode: int, start_id: str
+        self, table: QTableBase, episode: int, start_id: str
     ) -> EpisodeStats:
         env = self.env
         catalog = env.catalog
@@ -76,7 +76,7 @@ class QLearningLearner(SarsaLearner):
                 dtype=np.int64,
                 count=len(next_actions),
             )
-            best_next = float(table.values[a_idx, next_indices].max())
+            best_next = float(table.row_values(a_idx, next_indices).max())
             target = reward + self.config.discount * best_next
             table.td_update(s_idx, a_idx, target, self.config.learning_rate)
             state = action
@@ -100,7 +100,7 @@ class ExpectedSarsaLearner(SarsaLearner):
     """
 
     def _expected_value(
-        self, table: QTable, state: Item, actions: Sequence[Item]
+        self, table: QTableBase, state: Item, actions: Sequence[Item]
     ) -> float:
         index_map = self.env.catalog.index_map
         s_idx = index_map[state.item_id]
@@ -109,7 +109,7 @@ class ExpectedSarsaLearner(SarsaLearner):
             dtype=np.int64,
             count=len(actions),
         )
-        values = table.values[s_idx, indices]
+        values = table.row_values(s_idx, indices)
         eps = self.config.exploration
         if len(values) == 1:
             return float(values[0])
@@ -118,7 +118,7 @@ class ExpectedSarsaLearner(SarsaLearner):
         return eps * uniform + (1.0 - eps) * greedy
 
     def _run_episode(
-        self, table: QTable, episode: int, start_id: str
+        self, table: QTableBase, episode: int, start_id: str
     ) -> EpisodeStats:
         env = self.env
         catalog = env.catalog
@@ -174,7 +174,7 @@ class MonteCarloLearner(SarsaLearner):
     """
 
     def _run_episode(
-        self, table: QTable, episode: int, start_id: str
+        self, table: QTableBase, episode: int, start_id: str
     ) -> EpisodeStats:
         env = self.env
         catalog = env.catalog

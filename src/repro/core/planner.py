@@ -28,7 +28,7 @@ from .exceptions import UntrainedPolicyError
 from .items import Item
 from .plan import Plan
 from .policy import GreedyPolicy
-from .qtable import QTable
+from .qtable import QTableBase
 from .reward import RewardFunction
 from .sarsa import ActionSelection, LearningResult
 from .scoring import PlanScore, PlanScorer
@@ -70,7 +70,7 @@ class RLPlanner:
         self.learner_name = learner
         self.env = TPPEnvironment(catalog, task, self.config, mode=mode)
         self.scorer = PlanScorer(task, mode=mode)
-        self._qtable: Optional[QTable] = None
+        self._qtable: Optional[QTableBase] = None
         self._last_result: Optional[LearningResult] = None
 
     # ------------------------------------------------------------------
@@ -81,7 +81,7 @@ class RLPlanner:
         self,
         start_item_ids: Optional[Sequence[str]] = None,
         episodes: Optional[int] = None,
-        warm_start: Optional[QTable] = None,
+        warm_start: Optional[QTableBase] = None,
     ) -> LearningResult:
         """Learn a policy and keep the resulting Q-table.
 
@@ -111,7 +111,7 @@ class RLPlanner:
         return self._qtable is not None
 
     @property
-    def qtable(self) -> QTable:
+    def qtable(self) -> QTableBase:
         """The learned Q-table (raises before training)."""
         if self._qtable is None:
             raise UntrainedPolicyError("call fit() before accessing qtable")
@@ -374,7 +374,7 @@ class RLPlanner:
         target._qtable = result.qtable
         return target, result
 
-    def adopt_policy(self, qtable: QTable) -> None:
+    def adopt_policy(self, qtable: QTableBase) -> None:
         """Install an externally produced Q-table (e.g. deserialized)."""
         if qtable.catalog is not self.catalog and set(
             qtable.catalog.item_ids

@@ -29,7 +29,7 @@ from .env import DomainMode
 from .exceptions import PlanningError, UntrainedPolicyError
 from .items import Item
 from .plan import Plan, PlanBuilder
-from .qtable import QTable
+from .qtable import QTableBase
 from .config import RecommendationMode
 from .reward import RewardFunction, batch_rewards
 
@@ -57,7 +57,7 @@ class GreedyPolicy:
 
     def __init__(
         self,
-        qtable: QTable,
+        qtable: QTableBase,
         task: TaskSpec,
         mode: DomainMode = DomainMode.COURSE,
         rng_seed: Optional[int] = None,
@@ -179,13 +179,35 @@ class GreedyPolicy:
                     builder, candidates, allowed_item_ids
                 )
             else:
-                next_id = self.qtable.best_action(
-                    current, [c.item_id for c in candidates], rng=self._rng
-                )
+                next_id = self._q_only_choice(current, candidates)
             builder.add_by_id(next_id)
             current = next_id
 
         return builder.build()
+
+    def _q_only_choice(self, current: str, candidates: Sequence[Item]) -> str:
+        """Literal Algorithm-1 argmax of the stored Q row.
+
+        Runs on catalog indices (``best_action_idx``) so the traversal
+        never rebuilds id lists per step; equivalent to the id-based
+        ``best_action`` — same winner set, order, and tie-break draws —
+        which remains the fallback when ``current`` is a foreign prefix
+        item outside the catalog index.
+        """
+        catalog = self.catalog
+        index_map = catalog.index_map
+        state_idx = index_map.get(current)
+        if state_idx is None:
+            return self.qtable.best_action(
+                current, [c.item_id for c in candidates], rng=self._rng
+            )
+        cand_idx = np.fromiter(
+            (index_map[item.item_id] for item in candidates),
+            dtype=np.int64,
+            count=len(candidates),
+        )
+        chosen = self.qtable.best_action_idx(state_idx, cand_idx, rng=self._rng)
+        return catalog.item_at(chosen).item_id
 
     def _lookahead_choice(
         self,
@@ -196,12 +218,11 @@ class GreedyPolicy:
         """argmax over a of ``R(s, a) + gamma * max_b Q(a, b)``.
 
         The immediate term comes from the batched reward engine and the
-        continuation term from one sliced ``max`` over the Q matrix —
-        O(|I|) setup plus a vectorized scan instead of the former
-        per-candidate row walks.
+        continuation term from the backend's ``best_continuation`` (a
+        sliced vectorized ``max`` on the dense table, a stored-entry
+        scan on the sparse one — identical results either way).
         """
         catalog = self.catalog
-        q = self.qtable.values
         remaining_idx = builder.remaining_indices()
         if allowed_item_ids is not None:
             # Closed items must not contribute continuation value either.
@@ -220,14 +241,7 @@ class GreedyPolicy:
             dtype=np.int64,
             count=len(candidates),
         )
-        continuation = q[np.ix_(cand_idx, remaining_idx)].copy()
-        # Mask each candidate's own column (no self-transition); the
-        # candidates are a subset of the remaining items, and
-        # remaining_idx is sorted ascending.
-        self_col = np.searchsorted(remaining_idx, cand_idx)
-        rows = np.arange(len(candidates))
-        continuation[rows, self_col] = -np.inf
-        future = np.maximum(continuation.max(axis=1), 0.0)
+        future = self.qtable.best_continuation(cand_idx, remaining_idx)
 
         rewards = batch_rewards(self.reward, builder, candidates)
         totals = rewards + self.discount * future

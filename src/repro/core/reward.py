@@ -108,6 +108,88 @@ class _CatalogView:
                 if weight is not None:
                     weights[cols.category_codes == code] = weight
         self.item_weights = weights
+        # Flattened prerequisite CNF (built lazily on first batched gap
+        # or reachability evaluation; None until then).
+        self._prereq_arrays: Optional[Tuple] = None
+        self._catalog_ref = weakref.ref(catalog)
+
+    def _build_prereq_arrays(self):
+        """Flatten every item's CNF groups into reduceat-ready arrays.
+
+        Members are tokenized rather than index-mapped because
+        prerequisite edges may reference ids outside the catalog
+        (out-of-program antecedents) and plan positions may contain
+        foreign prefix items — both participate in gap checks by id, not
+        by catalog index.
+        """
+        catalog = self._catalog_ref()
+        carriers: List[int] = []
+        group_counts: List[int] = []
+        item_group_starts: List[int] = []
+        group_starts: List[int] = []
+        member_tokens: List[int] = []
+        token_index: Dict[str, int] = {}
+        for idx, item in enumerate(catalog):
+            groups = item.prerequisites.groups
+            if not groups:
+                continue
+            carriers.append(idx)
+            item_group_starts.append(len(group_starts))
+            group_counts.append(len(groups))
+            for group in groups:
+                group_starts.append(len(member_tokens))
+                for member in sorted(group):
+                    token = token_index.setdefault(member, len(token_index))
+                    member_tokens.append(token)
+        self._prereq_arrays = (
+            np.asarray(carriers, dtype=np.int64),
+            np.asarray(group_counts, dtype=np.int64),
+            np.asarray(item_group_starts, dtype=np.int64),
+            np.asarray(group_starts, dtype=np.int64),
+            np.asarray(member_tokens, dtype=np.int64),
+            token_index,
+        )
+        return self._prereq_arrays
+
+    def prereq_satisfied(
+        self, positions: Dict[str, int], at_position: int, gap: int
+    ) -> np.ndarray:
+        """Vectorized ``Prerequisites.satisfied_by`` over the whole catalog.
+
+        Returns a boolean vector per catalog index: True where the item
+        has no antecedents or every CNF group holds a member placed at
+        least ``gap`` positions before ``at_position``.  Exactly the
+        scalar semantics — a group member counts iff it is in
+        ``positions`` (foreign prefix items included) with
+        ``at_position - position >= gap``.
+        """
+        arrays = self._prereq_arrays
+        if arrays is None:
+            arrays = self._build_prereq_arrays()
+        (
+            carriers,
+            group_counts,
+            item_group_starts,
+            group_starts,
+            member_tokens,
+            token_index,
+        ) = arrays
+        out = np.ones(len(self.cols.primary_mask), dtype=bool)
+        if carriers.size == 0:
+            return out
+        token_pos = np.full(len(token_index), -1, dtype=np.int64)
+        for item_id, position in positions.items():
+            token = token_index.get(item_id)
+            if token is not None:
+                token_pos[token] = position
+        member_pos = token_pos[member_tokens]
+        member_ok = (member_pos >= 0) & (at_position - member_pos >= gap)
+        group_sat = np.add.reduceat(member_ok, group_starts) > 0
+        sat_groups = np.add.reduceat(
+            group_sat.astype(np.int64), item_group_starts
+        )
+        out[carriers] = sat_groups == group_counts
+        return out
 
     def covered_ideal(self, topics) -> np.ndarray:
         """Boolean vector over the ideal columns covered by ``topics``."""
@@ -157,6 +239,102 @@ class _CategoryPoolStats:
         if credits == self.min1 and self.min1_count == 1:
             return self.min2
         return self.min1
+
+
+class _FeasibilityContext:
+    """One step's feasibility pool, checkable per candidate in O(1).
+
+    Produced by :meth:`RewardFunction._feasibility_context`;
+    :meth:`check` reproduces :meth:`RewardFunction.feasibility_gate`
+    exactly (primary split, joint category minima, distance budget)
+    against the shared aggregates instead of a per-candidate pool
+    rebuild.
+    """
+
+    __slots__ = (
+        "reward",
+        "index_map",
+        "slots_after",
+        "base_primaries",
+        "reachable",
+        "reachable_primaries",
+        "category_stats",
+        "fixers",
+        "base_earned",
+        "distance_applies",
+        "base_distance",
+        "last_coords",
+    )
+
+    def __init__(
+        self,
+        reward: "RewardFunction",
+        index_map: Dict[str, int],
+        slots_after: int,
+        base_primaries: int,
+        reachable: np.ndarray,
+        reachable_primaries: int,
+        category_stats: Dict[str, _CategoryPoolStats],
+        fixers: Dict[str, List[Item]],
+        base_earned: Dict[str, float],
+        distance_applies: bool,
+        base_distance: float,
+        last_coords: Optional[Tuple[float, float]],
+    ) -> None:
+        self.reward = reward
+        self.index_map = index_map
+        self.slots_after = slots_after
+        self.base_primaries = base_primaries
+        self.reachable = reachable
+        self.reachable_primaries = reachable_primaries
+        self.category_stats = category_stats
+        self.fixers = fixers
+        self.base_earned = base_earned
+        self.distance_applies = distance_applies
+        self.base_distance = base_distance
+        self.last_coords = last_coords
+
+    def check(self, cand: Item) -> bool:
+        """Would the plan stay completable after taking ``cand``?"""
+        hard = self.reward.task.hard
+        primaries_have = self.base_primaries + (1 if cand.is_primary else 0)
+        primaries_short = max(0, hard.num_primary - primaries_have)
+        if primaries_short > self.slots_after:
+            return False
+        fixed = self.fixers.get(cand.item_id, ())
+        idx = self.index_map.get(cand.item_id)
+        cand_reachable = idx is not None and bool(self.reachable[idx])
+        unused_primaries = (
+            self.reachable_primaries
+            - (1 if cand.is_primary and cand_reachable else 0)
+            + sum(1 for other in fixed if other.is_primary)
+        )
+        if primaries_short > unused_primaries:
+            return False
+        if hard.category_credit_map and not self.reward._joint_feasible_pooled(
+            cand,
+            self.category_stats,
+            self.base_earned,
+            fixed,
+            cand_reachable,
+            self.slots_after,
+            primaries_short,
+            unused_primaries,
+        ):
+            return False
+        if self.distance_applies:
+            lat, lon = cand.meta("lat"), cand.meta("lon")
+            if lat is not None and lon is not None:
+                assert self.last_coords is not None
+                total = self.base_distance + haversine_km(
+                    self.last_coords[0],
+                    self.last_coords[1],
+                    float(lat),  # type: ignore[arg-type]
+                    float(lon),  # type: ignore[arg-type]
+                )
+                if total > hard.max_distance + 1e-9:
+                    return False
+        return True
 
 
 class RewardFunction:
@@ -520,58 +698,191 @@ class RewardFunction:
                     )
         return ok
 
-    def feasible_mask(
-        self, builder: PlanBuilder, candidates: Sequence[Item]
+    def _gap_mask_idx(
+        self,
+        builder: PlanBuilder,
+        view: _CatalogView,
+        cand_idx: np.ndarray,
     ) -> np.ndarray:
-        """Vectorized :meth:`feasibility_gate` over many candidates.
+        """``r2`` (Eq. 4) over catalog indices, fully vectorized.
 
-        The feasibility pool (remaining items, their reachability, the
-        per-category credit aggregates, the travelled distance) is
-        computed *once* per step and adjusted per candidate in O(1)
-        amortized, instead of rebuilt per candidate.
+        Same semantics as :meth:`_gap_mask` but never materializes Item
+        objects: the prerequisite CNF is evaluated in one
+        :meth:`_CatalogView.prereq_satisfied` pass instead of a Python
+        loop, which is what lets the pruned/multi-episode paths screen
+        whole catalogs.
         """
-        candidates = tuple(candidates)
-        out = np.zeros(len(candidates), dtype=bool)
-        if not candidates:
-            return out
+        ok = np.ones(cand_idx.size, dtype=bool)
+        cols = view.cols
+        if self.task.hard.theme_adjacency_gap:
+            last = builder.last_item
+            if last is not None:
+                last_idx = builder.catalog.index_map.get(last.item_id)
+                if last_idx is not None:
+                    overlap = (
+                        cols.topic_matrix[cand_idx]
+                        & cols.topic_matrix[last_idx]
+                    ).any(axis=1)
+                else:
+                    catalog = builder.catalog
+                    overlap = np.fromiter(
+                        (
+                            bool(last.topics & catalog.item_at(int(i)).topics)
+                            for i in cand_idx
+                        ),
+                        dtype=bool,
+                        count=cand_idx.size,
+                    )
+                ok &= ~overlap
+        if cols.has_prereqs[cand_idx].any():
+            satisfied = view.prereq_satisfied(
+                builder.positions, len(builder), self.task.hard.gap
+            )
+            ok &= satisfied[cand_idx]
+        return ok
+
+    def mask_actions_pruned_idx(
+        self, builder: PlanBuilder, cand_idx: np.ndarray, top_k: int
+    ) -> tuple:
+        """Two-stage tiered masking over catalog indices with top-k pruning.
+
+        Stage 1 runs the cheap vectorized gates (Eq. 3 coverage, Eq. 4
+        gap) over every candidate index.  Stage 2 sorts the surviving
+        pool by its *exact* reward — inside the covered-and-gap-ok tier
+        ``theta == 1``, so ``delta*sim + beta*weight`` is the Eq. 2
+        value itself, not merely an upper bound — and walks it in
+        descending order, feasibility-checking lazily against one shared
+        :class:`_FeasibilityContext`, keeping the first ``top_k``
+        feasible candidates *plus every tie at the boundary value*.
+
+        Soundness: the unpruned path's winning tier is exactly the
+        feasible members of this pool (tier 1 of :meth:`mask_actions`),
+        and its argmax winner set is the feasible candidates attaining
+        the maximal reward — all of which this scan keeps (they sort
+        first).  Returning the kept indices in ascending catalog order
+        preserves the relative candidate order, so the downstream argmax
+        — including the tie-break RNG draw — is bit-identical to the
+        unpruned path.  Whenever tier 1 would be empty (no covered
+        gap-ok candidate, or none of them feasible) the method falls
+        back to the full :meth:`mask_actions` tier cascade.
+        """
+        catalog = builder.catalog
+        view = self._view(catalog)
+        covered = self._coverage_mask(builder, view, cand_idx)
+        gap_ok = self._gap_mask_idx(builder, view, cand_idx)
+        pool = cand_idx[covered & gap_ok]
+        if pool.size == 0:
+            return self._mask_actions_full_fallback(builder, cand_idx)
+        ctx = self._feasibility_context(builder)
+        if ctx is None:
+            return self._mask_actions_full_fallback(builder, cand_idx)
+
+        template = self.task.soft.template
+        if len(builder) + 1 > template.length:
+            sims = np.zeros(pool.size, dtype=np.float64)
+        else:
+            state = builder.similarity_state(template, self.config.similarity)
+            sim_primary, sim_secondary = state.peek_types()
+            sims = np.where(
+                view.cols.primary_mask[pool], sim_primary, sim_secondary
+            )
+        rewards = (
+            self.config.weights.delta * sims
+            + self.config.weights.beta * view.item_weights[pool]
+        )
+        order = np.argsort(-rewards, kind="stable")
+        kept: List[int] = []
+        kept_min = float("inf")
+        for rank in order.tolist():
+            value = float(rewards[rank])
+            if len(kept) >= top_k and value < kept_min:
+                break
+            index = int(pool[rank])
+            if ctx.check(catalog.item_at(index)):
+                kept.append(index)
+                kept_min = value
+        if not kept:
+            return self._mask_actions_full_fallback(builder, cand_idx)
+        kept.sort()
+        return tuple(catalog.item_at(i) for i in kept)
+
+    def _mask_actions_full_fallback(
+        self, builder: PlanBuilder, cand_idx: np.ndarray
+    ) -> tuple:
+        """Materialize the candidate indices and run the unpruned cascade."""
+        catalog = builder.catalog
+        candidates = tuple(
+            catalog.item_at(int(i)) for i in cand_idx.tolist()
+        )
+        return self.mask_actions(builder, candidates)
+
+    def _feasibility_context(
+        self, builder: PlanBuilder
+    ) -> Optional["_FeasibilityContext"]:
+        """Per-step feasibility pool shared by every candidate check.
+
+        Builds, once, everything :meth:`feasibility_gate` recomputes per
+        candidate: the reachability of the remaining pool (vectorized
+        through :meth:`_CatalogView.prereq_satisfied`), the primary
+        count, the per-category credit aggregates, the candidate-fixable
+        items, and the travelled-distance base.  Returns None when no
+        slot remains (every candidate infeasible).
+        """
         hard = self.task.hard
         slots_after = hard.plan_length - (len(builder) + 1)
         if slots_after < 0:
-            return out
+            return None
 
+        catalog = builder.catalog
+        view = self._view(catalog)
+        cols = view.cols
         positions = builder.positions
         k = len(builder)
         last_slot = hard.plan_length - 1
         gap = hard.gap
-        base_primaries = builder.num_primary
         candidate_can_fix = last_slot - k >= gap
         minima = hard.category_credit_map
 
         # Base reachability of the pool under the current positions; a
         # candidate can only *add* reachability when it is a member of
         # every unsatisfied OR-group of a pooled item.
-        reachable_ids: set = set()
-        reachable_primaries = 0
+        remaining_idx = builder.remaining_indices()
+        satisfied = view.prereq_satisfied(positions, last_slot, gap)
+        remaining_sat = satisfied[remaining_idx]
+        reachable_idx = remaining_idx[remaining_sat]
+        reachable = np.zeros(len(catalog), dtype=bool)
+        reachable[reachable_idx] = True
+        reachable_primaries = int(cols.primary_mask[reachable_idx].sum())
+
         category_stats: Dict[str, _CategoryPoolStats] = {}
+        if minima:
+            category_index = {c: i for i, c in enumerate(cols.categories)}
+            pool_codes = cols.category_codes[reachable_idx]
+            for category in minima:
+                code = category_index.get(category)
+                if code is None:
+                    continue
+                sel = reachable_idx[pool_codes == code]
+                if sel.size == 0:
+                    continue
+                stats = _CategoryPoolStats()
+                credits = cols.credits[sel]
+                stats.count = int(sel.size)
+                stats.primaries = int(cols.primary_mask[sel].sum())
+                min1 = float(credits.min())
+                stats.min1 = min1
+                stats.min1_count = int((credits == min1).sum())
+                above = credits[credits > min1]
+                stats.min2 = float(above.min()) if above.size else float("inf")
+                category_stats[category] = stats
+
         fixers: Dict[str, List[Item]] = {}
-        for other in builder.remaining_items():
-            prereqs = other.prerequisites
-            if prereqs.is_empty or prereqs.satisfied_by(
-                positions, last_slot, gap
-            ):
-                reachable_ids.add(other.item_id)
-                if other.is_primary:
-                    reachable_primaries += 1
-                if minima and other.category in minima:
-                    stats = category_stats.get(other.category)
-                    if stats is None:
-                        stats = _CategoryPoolStats()
-                        category_stats[other.category] = stats
-                    stats.add(other)
-            elif candidate_can_fix:
+        if candidate_can_fix:
+            for i in remaining_idx[~remaining_sat].tolist():
+                other = catalog.item_at(i)
                 unsatisfied = [
                     group
-                    for group in prereqs.groups
+                    for group in other.prerequisites.groups
                     if not any(
                         member in positions
                         and last_slot - positions[member] >= gap
@@ -607,47 +918,41 @@ class RewardFunction:
                     base_distance += haversine_km(a[0], a[1], b[0], b[1])
                 last_coords = coords[-1]
 
+        return _FeasibilityContext(
+            reward=self,
+            index_map=catalog.index_map,
+            slots_after=slots_after,
+            base_primaries=builder.num_primary,
+            reachable=reachable,
+            reachable_primaries=reachable_primaries,
+            category_stats=category_stats,
+            fixers=fixers,
+            base_earned=base_earned,
+            distance_applies=distance_applies,
+            base_distance=base_distance,
+            last_coords=last_coords,
+        )
+
+    def feasible_mask(
+        self, builder: PlanBuilder, candidates: Sequence[Item]
+    ) -> np.ndarray:
+        """Vectorized :meth:`feasibility_gate` over many candidates.
+
+        The feasibility pool (remaining items, their reachability, the
+        per-category credit aggregates, the travelled distance) is
+        computed *once* per step (:meth:`_feasibility_context`) and
+        adjusted per candidate in O(1) amortized, instead of rebuilt per
+        candidate.
+        """
+        candidates = tuple(candidates)
+        out = np.zeros(len(candidates), dtype=bool)
+        if not candidates:
+            return out
+        ctx = self._feasibility_context(builder)
+        if ctx is None:
+            return out
         for j, cand in enumerate(candidates):
-            primaries_have = base_primaries + (1 if cand.is_primary else 0)
-            primaries_short = max(0, hard.num_primary - primaries_have)
-            if primaries_short > slots_after:
-                continue
-            fixed = fixers.get(cand.item_id, ())
-            unused_primaries = (
-                reachable_primaries
-                - (
-                    1
-                    if cand.is_primary and cand.item_id in reachable_ids
-                    else 0
-                )
-                + sum(1 for other in fixed if other.is_primary)
-            )
-            if primaries_short > unused_primaries:
-                continue
-            if minima and not self._joint_feasible_pooled(
-                cand,
-                category_stats,
-                base_earned,
-                fixed,
-                reachable_ids,
-                slots_after,
-                primaries_short,
-                unused_primaries,
-            ):
-                continue
-            if distance_applies:
-                lat, lon = cand.meta("lat"), cand.meta("lon")
-                if lat is not None and lon is not None:
-                    assert last_coords is not None
-                    total = base_distance + haversine_km(
-                        last_coords[0],
-                        last_coords[1],
-                        float(lat),  # type: ignore[arg-type]
-                        float(lon),  # type: ignore[arg-type]
-                    )
-                    if total > max_distance + 1e-9:
-                        continue
-            out[j] = True
+            out[j] = ctx.check(cand)
         return out
 
     def _joint_feasible_pooled(
@@ -656,14 +961,13 @@ class RewardFunction:
         category_stats: Dict[str, _CategoryPoolStats],
         base_earned: Dict[str, float],
         fixed: Sequence[Item],
-        reachable_ids: set,
+        cand_reachable: bool,
         slots_after: int,
         primaries_short: int,
         unused_primaries: int,
     ) -> bool:
         """`_joint_feasible` against precomputed pool aggregates."""
         minima = self.task.hard.category_credit_map
-        cand_reachable = cand.item_id in reachable_ids
         slots_used = 0
         primaries_covered = 0
         for category, minimum in minima.items():
@@ -784,6 +1088,80 @@ class RewardFunction:
         O(|I| * (|I| + k*|IT|)).
         """
         return self.batch_components(builder, candidates)[3]
+
+    def reward_batch_multi(
+        self,
+        builders: Sequence[PlanBuilder],
+        cand_idx_lists: Sequence[np.ndarray],
+    ) -> List[np.ndarray]:
+        """Eq. 2 rewards for many (builder, candidate-set) pairs at once.
+
+        All builders must share one catalog; ``cand_idx_lists[e]`` holds
+        catalog indices of episode ``e``'s candidates.  Bit-identical to
+        calling :meth:`reward_batch` per episode (the per-element float
+        operations are the same), but the coverage gate runs as one
+        stacked matrix reduction over the concatenated candidates — the
+        reduction whose fixed per-call overhead dominates small steps,
+        which is what makes episode-batched SARSA training pay off.
+        """
+        if not builders:
+            return []
+        view = self._view(builders[0].catalog)
+        counts = [int(np.asarray(ci).size) for ci in cand_idx_lists]
+        offsets = np.concatenate(
+            [[0], np.cumsum(np.asarray(counts, dtype=np.int64))]
+        )
+        total = int(offsets[-1])
+        if total == 0:
+            return [np.zeros(0, dtype=np.float64) for _ in counts]
+        cand_arrays = [
+            np.asarray(ci, dtype=np.int64).ravel() for ci in cand_idx_lists
+        ]
+        cand_all = np.concatenate(cand_arrays)
+        ep_of = np.repeat(np.arange(len(builders)), counts)
+
+        covered_rows = np.stack(
+            [view.covered_ideal(b.covered_topics) for b in builders]
+        )
+        gained = (view.ideal_matrix[cand_all] & ~covered_rows[ep_of]).sum(
+            axis=1
+        )
+        theta = gained >= self._coverage_needed
+        for e, b in enumerate(builders):
+            lo, hi = int(offsets[e]), int(offsets[e + 1])
+            if hi == lo:
+                continue
+            theta[lo:hi] &= self._gap_mask_idx(b, view, cand_arrays[e])
+
+        sims = np.zeros(total, dtype=np.float64)
+        template = self.task.soft.template
+        for e, b in enumerate(builders):
+            lo, hi = int(offsets[e]), int(offsets[e + 1])
+            if hi == lo:
+                continue
+            theta_seg = theta[lo:hi]
+            if len(b) + 1 > template.length or not theta_seg.any():
+                continue
+            state = b.similarity_state(template, self.config.similarity)
+            sim_primary, sim_secondary = state.peek_types()
+            seg = np.where(
+                view.cols.primary_mask[cand_arrays[e]],
+                sim_primary,
+                sim_secondary,
+            )
+            sims[lo:hi] = np.where(theta_seg, seg, 0.0)
+
+        weights = view.item_weights[cand_all]
+        totals = np.where(
+            theta,
+            self.config.weights.delta * sims
+            + self.config.weights.beta * weights,
+            0.0,
+        )
+        return [
+            totals[int(offsets[e]) : int(offsets[e + 1])]
+            for e in range(len(builders))
+        ]
 
     # ------------------------------------------------------------------
     # Equation 2

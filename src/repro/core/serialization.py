@@ -33,7 +33,7 @@ from typing import Dict, Optional, Tuple, Union
 
 from .catalog import Catalog
 from .exceptions import ArtifactError, PlanningError
-from .qtable import QTable
+from .qtable import QTableBase, resolve_backend
 
 PathLike = Union[str, pathlib.Path]
 
@@ -57,7 +57,7 @@ def payload_checksum(payload: Dict[str, object]) -> str:
 
 
 def policy_to_dict(
-    qtable: QTable, training_state: Optional[Dict[str, object]] = None
+    qtable: QTableBase, training_state: Optional[Dict[str, object]] = None
 ) -> Dict[str, object]:
     """JSON-safe dict of a Q-table (sparse entries, metadata).
 
@@ -82,8 +82,11 @@ def policy_to_dict(
 
 
 def policy_from_dict(
-    data: Dict[str, object], catalog: Catalog, strict: bool = False
-) -> QTable:
+    data: Dict[str, object],
+    catalog: Catalog,
+    strict: bool = False,
+    backend: str = "auto",
+) -> QTableBase:
     """Rebuild a Q-table from :func:`policy_to_dict` output (v1 or v2).
 
     ``strict=True`` refuses entries referencing items missing from
@@ -91,6 +94,11 @@ def policy_from_dict(
     behaviour).  The stored ``update_count`` is restored through the
     public metadata API so a table whose surviving entries are all
     zero-valued still counts as trained.
+
+    ``backend`` selects the storage backend of the rebuilt table
+    (``"auto"``/``"dense"``/``"sparse"``); the on-disk format is
+    backend-agnostic — any file loads into any backend with
+    bit-identical Q-values.
     """
     version = data.get("format_version")
     if version not in SUPPORTED_VERSIONS:
@@ -123,7 +131,7 @@ def policy_from_dict(
         # v1 files written before the counter existed: any entry means
         # the table was trained.
         update_count = len(entries)
-    return QTable.from_entries(
+    return resolve_backend(catalog, backend).from_entries(
         catalog, entries, strict=strict, update_count=update_count
     )
 
@@ -141,7 +149,7 @@ def training_state_from_dict(
 
 
 def save_policy(
-    qtable: QTable,
+    qtable: QTableBase,
     path: PathLike,
     training_state: Optional[Dict[str, object]] = None,
 ) -> None:
@@ -164,10 +172,15 @@ def save_policy(
 
 
 def load_policy(
-    path: PathLike, catalog: Catalog, strict: bool = False
-) -> QTable:
+    path: PathLike,
+    catalog: Catalog,
+    strict: bool = False,
+    backend: str = "auto",
+) -> QTableBase:
     """Read a policy JSON file back into a Q-table over ``catalog``."""
-    return policy_from_dict(read_policy_file(path), catalog, strict=strict)
+    return policy_from_dict(
+        read_policy_file(path), catalog, strict=strict, backend=backend
+    )
 
 
 def read_policy_file(path: PathLike) -> Dict[str, object]:

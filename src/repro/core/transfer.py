@@ -18,7 +18,7 @@ from typing import Dict, List, Optional, Tuple
 
 from .catalog import Catalog
 from .exceptions import TransferError
-from .qtable import QTable
+from .qtable import QTableBase, make_qtable
 
 
 @dataclass(frozen=True)
@@ -43,11 +43,11 @@ class TransferReport:
 class TransferResult:
     """A transferred Q-table plus its report."""
 
-    qtable: QTable
+    qtable: QTableBase
     report: TransferReport
 
 
-def transfer_by_id(source: QTable, target: Catalog) -> TransferResult:
+def transfer_by_id(source: QTableBase, target: Catalog) -> TransferResult:
     """Re-key a Q-table onto ``target`` matching items by id.
 
     The natural mapping for the course-planning transfer: NJIT degree
@@ -56,7 +56,7 @@ def transfer_by_id(source: QTable, target: Catalog) -> TransferResult:
     directly.
     """
     entries = source.to_entries()
-    table = QTable(target)
+    table = make_qtable(target)
     transferred = 0
     matched = set()
     for (state_id, action_id), value in entries.items():
@@ -120,7 +120,7 @@ def build_theme_mapping(
 
 
 def transfer_by_theme(
-    source: QTable,
+    source: QTableBase,
     target: Catalog,
     mapping: Optional[Dict[str, Tuple[str, ...]]] = None,
 ) -> TransferResult:
@@ -151,7 +151,7 @@ def transfer_by_theme(
             matched.update(mapping[state_id])
             matched.update(mapping[action_id])
 
-    table = QTable(target)
+    table = make_qtable(target)
     for key, total in sums.items():
         table.set(key[0], key[1], total / counts[key])
     if sums:
@@ -168,7 +168,7 @@ def transfer_by_theme(
 
 
 def transfer_policy(
-    source: QTable, target: Catalog, strategy: str = "auto"
+    source: QTableBase, target: Catalog, strategy: str = "auto"
 ) -> TransferResult:
     """Transfer a learned policy to another catalog.
 

@@ -18,7 +18,7 @@ from ..core.constraints import TaskSpec
 from ..core.env import DomainMode, TPPEnvironment
 from ..core.plan import Plan
 from ..core.policy import GreedyPolicy
-from ..core.qtable import QTable
+from ..core.qtable import QTableBase
 from ..core.sarsa import SarsaLearner
 from ..core.scoring import PlanScore, PlanScorer
 from .adapter import FeedbackAdjustedReward
@@ -80,7 +80,7 @@ class InteractiveSession:
         self.env = TPPEnvironment(
             catalog, task, self.config, mode=mode, reward=self.reward
         )
-        self._qtable: Optional[QTable] = None
+        self._qtable: Optional[QTableBase] = None
         self._rounds: List[PlanningRound] = []
 
     # ------------------------------------------------------------------

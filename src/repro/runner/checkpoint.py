@@ -31,7 +31,7 @@ from typing import Dict, Optional, Union
 from ..core.catalog import Catalog
 from ..core.config import PlannerConfig
 from ..core.exceptions import PlanningError
-from ..core.qtable import QTable
+from ..core.qtable import QTableBase
 from ..core.serialization import (
     policy_from_dict,
     read_policy_file,
@@ -66,7 +66,7 @@ def config_fingerprint(config: PlannerConfig) -> str:
 class TrainingCheckpoint:
     """A resumable snapshot of an in-progress training run."""
 
-    qtable: QTable
+    qtable: QTableBase
     episode: int
     rng_state: Dict[str, object]
     config_fingerprint: str

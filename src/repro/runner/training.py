@@ -30,7 +30,7 @@ from ..core.config import PlannerConfig
 from ..core.exceptions import PlanningError
 from ..obs import get_registry, write_metrics
 from ..core.planner import RLPlanner
-from ..core.qtable import QTable
+from ..core.qtable import QTableBase, make_qtable
 from ..core.sarsa import SarsaLearner
 from ..core.serialization import save_policy
 from .checkpoint import (
@@ -59,7 +59,7 @@ class TrainingOutcome:
 
     run_dir: pathlib.Path
     manifest: RunManifest
-    qtable: QTable
+    qtable: QTableBase
     completed_episodes: int
     plan_item_ids: Optional[tuple] = None
     score: Optional[float] = None
@@ -113,7 +113,7 @@ def run_training(
         dataset.catalog, dataset.task, config, mode=dataset.mode
     )
     learner = SarsaLearner(planner.env, config)
-    table = QTable(dataset.catalog)
+    table = make_qtable(dataset.catalog, backend=config.qtable_backend)
     return _train_loop(
         dataset, config, manifest, run_dir, learner, table,
         completed=0, session_budget=limit_episodes, append_stream=False,
@@ -175,7 +175,7 @@ def _train_loop(
     manifest: RunManifest,
     run_dir: pathlib.Path,
     learner: SarsaLearner,
-    table: QTable,
+    table: QTableBase,
     completed: int,
     session_budget: Optional[int],
     append_stream: bool,
@@ -247,7 +247,7 @@ def _finalize(
     config: PlannerConfig,
     manifest: RunManifest,
     run_dir: pathlib.Path,
-    table: QTable,
+    table: QTableBase,
     start: str,
 ) -> TrainingOutcome:
     save_policy(table, run_dir / POLICY_NAME)
@@ -280,7 +280,7 @@ def _finalize(
 
 
 def _completed_outcome(
-    run_dir: pathlib.Path, manifest: RunManifest, table: QTable
+    run_dir: pathlib.Path, manifest: RunManifest, table: QTableBase
 ) -> TrainingOutcome:
     result = manifest.result or {}
     return TrainingOutcome(

@@ -44,7 +44,8 @@ from ..runner.manifest import fingerprint_payload
 
 #: Bump when a payload's shape changes incompatibly — old artifacts
 #: then simply miss (and retrain) instead of loading wrongly.
-FINGERPRINT_SCHEMA = 1
+#: v2: config payload gained ``candidate_top_k``.
+FINGERPRINT_SCHEMA = 2
 
 
 def canonical_value(value: Any) -> Any:
@@ -145,9 +146,15 @@ def constraint_payload(task: TaskSpec) -> Dict[str, Any]:
 def config_payload(config: PlannerConfig) -> Dict[str, Any]:
     """Canonical content of a planner configuration.
 
-    Every field lands in the payload: any hyper-parameter change — even
-    the seed, which steers tie-breaking and hence the learned table —
-    must produce a distinct policy key.
+    Every *behaviour-affecting* field lands in the payload: any
+    hyper-parameter change — even the seed, which steers tie-breaking
+    and hence the learned table — must produce a distinct policy key.
+    ``candidate_top_k`` is included because epsilon-greedy exploration
+    samples its random actions from the pruned candidate set, so the
+    knob changes learning trajectories.  ``qtable_backend`` is
+    deliberately *excluded*: it is a pure storage-representation choice
+    (dense and sparse tables are bit-identical), so a policy trained
+    under either backend may serve requests keyed under the other.
     """
     weights = config.weights
     return {
@@ -177,6 +184,11 @@ def config_payload(config: PlannerConfig) -> Dict[str, Any]:
         ),
         "portfolio": bool(config.portfolio),
         "seed": None if config.seed is None else int(config.seed),
+        "candidate_top_k": (
+            None
+            if config.candidate_top_k is None
+            else int(config.candidate_top_k)
+        ),
     }
 
 

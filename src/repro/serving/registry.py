@@ -50,7 +50,7 @@ from ..core.constraints import TaskSpec
 from ..core.env import DomainMode
 from ..core.exceptions import ArtifactError, PlanningError
 from ..core.plan import Plan
-from ..core.qtable import QTable
+from ..core.qtable import QTableBase
 from ..core.scoring import PlanScore
 from ..core.serialization import load_policy, save_policy
 from ..obs import get_registry as get_metrics
@@ -160,7 +160,7 @@ class CacheEntry:
 
     def __init__(
         self,
-        qtable: QTable,
+        qtable: QTableBase,
         meta: ArtifactMeta,
         plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
     ) -> None:
@@ -259,7 +259,7 @@ class PolicyRegistry:
         task: TaskSpec,
         config: PlannerConfig,
         mode: DomainMode = DomainMode.COURSE,
-        trainer: Optional[Callable[[], QTable]] = None,
+        trainer: Optional[Callable[[], QTableBase]] = None,
         episodes: Optional[int] = None,
         label: str = "",
         refit: bool = True,
@@ -269,7 +269,7 @@ class PolicyRegistry:
 
         Returns ``(entry, source)`` with ``source`` one of
         :data:`SOURCE_CACHE` / :data:`SOURCE_DISK` / :data:`SOURCE_TRAINED`.
-        ``trainer`` produces a fitted :class:`QTable` on a full miss; when
+        ``trainer`` produces a fitted :class:`QTableBase` on a full miss; when
         omitted, a fresh :class:`~repro.core.planner.RLPlanner` is fitted
         (``episodes`` overriding ``config.episodes``).  With ``refit``
         (default) a stale cache hit also schedules a background retrain.
@@ -353,7 +353,7 @@ class PolicyRegistry:
         task: TaskSpec,
         config: PlannerConfig,
         mode: DomainMode = DomainMode.COURSE,
-        trainer: Optional[Callable[[], QTable]] = None,
+        trainer: Optional[Callable[[], QTableBase]] = None,
         episodes: Optional[int] = None,
         label: str = "",
     ) -> bool:
@@ -394,7 +394,7 @@ class PolicyRegistry:
         task: TaskSpec,
         config: PlannerConfig,
         mode: DomainMode,
-        qtable: QTable,
+        qtable: QTableBase,
         episodes: Optional[int] = None,
         label: str = "",
     ) -> ArtifactMeta:
@@ -596,9 +596,9 @@ class PolicyRegistry:
         task: TaskSpec,
         config: PlannerConfig,
         mode: DomainMode,
-        trainer: Optional[Callable[[], QTable]],
+        trainer: Optional[Callable[[], QTableBase]],
         episodes: Optional[int],
-    ) -> QTable:
+    ) -> QTableBase:
         if trainer is not None:
             return trainer()
         # Local import: planner pulls in the learner stack, which the
@@ -621,7 +621,7 @@ class PolicyRegistry:
         task: TaskSpec,
         config: PlannerConfig,
         mode: DomainMode,
-        trainer: Optional[Callable[[], QTable]],
+        trainer: Optional[Callable[[], QTableBase]],
         episodes: Optional[int],
         label: str,
     ) -> None:
@@ -656,7 +656,7 @@ class PolicyRegistry:
         task: TaskSpec,
         config: PlannerConfig,
         mode: DomainMode,
-        trainer: Optional[Callable[[], QTable]],
+        trainer: Optional[Callable[[], QTableBase]],
         episodes: Optional[int],
         label: str,
     ) -> None:
