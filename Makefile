@@ -5,7 +5,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test test-fast test-chaos test-serving test-registry test-scenarios lint bench bench-runner bench-obs bench-serving bench-paper loadtest-smoke
+.PHONY: test test-fast test-chaos test-serving test-registry test-scenarios test-durability lint bench bench-runner bench-obs bench-serving bench-paper loadtest-smoke
 
 ## Full tier-1 suite (everything under tests/).
 test:
@@ -30,6 +30,10 @@ test-registry:
 ## Dynamic-world suite: availability churn, mid-plan replanning, drain.
 test-scenarios:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -m scenarios
+
+## Durability suite: journal format, replay, kill -9 restart drill.
+test-durability:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/test_journal.py
 
 ## Static checks (ruff: syntax errors + pyflakes).  `pip install -e .[lint]`.
 lint:

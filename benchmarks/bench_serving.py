@@ -28,6 +28,10 @@ root:
    the same seeded churn schedule is replayed, and a burst-closure
    load run that must shed/degrade rather than serve a plan
    referencing a closed item.
+7. **Durability** — write-ahead journal overhead on ``apply_delta``
+   (gated under 5% at catalog scale, fsync on), replay throughput in
+   deltas/s, warm-restart state fidelity and the duplicate-seq no-op
+   ack.
 
 Run standalone::
 
@@ -410,6 +414,109 @@ def bench_churn(
     }
 
 
+def bench_durability(iterations: int) -> Dict[str, object]:
+    """Journal-append overhead on ``apply_delta`` + replay throughput.
+
+    Sized on a synthetic 5000-item catalog — the large-catalog regime
+    PR 9 targets — because that is where the durability tax must be
+    honest: ``apply_delta`` re-materializes the live catalog (~ms at
+    |I|=5k), so the per-append ``fdatasync`` (~0.2 ms) must stay under
+    5% of it.  On a toy catalog the same fsync would dwarf the
+    microsecond apply and the gate would be meaningless.
+
+    Also measured: journal replay parse throughput (deltas/s), full
+    warm-restart recovery wall time, and the duplicate-seq no-op ack.
+    """
+    from repro.datasets import SyntheticSpec, generate_instance
+    from repro.core.deltas import DELTA_CLOSE, DELTA_REOPEN, CatalogDelta
+    from repro.serving import DeltaJournal, PlanningService
+
+    catalog, task = generate_instance(SyntheticSpec(num_items=5000), seed=0)
+    pairs = max(20, iterations // 2)
+    victims = sorted(catalog.item_ids)[-pairs:]
+
+    def close_reopen_deltas() -> List[CatalogDelta]:
+        out = []
+        for item_id in victims:
+            out.append(CatalogDelta(kind=DELTA_CLOSE, item_id=item_id))
+            out.append(CatalogDelta(kind=DELTA_REOPEN, item_id=item_id))
+        return out
+
+    plain = PlanningService(catalog, task, audit=False)
+    plain_s = []
+    for delta in close_reopen_deltas():
+        t0 = time.perf_counter()
+        plain.apply_delta(delta)
+        plain_s.append(time.perf_counter() - t0)
+
+    journal_root = tempfile.mkdtemp()
+    journaled = PlanningService(catalog, task, audit=False)
+    journal = DeltaJournal(journal_root, compact_every=10 ** 9)
+    journaled.attach_journal(journal)
+    journaled_s = []
+    for delta in close_reopen_deltas():
+        t0 = time.perf_counter()
+        journaled.apply_delta(delta)
+        journaled_s.append(time.perf_counter() - t0)
+
+    plain_p50 = sorted(plain_s)[len(plain_s) // 2]
+    journaled_p50 = sorted(journaled_s)[len(journaled_s) // 2]
+    overhead = journaled_p50 / plain_p50 - 1.0
+
+    # Duplicate-seq idempotence: a retry of the last acked seq must be
+    # a no-op ack, not a double apply.
+    version_before = journaled.catalog_version
+    last_seq = journaled.journal_seq
+    retry = journaled.apply_delta(
+        CatalogDelta(kind=DELTA_REOPEN, item_id=victims[-1], seq=last_seq)
+    )
+    duplicate_noop = (
+        retry.duplicate
+        and retry.seq == last_seq
+        and journaled.catalog_version == version_before
+    )
+    journal.close()
+
+    # Replay: parse throughput of the tail, then the full warm restart
+    # (parse + snapshot restore + per-delta re-materialization).
+    reader = DeltaJournal(journal_root)
+    t0 = time.perf_counter()
+    replayed = reader.replay()
+    parse_s = time.perf_counter() - t0
+    restarted = PlanningService(catalog, task, audit=False)
+    t0 = time.perf_counter()
+    recovery = restarted.attach_journal(DeltaJournal(journal_root))
+    recover_s = time.perf_counter() - t0
+    state_identical = (
+        restarted.live_catalog.item_ids == journaled.live_catalog.item_ids
+        and restarted.catalog_version == journaled.catalog_version
+        and restarted.journal_seq == journaled.journal_seq
+    )
+    return {
+        "num_items": len(catalog),
+        "appends": len(journaled_s),
+        "plain_apply": _percentiles(plain_s),
+        "journaled_apply": _percentiles(journaled_s),
+        "overhead_fraction": overhead,
+        "budget_fraction": OVERHEAD_BUDGET,
+        "within_budget": overhead < OVERHEAD_BUDGET,
+        "duplicate_seq_noop": duplicate_noop,
+        "replay": {
+            "deltas": len(replayed.deltas),
+            "parse_s": parse_s,
+            "parse_deltas_per_s": (
+                len(replayed.deltas) / parse_s if parse_s > 0 else 0.0
+            ),
+            "recover_s": recover_s,
+            "recover_deltas_per_s": (
+                recovery.replayed_deltas / recover_s
+                if recover_s > 0 else 0.0
+            ),
+            "state_identical": state_identical,
+        },
+    }
+
+
 def bench_admission(dataset, iterations: int) -> Dict[str, object]:
     """Load-time audit and per-request screen latency."""
     audit_s = _time(
@@ -461,6 +568,7 @@ def main(argv=None) -> int:
     payload["churn"] = bench_churn(
         dataset, args.episodes, args.iterations
     )
+    payload["durability"] = bench_durability(args.iterations)
     out = pathlib.Path(args.output)
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
@@ -515,6 +623,14 @@ def main(argv=None) -> int:
         f"{'OK' if churn['determinism']['identical'] else 'DIVERGED'}  "
         f"burst invalid_served {churn['burst']['invalid_served']}"
     )
+    dur = payload["durability"]
+    print(
+        f"  journal overhead {dur['overhead_fraction']:+.1%} on "
+        f"apply_delta @ |I|={dur['num_items']} "
+        f"(budget {dur['budget_fraction']:.0%}, "
+        f"{'OK' if dur['within_budget'] else 'OVER'})   "
+        f"replay {dur['replay']['recover_deltas_per_s']:.0f} deltas/s"
+    )
     if not ov["within_budget"]:
         print("  FAIL: facade overhead exceeds budget")
         return 1
@@ -541,6 +657,15 @@ def main(argv=None) -> int:
         return 1
     if not churn["burst"]["shed_not_invalid"]:
         print("  FAIL: served a plan referencing a closed item under burst")
+        return 1
+    if not dur["within_budget"]:
+        print("  FAIL: journal append overhead on apply_delta exceeds budget")
+        return 1
+    if not dur["duplicate_seq_noop"]:
+        print("  FAIL: duplicate-seq delta was not acked as a no-op")
+        return 1
+    if not dur["replay"]["state_identical"]:
+        print("  FAIL: journal replay did not reproduce the live state")
         return 1
     return 0
 

@@ -325,7 +325,7 @@ def _parse_listen(value: str):
         return host or "127.0.0.1", int(port)
     except ValueError:
         raise argparse.ArgumentTypeError(
-            f"--listen expects HOST:PORT, got {value!r}"
+            f"expected HOST:PORT, got {value!r}"
         )
 
 
@@ -336,7 +336,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         obs.enable()
     dataset = load(args.dataset, seed=args.seed, with_gold=False)
     service = _build_service(args, dataset)
+    recovery = None
+    if getattr(args, "journal", None):
+        # Durability: replay the write-ahead journal *before* the
+        # listener opens, so the first request already sees the
+        # post-crash world (ready-gated below for --listen).
+        from .serving import DeltaJournal
+
+        journal = DeltaJournal(args.journal)
+        recovery = service.attach_journal(journal)
+        print(f"journal  : {args.journal} — {recovery.describe()}")
     if args.listen:
+        import signal
+        import threading
+
         from .serving import PlanningServer
 
         host, port = args.listen
@@ -345,26 +358,41 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             workers=args.workers,
             max_queue=args.queue,
             default_deadline_s=args.deadline,
+            ready=False,
         )
         bound_host, bound_port = server.listen(host, port)
+        # Probes can connect now, but plan requests shed (not_ready)
+        # until the recovered state is the one being served.
+        server.mark_ready()
         print(f"dataset  : {dataset.name}")
         print(f"listening: {bound_host}:{bound_port} "
               f"({args.workers} workers, queue {args.queue})")
         print("protocol : one JSON request per line, e.g. "
-              '{"start": null, "deadline_s": 1.0}')
-        try:
-            import threading
+              '{"start": null, "deadline_s": 1.0}; probes: '
+              '{"op": "health"}, {"op": "ready"}')
+        stop = threading.Event()
 
-            threading.Event().wait()
+        def _on_sigterm(signum, frame):  # noqa: ARG001 - signal API
+            stop.set()
+
+        previous = signal.signal(signal.SIGTERM, _on_sigterm)
+        try:
+            stop.wait()
+            print("SIGTERM: draining...", file=sys.stderr)
         except KeyboardInterrupt:
             print("draining...", file=sys.stderr)
         finally:
+            signal.signal(signal.SIGTERM, previous)
             server.close()
+            if service.journal is not None:
+                service.journal.close()
         return 0
     result = service.serve(
         start_item_id=args.start or dataset.default_start,
         deadline_s=args.deadline,
     )
+    if service.journal is not None:
+        service.journal.close()
     print(f"dataset  : {dataset.name}")
     print(result.describe())
     if args.metrics:
@@ -382,6 +410,29 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         from . import obs
 
         obs.enable()
+    if getattr(args, "connect", None):
+        # Remote mode: drive an already-running `serve --listen` server
+        # over TCP with restart-resilient clients — no local service,
+        # dataset, or training at all.
+        from .serving import RetryPolicy, tcp_closed_loop
+
+        host, port = args.connect
+        report = tcp_closed_loop(
+            host,
+            port,
+            concurrency=int(args.levels.split(",")[0]),
+            requests=args.requests,
+            deadline_s=args.deadline,
+            slo_s=args.slo,
+            retry=RetryPolicy(seed=args.seed),
+        )
+        text = json.dumps(report, indent=2, sort_keys=True)
+        print(text)
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(text + "\n")
+            print(f"report  : {args.output}", file=sys.stderr)
+        return 0
     dataset = load(args.dataset, seed=args.seed, with_gold=False)
     service = _build_service(args, dataset)
 
@@ -721,6 +772,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--queue", type=int, default=32,
         help="admission queue bound for --listen (default 32)",
     )
+    serve.add_argument(
+        "--journal", metavar="DIR",
+        help="write-ahead delta journal directory: deltas are fsync'd "
+        "before they apply, and startup replays snapshot+tail back "
+        "into the live catalog (corrupt journals are quarantined, "
+        "never crash-looped)",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     loadtest = sub.add_parser(
@@ -808,6 +866,13 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument(
         "--metrics", action="store_true",
         help="print serving counters as Prometheus text on stderr",
+    )
+    loadtest.add_argument(
+        "--connect", type=_parse_listen, metavar="HOST:PORT",
+        help="drive a running `serve --listen` server over TCP instead "
+        "of building one in-process; clients ride out server restarts "
+        "with capped-backoff reconnects (first --levels entry is the "
+        "concurrency)",
     )
     loadtest.set_defaults(func=_cmd_loadtest)
 

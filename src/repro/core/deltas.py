@@ -34,7 +34,7 @@ import threading
 from typing import Dict, FrozenSet, Optional, Tuple, Union
 
 from .catalog import Catalog, SubsetFinding
-from .exceptions import DeltaError
+from .exceptions import DataModelError, DeltaError
 from .items import Item
 
 #: Catalog-delta kinds.
@@ -191,9 +191,33 @@ class CatalogView:
         return frozenset(self._closed)
 
     @property
+    def credit_overrides(self) -> Dict[str, float]:
+        """Copy of the live credit-override map (item_id → credits)."""
+        with self._lock:
+            return dict(self._credit_overrides)
+
+    @property
     def last_findings(self) -> Tuple[SubsetFinding, ...]:
         """Integrity findings from the most recent materialization."""
         return self._findings
+
+    def state_payload(self) -> Dict[str, object]:
+        """Canonical JSON-ready snapshot of the fold state.
+
+        Everything :meth:`restore` needs to rebuild this view over the
+        same base catalog — the write-ahead journal's snapshot format.
+        Sorted/plain types only, so two views holding the same state
+        serialize byte-identically.
+        """
+        with self._lock:
+            return {
+                "closed": sorted(self._closed),
+                "credit_overrides": {
+                    item_id: self._credit_overrides[item_id]
+                    for item_id in sorted(self._credit_overrides)
+                },
+                "version": self._version,
+            }
 
     def fork(self) -> "CatalogView":
         """An independent view over the same *base* seeded with the
@@ -237,6 +261,9 @@ class CatalogView:
                 f"unknown to base catalog {self.base.name!r}"
             )
         with self._lock:
+            prev_closed = set(self._closed)
+            prev_overrides = dict(self._credit_overrides)
+            prev_version = self._version
             if delta.kind == DELTA_CLOSE:
                 self._closed.add(delta.item_id)
             elif delta.kind == DELTA_REOPEN:
@@ -257,19 +284,99 @@ class CatalogView:
                     f"close the last open item"
                 )
             self._version += 1
-            source = self.base
-            if self._credit_overrides:
-                source = Catalog(
-                    tuple(self.resolve(item) for item in self.base.items),
-                    name=self.base.name,
-                    topic_vocabulary=self.base.topic_vocabulary,
-                    validate_prerequisites=False,
-                )
-            live, findings = source.subset_with_findings(
-                open_ids,
-                name=f"{self.base.name}@v{self._version}",
-                on_dangling="prune",
+            try:
+                return self._materialize_locked(open_ids)
+            except DataModelError as exc:
+                # Pruning dangling prerequisites can empty the live
+                # catalog even with open items left.  Roll the fold
+                # back and reject as a DeltaError, so the refusal is
+                # deterministic and journal replay skips it instead of
+                # crash-looping on an unexpected exception type.
+                # _live/_findings are untouched (assigned only on
+                # success), so restoring the fold state suffices.
+                self._closed = prev_closed
+                self._credit_overrides = prev_overrides
+                self._version = prev_version
+                raise DeltaError(
+                    f"delta {delta.kind!r} on {delta.item_id!r} would "
+                    f"leave the live catalog empty after prerequisite "
+                    f"pruning: {exc}"
+                ) from exc
+
+    def _materialize_locked(self, open_ids) -> Tuple[SubsetFinding, ...]:
+        """Rebuild :attr:`live` from the base + fold state (lock held)."""
+        source = self.base
+        if self._credit_overrides:
+            source = Catalog(
+                tuple(self.resolve(item) for item in self.base.items),
+                name=self.base.name,
+                topic_vocabulary=self.base.topic_vocabulary,
+                validate_prerequisites=False,
             )
-            self._live = live
-            self._findings = findings
-            return findings
+        live, findings = source.subset_with_findings(
+            open_ids,
+            name=f"{self.base.name}@v{self._version}",
+            on_dangling="prune",
+        )
+        self._live = live
+        self._findings = findings
+        return findings
+
+    def restore(
+        self,
+        closed_ids,
+        credit_overrides: Dict[str, float],
+        version: int,
+    ) -> Tuple[SubsetFinding, ...]:
+        """Seed the view with recovered fold state, materializing once.
+
+        The journal-replay path: instead of re-folding every delta since
+        the beginning of time, a snapshot's ``(closed, overrides,
+        version)`` triple is installed directly and the live catalog is
+        rebuilt in a single materialization — byte-identical to the view
+        that wrote the snapshot, because materialization is a pure
+        function of that triple over the immutable base.
+        """
+        closed = set(closed_ids)
+        overrides = dict(credit_overrides)
+        if version < 0:
+            raise DeltaError(f"snapshot version must be >= 0, got {version}")
+        unknown = (closed | set(overrides)) - set(self.base.item_ids)
+        if unknown:
+            raise DeltaError(
+                f"snapshot references item(s) unknown to base catalog "
+                f"{self.base.name!r}: {sorted(unknown)}"
+            )
+        for item_id, credits in overrides.items():
+            if not isinstance(credits, (int, float)) or credits <= 0:
+                raise DeltaError(
+                    f"snapshot credit override for {item_id!r} must be a "
+                    f"positive number, got {credits!r}"
+                )
+        with self._lock:
+            open_ids = [
+                item_id
+                for item_id in self.base.item_ids
+                if item_id not in closed
+            ]
+            if not open_ids:
+                raise DeltaError(
+                    "snapshot closes every item in the base catalog"
+                )
+            self._closed = closed
+            self._credit_overrides = {
+                item_id: float(credits)
+                for item_id, credits in overrides.items()
+            }
+            self._version = version
+            if version == 0 and not closed and not overrides:
+                self._live = self.base
+                self._findings = ()
+                return ()
+            try:
+                return self._materialize_locked(open_ids)
+            except DataModelError as exc:
+                raise DeltaError(
+                    f"snapshot state leaves the live catalog empty "
+                    f"after prerequisite pruning: {exc}"
+                ) from exc

@@ -76,6 +76,23 @@ class ChurnSchedule:
         """Events whose fraction is ``<= progress`` (in order)."""
         return tuple(e for e in self.events if e.at <= progress)
 
+    def split(
+        self, at: float
+    ) -> Tuple["ChurnSchedule", "ChurnSchedule"]:
+        """Cut the schedule at a progress fraction: ``(before, after)``.
+
+        The restart drill's knife: apply the ``before`` half, kill -9
+        the process, recover, then apply the ``after`` half — both
+        halves keep the original kind/seed so replayed decision logs
+        and journal seqs line up with an uncut run.
+        """
+        before = tuple(e for e in self.events if e.at <= at)
+        after = tuple(e for e in self.events if e.at > at)
+        return (
+            dataclasses.replace(self, events=before),
+            dataclasses.replace(self, events=after),
+        )
+
     def to_dict(self) -> Dict[str, Any]:
         """Canonical JSON-ready form of the whole schedule."""
         return {

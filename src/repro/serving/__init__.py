@@ -35,6 +35,7 @@ from .breaker import (
 from .deadline import Deadline
 from .facade import (
     DeltaReport,
+    JournalRecovery,
     PlanningService,
     RUNG_EDA,
     RUNG_REPAIR,
@@ -44,7 +45,23 @@ from .facade import (
     ServeRequest,
     ServeResult,
 )
-from .loadgen import closed_loop, open_loop, sweep_closed_loop
+from .journal import (
+    DeltaJournal,
+    JOURNAL_NAME,
+    JOURNAL_SCHEMA,
+    ReplayResult,
+    SNAPSHOT_NAME,
+    SnapshotState,
+)
+from .loadgen import (
+    ClientGaveUp,
+    LineClient,
+    RetryPolicy,
+    closed_loop,
+    open_loop,
+    sweep_closed_loop,
+    tcp_closed_loop,
+)
 from .replan import (
     CLASS_BENIGN,
     CLASS_PREFIX_INVALIDATING,
@@ -62,6 +79,7 @@ from .replan import (
 )
 from .server import (
     OUTCOME_SHED,
+    SHED_NOT_READY,
     PlanningServer,
     ServerClosed,
     request_from_payload,
@@ -97,10 +115,16 @@ __all__ = [
     "CatalogDelta",
     "CatalogView",
     "CircuitBreaker",
+    "ClientGaveUp",
     "ConstraintDelta",
     "Deadline",
+    "DeltaJournal",
     "DeltaReport",
     "INFEASIBILITY_CODES",
+    "JOURNAL_NAME",
+    "JOURNAL_SCHEMA",
+    "JournalRecovery",
+    "LineClient",
     "OUTCOME_SHED",
     "PlanningServer",
     "PlanningService",
@@ -118,8 +142,13 @@ __all__ = [
     "RUNGS",
     "RepairPlanner",
     "ReplanResult",
+    "ReplayResult",
     "ReplanSession",
+    "RetryPolicy",
     "RungAttempt",
+    "SHED_NOT_READY",
+    "SNAPSHOT_NAME",
+    "SnapshotState",
     "SOURCE_CACHE",
     "SOURCE_DISK",
     "SOURCE_TRAINED",
@@ -143,4 +172,5 @@ __all__ = [
     "screen_request",
     "short_key",
     "sweep_closed_loop",
+    "tcp_closed_loop",
 ]

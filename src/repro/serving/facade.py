@@ -29,6 +29,8 @@ service did on its behalf.
 
 from __future__ import annotations
 
+import dataclasses
+import logging
 import threading
 import time
 from dataclasses import dataclass
@@ -41,6 +43,7 @@ from ..core.constraints import TaskSpec
 from ..core.deltas import CatalogDelta, CatalogView
 from ..core.env import DomainMode
 from ..core.exceptions import (
+    ArtifactError,
     DeltaError,
     NonRetriableError,
     UntrainedPolicyError,
@@ -53,8 +56,11 @@ from .admission import AdmissionReport, audit_catalog, screen_request
 from .breaker import CircuitBreaker
 from .deadline import Deadline
 from .fingerprint import short_key
+from .journal import DeltaJournal
 from .registry import CacheEntry, PolicyRegistry
 from .repair import RepairPlanner
+
+logger = logging.getLogger(__name__)
 
 RUNG_SARSA = "sarsa"
 RUNG_EDA = "eda"
@@ -212,6 +218,59 @@ class DeltaReport:
     #: True when a single-flight background refit was scheduled for the
     #: new key by this call (False if one was already in flight).
     refit_scheduled: bool = False
+    #: Journal sequence number this delta landed (or was deduped) at;
+    #: 0 when no journal is attached.
+    seq: int = 0
+    #: True when the delta's seq was at/below the journal watermark —
+    #: a client retry or replayed wire event acked as a no-op instead
+    #: of double-applied.  ``findings`` is empty and
+    #: ``catalog_version`` is the *unchanged* current version.
+    duplicate: bool = False
+
+
+@dataclass(frozen=True)
+class JournalRecovery:
+    """What :meth:`PlanningService.attach_journal` recovered at startup.
+
+    ``restored`` is True when prior durable state existed and the live
+    view was rebuilt from it.  ``quarantined`` lists the paths a
+    corrupt journal was moved aside to (pristine-catalog fallback);
+    empty on a clean replay.
+    """
+
+    restored: bool
+    snapshot_seq: int = 0
+    replayed_deltas: int = 0
+    #: Tail deltas that failed to apply at replay.  Application is
+    #: deterministic, so these are exactly the deltas that were
+    #: journaled but then *rejected* pre-crash (e.g. closing the last
+    #: open item) — skipping them reproduces the pre-crash state.
+    skipped_deltas: int = 0
+    last_seq: int = 0
+    catalog_version: int = 0
+    torn_tail: bool = False
+    quarantined: Tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        if self.quarantined:
+            return (
+                f"journal CORRUPT: quarantined "
+                f"{', '.join(self.quarantined)}; serving pristine catalog"
+            )
+        if not self.restored:
+            return "journal empty: serving pristine catalog"
+        torn = ", torn tail dropped" if self.torn_tail else ""
+        skipped = (
+            f", {self.skipped_deltas} rejected-pre-crash skipped"
+            if self.skipped_deltas
+            else ""
+        )
+        return (
+            f"journal restored: snapshot seq {self.snapshot_seq} + "
+            f"{self.replayed_deltas} tail delta(s){skipped}{torn} -> "
+            f"catalog v{self.catalog_version} (watermark seq "
+            f"{self.last_seq})"
+        )
 
 
 class PlanningService:
@@ -310,6 +369,11 @@ class PlanningService:
         self._catalog_view: Optional[CatalogView] = None
         self._policy_catalog: Catalog = self.catalog
         self._pending_policy_key: Optional[str] = None
+        # Durability (attach_journal): deltas are journaled+fsync'd
+        # before they fold, and _journal_seq is the dedupe watermark —
+        # a retried seq at/below it acks as a no-op.
+        self._journal: Optional[DeltaJournal] = None
+        self._journal_seq: int = 0
 
     @classmethod
     def from_dataset(cls, dataset, **kwargs) -> "PlanningService":
@@ -359,6 +423,146 @@ class PlanningService:
             self._pending_policy_key = None
 
     # ------------------------------------------------------------------
+    # Durability: the write-ahead delta journal
+    # ------------------------------------------------------------------
+
+    def attach_journal(
+        self, journal: DeltaJournal, recover: bool = True
+    ) -> JournalRecovery:
+        """Journal every future delta; optionally replay prior state.
+
+        Attach *after* :meth:`attach_registry` (the CLI's order): the
+        replay re-derives the post-churn policy fingerprint so a
+        pending refit interrupted by the crash is re-armed.
+
+        Recovery never raises for journal damage: a corrupt journal is
+        quarantined (:class:`~repro.core.exceptions.ArtifactError`
+        logged loudly) and the service falls back to the pristine
+        catalog rather than crash-looping.
+        """
+        obs = get_registry()
+        if not recover:
+            with self._delta_lock:
+                self._journal = journal
+                self._journal_seq = 0
+            return JournalRecovery(restored=False)
+        with obs.span("journal.replay"):
+            try:
+                replay = journal.replay()
+            except ArtifactError as exc:
+                logger.error(
+                    "journal %s is corrupt (%s); quarantining and "
+                    "serving the PRISTINE catalog — durable churn "
+                    "state has been lost",
+                    journal.root, exc,
+                )
+                quarantined = journal.quarantine()
+                with self._delta_lock:
+                    self._journal = journal
+                    self._journal_seq = 0
+                return JournalRecovery(
+                    restored=False,
+                    quarantined=tuple(str(p) for p in quarantined),
+                )
+            if replay.empty:
+                with self._delta_lock:
+                    self._journal = journal
+                    self._journal_seq = 0
+                return JournalRecovery(restored=False)
+            view = CatalogView(self.catalog)
+            skipped = 0
+            try:
+                if replay.snapshot is not None:
+                    state = replay.snapshot.state_payload()
+                    view.restore(
+                        state["closed"],
+                        state["credit_overrides"],
+                        state["version"],
+                    )
+                for delta in replay.deltas:
+                    try:
+                        view.apply(delta)
+                    except DeltaError as exc:
+                        # Deterministic apply: this delta was rejected
+                        # identically pre-crash after being journaled;
+                        # skipping it reproduces the exact state.
+                        skipped += 1
+                        logger.warning(
+                            "replay: skipping seq %d (%s) — rejected "
+                            "at original apply too: %s",
+                            delta.seq, delta.kind, exc,
+                        )
+                        continue
+                    obs.inc("journal_replay_deltas_total")
+            except DeltaError as exc:
+                # Snapshot state that cannot restore against this base
+                # catalog: the journal belongs to a different universe.
+                logger.error(
+                    "journal %s does not fit catalog %r (%s); "
+                    "quarantining and serving the PRISTINE catalog",
+                    journal.root, self.catalog.name, exc,
+                )
+                quarantined = journal.quarantine()
+                with self._delta_lock:
+                    self._journal = journal
+                    self._journal_seq = 0
+                return JournalRecovery(
+                    restored=False,
+                    quarantined=tuple(str(p) for p in quarantined),
+                )
+            with self._delta_lock:
+                self._catalog_view = view
+                self._journal = journal
+                self._journal_seq = replay.last_seq
+                # Re-arm the pending-refit fingerprint state the crash
+                # dropped: same branch apply_delta takes per delta.
+                if self.policy_registry is not None:
+                    live = view.live
+                    new_key = self.policy_registry.key_for(
+                        live, self.task, self.config, self.mode
+                    )
+                    if new_key != self._policy_key:
+                        self._pending_policy_key = new_key
+                        self.policy_registry.invalidate(
+                            new_key,
+                            live,
+                            self.task,
+                            self.config,
+                            self.mode,
+                            episodes=self._registry_episodes,
+                            label=self._registry_label,
+                        )
+                    else:
+                        self._pending_policy_key = None
+        obs.inc("server_restarts_total")
+        return JournalRecovery(
+            restored=True,
+            snapshot_seq=(
+                replay.snapshot.seq if replay.snapshot is not None else 0
+            ),
+            replayed_deltas=len(replay.deltas) - skipped,
+            skipped_deltas=skipped,
+            last_seq=replay.last_seq,
+            catalog_version=view.version,
+            torn_tail=replay.torn_tail,
+        )
+
+    @property
+    def journal(self) -> Optional[DeltaJournal]:
+        """The attached write-ahead journal, or ``None``."""
+        return self._journal
+
+    @property
+    def journal_seq(self) -> int:
+        """Dedupe watermark: highest journaled seq (0 = none)."""
+        return self._journal_seq
+
+    @property
+    def pending_policy_key(self) -> Optional[str]:
+        """The post-churn policy key a refit is in flight for, if any."""
+        return self._pending_policy_key
+
+    # ------------------------------------------------------------------
     # The changing world: availability deltas
     # ------------------------------------------------------------------
 
@@ -392,14 +596,54 @@ class PlanningService:
         Constraint deltas are session-scoped (they retarget a
         :class:`~repro.serving.replan.ReplanSession`'s task); passing
         one here raises :class:`DeltaError`.
+
+        With a journal attached the delta is fsync'd to the write-ahead
+        log *before* it folds (crash after the ack ⇒ replay re-applies
+        it), and a ``seq`` at or below the journal watermark is acked
+        as a duplicate no-op — at-least-once delivery composes with
+        exactly-once application.  Unstamped deltas (``seq == 0``) are
+        stamped ``watermark + 1``.
         """
         if not isinstance(delta, CatalogDelta):
             raise DeltaError(
                 "PlanningService.apply_delta takes CatalogDelta events; "
                 "constraint deltas are session-scoped (ReplanSession.ingest)"
             )
+        if delta.item_id not in self.catalog:
+            # Pre-journal validation: a delta naming an item the base
+            # catalog has never heard of is wire garbage, not a world
+            # event — reject it before it pollutes the journal (the
+            # same check apply() would make, hoisted above the append).
+            raise DeltaError(
+                f"delta {delta.kind!r} references item {delta.item_id!r} "
+                f"unknown to base catalog {self.catalog.name!r}"
+            )
         obs = get_registry()
         with self._delta_lock:
+            journal = self._journal
+            if journal is not None:
+                if delta.seq != 0 and delta.seq <= self._journal_seq:
+                    obs.inc("journal_duplicate_deltas_total")
+                    return DeltaReport(
+                        kind=delta.kind,
+                        item_id=delta.item_id,
+                        catalog_version=(
+                            self._catalog_view.version
+                            if self._catalog_view is not None
+                            else 0
+                        ),
+                        seq=delta.seq,
+                        duplicate=True,
+                    )
+                if delta.seq == 0:
+                    delta = dataclasses.replace(
+                        delta, seq=self._journal_seq + 1
+                    )
+                # Write-ahead: journal (fsync) before fold.  If the
+                # fold below rejects the delta, replay rejects it
+                # identically and skips it — state stays reproducible.
+                journal.append(delta)
+                self._journal_seq = delta.seq
             if self._catalog_view is None:
                 self._catalog_view = CatalogView(self.catalog)
             findings = self._catalog_view.apply(delta)
@@ -430,6 +674,11 @@ class PlanningService:
                     # The delta cycled the world back to the adopted
                     # policy's universe (e.g. close then reopen).
                     self._pending_policy_key = None
+            if journal is not None and journal.should_compact():
+                journal.write_snapshot(
+                    self._catalog_view.state_payload(),
+                    self._journal_seq,
+                )
         obs.inc(labelled("deltas_applied_total", kind=delta.kind))
         for finding in findings:
             obs.inc(
@@ -442,6 +691,7 @@ class PlanningService:
             findings=findings,
             fingerprint_changed=fingerprint_changed,
             refit_scheduled=refit_scheduled,
+            seq=delta.seq,
         )
 
     def fork_view(self) -> CatalogView:

@@ -33,7 +33,10 @@ see (queueing included), not internal service time.
 
 from __future__ import annotations
 
+import dataclasses
+import json
 import random
+import socket
 import threading
 import time
 from typing import Any, Callable, Dict, List, Optional, Sequence
@@ -470,6 +473,292 @@ def open_loop(
     )
     report["faults"] = armer.summary()
     report["churn"] = churn.summary()
+    return report
+
+
+# ----------------------------------------------------------------------
+# TCP clients: resilience against a restarting server
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with seeded full jitter.
+
+    Attempt ``n`` (0-based) sleeps ``uniform(0, min(cap_s, base_s *
+    2**n))`` — the classic full-jitter curve that spreads a thundering
+    herd of reconnecting clients across the restart window.  The jitter
+    RNG is seeded per client, so a load run's retry timing is
+    reproducible.
+    """
+
+    base_s: float = 0.05
+    cap_s: float = 2.0
+    max_attempts: int = 40
+    seed: int = 0
+
+    def backoff_s(self, attempt: int, rng: random.Random) -> float:
+        ceiling = min(self.cap_s, self.base_s * (2 ** min(attempt, 30)))
+        return rng.uniform(0.0, ceiling)
+
+
+class ClientGaveUp(ConnectionError):
+    """The retry budget ran out without reaching the server."""
+
+
+class LineClient:
+    """A JSON-lines TCP client that survives a server restart window.
+
+    ``request`` sends one JSON object line and returns the reply
+    object.  A connect refusal, reset, broken pipe, or mid-reply EOF
+    triggers a capped-backoff reconnect and *resends the same payload*
+    — at-least-once delivery, which is exactly what the server's
+    journal seq-dedupe is built to absorb (a retried delta acks as a
+    duplicate no-op; plan requests are read-only).
+
+    Counters (read after the run):
+
+    * ``retries`` — backoff sleeps taken (connect or resend).
+    * ``reconnects`` — connections re-established after a loss (the
+      initial connect is not counted).
+    * ``restart_gap_seconds`` — longest wall-clock stretch from a
+      connection loss to the reconnect that healed it: the observed
+      server restart window.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        retry: Optional[RetryPolicy] = None,
+        timeout_s: float = 30.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.retry = retry or RetryPolicy()
+        self.timeout_s = timeout_s
+        self._rng = random.Random(self.retry.seed)
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        self._ever_connected = False
+        self.retries = 0
+        self.reconnects = 0
+        self.restart_gap_seconds = 0.0
+
+    def _drop(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _ensure_connected(self) -> None:
+        if self._sock is not None:
+            return
+        gap_started: Optional[float] = None
+        for attempt in range(self.retry.max_attempts):
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout_s
+                )
+            except OSError:
+                if gap_started is None:
+                    gap_started = time.monotonic()
+                self.retries += 1
+                time.sleep(self.backoff_s(attempt))
+                continue
+            self._sock = sock
+            self._file = sock.makefile("rwb")
+            if self._ever_connected:
+                self.reconnects += 1
+            if gap_started is not None:
+                self.restart_gap_seconds = max(
+                    self.restart_gap_seconds,
+                    time.monotonic() - gap_started,
+                )
+            self._ever_connected = True
+            return
+        raise ClientGaveUp(
+            f"could not reach {self.host}:{self.port} after "
+            f"{self.retry.max_attempts} attempts"
+        )
+
+    def backoff_s(self, attempt: int) -> float:
+        return self.retry.backoff_s(attempt, self._rng)
+
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """One request/reply exchange, retried across connection loss."""
+        line = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        loss_at: Optional[float] = None
+        for attempt in range(self.retry.max_attempts):
+            try:
+                self._ensure_connected()
+                assert self._file is not None
+                self._file.write(line)
+                self._file.flush()
+                raw = self._file.readline()
+                if not raw:
+                    raise ConnectionResetError(
+                        "server closed the connection mid-exchange"
+                    )
+                reply = json.loads(raw.decode("utf-8"))
+                if loss_at is not None:
+                    self.restart_gap_seconds = max(
+                        self.restart_gap_seconds,
+                        time.monotonic() - loss_at,
+                    )
+                return reply
+            except ClientGaveUp:
+                raise
+            except (OSError, ValueError, UnicodeDecodeError):
+                if loss_at is None:
+                    loss_at = time.monotonic()
+                self._drop()
+                self.retries += 1
+                time.sleep(self.backoff_s(attempt))
+        raise ClientGaveUp(
+            f"request to {self.host}:{self.port} failed after "
+            f"{self.retry.max_attempts} attempts"
+        )
+
+    def wait_ready(self, timeout_s: float = 30.0) -> bool:
+        """Poll ``{"op": "ready"}`` until the server reports ready."""
+        deadline = time.monotonic() + timeout_s
+        attempt = 0
+        while time.monotonic() < deadline:
+            try:
+                reply = self.request({"op": "ready"})
+            except ClientGaveUp:
+                return False
+            if reply.get("ready"):
+                return True
+            time.sleep(self.backoff_s(attempt))
+            attempt += 1
+        return False
+
+    def close(self) -> None:
+        self._drop()
+
+    def __enter__(self) -> "LineClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def tcp_closed_loop(
+    host: str,
+    port: int,
+    concurrency: int,
+    requests: int,
+    deadline_s: Optional[float] = None,
+    slo_s: Optional[float] = None,
+    retry: Optional[RetryPolicy] = None,
+    timeout_s: float = 30.0,
+) -> Dict[str, Any]:
+    """Closed-loop load against a *remote* JSON-lines server.
+
+    The out-of-process twin of :func:`closed_loop`: each client owns a
+    :class:`LineClient`, so a server restart mid-run costs retries and
+    a visible ``restart_gap_seconds`` instead of killing the run with
+    ``ConnectionRefusedError``.  The report gains a ``resilience``
+    section aggregating per-client retry counters.
+    """
+    if concurrency < 1:
+        raise ValueError("concurrency must be >= 1")
+    if requests < 1:
+        raise ValueError("requests must be >= 1")
+    base_retry = retry or RetryPolicy()
+    recorder = _Recorder(slo_s)
+    counter_lock = threading.Lock()
+    issued = 0
+    gave_up = 0
+    clients: List[LineClient] = []
+    for i in range(concurrency):
+        clients.append(
+            LineClient(
+                host,
+                port,
+                retry=dataclasses.replace(
+                    base_retry, seed=base_retry.seed + i
+                ),
+                timeout_s=timeout_s,
+            )
+        )
+
+    def next_index() -> Optional[int]:
+        nonlocal issued
+        with counter_lock:
+            if issued >= requests:
+                return None
+            index = issued
+            issued += 1
+            return index
+
+    def run_client(client: LineClient) -> None:
+        nonlocal gave_up
+        payload: Dict[str, Any] = {}
+        if deadline_s is not None:
+            payload["deadline_s"] = deadline_s
+        while True:
+            index = next_index()
+            if index is None:
+                return
+            t0 = time.monotonic()
+            try:
+                reply = client.request(payload)
+            except ClientGaveUp:
+                with counter_lock:
+                    gave_up += 1
+                recorder.record_error()
+                return
+            outcome = str(reply.get("outcome", "error"))
+            if outcome == "error":
+                recorder.record_error()
+                continue
+            recorder.record(
+                outcome,
+                reply.get("rung"),
+                bool(reply.get("valid")),
+                time.monotonic() - t0,
+            )
+
+    threads = [
+        threading.Thread(
+            target=run_client, args=(client,), name=f"tcp-loadgen-{i}"
+        )
+        for i, client in enumerate(clients)
+    ]
+    t_start = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    for client in clients:
+        client.close()
+    report = recorder.report("tcp_closed", time.monotonic() - t_start, issued)
+    report["concurrency"] = concurrency
+    report["resilience"] = {
+        "retries": sum(c.retries for c in clients),
+        "reconnects": sum(c.reconnects for c in clients),
+        "clients_gave_up": gave_up,
+        "restart_gap_seconds": round(
+            max((c.restart_gap_seconds for c in clients), default=0.0), 4
+        ),
+        "retry_policy": {
+            "base_s": base_retry.base_s,
+            "cap_s": base_retry.cap_s,
+            "max_attempts": base_retry.max_attempts,
+            "seed": base_retry.seed,
+        },
+    }
     return report
 
 

@@ -513,6 +513,13 @@ class PolicyRegistry:
             thread = self._refits.get(key)
         return thread is not None and thread.is_alive()
 
+    @property
+    def refits_in_flight(self) -> int:
+        """Count of live background refit threads (health probes)."""
+        with self._lock:
+            threads = list(self._refits.values())
+        return sum(1 for thread in threads if thread.is_alive())
+
     def drain(self, timeout: Optional[float] = None) -> None:
         """Join all in-flight refit threads (tests, orderly shutdown)."""
         with self._lock:

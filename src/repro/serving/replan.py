@@ -359,6 +359,14 @@ class ReplanSession:
                 "kind": record.kind,
                 "classification": classification,
             }
+            if delta.seq != 0:
+                # Provenance for cross-restart correlation: the wire /
+                # journal sequence number this event carried (the
+                # session's own seq restarts at 1 per session, the
+                # journal watermark does not).  Seeded churn schedules
+                # stamp identical seqs on replay, so decision logs stay
+                # byte-identical.
+                entry["wire_seq"] = delta.seq
             if record.item_id is not None:
                 entry["item"] = record.item_id
             if record.value is not None:

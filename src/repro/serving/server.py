@@ -42,6 +42,7 @@ guarded by ``_lock``.
 from __future__ import annotations
 
 import json
+import socket
 import socketserver
 import threading
 import time
@@ -76,6 +77,12 @@ SHED_QUEUE_FULL = "queue_full"
 SHED_DEADLINE_UNREACHABLE = "deadline_unreachable"
 SHED_QUEUE_EXPIRED = "queue_expired"
 SHED_DRAINING = "draining"
+SHED_NOT_READY = "not_ready"
+
+#: Wire-layer hardening defaults: a request line has no business being
+#: anywhere near 64 KiB, and an idle connection is held open forever
+#: unless the server opts into a timeout.
+WIRE_MAX_LINE_BYTES = 64 * 1024
 
 #: Server latency histogram buckets (seconds): sub-ms to 30 s.
 LATENCY_BUCKETS: Tuple[float, ...] = (
@@ -112,6 +119,18 @@ class PlanningServer:
     clock:
         Injectable monotonic clock (tests drive shedding without
         sleeping).
+    ready:
+        Start in the ready state.  A recovering front-end passes
+        ``False`` and calls :meth:`mark_ready` once journal replay has
+        completed, so plan requests shed (``not_ready``) instead of
+        serving pre-replay state; ``{"op": "ready"}`` probes report it.
+    wire_max_line_bytes:
+        Hard bound on one JSON-lines request line; an oversized line
+        gets a typed ``error`` envelope and the connection is dropped
+        (a client streaming garbage cannot balloon server memory).
+    wire_idle_timeout_s:
+        Per-connection idle timeout for the socket listener; ``None``
+        keeps connections forever (the pre-hardening behaviour).
     """
 
     def __init__(
@@ -122,17 +141,27 @@ class PlanningServer:
         default_deadline_s: Optional[float] = None,
         drain_session_grace_s: float = 1.0,
         clock: Callable[[], float] = time.monotonic,
+        ready: bool = True,
+        wire_max_line_bytes: int = WIRE_MAX_LINE_BYTES,
+        wire_idle_timeout_s: Optional[float] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if max_queue < 1:
             raise ValueError("max_queue must be >= 1")
+        if wire_max_line_bytes < 2:
+            raise ValueError("wire_max_line_bytes must be >= 2")
+        if wire_idle_timeout_s is not None and wire_idle_timeout_s <= 0:
+            raise ValueError("wire_idle_timeout_s must be positive")
         self.service = service
         self.workers = workers
         self.max_queue = max_queue
         self.default_deadline_s = default_deadline_s
         self.drain_session_grace_s = drain_session_grace_s
         self.clock = clock
+        self.wire_max_line_bytes = wire_max_line_bytes
+        self.wire_idle_timeout_s = wire_idle_timeout_s
+        self._ready = ready
         self._executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="plansrv"
         )
@@ -182,6 +211,10 @@ class PlanningServer:
         obs = get_registry()
         if self._closed:
             raise ServerClosed("server is closed")
+        if not self._ready:
+            # Journal replay hasn't completed: serving now could hand
+            # out plans over pre-crash state (closed items included).
+            return self._shed(request, SHED_NOT_READY)
 
         # Fast screen on the caller's thread: a provably-doomed request
         # must not occupy a queue slot or a worker.
@@ -361,6 +394,11 @@ class PlanningServer:
         report: Optional[DeltaReport] = None
         if isinstance(delta, CatalogDelta):
             report = self.service.apply_delta(delta)
+            if report.duplicate:
+                # A journal-deduped retry: the world did not change, so
+                # re-broadcasting would double-log the event in every
+                # session's decision log.
+                return report
         for session in self.sessions():
             if session.drained:
                 continue
@@ -471,6 +509,7 @@ class PlanningServer:
                 "workers": self.workers,
                 "max_queue": self.max_queue,
                 "draining": self._draining,
+                "ready": self._ready,
                 "sessions": len(self._sessions),
                 "ewma_service_ms": (
                     None
@@ -478,6 +517,38 @@ class PlanningServer:
                     else 1e3 * self._ewma_service_s
                 ),
             }
+
+    @property
+    def ready(self) -> bool:
+        """True once :meth:`mark_ready` ran (or the server started ready)."""
+        with self._lock:
+            return self._ready
+
+    def mark_ready(self) -> None:
+        """Open the floodgates: journal replay (if any) has completed."""
+        with self._lock:
+            self._ready = True
+        get_registry().set_gauge("server_ready", 1)
+
+    def health(self) -> Dict[str, Any]:
+        """The ``{"op": "health"}`` probe payload: liveness + durability.
+
+        Superset of :meth:`stats` with catalog/journal provenance — what
+        an operator needs to decide whether a restarted replica has
+        actually converged (watermark, pending refit, live version).
+        """
+        service = self.service
+        payload = self.stats()
+        payload["outcome"] = "health"
+        payload["catalog_version"] = service.catalog_version
+        payload["journal_attached"] = service.journal is not None
+        payload["journal_seq"] = service.journal_seq
+        payload["pending_refit"] = service.pending_policy_key
+        registry = service.policy_registry
+        payload["refits_in_flight"] = (
+            registry.refits_in_flight if registry is not None else 0
+        )
+        return payload
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -610,74 +681,165 @@ def result_to_payload(result: ServeResult) -> Dict[str, Any]:
 
 
 class _JsonLineHandler(socketserver.StreamRequestHandler):
-    """One connection: newline-delimited request → envelope exchanges."""
+    """One connection: newline-delimited request → envelope exchanges.
+
+    Hardened against the three classic line-protocol abuses: an
+    oversized line (bounded ``readline`` — typed error + disconnect
+    instead of unbounded buffering), an idle connection (socket
+    timeout), and a client that vanished mid-reply (``_reply`` swallows
+    the broken pipe instead of tracebacking the handler thread).  Every
+    drop is counted under ``server_wire_errors_total`` by kind.
+    """
 
     def handle(self) -> None:
         server: _JsonLineTcpServer = self.server  # type: ignore[assignment]
-        for raw in self.rfile:
+        planning = server.planning_server
+        max_line = planning.wire_max_line_bytes
+        idle_timeout = planning.wire_idle_timeout_s
+        if idle_timeout is not None:
+            self.connection.settimeout(idle_timeout)
+        while True:
+            try:
+                raw = self.rfile.readline(max_line + 1)
+            except socket.timeout:
+                get_registry().inc(
+                    labelled("server_wire_errors_total", kind="idle_timeout")
+                )
+                return
+            except (ConnectionResetError, OSError):
+                get_registry().inc(
+                    labelled("server_wire_errors_total", kind="reset")
+                )
+                return
+            if not raw:
+                return  # EOF: client closed cleanly.
+            if len(raw) > max_line:
+                get_registry().inc(
+                    labelled("server_wire_errors_total", kind="oversized")
+                )
+                self._reply(
+                    {
+                        "outcome": "error",
+                        "error": (
+                            f"line exceeds {max_line} bytes; "
+                            f"closing connection"
+                        ),
+                    }
+                )
+                return
             line = raw.strip()
             if not line:
                 continue
             try:
                 payload = json.loads(line.decode("utf-8"))
             except (ValueError, UnicodeDecodeError) as exc:
-                self._reply({"outcome": "error", "error": str(exc)})
+                get_registry().inc(
+                    labelled("server_wire_errors_total", kind="malformed")
+                )
+                if not self._reply(
+                    {"outcome": "error", "error": str(exc)}
+                ):
+                    return
+                continue
+            if isinstance(payload, dict) and "op" in payload:
+                if not self._handle_op(payload):
+                    return
                 continue
             if isinstance(payload, dict) and "delta" in payload:
-                self._handle_delta(payload)
+                if not self._handle_delta(payload):
+                    return
                 continue
             try:
                 request = request_from_payload(payload)
             except ValueError as exc:
-                self._reply({"outcome": "error", "error": str(exc)})
+                if not self._reply(
+                    {"outcome": "error", "error": str(exc)}
+                ):
+                    return
                 continue
             try:
-                result = server.planning_server.handle(request)
+                result = planning.handle(request)
             except ServerClosed:
                 self._reply(
                     {"outcome": "error", "error": "server is closed"}
                 )
                 return
-            self._reply(result_to_payload(result))
+            if not self._reply(result_to_payload(result)):
+                return
 
-    def _handle_delta(self, payload: Dict[str, Any]) -> None:
+    def _handle_op(self, payload: Dict[str, Any]) -> bool:
+        """One ``{"op": ...}`` control line (health/ready probes)."""
+        planning = self.server.planning_server  # type: ignore[attr-defined]
+        op = payload.get("op")
+        extra = set(payload) - {"op"}
+        if extra:
+            return self._reply(
+                {
+                    "outcome": "error",
+                    "error": f"unknown op fields: {sorted(extra)}",
+                }
+            )
+        if op == "health":
+            return self._reply(planning.health())
+        if op == "ready":
+            return self._reply(
+                {"outcome": "ready", "ready": planning.ready}
+            )
+        return self._reply(
+            {"outcome": "error", "error": f"unknown op {op!r}"}
+        )
+
+    def _handle_delta(self, payload: Dict[str, Any]) -> bool:
         """One ``{"delta": {...}}`` line: apply a world delta event."""
         server: _JsonLineTcpServer = self.server  # type: ignore[assignment]
         planning_server = server.planning_server
         extra = set(payload) - {"delta"}
         if extra:
-            self._reply(
+            return self._reply(
                 {
                     "outcome": "error",
                     "error": f"unknown delta fields: {sorted(extra)}",
                 }
             )
-            return
         try:
             delta = delta_from_payload(payload["delta"])
             report = planning_server.apply_delta(delta)
         except (DeltaError, DataModelError, ValueError) as exc:
-            self._reply({"outcome": "error", "error": str(exc)})
-            return
+            return self._reply({"outcome": "error", "error": str(exc)})
         except ServerClosed:
             self._reply({"outcome": "error", "error": "server is closed"})
-            return
+            return False
         reply: Dict[str, Any] = {
             "outcome": "delta_applied",
             "kind": delta.kind,
             "catalog_version": planning_server.service.catalog_version,
         }
         if report is not None:
+            reply["seq"] = report.seq
+            reply["duplicate"] = report.duplicate
             reply["findings"] = [f.code for f in report.findings]
             reply["fingerprint_changed"] = report.fingerprint_changed
             reply["refit_scheduled"] = report.refit_scheduled
-        self._reply(reply)
+        return self._reply(reply)
 
-    def _reply(self, payload: Dict[str, Any]) -> None:
-        self.wfile.write(
-            (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
-        )
-        self.wfile.flush()
+    def _reply(self, payload: Dict[str, Any]) -> bool:
+        """Write one envelope line; False when the client vanished.
+
+        A broken pipe / reset here is the *client's* lifecycle event,
+        not a server error — counted, logged at debug level by the
+        socketserver machinery, and the handler loop just ends.
+        """
+        try:
+            self.wfile.write(
+                (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+            )
+            self.wfile.flush()
+            return True
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            get_registry().inc(
+                labelled("server_wire_errors_total", kind="client_gone")
+            )
+            return False
 
 
 class _JsonLineTcpServer(socketserver.ThreadingTCPServer):

@@ -751,3 +751,218 @@ class TestLoadGenerator:
                 open_loop(server, rate=1.0, duration_s=0.0)
         finally:
             server.close()
+
+
+# ----------------------------------------------------------------------
+# Wire hardening: fuzzed lines, idle peers, restarts
+# ----------------------------------------------------------------------
+
+
+class TestWireHardening:
+    @staticmethod
+    def _connect(host, port):
+        conn = socket.create_connection((host, port), timeout=10.0)
+        return conn, conn.makefile("r", encoding="utf-8")
+
+    def test_oversized_line_errors_and_disconnects(self, toy_dataset):
+        service = StubService(toy_dataset)
+        server = PlanningServer(
+            service, workers=1, max_queue=4, wire_max_line_bytes=1024
+        )
+        try:
+            host, port = server.listen()
+            conn, reader = self._connect(host, port)
+            with conn:
+                conn.sendall(b'{"start": "' + b"x" * 4096 + b'"}\n')
+                reply = json.loads(reader.readline())
+                assert reply["outcome"] == "error"
+                assert "exceeds 1024 bytes" in reply["error"]
+                # ...and the connection is gone, not left half-parsed.
+                assert reader.readline() == ""
+        finally:
+            server.close()
+
+    def test_fuzzed_garbage_answers_error_and_keeps_connection(
+        self, toy_dataset
+    ):
+        service = StubService(toy_dataset)
+        server = PlanningServer(service, workers=1, max_queue=4)
+        try:
+            host, port = server.listen()
+            conn, reader = self._connect(host, port)
+            with conn:
+                for garbage in (
+                    b"\x00\xff\xfe\x01\n",        # binary noise
+                    b'{"deadline_s": 5.0\n',      # truncated JSON line
+                    b"[1, 2, 3]\n",               # JSON, wrong shape
+                    b'{"op": "frobnicate"}\n',    # unknown op
+                    b'{"op": "ready", "x": 1}\n',  # op with stray fields
+                ):
+                    conn.sendall(garbage)
+                    reply = json.loads(reader.readline())
+                    assert reply["outcome"] == "error"
+                # Blank lines are skipped without a reply, and the
+                # connection survived every malformed line.
+                conn.sendall(b"\n")
+                conn.sendall(b'{"deadline_s": 5.0}\n')
+                assert json.loads(reader.readline())["outcome"] == "ok"
+        finally:
+            server.close()
+
+    def test_idle_timeout_closes_connection(self, toy_dataset):
+        service = StubService(toy_dataset)
+        server = PlanningServer(
+            service, workers=1, max_queue=4, wire_idle_timeout_s=0.2
+        )
+        try:
+            host, port = server.listen()
+            conn, reader = self._connect(host, port)
+            with conn:
+                time.sleep(0.6)
+                assert reader.readline() == ""
+            # The server itself is still accepting fresh connections.
+            conn, reader = self._connect(host, port)
+            with conn:
+                conn.sendall(b'{"deadline_s": 5.0}\n')
+                assert json.loads(reader.readline())["outcome"] == "ok"
+        finally:
+            server.close()
+
+    def test_client_vanishing_mid_exchange_does_not_wedge(
+        self, toy_dataset
+    ):
+        service = StubService(toy_dataset)
+        server = PlanningServer(service, workers=1, max_queue=4)
+        try:
+            host, port = server.listen()
+            for _ in range(3):
+                conn = socket.create_connection((host, port), timeout=10.0)
+                conn.sendall(b'{"deadline_s": 5.0}\n')
+                conn.close()  # gone before reading the reply
+            conn, reader = self._connect(host, port)
+            with conn:
+                conn.sendall(b'{"deadline_s": 5.0}\n')
+                assert json.loads(reader.readline())["outcome"] == "ok"
+        finally:
+            server.close()
+
+    def test_health_and_ready_probe_ops(self, toy_dataset):
+        # health() reports catalog/journal provenance, so it needs the
+        # real facade rather than the stub.
+        service = PlanningService(
+            toy_dataset.catalog, toy_dataset.task, audit=False
+        )
+        server = PlanningServer(service, workers=1, max_queue=4)
+        try:
+            host, port = server.listen()
+            conn, reader = self._connect(host, port)
+            with conn:
+                conn.sendall(b'{"op": "ready"}\n')
+                reply = json.loads(reader.readline())
+                assert reply == {"outcome": "ready", "ready": True}
+                conn.sendall(b'{"op": "health"}\n')
+                health = json.loads(reader.readline())
+                assert health["ready"] is True
+                assert health["journal_attached"] is False
+                assert "catalog_version" in health
+                assert health["journal_seq"] == 0
+                assert "inflight" in health and "draining" in health
+        finally:
+            server.close()
+
+    def test_not_ready_sheds_until_marked(self, toy_dataset):
+        service = StubService(toy_dataset)
+        server = PlanningServer(
+            service, workers=1, max_queue=4, ready=False
+        )
+        try:
+            host, port = server.listen()
+            conn, reader = self._connect(host, port)
+            with conn:
+                conn.sendall(b'{"op": "ready"}\n')
+                assert json.loads(reader.readline())["ready"] is False
+                conn.sendall(b'{"deadline_s": 5.0}\n')
+                assert json.loads(reader.readline())["outcome"] == "shed"
+                server.mark_ready()
+                conn.sendall(b'{"op": "ready"}\n')
+                assert json.loads(reader.readline())["ready"] is True
+                conn.sendall(b'{"deadline_s": 5.0}\n')
+                assert json.loads(reader.readline())["outcome"] == "ok"
+        finally:
+            server.close()
+
+    def test_duplicate_seq_delta_over_wire_is_noop(
+        self, tmp_path, toy_dataset
+    ):
+        from repro.serving import DeltaJournal
+
+        service = PlanningService(
+            toy_dataset.catalog, toy_dataset.task, audit=False
+        )
+        service.attach_journal(DeltaJournal(tmp_path))
+        server = PlanningServer(service, workers=1, max_queue=4)
+        item = sorted(toy_dataset.catalog.item_ids)[0]
+        line = json.dumps(
+            {"delta": {"kind": "close", "item": item, "seq": 1}}
+        ).encode() + b"\n"
+        try:
+            host, port = server.listen()
+            conn, reader = self._connect(host, port)
+            with conn:
+                conn.sendall(line)
+                first = json.loads(reader.readline())
+                assert first["outcome"] == "delta_applied"
+                assert (first["seq"], first["duplicate"]) == (1, False)
+                conn.sendall(line)  # client retry after a lost ack
+                second = json.loads(reader.readline())
+                assert second["outcome"] == "delta_applied"
+                assert (second["seq"], second["duplicate"]) == (1, True)
+                assert second["catalog_version"] == first["catalog_version"]
+        finally:
+            server.close()
+
+    def test_line_client_rides_through_server_restart(self, toy_dataset):
+        from repro.serving import LineClient, RetryPolicy
+
+        service = StubService(toy_dataset)
+        first = PlanningServer(service, workers=1, max_queue=8)
+        host, port = first.listen()
+        client = LineClient(
+            host, port,
+            retry=RetryPolicy(base_s=0.01, cap_s=0.1, max_attempts=200),
+            timeout_s=10.0,
+        )
+        second = None
+        try:
+            assert client.request({"deadline_s": 5.0})["outcome"] == "ok"
+            first.close()
+            # A crashed process takes its TCP connections with it; drop
+            # the client's stale socket so the next request exercises
+            # the refused-connect backoff path, as in a real kill -9.
+            client.close()
+
+            def restart():
+                time.sleep(0.3)
+                srv = PlanningServer(service, workers=1, max_queue=8)
+                srv.listen(host, port)
+                return srv
+
+            holder = {}
+            thread = threading.Thread(
+                target=lambda: holder.update(srv=restart())
+            )
+            thread.start()
+            # The request spans the outage: refused connects back off
+            # and retry until the reborn server answers.
+            reply = client.request({"deadline_s": 5.0})
+            thread.join(timeout=30)
+            second = holder.get("srv")
+            assert reply["outcome"] == "ok"
+            assert client.reconnects >= 1
+            assert client.retries >= 1
+            assert client.restart_gap_seconds > 0.0
+        finally:
+            client.close()
+            first.close()
+            if second is not None:
+                second.close()
