@@ -56,7 +56,7 @@ from .admission import AdmissionReport, audit_catalog, screen_request
 from .breaker import CircuitBreaker
 from .deadline import Deadline
 from .fingerprint import short_key
-from .journal import DeltaJournal
+from .journal import DeltaJournal, record_checksum
 from .registry import CacheEntry, PolicyRegistry
 from .repair import RepairPlanner
 
@@ -79,6 +79,12 @@ OUTCOME_OK = "ok"
 OUTCOME_DEGRADED = "degraded"
 OUTCOME_REJECTED = "rejected"
 OUTCOME_FAILED = "failed"
+
+#: How many recent (seq -> record checksum) pairs the facade retains to
+#: verify that a duplicate-seq delta actually matches the record it was
+#: journaled as.  Older seqs (evicted, or compacted into a snapshot)
+#: still dedupe by watermark alone.
+DEDUPE_VERIFY_WINDOW = 4096
 
 
 @dataclass
@@ -241,6 +247,9 @@ class JournalRecovery:
     restored: bool
     snapshot_seq: int = 0
     replayed_deltas: int = 0
+    #: Stale pre-watermark tail records the journal skipped (crash
+    #: landed between snapshot rename and journal truncation).
+    stale_records: int = 0
     #: Tail deltas that failed to apply at replay.  Application is
     #: deterministic, so these are exactly the deltas that were
     #: journaled but then *rejected* pre-crash (e.g. closing the last
@@ -260,6 +269,11 @@ class JournalRecovery:
         if not self.restored:
             return "journal empty: serving pristine catalog"
         torn = ", torn tail dropped" if self.torn_tail else ""
+        stale = (
+            f", {self.stale_records} stale pre-watermark skipped"
+            if self.stale_records
+            else ""
+        )
         skipped = (
             f", {self.skipped_deltas} rejected-pre-crash skipped"
             if self.skipped_deltas
@@ -267,8 +281,8 @@ class JournalRecovery:
         )
         return (
             f"journal restored: snapshot seq {self.snapshot_seq} + "
-            f"{self.replayed_deltas} tail delta(s){skipped}{torn} -> "
-            f"catalog v{self.catalog_version} (watermark seq "
+            f"{self.replayed_deltas} tail delta(s){stale}{skipped}{torn} "
+            f"-> catalog v{self.catalog_version} (watermark seq "
             f"{self.last_seq})"
         )
 
@@ -371,9 +385,12 @@ class PlanningService:
         self._pending_policy_key: Optional[str] = None
         # Durability (attach_journal): deltas are journaled+fsync'd
         # before they fold, and _journal_seq is the dedupe watermark —
-        # a retried seq at/below it acks as a no-op.
+        # a retried seq at/below it acks as a no-op after its payload
+        # is verified against the journaled record's checksum (bounded
+        # window; a seq-space collision raises instead of acking).
         self._journal: Optional[DeltaJournal] = None
         self._journal_seq: int = 0
+        self._journal_checksums: Dict[int, str] = {}
 
     @classmethod
     def from_dataset(cls, dataset, **kwargs) -> "PlanningService":
@@ -445,6 +462,7 @@ class PlanningService:
             with self._delta_lock:
                 self._journal = journal
                 self._journal_seq = 0
+                self._journal_checksums = {}
             return JournalRecovery(restored=False)
         with obs.span("journal.replay"):
             try:
@@ -460,6 +478,7 @@ class PlanningService:
                 with self._delta_lock:
                     self._journal = journal
                     self._journal_seq = 0
+                    self._journal_checksums = {}
                 return JournalRecovery(
                     restored=False,
                     quarantined=tuple(str(p) for p in quarantined),
@@ -468,6 +487,7 @@ class PlanningService:
                 with self._delta_lock:
                     self._journal = journal
                     self._journal_seq = 0
+                    self._journal_checksums = {}
                 return JournalRecovery(restored=False)
             view = CatalogView(self.catalog)
             skipped = 0
@@ -506,6 +526,7 @@ class PlanningService:
                 with self._delta_lock:
                     self._journal = journal
                     self._journal_seq = 0
+                    self._journal_checksums = {}
                 return JournalRecovery(
                     restored=False,
                     quarantined=tuple(str(p) for p in quarantined),
@@ -514,6 +535,14 @@ class PlanningService:
                 self._catalog_view = view
                 self._journal = journal
                 self._journal_seq = replay.last_seq
+                # Seed duplicate verification from the replayed tail
+                # (recomputing each record's checksum from the decoded
+                # delta reproduces the journaled value — to_dict() is
+                # canonical).  Snapshot-compacted seqs are gone; their
+                # duplicates dedupe by watermark alone.
+                self._journal_checksums = {}
+                for delta in replay.deltas:
+                    self._remember_journal_checksum(delta)
                 # Re-arm the pending-refit fingerprint state the crash
                 # dropped: same branch apply_delta takes per delta.
                 if self.policy_registry is not None:
@@ -541,6 +570,7 @@ class PlanningService:
                 replay.snapshot.seq if replay.snapshot is not None else 0
             ),
             replayed_deltas=len(replay.deltas) - skipped,
+            stale_records=replay.stale_records,
             skipped_deltas=skipped,
             last_seq=replay.last_seq,
             catalog_version=view.version,
@@ -556,6 +586,17 @@ class PlanningService:
     def journal_seq(self) -> int:
         """Dedupe watermark: highest journaled seq (0 = none)."""
         return self._journal_seq
+
+    def _remember_journal_checksum(self, delta: CatalogDelta) -> None:
+        """Retain (seq -> record checksum) for duplicate verification.
+
+        Bounded at :data:`DEDUPE_VERIFY_WINDOW` entries (oldest seqs
+        evicted first); caller holds ``_delta_lock``.
+        """
+        checksums = self._journal_checksums
+        checksums[delta.seq] = record_checksum(delta.seq, delta.to_dict())
+        while len(checksums) > DEDUPE_VERIFY_WINDOW:
+            del checksums[next(iter(checksums))]
 
     @property
     def pending_policy_key(self) -> Optional[str]:
@@ -601,8 +642,12 @@ class PlanningService:
         log *before* it folds (crash after the ack ⇒ replay re-applies
         it), and a ``seq`` at or below the journal watermark is acked
         as a duplicate no-op — at-least-once delivery composes with
-        exactly-once application.  Unstamped deltas (``seq == 0``) are
-        stamped ``watermark + 1``.
+        exactly-once application.  A "duplicate" whose payload differs
+        from the record journaled at that seq (checked over a bounded
+        recent window) is a seq-space collision and raises
+        :class:`DeltaError` instead of silently discarding a genuine
+        world event.  Unstamped deltas (``seq == 0``) are stamped
+        ``watermark + 1``.
         """
         if not isinstance(delta, CatalogDelta):
             raise DeltaError(
@@ -623,6 +668,22 @@ class PlanningService:
             journal = self._journal
             if journal is not None:
                 if delta.seq != 0 and delta.seq <= self._journal_seq:
+                    # Watermark alone cannot distinguish a genuine
+                    # retry from a client that miscounts seqs and
+                    # stamps a *new* world event with a used one —
+                    # verify the payload against the record actually
+                    # journaled at that seq (bounded window).
+                    journaled = self._journal_checksums.get(delta.seq)
+                    if journaled is not None and journaled != (
+                        record_checksum(delta.seq, delta.to_dict())
+                    ):
+                        obs.inc("journal_duplicate_mismatch_total")
+                        raise DeltaError(
+                            f"delta seq {delta.seq} ({delta.kind!r} on "
+                            f"{delta.item_id!r}) does not match the "
+                            f"record journaled at that seq: seq-space "
+                            f"collision, refusing to ack as duplicate"
+                        )
                     obs.inc("journal_duplicate_deltas_total")
                     return DeltaReport(
                         kind=delta.kind,
@@ -644,6 +705,7 @@ class PlanningService:
                 # identically and skips it — state stays reproducible.
                 journal.append(delta)
                 self._journal_seq = delta.seq
+                self._remember_journal_checksum(delta)
             if self._catalog_view is None:
                 self._catalog_view = CatalogView(self.catalog)
             findings = self._catalog_view.apply(delta)

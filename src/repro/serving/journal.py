@@ -27,13 +27,19 @@ Durability contract
   of an acked delta is a no-op, never a double-apply.
 * **torn-tail tolerance** — a kill mid-append leaves a truncated final
   line; :func:`~repro.runner.manifest.tolerant_stream_rows` drops it
-  with a warning.  An undecodable or checksum-failing line *before* the
-  tail is real corruption and raises a typed
+  with a warning, as is a final line that parses as JSON but is
+  *structurally incomplete* (missing record fields).  A structurally
+  complete record whose checksum fails — final line or not — is real
+  corruption (bit rot on bytes that were fully fsync'd and acked, not
+  a crash artifact) and raises a typed
   :class:`~repro.core.exceptions.ArtifactError` so the caller can
-  quarantine the journal instead of replaying garbage.
+  quarantine the journal instead of silently dropping an acked delta.
 * **bounded replay** — ``write_snapshot`` persists the view's fold
   state atomically and truncates the journal, so replay cost is
-  ``O(compact_every)`` regardless of uptime.
+  ``O(compact_every)`` regardless of uptime.  A crash between the
+  snapshot rename and the truncation leaves the old tail on disk;
+  replay skips that stale pre-watermark prefix (every record already
+  folded into the snapshot) rather than treating it as corruption.
 """
 
 from __future__ import annotations
@@ -73,6 +79,17 @@ _SYNC = getattr(os, "fdatasync", os.fsync)
 
 def _canonical(payload: Dict[str, object]) -> str:
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+class _TornRecordError(ArtifactError):
+    """A record that is structurally incomplete (missing fields).
+
+    Internal marker: only this flavour of decode failure may be
+    reclassified as a crash-torn tail when it hits the final line.  A
+    structurally complete record that fails validation (checksum, seq,
+    schema value) always stays an :class:`ArtifactError` — an acked,
+    fsync'd record hit by bit rot must quarantine, never silently drop.
+    """
 
 
 def record_checksum(seq: int, delta_payload: Dict[str, object]) -> str:
@@ -174,13 +191,16 @@ class ReplayResult:
 
     ``last_seq`` is the high-water mark the facade resumes dedupe from:
     the tail's final record, or the snapshot's watermark when the tail
-    is empty, or 0 for a pristine journal.
+    is empty, or 0 for a pristine journal.  ``stale_records`` counts
+    pre-watermark tail records skipped because a crash landed between
+    the snapshot rename and the journal truncation.
     """
 
     snapshot: Optional[SnapshotState]
     deltas: Tuple[Delta, ...]
     last_seq: int
     torn_tail: bool = False
+    stale_records: int = 0
 
     @property
     def empty(self) -> bool:
@@ -342,12 +362,16 @@ class DeltaJournal:
         """Read snapshot + journal tail back into typed deltas.
 
         Raises :class:`ArtifactError` on real corruption (bad snapshot
-        checksum, undecodable or checksum-failing record *before* the
-        final line, seq regressions) — the caller should
-        :meth:`quarantine` and fall back to the pristine catalog.  A
-        torn final line (crash mid-append) is dropped with a warning:
-        by the fsync-before-ack contract no client was ever acked for
-        it.
+        checksum, any structurally complete record whose checksum
+        fails, seq regressions within the post-watermark tail) — the
+        caller should :meth:`quarantine` and fall back to the pristine
+        catalog.  A torn final line (crash mid-append: truncated JSON
+        or a parsed object missing record fields) is dropped with a
+        warning: by the fsync-before-ack contract no client was ever
+        acked for it.  Tail records at or below the snapshot watermark
+        that precede any post-watermark record are the stale remainder
+        of a crash between snapshot and truncation — already folded
+        into the snapshot, so they are skipped, not errors.
         """
         snapshot: Optional[SnapshotState] = None
         if self.snapshot_path.exists():
@@ -378,16 +402,21 @@ class DeltaJournal:
             )
         torn_tail = total_lines - len(rows) == 1
 
+        snapshot_seq = last_seq
         deltas: List[Delta] = []
+        stale = 0
         for index, row in enumerate(rows):
             is_last = index == len(rows) - 1
             try:
                 delta = self._decode_record(row, index + 1)
-            except ArtifactError:
+            except _TornRecordError:
                 if is_last and not torn_tail:
-                    # A final line that parses as JSON but fails
-                    # structural/checksum validation is still the torn
-                    # tail of a crash mid-append.
+                    # A final line that parses as JSON but is missing
+                    # record fields is still the torn tail of a crash
+                    # mid-append.  (A *complete* record failing its
+                    # checksum propagates: that is bit rot on acked
+                    # bytes, and dropping it would lose a durable
+                    # delta — quarantine instead.)
                     logger.warning(
                         "%s: dropping torn final record at line %d",
                         self.journal_path, index + 1,
@@ -395,6 +424,13 @@ class DeltaJournal:
                     torn_tail = True
                     break
                 raise
+            if delta.seq <= snapshot_seq and not deltas:
+                # Stale pre-watermark prefix: a crash between
+                # write_snapshot's atomic rename and the journal
+                # truncation left the old tail on disk.  Every one of
+                # these records is already folded into the snapshot.
+                stale += 1
+                continue
             if delta.seq <= last_seq:
                 raise ArtifactError(
                     f"{self.journal_path}: seq regression at line "
@@ -402,6 +438,14 @@ class DeltaJournal:
                 )
             last_seq = delta.seq
             deltas.append(delta)
+        if stale:
+            logger.warning(
+                "%s: skipped %d stale pre-watermark record(s) <= seq %d "
+                "(crash between snapshot and truncation; already folded "
+                "into the snapshot)",
+                self.journal_path, stale, snapshot_seq,
+            )
+            get_registry().inc("journal_replay_stale_records_total", stale)
 
         with self._lock:
             self._tail_records = len(deltas)
@@ -410,13 +454,24 @@ class DeltaJournal:
             deltas=tuple(deltas),
             last_seq=last_seq,
             torn_tail=torn_tail,
+            stale_records=stale,
         )
 
     def _decode_record(self, row: Dict[str, object], lineno: int) -> Delta:
         source = f"{self.journal_path}:{lineno}"
         if not isinstance(row, dict):
-            raise ArtifactError(
+            raise _TornRecordError(
                 f"{source}: record must be a JSON object"
+            )
+        missing = [
+            key
+            for key in ("schema", "seq", "delta", "checksum")
+            if key not in row
+        ]
+        if missing:
+            raise _TornRecordError(
+                f"{source}: record missing field(s) {missing} "
+                f"(structurally incomplete)"
             )
         if row.get("schema") != JOURNAL_SCHEMA:
             raise ArtifactError(

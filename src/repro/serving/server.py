@@ -211,7 +211,7 @@ class PlanningServer:
         obs = get_registry()
         if self._closed:
             raise ServerClosed("server is closed")
-        if not self._ready:
+        if not self.ready:  # property: reads the flag under _lock
             # Journal replay hasn't completed: serving now could hand
             # out plans over pre-crash state (closed items included).
             return self._shed(request, SHED_NOT_READY)

@@ -111,20 +111,41 @@ class TestJournalFile:
         assert [d.seq for d in replay.deltas] == [1, 2]
         assert replay.last_seq == 2
 
-    def test_checksum_failing_final_line_is_torn_tail(
+    def test_checksum_failing_final_line_raises(
+        self, tmp_path, toy_catalog
+    ):
+        ids = sorted(toy_catalog.item_ids)
+        journal = DeltaJournal(tmp_path)
+        journal.append(_delta(DELTA_CLOSE, ids[0], seq=1))
+        journal.append(_delta(DELTA_CLOSE, ids[1], seq=2))
+        journal.close()
+        # A structurally complete final record whose checksum fails is
+        # bit rot on fsync'd+acked bytes, not a torn tail: silently
+        # dropping it would lose an acked delta, so replay must raise
+        # and let the caller quarantine.
+        lines = journal.journal_path.read_text().splitlines()
+        rotted = json.loads(lines[-1])
+        rotted["checksum"] = "0" * 64
+        lines[-1] = json.dumps(rotted, sort_keys=True, separators=(",", ":"))
+        journal.journal_path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ArtifactError, match="checksum mismatch"):
+            DeltaJournal(tmp_path).replay()
+
+    def test_structurally_incomplete_final_line_is_torn_tail(
         self, tmp_path, toy_catalog
     ):
         ids = sorted(toy_catalog.item_ids)
         journal = DeltaJournal(tmp_path)
         journal.append(_delta(DELTA_CLOSE, ids[0], seq=1))
         journal.close()
-        # Parses as JSON but fails checksum: still a crash-torn tail.
-        line = _record_line(2, _delta(DELTA_CLOSE, ids[1], seq=2))
+        # Parses as JSON but is missing record fields: a torn tail
+        # (never acked), dropped with a warning.
         with journal.journal_path.open("a") as handle:
-            handle.write(line[:-3] + 'f"}\n')
+            handle.write('{"schema": 1, "seq": 2}\n')
         replay = DeltaJournal(tmp_path).replay()
         assert replay.torn_tail
         assert [d.seq for d in replay.deltas] == [1]
+        assert replay.last_seq == 1
 
     def test_midstream_corruption_raises_artifact_error(
         self, tmp_path, toy_catalog
@@ -183,6 +204,72 @@ class TestJournalFile:
             seq=2,
         )
         assert replay.deltas == () and replay.last_seq == 2
+
+    def test_crash_between_snapshot_and_truncate_replays(
+        self, tmp_path, toy_catalog
+    ):
+        ids = sorted(toy_catalog.item_ids)
+        journal = DeltaJournal(tmp_path)
+        journal.append(_delta(DELTA_CLOSE, ids[0], seq=1))
+        journal.append(_delta(DELTA_CLOSE, ids[1], seq=2))
+        journal.append(_delta(DELTA_REOPEN, ids[0], seq=3))
+        pre_truncate_tail = journal.journal_path.read_text()
+        journal.write_snapshot(
+            {"closed": [ids[1]], "credit_overrides": {}, "version": 3},
+            seq=3,
+        )
+        journal.close()
+        # Simulate a crash after write_snapshot's atomic rename but
+        # *before* the journal truncation: the new snapshot coexists
+        # with the old tail, every record at/below the watermark.
+        journal.journal_path.write_text(pre_truncate_tail)
+
+        replay = DeltaJournal(tmp_path).replay()
+        assert replay.snapshot is not None and replay.snapshot.seq == 3
+        assert replay.snapshot.closed == (ids[1],)
+        assert replay.stale_records == 3
+        assert replay.deltas == ()
+        assert replay.last_seq == 3
+        assert not replay.torn_tail
+
+    def test_stale_prefix_then_live_tail_replays_both(
+        self, tmp_path, toy_catalog
+    ):
+        ids = sorted(toy_catalog.item_ids)
+        journal = DeltaJournal(tmp_path)
+        journal.append(_delta(DELTA_CLOSE, ids[0], seq=1))
+        journal.append(_delta(DELTA_CLOSE, ids[1], seq=2))
+        stale_tail = journal.journal_path.read_text()
+        journal.write_snapshot(
+            {"closed": [ids[0], ids[1]], "credit_overrides": {}, "version": 2},
+            seq=2,
+        )
+        # Crash window left the old tail, then the restarted process
+        # appended a post-watermark delta before the *next* crash.
+        journal.journal_path.write_text(stale_tail)
+        journal.append(_delta(DELTA_REOPEN, ids[0], seq=3))
+        journal.close()
+
+        replay = DeltaJournal(tmp_path).replay()
+        assert replay.stale_records == 2
+        assert [d.seq for d in replay.deltas] == [3]
+        assert replay.last_seq == 3
+
+    def test_seq_regression_after_live_tail_still_raises(
+        self, tmp_path, toy_catalog
+    ):
+        ids = sorted(toy_catalog.item_ids)
+        journal = DeltaJournal(tmp_path)
+        journal.write_snapshot(
+            {"closed": [], "credit_overrides": {}, "version": 0}, seq=3
+        )
+        # A pre-watermark seq *after* a post-watermark record is not a
+        # stale-prefix artifact — it is a genuinely non-monotonic tail.
+        journal.append(_delta(DELTA_CLOSE, ids[0], seq=5))
+        journal.append(_delta(DELTA_CLOSE, ids[1], seq=2))
+        journal.close()
+        with pytest.raises(ArtifactError, match="seq regression"):
+            DeltaJournal(tmp_path).replay()
 
     def test_corrupt_snapshot_raises(self, tmp_path):
         journal = DeltaJournal(tmp_path)
@@ -248,6 +335,67 @@ class TestFacadeDurability:
         assert service.catalog_version == version
         # The journal holds exactly one record, not two.
         assert len(service.journal.journal_path.read_text().splitlines()) == 1
+
+    def test_duplicate_seq_with_different_payload_raises(
+        self, tmp_path, service
+    ):
+        service.attach_journal(DeltaJournal(tmp_path))
+        ids = sorted(service.catalog.item_ids)
+        service.apply_delta(_delta(DELTA_CLOSE, ids[0], seq=1))
+        version = service.catalog_version
+        # A miscounting client reusing seq 1 for a *new* world event
+        # must be rejected, not silently acked as a duplicate no-op.
+        with pytest.raises(DeltaError, match="seq-space collision"):
+            service.apply_delta(_delta(DELTA_CLOSE, ids[1], seq=1))
+        assert service.catalog_version == version
+        assert len(service.journal.journal_path.read_text().splitlines()) == 1
+        # A true retry (identical payload) still acks as a no-op.
+        retry = service.apply_delta(_delta(DELTA_CLOSE, ids[0], seq=1))
+        assert retry.duplicate
+
+    def test_duplicate_verification_survives_restart(
+        self, tmp_path, service, toy_catalog, toy_task
+    ):
+        service.attach_journal(DeltaJournal(tmp_path))
+        ids = sorted(service.catalog.item_ids)
+        service.apply_delta(_delta(DELTA_CLOSE, ids[0], seq=1))
+        service.journal.close()
+
+        restarted = PlanningService(toy_catalog, toy_task, audit=False)
+        restarted.attach_journal(DeltaJournal(tmp_path))
+        retry = restarted.apply_delta(_delta(DELTA_CLOSE, ids[0], seq=1))
+        assert retry.duplicate
+        with pytest.raises(DeltaError, match="seq-space collision"):
+            restarted.apply_delta(_delta(DELTA_REOPEN, ids[0], seq=1))
+
+    def test_crash_between_snapshot_and_truncate_recovers_state(
+        self, tmp_path, service, toy_catalog, toy_task
+    ):
+        service.attach_journal(DeltaJournal(tmp_path, compact_every=2))
+        ids = sorted(service.catalog.item_ids)
+        service.apply_delta(_delta(DELTA_CLOSE, ids[0]))
+        pre_truncate_tail = service.journal.journal_path.read_text()
+        service.apply_delta(_delta(DELTA_CLOSE, ids[1]))  # snapshot fires
+        tail_after = service.journal.journal_path.read_text()
+        service.journal.close()
+        # Crash after the snapshot rename, before the truncation: the
+        # old tail precedes whatever the truncation would have kept.
+        service.journal.journal_path.write_text(
+            pre_truncate_tail
+            + _record_line(2, _delta(DELTA_CLOSE, ids[1], seq=2))
+            + "\n"
+            + tail_after
+        )
+
+        restarted = PlanningService(toy_catalog, toy_task, audit=False)
+        recovery = restarted.attach_journal(DeltaJournal(tmp_path))
+        assert recovery.restored
+        assert recovery.stale_records == 2
+        assert not recovery.quarantined
+        assert restarted.journal_seq == service.journal_seq
+        assert restarted.catalog_version == service.catalog_version
+        assert restarted.live_catalog.item_ids == service.live_catalog.item_ids
+        assert restarted.live_catalog.name == service.live_catalog.name
 
     def test_unknown_item_rejected_before_journaling(
         self, tmp_path, service
